@@ -1,0 +1,228 @@
+// Benchmarks regenerating every table and figure of the paper at reduced
+// (Quick) scale — one benchmark per evaluation element, as required for
+// reproduction. Full-scale runs go through cmd/benchtab. The deployment
+// benchmarks (§5.1) measure the online path at operation granularity.
+package nodesentry_test
+
+import (
+	"io"
+	"testing"
+
+	"nodesentry"
+	"nodesentry/internal/experiments"
+)
+
+func BenchmarkTable2DatasetBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard, experiments.Quick)
+	}
+}
+
+func BenchmarkTable3Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(io.Discard)
+	}
+}
+
+func BenchmarkFig1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(io.Discard)
+	}
+}
+
+func BenchmarkFig4JobDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(io.Discard)
+	}
+}
+
+func BenchmarkTable4OverallPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6aTrainingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6a(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6bClusterCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6b(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6cExperts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6c(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6dTopK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6d(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6eMatchPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6e(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6fThresholdWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6f(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8OOMCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTWvsFeatureClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.DTWCost(io.Discard, experiments.Quick)
+	}
+}
+
+func BenchmarkIncrementalTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Incremental(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPUExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GPUExtension(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkageAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LinkageAblation(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureDomainAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FeatureDomainAblation(io.Discard, experiments.Quick)
+	}
+}
+
+func BenchmarkPCAAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PCAAblation(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Deployment benchmarks (§5.1): the per-operation costs of the online
+// path, trained once outside the timed loop.
+
+var deployDetector *nodesentry.Detector
+var deployDataset *nodesentry.Dataset
+
+func deploySetup(b *testing.B) (*nodesentry.Detector, *nodesentry.Dataset) {
+	b.Helper()
+	if deployDetector == nil {
+		ds := nodesentry.BuildDataset(nodesentry.TinyDataset())
+		opts := nodesentry.DefaultOptions()
+		opts.Epochs = 4
+		opts.MaxWindowsPerCluster = 60
+		det, err := nodesentry.Train(nodesentry.TrainInputFromDataset(ds), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deployDetector = det
+		deployDataset = ds
+	}
+	return deployDetector, deployDataset
+}
+
+func BenchmarkDeployPatternMatch(b *testing.B) {
+	det, ds := deploySetup(b)
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	hour := int(3600 / ds.Step)
+	if hour > frame.Len() {
+		hour = frame.Len()
+	}
+	hourFrame := frame.Slice(0, hour)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		det.Detect(hourFrame, spans)
+	}
+}
+
+func BenchmarkDeployPerPointLatency(b *testing.B) {
+	det, ds := deploySetup(b)
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(frame, spans)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*frame.Len()), "ns/point")
+}
+
+func BenchmarkTrainOffline(b *testing.B) {
+	ds := nodesentry.BuildDataset(nodesentry.TinyDataset())
+	in := nodesentry.TrainInputFromDataset(ds)
+	opts := nodesentry.DefaultOptions()
+	opts.Epochs = 4
+	opts.MaxWindowsPerCluster = 60
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodesentry.Train(in, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWMSEAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.WMSEAblation(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

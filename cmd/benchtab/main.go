@@ -1,0 +1,100 @@
+// Command benchtab regenerates the paper's tables and figures on the
+// synthetic substrate and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	benchtab -exp table4              # one experiment at full scale
+//	benchtab -exp all -quick         # everything, reduced scale
+//
+// Experiments: table2 table3 table4 table5 fig1 fig4 fig6a fig6b fig6c
+// fig6d fig6e fig6f fig8 dtw incremental deploy all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nodesentry/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, all)")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	w := os.Stdout
+
+	runners := map[string]func() error{
+		"table2": func() error { experiments.Table2(w, scale); return nil },
+		"table3": func() error { experiments.Table3(w); return nil },
+		"table4": func() error { _, err := experiments.Table4(w, scale); return err },
+		"table5": func() error { _, err := experiments.Table5(w, scale); return err },
+		"fig1":   func() error { experiments.Fig1(w); return nil },
+		"fig4":   func() error { experiments.Fig4(w); return nil },
+		"fig6a":  func() error { _, err := experiments.Fig6a(w, scale); return err },
+		"fig6b":  func() error { _, err := experiments.Fig6b(w, scale); return err },
+		"fig6c":  func() error { _, err := experiments.Fig6c(w, scale); return err },
+		"fig6d":  func() error { _, err := experiments.Fig6d(w, scale); return err },
+		"fig6e":  func() error { _, err := experiments.Fig6e(w, scale); return err },
+		"fig6f":  func() error { _, err := experiments.Fig6f(w, scale); return err },
+		"fig8":   func() error { _, err := experiments.Fig8(w, scale); return err },
+		"dtw":    func() error { experiments.DTWCost(w, scale); return nil },
+		"incremental": func() error {
+			_, err := experiments.Incremental(w, scale)
+			return err
+		},
+		"deploy": func() error { _, err := experiments.Deploy(w, scale); return err },
+		"gpu":    func() error { _, err := experiments.GPUExtension(w, scale); return err },
+		"linkage": func() error {
+			_, err := experiments.LinkageAblation(w, scale)
+			return err
+		},
+		"domains": func() error { experiments.FeatureDomainAblation(w, scale); return nil },
+		"pca": func() error {
+			_, err := experiments.PCAAblation(w, scale)
+			return err
+		},
+		"wmse": func() error {
+			_, _, err := experiments.WMSEAblation(w, scale)
+			return err
+		},
+		"faultrecall": func() error {
+			_, err := experiments.FaultRecall(w, scale)
+			return err
+		},
+	}
+	order := []string{
+		"table2", "table3", "fig1", "fig4", "table4", "table5",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
+		"fig8", "dtw", "incremental", "deploy",
+		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
+	}
+
+	run := func(name string) {
+		t0 := time.Now()
+		fmt.Fprintf(w, "--- %s ---\n", name)
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "    (%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := runners[*exp]; !ok {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run(*exp)
+}

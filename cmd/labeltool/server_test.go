@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nodesentry"
+	"nodesentry/internal/labeling"
+)
+
+func testTool(t *testing.T) *tool {
+	t.Helper()
+	cfg := nodesentry.TinyDataset()
+	cfg.Nodes = 2
+	cfg.HorizonDays = 0.5
+	ds := nodesentry.BuildDataset(cfg)
+	return newTool(ds, labeling.NewStore(), t.TempDir())
+}
+
+func get(t *testing.T, h http.HandlerFunc, url string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad JSON from %s: %v", url, err)
+		}
+	}
+	return rec
+}
+
+func post(t *testing.T, h http.HandlerFunc, url, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad JSON from %s: %v", url, err)
+		}
+	}
+	return rec
+}
+
+func TestHandleNodes(t *testing.T) {
+	tl := testTool(t)
+	var nodes []string
+	get(t, tl.handleNodes, "/api/nodes", &nodes)
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestHandleSeries(t *testing.T) {
+	tl := testTool(t)
+	node := tl.ds.Nodes()[0]
+	var resp seriesResponse
+	get(t, tl.handleSeries, "/api/series?node="+node, &resp)
+	if resp.Node != node || len(resp.Times) == 0 || len(resp.Times) != len(resp.Values) {
+		t.Fatalf("series response malformed: %d times %d values", len(resp.Times), len(resp.Values))
+	}
+	if len(resp.Times) > 2000 {
+		t.Error("series not downsampled")
+	}
+	if rec := get(t, tl.handleSeries, "/api/series?node=nope", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown node returned %d", rec.Code)
+	}
+}
+
+func TestLabelCancelRoundTrip(t *testing.T) {
+	tl := testTool(t)
+	node := tl.ds.Nodes()[0]
+	var ivs []map[string]int64
+	post(t, tl.handleLabel, "/api/label", `{"node":"`+node+`","start":100,"end":400}`, &ivs)
+	if len(ivs) != 1 {
+		t.Fatalf("after label: %v", ivs)
+	}
+	post(t, tl.handleCancel, "/api/cancel", `{"node":"`+node+`","start":150,"end":200}`, &ivs)
+	if len(ivs) != 2 {
+		t.Fatalf("after cancel split: %v", ivs)
+	}
+	if rec := post(t, tl.handleLabel, "/api/label", `{"node":"x","start":5,"end":5}`, nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty interval accepted: %d", rec.Code)
+	}
+	if rec := post(t, tl.handleLabel, "/api/label", `not json`, nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON accepted: %d", rec.Code)
+	}
+}
+
+func TestHandleSuggest(t *testing.T) {
+	tl := testTool(t)
+	node := tl.ds.Nodes()[0]
+	var sugs []labeling.Suggestion
+	get(t, tl.handleSuggest, "/api/suggest?node="+node, &sugs)
+	// The statistical engine may or may not fire on this node; the
+	// contract is a well-formed (possibly empty) list.
+	for _, s := range sugs {
+		if s.Node != node || s.Span.End <= s.Span.Start {
+			t.Errorf("malformed suggestion %+v", s)
+		}
+	}
+}
+
+func TestHandleClustersAndMove(t *testing.T) {
+	tl := testTool(t)
+	var resp clustersResponse
+	get(t, tl.handleClusters, "/api/clusters", &resp)
+	if resp.K < 1 || len(resp.Segments) == 0 {
+		t.Fatalf("clusters response %+v", resp)
+	}
+	var mv map[string]any
+	post(t, tl.handleMove, "/api/move", `{"segment":0,"cluster":0}`, &mv)
+	if mv["ok"] != true {
+		t.Errorf("move response %v", mv)
+	}
+	if rec := post(t, tl.handleMove, "/api/move", `{"segment":-1,"cluster":0}`, nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad move accepted: %d", rec.Code)
+	}
+}
+
+func TestHandleSaveAndIndex(t *testing.T) {
+	tl := testTool(t)
+	var ok map[string]any
+	post(t, tl.handleSave, "/api/save", `{}`, &ok)
+	if ok["ok"] != true {
+		t.Error("save failed")
+	}
+	rec := get(t, tl.handleIndex, "/", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "NodeSentry") {
+		t.Error("index page broken")
+	}
+	if rec := get(t, tl.handleIndex, "/nope", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path returned %d", rec.Code)
+	}
+}
+
+func TestCLICommands(t *testing.T) {
+	tl := testTool(t)
+	node := tl.ds.Nodes()[0]
+	cases := [][]string{
+		{"label", node, "100", "400"},
+		{"cancel", node, "150", "200"},
+		{"list"},
+		{"suggest", node},
+		{"clusters"},
+		{"move", "0", "0"},
+		{"save"},
+	}
+	for _, args := range cases {
+		if err := tl.runCLI(args); err != nil {
+			t.Errorf("CLI %v: %v", args, err)
+		}
+	}
+	for _, bad := range [][]string{
+		{"unknown"}, {"label", node, "x", "y"}, {"move", "a", "b"}, {"label", node},
+	} {
+		if err := tl.runCLI(bad); err == nil {
+			t.Errorf("CLI %v should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodesentry"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigOverlays(t *testing.T) {
+	path := writeConfig(t, `{
+		"epochs": 7,
+		"k_sigma": 3.5,
+		"pca_dims": 8,
+		"model": {"experts": 5, "top_k": 2}
+	}`)
+	opts, err := loadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Epochs != 7 || opts.KSigma != 3.5 || opts.PCADims != 8 {
+		t.Errorf("overlay wrong: %+v", opts)
+	}
+	if opts.Model.Experts != 5 || opts.Model.TopK != 2 {
+		t.Errorf("model overlay wrong: %+v", opts.Model)
+	}
+	// Untouched fields keep their defaults.
+	def := nodesentry.DefaultOptions()
+	if opts.WindowLen != def.WindowLen || opts.LR != def.LR {
+		t.Error("defaults disturbed")
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	path := writeConfig(t, `{"epochz": 3}`)
+	if _, err := loadConfig(path); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestLoadConfigRejectsGarbage(t *testing.T) {
+	path := writeConfig(t, `{]`)
+	if _, err := loadConfig(path); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := loadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadConfigEmptyObjectKeepsDefaults(t *testing.T) {
+	path := writeConfig(t, `{}`)
+	opts, err := loadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := nodesentry.DefaultOptions()
+	if opts.Epochs != def.Epochs || opts.KSigma != def.KSigma || opts.Model != def.Model {
+		t.Error("empty config changed defaults")
+	}
+}

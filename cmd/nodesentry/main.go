@@ -1,0 +1,160 @@
+// Command nodesentry trains a detector on a dataset directory and runs
+// online detection, printing evaluation metrics and per-node alarms.
+//
+// Usage:
+//
+//	nodesentry -data ./data/d1 -train -model ./model.bin
+//	nodesentry -data ./data/d1 -model ./model.bin -detect
+//	nodesentry -data ./data/d1 -train -detect            # both, in memory
+//
+// The dataset directory is the layout datagen writes (or any real data
+// converted to it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nodesentry"
+	"nodesentry/internal/labeling"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset directory (required)")
+	train := flag.Bool("train", false, "run the offline training phase")
+	detect := flag.Bool("detect", false, "run online detection on the test split")
+	update := flag.Bool("update", false, "incrementally update the model with the test split (requires -model or -train)")
+	monitor := flag.Bool("monitor", false, "replay the test split through the streaming monitor and print alerts")
+	modelPath := flag.String("model", "", "model file to save (after -train) / load (for -detect)")
+	suggestions := flag.Bool("suggest", false, "print labeling suggestions for detected intervals")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	kmax := flag.Int("kmax", 0, "override the max cluster count for silhouette search")
+	configPath := flag.String("config", "", "JSON config file overlaying the default options (see cmd/nodesentry/config.go)")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "nodesentry: -data is required")
+		os.Exit(2)
+	}
+	ds, err := nodesentry.ImportDataset(*data)
+	if err != nil {
+		log.Fatalf("nodesentry: load dataset: %v", err)
+	}
+	fmt.Printf("dataset: %s\n", ds.Summarize())
+
+	var det *nodesentry.Detector
+	if *train {
+		opts := nodesentry.DefaultOptions()
+		if *configPath != "" {
+			opts, err = loadConfig(*configPath)
+			if err != nil {
+				log.Fatalf("nodesentry: %v", err)
+			}
+		}
+		if *epochs > 0 {
+			opts.Epochs = *epochs
+		}
+		if *kmax > 0 {
+			opts.KMax = *kmax
+		}
+		det, err = nodesentry.Train(nodesentry.TrainInputFromDataset(ds), opts)
+		if err != nil {
+			log.Fatalf("nodesentry: train: %v", err)
+		}
+		st := det.Stats
+		fmt.Printf("trained: %d segments -> %d clusters (silhouette %.3f), %d metrics after reduction, %v\n",
+			st.Segments, st.Clusters, st.Silhouette, st.ReducedDim, st.TrainDuration.Round(1e6))
+		if *modelPath != "" {
+			f, err := os.Create(*modelPath)
+			if err != nil {
+				log.Fatalf("nodesentry: create model file: %v", err)
+			}
+			if err := det.Save(f); err != nil {
+				log.Fatalf("nodesentry: save model: %v", err)
+			}
+			f.Close()
+			fmt.Printf("model saved to %s\n", *modelPath)
+		}
+	} else if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatalf("nodesentry: open model: %v", err)
+		}
+		det, err = nodesentry.LoadDetector(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("nodesentry: load model: %v", err)
+		}
+		fmt.Printf("model loaded from %s (%d clusters)\n", *modelPath, det.NumClusters())
+	}
+
+	if *update {
+		if det == nil {
+			log.Fatal("nodesentry: -update needs -train or -model")
+		}
+		matched, spawned := 0, 0
+		for _, node := range ds.Nodes() {
+			frame := ds.TestFrames()[node]
+			spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+			rep := det.IncrementalUpdate(frame, spans, 2)
+			matched += rep.MatchedSegments
+			spawned += rep.SpawnedClusters
+		}
+		fmt.Printf("incremental update: %d segments matched, %d clusters spawned (library now %d)\n",
+			matched, spawned, det.NumClusters())
+		if *modelPath != "" {
+			f, err := os.Create(*modelPath)
+			if err != nil {
+				log.Fatalf("nodesentry: rewrite model: %v", err)
+			}
+			if err := det.Save(f); err != nil {
+				log.Fatalf("nodesentry: save model: %v", err)
+			}
+			f.Close()
+		}
+	}
+
+	if *monitor {
+		if det == nil {
+			log.Fatal("nodesentry: -monitor needs -train or -model")
+		}
+		mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{Step: ds.Step, ScoringWorkers: 3})
+		if err != nil {
+			log.Fatalf("nodesentry: monitor: %v", err)
+		}
+		alerts := nodesentry.ReplayDataset(ds, mon, ds.SplitTime(), ds.Horizon)
+		fmt.Printf("monitor replay: %d alerts (%d dropped)\n", len(alerts), mon.Dropped())
+		for _, a := range alerts {
+			prio := "warning "
+			if a.Priority == nodesentry.Critical {
+				prio = "CRITICAL"
+			}
+			fmt.Printf("[%s] t=%d %s job=%d score=%.1f -> %s: %s\n",
+				prio, a.Time, a.Node, a.Job, a.Score, a.Diagnosis.Level, a.Diagnosis.Remediation)
+		}
+	}
+
+	if !*detect {
+		return
+	}
+	if det == nil {
+		log.Fatal("nodesentry: -detect needs -train or -model")
+	}
+	sum := nodesentry.EvaluateDetector(det, ds)
+	fmt.Printf("evaluation: P=%.3f R=%.3f AUC=%.3f F1=%.3f\n",
+		sum.Precision, sum.Recall, sum.AUC, sum.F1)
+
+	if *suggestions {
+		test := ds.TestFrames()
+		for _, node := range ds.Nodes() {
+			frame := test[node]
+			spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+			res := det.Detect(frame, spans)
+			for _, s := range labeling.Suggest(frame, res.Scores, res.Preds, "nodesentry") {
+				fmt.Printf("suggest %-10s [%d, %d) peak=%.2f\n", s.Node, s.Span.Start, s.Span.End, s.Score)
+			}
+		}
+	}
+}

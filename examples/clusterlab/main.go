@@ -1,0 +1,68 @@
+// Clusterlab walks the labeling-tool workflow (paper §4.2) as a library
+// user: extract job segments and their features, cluster them with
+// silhouette-guided HAC, inspect and adjust the grouping, then run a
+// detector and turn its alarms into labeling suggestions an operator can
+// accept.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nodesentry"
+)
+
+func main() {
+	ds := nodesentry.BuildDataset(nodesentry.TinyDataset())
+
+	// 1. Coarse clustering of the training window's job segments — the
+	//    same computation NodeSentry's offline phase performs.
+	F, segs := nodesentry.SegmentFeatures(ds, 0, ds.SplitTime(), 16)
+	cs := nodesentry.NewClusterSession(F, segs, 2, 10)
+	fmt.Printf("clustered %d segments into %d clusters (silhouette %.3f)\n",
+		len(segs), cs.NumClusters(), cs.Silhouette())
+	counts := map[int]int{}
+	for _, l := range cs.Labels() {
+		counts[l]++
+	}
+	for c := 0; c < cs.NumClusters(); c++ {
+		fmt.Printf("  cluster %d: %d segments\n", c, counts[c])
+	}
+
+	// 2. Operator adjustment: second-guess the algorithm and watch the
+	//    silhouette respond; the session tracks what was moved.
+	if len(segs) > 0 {
+		target := (cs.Labels()[0] + 1) % cs.NumClusters()
+		if err := cs.Move(0, target); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("moved segment 0 to cluster %d: silhouette now %.3f (%d adjusted)\n",
+			target, cs.Silhouette(), cs.Adjusted())
+	}
+
+	// 3. Detector-assisted labeling: run NodeSentry and convert alarms
+	//    into suggestions, then accept them into a labeling session.
+	det, err := nodesentry.Train(nodesentry.TrainInputFromDataset(ds), nodesentry.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := nodesentry.NewLabelStore()
+	total := 0
+	for _, node := range ds.Nodes() {
+		frame := ds.TestFrames()[node]
+		spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+		res := det.Detect(frame, spans)
+		for _, sug := range nodesentry.SuggestLabels(frame, res, "nodesentry") {
+			if err := store.Accept(sug); err != nil {
+				log.Fatal(err)
+			}
+			total++
+		}
+	}
+	fmt.Printf("accepted %d suggestions into the labeling session\n", total)
+	for _, node := range ds.Nodes() {
+		for _, iv := range store.Labels()[node] {
+			fmt.Printf("  %s labeled [%d, %d)\n", node, iv.Start, iv.End)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// OOM case study (paper §5.2 / Fig. 8): memory leaks grow on compute nodes
+// until the job fails; NodeSentry should raise the alarm well before the
+// failure — the paper reports a 54-minute lead — giving operators time to
+// checkpoint or migrate the job.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nodesentry"
+)
+
+func main() {
+	// A dataset whose test-split faults are exclusively slow memory leaks.
+	cfg := nodesentry.TinyDataset()
+	cfg.Name = "oom-case"
+	cfg.FaultTypes = []string{"memory-leak"}
+	cfg.FaultsPerNode = 1.5
+	cfg.MeanFaultDuration = 5400 // slow 90-minute leaks
+	ds := nodesentry.BuildDataset(cfg)
+	fmt.Printf("dataset %s: %d memory-leak faults injected\n", ds.Name, len(ds.Faults))
+
+	// Slow leaks produce gentle score ramps, so use the paper's more
+	// sensitive 3-sigma setting rather than this substrate's calibrated
+	// 4-sigma default.
+	opts := nodesentry.DefaultOptions()
+	opts.KSigma = 3
+	det, err := nodesentry.Train(nodesentry.TrainInputFromDataset(ds), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Treat the end of each leak as the "job failure" moment and measure
+	// how far in advance the first alarm fires.
+	detected := 0
+	var totalLead time.Duration
+	for _, f := range ds.Faults {
+		frame := ds.TestFrames()[f.Node]
+		spans := ds.SpansForNode(f.Node, ds.SplitTime(), ds.Horizon)
+		res := det.Detect(frame, spans)
+		lo := frame.IndexOf(f.Start)
+		hi := frame.IndexOf(f.End)
+		first := -1
+		for i := lo; i < hi; i++ {
+			if res.Preds[i] {
+				first = i
+				break
+			}
+		}
+		dur := time.Duration(f.End-f.Start) * time.Second
+		if first < 0 {
+			fmt.Printf("%s leak (%v): NOT detected before failure\n", f.Node, dur)
+			continue
+		}
+		lead := time.Duration(f.End-frame.TimeAt(first)) * time.Second
+		detected++
+		totalLead += lead
+		fmt.Printf("%s leak (%v): alarm %v before job failure\n", f.Node, dur, lead)
+	}
+	if detected > 0 {
+		fmt.Printf("\ndetected %d/%d leaks, mean lead time %v (paper's case: 54 min)\n",
+			detected, len(ds.Faults), (totalLead / time.Duration(detected)).Round(time.Minute))
+	}
+}

@@ -1,0 +1,3 @@
+module nodesentry
+
+go 1.22

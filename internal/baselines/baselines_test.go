@@ -1,0 +1,117 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/eval"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+var fixtureCache *fixtureData
+
+type fixtureData struct {
+	ds *dataset.Dataset
+	in core.TrainInput
+}
+
+func fixture(t *testing.T) *fixtureData {
+	t.Helper()
+	if fixtureCache != nil {
+		return fixtureCache
+	}
+	ds := dataset.Build(dataset.Tiny())
+	in := core.TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: map[string][]int{},
+	}
+	for sem, rows := range telemetry.SemanticIndex(ds.Catalog) {
+		in.SemanticGroups[sem] = rows
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	fixtureCache = &fixtureData{ds: ds, in: in}
+	return fixtureCache
+}
+
+func allBaselines() []Detector {
+	return []Detector{NewISC20(1), NewExaMon(2), NewProdigy(3), NewRUAD(4)}
+}
+
+func TestAllBaselinesTrainAndDetect(t *testing.T) {
+	fx := fixture(t)
+	ds := fx.ds
+	for _, b := range allBaselines() {
+		if err := b.Train(fx.in, ds.Step); err != nil {
+			t.Fatalf("%s: Train: %v", b.Name(), err)
+		}
+		if b.TrainDuration() <= 0 {
+			t.Errorf("%s: no train duration recorded", b.Name())
+		}
+		var results []eval.NodeResult
+		test := ds.TestFrames()
+		for _, node := range ds.Nodes() {
+			frame := test[node]
+			spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+			scores, preds := b.Detect(frame, spans)
+			if len(scores) != frame.Len() || len(preds) != frame.Len() {
+				t.Fatalf("%s: output misaligned on %s", b.Name(), node)
+			}
+			for i, s := range scores {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("%s: bad score at %d: %v", b.Name(), i, s)
+				}
+			}
+			label := ds.Labels.Mask(frame)
+			ignore := eval.TransitionIgnoreMask(frame, spans, 60)
+			results = append(results, eval.EvaluateNode(scores, preds, label, ignore))
+		}
+		s := eval.Aggregate(results)
+		t.Logf("%s on tiny: P=%.3f R=%.3f AUC=%.3f F1=%.3f (train %v)",
+			b.Name(), s.Precision, s.Recall, s.AUC, s.F1, b.TrainDuration())
+		// Every baseline must at least beat coin-flip AUC on obvious faults.
+		if !math.IsNaN(s.AUC) && s.AUC < 0.5 {
+			t.Errorf("%s: AUC %.3f below random", b.Name(), s.AUC)
+		}
+	}
+}
+
+func TestBaselineNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range allBaselines() {
+		if seen[b.Name()] {
+			t.Errorf("duplicate baseline name %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+}
+
+func TestTrainFailsOnEmptyInput(t *testing.T) {
+	for _, b := range allBaselines() {
+		if err := b.Train(core.TrainInput{}, 60); err == nil {
+			t.Errorf("%s: empty Train should fail", b.Name())
+		}
+	}
+}
+
+func TestDetectUnseenNodeFallsBack(t *testing.T) {
+	fx := fixture(t)
+	ds := fx.ds
+	for _, b := range []Detector{NewExaMon(5), NewRUAD(6)} {
+		if err := b.Train(fx.in, ds.Step); err != nil {
+			t.Fatal(err)
+		}
+		node := ds.Nodes()[0]
+		frame := ds.TestFrames()[node].Clone()
+		frame.Node = "unseen-node"
+		scores, _ := b.Detect(frame, nil)
+		if len(scores) != frame.Len() {
+			t.Errorf("%s: fallback detection failed", b.Name())
+		}
+	}
+}

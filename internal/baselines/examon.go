@@ -1,0 +1,146 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/nn"
+)
+
+// ExaMon is the Borghesi et al. baseline's unsupervised component: one
+// dense autoencoder per node, trained to reconstruct the node's own metric
+// vectors; the per-sample reconstruction error is the anomaly score. The
+// per-node training is what drives its offline cost up with fleet size
+// (Characteristic 1 of the paper), and the lack of job awareness is what
+// caps its accuracy.
+type ExaMon struct {
+	// Hidden and Bottleneck size the d→Hidden→Bottleneck→Hidden→d net.
+	Hidden, Bottleneck int
+	// Epochs and LR drive Adam.
+	Epochs int
+	LR     float64
+	// Seed controls weight initialization.
+	Seed int64
+
+	pipe   pipeline
+	models map[string]*nn.Sequential
+	global *nn.Sequential // fallback for unseen nodes
+	thr    float64
+	dur    time.Duration
+}
+
+// NewExaMon returns the baseline at CPU-scale sizes.
+func NewExaMon(seed int64) *ExaMon {
+	return &ExaMon{Hidden: 32, Bottleneck: 8, Epochs: 6, LR: 2e-3, Seed: seed}
+}
+
+// Name implements Detector.
+func (b *ExaMon) Name() string { return "ExaMon" }
+
+func (b *ExaMon) newAE(dim int, rng *rand.Rand) *nn.Sequential {
+	return &nn.Sequential{Layers: []nn.Layer{
+		nn.NewDense(dim, b.Hidden, rng),
+		&nn.GELU{},
+		nn.NewDense(b.Hidden, b.Bottleneck, rng),
+		&nn.GELU{},
+		nn.NewDense(b.Bottleneck, b.Hidden, rng),
+		&nn.GELU{},
+		nn.NewDense(b.Hidden, dim, rng),
+	}}
+}
+
+func trainAE(model *nn.Sequential, X *mat.Matrix, epochs int, lr float64, rng *rand.Rand) {
+	opt := nn.NewAdam(model.Params(), lr)
+	const batch = 32
+	idx := make([]int, X.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < len(idx); lo += batch {
+			hi := lo + batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			xb := mat.New(hi-lo, X.Cols)
+			for i := lo; i < hi; i++ {
+				copy(xb.Row(i-lo), X.Row(idx[i]))
+			}
+			out := model.Forward(xb)
+			_, grad := nn.MSE(out, xb)
+			model.Backward(grad)
+			nn.ClipGradients(model.Params(), 5)
+			opt.Step()
+		}
+	}
+}
+
+// Train implements Detector: one autoencoder per node.
+func (b *ExaMon) Train(in core.TrainInput, step int64) error {
+	start := time.Now()
+	frames, err := b.pipe.fit(in)
+	if err != nil {
+		return err
+	}
+	b.models = make(map[string]*nn.Sequential, len(frames))
+	nodes := make([]string, 0, len(frames))
+	for n := range frames {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var dim int
+	// Independent models: train them in parallel across nodes.
+	models := make([]*nn.Sequential, len(nodes))
+	mat.ParallelItems(len(nodes), func(i int) {
+		f := frames[nodes[i]]
+		rng := rand.New(rand.NewSource(b.Seed + int64(i)))
+		X := mat.FromRows(sampleVectors(map[string]*mts.NodeFrame{nodes[i]: f}, 2048))
+		model := b.newAE(f.NumMetrics(), rng)
+		trainAE(model, X, b.Epochs, b.LR, rng)
+		models[i] = model
+	})
+	for i, node := range nodes {
+		b.models[node] = models[i]
+		dim = frames[node].NumMetrics()
+	}
+	// Fleet-level fallback for unseen nodes.
+	rng := rand.New(rand.NewSource(b.Seed - 1))
+	Xall := mat.FromRows(sampleVectors(frames, 256))
+	b.global = b.newAE(dim, rng)
+	trainAE(b.global, Xall, b.Epochs, b.LR, rng)
+	// Calibrate the static threshold on training reconstruction errors.
+	var trainScores []float64
+	for _, node := range nodes {
+		X := mat.FromRows(sampleVectors(map[string]*mts.NodeFrame{node: frames[node]}, 512))
+		out := b.models[node].Forward(X)
+		trainScores = append(trainScores, nn.ReconErrors(out, X, nil)...)
+	}
+	b.thr = calibrateThreshold(sanitize(trainScores))
+	b.dur = time.Since(start)
+	return nil
+}
+
+// Detect implements Detector.
+func (b *ExaMon) Detect(frame *mts.NodeFrame, spans []mts.JobSpan) ([]float64, []bool) {
+	f := b.pipe.apply(frame)
+	model, ok := b.models[f.Node]
+	if !ok {
+		model = b.global
+	}
+	X := mat.New(f.Len(), f.NumMetrics())
+	for t := 0; t < f.Len(); t++ {
+		copy(X.Row(t), f.Window(t))
+	}
+	out := model.Forward(X)
+	scores := nn.ReconErrors(out, X, nil)
+	sanitize(scores)
+	return scores, applyThreshold(scores, b.thr)
+}
+
+// TrainDuration implements Detector.
+func (b *ExaMon) TrainDuration() time.Duration { return b.dur }

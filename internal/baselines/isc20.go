@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"time"
+
+	"nodesentry/internal/cluster"
+	"nodesentry/internal/core"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+)
+
+// ISC20 is the Ozer et al. (ISC-HPC '20 workshops) baseline: fit a Bayesian
+// Gaussian mixture to the fleet's metric vectors and score each test sample
+// by its minimum Mahalanobis distance to a component. The variational
+// Dirichlet prior is emulated by EM with component pruning (see
+// cluster.FitGMM). It is by far the cheapest method to train — and, as in
+// Table 4, the weakest detector, since a static Gaussian density cannot
+// track job-dependent pattern changes.
+type ISC20 struct {
+	// Components is the initial mixture size before pruning.
+	Components int
+	// Seed controls k-means initialization.
+	Seed int64
+
+	pipe pipeline
+	gmm  *cluster.GMM
+	thr  float64
+	dur  time.Duration
+}
+
+// NewISC20 returns the baseline with the configuration used in the paper's
+// comparison.
+func NewISC20(seed int64) *ISC20 { return &ISC20{Components: 8, Seed: seed} }
+
+// Name implements Detector.
+func (b *ISC20) Name() string { return "ISC 20" }
+
+// Train implements Detector.
+func (b *ISC20) Train(in core.TrainInput, step int64) error {
+	start := time.Now()
+	frames, err := b.pipe.fit(in)
+	if err != nil {
+		return err
+	}
+	vecs := sampleVectors(frames, 1024)
+	X := mat.FromRows(vecs)
+	b.gmm = cluster.FitGMM(X, b.Components, 25, b.Seed, 0.02)
+	trainScores := make([]float64, len(vecs))
+	for i, v := range vecs {
+		trainScores[i] = b.gmm.MahalanobisMin(v)
+	}
+	b.thr = calibrateThreshold(sanitize(trainScores))
+	b.dur = time.Since(start)
+	return nil
+}
+
+// Detect implements Detector.
+func (b *ISC20) Detect(frame *mts.NodeFrame, spans []mts.JobSpan) ([]float64, []bool) {
+	f := b.pipe.apply(frame)
+	scores := make([]float64, f.Len())
+	for t := range scores {
+		scores[t] = b.gmm.MahalanobisMin(f.Window(t))
+	}
+	sanitize(scores)
+	return scores, applyThreshold(scores, b.thr)
+}
+
+// TrainDuration implements Detector.
+func (b *ISC20) TrainDuration() time.Duration { return b.dur }

@@ -1,0 +1,238 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/nn"
+)
+
+// Prodigy is the Aksar et al. (SC '23) baseline: a variational autoencoder
+// over per-sample feature vectors. Following Prodigy's
+// feature-extraction-then-VAE design, each input concatenates the current
+// metric vector with the rolling mean and standard deviation of a short
+// trailing window, and a single fleet-wide VAE scores reconstruction error.
+type Prodigy struct {
+	// Hidden and Latent size the VAE.
+	Hidden, Latent int
+	// Window is the trailing feature window in samples.
+	Window int
+	// Beta weighs the KL term.
+	Beta float64
+	// Epochs and LR drive Adam.
+	Epochs int
+	LR     float64
+	// Seed controls initialization and sampling.
+	Seed int64
+
+	pipe pipeline
+	vae  *vae
+	thr  float64
+	dur  time.Duration
+}
+
+// NewProdigy returns the baseline at CPU-scale sizes.
+func NewProdigy(seed int64) *Prodigy {
+	return &Prodigy{Hidden: 48, Latent: 8, Window: 8, Beta: 0.1, Epochs: 6, LR: 2e-3, Seed: seed}
+}
+
+// Name implements Detector.
+func (b *Prodigy) Name() string { return "Prodigy" }
+
+// featurize builds the rolling-window feature matrix of a frame.
+func (b *Prodigy) featurize(f *mts.NodeFrame) *mat.Matrix {
+	d := f.NumMetrics()
+	T := f.Len()
+	X := mat.New(T, 3*d)
+	for t := 0; t < T; t++ {
+		row := X.Row(t)
+		lo := t - b.Window
+		if lo < 0 {
+			lo = 0
+		}
+		n := float64(t - lo + 1)
+		for m := 0; m < d; m++ {
+			v := f.Data[m][t]
+			row[m] = v
+			mean := 0.0
+			for s := lo; s <= t; s++ {
+				mean += f.Data[m][s]
+			}
+			mean /= n
+			vr := 0.0
+			for s := lo; s <= t; s++ {
+				dv := f.Data[m][s] - mean
+				vr += dv * dv
+			}
+			row[d+m] = mean
+			row[2*d+m] = math.Sqrt(vr / n)
+		}
+	}
+	return X
+}
+
+// Train implements Detector.
+func (b *Prodigy) Train(in core.TrainInput, step int64) error {
+	start := time.Now()
+	frames, err := b.pipe.fit(in)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	for _, node := range sortedKeys(frames) {
+		X := b.featurize(frames[node])
+		stride := 1
+		if X.Rows > 1024 {
+			stride = X.Rows / 1024
+		}
+		for t := 0; t < X.Rows; t += stride {
+			rows = append(rows, append([]float64(nil), X.Row(t)...))
+		}
+	}
+	X := mat.FromRows(rows)
+	rng := rand.New(rand.NewSource(b.Seed))
+	b.vae = newVAE(X.Cols, b.Hidden, b.Latent, rng)
+	b.vae.train(X, b.Epochs, b.LR, b.Beta, rng)
+	out := b.vae.reconstructDeterministic(X)
+	b.thr = calibrateThreshold(sanitize(nn.ReconErrors(out, X, nil)))
+	b.dur = time.Since(start)
+	return nil
+}
+
+// Detect implements Detector.
+func (b *Prodigy) Detect(frame *mts.NodeFrame, spans []mts.JobSpan) ([]float64, []bool) {
+	f := b.pipe.apply(frame)
+	X := b.featurize(f)
+	out := b.vae.reconstructDeterministic(X)
+	scores := nn.ReconErrors(out, X, nil)
+	sanitize(scores)
+	return scores, applyThreshold(scores, b.thr)
+}
+
+// TrainDuration implements Detector.
+func (b *Prodigy) TrainDuration() time.Duration { return b.dur }
+
+func sortedKeys(m map[string]*mts.NodeFrame) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// vae is a diagonal-Gaussian VAE with hand-written backward through the
+// reparameterization trick.
+type vae struct {
+	enc    *nn.Sequential
+	muHead *nn.Dense
+	lvHead *nn.Dense
+	dec    *nn.Sequential
+}
+
+func newVAE(dim, hidden, latent int, rng *rand.Rand) *vae {
+	return &vae{
+		enc: &nn.Sequential{Layers: []nn.Layer{
+			nn.NewDense(dim, hidden, rng), &nn.GELU{},
+		}},
+		muHead: nn.NewDense(hidden, latent, rng),
+		lvHead: nn.NewDense(hidden, latent, rng),
+		dec: &nn.Sequential{Layers: []nn.Layer{
+			nn.NewDense(latent, hidden, rng), &nn.GELU{},
+			nn.NewDense(hidden, dim, rng),
+		}},
+	}
+}
+
+func (v *vae) params() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, v.enc.Params()...)
+	out = append(out, v.muHead.Params()...)
+	out = append(out, v.lvHead.Params()...)
+	out = append(out, v.dec.Params()...)
+	return out
+}
+
+// step runs one forward/backward on a batch and returns the total loss.
+func (v *vae) step(xb *mat.Matrix, beta float64, rng *rand.Rand) float64 {
+	h := v.enc.Forward(xb)
+	mu := v.muHead.Forward(h)
+	lv := v.lvHead.Forward(h)
+	// Clamp logvar for numerical stability.
+	for i, val := range lv.Data {
+		if val > 6 {
+			lv.Data[i] = 6
+		} else if val < -6 {
+			lv.Data[i] = -6
+		}
+	}
+	eps := mat.New(mu.Rows, mu.Cols)
+	z := mat.New(mu.Rows, mu.Cols)
+	for i := range z.Data {
+		eps.Data[i] = rng.NormFloat64()
+		z.Data[i] = mu.Data[i] + math.Exp(0.5*lv.Data[i])*eps.Data[i]
+	}
+	out := v.dec.Forward(z)
+	recLoss, dOut := nn.MSE(out, xb)
+	dz := v.dec.Backward(dOut)
+
+	n := float64(len(mu.Data))
+	kl := 0.0
+	dMu := mat.New(mu.Rows, mu.Cols)
+	dLv := mat.New(mu.Rows, mu.Cols)
+	for i := range mu.Data {
+		ev := math.Exp(lv.Data[i])
+		kl += 0.5 * (ev + mu.Data[i]*mu.Data[i] - 1 - lv.Data[i])
+		// Reparameterization path.
+		dMu.Data[i] = dz.Data[i]
+		dLv.Data[i] = dz.Data[i] * eps.Data[i] * 0.5 * math.Exp(0.5*lv.Data[i])
+		// KL path (mean-normalized).
+		dMu.Data[i] += beta * mu.Data[i] / n
+		dLv.Data[i] += beta * 0.5 * (ev - 1) / n
+	}
+	kl /= n
+	dh := v.muHead.Backward(dMu)
+	mat.AddInPlace(dh, v.lvHead.Backward(dLv))
+	v.enc.Backward(dh)
+	return recLoss + beta*kl
+}
+
+func (v *vae) train(X *mat.Matrix, epochs int, lr, beta float64, rng *rand.Rand) {
+	opt := nn.NewAdam(v.params(), lr)
+	const batch = 32
+	idx := make([]int, X.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < len(idx); lo += batch {
+			hi := lo + batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			xb := mat.New(hi-lo, X.Cols)
+			for i := lo; i < hi; i++ {
+				copy(xb.Row(i-lo), X.Row(idx[i]))
+			}
+			v.step(xb, beta, rng)
+			nn.ClipGradients(v.params(), 5)
+			opt.Step()
+		}
+	}
+}
+
+// reconstructDeterministic decodes from the posterior mean (eps = 0).
+func (v *vae) reconstructDeterministic(X *mat.Matrix) *mat.Matrix {
+	h := v.enc.Forward(X)
+	mu := v.muHead.Forward(h)
+	return v.dec.Forward(mu)
+}

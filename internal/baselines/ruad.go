@@ -1,0 +1,170 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/nn"
+)
+
+// RUAD is the Molan et al. baseline: one LSTM reconstruction model per
+// node, trained on sliding windows of that node's own history. The
+// per-node deep models make it the most expensive method to train — the
+// paper reports 18.94 days of offline training on D1 — while the lack of
+// cross-node pattern sharing limits its accuracy under frequent job
+// transitions.
+type RUAD struct {
+	// Hidden is the LSTM width.
+	Hidden int
+	// Window is the BPTT window length in samples.
+	Window int
+	// Epochs and LR drive Adam.
+	Epochs int
+	LR     float64
+	// Seed controls initialization.
+	Seed int64
+
+	pipe   pipeline
+	models map[string]*lstmAE
+	global *lstmAE
+	thr    float64
+	dur    time.Duration
+}
+
+// NewRUAD returns the baseline at CPU-scale sizes.
+func NewRUAD(seed int64) *RUAD {
+	return &RUAD{Hidden: 24, Window: 20, Epochs: 4, LR: 3e-3, Seed: seed}
+}
+
+// Name implements Detector.
+func (b *RUAD) Name() string { return "RUAD" }
+
+// lstmAE reconstructs each window step from the LSTM hidden state.
+type lstmAE struct {
+	lstm *nn.LSTM
+	head *nn.Dense
+}
+
+func newLSTMAE(dim, hidden int, rng *rand.Rand) *lstmAE {
+	return &lstmAE{lstm: nn.NewLSTM(dim, hidden, rng), head: nn.NewDense(hidden, dim, rng)}
+}
+
+func (m *lstmAE) params() []*nn.Param {
+	return append(m.lstm.Params(), m.head.Params()...)
+}
+
+func (m *lstmAE) forward(x *mat.Matrix) *mat.Matrix {
+	return m.head.Forward(m.lstm.Forward(x))
+}
+
+func (m *lstmAE) backward(grad *mat.Matrix) {
+	m.lstm.Backward(m.head.Backward(grad))
+}
+
+// windowsOf cuts the frame into non-overlapping token windows.
+func windowsOf(f *mts.NodeFrame, winLen int) []*mat.Matrix {
+	var out []*mat.Matrix
+	for lo := 0; lo+winLen <= f.Len(); lo += winLen {
+		w := mat.New(winLen, f.NumMetrics())
+		for t := 0; t < winLen; t++ {
+			copy(w.Row(t), f.Window(lo+t))
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func (b *RUAD) trainOne(f *mts.NodeFrame, seed int64) *lstmAE {
+	rng := rand.New(rand.NewSource(seed))
+	model := newLSTMAE(f.NumMetrics(), b.Hidden, rng)
+	opt := nn.NewAdam(model.params(), b.LR)
+	wins := windowsOf(f, b.Window)
+	for e := 0; e < b.Epochs; e++ {
+		rng.Shuffle(len(wins), func(i, j int) { wins[i], wins[j] = wins[j], wins[i] })
+		for _, w := range wins {
+			out := model.forward(w)
+			_, grad := nn.MSE(out, w)
+			model.backward(grad)
+			nn.ClipGradients(model.params(), 5)
+			opt.Step()
+		}
+	}
+	return model
+}
+
+// Train implements Detector: one LSTM per node, trained in parallel.
+func (b *RUAD) Train(in core.TrainInput, step int64) error {
+	start := time.Now()
+	frames, err := b.pipe.fit(in)
+	if err != nil {
+		return err
+	}
+	nodes := make([]string, 0, len(frames))
+	for n := range frames {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	models := make([]*lstmAE, len(nodes))
+	mat.ParallelItems(len(nodes), func(i int) {
+		models[i] = b.trainOne(frames[nodes[i]], b.Seed+int64(i))
+	})
+	b.models = make(map[string]*lstmAE, len(nodes))
+	for i, node := range nodes {
+		b.models[node] = models[i]
+	}
+	b.global = models[0]
+	// Calibrate the static threshold on training reconstruction errors.
+	var trainScores []float64
+	for i, node := range nodes {
+		for _, w := range windowsOf(frames[node], b.Window) {
+			out := models[i].forward(w)
+			trainScores = append(trainScores, nn.ReconErrors(out, w, nil)...)
+		}
+	}
+	b.thr = calibrateThreshold(sanitize(trainScores))
+	b.dur = time.Since(start)
+	return nil
+}
+
+// Detect implements Detector.
+func (b *RUAD) Detect(frame *mts.NodeFrame, spans []mts.JobSpan) ([]float64, []bool) {
+	f := b.pipe.apply(frame)
+	model, ok := b.models[f.Node]
+	if !ok {
+		model = b.global
+	}
+	scores := make([]float64, f.Len())
+	lo := 0
+	for ; lo+b.Window <= f.Len(); lo += b.Window {
+		w := mat.New(b.Window, f.NumMetrics())
+		for t := 0; t < b.Window; t++ {
+			copy(w.Row(t), f.Window(lo+t))
+		}
+		out := model.forward(w)
+		for t, e := range nn.ReconErrors(out, w, nil) {
+			scores[lo+t] = e
+		}
+	}
+	// Tail: score with a window aligned to the end.
+	if lo < f.Len() && f.Len() >= b.Window {
+		start := f.Len() - b.Window
+		w := mat.New(b.Window, f.NumMetrics())
+		for t := 0; t < b.Window; t++ {
+			copy(w.Row(t), f.Window(start+t))
+		}
+		out := model.forward(w)
+		errs := nn.ReconErrors(out, w, nil)
+		for t := lo; t < f.Len(); t++ {
+			scores[t] = errs[t-start]
+		}
+	}
+	sanitize(scores)
+	return scores, applyThreshold(scores, b.thr)
+}
+
+// TrainDuration implements Detector.
+func (b *RUAD) TrainDuration() time.Duration { return b.dur }

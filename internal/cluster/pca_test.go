@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nodesentry/internal/mat"
+)
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data stretched along (1, 1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(1))
+	X := mat.New(400, 2)
+	for i := 0; i < 400; i++ {
+		a := 5 * rng.NormFloat64()
+		b := 0.2 * rng.NormFloat64()
+		X.Set(i, 0, (a+b)/math.Sqrt2)
+		X.Set(i, 1, (a-b)/math.Sqrt2)
+	}
+	p := FitPCA(X.Clone(), 2)
+	c0 := append([]float64(nil), p.Components.Row(0)...)
+	normalizeSign(c0)
+	want := 1 / math.Sqrt2
+	if math.Abs(c0[0]-want) > 0.05 || math.Abs(c0[1]-want) > 0.05 {
+		t.Errorf("first component %v, want ~[%v %v]", c0, want, want)
+	}
+	if p.Explained[0] < p.Explained[1] {
+		t.Error("components not ordered by explained variance")
+	}
+	ratio := p.ExplainedRatio(TotalVariance(X))
+	if ratio < 0.99 {
+		t.Errorf("2 components on 2-dim data explain %v, want ~1", ratio)
+	}
+}
+
+func TestPCAOrthonormalComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X := mat.New(60, 10)
+	for i := range X.Data {
+		X.Data[i] = rng.NormFloat64()
+	}
+	p := FitPCA(X.Clone(), 4)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			dot := mat.Dot(p.Components.Row(a), p.Components.Row(b))
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("components %d,%d dot %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestPCATransformConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X := mat.New(30, 6)
+	for i := range X.Data {
+		X.Data[i] = rng.NormFloat64()
+	}
+	p := FitPCA(X.Clone(), 3)
+	Y := p.Transform(X)
+	if Y.Rows != 30 || Y.Cols != 3 {
+		t.Fatalf("projection shape %dx%d", Y.Rows, Y.Cols)
+	}
+	for i := 0; i < 5; i++ {
+		v := p.TransformVector(X.Row(i))
+		for c := range v {
+			if math.Abs(v[c]-Y.At(i, c)) > 1e-9 {
+				t.Fatal("TransformVector disagrees with Transform")
+			}
+		}
+	}
+	// Projections are centered.
+	for c := 0; c < 3; c++ {
+		s := 0.0
+		for i := 0; i < 30; i++ {
+			s += Y.At(i, c)
+		}
+		if math.Abs(s/30) > 1e-9 {
+			t.Errorf("component %d projection mean %v", c, s/30)
+		}
+	}
+}
+
+func TestPCAPreservesClusterStructure(t *testing.T) {
+	// Blobs embedded in a high-dim space with noise dims: after PCA the
+	// blob separation must survive (and HAC must recover it).
+	rng := rand.New(rand.NewSource(4))
+	n, noiseDims := 40, 120
+	X := mat.New(n, 2+noiseDims)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		truth[i] = c
+		X.Set(i, 0, float64(c*10)+rng.NormFloat64())
+		X.Set(i, 1, float64(c*10)+rng.NormFloat64())
+		for j := 0; j < noiseDims; j++ {
+			X.Set(i, 2+j, rng.NormFloat64())
+		}
+	}
+	p := FitPCA(X.Clone(), 4)
+	Y := p.Transform(X)
+	res := HACAuto(Y, Average, 2, 6)
+	if res.K != 2 {
+		t.Fatalf("HAC on PCA projection found %d clusters, want 2", res.K)
+	}
+	if !sameClustering(res.Labels, truth) {
+		t.Error("PCA projection lost the blob structure")
+	}
+}
+
+func TestPCADegenerate(t *testing.T) {
+	p := FitPCA(mat.New(0, 5), 3)
+	if p.Components.Rows != 0 {
+		t.Error("empty input should give no components")
+	}
+	// k larger than dims clamps.
+	rng := rand.New(rand.NewSource(5))
+	X := mat.New(10, 3)
+	for i := range X.Data {
+		X.Data[i] = rng.NormFloat64()
+	}
+	p = FitPCA(X.Clone(), 99)
+	if p.Components.Rows != 3 {
+		t.Errorf("k should clamp to 3, got %d", p.Components.Rows)
+	}
+	// Constant data: projections are all zero.
+	C := mat.New(8, 4)
+	for i := range C.Data {
+		C.Data[i] = 7
+	}
+	pc := FitPCA(C.Clone(), 2)
+	Y := pc.Transform(C)
+	for _, v := range Y.Data {
+		if math.Abs(v) > 1e-9 {
+			t.Errorf("constant data projected to %v", v)
+		}
+	}
+}

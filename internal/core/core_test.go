@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/eval"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+// fixture builds a Tiny dataset and its TrainInput once per test binary.
+var fixtureCache *fixtureData
+
+type fixtureData struct {
+	ds *dataset.Dataset
+	in TrainInput
+}
+
+func fixture(t *testing.T) *fixtureData {
+	t.Helper()
+	if fixtureCache != nil {
+		return fixtureCache
+	}
+	ds := dataset.Build(dataset.Tiny())
+	in := TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: semanticGroups(ds.Catalog),
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	fixtureCache = &fixtureData{ds: ds, in: in}
+	return fixtureCache
+}
+
+func semanticGroups(cat []telemetry.Metric) map[string][]int {
+	groups := map[string][]int{}
+	for sem, rows := range telemetry.SemanticIndex(cat) {
+		groups[sem] = rows
+	}
+	return groups
+}
+
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Epochs = 4
+	o.MaxWindowsPerCluster = 80
+	o.KMax = 6
+	o.RepSegments = 4
+	return o
+}
+
+func trainFixture(t *testing.T, opts Options) (*fixtureData, *Detector) {
+	t.Helper()
+	fx := fixture(t)
+	d, err := Train(fx.in, opts)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return fx, d
+}
+
+func TestTrainBasics(t *testing.T) {
+	_, d := trainFixture(t, fastOptions())
+	if d.NumClusters() < 2 {
+		t.Errorf("got %d clusters, want >= 2 (multiple job kinds exist)", d.NumClusters())
+	}
+	if d.Stats.Segments == 0 || d.Stats.ReducedDim == 0 {
+		t.Errorf("stats incomplete: %+v", d.Stats)
+	}
+	// Reduction must shrink the dimension substantially (the catalog has
+	// per-core + affine redundancy).
+	raw := len(fixture(t).ds.Catalog)
+	if d.Stats.ReducedDim*2 > raw {
+		t.Errorf("reduced dim %d not much below raw %d", d.Stats.ReducedDim, raw)
+	}
+	if d.Stats.TrainDuration <= 0 {
+		t.Error("train duration not recorded")
+	}
+	if len(d.ReducedMetricNames()) != d.Stats.ReducedDim {
+		t.Error("reduced metric names inconsistent")
+	}
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	fx, d := trainFixture(t, fastOptions())
+	ds := fx.ds
+	test := ds.TestFrames()
+	var results []eval.NodeResult
+	anyAssignments := false
+	for _, node := range ds.Nodes() {
+		frame := test[node]
+		spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+		res := d.Detect(frame, spans)
+		if len(res.Scores) != frame.Len() || len(res.Preds) != frame.Len() {
+			t.Fatalf("node %s: result length mismatch", node)
+		}
+		for i, s := range res.Scores {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("node %s: score[%d] = %v", node, i, s)
+			}
+		}
+		if len(res.Assignments) > 0 {
+			anyAssignments = true
+		}
+		label := ds.Labels.Mask(frame)
+		ignore := eval.TransitionIgnoreMask(frame, spans, 60)
+		results = append(results, eval.EvaluateNode(res.Scores, res.Preds, label, ignore))
+	}
+	if !anyAssignments {
+		t.Error("no segment assignments recorded")
+	}
+	s := eval.Aggregate(results)
+	t.Logf("tiny end-to-end: P=%.3f R=%.3f AUC=%.3f F1=%.3f", s.Precision, s.Recall, s.AUC, s.F1)
+	if s.AUC < 0.7 {
+		t.Errorf("AUC = %.3f, want >= 0.7 on the easy tiny dataset", s.AUC)
+	}
+	if s.Recall < 0.5 {
+		t.Errorf("recall = %.3f, want >= 0.5", s.Recall)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fx, d := trainFixture(t, fastOptions())
+	ds := fx.ds
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	a := d.Detect(frame, spans)
+	b := d2.Detect(frame, spans)
+	for i := range a.Scores {
+		if math.Abs(a.Scores[i]-b.Scores[i]) > 1e-12 {
+			t.Fatalf("scores diverge at %d: %v vs %v", i, a.Scores[i], b.Scores[i])
+		}
+	}
+	if d2.NumClusters() != d.NumClusters() {
+		t.Errorf("cluster count changed: %d vs %d", d2.NumClusters(), d.NumClusters())
+	}
+}
+
+func TestAblationVariantsTrainAndDetect(t *testing.T) {
+	fx := fixture(t)
+	ds := fx.ds
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+
+	variants := map[string]func(*Options){
+		"C1-single-model":   func(o *Options) { o.DisableClustering = true },
+		"C2-random-cluster": func(o *Options) { o.RandomClusters = true },
+		"C3-equal-chop":     func(o *Options) { o.EqualLengthChopLen = 40 },
+		"C4-flat-pe":        func(o *Options) { o.FlatPositionalEncoding = true },
+		"C5-dense-ffn":      func(o *Options) { o.DenseFFN = true },
+	}
+	for name, mutate := range variants {
+		opts := fastOptions()
+		opts.Epochs = 2
+		opts.MaxWindowsPerCluster = 40
+		mutate(&opts)
+		d, err := Train(fx.in, opts)
+		if err != nil {
+			t.Fatalf("%s: Train: %v", name, err)
+		}
+		if name == "C1-single-model" && d.NumClusters() != 1 {
+			t.Errorf("C1 should have exactly 1 cluster, got %d", d.NumClusters())
+		}
+		res := d.Detect(frame, spans)
+		for i, s := range res.Scores {
+			if math.IsNaN(s) {
+				t.Fatalf("%s: NaN score at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestClusterOverride(t *testing.T) {
+	fx := fixture(t)
+	opts := fastOptions()
+	opts.Epochs = 1
+	opts.MaxWindowsPerCluster = 20
+	opts.ClusterOverride = 3
+	d, err := Train(fx.in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClusters() != 3 {
+		t.Errorf("override produced %d clusters, want 3", d.NumClusters())
+	}
+}
+
+func TestThresholdBehaviour(t *testing.T) {
+	_, d := trainFixture(t, fastOptions())
+	scores := make([]float64, 200)
+	for i := range scores {
+		scores[i] = 1 + 0.01*math.Sin(float64(i))
+	}
+	scores[150] = 10 // an obvious spike
+	preds := d.Threshold(scores, 60)
+	if !preds[150] {
+		t.Error("spike not flagged")
+	}
+	flagged := 0
+	for i, p := range preds {
+		if p && i != 150 {
+			flagged++
+		}
+	}
+	if flagged > 4 {
+		t.Errorf("%d false flags on a near-constant stream", flagged)
+	}
+}
+
+func TestThresholdKMonotone(t *testing.T) {
+	fx := fixture(t)
+	_ = fx
+	scores := make([]float64, 300)
+	for i := range scores {
+		scores[i] = math.Abs(math.Sin(float64(i) * 0.7))
+	}
+	count := func(k float64) int {
+		opts := fastOptions()
+		opts.KSigma = k
+		d := &Detector{opts: opts}
+		n := 0
+		for _, p := range d.Threshold(scores, 60) {
+			if p {
+				n++
+			}
+		}
+		return n
+	}
+	if count(1) < count(3) {
+		t.Error("higher k-sigma should flag fewer points")
+	}
+}
+
+func TestIncrementalUpdateMatchesAndSpawns(t *testing.T) {
+	fx, d := trainFixture(t, fastOptions())
+	ds := fx.ds
+	before := d.NumClusters()
+	node := ds.Nodes()[1]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	rep := d.IncrementalUpdate(frame, spans, 1)
+	if rep.MatchedSegments+rep.UnmatchedSegments == 0 {
+		t.Fatal("incremental update saw no segments")
+	}
+	if rep.SpawnedClusters != d.NumClusters()-before {
+		t.Errorf("spawned %d but library grew by %d", rep.SpawnedClusters, d.NumClusters()-before)
+	}
+	// Detection still functions after the update.
+	res := d.Detect(frame, spans)
+	for _, s := range res.Scores {
+		if math.IsNaN(s) {
+			t.Fatal("NaN score after incremental update")
+		}
+	}
+}
+
+func TestSegmentWindows(t *testing.T) {
+	f := &mts.NodeFrame{
+		Node:    "n",
+		Metrics: []string{"a", "b"},
+		Data: [][]float64{
+			make([]float64, 50),
+			make([]float64, 50),
+		},
+		Start: 0, Step: 60,
+	}
+	for i := 0; i < 50; i++ {
+		f.Data[0][i] = float64(i)
+	}
+	seg := mts.Segment{Node: "n", Lo: 5, Hi: 48} // 43 samples
+	wins := segmentWindows(f, seg, 2, 20)
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3 (2 full + 1 tail)", len(wins))
+	}
+	// Coverage: every position in [0,43) appears at least once.
+	seen := make([]bool, 43)
+	for _, w := range wins {
+		for i, p := range w.positions {
+			seen[p] = true
+			if w.segIDs[i] != 2 {
+				t.Fatal("segID not propagated")
+			}
+			if w.x.At(i, 0) != float64(seg.Lo+p) {
+				t.Fatalf("window data mismatch at pos %d", p)
+			}
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			t.Fatalf("position %d not covered", p)
+		}
+	}
+	// Short segment: single window of its own length.
+	short := segmentWindows(f, mts.Segment{Node: "n", Lo: 0, Hi: 7}, 0, 20)
+	if len(short) != 1 || short[0].x.Rows != 7 {
+		t.Fatalf("short segment windows = %v", len(short))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(TrainInput{}, fastOptions()); err == nil {
+		t.Error("Train with no frames should fail")
+	}
+}
+
+func TestDetectWithoutSpans(t *testing.T) {
+	fx, d := trainFixture(t, fastOptions())
+	ds := fx.ds
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	res := d.Detect(frame, nil)
+	if len(res.Scores) != frame.Len() {
+		t.Fatal("span-less detection did not cover the frame")
+	}
+	if len(res.Assignments) != 1 {
+		t.Errorf("expected a single whole-frame assignment, got %d", len(res.Assignments))
+	}
+}

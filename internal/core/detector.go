@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nodesentry/internal/cluster"
+	"nodesentry/internal/features"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/nn"
+	"nodesentry/internal/preprocess"
+	"nodesentry/internal/stats"
+)
+
+// TrainInput is the offline phase's input: the raw training split of each
+// node plus the scheduler's job spans covering it.
+type TrainInput struct {
+	// Frames maps node name to its raw training frame. Frames are cloned
+	// before mutation.
+	Frames map[string]*mts.NodeFrame
+	// Spans maps node name to its job spans (idle included), clipped to
+	// the training window.
+	Spans map[string][]mts.JobSpan
+	// SemanticGroups optionally maps an aggregated-metric name to the raw
+	// rows it should average (per-core expansions, known aliases). When
+	// nil, every metric stands alone and only Pearson deduplication
+	// reduces the dimension.
+	SemanticGroups map[string][]int
+}
+
+// clusterModel is one entry of the model library: the shared reconstruction
+// model of a cluster plus its MAC-derived loss weights and match radius.
+type clusterModel struct {
+	model   *nn.Reconstructor
+	weights []float64
+	// radius is the 95th-percentile member-to-centroid feature distance,
+	// used online to decide whether a new pattern matches this cluster.
+	radius float64
+	// scale is the median reconstruction error of the cluster's own
+	// training windows; online scores are divided by it so that score
+	// streams are comparable across clusters and one k-sigma threshold
+	// applies to the whole node.
+	scale float64
+}
+
+// TrainStats summarizes the offline phase.
+type TrainStats struct {
+	Segments      int
+	ReducedDim    int
+	Clusters      int
+	Silhouette    float64
+	TrainDuration time.Duration
+	// ClusterSizes[c] is the number of segments assigned to cluster c.
+	ClusterSizes []int
+}
+
+// Detector is a trained NodeSentry instance. Train builds it; Detect and
+// IncrementalUpdate use it. A Detector is safe for concurrent Detect calls
+// on different nodes only if the caller serializes access per cluster
+// model; the simple rule is: Detect from one goroutine, or Clone the
+// detector. (The benchmark harness detects nodes sequentially, as the
+// paper's per-node online latency is the reported quantity.)
+type Detector struct {
+	opts Options
+
+	red       *preprocess.Reduction
+	std       *preprocess.Standardizer
+	featMean  []float64
+	featStd   []float64
+	pca       *cluster.PCA // nil when PCADims == 0
+	centroids *mat.Matrix
+	library   []*clusterModel
+
+	Stats TrainStats
+}
+
+// Train runs the offline phase and returns a ready Detector.
+func Train(in TrainInput, opts Options) (*Detector, error) {
+	start := time.Now()
+	if len(in.Frames) == 0 {
+		return nil, fmt.Errorf("core: no training frames")
+	}
+	d := &Detector{opts: opts}
+
+	// --- Preprocessing ---
+	nodes := sortedNodes(in.Frames)
+	cleaned := make(map[string]*mts.NodeFrame, len(in.Frames))
+	for _, node := range nodes {
+		f := in.Frames[node].Clone()
+		preprocess.Clean(f)
+		cleaned[node] = f
+	}
+	first := cleaned[nodes[0]]
+	d.red = preprocess.PlanReduction(cleaned, first.Metrics, in.SemanticGroups, opts.CorrThreshold)
+	reduced := make(map[string]*mts.NodeFrame, len(cleaned))
+	for node, f := range cleaned {
+		reduced[node] = d.red.Apply(f)
+	}
+	d.std = preprocess.FitStandardizer(reduced, opts.Trim, opts.Clip)
+	for _, f := range reduced {
+		d.std.Apply(f)
+	}
+	d.Stats.ReducedDim = d.red.NumOutput()
+
+	// --- Segmentation ---
+	var segments []mts.Segment
+	for _, node := range nodes {
+		f := reduced[node]
+		if opts.EqualLengthChopLen > 0 { // ablation C3
+			segments = append(segments, preprocess.EqualLengthChop(f, opts.EqualLengthChopLen)...)
+		} else {
+			segments = append(segments, preprocess.Segment(f, in.Spans[node], opts.MinSegmentLen)...)
+		}
+	}
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("core: no segments after preprocessing (min length %d)", opts.MinSegmentLen)
+	}
+	d.Stats.Segments = len(segments)
+
+	// --- Feature extraction & coarse clustering ---
+	F := features.Matrix(reduced, segments)
+	d.featMean, d.featStd = features.NormalizeColumns(F)
+	if opts.PCADims > 0 {
+		d.pca = cluster.FitPCA(F.Clone(), opts.PCADims)
+		F = d.pca.Transform(F)
+	}
+
+	labels, k, sil := d.clusterSegments(F)
+	d.Stats.Clusters = k
+	d.Stats.Silhouette = sil
+	d.centroids = cluster.Centroids(F, labels, k)
+	d.Stats.ClusterSizes = make([]int, k)
+	for _, l := range labels {
+		d.Stats.ClusterSizes[l]++
+	}
+
+	// --- Fine-grained model sharing: one shared model per cluster ---
+	d.library = make([]*clusterModel, k)
+	mat.ParallelItems(k, func(c int) {
+		d.library[c] = d.trainClusterModel(c, F, labels, segments, reduced)
+	})
+
+	d.Stats.TrainDuration = time.Since(start)
+	return d, nil
+}
+
+// clusterSegments produces the coarse labels, honoring the ablation
+// switches: C1 (single cluster), C2 (random grouping), or the standard
+// silhouette-guided HAC, optionally overridden to an exact k.
+func (d *Detector) clusterSegments(F *mat.Matrix) (labels []int, k int, sil float64) {
+	n := F.Rows
+	switch {
+	case d.opts.DisableClustering: // C1
+		return make([]int, n), 1, 0
+	case d.opts.RandomClusters: // C2: same k as HAC would choose, random membership
+		base := d.autoOrOverride(F)
+		k = maxLabel(base) + 1
+		rng := rand.New(rand.NewSource(d.opts.Seed + 7))
+		labels = make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		ensureNonEmpty(labels, k)
+		return labels, k, 0
+	default:
+		labels = d.autoOrOverride(F)
+		k = maxLabel(labels) + 1
+		return labels, k, cluster.Silhouette(F, labels)
+	}
+}
+
+func (d *Detector) autoOrOverride(F *mat.Matrix) []int {
+	if d.opts.ClusterOverride > 0 {
+		k := d.opts.ClusterOverride
+		if k > F.Rows {
+			k = F.Rows
+		}
+		return cluster.HAC(F, d.opts.Linkage, k)
+	}
+	res := cluster.HACAuto(F, d.opts.Linkage, d.opts.KMin, d.opts.KMax)
+	return res.Labels
+}
+
+func maxLabel(labels []int) int {
+	m := 0
+	for _, l := range labels {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ensureNonEmpty reassigns one element to every empty cluster so that the
+// random-cluster ablation never produces unusable empty groups.
+func ensureNonEmpty(labels []int, k int) {
+	counts := make([]int, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+	next := 0
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			continue
+		}
+		// Steal from the largest cluster.
+		big := 0
+		for i := range counts {
+			if counts[i] > counts[big] {
+				big = i
+			}
+		}
+		for ; next < len(labels); next++ {
+			if labels[next] == big {
+				labels[next] = c
+				counts[big]--
+				counts[c]++
+				break
+			}
+		}
+	}
+}
+
+// trainClusterModel trains the shared model of cluster c on the K segments
+// nearest its centroid (a form of data augmentation per §3.4), with
+// MAC-derived WMSE weights and segment-aware positional encoding.
+func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segments []mts.Segment, frames map[string]*mts.NodeFrame) *clusterModel {
+	reps := cluster.NearestMembers(F, labels, d.centroids.Row(c), c, d.opts.RepSegments)
+	if len(reps) == 0 {
+		reps = []int{0}
+	}
+
+	// Match radius: p95 member-to-centroid distance.
+	var dists []float64
+	for i, l := range labels {
+		if l == c {
+			dists = append(dists, mat.EuclideanDist(F.Row(i), d.centroids.Row(c)))
+		}
+	}
+	radius := stats.Quantile(dists, 0.95)
+
+	// MAC weights over the representative segments' training data.
+	dim := d.red.NumOutput()
+	macs := make([]float64, dim)
+	for m := 0; m < dim; m++ {
+		var total, n float64
+		for _, ri := range reps {
+			seg := segments[ri]
+			row := frames[seg.Node].Data[m][seg.Lo:seg.Hi]
+			total += stats.MAC(row) * float64(len(row))
+			n += float64(len(row))
+		}
+		if n > 0 {
+			macs[m] = total / n
+		}
+	}
+	weights := nn.MACWeights(macs)
+	if d.opts.UniformLossWeights {
+		weights = nil
+	}
+
+	// Build training windows across the representative segments.
+	var wins []trainWindow
+	for segID, ri := range reps {
+		seg := segments[ri]
+		wins = append(wins, segmentWindows(frames[seg.Node], seg, segID, d.opts.WindowLen)...)
+	}
+	rng := rand.New(rand.NewSource(d.opts.Seed + int64(c)*131))
+	rng.Shuffle(len(wins), func(i, j int) { wins[i], wins[j] = wins[j], wins[i] })
+	if d.opts.MaxWindowsPerCluster > 0 && len(wins) > d.opts.MaxWindowsPerCluster {
+		wins = wins[:d.opts.MaxWindowsPerCluster]
+	}
+
+	cfg := d.opts.Model
+	cfg.InputDim = dim
+	cfg.UseMoE = !d.opts.DenseFFN
+	cfg.SegmentAwarePE = !d.opts.FlatPositionalEncoding
+	cfg.Seed = d.opts.Seed + int64(c)*977
+	model := nn.NewReconstructor(cfg)
+	opt := nn.NewAdam(model.Params(), d.opts.LR)
+	for epoch := 0; epoch < d.opts.Epochs; epoch++ {
+		for _, w := range wins {
+			out := model.Forward(w.x, w.positions, w.segIDs)
+			_, grad := nn.WMSE(out, w.x, weights)
+			model.Backward(grad)
+			nn.ClipGradients(model.Params(), 5)
+			opt.Step()
+		}
+	}
+	// Calibrate the cluster's score scale on its own training windows.
+	var trainErrs []float64
+	for _, w := range wins {
+		out := model.Forward(w.x, w.positions, w.segIDs)
+		trainErrs = append(trainErrs, nn.ReconErrors(out, w.x, weights)...)
+	}
+	scale := stats.Median(trainErrs)
+	if !(scale > 1e-9) {
+		scale = 1
+	}
+	return &clusterModel{model: model, weights: weights, radius: radius, scale: scale}
+}
+
+// trainWindow is one token window with its positional metadata.
+type trainWindow struct {
+	x         *mat.Matrix
+	positions []int
+	segIDs    []int
+}
+
+// segmentWindows slices a segment into non-overlapping windows of winLen
+// tokens (the tail is covered by a window aligned to the segment end), with
+// within-segment positions and the segment id for the enhanced positional
+// encoding.
+func segmentWindows(f *mts.NodeFrame, seg mts.Segment, segID, winLen int) []trainWindow {
+	n := seg.Len()
+	if n <= 0 {
+		return nil
+	}
+	var out []trainWindow
+	emit := func(lo, hi int) {
+		w := trainWindow{
+			x:         mat.New(hi-lo, f.NumMetrics()),
+			positions: make([]int, hi-lo),
+			segIDs:    make([]int, hi-lo),
+		}
+		for t := lo; t < hi; t++ {
+			row := w.x.Row(t - lo)
+			for m := range f.Data {
+				row[m] = f.Data[m][seg.Lo+t]
+			}
+			w.positions[t-lo] = seg.Offset + t
+			w.segIDs[t-lo] = segID
+		}
+		out = append(out, w)
+	}
+	if n <= winLen {
+		emit(0, n)
+		return out
+	}
+	lo := 0
+	for ; lo+winLen <= n; lo += winLen {
+		emit(lo, lo+winLen)
+	}
+	if lo < n {
+		emit(n-winLen, n)
+	}
+	return out
+}
+
+func sortedNodes(frames map[string]*mts.NodeFrame) []string {
+	nodes := make([]string, 0, len(frames))
+	for n := range frames {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// NumClusters returns the size of the model library.
+func (d *Detector) NumClusters() int { return len(d.library) }
+
+// ReducedMetricNames returns the names of the metrics surviving reduction.
+func (d *Detector) ReducedMetricNames() []string { return d.red.OutputNames() }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"nodesentry/internal/cluster"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/nn"
+	"nodesentry/internal/preprocess"
+)
+
+// snapshot is the gob wire format of a Detector. Model weights are stored
+// as flat parameter slices; the architecture is rebuilt from Options on
+// load (§3.5: "we save the shared model for each cluster").
+type snapshot struct {
+	Opts      Options
+	Reduction *preprocess.Reduction
+	Std       *preprocess.Standardizer
+	FeatMean  []float64
+	FeatStd   []float64
+	PCA       *cluster.PCA
+	Centroids *mat.Matrix
+	Models    []modelSnapshot
+	Stats     TrainStats
+	InputDim  int
+}
+
+type modelSnapshot struct {
+	Weights []float64
+	Radius  float64
+	Scale   float64
+	Params  [][]float64
+}
+
+// Save serializes the trained detector.
+func (d *Detector) Save(w io.Writer) error {
+	snap := snapshot{
+		Opts:      d.opts,
+		Reduction: d.red,
+		Std:       d.std,
+		FeatMean:  d.featMean,
+		FeatStd:   d.featStd,
+		PCA:       d.pca,
+		Centroids: d.centroids,
+		Stats:     d.Stats,
+		InputDim:  d.red.NumOutput(),
+	}
+	for _, cm := range d.library {
+		ms := modelSnapshot{Weights: cm.weights, Radius: cm.radius, Scale: cm.scale}
+		for _, p := range cm.model.Params() {
+			ms.Params = append(ms.Params, append([]float64(nil), p.W.Data...))
+		}
+		snap.Models = append(snap.Models, ms)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Clone returns an independent deep copy of the detector, safe to use from
+// a different goroutine than the original (layer caches are per instance).
+// It round-trips through the snapshot encoding, so it is exact.
+func (d *Detector) Clone() (*Detector, error) {
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
+}
+
+// Load deserializes a detector saved with Save.
+func Load(r io.Reader) (*Detector, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	d := &Detector{
+		opts:      snap.Opts,
+		red:       snap.Reduction,
+		std:       snap.Std,
+		featMean:  snap.FeatMean,
+		featStd:   snap.FeatStd,
+		pca:       snap.PCA,
+		centroids: snap.Centroids,
+		Stats:     snap.Stats,
+	}
+	for i, ms := range snap.Models {
+		cfg := snap.Opts.Model
+		cfg.InputDim = snap.InputDim
+		cfg.UseMoE = !snap.Opts.DenseFFN
+		cfg.SegmentAwarePE = !snap.Opts.FlatPositionalEncoding
+		cfg.Seed = snap.Opts.Seed + int64(i)*977
+		model := nn.NewReconstructor(cfg)
+		params := model.Params()
+		if len(params) != len(ms.Params) {
+			return nil, fmt.Errorf("core: snapshot model %d has %d params, architecture wants %d",
+				i, len(ms.Params), len(params))
+		}
+		for j, p := range params {
+			if len(p.W.Data) != len(ms.Params[j]) {
+				return nil, fmt.Errorf("core: snapshot model %d param %d size mismatch", i, j)
+			}
+			copy(p.W.Data, ms.Params[j])
+		}
+		d.library = append(d.library, &clusterModel{
+			model:   model,
+			weights: ms.Weights,
+			radius:  ms.Radius,
+			scale:   ms.Scale,
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Failure-injection tests for the import path: a corrupted or truncated
+// dataset directory must produce errors, not panics or silent garbage.
+
+func exportTiny(t *testing.T) string {
+	t.Helper()
+	cfg := Tiny()
+	cfg.Nodes = 2
+	cfg.HorizonDays = 0.2
+	ds := Build(cfg)
+	dir := t.TempDir()
+	if err := ds.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestImportMissingMeta(t *testing.T) {
+	dir := exportTiny(t)
+	os.Remove(filepath.Join(dir, "meta.csv"))
+	if _, err := Import(dir); err == nil {
+		t.Error("missing meta.csv accepted")
+	}
+}
+
+func TestImportMissingNodeData(t *testing.T) {
+	dir := exportTiny(t)
+	os.RemoveAll(filepath.Join(dir, "node_data"))
+	if _, err := Import(dir); err == nil {
+		t.Error("missing node_data accepted")
+	}
+}
+
+func TestImportCorruptFrameCSV(t *testing.T) {
+	dir := exportTiny(t)
+	bad := filepath.Join(dir, "node_data", "cn-0001.csv")
+	if err := os.WriteFile(bad, []byte("timestamp,m1\n123,notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Error("corrupt frame CSV accepted")
+	}
+}
+
+func TestImportEmptyFrameCSV(t *testing.T) {
+	dir := exportTiny(t)
+	bad := filepath.Join(dir, "node_data", "cn-0001.csv")
+	if err := os.WriteFile(bad, []byte("timestamp,m1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Error("header-only frame CSV accepted")
+	}
+}
+
+func TestImportCorruptCatalog(t *testing.T) {
+	dir := exportTiny(t)
+	if err := os.WriteFile(filepath.Join(dir, "catalog.csv"), []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+func TestImportRaggedCSV(t *testing.T) {
+	dir := exportTiny(t)
+	bad := filepath.Join(dir, "node_data", "cn-0001.csv")
+	if err := os.WriteFile(bad, []byte("timestamp,m1,m2\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+func TestImportToleratesMissingValues(t *testing.T) {
+	// Empty cells are the NaN encoding and must import cleanly.
+	dir := exportTiny(t)
+	target := filepath.Join(dir, "node_data", "cn-0001.csv")
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This dataset has MissingRate > 0, so the file likely already has
+	// empty cells; re-importing must succeed regardless.
+	if err := os.WriteFile(target, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err != nil {
+		t.Errorf("import with missing values failed: %v", err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package dataset assembles the scheduling, telemetry and fault substrates
+// into ready-to-use datasets mirroring the paper's D1 and D2: per-node
+// frames, a job accounting table, and ground-truth anomaly labels confined
+// to the test split (training data is assumed normal, as in any
+// unsupervised setting).
+//
+// The presets are scaled-down equivalents of the production datasets — the
+// originals (1,294 nodes × 3,014 metrics × 1 week @ 15 s) are proprietary
+// and would not fit a laptop-scale reproduction; the presets preserve the
+// structural ratios that matter to the method (metric redundancy factor,
+// job mix, anomaly ratio, train/test split).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"nodesentry/internal/faults"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/slurmsim"
+	"nodesentry/internal/telemetry"
+)
+
+// Config parameterizes Build.
+type Config struct {
+	// Name labels the dataset in reports ("D1'", "D2'").
+	Name string
+	// Nodes is the node-pool size.
+	Nodes int
+	// Cores drives per-core metric expansion.
+	Cores int
+	// GPUs enables the §5.3 GPU extension: gpu_* metrics in the catalog
+	// (expanded per device) and GPU workloads in the job mix.
+	GPUs int
+	// HorizonDays is the collected window length in days.
+	HorizonDays float64
+	// Step is the sampling interval in seconds.
+	Step int64
+	// TrainFrac is the time fraction used for training (0.6 in the paper).
+	TrainFrac float64
+	// MissingRate is the sample-loss probability.
+	MissingRate float64
+	// NoiseStd is the per-sample sensor noise (normalized units).
+	NoiseStd float64
+	// FaultsPerNode is the expected injected faults per node in the test
+	// window.
+	FaultsPerNode float64
+	// MeanFaultDuration is the mean fault length in seconds.
+	MeanFaultDuration float64
+	// FaultTypes restricts the injected fault classes (names from
+	// faults.AllTypes, e.g. "memory-leak"); empty means all classes.
+	FaultTypes []string
+	// AffinePerSemantic / ConstantMetrics control catalog redundancy.
+	AffinePerSemantic int
+	ConstantMetrics   int
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// D1Small is the scaled-down equivalent of D1 (large array, wide catalog,
+// one week): 16 nodes, 8 cores, 3 days at 60 s sampling.
+func D1Small() Config {
+	return Config{
+		Name: "D1'", Nodes: 16, Cores: 8, HorizonDays: 3, Step: 60,
+		TrainFrac: 0.6, MissingRate: 0.002, NoiseStd: 0.02,
+		FaultsPerNode: 2, MeanFaultDuration: 1800,
+		AffinePerSemantic: 2, ConstantMetrics: 4, Seed: 1,
+	}
+}
+
+// D2Small is the scaled-down equivalent of D2 (small array, narrower
+// catalog, 8 days): 6 nodes, 4 cores, 4 days at 60 s sampling.
+func D2Small() Config {
+	return Config{
+		Name: "D2'", Nodes: 6, Cores: 4, HorizonDays: 4, Step: 60,
+		TrainFrac: 0.6, MissingRate: 0.002, NoiseStd: 0.02,
+		FaultsPerNode: 1.5, MeanFaultDuration: 1200,
+		AffinePerSemantic: 1, ConstantMetrics: 2, Seed: 2,
+	}
+}
+
+// ArtifactSample mirrors the paper's public artifact: 7 nodes, a
+// ~138-metric view, 17-ish jobs, faults injected during execution.
+func ArtifactSample() Config {
+	return Config{
+		Name: "artifact", Nodes: 7, Cores: 16, HorizonDays: 1, Step: 60,
+		TrainFrac: 0.6, MissingRate: 0.001, NoiseStd: 0.02,
+		FaultsPerNode: 3, MeanFaultDuration: 900,
+		AffinePerSemantic: 2, ConstantMetrics: 6, Seed: 3,
+	}
+}
+
+// GPUCluster is the §5.3 extension preset: an accelerator partition with
+// GPU workloads (training, inference), per-device gpu_* metrics and GPU
+// fault classes.
+func GPUCluster() Config {
+	return Config{
+		Name: "GPU'", Nodes: 8, Cores: 4, GPUs: 4, HorizonDays: 2, Step: 60,
+		TrainFrac: 0.6, MissingRate: 0.002, NoiseStd: 0.02,
+		FaultsPerNode: 2, MeanFaultDuration: 1500,
+		FaultTypes: []string{
+			"gpu-overload", "gpu-memory-exhaustion", "gpu-thermal-throttle",
+			"cpu-overload", "memory-leak", "network-congestion",
+		},
+		AffinePerSemantic: 1, ConstantMetrics: 2, Seed: 11,
+	}
+}
+
+// Tiny is a fast preset for unit/integration tests.
+func Tiny() Config {
+	return Config{
+		Name: "tiny", Nodes: 4, Cores: 2, HorizonDays: 1, Step: 60,
+		TrainFrac: 0.6, MissingRate: 0.002, NoiseStd: 0.02,
+		FaultsPerNode: 2, MeanFaultDuration: 1200,
+		AffinePerSemantic: 1, ConstantMetrics: 2, Seed: 4,
+	}
+}
+
+// Dataset is a fully materialized synthetic dataset.
+type Dataset struct {
+	Name    string
+	Frames  map[string]*mts.NodeFrame
+	Records []slurmsim.Record
+	Kinds   map[int64]string
+	Faults  []faults.Fault
+	Labels  mts.Labels
+	Catalog []telemetry.Metric
+	Step    int64
+	Horizon int64
+	// TrainFrac is the time fraction of the training split.
+	TrainFrac float64
+}
+
+// Build materializes a dataset from the config. Per-node generation runs on
+// the shared worker pool.
+func Build(cfg Config) *Dataset {
+	horizon := int64(cfg.HorizonDays * 24 * 3600)
+	nodes := slurmsim.NodeNames(cfg.Nodes)
+	var kindMix []slurmsim.KindSpec
+	if cfg.GPUs > 0 {
+		kindMix = slurmsim.KindsWithGPU()
+	}
+	recs := slurmsim.Simulate(slurmsim.Config{
+		Nodes:   nodes,
+		Horizon: horizon,
+		Kinds:   kindMix,
+		Seed:    cfg.Seed,
+	})
+	kinds := make(map[int64]string, len(recs))
+	for _, r := range recs {
+		kinds[r.ID] = r.Kind
+	}
+	splitAt := int64(float64(horizon) * cfg.TrainFrac)
+	var faultTypes []faults.Type
+	for _, t := range cfg.FaultTypes {
+		faultTypes = append(faultTypes, faults.Type(t))
+	}
+	campaign := faults.PlanCampaign(faults.CampaignConfig{
+		Nodes:         nodes,
+		Window:        mts.Interval{Start: splitAt, End: horizon},
+		FaultsPerNode: cfg.FaultsPerNode,
+		MeanDuration:  cfg.MeanFaultDuration,
+		Types:         faultTypes,
+		Seed:          cfg.Seed + 101,
+	})
+	overlays := faults.Overlays(campaign)
+	catalog := telemetry.BuildCatalog(telemetry.CatalogOptions{
+		Cores:             cfg.Cores,
+		GPUs:              cfg.GPUs,
+		AffinePerSemantic: cfg.AffinePerSemantic,
+		ConstantMetrics:   cfg.ConstantMetrics,
+	})
+	gen := NewGenerator(cfg, catalog)
+	T := int(horizon / cfg.Step)
+	frames := make([]*mts.NodeFrame, len(nodes))
+	mat.ParallelItems(len(nodes), func(i int) {
+		node := nodes[i]
+		spans := slurmsim.SpansForNode(recs, node, horizon)
+		frames[i] = gen.Generate(node, spans, kinds, T, overlays[node])
+	})
+	frameMap := make(map[string]*mts.NodeFrame, len(nodes))
+	for i, node := range nodes {
+		frameMap[node] = frames[i]
+	}
+	return &Dataset{
+		Name:      cfg.Name,
+		Frames:    frameMap,
+		Records:   recs,
+		Kinds:     kinds,
+		Faults:    campaign,
+		Labels:    faults.Labels(campaign),
+		Catalog:   catalog,
+		Step:      cfg.Step,
+		Horizon:   horizon,
+		TrainFrac: cfg.TrainFrac,
+	}
+}
+
+// NewGenerator returns the telemetry generator a config's Build uses, so
+// callers can regenerate frames with custom fault overlays (e.g. the
+// Fig. 8 case study).
+func NewGenerator(cfg Config, catalog []telemetry.Metric) *telemetry.Generator {
+	return &telemetry.Generator{
+		Catalog:     catalog,
+		Step:        cfg.Step,
+		Seed:        cfg.Seed + 202,
+		NoiseStd:    cfg.NoiseStd,
+		MissingRate: cfg.MissingRate,
+	}
+}
+
+// Nodes returns the dataset's node names in sorted order.
+func (d *Dataset) Nodes() []string {
+	nodes := make([]string, 0, len(d.Frames))
+	for n := range d.Frames {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// SplitTime returns the Unix timestamp separating the training split from
+// the test split.
+func (d *Dataset) SplitTime() int64 {
+	return int64(float64(d.Horizon) * d.TrainFrac)
+}
+
+// TrainFrames returns time-sliced views of each node's training split.
+func (d *Dataset) TrainFrames() map[string]*mts.NodeFrame {
+	return d.sliceFrames(0, d.SplitTime())
+}
+
+// TestFrames returns time-sliced views of each node's test split.
+func (d *Dataset) TestFrames() map[string]*mts.NodeFrame {
+	return d.sliceFrames(d.SplitTime(), d.Horizon)
+}
+
+func (d *Dataset) sliceFrames(from, to int64) map[string]*mts.NodeFrame {
+	out := make(map[string]*mts.NodeFrame, len(d.Frames))
+	for node, f := range d.Frames {
+		out[node] = f.Slice(f.IndexOf(from), f.IndexOf(to))
+	}
+	return out
+}
+
+// SpansForNode returns the node's job spans (idle gaps included) that
+// overlap [from, to). Boundaries are NOT clipped: a span that started
+// before `from` keeps its true start so that consumers can align
+// within-job positions with the job's real timeline (frame indexing clamps
+// out-of-range times safely).
+func (d *Dataset) SpansForNode(node string, from, to int64) []mts.JobSpan {
+	all := slurmsim.SpansForNode(d.Records, node, d.Horizon)
+	var out []mts.JobSpan
+	for _, s := range all {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Summary holds the Table 2 row of a dataset.
+type Summary struct {
+	Name         string
+	Nodes        int
+	Jobs         int
+	Metrics      int
+	TotalPoints  int64
+	AnomalyRatio float64 // over the test split, as in the paper
+}
+
+// Summarize computes the dataset's Table 2 row.
+func (d *Dataset) Summarize() Summary {
+	test := d.TestFrames()
+	testFrames := make([]*mts.NodeFrame, 0, len(test))
+	for _, f := range test {
+		testFrames = append(testFrames, f)
+	}
+	all := make([]*mts.NodeFrame, 0, len(d.Frames))
+	for _, f := range d.Frames {
+		all = append(all, f)
+	}
+	return Summary{
+		Name:         d.Name,
+		Nodes:        len(d.Frames),
+		Jobs:         len(d.Records),
+		Metrics:      len(d.Catalog),
+		TotalPoints:  mts.TotalPoints(all),
+		AnomalyRatio: d.Labels.AnomalyRatio(testFrames),
+	}
+}
+
+// String formats the summary as a Table 2 style row.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-9s %6d nodes %6d jobs %6d metrics %12d points  anomaly %.4f%%",
+		s.Name, s.Nodes, s.Jobs, s.Metrics, s.TotalPoints, 100*s.AnomalyRatio)
+}

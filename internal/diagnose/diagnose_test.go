@@ -1,0 +1,133 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/faults"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+// trainInputOf mirrors the public TrainInputFromDataset helper without
+// importing the root package (which imports this one).
+func trainInputOf(ds *dataset.Dataset) core.TrainInput {
+	in := core.TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: map[string][]int{},
+	}
+	for sem, rows := range telemetry.SemanticIndex(ds.Catalog) {
+		in.SemanticGroups[sem] = rows
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	return in
+}
+
+func trainedFixture(t *testing.T) (*dataset.Dataset, *core.Detector) {
+	t.Helper()
+	cfg := dataset.Tiny()
+	cfg.FaultTypes = []string{string(faults.MemoryExhaustion)}
+	cfg.FaultsPerNode = 2
+	ds := dataset.Build(cfg)
+	opts := core.DefaultOptions()
+	opts.Epochs = 4
+	opts.MaxWindowsPerCluster = 60
+	det, err := core.Train(trainInputOf(ds), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, det
+}
+
+func TestAlarmAttributesMemoryFault(t *testing.T) {
+	ds, det := trainedFixture(t)
+	if len(ds.Faults) == 0 {
+		t.Skip("no faults drawn at this seed")
+	}
+	attributed := 0
+	for _, f := range ds.Faults {
+		frame := ds.TestFrames()[f.Node]
+		mid := frame.IndexOf((f.Start + f.End) / 2)
+		if mid >= frame.Len() {
+			continue
+		}
+		rep := Alarm(det, frame, mid, 5)
+		if len(rep.Findings) == 0 {
+			t.Fatalf("no findings for fault %v", f)
+		}
+		if rep.Level == "Memory" {
+			attributed++
+		}
+		if rep.Remediation == "" {
+			t.Error("missing remediation")
+		}
+		// Findings must be sorted by deviation.
+		for i := 1; i < len(rep.Findings); i++ {
+			if rep.Findings[i].Deviation > rep.Findings[i-1].Deviation {
+				t.Fatal("findings not sorted")
+			}
+		}
+	}
+	if attributed == 0 {
+		t.Errorf("no memory-exhaustion fault attributed to the Memory level")
+	}
+	t.Logf("%d/%d faults attributed to Memory", attributed, len(ds.Faults))
+}
+
+func TestAlarmOutOfRange(t *testing.T) {
+	ds, det := trainedFixture(t)
+	frame := ds.TestFrames()[ds.Nodes()[0]]
+	rep := Alarm(det, frame, -1, 3)
+	if rep.Level != "Unknown" || len(rep.Findings) != 0 {
+		t.Errorf("out-of-range alarm should yield unknown: %+v", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	ds, det := trainedFixture(t)
+	frame := ds.TestFrames()[ds.Nodes()[0]]
+	rep := Alarm(det, frame, frame.Len()/2, 3)
+	s := rep.String()
+	for _, want := range []string{"alarm on", "remediation:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLevelMapping(t *testing.T) {
+	cases := map[string]string{
+		"CPU": "CPU", "Memory": "Memory", "Filesystem": "Disk",
+		"Network": "Network", "Process": "Kernel/OS", "System": "Kernel/OS",
+		"???": "Unknown",
+	}
+	for cat, want := range cases {
+		if got := levelOf(cat); got != want {
+			t.Errorf("levelOf(%s) = %s, want %s", cat, got, want)
+		}
+	}
+	for level := range remediations {
+		if remediations[level] == "" {
+			t.Errorf("level %s has no remediation", level)
+		}
+	}
+}
+
+func TestCategoryOfMetric(t *testing.T) {
+	cases := map[string]string{
+		"mem_used":             "Memory",
+		"node_cpu_busy_total":  "CPU",
+		"node_net_rx_alias0":   "Network",
+		"completely_unrelated": "",
+	}
+	for name, want := range cases {
+		if got := categoryOfMetric(name); got != want {
+			t.Errorf("categoryOfMetric(%s) = %q, want %q", name, got, want)
+		}
+	}
+}

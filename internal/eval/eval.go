@@ -1,0 +1,231 @@
+// Package eval implements the paper's evaluation protocol (§4.1.4):
+// point-wise Precision, Recall, AUC and F1 with
+//
+//  1. the point-adjustment strategy — a ground-truth anomalous interval
+//     counts as fully detected if the detector fires anywhere inside it
+//     (practical, since operators react to the first alarm); and
+//  2. exclusion of the first/last minute around every pattern (job)
+//     transition, where metrics legitimately deviate.
+//
+// Per-node Precision/Recall/AUC are averaged across nodes and the reported
+// F1 is derived from the averaged Precision and Recall, exactly as in the
+// paper.
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"nodesentry/internal/mts"
+)
+
+// AdjustPredictions applies the point-adjustment strategy: for every
+// maximal run of true labels, if pred fires at any sample of the run, the
+// whole run is marked predicted. Samples where ignore is true are skipped
+// entirely (treated as not part of any run). The input slices must have
+// equal length; pred is not modified.
+func AdjustPredictions(pred, label, ignore []bool) []bool {
+	out := append([]bool(nil), pred...)
+	n := len(label)
+	for i := 0; i < n; {
+		if !label[i] || skip(ignore, i) {
+			i++
+			continue
+		}
+		j := i
+		hit := false
+		for j < n && label[j] && !skip(ignore, j) {
+			if pred[j] {
+				hit = true
+			}
+			j++
+		}
+		if hit {
+			for k := i; k < j; k++ {
+				out[k] = true
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+func skip(ignore []bool, i int) bool { return ignore != nil && ignore[i] }
+
+// Confusion counts the point-wise confusion matrix after adjustment,
+// skipping ignored samples.
+func Confusion(pred, label, ignore []bool) (tp, fp, fn, tn int) {
+	adj := AdjustPredictions(pred, label, ignore)
+	for i := range label {
+		if skip(ignore, i) {
+			continue
+		}
+		switch {
+		case adj[i] && label[i]:
+			tp++
+		case adj[i] && !label[i]:
+			fp++
+		case !adj[i] && label[i]:
+			fn++
+		default:
+			tn++
+		}
+	}
+	return
+}
+
+// NodeResult holds one node's metrics. NaN marks undefined values (no
+// predicted positives → precision undefined; no true positives → recall
+// undefined; single-class ground truth → AUC undefined).
+type NodeResult struct {
+	Precision float64
+	Recall    float64
+	AUC       float64
+}
+
+// EvaluateNode scores one node's detection output.
+func EvaluateNode(scores []float64, pred, label, ignore []bool) NodeResult {
+	tp, fp, fn, _ := Confusion(pred, label, ignore)
+	r := NodeResult{Precision: math.NaN(), Recall: math.NaN()}
+	if tp+fp > 0 {
+		r.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r.Recall = float64(tp) / float64(tp+fn)
+	}
+	r.AUC = AdjustedAUC(scores, label, ignore)
+	return r
+}
+
+// AdjustedAUC computes the ROC AUC consistent with point adjustment: each
+// ground-truth anomalous interval contributes one positive sample whose
+// score is the interval's maximum (an interval is detected at threshold τ
+// iff its max score exceeds τ), while every normal sample contributes a
+// negative. Returns NaN when either class is empty.
+func AdjustedAUC(scores []float64, label, ignore []bool) float64 {
+	var pos, neg []float64
+	n := len(label)
+	for i := 0; i < n; {
+		if skip(ignore, i) {
+			i++
+			continue
+		}
+		if !label[i] {
+			neg = append(neg, scores[i])
+			i++
+			continue
+		}
+		maxS := math.Inf(-1)
+		for i < n && label[i] && !skip(ignore, i) {
+			if scores[i] > maxS {
+				maxS = scores[i]
+			}
+			i++
+		}
+		pos = append(pos, maxS)
+	}
+	return rankAUC(pos, neg)
+}
+
+// rankAUC computes the Mann-Whitney AUC with tie correction.
+func rankAUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return math.NaN()
+	}
+	type sample struct {
+		v     float64
+		isPos bool
+	}
+	all := make([]sample, 0, len(pos)+len(neg))
+	for _, v := range pos {
+		all = append(all, sample{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, sample{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Assign average ranks to ties.
+	ranks := make([]float64, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var rPos float64
+	for i, s := range all {
+		if s.isPos {
+			rPos += ranks[i]
+		}
+	}
+	nP, nN := float64(len(pos)), float64(len(neg))
+	return (rPos - nP*(nP+1)/2) / (nP * nN)
+}
+
+// Summary aggregates per-node results the way the paper reports Table 4:
+// Precision, Recall and AUC averaged over the nodes where they are defined,
+// and F1 derived from the averaged Precision and Recall.
+type Summary struct {
+	Precision float64
+	Recall    float64
+	AUC       float64
+	F1        float64
+}
+
+// Aggregate combines node results into the reported summary.
+func Aggregate(results []NodeResult) Summary {
+	var s Summary
+	var nP, nR, nA int
+	for _, r := range results {
+		if !math.IsNaN(r.Precision) {
+			s.Precision += r.Precision
+			nP++
+		}
+		if !math.IsNaN(r.Recall) {
+			s.Recall += r.Recall
+			nR++
+		}
+		if !math.IsNaN(r.AUC) {
+			s.AUC += r.AUC
+			nA++
+		}
+	}
+	if nP > 0 {
+		s.Precision /= float64(nP)
+	}
+	if nR > 0 {
+		s.Recall /= float64(nR)
+	}
+	if nA > 0 {
+		s.AUC /= float64(nA)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// TransitionIgnoreMask builds the evaluation ignore mask of a frame: true
+// for samples within margin seconds of any job-transition boundary in
+// spans. The paper uses a 1-minute margin at the start and end of each
+// pattern.
+func TransitionIgnoreMask(f *mts.NodeFrame, spans []mts.JobSpan, margin int64) []bool {
+	mask := make([]bool, f.Len())
+	mark := func(from, to int64) {
+		lo := f.IndexOf(from)
+		hi := f.IndexOf(to)
+		for i := lo; i < hi && i < len(mask); i++ {
+			mask[i] = true
+		}
+	}
+	for _, sp := range spans {
+		mark(sp.Start, sp.Start+margin)
+		mark(sp.End-margin, sp.End)
+	}
+	return mask
+}

@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nodesentry/internal/mts"
+)
+
+func TestAdjustPredictions(t *testing.T) {
+	label := []bool{false, true, true, true, false, true, true, false}
+	pred := []bool{false, false, true, false, false, false, false, true}
+	adj := AdjustPredictions(pred, label, nil)
+	want := []bool{false, true, true, true, false, false, false, true}
+	for i := range want {
+		if adj[i] != want[i] {
+			t.Fatalf("adj = %v, want %v", adj, want)
+		}
+	}
+	// Original slice untouched.
+	if pred[1] {
+		t.Error("AdjustPredictions mutated its input")
+	}
+}
+
+func TestAdjustPredictionsIgnore(t *testing.T) {
+	label := []bool{true, true, true}
+	pred := []bool{false, true, false}
+	ignore := []bool{false, true, false} // the hit sample is ignored
+	adj := AdjustPredictions(pred, label, ignore)
+	if adj[0] || adj[2] {
+		t.Errorf("ignored hit should not adjust the run: %v", adj)
+	}
+}
+
+func TestConfusionWorkedExample(t *testing.T) {
+	label := []bool{false, true, true, false, false}
+	pred := []bool{true, true, false, false, false}
+	tp, fp, fn, tn := Confusion(pred, label, nil)
+	// Adjustment marks sample 2 as predicted (run 1-2 was hit at 1).
+	if tp != 2 || fp != 1 || fn != 0 || tn != 2 {
+		t.Errorf("confusion = %d %d %d %d", tp, fp, fn, tn)
+	}
+}
+
+func TestEvaluateNodePerfectDetector(t *testing.T) {
+	label := []bool{false, false, true, true, false}
+	pred := []bool{false, false, true, false, false}
+	scores := []float64{0.1, 0.2, 0.9, 0.3, 0.1}
+	r := EvaluateNode(scores, pred, label, nil)
+	if r.Precision != 1 || r.Recall != 1 {
+		t.Errorf("P/R = %v/%v, want 1/1", r.Precision, r.Recall)
+	}
+	if r.AUC != 1 {
+		t.Errorf("AUC = %v, want 1", r.AUC)
+	}
+}
+
+func TestEvaluateNodeUndefinedCases(t *testing.T) {
+	// No predicted positives → precision NaN; no true positives → recall
+	// NaN; single-class → AUC NaN.
+	r := EvaluateNode([]float64{0, 0}, []bool{false, false}, []bool{false, false}, nil)
+	if !math.IsNaN(r.Precision) || !math.IsNaN(r.Recall) || !math.IsNaN(r.AUC) {
+		t.Errorf("expected NaNs, got %+v", r)
+	}
+}
+
+func TestAdjustedAUCIntervalSemantics(t *testing.T) {
+	// One anomalous interval with a single high sample: interval max wins,
+	// so AUC should be perfect even though other interval samples are low.
+	label := []bool{false, true, true, true, false, false}
+	scores := []float64{0.5, 0.1, 0.9, 0.1, 0.4, 0.3}
+	auc := AdjustedAUC(scores, label, nil)
+	if auc != 1 {
+		t.Errorf("AUC = %v, want 1 under point-adjust semantics", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	label := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		label[i] = rng.Float64() < 0.05
+	}
+	auc := AdjustedAUC(scores, label, nil)
+	if math.Abs(auc-0.5) > 0.08 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUCBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		scores := make([]float64, n)
+		label := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			label[i] = rng.Float64() < 0.3
+		}
+		auc := AdjustedAUC(scores, label, nil)
+		if math.IsNaN(auc) {
+			return true // single class
+		}
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankAUCTies(t *testing.T) {
+	// All equal scores → AUC 0.5.
+	if auc := rankAUC([]float64{1, 1}, []float64{1, 1, 1}); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	results := []NodeResult{
+		{Precision: 1, Recall: 0.5, AUC: 0.9},
+		{Precision: 0.5, Recall: 1, AUC: 0.7},
+		{Precision: math.NaN(), Recall: math.NaN(), AUC: math.NaN()},
+	}
+	s := Aggregate(results)
+	if math.Abs(s.Precision-0.75) > 1e-12 || math.Abs(s.Recall-0.75) > 1e-12 {
+		t.Errorf("P/R = %v/%v", s.Precision, s.Recall)
+	}
+	if math.Abs(s.AUC-0.8) > 1e-12 {
+		t.Errorf("AUC = %v", s.AUC)
+	}
+	if math.Abs(s.F1-0.75) > 1e-12 {
+		t.Errorf("F1 = %v", s.F1)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	s := Aggregate(nil)
+	if s.F1 != 0 || s.Precision != 0 {
+		t.Errorf("empty aggregate = %+v", s)
+	}
+}
+
+func TestTransitionIgnoreMask(t *testing.T) {
+	f := &mts.NodeFrame{
+		Node:    "n",
+		Metrics: []string{"m"},
+		Data:    [][]float64{make([]float64, 40)},
+		Start:   0, Step: 15,
+	}
+	spans := []mts.JobSpan{
+		{Job: 1, Start: 0, End: 300},
+		{Job: 2, Start: 300, End: 600},
+	}
+	mask := TransitionIgnoreMask(f, spans, 60)
+	// First minute of job 1: samples 0-3; last minute: 16-19; job 2 start
+	// 20-23; job 2 end 36-39.
+	wantTrue := []int{0, 3, 16, 19, 20, 23, 36, 39}
+	wantFalse := []int{4, 10, 15, 24, 30, 35}
+	for _, i := range wantTrue {
+		if !mask[i] {
+			t.Errorf("mask[%d] should be true", i)
+		}
+	}
+	for _, i := range wantFalse {
+		if mask[i] {
+			t.Errorf("mask[%d] should be false", i)
+		}
+	}
+}
+
+func TestF1MatchesManualComputation(t *testing.T) {
+	// One node, direct check of the derived F1 formula.
+	s := Aggregate([]NodeResult{{Precision: 0.8, Recall: 0.9, AUC: 0.95}})
+	want := 2 * 0.8 * 0.9 / (0.8 + 0.9)
+	if math.Abs(s.F1-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", s.F1, want)
+	}
+}

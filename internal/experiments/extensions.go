@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nodesentry"
+	"nodesentry/internal/cluster"
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/features"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/preprocess"
+)
+
+// These experiments go beyond the paper's evaluation: the §5.3 GPU
+// extension ("GPU compute units demonstrate comparable data
+// characteristics"), and ablations of two design choices DESIGN.md calls
+// out — the HAC linkage criterion and the feature-domain mix of the
+// extractor.
+
+// GPUExtension trains and evaluates NodeSentry on an accelerator
+// partition: GPU workloads, per-device gpu_* metrics, GPU fault classes.
+func GPUExtension(w io.Writer, s Scale) (MethodRow, error) {
+	cfg := dataset.GPUCluster()
+	if s == Quick {
+		cfg.Nodes = 3
+		cfg.HorizonDays = 1
+	}
+	ds := dataset.Build(cfg)
+	row, det, err := evalNodeSentry(ds, options(s))
+	if err != nil {
+		return MethodRow{}, err
+	}
+	fmt.Fprintln(w, "GPU extension (§5.3): NodeSentry on an accelerator partition")
+	fmt.Fprintf(w, "  catalog: %d metrics (%d GPU)\n", len(ds.Catalog), gpuCount(ds))
+	fmt.Fprintln(w, "  "+row.String())
+	fmt.Fprintf(w, "  clusters: %d (silhouette %.2f)\n", det.NumClusters(), det.Stats.Silhouette)
+	return row, nil
+}
+
+func gpuCount(ds *dataset.Dataset) int {
+	n := 0
+	for _, m := range ds.Catalog {
+		if m.Category == "GPU" {
+			n++
+		}
+	}
+	return n
+}
+
+// LinkageRow reports one HAC linkage's clustering quality and downstream
+// detection F1.
+type LinkageRow struct {
+	Linkage    cluster.Linkage
+	K          int
+	Silhouette float64
+	F1         float64
+}
+
+// LinkageAblation compares the four HAC linkages as the coarse-clustering
+// criterion — the paper fixes one; this quantifies how much the choice
+// matters on this substrate.
+func LinkageAblation(w io.Writer, s Scale) ([]LinkageRow, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	fmt.Fprintln(w, "Design ablation: HAC linkage criterion")
+	var rows []LinkageRow
+	for _, l := range []cluster.Linkage{cluster.Single, cluster.Complete, cluster.Average, cluster.Ward} {
+		opts := options(s)
+		opts.Linkage = l
+		det, err := core.Train(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		sum := nodesentry.EvaluateDetector(det, ds)
+		row := LinkageRow{Linkage: l, K: det.NumClusters(), Silhouette: det.Stats.Silhouette, F1: sum.F1}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  %-9s k=%-3d silhouette=%.3f F1=%.3f\n", l, row.K, row.Silhouette, row.F1)
+	}
+	return rows, nil
+}
+
+// PCARow reports one PCA-dimension setting's clustering and detection
+// outcome.
+type PCARow struct {
+	Dims int
+	K    int
+	Sil  float64
+	F1   float64
+}
+
+// PCAAblation sweeps the PCA projection used before coarse clustering —
+// the dimensionality-reduction option Challenge 1 motivates. On this
+// substrate small projections expose finer cluster structure (larger k)
+// at the cost of thinner per-cluster training data; the sweep quantifies
+// the trade-off.
+func PCAAblation(w io.Writer, s Scale) ([]PCARow, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	fmt.Fprintln(w, "Design ablation: PCA projection before clustering")
+	var rows []PCARow
+	for _, dims := range []int{0, 8, 16, 32} {
+		opts := options(s)
+		opts.PCADims = dims
+		det, err := core.Train(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		sum := nodesentry.EvaluateDetector(det, ds)
+		row := PCARow{Dims: dims, K: det.NumClusters(), Sil: det.Stats.Silhouette, F1: sum.F1}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  pca=%-3d k=%-3d silhouette=%.3f F1=%.3f\n", dims, row.K, row.Sil, row.F1)
+	}
+	return rows, nil
+}
+
+// WMSEAblation compares the MAC-weighted reconstruction loss of
+// equation (5) against uniform MSE — quantifying the paper's choice of
+// weighting stable metrics more heavily.
+func WMSEAblation(w io.Writer, s Scale) (weighted, uniform float64, err error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	fmt.Fprintln(w, "Design ablation: MAC-weighted WMSE vs uniform MSE")
+	for _, variant := range []bool{false, true} {
+		opts := options(s)
+		opts.UniformLossWeights = variant
+		det, terr := core.Train(in, opts)
+		if terr != nil {
+			return 0, 0, terr
+		}
+		sum := nodesentry.EvaluateDetector(det, ds)
+		name := "mac-weighted"
+		if variant {
+			name = "uniform"
+			uniform = sum.F1
+		} else {
+			weighted = sum.F1
+		}
+		fmt.Fprintf(w, "  %-13s F1=%.3f\n", name, sum.F1)
+	}
+	return weighted, uniform, nil
+}
+
+// DomainRow reports a feature-domain subset's clustering quality.
+type DomainRow struct {
+	Domains    string
+	Width      int
+	Silhouette float64
+}
+
+// FeatureDomainAblation clusters the same segments using only one feature
+// domain at a time (statistical / temporal / spectral) versus all three —
+// the paper's Challenge 1 argues all three are needed for discriminative
+// fixed-width representations.
+func FeatureDomainAblation(w io.Writer, s Scale) []DomainRow {
+	ds := datasets(s)[0]
+	// Preprocess and segment once.
+	frames := map[string]*mts.NodeFrame{}
+	var segs []mts.Segment
+	for _, node := range ds.Nodes() {
+		f := ds.TrainFrames()[node].Clone()
+		preprocess.Clean(f)
+		frames[node] = f
+		segs = append(segs, preprocess.Segment(f, ds.SpansForNode(node, 0, ds.SplitTime()), 16)...)
+	}
+	full := features.Matrix(frames, segs)
+
+	// Column masks per domain, replicated across the metric blocks.
+	cat := features.Catalog()
+	width := len(cat)
+	numMetrics := full.Cols / width
+	subsets := []struct {
+		name string
+		keep func(features.Domain) bool
+	}{
+		{"statistical", func(d features.Domain) bool { return d == features.Statistical }},
+		{"temporal", func(d features.Domain) bool { return d == features.Temporal }},
+		{"spectral", func(d features.Domain) bool { return d == features.Spectral }},
+		{"all", func(features.Domain) bool { return true }},
+	}
+	fmt.Fprintln(w, "Design ablation: feature domains for coarse clustering")
+	var rows []DomainRow
+	for _, sub := range subsets {
+		var cols []int
+		for m := 0; m < numMetrics; m++ {
+			for j, d := range cat {
+				if sub.keep(d.Domain) {
+					cols = append(cols, m*width+j)
+				}
+			}
+		}
+		F := selectColumns(full, cols)
+		features.NormalizeColumns(F)
+		res := cluster.HACAuto(F, cluster.Average, 2, 12)
+		row := DomainRow{Domains: sub.name, Width: len(cols), Silhouette: res.Silhouette}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  %-12s %5d features  silhouette=%.3f (k=%d)\n", sub.name, row.Width, row.Silhouette, res.K)
+	}
+	return rows
+}
+
+func selectColumns(m *mat.Matrix, cols []int) *mat.Matrix {
+	out := mat.New(m.Rows, len(cols))
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, c := range cols {
+			dst[j] = src[c]
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"nodesentry"
+	"nodesentry/internal/core"
+	"nodesentry/internal/eval"
+	"nodesentry/internal/faults"
+)
+
+// FaultClassRow reports detection quality for one Table 1 fault class.
+type FaultClassRow struct {
+	Type     faults.Type
+	Injected int
+	Detected int
+	// MeanTimeToDetect is the mean delay from fault onset to first alarm
+	// among detected instances.
+	MeanTimeToDetect time.Duration
+}
+
+// FaultRecall breaks detection down by fault class: which of Table 1's
+// anomaly types NodeSentry catches, and how quickly. The paper reports
+// only aggregate metrics; operators care about exactly this breakdown.
+func FaultRecall(w io.Writer, s Scale) ([]FaultClassRow, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	det, err := core.Train(in, options(s))
+	if err != nil {
+		return nil, err
+	}
+
+	// Detect once per node, then score each fault against its node's
+	// prediction stream.
+	type nodeOut struct {
+		preds []bool
+		label []bool
+	}
+	outs := map[string]*nodeOut{}
+	test := ds.TestFrames()
+	for _, node := range ds.Nodes() {
+		frame := test[node]
+		spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+		res := det.Detect(frame, spans)
+		outs[node] = &nodeOut{preds: res.Preds, label: ds.Labels.Mask(frame)}
+	}
+
+	agg := map[faults.Type]*FaultClassRow{}
+	var totalLat = map[faults.Type]time.Duration{}
+	for _, f := range ds.Faults {
+		frame := test[f.Node]
+		out := outs[f.Node]
+		lo := frame.IndexOf(f.Start)
+		hi := frame.IndexOf(f.End)
+		if hi <= lo {
+			continue
+		}
+		row := agg[f.Type]
+		if row == nil {
+			row = &FaultClassRow{Type: f.Type}
+			agg[f.Type] = row
+		}
+		row.Injected++
+		rep := eval.DetectionLatencies(out.preds[lo:hi], allTrue(hi-lo), nil, ds.Step)
+		if rep.Detected > 0 {
+			row.Detected++
+			totalLat[f.Type] += rep.Latencies[0]
+		}
+	}
+	var rows []FaultClassRow
+	for ft, row := range agg {
+		if row.Detected > 0 {
+			row.MeanTimeToDetect = totalLat[ft] / time.Duration(row.Detected)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Type < rows[j].Type })
+
+	fmt.Fprintln(w, "Fault-class recall breakdown (Table 1 taxonomy)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-24s %d/%d detected", r.Type, r.Detected, r.Injected)
+		if r.Detected > 0 {
+			fmt.Fprintf(w, ", MTTD %v", r.MeanTimeToDetect.Round(time.Second))
+		}
+		fmt.Fprintln(w)
+	}
+	return rows, nil
+}
+
+func allTrue(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}

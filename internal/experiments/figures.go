@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nodesentry"
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/eval"
+	"nodesentry/internal/features"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/preprocess"
+	"nodesentry/internal/slurmsim"
+	"nodesentry/internal/telemetry"
+)
+
+// Table2 prints the dataset-details table for the presets at the given
+// scale and returns the summaries.
+func Table2(w io.Writer, s Scale) []dataset.Summary {
+	fmt.Fprintln(w, "Table 2: detailed information of datasets")
+	var out []dataset.Summary
+	for _, ds := range datasets(s) {
+		sum := ds.Summarize()
+		out = append(out, sum)
+		fmt.Fprintln(w, "  "+sum.String())
+	}
+	return out
+}
+
+// Table3 prints the monitoring-metric catalog overview (category counts)
+// of the D1-style catalog.
+func Table3(w io.Writer) map[string]int {
+	cat := telemetry.BuildCatalog(telemetry.CatalogOptions{
+		Cores: 8, AffinePerSemantic: 2, ConstantMetrics: 4,
+	})
+	counts := telemetry.CategoryCounts(cat)
+	fmt.Fprintln(w, "Table 3: an overview of monitoring metrics")
+	total := 0
+	for _, c := range []string{"CPU", "Memory", "Filesystem", "Network", "Process", "System"} {
+		fmt.Fprintf(w, "  %-10s %4d\n", c, counts[c])
+		total += counts[c]
+	}
+	fmt.Fprintf(w, "  %-10s %4d\n", "total", total)
+	return counts
+}
+
+// Fig1Result quantifies the MTS characteristics of Fig. 1: feature
+// distances between segments that share a job, segments of the same kind,
+// and segments of different kinds.
+type Fig1Result struct {
+	SameJobDist   float64
+	SameKindDist  float64
+	CrossKindDist float64
+}
+
+// Fig1 reproduces the observation behind Fig. 1: nodes running the same
+// job exhibit near-identical patterns, same-kind jobs are similar, and
+// different kinds differ — the structure coarse clustering exploits.
+func Fig1(w io.Writer) Fig1Result {
+	gen := &telemetry.Generator{
+		Catalog:  telemetry.BuildCatalog(telemetry.CatalogOptions{Cores: 2}),
+		Step:     60,
+		Seed:     17,
+		NoiseStd: 0.02,
+	}
+	T := 720
+	horizon := int64(T) * gen.Step
+	kinds := map[int64]string{1: "lammps", 2: "lammps", 3: "genomics"}
+	span := func(job int64) []mts.JobSpan {
+		return []mts.JobSpan{{Job: job, Start: 0, End: horizon}}
+	}
+	// Node 1 and 2 co-run job 1; node 3 runs job 2 (same kind, different
+	// job); node 4 runs job 3 (different kind).
+	frames := []*mts.NodeFrame{
+		gen.Generate("cn-1", span(1), kinds, T, nil),
+		gen.Generate("cn-2", span(1), kinds, T, nil),
+		gen.Generate("cn-3", span(2), kinds, T, nil),
+		gen.Generate("cn-4", span(3), kinds, T, nil),
+	}
+	vecs := make([][]float64, len(frames))
+	frameMap := map[string]*mts.NodeFrame{}
+	for i, f := range frames {
+		frameMap[f.Node] = f
+		vecs[i] = features.SegmentVector(f, mts.Segment{Node: f.Node, Lo: 0, Hi: T})
+	}
+	dist := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	res := Fig1Result{
+		SameJobDist:   dist(vecs[0], vecs[1]),
+		SameKindDist:  dist(vecs[0], vecs[2]),
+		CrossKindDist: dist(vecs[0], vecs[3]),
+	}
+	fmt.Fprintln(w, "Fig 1: segment feature distances (characteristics of HPC MTS)")
+	fmt.Fprintf(w, "  same job on two nodes:       %8.1f\n", res.SameJobDist)
+	fmt.Fprintf(w, "  same kind, different job:    %8.1f\n", res.SameKindDist)
+	fmt.Fprintf(w, "  different kind:              %8.1f\n", res.CrossKindDist)
+	return res
+}
+
+// Fig4Result is the job-duration distribution summary.
+type Fig4Result struct {
+	FractionUnderOneDay float64
+	Histogram           []int
+	Bounds              []int64
+}
+
+// Fig4 reproduces the job-duration distribution: the paper reports ~94.9 %
+// of job segments shorter than one day.
+func Fig4(w io.Writer) Fig4Result {
+	recs := slurmsim.Simulate(slurmsim.Config{
+		Nodes:   slurmsim.NodeNames(64),
+		Horizon: 7 * 24 * 3600,
+		Seed:    3,
+	})
+	bounds := []int64{3600, 6 * 3600, 12 * 3600, 24 * 3600, 48 * 3600}
+	hist := slurmsim.DurationHistogram(recs, bounds)
+	frac := slurmsim.DurationStats(recs, []int64{24 * 3600})[0]
+	fmt.Fprintln(w, "Fig 4: the distribution of jobs for nodes")
+	labels := []string{"<1h", "1-6h", "6-12h", "12-24h", "24-48h", ">=48h"}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	for i, c := range hist {
+		fmt.Fprintf(w, "  %-7s %5d (%.1f%%)\n", labels[i], c, 100*float64(c)/float64(total))
+	}
+	fmt.Fprintf(w, "  fraction under one day: %.1f%% (paper: 94.9%%)\n", 100*frac)
+	return Fig4Result{FractionUnderOneDay: frac, Histogram: hist, Bounds: bounds}
+}
+
+// SweepPoint is one point of a Fig. 6 hyperparameter curve.
+type SweepPoint struct {
+	Label string
+	X     float64
+	F1    float64
+}
+
+func printSweep(w io.Writer, title string, pts []SweepPoint) {
+	fmt.Fprintln(w, title)
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-8s F1=%.3f\n", p.Label, p.F1)
+	}
+}
+
+// Fig6a sweeps the training-set size (fractions of the training window).
+func Fig6a(w io.Writer, s Scale) ([]SweepPoint, error) {
+	ds := datasets(s)[0]
+	var pts []SweepPoint
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		in := truncatedTrainInput(ds, frac)
+		det, err := core.Train(in, options(s))
+		if err != nil {
+			return nil, err
+		}
+		sum := nodesentry.EvaluateDetector(det, ds)
+		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%.0f%%", frac*100), X: frac, F1: sum.F1})
+	}
+	printSweep(w, "Fig 6(a): training set size vs F1", pts)
+	return pts, nil
+}
+
+// truncatedTrainInput builds a TrainInput from the first frac of the
+// dataset's training window.
+func truncatedTrainInput(ds *dataset.Dataset, frac float64) core.TrainInput {
+	cut := int64(float64(ds.SplitTime()) * frac)
+	in := core.TrainInput{
+		Frames:         map[string]*mts.NodeFrame{},
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: nodesentry.SemanticGroups(ds),
+	}
+	for _, node := range ds.Nodes() {
+		f := ds.Frames[node]
+		in.Frames[node] = f.Slice(0, f.IndexOf(cut))
+		in.Spans[node] = ds.SpansForNode(node, 0, cut)
+	}
+	return in
+}
+
+// Fig6b sweeps the cluster count as multiples of the automatic choice.
+func Fig6b(w io.Writer, s Scale) ([]SweepPoint, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	auto, err := core.Train(in, options(s))
+	if err != nil {
+		return nil, err
+	}
+	autoK := auto.NumClusters()
+	var pts []SweepPoint
+	for _, mul := range []float64{0.1, 0.5, 1, 1.5, 2} {
+		k := int(math.Round(float64(autoK) * mul))
+		if k < 1 {
+			k = 1
+		}
+		var sum eval.Summary
+		if mul == 1 {
+			sum = nodesentry.EvaluateDetector(auto, ds)
+		} else {
+			opts := options(s)
+			opts.ClusterOverride = k
+			det, err := core.Train(in, opts)
+			if err != nil {
+				return nil, err
+			}
+			sum = nodesentry.EvaluateDetector(det, ds)
+		}
+		pts = append(pts, SweepPoint{Label: fmt.Sprintf("x%.1f", mul), X: mul, F1: sum.F1})
+	}
+	printSweep(w, fmt.Sprintf("Fig 6(b): number of clusters vs F1 (auto k=%d)", autoK), pts)
+	return pts, nil
+}
+
+// Fig6c sweeps the MoE expert count.
+func Fig6c(w io.Writer, s Scale) ([]SweepPoint, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	var pts []SweepPoint
+	for _, experts := range []int{1, 2, 3, 4, 5} {
+		opts := options(s)
+		opts.Model.Experts = experts
+		if opts.Model.TopK > experts {
+			opts.Model.TopK = experts
+		}
+		det, err := core.Train(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		sum := nodesentry.EvaluateDetector(det, ds)
+		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%d", experts), X: float64(experts), F1: sum.F1})
+	}
+	printSweep(w, "Fig 6(c): number of experts vs F1", pts)
+	return pts, nil
+}
+
+// Fig6d sweeps the number of experts assigned per token (top-k).
+func Fig6d(w io.Writer, s Scale) ([]SweepPoint, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	var pts []SweepPoint
+	for _, topK := range []int{1, 2, 3} {
+		opts := options(s)
+		opts.Model.Experts = 3
+		opts.Model.TopK = topK
+		det, err := core.Train(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		sum := nodesentry.EvaluateDetector(det, ds)
+		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%d", topK), X: float64(topK), F1: sum.F1})
+	}
+	printSweep(w, "Fig 6(d): number of experts assigned per token vs F1", pts)
+	return pts, nil
+}
+
+// Fig6e sweeps the pattern-matching period (hours) at detection time.
+func Fig6e(w io.Writer, s Scale) ([]SweepPoint, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	det, err := core.Train(in, options(s))
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for _, hours := range []float64{0.5, 1, 1.5, 2} {
+		det.SetOnlineParams(int64(hours*3600), 0, 0)
+		sum := nodesentry.EvaluateDetector(det, ds)
+		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%.1fh", hours), X: hours, F1: sum.F1})
+	}
+	printSweep(w, "Fig 6(e): period for pattern matching vs F1", pts)
+	return pts, nil
+}
+
+// Fig6f sweeps the k-sigma threshold window (minutes) at detection time.
+func Fig6f(w io.Writer, s Scale) ([]SweepPoint, error) {
+	ds := datasets(s)[0]
+	in := nodesentry.TrainInputFromDataset(ds)
+	det, err := core.Train(in, options(s))
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for _, minutes := range []int64{15, 20, 30, 45} {
+		det.SetOnlineParams(0, minutes*60, 0)
+		sum := nodesentry.EvaluateDetector(det, ds)
+		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%dm", minutes), X: float64(minutes), F1: sum.F1})
+	}
+	printSweep(w, "Fig 6(f): time window for threshold selection vs F1", pts)
+	return pts, nil
+}
+
+// segmentsForDTW extracts preprocessed test segments of one dataset node
+// for the DTW cost comparison.
+func segmentsForDTW(ds *dataset.Dataset, node string, maxSegs int) ([][][]float64, *mts.NodeFrame) {
+	f := ds.Frames[node].Clone()
+	preprocess.Clean(f)
+	segs := preprocess.Segment(f, ds.SpansForNode(node, 0, ds.Horizon), 8)
+	var out [][][]float64
+	for _, seg := range segs {
+		if len(out) >= maxSegs {
+			break
+		}
+		sq := make([][]float64, seg.Len())
+		for t := 0; t < seg.Len(); t++ {
+			row := make([]float64, f.NumMetrics())
+			for m := range f.Data {
+				row[m] = f.Data[m][seg.Lo+t]
+			}
+			sq[t] = row
+		}
+		out = append(out, sq)
+	}
+	return out, f
+}

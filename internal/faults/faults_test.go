@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"nodesentry/internal/mts"
+)
+
+func testCampaign(t *testing.T) ([]Fault, CampaignConfig) {
+	t.Helper()
+	cfg := CampaignConfig{
+		Nodes:         []string{"cn-1", "cn-2", "cn-3", "cn-4"},
+		Window:        mts.Interval{Start: 100000, End: 400000},
+		FaultsPerNode: 2,
+		MeanDuration:  900,
+		Seed:          11,
+	}
+	return PlanCampaign(cfg), cfg
+}
+
+func TestPlanCampaignBounds(t *testing.T) {
+	faults, cfg := testCampaign(t)
+	if len(faults) == 0 {
+		t.Fatal("no faults planned")
+	}
+	for _, f := range faults {
+		if f.Start < cfg.Window.Start || f.End > cfg.Window.End {
+			t.Errorf("fault %v escapes window", f)
+		}
+		if f.End <= f.Start {
+			t.Errorf("fault %v empty", f)
+		}
+		if f.Severity < 0.5 || f.Severity > 1 {
+			t.Errorf("severity %v out of range", f.Severity)
+		}
+		if len(signatures[f.Type]) == 0 {
+			t.Errorf("fault type %q has no signature", f.Type)
+		}
+	}
+}
+
+func TestPlanCampaignNoOverlapPerNode(t *testing.T) {
+	faults, _ := testCampaign(t)
+	byNode := map[string][]Fault{}
+	for _, f := range faults {
+		byNode[f.Node] = append(byNode[f.Node], f)
+	}
+	for node, fs := range byNode {
+		for i := 1; i < len(fs); i++ {
+			if fs[i].Start < fs[i-1].End {
+				t.Errorf("node %s: overlapping faults %v %v", node, fs[i-1], fs[i])
+			}
+		}
+	}
+}
+
+func TestPlanCampaignDeterministic(t *testing.T) {
+	a, _ := testCampaign(t)
+	b, _ := testCampaign(t)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs", i)
+		}
+	}
+}
+
+func TestPlanCampaignEmptyInputs(t *testing.T) {
+	if PlanCampaign(CampaignConfig{}) != nil {
+		t.Error("empty config should plan nothing")
+	}
+	if PlanCampaign(CampaignConfig{Nodes: []string{"a"}, Window: mts.Interval{Start: 5, End: 5}}) != nil {
+		t.Error("empty window should plan nothing")
+	}
+}
+
+func TestAllSignaturesComplete(t *testing.T) {
+	for _, ft := range AllTypes() {
+		sems := AffectedSemantics(ft)
+		if len(sems) == 0 {
+			t.Errorf("type %q affects nothing", ft)
+		}
+	}
+}
+
+func TestOverlayIdentityOutsideWindow(t *testing.T) {
+	f := Fault{Type: CPUOverload, Node: "cn-1", Start: 1000, End: 2000, Severity: 1, seed: 3}
+	o := f.Overlay()
+	if o("cpu_busy", 999, 0.1) != 0.1 || o("cpu_busy", 2000, 0.1) != 0.1 {
+		t.Error("overlay active outside window")
+	}
+	if o("cpu_busy", 1500, 0.1) <= 0.5 {
+		t.Error("CPU overload should pin cpu_busy high inside window")
+	}
+	if o("net_rx", 1500, 0.5) != 0.5 {
+		t.Error("CPU overload should not touch net_rx")
+	}
+}
+
+func TestOverlayContextual(t *testing.T) {
+	// A CPU overload targets a level that is legitimate for a busy job:
+	// applied to an already-busy value it changes little; applied to an
+	// idle value it changes a lot.
+	f := Fault{Type: CPUOverload, Start: 0, End: 1000, Severity: 1, seed: 4}
+	o := f.Overlay()
+	idleDelta := o("cpu_busy", 500, 0.05) - 0.05
+	busyDelta := o("cpu_busy", 500, 0.90) - 0.90
+	if idleDelta < 10*busyDelta {
+		t.Errorf("fault should be contextual: idle delta %v, busy delta %v", idleDelta, busyDelta)
+	}
+}
+
+func TestOverlayShapes(t *testing.T) {
+	leak := Fault{Type: MemoryLeak, Start: 0, End: 10000, Severity: 1, seed: 5}
+	o := leak.Overlay()
+	early := o("mem_used", 500, 0.3)
+	late := o("mem_used", 9500, 0.3)
+	if late <= early || late < 0.8 {
+		t.Errorf("memory leak should ramp: early=%v late=%v", early, late)
+	}
+	if o("mem_cache", 9500, 0.4) >= 0.4 {
+		t.Error("memory leak should depress mem_cache")
+	}
+
+	part := Fault{Type: NetworkPartition, Start: 0, End: 1000, Severity: 1, seed: 6}
+	po := part.Overlay()
+	if got := po("net_rx", 500, 0.6); got > 0.05 {
+		t.Errorf("partition should nearly zero net_rx, got %v", got)
+	}
+}
+
+func TestSpikeShapeIntermittent(t *testing.T) {
+	f := Fault{Type: DataCorruption, Start: 0, End: 10000, Severity: 1, seed: 7}
+	o := f.Overlay()
+	active, idle := 0, 0
+	for ts := int64(0); ts < 10000; ts += 15 {
+		v := o("disk_read", ts, 0.1)
+		if v > 0.2 {
+			active++
+		} else if v == 0.1 {
+			idle++
+		}
+	}
+	if active == 0 || idle == 0 {
+		t.Errorf("spike train should be intermittent: active=%d idle=%d", active, idle)
+	}
+}
+
+func TestOverlaysMergePerNode(t *testing.T) {
+	fs := []Fault{
+		{Type: CPUOverload, Node: "cn-1", Start: 0, End: 100, Severity: 1},
+		{Type: ResourceContention, Node: "cn-1", Start: 200, End: 300, Severity: 1},
+		{Type: CPUOverload, Node: "cn-2", Start: 0, End: 100, Severity: 1},
+	}
+	ov := Overlays(fs)
+	if len(ov) != 2 {
+		t.Fatalf("got %d node overlays, want 2", len(ov))
+	}
+	if ov["cn-1"]("cpu_busy", 50, 0.05) <= 0.5 {
+		t.Error("first fault missing from merged overlay")
+	}
+	if ov["cn-1"]("cpu_iowait", 250, 0.05) <= 0.2 {
+		t.Error("second fault missing from merged overlay")
+	}
+	if _, ok := ov["cn-3"]; ok {
+		t.Error("unexpected overlay for fault-free node")
+	}
+}
+
+func TestLabelsMatchFaults(t *testing.T) {
+	faults, _ := testCampaign(t)
+	labels := Labels(faults)
+	for _, f := range faults {
+		found := false
+		for _, iv := range labels[f.Node] {
+			if iv.Start <= f.Start && iv.End >= f.End {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("fault %v not covered by labels", f)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	faults := PlanCampaign(CampaignConfig{
+		Nodes:         make([]string, 200),
+		Window:        mts.Interval{Start: 0, End: 1000000},
+		FaultsPerNode: 2,
+		Seed:          13,
+	})
+	mean := float64(len(faults)) / 200
+	if math.Abs(mean-2) > 0.5 {
+		t.Errorf("mean faults per node = %v, want ~2", mean)
+	}
+}
+
+func TestExtraAndGPUTypesHaveSignatures(t *testing.T) {
+	for _, ft := range append(GPUTypes(), ExtraTypes()...) {
+		if len(AffectedSemantics(ft)) == 0 {
+			t.Errorf("type %q has no signature", ft)
+		}
+	}
+	// The opt-in classes must not leak into the default set.
+	for _, def := range AllTypes() {
+		for _, extra := range append(GPUTypes(), ExtraTypes()...) {
+			if def == extra {
+				t.Errorf("opt-in type %q leaked into AllTypes", extra)
+			}
+		}
+	}
+}
+
+func TestIOHangSignature(t *testing.T) {
+	f := Fault{Type: IOHang, Start: 0, End: 1000, Severity: 1, seed: 9}
+	o := f.Overlay()
+	if got := o("disk_read", 500, 0.6); got > 0.05 {
+		t.Errorf("io-hang should collapse disk_read, got %v", got)
+	}
+	if got := o("procs_blocked", 500, 0.1); got < 0.5 {
+		t.Errorf("io-hang should pile up blocked procs, got %v", got)
+	}
+}

@@ -1,0 +1,282 @@
+package features
+
+import (
+	"math"
+
+	"nodesentry/internal/stats"
+)
+
+// Extended descriptors closing more of the gap to TSFEL's 134-index
+// catalog: Hjorth parameters, fractal/complexity estimates, ECDF
+// percentiles, signal-change statistics and additional spectral shape
+// measures. They are appended to the base catalog, so feature-vector
+// layouts remain append-only stable.
+
+// ecdfPoints is the number of ECDF percentile features.
+const ecdfPoints = 5
+
+// ExtendedCatalog lists the additional descriptors in ExtractExtended
+// order. They are NOT part of the base Extract layout: enabling them is an
+// opt-in (Options-level) choice because every trained artifact pins the
+// feature layout it was clustered with.
+func ExtendedCatalog() []Descriptor {
+	d := []Descriptor{
+		// Statistical.
+		{"hjorth_activity", Statistical},
+		{"root_sum_squares", Statistical},
+		{"positive_sum", Statistical},
+		{"negative_sum", Statistical},
+		{"mean_crossing_rate", Statistical},
+	}
+	for i := 0; i < ecdfPoints; i++ {
+		d = append(d, Descriptor{ecdfName(i), Statistical})
+	}
+	d = append(d,
+		// Temporal.
+		Descriptor{"hjorth_mobility", Temporal},
+		Descriptor{"hjorth_complexity", Temporal},
+		Descriptor{"petrosian_fd", Temporal},
+		Descriptor{"slope_sign_changes", Temporal},
+		Descriptor{"abs_sum_changes", Temporal},
+		Descriptor{"waveform_length", Temporal},
+		Descriptor{"wilson_amplitude", Temporal},
+		Descriptor{"longest_above_mean", Temporal},
+		Descriptor{"longest_below_mean", Temporal},
+		Descriptor{"cid_ce", Temporal},
+		// Spectral.
+		Descriptor{"spectral_flatness", Spectral},
+		Descriptor{"spectral_crest", Spectral},
+		Descriptor{"spectral_rolloff25", Spectral},
+		Descriptor{"spectral_decrease", Spectral},
+		Descriptor{"wavelet_var_2", Spectral},
+		Descriptor{"wavelet_var_4", Spectral},
+		Descriptor{"wavelet_var_8", Spectral},
+	)
+	return d
+}
+
+func ecdfName(i int) string { return "ecdf_p" + string(rune('0'+2*i+1)) + "0" }
+
+// ExtractExtended computes the ExtendedCatalog block.
+func ExtractExtended(x []float64) []float64 {
+	out := make([]float64, 0, len(ExtendedCatalog()))
+	n := len(x)
+	mean, sd := stats.MeanStd(x)
+
+	// --- Statistical ---
+	out = append(out, sd*sd) // Hjorth activity = variance
+	out = append(out, math.Sqrt(stats.AbsEnergy(x)))
+	var pos, neg float64
+	for _, v := range x {
+		if v > 0 {
+			pos += v
+		} else {
+			neg += v
+		}
+	}
+	out = append(out, pos, neg)
+	out = append(out, rate(stats.ZeroCrossings(x), n)) // around the mean
+	// ECDF percentiles 10/30/50/70/90.
+	for i := 0; i < ecdfPoints; i++ {
+		out = append(out, finite(stats.Quantile(x, float64(2*i+1)/10)))
+	}
+
+	// --- Temporal ---
+	d1 := diff(x)
+	d2 := diff(d1)
+	mobility := ratioStd(d1, x)
+	out = append(out, mobility)
+	mob2 := ratioStd(d2, d1)
+	if mobility > 0 {
+		out = append(out, mob2/mobility) // Hjorth complexity
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, petrosianFD(x))
+	out = append(out, slopeSignChanges(d1))
+	out = append(out, sumAbs(d1))
+	out = append(out, sumAbs(d1)) // waveform length == Σ|Δ| for unit steps
+	out = append(out, wilsonAmplitude(d1, 0.5*sd))
+	above, below := longestRuns(x, mean)
+	out = append(out, normRun(above, n), normRun(below, n))
+	out = append(out, math.Sqrt(stats.AbsEnergy(d1))) // CID complexity estimate
+
+	// --- Spectral ---
+	out = append(out, spectralExtended(x)...)
+	return out
+}
+
+func ratioStd(num, den []float64) float64 {
+	sd := stats.Std(den)
+	if sd == 0 {
+		return 0
+	}
+	return stats.Std(num) / sd
+}
+
+// petrosianFD is the Petrosian fractal dimension, a cheap waveform
+// complexity estimate.
+func petrosianFD(x []float64) float64 {
+	n := len(x)
+	if n < 3 {
+		return 0
+	}
+	d := diff(x)
+	changes := slopeSignChangesCount(d)
+	if changes == 0 {
+		return 0
+	}
+	nf := float64(n)
+	return math.Log10(nf) / (math.Log10(nf) + math.Log10(nf/(nf+0.4*float64(changes))))
+}
+
+func slopeSignChangesCount(d []float64) int {
+	c := 0
+	for i := 0; i+1 < len(d); i++ {
+		if d[i]*d[i+1] < 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func slopeSignChanges(d []float64) float64 {
+	if len(d) < 2 {
+		return 0
+	}
+	return float64(slopeSignChangesCount(d)) / float64(len(d)-1)
+}
+
+// wilsonAmplitude counts steps whose change exceeds a threshold.
+func wilsonAmplitude(d []float64, thr float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	c := 0
+	for _, v := range d {
+		if math.Abs(v) > thr {
+			c++
+		}
+	}
+	return float64(c) / float64(len(d))
+}
+
+// longestRuns returns the longest consecutive runs above and below the
+// mean.
+func longestRuns(x []float64, mean float64) (above, below int) {
+	curA, curB := 0, 0
+	for _, v := range x {
+		if v > mean {
+			curA++
+			curB = 0
+		} else {
+			curB++
+			curA = 0
+		}
+		if curA > above {
+			above = curA
+		}
+		if curB > below {
+			below = curB
+		}
+	}
+	return above, below
+}
+
+func normRun(run, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(run) / float64(n)
+}
+
+// spectralExtended computes flatness, crest, 25 % rolloff, spectral
+// decrease, and Haar-style multiscale variances at scales 2/4/8.
+func spectralExtended(x []float64) []float64 {
+	out := make([]float64, 0, 7)
+	if len(x) < 4 {
+		return make([]float64, 7)
+	}
+	spec, _ := powerSpectrumNoDC(x)
+	total := 0.0
+	maxP := 0.0
+	logSum := 0.0
+	nonzero := 0
+	for _, v := range spec {
+		total += v
+		if v > maxP {
+			maxP = v
+		}
+		if v > 0 {
+			logSum += math.Log(v)
+			nonzero++
+		}
+	}
+	mean := total / float64(len(spec))
+	// Flatness: geometric mean / arithmetic mean.
+	if mean > 0 && nonzero == len(spec) {
+		out = append(out, math.Exp(logSum/float64(len(spec)))/mean)
+	} else {
+		out = append(out, 0)
+	}
+	// Crest: peak / mean.
+	if mean > 0 {
+		out = append(out, maxP/mean)
+	} else {
+		out = append(out, 0)
+	}
+	// 25% rolloff.
+	freqs := make([]float64, len(spec))
+	for k := range freqs {
+		freqs[k] = float64(k + 1)
+	}
+	out = append(out, rolloff(freqs, spec, total, 0.25)/float64(len(spec)))
+	// Spectral decrease: energy-weighted decay from the first bin.
+	out = append(out, spectralDecrease(spec))
+	// Multiscale (Haar-like) variances: variance of block means.
+	for _, scale := range []int{2, 4, 8} {
+		out = append(out, blockMeanVariance(x, scale))
+	}
+	return out
+}
+
+func powerSpectrumNoDC(x []float64) ([]float64, float64) {
+	spec, res := powerSpectrum(x)
+	if len(spec) <= 1 {
+		return nil, res
+	}
+	return spec[1:], res
+}
+
+func spectralDecrease(p []float64) float64 {
+	if len(p) < 2 {
+		return 0
+	}
+	den := 0.0
+	num := 0.0
+	for k := 1; k < len(p); k++ {
+		num += (p[k] - p[0]) / float64(k)
+		den += p[k]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// blockMeanVariance computes the variance of non-overlapping block means —
+// a wavelet-approximation variance at the given scale.
+func blockMeanVariance(x []float64, scale int) float64 {
+	if len(x) < 2*scale {
+		return 0
+	}
+	var means []float64
+	for lo := 0; lo+scale <= len(x); lo += scale {
+		s := 0.0
+		for k := 0; k < scale; k++ {
+			s += x[lo+k]
+		}
+		means = append(means, s/float64(scale))
+	}
+	return stats.Variance(means)
+}

@@ -1,0 +1,179 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendedCatalogMatchesExtract(t *testing.T) {
+	cat := ExtendedCatalog()
+	x := []float64{1, -2, 3, -4, 5, -6, 7, -8, 9, 10}
+	v := ExtractExtended(x)
+	if len(v) != len(cat) {
+		t.Fatalf("ExtractExtended produced %d values, catalog has %d", len(v), len(cat))
+	}
+	seen := map[string]bool{}
+	base := Catalog()
+	baseNames := map[string]bool{}
+	for _, d := range base {
+		baseNames[d.Name] = true
+	}
+	for _, d := range cat {
+		if seen[d.Name] {
+			t.Errorf("duplicate extended feature %q", d.Name)
+		}
+		if baseNames[d.Name] {
+			t.Errorf("extended feature %q collides with the base catalog", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestExtendedTotalOnDegenerateInputs(t *testing.T) {
+	for name, x := range map[string][]float64{
+		"empty":    {},
+		"single":   {3},
+		"pair":     {1, 2},
+		"constant": {5, 5, 5, 5, 5, 5},
+	} {
+		v := ExtractExtended(x)
+		if len(v) != len(ExtendedCatalog()) {
+			t.Fatalf("%s: wrong width", name)
+		}
+		for i, f := range v {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Errorf("%s: extended feature %d (%s) = %v", name, i, ExtendedCatalog()[i].Name, f)
+			}
+		}
+	}
+}
+
+func TestExtendedFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5)-2))
+		}
+		for _, v := range ExtractExtended(x) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func extIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i, d := range ExtendedCatalog() {
+		if d.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("extended feature %q not found", name)
+	return -1
+}
+
+func TestHjorthParameters(t *testing.T) {
+	// White noise has higher mobility than a slow sine.
+	rng := rand.New(rand.NewSource(1))
+	noise := make([]float64, 512)
+	sine := make([]float64, 512)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+		sine[i] = math.Sin(2 * math.Pi * float64(i) / 128)
+	}
+	mi := extIndex(t, "hjorth_mobility")
+	if ExtractExtended(noise)[mi] <= ExtractExtended(sine)[mi] {
+		t.Error("noise should have higher Hjorth mobility than a slow sine")
+	}
+	ai := extIndex(t, "hjorth_activity")
+	if got := ExtractExtended(sine)[ai]; math.Abs(got-0.5) > 0.05 {
+		t.Errorf("sine activity (variance) = %v, want ~0.5", got)
+	}
+}
+
+func TestSpectralFlatnessOrdering(t *testing.T) {
+	// White noise is spectrally flat; a pure tone is not.
+	rng := rand.New(rand.NewSource(2))
+	noise := make([]float64, 256)
+	tone := make([]float64, 256)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+		tone[i] = math.Sin(2 * math.Pi * 16 * float64(i) / 256)
+	}
+	fi := extIndex(t, "spectral_flatness")
+	fn := ExtractExtended(noise)[fi]
+	ft := ExtractExtended(tone)[fi]
+	if fn <= ft {
+		t.Errorf("noise flatness %v should exceed tone flatness %v", fn, ft)
+	}
+	ci := extIndex(t, "spectral_crest")
+	if ExtractExtended(tone)[ci] <= ExtractExtended(noise)[ci] {
+		t.Error("tone crest should exceed noise crest")
+	}
+}
+
+func TestLongestRunFeatures(t *testing.T) {
+	x := []float64{1, 1, 1, 1, -1, -1, 0, 0, 0, 0} // mean 0.2
+	ai := extIndex(t, "longest_above_mean")
+	bi := extIndex(t, "longest_below_mean")
+	v := ExtractExtended(x)
+	if v[ai] != 0.4 { // 4 samples above mean out of 10
+		t.Errorf("longest above = %v, want 0.4", v[ai])
+	}
+	if v[bi] != 0.6 { // trailing 6 samples <= mean
+		t.Errorf("longest below = %v, want 0.6", v[bi])
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	v := ExtractExtended(x)
+	lo := extIndex(t, "ecdf_p10")
+	prev := math.Inf(-1)
+	for i := 0; i < ecdfPoints; i++ {
+		if v[lo+i] < prev {
+			t.Fatal("ECDF percentiles not monotone")
+		}
+		prev = v[lo+i]
+	}
+}
+
+func TestPetrosianFDRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	fd := petrosianFD(x)
+	if fd < 0.9 || fd > 1.2 {
+		t.Errorf("Petrosian FD of noise = %v, want ~1.0-1.1", fd)
+	}
+	if petrosianFD([]float64{1, 2, 3, 4}) != 0 {
+		t.Error("monotone ramp has no slope changes -> 0")
+	}
+}
+
+func BenchmarkExtractExtended256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractExtended(x)
+	}
+}

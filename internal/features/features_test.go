@@ -1,0 +1,257 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nodesentry/internal/mts"
+)
+
+func TestCatalogMatchesExtractWidth(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != NumFeatures {
+		t.Fatalf("NumFeatures=%d but Catalog has %d entries", NumFeatures, len(cat))
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := len(Extract(x)); got != NumFeatures {
+		t.Fatalf("Extract produced %d features, catalog says %d", got, NumFeatures)
+	}
+	// Names must be unique.
+	seen := map[string]bool{}
+	for _, d := range cat {
+		if seen[d.Name] {
+			t.Errorf("duplicate feature name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Domain != Statistical && d.Domain != Temporal && d.Domain != Spectral {
+			t.Errorf("feature %q has unknown domain %q", d.Name, d.Domain)
+		}
+	}
+}
+
+func TestCatalogCoversThreeDomains(t *testing.T) {
+	counts := map[Domain]int{}
+	for _, d := range Catalog() {
+		counts[d.Domain]++
+	}
+	for _, dom := range []Domain{Statistical, Temporal, Spectral} {
+		if counts[dom] < 10 {
+			t.Errorf("domain %s has only %d features, want >= 10", dom, counts[dom])
+		}
+	}
+}
+
+func TestExtractTotalOnDegenerateInputs(t *testing.T) {
+	for name, x := range map[string][]float64{
+		"empty":    {},
+		"single":   {3},
+		"pair":     {1, 2},
+		"constant": {5, 5, 5, 5, 5, 5},
+		"triple":   {1, 2, 3},
+	} {
+		v := Extract(x)
+		if len(v) != NumFeatures {
+			t.Fatalf("%s: wrong width %d", name, len(v))
+		}
+		for i, f := range v {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Errorf("%s: feature %d (%s) = %v", name, i, Catalog()[i].Name, f)
+			}
+		}
+	}
+}
+
+func TestExtractFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		for _, v := range Extract(x) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractDistinguishesShapes(t *testing.T) {
+	// A sine and a ramp of the same mean/amplitude should yield clearly
+	// different vectors; two sines of the same frequency should be close.
+	n := 256
+	sineA := make([]float64, n)
+	sineB := make([]float64, n)
+	ramp := make([]float64, n)
+	for i := range sineA {
+		sineA[i] = math.Sin(2 * math.Pi * 8 * float64(i) / float64(n))
+		sineB[i] = math.Sin(2*math.Pi*8*float64(i)/float64(n) + 0.1)
+		ramp[i] = 2*float64(i)/float64(n) - 1
+	}
+	dist := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	va, vb, vr := Extract(sineA), Extract(sineB), Extract(ramp)
+	if dist(va, vb) >= dist(va, vr) {
+		t.Errorf("similar sines dist %v should be below sine-vs-ramp dist %v",
+			dist(va, vb), dist(va, vr))
+	}
+}
+
+func TestSpectralPeakFeature(t *testing.T) {
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 16 * float64(i) / float64(n))
+	}
+	v := Extract(x)
+	idx := featureIndex(t, "max_power_freq")
+	want := 16.0 / 256.0
+	if math.Abs(v[idx]-want) > 1e-9 {
+		t.Errorf("max_power_freq = %v, want %v", v[idx], want)
+	}
+}
+
+func featureIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i, d := range Catalog() {
+		if d.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("feature %q not in catalog", name)
+	return -1
+}
+
+func TestHistogramFeaturesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	v := Extract(x)
+	start := featureIndex(t, "hist_bin_0")
+	sum := 0.0
+	for i := 0; i < histBins; i++ {
+		sum += v[start+i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram features sum to %v, want 1", sum)
+	}
+}
+
+func TestBandEnergiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	v := Extract(x)
+	start := featureIndex(t, "band_energy_0")
+	sum := 0.0
+	for i := 0; i < specBands; i++ {
+		sum += v[start+i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("band energies sum to %v, want 1", sum)
+	}
+}
+
+func segFrame() (*mts.NodeFrame, mts.Segment) {
+	f := &mts.NodeFrame{
+		Node:    "cn-1",
+		Metrics: []string{"a", "b", "c"},
+		Data: [][]float64{
+			{1, 2, 3, 4, 5, 6, 7, 8},
+			{8, 7, 6, 5, 4, 3, 2, 1},
+			{0, 0, 0, 0, 1, 1, 1, 1},
+		},
+		Start: 0, Step: 15,
+	}
+	return f, mts.Segment{Node: "cn-1", Job: 1, Lo: 2, Hi: 8}
+}
+
+func TestSegmentVectorWidth(t *testing.T) {
+	f, seg := segFrame()
+	v := SegmentVector(f, seg)
+	if len(v) != 3*NumFeatures {
+		t.Fatalf("segment vector width = %d, want %d", len(v), 3*NumFeatures)
+	}
+}
+
+func TestMatrixMatchesSegmentVector(t *testing.T) {
+	f, seg := segFrame()
+	frames := map[string]*mts.NodeFrame{"cn-1": f}
+	segs := []mts.Segment{seg, {Node: "cn-1", Job: 2, Lo: 0, Hi: 4}}
+	m := Matrix(frames, segs)
+	if m.Rows != 2 || m.Cols != 3*NumFeatures {
+		t.Fatalf("matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	want := SegmentVector(f, segs[1])
+	for j, v := range want {
+		if m.At(1, j) != v {
+			t.Fatalf("matrix row differs from SegmentVector at %d", j)
+		}
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	m := Matrix(nil, nil)
+	if m.Rows != 0 {
+		t.Error("empty segment list should give empty matrix")
+	}
+}
+
+func TestNormalizeColumns(t *testing.T) {
+	f, _ := segFrame()
+	frames := map[string]*mts.NodeFrame{"cn-1": f}
+	segs := []mts.Segment{
+		{Node: "cn-1", Lo: 0, Hi: 4},
+		{Node: "cn-1", Lo: 2, Hi: 6},
+		{Node: "cn-1", Lo: 4, Hi: 8},
+	}
+	m := Matrix(frames, segs)
+	means, stds := NormalizeColumns(m)
+	// Every column should now have ~0 mean; constant columns exactly 0.
+	for j := 0; j < m.Cols; j++ {
+		s := 0.0
+		for i := 0; i < m.Rows; i++ {
+			s += m.At(i, j)
+		}
+		if math.Abs(s/float64(m.Rows)) > 1e-9 {
+			t.Fatalf("column %d mean %v after normalization", j, s/float64(m.Rows))
+		}
+	}
+	// ApplyNormalization must reproduce a row transform.
+	raw := SegmentVector(f, segs[0])
+	ApplyNormalization(raw, means, stds)
+	for j := range raw {
+		if math.Abs(raw[j]-m.At(0, j)) > 1e-9 {
+			t.Fatalf("ApplyNormalization mismatch at col %d: %v vs %v", j, raw[j], m.At(0, j))
+		}
+	}
+}
+
+func BenchmarkExtract256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Extract(x)
+	}
+}

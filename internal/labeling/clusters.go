@@ -1,0 +1,141 @@
+package labeling
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"nodesentry/internal/cluster"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+)
+
+// ClusterSession is the interactive cluster-adjustment state: algorithmic
+// assignments plus operator overrides, with centroids recomputed after
+// every adjustment — functionality (3) of the paper's tool.
+type ClusterSession struct {
+	// Features is the segment feature matrix (row per segment).
+	Features *mat.Matrix
+	// Segments identifies the rows.
+	Segments []mts.Segment
+	// original holds the algorithmic labels; current the adjusted ones.
+	original []int
+	current  []int
+	k        int
+}
+
+// NewClusterSession runs the built-in HAC clustering (silhouette-guided)
+// and returns an adjustable session.
+func NewClusterSession(F *mat.Matrix, segments []mts.Segment, kMin, kMax int) *ClusterSession {
+	res := cluster.HACAuto(F, cluster.Average, kMin, kMax)
+	return &ClusterSession{
+		Features: F,
+		Segments: segments,
+		original: append([]int(nil), res.Labels...),
+		current:  append([]int(nil), res.Labels...),
+		k:        res.K,
+	}
+}
+
+// NumClusters returns the current cluster count.
+func (c *ClusterSession) NumClusters() int { return c.k }
+
+// Labels returns the adjusted labels (copy).
+func (c *ClusterSession) Labels() []int { return append([]int(nil), c.current...) }
+
+// OriginalLabels returns the algorithmic labels (copy).
+func (c *ClusterSession) OriginalLabels() []int { return append([]int(nil), c.original...) }
+
+// Move reassigns segment i to cluster target; targets beyond the current
+// count create a new cluster. Centroids are implicitly updated (they are
+// derived from labels on demand).
+func (c *ClusterSession) Move(i, target int) error {
+	if i < 0 || i >= len(c.current) {
+		return fmt.Errorf("labeling: segment %d out of range", i)
+	}
+	if target < 0 || target > c.k {
+		return fmt.Errorf("labeling: cluster %d out of range (0..%d allowed)", target, c.k)
+	}
+	if target == c.k {
+		c.k++
+	}
+	c.current[i] = target
+	return nil
+}
+
+// Centroids returns the centroids of the adjusted clustering.
+func (c *ClusterSession) Centroids() *mat.Matrix {
+	return cluster.Centroids(c.Features, c.current, c.k)
+}
+
+// Silhouette scores the adjusted clustering.
+func (c *ClusterSession) Silhouette() float64 {
+	return cluster.Silhouette(c.Features, c.current)
+}
+
+// Adjusted reports how many segments differ from the algorithmic result.
+func (c *ClusterSession) Adjusted() int {
+	n := 0
+	for i := range c.current {
+		if c.current[i] != c.original[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Save writes the artifact's two cluster files: config_files/
+// cluster_result.txt (raw algorithmic output) and cluster_adjust.txt
+// (operator-modified groupings). Format: one "node job cluster" line per
+// segment.
+func (c *ClusterSession) Save(dir string) error {
+	cfgDir := filepath.Join(dir, "config_files")
+	if err := os.MkdirAll(cfgDir, 0o755); err != nil {
+		return err
+	}
+	write := func(path string, labels []int) error {
+		var b strings.Builder
+		for i, seg := range c.Segments {
+			fmt.Fprintf(&b, "%s %d %d\n", seg.Node, seg.Job, labels[i])
+		}
+		return os.WriteFile(path, []byte(b.String()), 0o644)
+	}
+	if err := write(filepath.Join(cfgDir, "cluster_result.txt"), c.original); err != nil {
+		return err
+	}
+	return write(filepath.Join(dir, "cluster_adjust.txt"), c.current)
+}
+
+// LoadAdjustments applies a previously saved cluster_adjust.txt to the
+// session (matching rows by order).
+func (c *ClusterSession) LoadAdjustments(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(c.Segments) {
+		return fmt.Errorf("labeling: %s has %d rows, session has %d segments", path, len(lines), len(c.Segments))
+	}
+	maxK := c.k
+	labels := make([]int, len(lines))
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("labeling: bad row %q", line)
+		}
+		l, err := strconv.Atoi(fields[2])
+		if err != nil || l < 0 {
+			return fmt.Errorf("labeling: bad cluster in row %q", line)
+		}
+		labels[i] = l
+		if l+1 > maxK {
+			maxK = l + 1
+		}
+	}
+	c.current = labels
+	c.k = maxK
+	return nil
+}

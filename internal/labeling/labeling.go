@@ -1,0 +1,212 @@
+// Package labeling reproduces the paper's clustering-adjustment and
+// anomaly-labeling toolkit (§4.2, artifact A₂) as a library: an annotation
+// store with history, detector-assisted label suggestions, and interactive
+// cluster adjustment with centroid updates. cmd/labeltool exposes it as a
+// CLI and an HTTP UI (the original is a ~1,600-line Tkinter desktop app;
+// the functionality — select metrics, label/cancel intervals with
+// algorithmic assistance, move segments between clusters — is reproduced
+// without the desktop canvas).
+package labeling
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nodesentry/internal/mts"
+)
+
+// Store holds the labeling session state: per-node anomaly intervals plus
+// an append-only annotation history.
+type Store struct {
+	labels  mts.Labels
+	history []HistoryEntry
+}
+
+// HistoryEntry records one labeling action.
+type HistoryEntry struct {
+	Time   time.Time
+	Action string // "label" or "cancel"
+	Node   string
+	Span   mts.Interval
+}
+
+// NewStore returns an empty labeling session.
+func NewStore() *Store {
+	return &Store{labels: mts.Labels{}}
+}
+
+// Label marks [start, end) on node as anomalous.
+func (s *Store) Label(node string, iv mts.Interval) error {
+	if iv.End <= iv.Start {
+		return fmt.Errorf("labeling: empty interval %v", iv)
+	}
+	s.labels.Add(node, iv)
+	s.history = append(s.history, HistoryEntry{
+		Time: time.Now(), Action: "label", Node: node, Span: iv,
+	})
+	return nil
+}
+
+// Cancel removes any labeled overlap with [start, end) on node.
+func (s *Store) Cancel(node string, iv mts.Interval) {
+	var kept []mts.Interval
+	for _, l := range s.labels[node] {
+		if !l.Overlaps(iv) {
+			kept = append(kept, l)
+			continue
+		}
+		// Keep the non-overlapping remainders.
+		if l.Start < iv.Start {
+			kept = append(kept, mts.Interval{Start: l.Start, End: iv.Start})
+		}
+		if l.End > iv.End {
+			kept = append(kept, mts.Interval{Start: iv.End, End: l.End})
+		}
+	}
+	s.labels[node] = mts.NormalizeIntervals(kept)
+	s.history = append(s.history, HistoryEntry{
+		Time: time.Now(), Action: "cancel", Node: node, Span: iv,
+	})
+}
+
+// Labels returns the current labels (shared, do not mutate).
+func (s *Store) Labels() mts.Labels { return s.labels }
+
+// History returns the annotation history.
+func (s *Store) History() []HistoryEntry { return s.history }
+
+// Save writes the session in the artifact's layout: per-node CSVs under
+// labels/ plus annotation_history.txt.
+func (s *Store) Save(dir string) error {
+	labelDir := filepath.Join(dir, "labels")
+	if err := os.MkdirAll(labelDir, 0o755); err != nil {
+		return err
+	}
+	nodes := make([]string, 0, len(s.labels))
+	for n := range s.labels {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		var b strings.Builder
+		b.WriteString("start,end\n")
+		for _, iv := range s.labels[node] {
+			fmt.Fprintf(&b, "%d,%d\n", iv.Start, iv.End)
+		}
+		if err := os.WriteFile(filepath.Join(labelDir, node+".csv"), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	var h strings.Builder
+	for _, e := range s.history {
+		fmt.Fprintf(&h, "%s %s %s %d %d\n", e.Time.UTC().Format(time.RFC3339), e.Action, e.Node, e.Span.Start, e.Span.End)
+	}
+	return os.WriteFile(filepath.Join(dir, "annotation_history.txt"), []byte(h.String()), 0o644)
+}
+
+// Load restores a session saved with Save. Missing files yield an empty
+// session rather than an error (a fresh workspace is valid).
+func Load(dir string) (*Store, error) {
+	s := NewStore()
+	labelDir := filepath.Join(dir, "labels")
+	entries, err := os.ReadDir(labelDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		node := strings.TrimSuffix(e.Name(), ".csv")
+		data, err := os.ReadFile(filepath.Join(labelDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if i == 0 {
+				continue // header
+			}
+			a, b, ok := strings.Cut(line, ",")
+			if !ok {
+				continue
+			}
+			start, err1 := strconv.ParseInt(a, 10, 64)
+			end, err2 := strconv.ParseInt(b, 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("labeling: bad line %q in %s", line, e.Name())
+			}
+			s.labels.Add(node, mts.Interval{Start: start, End: end})
+		}
+	}
+	if hist, err := os.Open(filepath.Join(dir, "annotation_history.txt")); err == nil {
+		defer hist.Close()
+		sc := bufio.NewScanner(hist)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) != 5 {
+				continue
+			}
+			ts, _ := time.Parse(time.RFC3339, fields[0])
+			start, _ := strconv.ParseInt(fields[3], 10, 64)
+			end, _ := strconv.ParseInt(fields[4], 10, 64)
+			s.history = append(s.history, HistoryEntry{
+				Time: ts, Action: fields[1], Node: fields[2],
+				Span: mts.Interval{Start: start, End: end},
+			})
+		}
+	}
+	return s, nil
+}
+
+// Suggestion is a detector-proposed anomalous interval for operator review.
+type Suggestion struct {
+	Node   string
+	Span   mts.Interval
+	Method string
+	// Score is the peak anomaly score inside the interval.
+	Score float64
+}
+
+// Suggest converts a per-sample prediction stream into interval
+// suggestions: maximal runs of positive predictions become intervals,
+// stamped with the detecting method's name. The paper's tool integrates
+// "multiple anomaly detection methods (e.g., statistical methods and deep
+// learning methods) to aid in labeling" — callers pass each method's
+// output here.
+func Suggest(f *mts.NodeFrame, scores []float64, preds []bool, method string) []Suggestion {
+	var out []Suggestion
+	for i := 0; i < len(preds); {
+		if !preds[i] {
+			i++
+			continue
+		}
+		j := i
+		peak := scores[i]
+		for j < len(preds) && preds[j] {
+			if scores[j] > peak {
+				peak = scores[j]
+			}
+			j++
+		}
+		out = append(out, Suggestion{
+			Node:   f.Node,
+			Span:   mts.Interval{Start: f.TimeAt(i), End: f.TimeAt(j)},
+			Method: method,
+			Score:  peak,
+		})
+		i = j
+	}
+	return out
+}
+
+// Accept applies a suggestion to the store.
+func (s *Store) Accept(sug Suggestion) error { return s.Label(sug.Node, sug.Span) }

@@ -1,0 +1,347 @@
+// Package mat provides the dense float64 linear-algebra kernels that back
+// NodeSentry's neural substrate, plus the worker-pool helper used across the
+// repository to parallelize embarrassingly parallel loops.
+//
+// Matrices are row-major with a contiguous backing slice so that matmul
+// kernels stream memory predictably. Operations above a size threshold are
+// automatically split across runtime.GOMAXPROCS(0) goroutines.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix: element (i, j) is Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, copying the data. All rows must
+// have equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a view into the backing slice.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// parallelThreshold is the flop count above which kernels fan out to the
+// worker pool; below it the goroutine overhead dominates.
+const parallelThreshold = 1 << 16
+
+// Mul returns a×b, parallelizing over row blocks of a when the product is
+// large. Panics on dimension mismatch.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		mulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	Parallel(a.Rows, func(lo, hi int) { mulRange(a, b, out, lo, hi) })
+	return out
+}
+
+// mulRange computes out rows [lo, hi) of a×b with an ikj loop order that
+// streams rows of b.
+func mulRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT returns a×bᵀ without materializing the transpose.
+func MulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulT dimension mismatch: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		body(0, a.Rows)
+	} else {
+		Parallel(a.Rows, body)
+	}
+	return out
+}
+
+// TMul returns aᵀ×b without materializing the transpose.
+func TMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: TMul dimension mismatch: (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	var mu sync.Mutex
+	body := func(lo, hi int) {
+		local := New(out.Rows, out.Cols)
+		for k := lo; k < hi; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				lrow := local.Row(i)
+				for j, bv := range brow {
+					lrow[j] += av * bv
+				}
+			}
+		}
+		mu.Lock()
+		for i, v := range local.Data {
+			out.Data[i] += v
+		}
+		mu.Unlock()
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	} else {
+		Parallel(a.Rows, body)
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("Sub", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b *Matrix) {
+	checkSameShape("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func Scale(m *Matrix, s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Hadamard returns the elementwise product a∘b.
+func Hadamard(a, b *Matrix) *Matrix {
+	checkSameShape("Hadamard", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// AddRowVector adds vector v to every row of m in place. len(v) must equal
+// m.Cols.
+func AddRowVector(m *Matrix, v []float64) {
+	if len(v) != m.Cols {
+		panic("mat: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, w := range v {
+			row[j] += w
+		}
+	}
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Dot returns the inner product of equal-length vectors x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// EuclideanDist returns the Euclidean distance between x and y.
+func EuclideanDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: EuclideanDist length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDist returns the squared Euclidean distance between x and y.
+func SquaredDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: SquaredDist length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Parallel splits the range [0, n) into one contiguous chunk per available
+// CPU and invokes fn(lo, hi) for each chunk on its own goroutine, returning
+// when all chunks finish. fn must be safe to run concurrently on disjoint
+// ranges. For n == 0 it returns immediately; for a single worker it calls fn
+// inline.
+func Parallel(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelItems invokes fn(i) for every i in [0, n) using the worker pool.
+// Convenience wrapper over Parallel for per-item workloads whose cost is
+// large enough that chunk granularity does not matter.
+func ParallelItems(n int, fn func(i int)) {
+	Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

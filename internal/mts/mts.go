@@ -1,0 +1,259 @@
+// Package mts defines the core multivariate-time-series (MTS) types shared by
+// every stage of the NodeSentry pipeline: per-node metric frames, job spans
+// obtained from the scheduler, job-delimited segments, and labeled anomaly
+// intervals.
+//
+// Conventions:
+//   - Time is Unix seconds. All samples of a frame lie on a regular grid
+//     Start + i*Step.
+//   - Missing samples are represented as NaN and repaired by the
+//     preprocessing stage.
+//   - Data is laid out metric-major: Data[m][t] is metric m at sample t,
+//     which is the access pattern of feature extraction and standardization.
+package mts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeFrame holds the multivariate time series collected from one compute
+// node: len(Metrics) series of equal length on a regular time grid.
+type NodeFrame struct {
+	// Node is the node's name, e.g. "cn-0042".
+	Node string
+	// Metrics names Data rows; Metrics[m] describes Data[m].
+	Metrics []string
+	// Data is metric-major: Data[m][t].
+	Data [][]float64
+	// Start is the Unix timestamp (seconds) of sample 0.
+	Start int64
+	// Step is the sampling interval in seconds (15 in the paper).
+	Step int64
+}
+
+// Len returns the number of samples per metric, 0 for an empty frame.
+func (f *NodeFrame) Len() int {
+	if len(f.Data) == 0 {
+		return 0
+	}
+	return len(f.Data[0])
+}
+
+// NumMetrics returns the number of metric rows.
+func (f *NodeFrame) NumMetrics() int { return len(f.Data) }
+
+// TimeAt returns the Unix timestamp of sample i.
+func (f *NodeFrame) TimeAt(i int) int64 { return f.Start + int64(i)*f.Step }
+
+// IndexOf returns the sample index containing Unix time ts, clamped to
+// [0, Len()]. A time before Start maps to 0; a time at or past the end of
+// the frame maps to Len().
+func (f *NodeFrame) IndexOf(ts int64) int {
+	if f.Step <= 0 {
+		return 0
+	}
+	i := int((ts - f.Start) / f.Step)
+	if i < 0 {
+		return 0
+	}
+	if n := f.Len(); i > n {
+		return n
+	}
+	return i
+}
+
+// Validate checks the structural invariants of the frame: metric names match
+// rows, all rows have equal length, and Step is positive.
+func (f *NodeFrame) Validate() error {
+	if len(f.Metrics) != len(f.Data) {
+		return fmt.Errorf("mts: frame %q has %d metric names but %d rows", f.Node, len(f.Metrics), len(f.Data))
+	}
+	if f.Step <= 0 {
+		return fmt.Errorf("mts: frame %q has non-positive step %d", f.Node, f.Step)
+	}
+	n := f.Len()
+	for m, row := range f.Data {
+		if len(row) != n {
+			return fmt.Errorf("mts: frame %q metric %q has %d samples, want %d", f.Node, f.Metrics[m], len(row), n)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the frame.
+func (f *NodeFrame) Clone() *NodeFrame {
+	g := &NodeFrame{
+		Node:    f.Node,
+		Metrics: append([]string(nil), f.Metrics...),
+		Data:    make([][]float64, len(f.Data)),
+		Start:   f.Start,
+		Step:    f.Step,
+	}
+	for m, row := range f.Data {
+		g.Data[m] = append([]float64(nil), row...)
+	}
+	return g
+}
+
+// Slice returns a view of samples [lo, hi) sharing the frame's backing
+// arrays. The returned frame must not be mutated independently.
+func (f *NodeFrame) Slice(lo, hi int) *NodeFrame {
+	g := &NodeFrame{
+		Node:    f.Node,
+		Metrics: f.Metrics,
+		Data:    make([][]float64, len(f.Data)),
+		Start:   f.Start + int64(lo)*f.Step,
+		Step:    f.Step,
+	}
+	for m, row := range f.Data {
+		g.Data[m] = row[lo:hi]
+	}
+	return g
+}
+
+// Window returns the t-th column of the frame: the metric vector observed at
+// sample t. The result is freshly allocated.
+func (f *NodeFrame) Window(t int) []float64 {
+	v := make([]float64, len(f.Data))
+	for m := range f.Data {
+		v[m] = f.Data[m][t]
+	}
+	return v
+}
+
+// JobSpan is the per-node view of one scheduler accounting record: job Job
+// occupied node Node from Start to End (Unix seconds, half-open). Idle gaps
+// between jobs are represented by the preprocessing stage as synthetic spans
+// with Job == IdleJobID, matching the paper's treatment of idle waiting as a
+// special job.
+type JobSpan struct {
+	Job   int64
+	Node  string
+	Start int64
+	End   int64
+}
+
+// IdleJobID marks synthetic spans covering idle waiting periods.
+const IdleJobID int64 = -1
+
+// Duration returns the span length in seconds.
+func (s JobSpan) Duration() int64 { return s.End - s.Start }
+
+// Segment is a job-delimited slice of a node's frame: the node's continuous
+// pattern during one job (or one idle period). Lo/Hi are sample indices into
+// the owning frame, half-open.
+type Segment struct {
+	Node string
+	Job  int64
+	Lo   int
+	Hi   int
+	// Offset is the position of sample Lo within the job, in samples: 0
+	// when the job started inside the frame, positive when the frame
+	// clips a job already in progress (e.g. a test split that begins
+	// mid-job). Positional encodings use Offset so that within-job
+	// positions stay aligned with the job's true timeline.
+	Offset int
+}
+
+// Len returns the number of samples in the segment.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// Interval is a half-open interval of Unix seconds [Start, End).
+type Interval struct {
+	Start int64
+	End   int64
+}
+
+// Contains reports whether ts lies inside the interval.
+func (iv Interval) Contains(ts int64) bool { return ts >= iv.Start && ts < iv.End }
+
+// Overlaps reports whether the two intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Start < o.End && o.Start < iv.End }
+
+// Labels maps a node name to its ground-truth anomalous intervals, kept
+// sorted by start time and non-overlapping (see Normalize).
+type Labels map[string][]Interval
+
+// Add inserts an interval for node and re-normalizes that node's list.
+func (l Labels) Add(node string, iv Interval) {
+	l[node] = NormalizeIntervals(append(l[node], iv))
+}
+
+// Mask rasterizes the node's intervals onto the frame's sample grid:
+// out[t] is true when sample t falls inside any labeled interval.
+func (l Labels) Mask(f *NodeFrame) []bool {
+	out := make([]bool, f.Len())
+	for _, iv := range l[f.Node] {
+		lo := f.IndexOf(iv.Start)
+		hi := f.IndexOf(iv.End)
+		for t := lo; t < hi && t < len(out); t++ {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// AnomalyRatio returns labeled samples / total samples across the frames.
+func (l Labels) AnomalyRatio(frames []*NodeFrame) float64 {
+	var anom, total int
+	for _, f := range frames {
+		total += f.Len()
+		for _, b := range l.Mask(f) {
+			if b {
+				anom++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(anom) / float64(total)
+}
+
+// NormalizeIntervals sorts intervals by start and merges overlapping or
+// touching ones, dropping empty intervals.
+func NormalizeIntervals(ivs []Interval) []Interval {
+	keep := ivs[:0]
+	for _, iv := range ivs {
+		if iv.End > iv.Start {
+			keep = append(keep, iv)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].Start < keep[j].Start })
+	out := keep[:0]
+	for _, iv := range keep {
+		if n := len(out); n > 0 && iv.Start <= out[n-1].End {
+			if iv.End > out[n-1].End {
+				out[n-1].End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// CountMissing returns the number of NaN samples in the frame.
+func CountMissing(f *NodeFrame) int {
+	n := 0
+	for _, row := range f.Data {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalPoints returns the total number of samples (metrics × time) across
+// the frames, as reported in the paper's Table 2.
+func TotalPoints(frames []*NodeFrame) int64 {
+	var n int64
+	for _, f := range frames {
+		n += int64(f.NumMetrics()) * int64(f.Len())
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package mts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testFrame() *NodeFrame {
+	return &NodeFrame{
+		Node:    "cn-1",
+		Metrics: []string{"cpu", "mem"},
+		Data: [][]float64{
+			{0, 1, 2, 3, 4, 5},
+			{10, 11, 12, 13, 14, 15},
+		},
+		Start: 1000,
+		Step:  15,
+	}
+}
+
+func TestFrameBasics(t *testing.T) {
+	f := testFrame()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := f.Len(); got != 6 {
+		t.Errorf("Len = %d, want 6", got)
+	}
+	if got := f.NumMetrics(); got != 2 {
+		t.Errorf("NumMetrics = %d, want 2", got)
+	}
+	if got := f.TimeAt(2); got != 1030 {
+		t.Errorf("TimeAt(2) = %d, want 1030", got)
+	}
+}
+
+func TestIndexOfClamps(t *testing.T) {
+	f := testFrame()
+	cases := []struct {
+		ts   int64
+		want int
+	}{
+		{900, 0},    // before start
+		{1000, 0},   // at start
+		{1014, 0},   // within first sample
+		{1015, 1},   // second sample
+		{1089, 5},   // last sample
+		{1090, 6},   // end of frame
+		{99999, 6},  // far past end
+		{-99999, 0}, // far before start
+	}
+	for _, c := range cases {
+		if got := f.IndexOf(c.ts); got != c.want {
+			t.Errorf("IndexOf(%d) = %d, want %d", c.ts, got, c.want)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	f := testFrame()
+	f.Metrics = f.Metrics[:1]
+	if f.Validate() == nil {
+		t.Error("Validate accepted mismatched metric names")
+	}
+	f = testFrame()
+	f.Data[1] = f.Data[1][:3]
+	if f.Validate() == nil {
+		t.Error("Validate accepted ragged rows")
+	}
+	f = testFrame()
+	f.Step = 0
+	if f.Validate() == nil {
+		t.Error("Validate accepted zero step")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := testFrame()
+	g := f.Clone()
+	g.Data[0][0] = 99
+	g.Metrics[0] = "x"
+	if f.Data[0][0] == 99 || f.Metrics[0] == "x" {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	f := testFrame()
+	g := f.Slice(2, 5)
+	if g.Len() != 3 {
+		t.Fatalf("Slice Len = %d, want 3", g.Len())
+	}
+	if g.Start != f.TimeAt(2) {
+		t.Errorf("Slice Start = %d, want %d", g.Start, f.TimeAt(2))
+	}
+	if g.Data[0][0] != 2 || g.Data[1][2] != 14 {
+		t.Errorf("Slice data wrong: %v", g.Data)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	f := testFrame()
+	w := f.Window(3)
+	if w[0] != 3 || w[1] != 13 {
+		t.Errorf("Window(3) = %v, want [3 13]", w)
+	}
+}
+
+func TestNormalizeIntervals(t *testing.T) {
+	got := NormalizeIntervals([]Interval{
+		{10, 20}, {5, 12}, {30, 30}, {25, 28}, {19, 22},
+	})
+	want := []Interval{{5, 22}, {25, 28}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeIntervalsProperty(t *testing.T) {
+	// After normalization: sorted, non-overlapping, non-empty, and total
+	// coverage never exceeds input coverage bounds.
+	f := func(starts []int16, lens []uint8) bool {
+		n := len(starts)
+		if len(lens) < n {
+			n = len(lens)
+		}
+		ivs := make([]Interval, 0, n)
+		for i := 0; i < n; i++ {
+			s := int64(starts[i])
+			ivs = append(ivs, Interval{s, s + int64(lens[i])})
+		}
+		out := NormalizeIntervals(ivs)
+		for i, iv := range out {
+			if iv.End <= iv.Start {
+				return false
+			}
+			if i > 0 && out[i-1].End >= iv.Start+1 && out[i-1].End > iv.Start {
+				return false
+			}
+			if i > 0 && out[i-1].Start >= iv.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelsMask(t *testing.T) {
+	f := testFrame()
+	l := Labels{}
+	l.Add("cn-1", Interval{f.TimeAt(1), f.TimeAt(3)})
+	mask := l.Mask(f)
+	want := []bool{false, true, true, false, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestLabelsMaskForeignNode(t *testing.T) {
+	f := testFrame()
+	l := Labels{}
+	l.Add("other", Interval{f.TimeAt(0), f.TimeAt(5)})
+	for i, b := range l.Mask(f) {
+		if b {
+			t.Fatalf("mask[%d] set for unlabeled node", i)
+		}
+	}
+}
+
+func TestAnomalyRatio(t *testing.T) {
+	f := testFrame()
+	l := Labels{}
+	l.Add("cn-1", Interval{f.TimeAt(0), f.TimeAt(3)})
+	got := l.AnomalyRatio([]*NodeFrame{f})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AnomalyRatio = %v, want 0.5", got)
+	}
+}
+
+func TestIntervalPredicates(t *testing.T) {
+	iv := Interval{10, 20}
+	if !iv.Contains(10) || iv.Contains(20) || !iv.Contains(19) {
+		t.Error("Contains is wrong at boundaries")
+	}
+	if !iv.Overlaps(Interval{19, 25}) || iv.Overlaps(Interval{20, 25}) {
+		t.Error("Overlaps is wrong at boundaries")
+	}
+}
+
+func TestCountMissing(t *testing.T) {
+	f := testFrame()
+	f.Data[0][1] = math.NaN()
+	f.Data[1][4] = math.NaN()
+	if got := CountMissing(f); got != 2 {
+		t.Errorf("CountMissing = %d, want 2", got)
+	}
+}
+
+func TestTotalPoints(t *testing.T) {
+	f := testFrame()
+	if got := TotalPoints([]*NodeFrame{f, f}); got != 24 {
+		t.Errorf("TotalPoints = %d, want 24", got)
+	}
+}
+
+func TestJobSpanDuration(t *testing.T) {
+	s := JobSpan{Job: 1, Node: "cn-1", Start: 100, End: 400}
+	if s.Duration() != 300 {
+		t.Errorf("Duration = %d, want 300", s.Duration())
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	s := Segment{Lo: 5, Hi: 12}
+	if s.Len() != 7 {
+		t.Errorf("Segment.Len = %d, want 7", s.Len())
+	}
+}

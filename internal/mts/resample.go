@@ -1,0 +1,111 @@
+package mts
+
+import "math"
+
+// Resampling utilities: real deployments mix sampling rates (the paper's
+// systems sample at 15 s; our presets at 60 s; archived data is often
+// downsampled further), and detectors trained at one rate must consume
+// data at another. These helpers convert frames between steps.
+
+// Downsample returns a new frame whose step is factor× the input's, each
+// output sample averaging `factor` consecutive inputs (NaNs are skipped;
+// an all-NaN bucket stays NaN). The trailing partial bucket is dropped.
+func Downsample(f *NodeFrame, factor int) *NodeFrame {
+	if factor <= 1 {
+		return f.Clone()
+	}
+	outLen := f.Len() / factor
+	g := &NodeFrame{
+		Node:    f.Node,
+		Metrics: append([]string(nil), f.Metrics...),
+		Data:    make([][]float64, f.NumMetrics()),
+		Start:   f.Start,
+		Step:    f.Step * int64(factor),
+	}
+	for m, row := range f.Data {
+		out := make([]float64, outLen)
+		for t := 0; t < outLen; t++ {
+			sum, n := 0.0, 0
+			for k := 0; k < factor; k++ {
+				v := row[t*factor+k]
+				if math.IsNaN(v) {
+					continue
+				}
+				sum += v
+				n++
+			}
+			if n == 0 {
+				out[t] = math.NaN()
+			} else {
+				out[t] = sum / float64(n)
+			}
+		}
+		g.Data[m] = out
+	}
+	return g
+}
+
+// Upsample returns a new frame whose step is the input's divided by
+// factor, linearly interpolating between consecutive samples (the last
+// sample is repeated for the final sub-steps). NaN neighbours propagate
+// NaN, matching the cleaning stage's contract that repair happens there.
+func Upsample(f *NodeFrame, factor int) *NodeFrame {
+	if factor <= 1 {
+		return f.Clone()
+	}
+	n := f.Len()
+	if n == 0 {
+		g := f.Clone()
+		g.Step = f.Step / int64(factor)
+		return g
+	}
+	outLen := (n-1)*factor + 1
+	g := &NodeFrame{
+		Node:    f.Node,
+		Metrics: append([]string(nil), f.Metrics...),
+		Data:    make([][]float64, f.NumMetrics()),
+		Start:   f.Start,
+		Step:    f.Step / int64(factor),
+	}
+	if g.Step == 0 {
+		g.Step = 1
+	}
+	for m, row := range f.Data {
+		out := make([]float64, outLen)
+		for t := 0; t+1 < n; t++ {
+			a, b := row[t], row[t+1]
+			for k := 0; k < factor; k++ {
+				idx := t*factor + k
+				if math.IsNaN(a) || math.IsNaN(b) {
+					if k == 0 {
+						out[idx] = a
+					} else {
+						out[idx] = math.NaN()
+					}
+					continue
+				}
+				frac := float64(k) / float64(factor)
+				out[idx] = a + (b-a)*frac
+			}
+		}
+		out[outLen-1] = row[n-1]
+		g.Data[m] = out
+	}
+	return g
+}
+
+// AlignToStep converts a frame to the target step using Downsample or
+// Upsample; a non-multiple relationship returns the frame unchanged with
+// ok == false.
+func AlignToStep(f *NodeFrame, step int64) (out *NodeFrame, ok bool) {
+	switch {
+	case f.Step == step:
+		return f, true
+	case step > f.Step && step%f.Step == 0:
+		return Downsample(f, int(step/f.Step)), true
+	case step < f.Step && f.Step%step == 0:
+		return Upsample(f, int(f.Step/step)), true
+	default:
+		return f, false
+	}
+}

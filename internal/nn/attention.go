@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"nodesentry/internal/mat"
+)
+
+// MultiHeadAttention is standard multi-head self-attention over a token
+// sequence: softmax(QKᵀ/√dk)V per head, heads concatenated and projected.
+// The model dimension must be divisible by the head count.
+type MultiHeadAttention struct {
+	Heads int
+	Dim   int // model dimension
+	dk    int
+
+	Wq, Wk, Wv, Wo *Param
+
+	// forward caches
+	x       *mat.Matrix
+	q, k, v *mat.Matrix // [T × Dim], heads laid out contiguously
+	attn    []*mat.Matrix
+	concat  *mat.Matrix
+}
+
+// NewMultiHeadAttention builds an attention layer with the given model
+// dimension and head count.
+func NewMultiHeadAttention(dim, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic("nn: attention dim must be divisible by heads")
+	}
+	a := &MultiHeadAttention{
+		Heads: heads, Dim: dim, dk: dim / heads,
+		Wq: NewParam(dim, dim), Wk: NewParam(dim, dim),
+		Wv: NewParam(dim, dim), Wo: NewParam(dim, dim),
+	}
+	for _, p := range []*Param{a.Wq, a.Wk, a.Wv, a.Wo} {
+		p.XavierInit(rng)
+	}
+	return a
+}
+
+// headView returns the [T × dk] sub-matrix of m holding head h.
+func (a *MultiHeadAttention) headView(m *mat.Matrix, h int) *mat.Matrix {
+	out := mat.New(m.Rows, a.dk)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[h*a.dk:(h+1)*a.dk])
+	}
+	return out
+}
+
+func (a *MultiHeadAttention) scatterHead(dst *mat.Matrix, src *mat.Matrix, h int, add bool) {
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Row(i)[h*a.dk : (h+1)*a.dk]
+		s := src.Row(i)
+		if add {
+			for j := range d {
+				d[j] += s[j]
+			}
+		} else {
+			copy(d, s)
+		}
+	}
+}
+
+// Forward implements Layer.
+func (a *MultiHeadAttention) Forward(x *mat.Matrix) *mat.Matrix {
+	a.x = x
+	a.q = mat.Mul(x, a.Wq.W)
+	a.k = mat.Mul(x, a.Wk.W)
+	a.v = mat.Mul(x, a.Wv.W)
+	a.attn = make([]*mat.Matrix, a.Heads)
+	a.concat = mat.New(x.Rows, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for h := 0; h < a.Heads; h++ {
+		qh := a.headView(a.q, h)
+		kh := a.headView(a.k, h)
+		vh := a.headView(a.v, h)
+		scores := mat.Scale(mat.MulT(qh, kh), scale)
+		attn := SoftmaxRows(scores)
+		a.attn[h] = attn
+		out := mat.Mul(attn, vh)
+		a.scatterHead(a.concat, out, h, false)
+	}
+	return mat.Mul(a.concat, a.Wo.W)
+}
+
+// Backward implements Layer.
+func (a *MultiHeadAttention) Backward(grad *mat.Matrix) *mat.Matrix {
+	// Output projection.
+	mat.AddInPlace(a.Wo.G, mat.TMul(a.concat, grad))
+	dConcat := mat.MulT(grad, a.Wo.W)
+
+	dq := mat.New(a.q.Rows, a.Dim)
+	dk := mat.New(a.k.Rows, a.Dim)
+	dv := mat.New(a.v.Rows, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for h := 0; h < a.Heads; h++ {
+		dOut := a.headView(dConcat, h)
+		qh := a.headView(a.q, h)
+		kh := a.headView(a.k, h)
+		vh := a.headView(a.v, h)
+		attn := a.attn[h]
+
+		dAttn := mat.MulT(dOut, vh) // [T×T]
+		dVh := mat.TMul(attn, dOut) // [T×dk]
+		dScores := mat.New(attn.Rows, attn.Cols)
+		for i := 0; i < attn.Rows; i++ {
+			SoftmaxBackwardRow(dScores.Row(i), attn.Row(i), dAttn.Row(i))
+		}
+		mat.Scale(dScores, scale)
+		dQh := mat.Mul(dScores, kh)  // [T×dk]
+		dKh := mat.TMul(dScores, qh) // [T×dk]
+
+		a.scatterHead(dq, dQh, h, true)
+		a.scatterHead(dk, dKh, h, true)
+		a.scatterHead(dv, dVh, h, true)
+	}
+	mat.AddInPlace(a.Wq.G, mat.TMul(a.x, dq))
+	mat.AddInPlace(a.Wk.G, mat.TMul(a.x, dk))
+	mat.AddInPlace(a.Wv.G, mat.TMul(a.x, dv))
+
+	dx := mat.MulT(dq, a.Wq.W)
+	mat.AddInPlace(dx, mat.MulT(dk, a.Wk.W))
+	mat.AddInPlace(dx, mat.MulT(dv, a.Wv.W))
+	return dx
+}
+
+// Params implements Layer.
+func (a *MultiHeadAttention) Params() []*Param {
+	return []*Param{a.Wq, a.Wk, a.Wv, a.Wo}
+}

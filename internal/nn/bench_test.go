@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"nodesentry/internal/mat"
+)
+
+// Design-choice micro-benchmarks: the sparse MoE against the dense FFN it
+// replaces (the paper's §2.2 claim that MoE keeps costs comparable while
+// adding capacity), and the full reconstruction model's forward/backward.
+
+func benchInput(rows, cols int) *mat.Matrix {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func BenchmarkMoEForwardTop1(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	moe := NewMoE(48, 64, 3, 1, rng)
+	x := benchInput(20, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		moe.Forward(x)
+	}
+}
+
+func BenchmarkMoEForwardTop2(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	moe := NewMoE(48, 64, 3, 2, rng)
+	x := benchInput(20, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		moe.Forward(x)
+	}
+}
+
+func BenchmarkFFNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ffn := NewFFN(48, 64, rng)
+	x := benchInput(20, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ffn.Forward(x)
+	}
+}
+
+func BenchmarkAttentionForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	attn := NewMultiHeadAttention(48, 2, rng)
+	x := benchInput(20, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		attn.Forward(x)
+	}
+}
+
+func BenchmarkReconstructorForward(b *testing.B) {
+	r := NewReconstructor(ReconstructorConfig{InputDim: 19, UseMoE: true, Seed: 1})
+	x := benchInput(20, 19)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Forward(x, nil, nil)
+	}
+}
+
+func BenchmarkReconstructorTrainStep(b *testing.B) {
+	r := NewReconstructor(ReconstructorConfig{InputDim: 19, UseMoE: true, Seed: 1})
+	opt := NewAdam(r.Params(), 1.5e-3)
+	x := benchInput(20, 19)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := r.Forward(x, nil, nil)
+		_, grad := MSE(out, x)
+		r.Backward(grad)
+		ClipGradients(r.Params(), 5)
+		opt.Step()
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	lstm := NewLSTM(19, 24, rng)
+	x := benchInput(20, 19)
+	grad := benchInput(20, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lstm.Forward(x)
+		lstm.Backward(grad)
+	}
+}

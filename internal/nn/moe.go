@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"math/rand"
+	"sort"
+
+	"nodesentry/internal/mat"
+)
+
+// Expert is one feed-forward expert of an MoE layer: Dense→GELU→Dense.
+type Expert struct {
+	net *Sequential
+}
+
+// NewExpert builds a dim→hidden→dim expert.
+func NewExpert(dim, hidden int, rng *rand.Rand) *Expert {
+	return &Expert{net: &Sequential{Layers: []Layer{
+		NewDense(dim, hidden, rng),
+		&GELU{},
+		NewDense(hidden, dim, rng),
+	}}}
+}
+
+// MoE is the sparse Mixture-of-Experts layer of §3.4: tokens are routed by
+// a learned gate to the TopK experts with the highest gate probabilities,
+// and the layer output is the gate-probability-weighted sum of the selected
+// experts' outputs (equations (3) and (4) of the paper).
+//
+// An optional Switch-Transformer-style load-balancing auxiliary loss keeps
+// experts from collapsing; its gradient is injected into the gate logits
+// during Backward.
+type MoE struct {
+	NumExperts int
+	TopK       int
+	// AuxWeight scales the load-balancing loss (0 disables it).
+	AuxWeight float64
+
+	Gate    *Param // Wr in the paper: [dim × NumExperts]
+	Experts []*Expert
+
+	// forward caches
+	x         *mat.Matrix
+	probs     *mat.Matrix // full softmax over experts, per token
+	selected  [][]int     // per token, chosen expert indices
+	expTokens [][]int     // per expert, token indices routed to it
+	expOut    []*mat.Matrix
+	// LastAuxLoss is the load-balance loss of the latest Forward (for
+	// monitoring).
+	LastAuxLoss float64
+}
+
+// NewMoE builds an MoE layer with numExperts dim→hidden→dim experts and
+// top-k routing.
+func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) *MoE {
+	if topK < 1 || topK > numExperts {
+		panic("nn: MoE topK out of range")
+	}
+	m := &MoE{
+		NumExperts: numExperts,
+		TopK:       topK,
+		AuxWeight:  0.01,
+		Gate:       NewParam(dim, numExperts),
+	}
+	m.Gate.XavierInit(rng)
+	for i := 0; i < numExperts; i++ {
+		m.Experts = append(m.Experts, NewExpert(dim, hidden, rng))
+	}
+	return m
+}
+
+// Forward implements Layer.
+func (m *MoE) Forward(x *mat.Matrix) *mat.Matrix {
+	m.x = x
+	logits := mat.Mul(x, m.Gate.W)
+	m.probs = SoftmaxRows(logits)
+	T := x.Rows
+
+	m.selected = make([][]int, T)
+	m.expTokens = make([][]int, m.NumExperts)
+	for t := 0; t < T; t++ {
+		m.selected[t] = topKIndices(m.probs.Row(t), m.TopK)
+		for _, e := range m.selected[t] {
+			m.expTokens[e] = append(m.expTokens[e], t)
+		}
+	}
+
+	// Run each expert on its routed tokens.
+	m.expOut = make([]*mat.Matrix, m.NumExperts)
+	out := mat.New(T, x.Cols)
+	for e, tokens := range m.expTokens {
+		if len(tokens) == 0 {
+			continue
+		}
+		sub := gatherRows(x, tokens)
+		m.expOut[e] = m.Experts[e].net.Forward(sub)
+	}
+	// Weighted scatter: y_t = Σ_{e ∈ sel(t)} p_te * E_e(x_t).
+	for e, tokens := range m.expTokens {
+		for row, t := range tokens {
+			p := m.probs.At(t, e)
+			src := m.expOut[e].Row(row)
+			dst := out.Row(t)
+			for j, v := range src {
+				dst[j] += p * v
+			}
+		}
+	}
+
+	// Load-balance loss: N * Σ_e f_e * P_e (Switch Transformer eq. 4).
+	if m.NumExperts > 1 {
+		aux := 0.0
+		for e := 0; e < m.NumExperts; e++ {
+			f := float64(len(m.expTokens[e])) / float64(T*m.TopK)
+			P := 0.0
+			for t := 0; t < T; t++ {
+				P += m.probs.At(t, e)
+			}
+			P /= float64(T)
+			aux += f * P
+		}
+		m.LastAuxLoss = aux * float64(m.NumExperts)
+	} else {
+		m.LastAuxLoss = 0
+	}
+	return out
+}
+
+// Backward implements Layer.
+//
+// A caveat shared with every expert-caching MoE implementation: each expert
+// layer caches a single forward, so Backward must follow its Forward
+// one-to-one, which Sequential training loops guarantee.
+func (m *MoE) Backward(grad *mat.Matrix) *mat.Matrix {
+	T := grad.Rows
+	dx := mat.New(T, m.x.Cols)
+	dProbs := mat.New(T, m.NumExperts)
+
+	// Through each expert: dE_out = p * dy (gathered per expert), then
+	// expert backward gives the per-token input gradient, scattered back
+	// with weight p. dp = dy · E(x).
+	for e, tokens := range m.expTokens {
+		if len(tokens) == 0 {
+			continue
+		}
+		dOut := mat.New(len(tokens), grad.Cols)
+		for row, t := range tokens {
+			p := m.probs.At(t, e)
+			g := grad.Row(t)
+			eo := m.expOut[e].Row(row)
+			d := dOut.Row(row)
+			for j := range g {
+				d[j] = p * g[j]
+				// dp accumulates dy·E(x) for the gate.
+			}
+			dProbs.Set(t, e, mat.Dot(g, eo))
+		}
+		dIn := m.Experts[e].net.Backward(dOut)
+		for row, t := range tokens {
+			src := dIn.Row(row)
+			dst := dx.Row(t)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+
+	// Load-balance gradient: d(aux)/d p_te = N * f_e / T  (f treated as
+	// constant: the argmax is not differentiable).
+	if m.AuxWeight > 0 && m.NumExperts > 1 {
+		for e := 0; e < m.NumExperts; e++ {
+			f := float64(len(m.expTokens[e])) / float64(T*m.TopK)
+			g := m.AuxWeight * float64(m.NumExperts) * f / float64(T)
+			for t := 0; t < T; t++ {
+				dProbs.Set(t, e, dProbs.At(t, e)+g)
+			}
+		}
+	}
+
+	// Through the softmax gate.
+	dLogits := mat.New(T, m.NumExperts)
+	for t := 0; t < T; t++ {
+		SoftmaxBackwardRow(dLogits.Row(t), m.probs.Row(t), dProbs.Row(t))
+	}
+	mat.AddInPlace(m.Gate.G, mat.TMul(m.x, dLogits))
+	mat.AddInPlace(dx, mat.MulT(dLogits, m.Gate.W))
+	return dx
+}
+
+// Params implements Layer.
+func (m *MoE) Params() []*Param {
+	out := []*Param{m.Gate}
+	for _, e := range m.Experts {
+		out = append(out, e.net.Params()...)
+	}
+	return out
+}
+
+// ExpertLoad returns, for the latest Forward, the number of tokens routed
+// to each expert — the observable behind the paper's claim that experts
+// specialize on sub-patterns.
+func (m *MoE) ExpertLoad() []int {
+	out := make([]int, m.NumExperts)
+	for e, tokens := range m.expTokens {
+		out[e] = len(tokens)
+	}
+	return out
+}
+
+func topKIndices(p []float64, k int) []int {
+	idx := make([]int, len(p))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if p[idx[a]] != p[idx[b]] {
+			return p[idx[a]] > p[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+func gatherRows(m *mat.Matrix, rows []int) *mat.Matrix {
+	out := mat.New(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// FFN is the dense feed-forward block (Dense→GELU→Dense) used by ablation
+// C5, which replaces the sparse MoE layer with a dense FFN.
+type FFN struct {
+	net *Sequential
+}
+
+// NewFFN builds a dim→hidden→dim feed-forward block.
+func NewFFN(dim, hidden int, rng *rand.Rand) *FFN {
+	return &FFN{net: &Sequential{Layers: []Layer{
+		NewDense(dim, hidden, rng),
+		&GELU{},
+		NewDense(hidden, dim, rng),
+	}}}
+}
+
+// Forward implements Layer.
+func (f *FFN) Forward(x *mat.Matrix) *mat.Matrix { return f.net.Forward(x) }
+
+// Backward implements Layer.
+func (f *FFN) Backward(grad *mat.Matrix) *mat.Matrix { return f.net.Backward(grad) }
+
+// Params implements Layer.
+func (f *FFN) Params() []*Param { return f.net.Params() }

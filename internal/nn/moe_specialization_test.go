@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nodesentry/internal/mat"
+)
+
+// TestMoEExpertsSpecialize trains a small MoE reconstruction model on two
+// clearly distinct sub-patterns and checks the paper's §3.4 claim: the gate
+// learns to route the sub-patterns to (largely) different experts.
+func TestMoEExpertsSpecialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dim := 4
+	moe := NewMoE(dim, 16, 2, 1, rng)
+	dec := NewDense(dim, dim, rng)
+	params := append(moe.Params(), dec.Params()...)
+	opt := NewAdam(params, 3e-3)
+
+	// Sub-pattern A: high positive values; sub-pattern B: oscillating
+	// negatives. Separable in input space, so a useful gate can split them.
+	mkWindow := func(kind int) *mat.Matrix {
+		x := mat.New(8, dim)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < dim; j++ {
+				if kind == 0 {
+					x.Set(i, j, 2+0.3*rng.NormFloat64())
+				} else {
+					x.Set(i, j, -1+math.Sin(float64(i+j))+0.3*rng.NormFloat64())
+				}
+			}
+		}
+		return x
+	}
+	for step := 0; step < 400; step++ {
+		x := mkWindow(step % 2)
+		y := dec.Forward(moe.Forward(x))
+		_, grad := MSE(y, x)
+		moe.Backward(dec.Backward(grad))
+		ClipGradients(params, 5)
+		opt.Step()
+	}
+
+	// Measure routing purity per sub-pattern.
+	routing := func(kind int) []int {
+		counts := make([]int, moe.NumExperts)
+		for trial := 0; trial < 10; trial++ {
+			moe.Forward(mkWindow(kind))
+			for e, c := range moe.ExpertLoad() {
+				counts[e] += c
+			}
+		}
+		return counts
+	}
+	a := routing(0)
+	b := routing(1)
+	domA := argmax(a)
+	domB := argmax(b)
+	purity := func(c []int, dom int) float64 {
+		tot := 0
+		for _, v := range c {
+			tot += v
+		}
+		return float64(c[dom]) / float64(tot)
+	}
+	t.Logf("pattern A routing %v (dom %d, purity %.2f); pattern B routing %v (dom %d, purity %.2f)",
+		a, domA, purity(a, domA), b, domB, purity(b, domB))
+	if domA == domB && purity(a, domA) > 0.9 && purity(b, domB) > 0.9 {
+		t.Error("both sub-patterns collapsed onto one expert: no specialization")
+	}
+	if purity(a, domA) < 0.6 || purity(b, domB) < 0.6 {
+		t.Error("routing is not decisive for either sub-pattern")
+	}
+}
+
+func argmax(xs []int) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestMoEDeterministicForward guards reproducibility: same weights + input
+// → same routing and output.
+func TestMoEDeterministicForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	moe := NewMoE(3, 8, 3, 1, rng)
+	x := randInput(rng, 6, 3)
+	y1 := moe.Forward(x)
+	l1 := append([]int(nil), moe.ExpertLoad()...)
+	y2 := moe.Forward(x)
+	l2 := moe.ExpertLoad()
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("MoE forward not deterministic")
+		}
+	}
+	for e := range l1 {
+		if l1[e] != l2[e] {
+			t.Fatal("MoE routing not deterministic")
+		}
+	}
+}

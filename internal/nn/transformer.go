@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"nodesentry/internal/mat"
+)
+
+// PositionalEncoding adds the sinusoidal position signal of the input
+// tokens, enhanced — as §3.4 describes — with a *segment* component so the
+// model can distinguish positions within a segment from positions across
+// the K segments concatenated into one training stream. Ablation C4
+// disables the segment component.
+type PositionalEncoding struct {
+	Dim int
+	// SegmentAware enables the inter-segment encoding component.
+	SegmentAware bool
+}
+
+// Apply adds the encoding in place to x, where positions[i] is token i's
+// offset within its segment and segIDs[i] is the index of the segment the
+// token belongs to. positions/segIDs may be nil, meaning 0..T-1 and all-0.
+func (pe *PositionalEncoding) Apply(x *mat.Matrix, positions, segIDs []int) {
+	for t := 0; t < x.Rows; t++ {
+		pos := t
+		if positions != nil {
+			pos = positions[t]
+		}
+		seg := 0
+		if segIDs != nil {
+			seg = segIDs[t]
+		}
+		row := x.Row(t)
+		for j := 0; j < pe.Dim; j += 2 {
+			freq := math.Pow(10000, -float64(j)/float64(pe.Dim))
+			row[j] += math.Sin(float64(pos) * freq)
+			if j+1 < pe.Dim {
+				row[j+1] += math.Cos(float64(pos) * freq)
+			}
+		}
+		if pe.SegmentAware && seg != 0 {
+			// Offset the whole token by a segment-dependent sinusoid with a
+			// distinct base so within- and between-segment positions are
+			// separable.
+			for j := 0; j < pe.Dim; j += 2 {
+				freq := math.Pow(777, -float64(j)/float64(pe.Dim))
+				row[j] += 0.5 * math.Sin(float64(seg)*freq)
+				if j+1 < pe.Dim {
+					row[j+1] += 0.5 * math.Cos(float64(seg)*freq)
+				}
+			}
+		}
+	}
+}
+
+// EncoderBlock is one pre-norm Transformer encoder block whose
+// feed-forward sub-layer is either a sparse MoE (the NodeSentry design) or
+// a dense FFN (ablation C5).
+type EncoderBlock struct {
+	ln1  *LayerNorm
+	attn *MultiHeadAttention
+	ln2  *LayerNorm
+	ff   Layer // *MoE or *FFN
+
+	// caches for the residual adds
+	x1 *mat.Matrix
+}
+
+// NewEncoderBlock builds a block; moe selects the sparse layer.
+func NewEncoderBlock(dim, heads, hidden, experts, topK int, moe bool, rng *rand.Rand) *EncoderBlock {
+	b := &EncoderBlock{
+		ln1:  NewLayerNorm(dim),
+		attn: NewMultiHeadAttention(dim, heads, rng),
+		ln2:  NewLayerNorm(dim),
+	}
+	if moe {
+		b.ff = NewMoE(dim, hidden, experts, topK, rng)
+	} else {
+		b.ff = NewFFN(dim, hidden, rng)
+	}
+	return b
+}
+
+// MoELayer returns the block's MoE layer, or nil in dense mode.
+func (b *EncoderBlock) MoELayer() *MoE {
+	if m, ok := b.ff.(*MoE); ok {
+		return m
+	}
+	return nil
+}
+
+// Forward implements Layer.
+func (b *EncoderBlock) Forward(x *mat.Matrix) *mat.Matrix {
+	// x1 = x + Attn(LN(x))
+	a := b.attn.Forward(b.ln1.Forward(x))
+	x1 := mat.Add(x, a)
+	b.x1 = x1
+	// y = x1 + FF(LN(x1))
+	f := b.ff.Forward(b.ln2.Forward(x1))
+	return mat.Add(x1, f)
+}
+
+// Backward implements Layer.
+func (b *EncoderBlock) Backward(grad *mat.Matrix) *mat.Matrix {
+	// y = x1 + FF(LN2(x1))
+	dx1 := grad.Clone()
+	mat.AddInPlace(dx1, b.ln2.Backward(b.ff.Backward(grad)))
+	// x1 = x + Attn(LN1(x))
+	dx := dx1.Clone()
+	mat.AddInPlace(dx, b.ln1.Backward(b.attn.Backward(dx1)))
+	return dx
+}
+
+// Params implements Layer.
+func (b *EncoderBlock) Params() []*Param {
+	var out []*Param
+	out = append(out, b.ln1.Params()...)
+	out = append(out, b.attn.Params()...)
+	out = append(out, b.ln2.Params()...)
+	out = append(out, b.ff.Params()...)
+	return out
+}
+
+// ReconstructorConfig parameterizes the reconstruction model.
+type ReconstructorConfig struct {
+	// InputDim is the (reduced) metric count.
+	InputDim int
+	// ModelDim is the token embedding width.
+	ModelDim int
+	// Heads is the attention head count (3 in the paper's artifact).
+	Heads int
+	// Hidden is the expert/FFN hidden width.
+	Hidden int
+	// Blocks is the encoder depth (3 in the paper's artifact).
+	Blocks int
+	// Experts is the MoE expert count (3 in the paper).
+	Experts int
+	// TopK experts are combined per token (1 in the paper).
+	TopK int
+	// UseMoE selects sparse MoE (true) or dense FFN (ablation C5).
+	UseMoE bool
+	// SegmentAwarePE enables the inter-segment positional component
+	// (disabled by ablation C4).
+	SegmentAwarePE bool
+	// Seed initializes the weights.
+	Seed int64
+}
+
+// Defaults fills unset fields with the paper's artifact configuration.
+func (c ReconstructorConfig) Defaults() ReconstructorConfig {
+	if c.ModelDim == 0 {
+		c.ModelDim = 32
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 2
+	}
+	if c.Experts == 0 {
+		c.Experts = 3
+	}
+	if c.TopK == 0 {
+		c.TopK = 1
+	}
+	return c
+}
+
+// Reconstructor is the §3.4 model: tokens (metric vectors per time step)
+// are embedded, positionally encoded, passed through Transformer encoder
+// blocks with sparse-MoE feed-forwards, and decoded back to metric space.
+// The reconstruction error is the anomaly score.
+type Reconstructor struct {
+	Config ReconstructorConfig
+	embed  *Dense
+	pe     *PositionalEncoding
+	blocks []*EncoderBlock
+	decode *Dense
+}
+
+// NewReconstructor builds the model.
+func NewReconstructor(cfg ReconstructorConfig) *Reconstructor {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := &Reconstructor{
+		Config: cfg,
+		embed:  NewDense(cfg.InputDim, cfg.ModelDim, rng),
+		pe:     &PositionalEncoding{Dim: cfg.ModelDim, SegmentAware: cfg.SegmentAwarePE},
+		decode: NewDense(cfg.ModelDim, cfg.InputDim, rng),
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		r.blocks = append(r.blocks, NewEncoderBlock(
+			cfg.ModelDim, cfg.Heads, cfg.Hidden, cfg.Experts, cfg.TopK, cfg.UseMoE, rng))
+	}
+	return r
+}
+
+// Forward reconstructs the window x [T × InputDim]; positions/segIDs feed
+// the (segment-aware) positional encoding and may be nil. Embeddings are
+// scaled by √ModelDim (as in the original Transformer) so the positional
+// signal does not drown the value signal.
+func (r *Reconstructor) Forward(x *mat.Matrix, positions, segIDs []int) *mat.Matrix {
+	h := r.embed.Forward(x)
+	mat.Scale(h, math.Sqrt(float64(r.Config.ModelDim)))
+	r.pe.Apply(h, positions, segIDs)
+	for _, b := range r.blocks {
+		h = b.Forward(h)
+	}
+	return r.decode.Forward(h)
+}
+
+// Backward propagates the reconstruction-loss gradient.
+func (r *Reconstructor) Backward(grad *mat.Matrix) {
+	g := r.decode.Backward(grad)
+	for i := len(r.blocks) - 1; i >= 0; i-- {
+		g = r.blocks[i].Backward(g)
+	}
+	r.embed.Backward(mat.Scale(g, math.Sqrt(float64(r.Config.ModelDim))))
+}
+
+// Params lists all trainable parameters.
+func (r *Reconstructor) Params() []*Param {
+	out := r.embed.Params()
+	for _, b := range r.blocks {
+		out = append(out, b.Params()...)
+	}
+	out = append(out, r.decode.Params()...)
+	return out
+}
+
+// NumParams returns the total scalar parameter count.
+func (r *Reconstructor) NumParams() int {
+	n := 0
+	for _, p := range r.Params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// ExpertLoads aggregates per-block expert loads of the latest forward pass
+// (empty in dense mode).
+func (r *Reconstructor) ExpertLoads() [][]int {
+	var out [][]int
+	for _, b := range r.blocks {
+		if m := b.MoELayer(); m != nil {
+			out = append(out, m.ExpertLoad())
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package preprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nodesentry/internal/mts"
+)
+
+// Property tests for the preprocessing invariants the rest of the system
+// relies on.
+
+func randFrame(rng *rand.Rand, metrics, samples int, missing float64) *mts.NodeFrame {
+	f := &mts.NodeFrame{
+		Node:    "n",
+		Metrics: make([]string, metrics),
+		Data:    make([][]float64, metrics),
+		Start:   0,
+		Step:    60,
+	}
+	for m := 0; m < metrics; m++ {
+		f.Metrics[m] = "m" + string(rune('a'+m))
+		row := make([]float64, samples)
+		for t := range row {
+			if rng.Float64() < missing {
+				row[t] = math.NaN()
+			} else {
+				row[t] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(4)))
+			}
+		}
+		f.Data[m] = row
+	}
+	return f
+}
+
+func TestStandardizerClipProperty(t *testing.T) {
+	// After Apply, every value lies within [-clip, clip] and is finite.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := randFrame(rng, 1+rng.Intn(4), 8+rng.Intn(100), 0)
+		std := FitStandardizer(map[string]*mts.NodeFrame{"n": frame.Clone()}, 0.05, 5)
+		std.Apply(frame)
+		for _, row := range frame.Data {
+			for _, v := range row {
+				if math.IsNaN(v) || v > 5 || v < -5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleanRemovesAllNaNsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := randFrame(rng, 1+rng.Intn(4), 1+rng.Intn(60), 0.4)
+		Clean(frame)
+		return mts.CountMissing(frame) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleanPreservesObservedValuesProperty(t *testing.T) {
+	// Cleaning must never alter a sample that was observed.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := randFrame(rng, 2, 5+rng.Intn(50), 0.3)
+		orig := frame.Clone()
+		Clean(frame)
+		for m := range orig.Data {
+			for t, v := range orig.Data[m] {
+				if !math.IsNaN(v) && frame.Data[m][t] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionApplyIdempotentWidthProperty(t *testing.T) {
+	// Applying a reduction plan to any frame with the right layout yields
+	// exactly NumOutput rows of the input length.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		metrics := 3 + rng.Intn(5)
+		frame := randFrame(rng, metrics, 30+rng.Intn(40), 0)
+		groups := map[string][]int{"g0": {0, 1}}
+		red := PlanReduction(map[string]*mts.NodeFrame{"n": frame}, frame.Metrics, groups, 0.99)
+		out := red.Apply(frame)
+		if out.NumMetrics() != red.NumOutput() || out.Len() != frame.Len() {
+			return false
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentationCoversFrameProperty(t *testing.T) {
+	// Contiguous spans over the frame produce contiguous segments covering
+	// every sample (minLen 1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := 10 + rng.Intn(100)
+		frame := randFrame(rng, 1, samples, 0)
+		var spans []mts.JobSpan
+		cursor := int64(0)
+		end := frame.TimeAt(samples-1) + frame.Step
+		job := int64(1)
+		for cursor < end {
+			d := int64(1+rng.Intn(10)) * frame.Step
+			if cursor+d > end {
+				d = end - cursor
+			}
+			spans = append(spans, mts.JobSpan{Job: job, Node: "n", Start: cursor, End: cursor + d})
+			cursor += d
+			job++
+		}
+		segs := Segment(frame, spans, 1)
+		covered := make([]bool, samples)
+		for _, s := range segs {
+			for i := s.Lo; i < s.Hi; i++ {
+				if covered[i] {
+					return false // overlap
+				}
+				covered[i] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false // gap
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCleanFrame(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	frame := randFrame(rng, 96, 4320, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := frame.Clone()
+		Clean(g)
+	}
+}
+
+func BenchmarkStandardizerApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	frame := randFrame(rng, 96, 4320, 0)
+	std := FitStandardizer(map[string]*mts.NodeFrame{"n": frame.Clone()}, 0.05, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := frame.Clone()
+		std.Apply(g)
+	}
+}

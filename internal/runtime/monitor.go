@@ -1,0 +1,341 @@
+// Package runtime implements the paper's deployment workflow (§5.1,
+// Fig. 7): telemetry samples stream in per node, job transitions arrive
+// from the scheduler, NodeSentry matches each new job's pattern after a
+// short observation period, scores windows in real time, applies the
+// dynamic threshold, and emits prioritized alerts with a fault-level
+// diagnosis attached.
+//
+// Concurrency model: collectors may call Ingest and ObserveJob from any
+// goroutine. Per-node state is guarded by a per-node mutex; the expensive
+// model invocations run on a fixed pool of detector clones (a Detector is
+// not safe for concurrent use), checked out through a buffered channel.
+// Alerts are delivered on a buffered channel; if the consumer falls behind,
+// alerts are counted as dropped rather than blocking ingestion.
+package runtime
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/diagnose"
+	"nodesentry/internal/mts"
+)
+
+// Alert is one prioritized anomaly notification.
+type Alert struct {
+	Node  string
+	Time  int64
+	Job   int64
+	Score float64
+	// Priority grows with how far the score exceeded the threshold.
+	Priority Priority
+	// Diagnosis attributes the alarm to metrics and a Table 1 fault level.
+	Diagnosis diagnose.Report
+}
+
+// Priority grades an alert.
+type Priority int
+
+// Alert priorities.
+const (
+	Warning Priority = iota
+	Critical
+)
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Step is the sampling interval in seconds.
+	Step int64
+	// ScoringWorkers is the size of the detector-clone pool (default 2).
+	ScoringWorkers int
+	// AlertBuffer is the alert channel capacity (default 256).
+	AlertBuffer int
+	// CooldownSec suppresses repeat alerts per node within the window
+	// (default 300 s).
+	CooldownSec int64
+	// CriticalFactor promotes an alert to Critical when the score exceeds
+	// the threshold by this factor (default 2).
+	CriticalFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScoringWorkers <= 0 {
+		c.ScoringWorkers = 2
+	}
+	if c.AlertBuffer <= 0 {
+		c.AlertBuffer = 256
+	}
+	if c.CooldownSec <= 0 {
+		c.CooldownSec = 300
+	}
+	if c.CriticalFactor <= 0 {
+		c.CriticalFactor = 2
+	}
+	return c
+}
+
+// nodeState is one node's streaming context.
+type nodeState struct {
+	mu       sync.Mutex
+	node     string
+	metrics  []string
+	job      int64
+	jobStart int64
+
+	// raw sample buffer since the last scored window boundary.
+	pending [][]float64
+	pendTs  []int64
+	// probe accumulates the post-transition observation window until the
+	// pattern is matched.
+	probe   [][]float64
+	probeTs []int64
+	matched bool
+	cluster int
+	// samples consumed since job start (drives job-aligned positions).
+	consumed int
+	// score history for the dynamic threshold.
+	scores    []float64
+	lastAlert int64
+}
+
+// Monitor is the streaming detection engine.
+type Monitor struct {
+	cfg  Config
+	pool chan *core.Detector
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+
+	alerts  chan Alert
+	dropped atomic.Int64
+}
+
+// NewMonitor builds a monitor around a trained detector. The detector is
+// cloned ScoringWorkers times; the original is left untouched.
+func NewMonitor(det *core.Detector, cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:    cfg,
+		pool:   make(chan *core.Detector, cfg.ScoringWorkers),
+		nodes:  map[string]*nodeState{},
+		alerts: make(chan Alert, cfg.AlertBuffer),
+	}
+	for i := 0; i < cfg.ScoringWorkers; i++ {
+		clone, err := det.Clone()
+		if err != nil {
+			return nil, err
+		}
+		m.pool <- clone
+	}
+	return m, nil
+}
+
+// Alerts returns the alert stream.
+func (m *Monitor) Alerts() <-chan Alert { return m.alerts }
+
+// Dropped reports how many alerts were discarded because the consumer fell
+// behind.
+func (m *Monitor) Dropped() int64 { return m.dropped.Load() }
+
+func (m *Monitor) state(node string) *nodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.nodes[node]
+	if !ok {
+		st = &nodeState{node: node, cluster: -1, job: mts.IdleJobID}
+		m.nodes[node] = st
+	}
+	return st
+}
+
+// ObserveJob notifies the monitor of a job transition on a node: the
+// current segment ends and a new pattern observation begins (§3.5).
+func (m *Monitor) ObserveJob(node string, job int64, start int64) {
+	st := m.state(node)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.job = job
+	st.jobStart = start
+	st.pending = nil
+	st.pendTs = nil
+	st.probe = nil
+	st.probeTs = nil
+	st.matched = false
+	st.cluster = -1
+	st.consumed = 0
+	st.scores = nil
+}
+
+// Ingest feeds one sample (the node's full metric vector at ts). Metric
+// names must be provided once via RegisterNode or inferred from the first
+// dataset replay; values must follow that order.
+func (m *Monitor) Ingest(node string, ts int64, values []float64) {
+	st := m.state(node)
+	st.mu.Lock()
+	if st.metrics == nil {
+		st.mu.Unlock()
+		return // not registered: cannot build frames
+	}
+	v := append([]float64(nil), values...)
+	if !st.matched {
+		if len(st.probe) == 0 && ts > st.jobStart {
+			// Joining a job already in progress (e.g. monitor started
+			// mid-job): align positions with the job's true timeline.
+			st.consumed = int((ts - st.jobStart) / m.cfg.Step)
+		}
+		st.probe = append(st.probe, v)
+		st.probeTs = append(st.probeTs, ts)
+		det := <-m.pool
+		need := int(det.MatchPeriodSec() / m.cfg.Step)
+		if need < 2 {
+			need = 2
+		}
+		if len(st.probe) >= need {
+			frame := frameOf(st.node, st.metrics, st.probe, st.probeTs[0], m.cfg.Step)
+			asg := det.MatchPattern(frame)
+			st.matched = true
+			st.cluster = asg.Cluster
+			// The probe samples become the first pending windows.
+			st.pending = st.probe
+			st.pendTs = st.probeTs
+			st.probe, st.probeTs = nil, nil
+		}
+		m.pool <- det
+		if !st.matched {
+			st.mu.Unlock()
+			return
+		}
+	} else {
+		st.pending = append(st.pending, v)
+		st.pendTs = append(st.pendTs, ts)
+	}
+
+	det := <-m.pool
+	win := det.WindowLen()
+	var emit []Alert
+	for len(st.pending) >= win {
+		frame := frameOf(st.node, st.metrics, st.pending[:win], st.pendTs[0], m.cfg.Step)
+		scores := det.ScoreFrame(frame, st.cluster, st.consumed)
+		emit = append(emit, m.absorbScores(det, st, frame, scores)...)
+		st.pending = st.pending[win:]
+		st.pendTs = st.pendTs[win:]
+		st.consumed += win
+	}
+	m.pool <- det
+	st.mu.Unlock()
+	for _, a := range emit {
+		m.deliver(a)
+	}
+}
+
+// absorbScores appends window scores to the node's history, applies the
+// dynamic threshold, and returns alerts to deliver. Called with st locked.
+func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.NodeFrame, scores []float64) []Alert {
+	winSec, k := det.OnlineParams()
+	histLen := int(winSec/m.cfg.Step) * 2
+	base := len(st.scores)
+	st.scores = append(st.scores, scores...)
+	preds := core.KSigmaThreshold(st.scores, m.cfg.Step, winSec, k)
+	var out []Alert
+	for i := range scores {
+		gi := base + i
+		if !preds[gi] {
+			continue
+		}
+		ts := frame.TimeAt(i)
+		if ts-st.lastAlert < m.cfg.CooldownSec {
+			continue
+		}
+		st.lastAlert = ts
+		prio := Warning
+		if exceedFactor(st.scores, gi, int(winSec/m.cfg.Step)) >= m.cfg.CriticalFactor {
+			prio = Critical
+		}
+		out = append(out, Alert{
+			Node:      st.node,
+			Time:      ts,
+			Job:       st.job,
+			Score:     scores[i],
+			Priority:  prio,
+			Diagnosis: diagnose.Alarm(det, frame, i, 3),
+		})
+	}
+	// Trim history so memory stays bounded on long-running nodes.
+	if len(st.scores) > 4*histLen && histLen > 0 {
+		st.scores = append([]float64(nil), st.scores[len(st.scores)-2*histLen:]...)
+	}
+	return out
+}
+
+// exceedFactor measures how far score[i] sits above the trailing window
+// mean (1 = at the mean).
+func exceedFactor(scores []float64, i, w int) float64 {
+	lo := i - w
+	if lo < 0 {
+		lo = 0
+	}
+	if i <= lo {
+		return 1
+	}
+	mean := 0.0
+	for _, v := range scores[lo:i] {
+		mean += v
+	}
+	mean /= float64(i - lo)
+	if mean <= 0 {
+		return 1
+	}
+	return scores[i] / mean
+}
+
+func (m *Monitor) deliver(a Alert) {
+	select {
+	case m.alerts <- a:
+	default:
+		m.dropped.Add(1)
+	}
+}
+
+// RegisterNode declares a node's metric layout before ingestion.
+func (m *Monitor) RegisterNode(node string, metrics []string) {
+	st := m.state(node)
+	st.mu.Lock()
+	st.metrics = append([]string(nil), metrics...)
+	st.mu.Unlock()
+}
+
+// Close stops accepting work and closes the alert channel. Callers must
+// not Ingest after Close.
+func (m *Monitor) Close() { close(m.alerts) }
+
+// frameOf assembles a NodeFrame from row-major samples.
+func frameOf(node string, metrics []string, rows [][]float64, start, step int64) *mts.NodeFrame {
+	f := &mts.NodeFrame{
+		Node:    node,
+		Metrics: metrics,
+		Data:    make([][]float64, len(metrics)),
+		Start:   start,
+		Step:    step,
+	}
+	for m := range f.Data {
+		f.Data[m] = make([]float64, len(rows))
+	}
+	for t, row := range rows {
+		for m := range f.Data {
+			f.Data[m][t] = row[m]
+		}
+	}
+	return f
+}
+
+// sortAlerts orders alerts by time then node, for deterministic reporting.
+func sortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].Time != alerts[j].Time {
+			return alerts[i].Time < alerts[j].Time
+		}
+		return alerts[i].Node < alerts[j].Node
+	})
+}

@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/mts"
+)
+
+// Replay streams a dataset's window [from, to) through the monitor in
+// global timestamp order — samples interleaved across nodes, job
+// transitions delivered as they occur — emulating the Prometheus→NodeSentry
+// flow of Fig. 7. It returns the alerts raised, sorted by time.
+//
+// Replay drives the monitor from a single goroutine per call; the
+// monitor's own worker pool provides the model parallelism.
+func Replay(ds *dataset.Dataset, m *Monitor, from, to int64) []Alert {
+	nodes := ds.Nodes()
+	type cursor struct {
+		node  string
+		frame *mts.NodeFrame
+		spans []mts.JobSpan
+		// si indexes the next span to announce.
+		si int
+		t  int
+	}
+	cursors := make([]*cursor, 0, len(nodes))
+	for _, node := range nodes {
+		f := ds.Frames[node]
+		view := f.Slice(f.IndexOf(from), f.IndexOf(to))
+		m.RegisterNode(node, view.Metrics)
+		cursors = append(cursors, &cursor{
+			node:  node,
+			frame: view,
+			spans: ds.SpansForNode(node, from, to),
+		})
+	}
+
+	var collected []Alert
+	done := make(chan struct{})
+	go func() {
+		for a := range m.Alerts() {
+			collected = append(collected, a)
+		}
+		close(done)
+	}()
+
+	// Global time sweep: one sample per node per step.
+	for {
+		progressed := false
+		for _, c := range cursors {
+			if c.t >= c.frame.Len() {
+				continue
+			}
+			progressed = true
+			ts := c.frame.TimeAt(c.t)
+			for c.si < len(c.spans) && c.spans[c.si].Start <= ts {
+				sp := c.spans[c.si]
+				m.ObserveJob(c.node, sp.Job, sp.Start)
+				c.si++
+			}
+			m.Ingest(c.node, ts, c.frame.Window(c.t))
+			c.t++
+		}
+		if !progressed {
+			break
+		}
+	}
+	m.Close()
+	<-done
+	sortAlerts(collected)
+	return collected
+}

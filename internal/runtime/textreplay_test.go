@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"testing"
+
+	"nodesentry/internal/slurmsim"
+	"nodesentry/internal/telemetry"
+)
+
+// TestTextFormatsEndToEnd drives the monitor through the deployment's real
+// interchange formats (Fig. 7): job transitions arrive as sacct text and
+// samples arrive as Prometheus exposition bodies, exactly what a
+// production collector would hand us.
+func TestTextFormatsEndToEnd(t *testing.T) {
+	ds, det := fixture(t)
+	m, err := NewMonitor(det, Config{Step: ds.Step, ScoringWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip the accounting table through sacct text.
+	recs, err := slurmsim.ParseSacct(slurmsim.FormatSacct(ds.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ds.Records) {
+		t.Fatalf("sacct round trip lost jobs: %d vs %d", len(recs), len(ds.Records))
+	}
+
+	var collected []Alert
+	done := make(chan struct{})
+	go func() {
+		for a := range m.Alerts() {
+			collected = append(collected, a)
+		}
+		close(done)
+	}()
+
+	from := ds.SplitTime()
+	for _, node := range ds.Nodes()[:2] { // two nodes keep the test fast
+		f := ds.Frames[node]
+		view := f.Slice(f.IndexOf(from), f.Len())
+		m.RegisterNode(node, view.Metrics)
+		spans := slurmsim.SpansForNode(recs, node, ds.Horizon)
+		si := 0
+		for t2 := 0; t2 < view.Len(); t2++ {
+			ts := view.TimeAt(t2)
+			for si < len(spans) && spans[si].Start <= ts {
+				m.ObserveJob(node, spans[si].Job, spans[si].Start)
+				si++
+			}
+			// Sample → exposition text → parsed vector (with NaN holes
+			// for missing samples) → ingest.
+			text := telemetry.FormatScrape(view, t2)
+			scrape, err := telemetry.ParseScrape(text)
+			if err != nil {
+				t.Fatalf("scrape parse at %s t=%d: %v", node, t2, err)
+			}
+			if got := telemetry.NodeOf(text); got != node && got != "" {
+				t.Fatalf("scrape node label %q", got)
+			}
+			m.Ingest(node, ts, telemetry.VectorFromScrape(scrape, view.Metrics))
+		}
+	}
+	m.Close()
+	<-done
+
+	// The fault-injected test window must still raise alerts through the
+	// text path.
+	if len(collected) == 0 {
+		t.Error("no alerts through the sacct+exposition path")
+	}
+	for _, a := range collected {
+		if a.Diagnosis.Level == "" {
+			t.Error("alert missing diagnosis")
+		}
+	}
+	t.Logf("text-format replay raised %d alerts", len(collected))
+}

@@ -1,0 +1,103 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// WebhookSink forwards alerts to an HTTP endpoint as JSON — the "triggers
+// prioritized alerts to operators" edge of the Fig. 7 workflow, compatible
+// with Alertmanager-style receivers.
+type WebhookSink struct {
+	// URL receives POSTed alerts.
+	URL string
+	// Client defaults to a 5-second-timeout client.
+	Client *http.Client
+	// OnError, when set, observes delivery failures (the sink never
+	// blocks or retries: alerting paths must not back-pressure detection).
+	OnError func(error)
+}
+
+// webhookPayload is the wire format.
+type webhookPayload struct {
+	Node        string  `json:"node"`
+	Time        int64   `json:"time"`
+	Job         int64   `json:"job"`
+	Score       float64 `json:"score"`
+	Priority    string  `json:"priority"`
+	Level       string  `json:"level"`
+	Remediation string  `json:"remediation"`
+	TopMetrics  []struct {
+		Metric    string  `json:"metric"`
+		Category  string  `json:"category"`
+		Deviation float64 `json:"deviation"`
+	} `json:"top_metrics"`
+}
+
+// Send delivers one alert; errors go to OnError and are returned.
+func (s *WebhookSink) Send(a Alert) error {
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	p := webhookPayload{
+		Node:        a.Node,
+		Time:        a.Time,
+		Job:         a.Job,
+		Score:       a.Score,
+		Priority:    priorityName(a.Priority),
+		Level:       a.Diagnosis.Level,
+		Remediation: a.Diagnosis.Remediation,
+	}
+	for _, f := range a.Diagnosis.Findings {
+		p.TopMetrics = append(p.TopMetrics, struct {
+			Metric    string  `json:"metric"`
+			Category  string  `json:"category"`
+			Deviation float64 `json:"deviation"`
+		}{f.Metric, f.Category, f.Deviation})
+	}
+	body, err := json.Marshal(p)
+	if err != nil {
+		return s.fail(err)
+	}
+	resp, err := client.Post(s.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return s.fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return s.fail(fmt.Errorf("runtime: webhook returned %s", resp.Status))
+	}
+	return nil
+}
+
+func (s *WebhookSink) fail(err error) error {
+	if s.OnError != nil {
+		s.OnError(err)
+	}
+	return err
+}
+
+// Forward consumes the monitor's alert channel, sending every alert to the
+// sink until the channel closes. Run it on its own goroutine; it returns
+// the number of alerts forwarded and how many failed.
+func (s *WebhookSink) Forward(alerts <-chan Alert) (sent, failed int) {
+	for a := range alerts {
+		if err := s.Send(a); err != nil {
+			failed++
+		} else {
+			sent++
+		}
+	}
+	return sent, failed
+}
+
+func priorityName(p Priority) string {
+	if p == Critical {
+		return "critical"
+	}
+	return "warning"
+}

@@ -1,0 +1,101 @@
+package runtime
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"nodesentry/internal/diagnose"
+)
+
+func sampleAlert() Alert {
+	return Alert{
+		Node: "cn-1", Time: 12345, Job: 7, Score: 42.5, Priority: Critical,
+		Diagnosis: diagnose.Report{
+			Node: "cn-1", Level: "Memory", Remediation: "checkpoint and restart",
+			Findings: []diagnose.Finding{{Metric: "mem_used", Category: "Memory", Deviation: 4.2, Direction: 1}},
+		},
+	}
+}
+
+func TestWebhookSinkSend(t *testing.T) {
+	var mu sync.Mutex
+	var got []webhookPayload
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var p webhookPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Errorf("bad payload: %v", err)
+		}
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	sink := &WebhookSink{URL: srv.URL}
+	if err := sink.Send(sampleAlert()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("server received %d payloads", len(got))
+	}
+	p := got[0]
+	if p.Node != "cn-1" || p.Priority != "critical" || p.Level != "Memory" {
+		t.Errorf("payload %+v", p)
+	}
+	if len(p.TopMetrics) != 1 || p.TopMetrics[0].Metric != "mem_used" {
+		t.Errorf("metrics %+v", p.TopMetrics)
+	}
+}
+
+func TestWebhookSinkErrorPath(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	var observed error
+	sink := &WebhookSink{URL: srv.URL, OnError: func(err error) { observed = err }}
+	if err := sink.Send(sampleAlert()); err == nil {
+		t.Fatal("non-2xx accepted")
+	}
+	if observed == nil {
+		t.Error("OnError not invoked")
+	}
+	// Unreachable endpoint.
+	sink2 := &WebhookSink{URL: "http://127.0.0.1:1/nope"}
+	if err := sink2.Send(sampleAlert()); err == nil {
+		t.Error("unreachable endpoint accepted")
+	}
+}
+
+func TestWebhookForward(t *testing.T) {
+	var count int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	sink := &WebhookSink{URL: srv.URL}
+	ch := make(chan Alert, 3)
+	for i := 0; i < 3; i++ {
+		ch <- sampleAlert()
+	}
+	close(ch)
+	sent, failed := sink.Forward(ch)
+	if sent != 3 || failed != 0 {
+		t.Errorf("sent/failed = %d/%d", sent, failed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 3 {
+		t.Errorf("server saw %d", count)
+	}
+}

@@ -1,0 +1,229 @@
+package slurmsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements the sacct text interface the paper actually reads
+// ("we can easily obtain every job's start times, end times, and execution
+// nodes from the management system using Slurm's sacct command"): a
+// pipe-delimited table with Slurm's compressed node-list syntax
+// ("cn-[0001-0003,0007]"). FormatSacct/ParseSacct round-trip the simulator's
+// accounting records through that format, so real sacct dumps can feed the
+// pipeline unchanged.
+
+// sacctTimeLayout is Slurm's default timestamp format.
+const sacctTimeLayout = "2006-01-02T15:04:05"
+
+// FormatSacct renders records as `sacct -P -o JobID,JobName,Start,End,NodeList`
+// output, including the header line. Timestamps are UTC.
+func FormatSacct(recs []Record) string {
+	var b strings.Builder
+	b.WriteString("JobID|JobName|Start|End|NodeList\n")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%d|%s|%s|%s|%s\n",
+			r.ID, r.Kind,
+			time.Unix(r.Start, 0).UTC().Format(sacctTimeLayout),
+			time.Unix(r.End, 0).UTC().Format(sacctTimeLayout),
+			CompressNodeList(r.Nodes),
+		)
+	}
+	return b.String()
+}
+
+// ParseSacct parses FormatSacct-style output (header optional, unknown
+// extra columns rejected). Lines with JobID suffixes like "123.batch" or
+// "123.extern" — sub-steps sacct emits — are skipped, as operators do.
+func ParseSacct(text string) ([]Record, error) {
+	var recs []Record
+	for ln, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "JobID|") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("slurmsim: sacct line %d has %d fields, want 5", ln+1, len(fields))
+		}
+		if strings.Contains(fields[0], ".") {
+			continue // job step (batch/extern), not the allocation
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("slurmsim: sacct line %d: bad job id %q", ln+1, fields[0])
+		}
+		start, err := time.Parse(sacctTimeLayout, fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("slurmsim: sacct line %d: bad start %q", ln+1, fields[2])
+		}
+		end, err := time.Parse(sacctTimeLayout, fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("slurmsim: sacct line %d: bad end %q", ln+1, fields[3])
+		}
+		nodes, err := ExpandNodeList(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("slurmsim: sacct line %d: %w", ln+1, err)
+		}
+		recs = append(recs, Record{
+			ID:    id,
+			Kind:  fields[1],
+			Start: start.Unix(),
+			End:   end.Unix(),
+			Nodes: nodes,
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, nil
+}
+
+// CompressNodeList renders node names in Slurm's bracket syntax: nodes
+// sharing a prefix and a fixed-width numeric suffix collapse into ranges,
+// e.g. ["cn-0001","cn-0002","cn-0004"] → "cn-[0001-0002,0004]". Names that
+// do not match prefix+digits are emitted verbatim.
+func CompressNodeList(nodes []string) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	type numbered struct {
+		num   int
+		width int
+	}
+	groups := map[string][]numbered{}
+	var plain []string
+	for _, n := range nodes {
+		prefix, num, width, ok := splitNumericSuffix(n)
+		if !ok {
+			plain = append(plain, n)
+			continue
+		}
+		groups[prefix] = append(groups[prefix], numbered{num, width})
+	}
+	var parts []string
+	prefixes := make([]string, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		ns := groups[prefix]
+		sort.Slice(ns, func(i, j int) bool { return ns[i].num < ns[j].num })
+		if len(ns) == 1 {
+			parts = append(parts, fmt.Sprintf("%s%0*d", prefix, ns[0].width, ns[0].num))
+			continue
+		}
+		var ranges []string
+		for i := 0; i < len(ns); {
+			j := i
+			for j+1 < len(ns) && ns[j+1].num == ns[j].num+1 && ns[j+1].width == ns[i].width {
+				j++
+			}
+			if i == j {
+				ranges = append(ranges, fmt.Sprintf("%0*d", ns[i].width, ns[i].num))
+			} else {
+				ranges = append(ranges, fmt.Sprintf("%0*d-%0*d", ns[i].width, ns[i].num, ns[j].width, ns[j].num))
+			}
+			i = j + 1
+		}
+		parts = append(parts, fmt.Sprintf("%s[%s]", prefix, strings.Join(ranges, ",")))
+	}
+	sort.Strings(plain)
+	parts = append(parts, plain...)
+	return strings.Join(parts, ",")
+}
+
+// ExpandNodeList parses Slurm's bracket syntax back into node names.
+func ExpandNodeList(s string) ([]string, error) {
+	var out []string
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, tok := range splitTopLevel(s) {
+		open := strings.IndexByte(tok, '[')
+		if open < 0 {
+			out = append(out, tok)
+			continue
+		}
+		if !strings.HasSuffix(tok, "]") {
+			return nil, fmt.Errorf("unterminated bracket in %q", tok)
+		}
+		prefix := tok[:open]
+		body := tok[open+1 : len(tok)-1]
+		for _, r := range strings.Split(body, ",") {
+			lo, hi, width, err := parseRange(r)
+			if err != nil {
+				return nil, fmt.Errorf("bad range %q in %q: %w", r, tok, err)
+			}
+			for n := lo; n <= hi; n++ {
+				out = append(out, fmt.Sprintf("%s%0*d", prefix, width, n))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// splitTopLevel splits on commas outside brackets.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func parseRange(r string) (lo, hi, width int, err error) {
+	a, b, isRange := strings.Cut(r, "-")
+	lo, err = strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	width = len(a)
+	if !isRange {
+		return lo, lo, width, nil
+	}
+	hi, err = strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if hi < lo {
+		return 0, 0, 0, fmt.Errorf("descending range")
+	}
+	return lo, hi, width, nil
+}
+
+func splitNumericSuffix(name string) (prefix string, num, width int, ok bool) {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) {
+		return "", 0, 0, false
+	}
+	n, err := strconv.Atoi(name[i:])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	return name[:i], n, len(name) - i, true
+}

@@ -1,0 +1,146 @@
+package slurmsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressExpandRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"cn-0001"},
+		{"cn-0001", "cn-0002", "cn-0003"},
+		{"cn-0001", "cn-0003", "cn-0004", "cn-0009"},
+		{"cn-0001", "gpu-0002", "gpu-0003"},
+		{"weird"},
+		{"cn-0001", "weird"},
+		{},
+	}
+	for _, nodes := range cases {
+		s := CompressNodeList(nodes)
+		got, err := ExpandNodeList(s)
+		if err != nil {
+			t.Fatalf("%v -> %q: %v", nodes, s, err)
+		}
+		if len(got) != len(nodes) {
+			t.Fatalf("%v -> %q -> %v", nodes, s, got)
+		}
+		want := append([]string(nil), nodes...)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v -> %q -> %v", nodes, s, got)
+			}
+		}
+	}
+}
+
+func TestCompressNodeListSyntax(t *testing.T) {
+	got := CompressNodeList([]string{"cn-0001", "cn-0002", "cn-0004"})
+	if got != "cn-[0001-0002,0004]" {
+		t.Errorf("compressed = %q", got)
+	}
+	if got := CompressNodeList([]string{"cn-0007"}); got != "cn-0007" {
+		t.Errorf("single node = %q", got)
+	}
+}
+
+func TestExpandNodeListErrors(t *testing.T) {
+	for _, bad := range []string{"cn-[0001", "cn-[x-y]", "cn-[0005-0002]"} {
+		if _, err := ExpandNodeList(bad); err == nil {
+			t.Errorf("ExpandNodeList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		seen := map[string]bool{}
+		var nodes []string
+		for _, r := range raw {
+			n := NodeNames(int(r%300) + 1)[r%300]
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+		s := CompressNodeList(nodes)
+		got, err := ExpandNodeList(s)
+		if err != nil || len(got) != len(nodes) {
+			return false
+		}
+		for _, n := range nodes {
+			found := false
+			for _, g := range got {
+				if g == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSacctRoundTrip(t *testing.T) {
+	recs := Simulate(Config{Nodes: NodeNames(6), Horizon: 24 * 3600, Seed: 3})
+	text := FormatSacct(recs)
+	if !strings.HasPrefix(text, "JobID|JobName|Start|End|NodeList\n") {
+		t.Fatal("missing header")
+	}
+	got, err := ParseSacct(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.ID != b.ID || a.Kind != b.Kind || a.Start != b.Start || a.End != b.End {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			t.Fatalf("record %d nodes differ: %v vs %v", i, a.Nodes, b.Nodes)
+		}
+		for j := range a.Nodes {
+			if a.Nodes[j] != b.Nodes[j] {
+				t.Fatalf("record %d nodes differ: %v vs %v", i, a.Nodes, b.Nodes)
+			}
+		}
+	}
+}
+
+func TestParseSacctSkipsSteps(t *testing.T) {
+	text := `JobID|JobName|Start|End|NodeList
+17|lammps|2026-07-01T00:00:00|2026-07-01T01:00:00|cn-[0001-0002]
+17.batch|batch|2026-07-01T00:00:00|2026-07-01T01:00:00|cn-0001
+17.extern|extern|2026-07-01T00:00:00|2026-07-01T01:00:00|cn-0001
+`
+	recs, err := ParseSacct(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != 17 || len(recs[0].Nodes) != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestParseSacctErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1|x|2026-07-01T00:00:00|2026-07-01T01:00:00", // 4 fields
+		"x|k|2026-07-01T00:00:00|2026-07-01T01:00:00|cn-0001",
+		"1|k|notatime|2026-07-01T01:00:00|cn-0001",
+		"1|k|2026-07-01T00:00:00|notatime|cn-0001",
+		"1|k|2026-07-01T00:00:00|2026-07-01T01:00:00|cn-[9-1]",
+	} {
+		if _, err := ParseSacct(bad); err == nil {
+			t.Errorf("ParseSacct(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package telemetry synthesizes the node-monitoring substrate that
+// Prometheus provides in the paper's deployment: a large per-node metric
+// catalog (Table 3's categories, with per-core expansion driving the metric
+// count into the thousands) and workload-dependent signal generation that
+// reproduces the three MTS characteristics the paper identifies:
+//
+//  1. high metric dimension — per-core duplicates, affine-redundant and
+//     constant metrics expand a handful of semantics into a wide catalog,
+//     exactly the redundancy the preprocessing reduction stage removes;
+//  2. job-pattern correlation across nodes — the signal of a job is seeded
+//     by the job ID, so co-scheduled nodes produce near-identical patterns
+//     while different jobs of the same kind are similar but not equal;
+//  3. sub-pattern variation within a job — every job is split into phases
+//     whose level/amplitude modulation changes at phase boundaries.
+package telemetry
+
+import "fmt"
+
+// MetricRole describes how a catalog entry derives its values.
+type MetricRole int
+
+const (
+	// Primary metrics carry the semantic's base signal directly.
+	Primary MetricRole = iota
+	// PerCore metrics carry the semantic's signal scaled by a per-core
+	// share plus independent per-core noise.
+	PerCore
+	// Affine metrics are near-exact affine copies of their semantic's
+	// primary metric (Pearson >= 0.99), exercising similarity reduction.
+	Affine
+	// Constant metrics barely move (status flags, uptime-like counters).
+	Constant
+)
+
+// Metric is one catalog entry.
+type Metric struct {
+	// Name is the Prometheus-style metric name.
+	Name string
+	// Category is the Table 3 category (CPU, Memory, Filesystem, Network,
+	// Process, System).
+	Category string
+	// Semantic groups metrics that measure the same physical quantity;
+	// the reduction stage aggregates within a semantic.
+	Semantic string
+	// Role determines value derivation.
+	Role MetricRole
+	// Core is the core index for PerCore metrics, -1 otherwise.
+	Core int
+}
+
+// Semantics lists the physical quantities the generator models. Each maps
+// to one node-level signal; the catalog expands them into concrete metrics.
+// The gpu_* semantics implement the paper's §5.3 observation that GPU
+// compute units "demonstrate comparable data characteristics and are
+// equally subject to frequent task transitions" — they are only emitted
+// when the catalog is built with GPUs > 0.
+var Semantics = []string{
+	"cpu_busy", "cpu_iowait", "cpu_ctx", "cpu_migrations", "load",
+	"mem_used", "mem_cache", "mem_kernel", "numa_foreign",
+	"disk_read", "disk_write", "fs_files", "filefd",
+	"net_rx", "net_tx", "sockets",
+	"procs_running", "procs_blocked",
+	"uptime", "timex_status",
+	"gpu_util", "gpu_mem", "gpu_temp", "nvlink_tx",
+}
+
+// gpuSemantics marks the GPU-extension semantics.
+var gpuSemantics = map[string]bool{
+	"gpu_util": true, "gpu_mem": true, "gpu_temp": true, "nvlink_tx": true,
+}
+
+// categoryOf maps each semantic to its Table 3 category.
+var categoryOf = map[string]string{
+	"cpu_busy": "CPU", "cpu_iowait": "CPU", "cpu_ctx": "CPU",
+	"cpu_migrations": "CPU", "load": "CPU",
+	"mem_used": "Memory", "mem_cache": "Memory", "mem_kernel": "Memory",
+	"numa_foreign": "Memory",
+	"disk_read":    "Filesystem", "disk_write": "Filesystem",
+	"fs_files": "Filesystem", "filefd": "Filesystem",
+	"net_rx": "Network", "net_tx": "Network", "sockets": "Network",
+	"procs_running": "Process", "procs_blocked": "Process",
+	"uptime": "System", "timex_status": "System",
+	"gpu_util": "GPU", "gpu_mem": "GPU", "gpu_temp": "GPU", "nvlink_tx": "GPU",
+}
+
+// CategoryOf returns the Table 3 category of a semantic ("" if unknown).
+// Reduced metrics are named after their semantic, so this also classifies
+// the post-reduction metric names — the diagnosis stage uses it to map a
+// deviating metric onto the fault levels of Table 1.
+func CategoryOf(semantic string) string { return categoryOf[semantic] }
+
+// CatalogOptions controls catalog expansion.
+type CatalogOptions struct {
+	// Cores is the number of CPU cores; cpu_* semantics get one PerCore
+	// metric per core.
+	Cores int
+	// GPUs enables the GPU extension (§5.3): gpu_* semantics appear in
+	// the catalog, expanded per device.
+	GPUs int
+	// AffinePerSemantic adds that many near-duplicate affine metrics per
+	// semantic (redundancy for the Pearson reduction stage).
+	AffinePerSemantic int
+	// ConstantMetrics adds that many near-constant system metrics.
+	ConstantMetrics int
+}
+
+// perCoreSemantics are expanded per core.
+var perCoreSemantics = map[string]bool{
+	"cpu_busy": true, "cpu_iowait": true, "cpu_ctx": true, "cpu_migrations": true,
+}
+
+// perGPUSemantics are expanded per GPU device.
+var perGPUSemantics = map[string]bool{
+	"gpu_util": true, "gpu_mem": true, "gpu_temp": true,
+}
+
+// BuildCatalog expands the semantics into a concrete metric catalog. The
+// order is deterministic: for each semantic, the primary metric, then its
+// per-core expansion, then its affine duplicates; constants come last.
+func BuildCatalog(opts CatalogOptions) []Metric {
+	var cat []Metric
+	for _, sem := range Semantics {
+		if gpuSemantics[sem] && opts.GPUs == 0 {
+			continue
+		}
+		cat = append(cat, Metric{
+			Name:     "node_" + sem + "_total",
+			Category: categoryOf[sem],
+			Semantic: sem,
+			Role:     Primary,
+			Core:     -1,
+		})
+		if perCoreSemantics[sem] {
+			for c := 0; c < opts.Cores; c++ {
+				cat = append(cat, Metric{
+					Name:     fmt.Sprintf("node_%s_core%d", sem, c),
+					Category: categoryOf[sem],
+					Semantic: sem,
+					Role:     PerCore,
+					Core:     c,
+				})
+			}
+		}
+		if perGPUSemantics[sem] {
+			for g := 0; g < opts.GPUs; g++ {
+				cat = append(cat, Metric{
+					Name:     fmt.Sprintf("node_%s_gpu%d", sem, g),
+					Category: categoryOf[sem],
+					Semantic: sem,
+					Role:     PerCore,
+					Core:     g,
+				})
+			}
+		}
+		for a := 0; a < opts.AffinePerSemantic; a++ {
+			cat = append(cat, Metric{
+				Name:     fmt.Sprintf("node_%s_alias%d", sem, a),
+				Category: categoryOf[sem],
+				Semantic: sem,
+				Role:     Affine,
+				Core:     -1,
+			})
+		}
+	}
+	for k := 0; k < opts.ConstantMetrics; k++ {
+		cat = append(cat, Metric{
+			Name:     fmt.Sprintf("node_status_flag%d", k),
+			Category: "System",
+			Semantic: "timex_status",
+			Role:     Constant,
+			Core:     -1,
+		})
+	}
+	return cat
+}
+
+// Names returns the metric names of the catalog in order.
+func Names(cat []Metric) []string {
+	names := make([]string, len(cat))
+	for i, m := range cat {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// CategoryCounts tallies metrics per Table 3 category.
+func CategoryCounts(cat []Metric) map[string]int {
+	out := map[string]int{}
+	for _, m := range cat {
+		out[m.Category]++
+	}
+	return out
+}
+
+// SemanticIndex maps each semantic to the catalog indices carrying it.
+func SemanticIndex(cat []Metric) map[string][]int {
+	out := map[string][]int{}
+	for i, m := range cat {
+		out[m.Semantic] = append(out[m.Semantic], i)
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"nodesentry/internal/mts"
+)
+
+// kindProfile characterizes a workload class by the intensity (0..1) it
+// drives on each resource dimension, its dominant oscillation period, and
+// the typical number of within-job sub-pattern phases (characteristic 3).
+type kindProfile struct {
+	cpu, mem, net, disk, io float64
+	// gpu is the GPU-extension intensity (§5.3); its sub-pattern phase
+	// multiplier is tied to the CPU dimension, since GPU kernels and the
+	// host code phase together.
+	gpu    float64
+	period float64 // seconds
+	phases int
+}
+
+// profiles maps workload kinds (slurmsim job kinds plus "idle") to their
+// resource shapes.
+var profiles = map[string]kindProfile{
+	"lammps":    {cpu: 0.90, mem: 0.50, net: 0.60, disk: 0.20, io: 0.10, period: 600, phases: 3},
+	"cfd":       {cpu: 0.80, mem: 0.70, net: 0.70, disk: 0.30, io: 0.20, period: 900, phases: 3},
+	"genomics":  {cpu: 0.60, mem: 0.80, net: 0.20, disk: 0.80, io: 0.50, period: 300, phases: 2},
+	"mltrain":   {cpu: 0.95, mem: 0.60, net: 0.40, disk: 0.40, io: 0.20, gpu: 0.92, period: 1200, phases: 4},
+	"analysis":  {cpu: 0.40, mem: 0.30, net: 0.30, disk: 0.50, io: 0.30, period: 240, phases: 2},
+	"campaign":  {cpu: 0.85, mem: 0.65, net: 0.65, disk: 0.25, io: 0.15, period: 1800, phases: 5},
+	"inference": {cpu: 0.30, mem: 0.40, net: 0.55, disk: 0.10, io: 0.10, gpu: 0.70, period: 300, phases: 2},
+	"idle":      {cpu: 0.05, mem: 0.15, net: 0.05, disk: 0.05, io: 0.02, gpu: 0.02, period: 3600, phases: 1},
+}
+
+// profileFor returns the profile of kind, falling back to "idle".
+func profileFor(kind string) kindProfile {
+	if p, ok := profiles[kind]; ok {
+		return p
+	}
+	return profiles["idle"]
+}
+
+// semanticBase returns the normalized (0..~1.2) intensity a profile drives
+// on one semantic.
+func semanticBase(sem string, p kindProfile) float64 {
+	switch sem {
+	case "cpu_busy":
+		return p.cpu
+	case "cpu_iowait":
+		return p.io
+	case "cpu_ctx":
+		return 0.5*p.cpu + 0.3*p.net
+	case "cpu_migrations":
+		return 0.4 * p.cpu
+	case "load":
+		return p.cpu
+	case "mem_used":
+		return p.mem
+	case "mem_cache":
+		return 0.5*p.mem + 0.3*p.disk
+	case "mem_kernel":
+		return 0.2 + 0.1*p.cpu
+	case "numa_foreign":
+		return 0.3 * p.mem
+	case "disk_read", "disk_write":
+		return p.disk
+	case "fs_files", "filefd":
+		return 0.3 + 0.2*p.disk
+	case "net_rx", "net_tx":
+		return p.net
+	case "sockets":
+		return 0.2 + 0.3*p.net
+	case "procs_running":
+		return p.cpu
+	case "procs_blocked":
+		return p.io
+	case "uptime":
+		return 0.9
+	case "timex_status":
+		return 0.5
+	case "gpu_util":
+		return p.gpu
+	case "gpu_mem":
+		return 0.1 + 0.8*p.gpu
+	case "gpu_temp":
+		return 0.3 + 0.5*p.gpu
+	case "nvlink_tx":
+		return 0.6 * p.gpu
+	default:
+		return 0.1
+	}
+}
+
+// semanticScale converts normalized intensities into realistic units so
+// that standardization has real work to do (bytes vs ratios vs counts).
+var semanticScale = map[string]float64{
+	"cpu_busy": 100, "cpu_iowait": 100, "cpu_ctx": 5e4, "cpu_migrations": 2e3,
+	"load":     64,
+	"mem_used": 128e9, "mem_cache": 64e9, "mem_kernel": 4e9, "numa_foreign": 1e6,
+	"disk_read": 5e8, "disk_write": 5e8, "fs_files": 1e7, "filefd": 1e4,
+	"net_rx": 1e9, "net_tx": 1e9, "sockets": 2e3,
+	"procs_running": 64, "procs_blocked": 16,
+	"uptime": 1e6, "timex_status": 1,
+	"gpu_util": 100, "gpu_mem": 80e9, "gpu_temp": 100, "nvlink_tx": 5e9,
+}
+
+// Overlay transforms the normalized semantic signal before unit scaling
+// and catalog expansion: it receives the nominal value and returns the
+// perturbed one. The faults package implements anomalies this way so that
+// (a) every derived metric of a semantic (per-core, affine) moves
+// consistently, as a real fault would, and (b) faults can be *contextual* —
+// pushing a metric toward a level that is legitimate for some other job
+// kind, so only detectors that know the current job's pattern can flag it
+// (the paper's central argument for job-aware modeling).
+type Overlay func(sem string, t int64, v float64) float64
+
+// Generator produces node frames from a schedule.
+//
+// Determinism contract: the signal of a job is a function of (job ID, kind)
+// plus small node-specific jitter, so co-scheduled nodes exhibit the
+// near-identical patterns the paper's characteristic 2 describes.
+type Generator struct {
+	// Catalog defines the rows of generated frames.
+	Catalog []Metric
+	// Step is the sampling interval in seconds (15 in the paper).
+	Step int64
+	// Seed decorrelates independent datasets.
+	Seed int64
+	// NoiseStd is the per-sample Gaussian noise, in normalized units.
+	NoiseStd float64
+	// MissingRate is the probability a sample is dropped (NaN), emulating
+	// collection/transmission loss repaired by the cleaning stage.
+	MissingRate float64
+}
+
+// phaseSchedule describes the sub-pattern phases of one job: boundaries as
+// fractions of the job and a per-phase multiplier for each resource dim.
+type phaseSchedule struct {
+	bounds []float64 // ascending fractions in (0,1), len = phases-1
+	mul    [][5]float64
+}
+
+// templatesPerKind is how many distinct application templates each
+// workload kind has. HPC users resubmit the same applications, so job
+// patterns recur — a new job of a kind draws one of these templates rather
+// than a fresh random pattern, which is what makes a cluster library built
+// on historical jobs applicable to future ones.
+const templatesPerKind = 3
+
+// jobPhases derives the deterministic sub-pattern schedule of a job: the
+// phase structure comes from the job's application template (shared by all
+// jobs with the same template), plus a small per-job jitter.
+func jobPhases(seed int64, job int64, kind string) phaseSchedule {
+	p := profileFor(kind)
+	tmpl := job % templatesPerKind
+	if tmpl < 0 {
+		tmpl = -tmpl
+	}
+	rng := rand.New(rand.NewSource(mix(seed, hashString(kind), tmpl, 0x7f4a7c15)))
+	n := p.phases
+	sched := phaseSchedule{mul: make([][5]float64, n)}
+	for i := 0; i < n-1; i++ {
+		sched.bounds = append(sched.bounds, (float64(i+1)+0.4*(rng.Float64()-0.5))/float64(n))
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < 5; d++ {
+			sched.mul[i][d] = 0.55 + 0.9*rng.Float64()
+		}
+	}
+	// Per-job jitter: same application, slightly different inputs.
+	jobRng := rand.New(rand.NewSource(mix(seed, job, 0x51a9)))
+	for i := 0; i < n; i++ {
+		for d := 0; d < 5; d++ {
+			sched.mul[i][d] *= 1 + 0.04*jobRng.NormFloat64()
+		}
+	}
+	return sched
+}
+
+// phaseAt returns the resource multipliers active at fraction f of the
+// job. Multipliers blend linearly over a band around each phase boundary:
+// real sub-pattern shifts (solver stages, checkpoint phases) ramp over
+// minutes rather than switching between adjacent samples.
+func (s phaseSchedule) phaseAt(f float64) [5]float64 {
+	const blend = 0.04 // half-width of the transition band, as a job fraction
+	i := 0
+	for i < len(s.bounds) && f >= s.bounds[i] {
+		i++
+	}
+	out := s.mul[i]
+	// Blend with the previous phase just after a boundary...
+	if i > 0 {
+		if d := f - s.bounds[i-1]; d < blend {
+			w := 0.5 + 0.5*d/blend
+			for k := range out {
+				out[k] = w*out[k] + (1-w)*s.mul[i-1][k]
+			}
+			return out
+		}
+	}
+	// ...and with the next phase just before one.
+	if i < len(s.bounds) {
+		if d := s.bounds[i] - f; d < blend {
+			w := 0.5 + 0.5*d/blend
+			for k := range out {
+				out[k] = w*out[k] + (1-w)*s.mul[i+1][k]
+			}
+		}
+	}
+	return out
+}
+
+func mix(vals ...int64) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64())
+}
+
+func hashString(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64())
+}
+
+// Generate produces the frame of one node over samples [0, T): spans are
+// the node's job spans (idle gaps included), kinds maps job IDs to workload
+// kinds ("" and unknown map to idle), and overlay optionally injects
+// anomalies (may be nil).
+func (g *Generator) Generate(node string, spans []mts.JobSpan, kinds map[int64]string, T int, overlay Overlay) *mts.NodeFrame {
+	f := &mts.NodeFrame{
+		Node:    node,
+		Metrics: Names(g.Catalog),
+		Data:    make([][]float64, len(g.Catalog)),
+		Start:   0,
+		Step:    g.Step,
+	}
+	for m := range f.Data {
+		f.Data[m] = make([]float64, T)
+	}
+	nodeJitter := rand.New(rand.NewSource(mix(g.Seed, hashString(node), 1)))
+	jitterPhase := nodeJitter.Float64() * 2 * math.Pi
+	jitterAmp := 1 + 0.05*nodeJitter.NormFloat64()
+
+	// 1. Build normalized semantic signals.
+	sem := make(map[string][]float64, len(Semantics))
+	for _, s := range Semantics {
+		sem[s] = make([]float64, T)
+	}
+	noise := rand.New(rand.NewSource(mix(g.Seed, hashString(node), 2)))
+	for _, span := range spans {
+		kind := "idle"
+		if span.Job != mts.IdleJobID {
+			if k, ok := kinds[span.Job]; ok && k != "" {
+				kind = k
+			}
+		}
+		prof := profileFor(kind)
+		sched := jobPhases(g.Seed, span.Job, kind)
+		lo := int(span.Start / g.Step)
+		hi := int(span.End / g.Step)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > T {
+			hi = T
+		}
+		if hi <= lo {
+			continue
+		}
+		dur := float64(span.End - span.Start)
+		for t := lo; t < hi; t++ {
+			ts := float64(t)*float64(g.Step) - float64(span.Start)
+			frac := ts / dur
+			mul := sched.phaseAt(frac)
+			osc := math.Sin(2*math.Pi*ts/prof.period + jitterPhase)
+			p := kindProfile{
+				cpu:  prof.cpu * mul[0],
+				mem:  prof.mem * mul[1],
+				net:  prof.net * mul[2],
+				disk: prof.disk * mul[3],
+				io:   prof.io * mul[4],
+				gpu:  prof.gpu * mul[0], // GPU phases track the host code
+			}
+			for _, s := range Semantics {
+				base := semanticBase(s, p)
+				amp := 0.15 * base * jitterAmp
+				v := base + amp*osc
+				switch s {
+				case "uptime":
+					// Monotone ramp, normalized.
+					v = 0.5 + 0.5*float64(t)/float64(T)
+				case "timex_status":
+					v = 0.5
+				case "mem_used":
+					// Memory grows within a phase then resets: ramps give
+					// the standardization and MAC weighting real structure.
+					v = base * (0.8 + 0.2*frac)
+				}
+				sem[s][t] = v
+			}
+		}
+	}
+
+	// 2. Apply anomaly overlay on the normalized signals.
+	if overlay != nil {
+		for _, s := range Semantics {
+			row := sem[s]
+			for t := range row {
+				row[t] = overlay(s, int64(t)*g.Step, row[t])
+			}
+		}
+	}
+
+	// 3. Expand semantics into catalog rows with role-specific transforms.
+	rowRng := rand.New(rand.NewSource(mix(g.Seed, hashString(node), 3)))
+	for m, met := range g.Catalog {
+		scale := semanticScale[met.Semantic]
+		if scale == 0 {
+			scale = 1
+		}
+		src := sem[met.Semantic]
+		dst := f.Data[m]
+		var a, b float64
+		switch met.Role {
+		case Primary:
+			a, b = 1, 0
+		case PerCore:
+			a = 0.8 + 0.4*rowRng.Float64()
+			b = 0
+		case Affine:
+			a = 0.5 + 1.5*rowRng.Float64()
+			b = 0.1 * rowRng.Float64()
+		case Constant:
+			a, b = 0, 0.5+0.2*rowRng.Float64()
+		}
+		roleNoise := g.NoiseStd
+		if met.Role == Affine {
+			// Keep aliases within Pearson >= 0.99 of their primary.
+			roleNoise = g.NoiseStd * 0.02
+		}
+		if met.Role == Constant {
+			roleNoise = g.NoiseStd * 0.05
+		}
+		for t := range dst {
+			v := a*src[t] + b + roleNoise*noise.NormFloat64()
+			dst[t] = v * scale
+		}
+	}
+
+	// 4. Drop samples to NaN at the configured missing rate.
+	if g.MissingRate > 0 {
+		miss := rand.New(rand.NewSource(mix(g.Seed, hashString(node), 4)))
+		for m := range f.Data {
+			for t := range f.Data[m] {
+				if miss.Float64() < g.MissingRate {
+					f.Data[m][t] = math.NaN()
+				}
+			}
+		}
+	}
+	return f
+}
+
+// KnownKinds returns the workload kinds the generator has profiles for.
+func KnownKinds() []string {
+	return []string{"lammps", "cfd", "genomics", "mltrain", "analysis", "campaign", "inference", "idle"}
+}

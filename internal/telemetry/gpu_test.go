@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"testing"
+
+	"nodesentry/internal/mts"
+	"nodesentry/internal/stats"
+)
+
+func TestGPUCatalogGatedByOption(t *testing.T) {
+	off := BuildCatalog(CatalogOptions{Cores: 2})
+	for _, m := range off {
+		if m.Category == "GPU" {
+			t.Fatalf("GPU metric %q present with GPUs=0", m.Name)
+		}
+	}
+	on := BuildCatalog(CatalogOptions{Cores: 2, GPUs: 4})
+	counts := CategoryCounts(on)
+	// 4 gpu semantics + 3 per-device × 4 devices = 16.
+	if counts["GPU"] != 16 {
+		t.Errorf("GPU metrics = %d, want 16", counts["GPU"])
+	}
+	// The CPU-side catalog is unchanged by enabling GPUs.
+	if len(on)-counts["GPU"] != len(off) {
+		t.Errorf("enabling GPUs perturbed the CPU catalog: %d vs %d", len(on)-counts["GPU"], len(off))
+	}
+}
+
+func TestGPUWorkloadSignals(t *testing.T) {
+	g := &Generator{
+		Catalog:  BuildCatalog(CatalogOptions{Cores: 1, GPUs: 2}),
+		Step:     60,
+		Seed:     21,
+		NoiseStd: 0.01,
+	}
+	T := 600
+	kinds := map[int64]string{1: "mltrain", 2: "analysis"}
+	span := func(job int64) []mts.JobSpan {
+		return []mts.JobSpan{{Job: job, Start: 0, End: int64(T) * 60}}
+	}
+	train := g.Generate("gn-1", span(1), kinds, T, nil)
+	cpuOnly := g.Generate("gn-2", span(2), kinds, T, nil)
+	idx := SemanticIndex(g.Catalog)
+	util := idx["gpu_util"][0]
+	hot := stats.Mean(train.Data[util])
+	cold := stats.Mean(cpuOnly.Data[util])
+	if hot < 4*cold {
+		t.Errorf("mltrain gpu_util %v should dwarf analysis %v", hot, cold)
+	}
+	temp := idx["gpu_temp"][0]
+	if stats.Mean(train.Data[temp]) <= stats.Mean(cpuOnly.Data[temp]) {
+		t.Error("GPU temperature should rise under training load")
+	}
+}
+
+func TestGPUDisabledIsBitIdentical(t *testing.T) {
+	// Enabling the GPU extension must not perturb CPU-only generation:
+	// all prior experiments stay reproducible.
+	mk := func() *mts.NodeFrame {
+		g := &Generator{
+			Catalog:  BuildCatalog(CatalogOptions{Cores: 2, AffinePerSemantic: 1}),
+			Step:     60,
+			Seed:     5,
+			NoiseStd: 0.02,
+		}
+		spans := []mts.JobSpan{{Job: 1, Start: 0, End: 6000}}
+		return g.Generate("cn-1", spans, map[int64]string{1: "cfd"}, 100, nil)
+	}
+	a, b := mk(), mk()
+	for m := range a.Data {
+		for i := range a.Data[m] {
+			if a.Data[m][i] != b.Data[m][i] {
+				t.Fatal("CPU-only generation no longer deterministic")
+			}
+		}
+	}
+}
+
+func TestInferenceKindProfiled(t *testing.T) {
+	found := false
+	for _, k := range KnownKinds() {
+		if k == "inference" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inference kind missing from KnownKinds")
+	}
+	p := profileFor("inference")
+	if p.gpu <= 0.5 {
+		t.Errorf("inference gpu intensity %v too low", p.gpu)
+	}
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nodesentry/internal/mts"
+)
+
+// This file implements the Prometheus text exposition format the paper's
+// deployment collects metrics through ("Prometheus collects granular
+// performance metrics from all nodes"). FormatScrape renders one node's
+// sample as a scrape body; ParseScrape reads one back — so the streaming
+// monitor can ingest either simulated frames or real node-exporter output.
+
+// FormatScrape renders the frame's sample at index t as a Prometheus text
+// exposition body with millisecond timestamps and a `node` label. Missing
+// samples (NaN) are omitted, exactly as a scrape would omit a failed
+// collector.
+func FormatScrape(f *mts.NodeFrame, t int) string {
+	var b strings.Builder
+	tsMillis := f.TimeAt(t) * 1000
+	for m, name := range f.Metrics {
+		v := f.Data[m][t]
+		if math.IsNaN(v) {
+			continue
+		}
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&b, "%s{node=%q} %s %d\n", name, f.Node, formatValue(v), tsMillis)
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Scrape is one parsed exposition body.
+type Scrape struct {
+	Node string
+	// Time is the sample's Unix timestamp in seconds.
+	Time int64
+	// Values maps metric name to value.
+	Values map[string]float64
+}
+
+// ParseScrape parses a text exposition body produced by FormatScrape or a
+// compatible exporter. Comment lines are skipped; the node label and
+// timestamp must be consistent across samples.
+func ParseScrape(text string) (*Scrape, error) {
+	s := &Scrape{Values: map[string]float64{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, err := splitMetricLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: scrape line %d: %w", ln+1, err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("telemetry: scrape line %d: want value [timestamp]", ln+1)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: scrape line %d: bad value %q", ln+1, fields[0])
+		}
+		if len(fields) == 2 {
+			millis, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: scrape line %d: bad timestamp %q", ln+1, fields[1])
+			}
+			ts := millis / 1000
+			if s.Time != 0 && ts != s.Time {
+				return nil, fmt.Errorf("telemetry: scrape mixes timestamps %d and %d", s.Time, ts)
+			}
+			s.Time = ts
+		}
+		s.Values[name] = v
+	}
+	return s, nil
+}
+
+// splitMetricLine separates `name{labels}` from the rest, extracting the
+// node label into the scrape if present.
+func splitMetricLine(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", fmt.Errorf("no value")
+		}
+		return line[:sp], line[sp+1:], nil
+	}
+	end := strings.IndexByte(line, '}')
+	if end < brace {
+		return "", "", fmt.Errorf("unterminated labels")
+	}
+	return line[:brace], strings.TrimSpace(line[end+1:]), nil
+}
+
+// NodeOf extracts the node label of a scrape body ("" when absent).
+func NodeOf(text string) string {
+	idx := strings.Index(text, `node="`)
+	if idx < 0 {
+		return ""
+	}
+	rest := text[idx+len(`node="`):]
+	end := strings.IndexByte(rest, '"')
+	if end < 0 {
+		return ""
+	}
+	return rest[:end]
+}
+
+// VectorFromScrape orders a scrape's values according to the given metric
+// layout, returning NaN for metrics absent from the scrape (dropped
+// collectors), ready for Monitor.Ingest.
+func VectorFromScrape(s *Scrape, metrics []string) []float64 {
+	out := make([]float64, len(metrics))
+	for i, name := range metrics {
+		if v, ok := s.Values[name]; ok {
+			out[i] = v
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// MetricsOf lists a scrape's metric names, sorted.
+func MetricsOf(s *Scrape) []string {
+	out := make([]string, 0, len(s.Values))
+	for name := range s.Values {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nodesentry/internal/mts"
+)
+
+func scrapeFrame() *mts.NodeFrame {
+	return &mts.NodeFrame{
+		Node:    "cn-0042",
+		Metrics: []string{"node_cpu_busy_total", "node_mem_used_total"},
+		Data: [][]float64{
+			{12.5, math.NaN(), 99},
+			{3e9, 4e9, 5e9},
+		},
+		Start: 1700000000,
+		Step:  60,
+	}
+}
+
+func TestFormatParseScrapeRoundTrip(t *testing.T) {
+	f := scrapeFrame()
+	text := FormatScrape(f, 0)
+	s, err := ParseScrape(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Time != f.TimeAt(0) {
+		t.Errorf("time = %d, want %d", s.Time, f.TimeAt(0))
+	}
+	if s.Values["node_cpu_busy_total"] != 12.5 || s.Values["node_mem_used_total"] != 3e9 {
+		t.Errorf("values = %v", s.Values)
+	}
+	if NodeOf(text) != "cn-0042" {
+		t.Errorf("NodeOf = %q", NodeOf(text))
+	}
+}
+
+func TestFormatScrapeOmitsNaN(t *testing.T) {
+	f := scrapeFrame()
+	text := FormatScrape(f, 1) // cpu sample missing
+	if strings.Contains(text, "node_cpu_busy_total{") {
+		t.Error("NaN sample was exported")
+	}
+	s, err := ParseScrape(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Values["node_cpu_busy_total"]; ok {
+		t.Error("NaN sample round-tripped")
+	}
+	// VectorFromScrape restores the layout with NaN holes.
+	v := VectorFromScrape(s, f.Metrics)
+	if !math.IsNaN(v[0]) || v[1] != 4e9 {
+		t.Errorf("vector = %v", v)
+	}
+}
+
+func TestParseScrapeErrors(t *testing.T) {
+	for _, bad := range []string{
+		"node_x{node=\"a\"} notanumber 1000",
+		"node_x{node=\"a\" 1 1000",
+		"node_x",
+		"node_x{node=\"a\"} 1 xx",
+		"a{n=\"1\"} 1 1000\nb{n=\"1\"} 2 2000", // mixed timestamps
+	} {
+		if _, err := ParseScrape(bad); err == nil {
+			t.Errorf("ParseScrape(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseScrapeBareMetric(t *testing.T) {
+	s, err := ParseScrape("up 1 1700000000000\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Values["up"] != 1 || s.Time != 1700000000 {
+		t.Errorf("scrape = %+v", s)
+	}
+}
+
+func TestMetricsOfSorted(t *testing.T) {
+	s := &Scrape{Values: map[string]float64{"b": 1, "a": 2}}
+	m := MetricsOf(s)
+	if len(m) != 2 || m[0] != "a" || m[1] != "b" {
+		t.Errorf("MetricsOf = %v", m)
+	}
+}
+
+func TestScrapeIntoMonitorVector(t *testing.T) {
+	// End-to-end: generated frame -> exposition text -> parsed vector
+	// matching the frame's own column order.
+	g := &Generator{Catalog: BuildCatalog(CatalogOptions{Cores: 1}), Step: 60, Seed: 3, NoiseStd: 0}
+	spans := []mts.JobSpan{{Job: 1, Start: 0, End: 600}}
+	f := g.Generate("cn-1", spans, map[int64]string{1: "cfd"}, 10, nil)
+	text := FormatScrape(f, 4)
+	s, err := ParseScrape(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := VectorFromScrape(s, f.Metrics)
+	for m := range f.Metrics {
+		if math.Abs(v[m]-f.Data[m][4]) > math.Abs(f.Data[m][4])*1e-12 {
+			t.Fatalf("metric %d: %v != %v", m, v[m], f.Data[m][4])
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nodesentry/internal/mts"
+	"nodesentry/internal/stats"
+)
+
+func TestBuildCatalogStructure(t *testing.T) {
+	cat := BuildCatalog(CatalogOptions{Cores: 4, AffinePerSemantic: 2, ConstantMetrics: 3})
+	if len(cat) == 0 {
+		t.Fatal("empty catalog")
+	}
+	// 20 semantics, 4 per-core semantics × 4 cores, 2 affine each, 3 const.
+	want := 20 + 4*4 + 20*2 + 3
+	if len(cat) != want {
+		t.Fatalf("catalog size = %d, want %d", len(cat), want)
+	}
+	names := map[string]bool{}
+	for _, m := range cat {
+		if names[m.Name] {
+			t.Fatalf("duplicate metric name %q", m.Name)
+		}
+		names[m.Name] = true
+		if m.Category == "" || m.Semantic == "" {
+			t.Fatalf("metric %q missing category/semantic", m.Name)
+		}
+		if m.Role == PerCore && m.Core < 0 {
+			t.Fatalf("per-core metric %q has no core", m.Name)
+		}
+	}
+}
+
+func TestCategoryCountsCoverTable3(t *testing.T) {
+	cat := BuildCatalog(CatalogOptions{Cores: 8, AffinePerSemantic: 1, ConstantMetrics: 2})
+	counts := CategoryCounts(cat)
+	for _, c := range []string{"CPU", "Memory", "Filesystem", "Network", "Process", "System"} {
+		if counts[c] == 0 {
+			t.Errorf("category %s has no metrics", c)
+		}
+	}
+	if counts["CPU"] <= counts["Process"] {
+		t.Error("CPU should dominate the catalog as in Table 3")
+	}
+}
+
+func TestSemanticIndex(t *testing.T) {
+	cat := BuildCatalog(CatalogOptions{Cores: 2, AffinePerSemantic: 1})
+	idx := SemanticIndex(cat)
+	if len(idx["cpu_busy"]) != 1+2+1 { // primary + 2 cores + 1 affine
+		t.Errorf("cpu_busy index = %v", idx["cpu_busy"])
+	}
+	for sem, rows := range idx {
+		for _, r := range rows {
+			if cat[r].Semantic != sem {
+				t.Fatalf("index for %s points at %s", sem, cat[r].Semantic)
+			}
+		}
+	}
+}
+
+func genTestFrame(t *testing.T, node string, seed int64, missing float64) (*Generator, *mts.NodeFrame) {
+	t.Helper()
+	g := &Generator{
+		Catalog:     BuildCatalog(CatalogOptions{Cores: 2, AffinePerSemantic: 1, ConstantMetrics: 1}),
+		Step:        15,
+		Seed:        seed,
+		NoiseStd:    0.01,
+		MissingRate: missing,
+	}
+	T := 2000
+	spans := []mts.JobSpan{
+		{Job: 1, Node: node, Start: 0, End: 10000},
+		{Job: mts.IdleJobID, Node: node, Start: 10000, End: 15000},
+		{Job: 2, Node: node, Start: 15000, End: 30000},
+	}
+	kinds := map[int64]string{1: "lammps", 2: "genomics"}
+	return g, g.Generate(node, spans, kinds, T, nil)
+}
+
+func TestGenerateShapeAndValidity(t *testing.T) {
+	g, f := genTestFrame(t, "cn-1", 1, 0)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2000 || f.NumMetrics() != len(g.Catalog) {
+		t.Fatalf("frame shape %dx%d", f.NumMetrics(), f.Len())
+	}
+	if mts.CountMissing(f) != 0 {
+		t.Error("unexpected NaNs with MissingRate 0")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, a := genTestFrame(t, "cn-1", 1, 0)
+	_, b := genTestFrame(t, "cn-1", 1, 0)
+	for m := range a.Data {
+		for i := range a.Data[m] {
+			if a.Data[m][i] != b.Data[m][i] {
+				t.Fatalf("non-deterministic at metric %d sample %d", m, i)
+			}
+		}
+	}
+}
+
+func TestMissingRateRoughlyHolds(t *testing.T) {
+	_, f := genTestFrame(t, "cn-1", 1, 0.01)
+	total := f.NumMetrics() * f.Len()
+	got := float64(mts.CountMissing(f)) / float64(total)
+	if got < 0.005 || got > 0.02 {
+		t.Errorf("missing rate = %v, want ~0.01", got)
+	}
+}
+
+func TestAffineMetricsHighlyCorrelated(t *testing.T) {
+	g, f := genTestFrame(t, "cn-1", 1, 0)
+	idx := SemanticIndex(g.Catalog)
+	rows := idx["mem_used"]
+	var prim, aff int = -1, -1
+	for _, r := range rows {
+		switch g.Catalog[r].Role {
+		case Primary:
+			prim = r
+		case Affine:
+			aff = r
+		}
+	}
+	if prim < 0 || aff < 0 {
+		t.Fatal("missing primary/affine mem_used rows")
+	}
+	if r := stats.Pearson(f.Data[prim], f.Data[aff]); r < 0.99 {
+		t.Errorf("affine alias Pearson = %v, want >= 0.99", r)
+	}
+}
+
+func TestCoScheduledNodesCorrelate(t *testing.T) {
+	// Characteristic 2: the same job on two nodes produces similar signals,
+	// much more similar than two different jobs of different kinds.
+	g := &Generator{
+		Catalog:  BuildCatalog(CatalogOptions{Cores: 1}),
+		Step:     15,
+		Seed:     5,
+		NoiseStd: 0.01,
+	}
+	T := 1500
+	kinds := map[int64]string{10: "cfd", 11: "analysis"}
+	sharedSpan := []mts.JobSpan{{Job: 10, Start: 0, End: int64(T) * 15}}
+	otherSpan := []mts.JobSpan{{Job: 11, Start: 0, End: int64(T) * 15}}
+	fa := g.Generate("cn-1", sharedSpan, kinds, T, nil)
+	fb := g.Generate("cn-2", sharedSpan, kinds, T, nil)
+	fc := g.Generate("cn-3", otherSpan, kinds, T, nil)
+	idx := SemanticIndex(g.Catalog)
+	cpu := idx["cpu_busy"][0]
+	same := stats.Pearson(fa.Data[cpu], fb.Data[cpu])
+	diff := stats.Pearson(fa.Data[cpu], fc.Data[cpu])
+	if same < 0.8 {
+		t.Errorf("co-scheduled correlation = %v, want >= 0.8", same)
+	}
+	if same <= diff {
+		t.Errorf("co-scheduled correlation %v should exceed cross-job %v", same, diff)
+	}
+}
+
+func TestSubPatternsWithinJob(t *testing.T) {
+	// Characteristic 3: a multi-phase job's first and last thirds should
+	// have different levels for at least one resource semantic.
+	g := &Generator{
+		Catalog:  BuildCatalog(CatalogOptions{Cores: 1}),
+		Step:     15,
+		Seed:     6,
+		NoiseStd: 0.005,
+	}
+	T := 2400
+	kinds := map[int64]string{3: "mltrain"} // 4 phases
+	spans := []mts.JobSpan{{Job: 3, Start: 0, End: int64(T) * 15}}
+	f := g.Generate("cn-1", spans, kinds, T, nil)
+	idx := SemanticIndex(g.Catalog)
+	maxShift := 0.0
+	for _, sem := range []string{"cpu_busy", "net_rx", "disk_read"} {
+		row := f.Data[idx[sem][0]]
+		a := stats.Mean(row[:T/3])
+		b := stats.Mean(row[2*T/3:])
+		denom := math.Abs(a) + math.Abs(b)
+		if denom == 0 {
+			continue
+		}
+		shift := math.Abs(a-b) / denom
+		if shift > maxShift {
+			maxShift = shift
+		}
+	}
+	if maxShift < 0.03 {
+		t.Errorf("no sub-pattern shift detected (max relative shift %v)", maxShift)
+	}
+}
+
+func TestIdleVsBusyLevels(t *testing.T) {
+	g := &Generator{
+		Catalog:  BuildCatalog(CatalogOptions{Cores: 1}),
+		Step:     15,
+		Seed:     7,
+		NoiseStd: 0.005,
+	}
+	T := 2000
+	kinds := map[int64]string{1: "lammps"}
+	spans := []mts.JobSpan{
+		{Job: 1, Start: 0, End: 15000},
+		{Job: mts.IdleJobID, Start: 15000, End: int64(T) * 15},
+	}
+	f := g.Generate("cn-1", spans, kinds, T, nil)
+	idx := SemanticIndex(g.Catalog)
+	cpu := f.Data[idx["cpu_busy"][0]]
+	busy := stats.Mean(cpu[:900])
+	idle := stats.Mean(cpu[1100:])
+	if busy < 4*idle {
+		t.Errorf("busy cpu %v should be well above idle %v", busy, idle)
+	}
+}
+
+func TestOverlayInjectsAnomaly(t *testing.T) {
+	g := &Generator{
+		Catalog:  BuildCatalog(CatalogOptions{Cores: 1, AffinePerSemantic: 1}),
+		Step:     15,
+		Seed:     8,
+		NoiseStd: 0.005,
+	}
+	T := 1000
+	kinds := map[int64]string{1: "cfd"}
+	spans := []mts.JobSpan{{Job: 1, Start: 0, End: int64(T) * 15}}
+	overlay := func(sem string, ts int64, v float64) float64 {
+		if sem == "mem_used" && ts >= 6000 && ts < 9000 {
+			return v + 1.5
+		}
+		return v
+	}
+	base := g.Generate("cn-1", spans, kinds, T, nil)
+	anom := g.Generate("cn-1", spans, kinds, T, overlay)
+	idx := SemanticIndex(g.Catalog)
+	for _, r := range idx["mem_used"] {
+		if g.Catalog[r].Role == Constant {
+			continue
+		}
+		inside := anom.Data[r][500] - base.Data[r][500]
+		outside := anom.Data[r][100] - base.Data[r][100]
+		if inside <= 0 {
+			t.Errorf("row %d (%s): overlay had no effect inside window", r, g.Catalog[r].Name)
+		}
+		if math.Abs(outside) > math.Abs(inside)/10 {
+			t.Errorf("row %d: overlay leaked outside window (%v vs %v)", r, outside, inside)
+		}
+	}
+}
+
+func TestUnknownKindFallsBackToIdle(t *testing.T) {
+	g := &Generator{Catalog: BuildCatalog(CatalogOptions{Cores: 1}), Step: 15, Seed: 9, NoiseStd: 0}
+	T := 200
+	spans := []mts.JobSpan{{Job: 1, Start: 0, End: int64(T) * 15}}
+	fUnknown := g.Generate("cn-1", spans, map[int64]string{1: "quantum"}, T, nil)
+	fIdle := g.Generate("cn-1", spans, map[int64]string{1: "idle"}, T, nil)
+	idx := SemanticIndex(g.Catalog)
+	cpu := idx["cpu_busy"][0]
+	if math.Abs(stats.Mean(fUnknown.Data[cpu])-stats.Mean(fIdle.Data[cpu])) > 1 {
+		t.Error("unknown kind should behave like idle")
+	}
+}
+
+func TestKnownKindsHaveProfiles(t *testing.T) {
+	for _, k := range KnownKinds() {
+		if _, ok := profiles[k]; !ok {
+			t.Errorf("kind %q lacks a profile", k)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cat := BuildCatalog(CatalogOptions{Cores: 1})
+	names := Names(cat)
+	if len(names) != len(cat) {
+		t.Fatal("Names length mismatch")
+	}
+	for i, n := range names {
+		if !strings.HasPrefix(n, "node_") {
+			t.Errorf("name %d = %q lacks node_ prefix", i, n)
+		}
+	}
+}

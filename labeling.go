@@ -1,0 +1,55 @@
+package nodesentry
+
+import (
+	"nodesentry/internal/features"
+	"nodesentry/internal/labeling"
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/preprocess"
+)
+
+// Labeling-toolkit types (the paper's artifact A₂, §4.2).
+type (
+	// LabelStore is an anomaly-labeling session with history.
+	LabelStore = labeling.Store
+	// ClusterSession is an interactive cluster-adjustment session.
+	ClusterSession = labeling.ClusterSession
+	// Suggestion is a detector-proposed anomalous interval.
+	Suggestion = labeling.Suggestion
+)
+
+// NewLabelStore returns an empty labeling session.
+func NewLabelStore() *LabelStore { return labeling.NewStore() }
+
+// LoadLabelSession restores a session directory written by LabelStore.Save.
+func LoadLabelSession(dir string) (*LabelStore, error) { return labeling.Load(dir) }
+
+// SuggestLabels converts a detection result into labeling suggestions.
+func SuggestLabels(frame *NodeFrame, res *Result, method string) []Suggestion {
+	return labeling.Suggest(frame, res.Scores, res.Preds, method)
+}
+
+// SegmentFeatures extracts the coarse-clustering inputs of a dataset's
+// window [from, to): the job segments of every node and their normalized
+// fixed-width feature vectors (one row per segment). Feed the result to
+// NewClusterSession to reproduce the tool's cluster-adjustment workflow.
+func SegmentFeatures(ds *Dataset, from, to int64, minSegmentLen int) (*mat.Matrix, []mts.Segment) {
+	frames := map[string]*mts.NodeFrame{}
+	var segs []mts.Segment
+	for _, node := range ds.Nodes() {
+		f := ds.Frames[node]
+		view := f.Slice(f.IndexOf(from), f.IndexOf(to)).Clone()
+		preprocess.Clean(view)
+		frames[node] = view
+		segs = append(segs, preprocess.Segment(view, ds.SpansForNode(node, from, to), minSegmentLen)...)
+	}
+	F := features.Matrix(frames, segs)
+	features.NormalizeColumns(F)
+	return F, segs
+}
+
+// NewClusterSession clusters segments with silhouette-guided HAC and
+// returns an adjustable session (the tool's functionality (3)).
+func NewClusterSession(F *mat.Matrix, segs []mts.Segment, kMin, kMax int) *ClusterSession {
+	return labeling.NewClusterSession(F, segs, kMin, kMax)
+}

@@ -1,0 +1,141 @@
+// Package nodesentry is the public API of this NodeSentry reproduction —
+// an unsupervised anomaly-detection framework for compute nodes of
+// large-scale HPC systems (Xia et al., SC '25) built on coarse-grained
+// segment clustering and fine-grained Transformer-MoE model sharing.
+//
+// The typical flow:
+//
+//	ds := nodesentry.BuildDataset(nodesentry.D1Small())     // or import real data
+//	in := nodesentry.TrainInputFromDataset(ds)
+//	det, err := nodesentry.Train(in, nodesentry.DefaultOptions())
+//	res := det.Detect(testFrame, spans)                      // per-node online detection
+//	sum := nodesentry.EvaluateDetector(det, ds)              // paper-protocol metrics
+//
+// The heavy lifting lives in internal packages (see DESIGN.md for the
+// inventory); this package re-exports the surface a downstream user needs:
+// dataset construction, training, online detection, incremental updates,
+// model persistence, and evaluation.
+package nodesentry
+
+import (
+	"io"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/eval"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+// Core framework types.
+type (
+	// Options configures training, detection and the ablation switches.
+	Options = core.Options
+	// Detector is a trained NodeSentry instance.
+	Detector = core.Detector
+	// TrainInput is the offline phase's input.
+	TrainInput = core.TrainInput
+	// Result is the per-node online detection output.
+	Result = core.Result
+	// TrainStats summarizes the offline phase.
+	TrainStats = core.TrainStats
+	// UpdateReport summarizes an incremental update.
+	UpdateReport = core.UpdateReport
+)
+
+// Data types.
+type (
+	// NodeFrame is one node's multivariate time series.
+	NodeFrame = mts.NodeFrame
+	// JobSpan is a scheduler accounting record projected onto one node.
+	JobSpan = mts.JobSpan
+	// Interval is a half-open interval of Unix seconds.
+	Interval = mts.Interval
+	// Labels maps nodes to ground-truth anomaly intervals.
+	Labels = mts.Labels
+	// Dataset is a synthetic (or imported) evaluation dataset.
+	Dataset = dataset.Dataset
+	// DatasetConfig parameterizes synthetic dataset generation.
+	DatasetConfig = dataset.Config
+	// Summary is the aggregated evaluation result (Table 4 row).
+	Summary = eval.Summary
+)
+
+// DefaultOptions returns the paper-faithful configuration at CPU-tractable
+// model sizes.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Train runs the offline phase: preprocessing, coarse-grained clustering,
+// and per-cluster shared-model training.
+func Train(in TrainInput, opts Options) (*Detector, error) { return core.Train(in, opts) }
+
+// LoadDetector restores a detector saved with Detector.Save.
+func LoadDetector(r io.Reader) (*Detector, error) { return core.Load(r) }
+
+// BuildDataset materializes a synthetic dataset (scheduler + telemetry +
+// fault injection).
+func BuildDataset(cfg DatasetConfig) *Dataset { return dataset.Build(cfg) }
+
+// ImportDataset reads a dataset previously written with Dataset.Export.
+func ImportDataset(dir string) (*Dataset, error) { return dataset.Import(dir) }
+
+// Dataset presets mirroring the paper's D1/D2 at laptop scale, the public
+// artifact sample, and a fast test preset.
+func D1Small() DatasetConfig        { return dataset.D1Small() }
+func D2Small() DatasetConfig        { return dataset.D2Small() }
+func ArtifactSample() DatasetConfig { return dataset.ArtifactSample() }
+func TinyDataset() DatasetConfig    { return dataset.Tiny() }
+
+// TrainInputFromDataset assembles the offline phase's input from a
+// dataset's training split: raw frames, per-node job spans, and the metric
+// semantic groups that drive aggregation-based reduction.
+func TrainInputFromDataset(ds *Dataset) TrainInput {
+	in := TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]JobSpan{},
+		SemanticGroups: SemanticGroups(ds),
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	return in
+}
+
+// SemanticGroups extracts the metric aggregation groups of a dataset's
+// catalog (per-core expansions and aliases of the same physical quantity).
+func SemanticGroups(ds *Dataset) map[string][]int {
+	groups := map[string][]int{}
+	for sem, rows := range telemetry.SemanticIndex(ds.Catalog) {
+		groups[sem] = rows
+	}
+	return groups
+}
+
+// EvaluateDetector runs the detector over every node's test split and
+// aggregates Precision/Recall/AUC/F1 under the paper's protocol
+// (point-adjustment, 1-minute transition exclusion, per-node averaging).
+func EvaluateDetector(d *Detector, ds *Dataset) Summary {
+	var results []eval.NodeResult
+	test := ds.TestFrames()
+	for _, node := range ds.Nodes() {
+		frame := test[node]
+		spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+		res := d.Detect(frame, spans)
+		results = append(results, EvaluateNodeOutput(ds, frame, spans, res.Scores, res.Preds))
+	}
+	return eval.Aggregate(results)
+}
+
+// EvaluateNodeOutput scores one node's detection output under the paper's
+// protocol. Exposed for evaluating external detectors (the baselines use
+// it through the experiment harness).
+func EvaluateNodeOutput(ds *Dataset, frame *NodeFrame, spans []JobSpan, scores []float64, preds []bool) eval.NodeResult {
+	label := ds.Labels.Mask(frame)
+	ignore := eval.TransitionIgnoreMask(frame, spans, 60)
+	return eval.EvaluateNode(scores, preds, label, ignore)
+}
+
+// AggregateNodeResults combines per-node results into a Summary.
+func AggregateNodeResults(results []eval.NodeResult) Summary {
+	return eval.Aggregate(results)
+}

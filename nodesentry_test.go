@@ -1,0 +1,121 @@
+package nodesentry_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nodesentry"
+)
+
+// The root-package tests exercise the public API end to end, the way the
+// examples and a downstream user would.
+
+func apiFixture(t *testing.T) (*nodesentry.Dataset, *nodesentry.Detector) {
+	t.Helper()
+	ds := nodesentry.BuildDataset(nodesentry.TinyDataset())
+	opts := nodesentry.DefaultOptions()
+	opts.Epochs = 4
+	opts.MaxWindowsPerCluster = 60
+	det, err := nodesentry.Train(nodesentry.TrainInputFromDataset(ds), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, det
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, det := apiFixture(t)
+	sum := nodesentry.EvaluateDetector(det, ds)
+	if sum.F1 <= 0 || sum.AUC <= 0.5 {
+		t.Errorf("public pipeline quality too low: %+v", sum)
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	ds, det := apiFixture(t)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nodesentry.LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	a := det.Detect(frame, spans)
+	b := loaded.Detect(frame, spans)
+	for i := range a.Scores {
+		if math.Abs(a.Scores[i]-b.Scores[i]) > 1e-12 {
+			t.Fatal("loaded detector diverges")
+		}
+	}
+}
+
+func TestPublicDatasetRoundTrip(t *testing.T) {
+	cfg := nodesentry.TinyDataset()
+	cfg.Nodes = 2
+	cfg.HorizonDays = 0.3
+	ds := nodesentry.BuildDataset(cfg)
+	dir := t.TempDir()
+	if err := ds.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nodesentry.ImportDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summarize().TotalPoints != ds.Summarize().TotalPoints {
+		t.Error("round-trip changed the dataset")
+	}
+}
+
+func TestPublicLabelingWorkflow(t *testing.T) {
+	ds, det := apiFixture(t)
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	res := det.Detect(frame, spans)
+	store := nodesentry.NewLabelStore()
+	for _, s := range nodesentry.SuggestLabels(frame, res, "test") {
+		if err := store.Accept(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nodesentry.LoadLabelSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Labels()) != len(store.Labels()) {
+		t.Error("label session did not round-trip")
+	}
+}
+
+func TestPublicClusterSession(t *testing.T) {
+	ds, _ := apiFixture(t)
+	F, segs := nodesentry.SegmentFeatures(ds, 0, ds.SplitTime(), 16)
+	if F.Rows != len(segs) || F.Rows == 0 {
+		t.Fatalf("feature matrix %d rows for %d segments", F.Rows, len(segs))
+	}
+	cs := nodesentry.NewClusterSession(F, segs, 2, 8)
+	if cs.NumClusters() < 2 {
+		t.Errorf("clustering found %d clusters", cs.NumClusters())
+	}
+}
+
+func TestPublicIncrementalUpdate(t *testing.T) {
+	ds, det := apiFixture(t)
+	node := ds.Nodes()[0]
+	frame := ds.TestFrames()[node]
+	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
+	rep := det.IncrementalUpdate(frame, spans, 1)
+	if rep.MatchedSegments+rep.UnmatchedSegments == 0 {
+		t.Error("incremental update processed nothing")
+	}
+}

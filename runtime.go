@@ -1,0 +1,52 @@
+package nodesentry
+
+import (
+	"nodesentry/internal/diagnose"
+
+	"nodesentry/internal/runtime"
+)
+
+// Deployment-runtime types (the paper's §5.1 workflow, Fig. 7).
+type (
+	// Monitor is the streaming detection engine: per-node sample
+	// ingestion, job-transition pattern matching, windowed scoring,
+	// dynamic thresholding, prioritized alerts.
+	Monitor = runtime.Monitor
+	// MonitorConfig parameterizes a Monitor.
+	MonitorConfig = runtime.Config
+	// Alert is one prioritized anomaly notification with diagnosis.
+	Alert = runtime.Alert
+	// DiagnosisReport attributes an alarm to metrics and a Table 1 fault
+	// level.
+	DiagnosisReport = diagnose.Report
+)
+
+// Alert priorities.
+const (
+	Warning  = runtime.Warning
+	Critical = runtime.Critical
+)
+
+// NewMonitor builds a streaming monitor around a trained detector, cloning
+// it for the scoring worker pool.
+func NewMonitor(det *Detector, cfg MonitorConfig) (*Monitor, error) {
+	return runtime.NewMonitor(det, cfg)
+}
+
+// ReplayDataset streams a dataset window through a monitor in timestamp
+// order and returns the alerts raised — the test harness for the
+// deployment path, and a template for wiring a real collector.
+func ReplayDataset(ds *Dataset, m *Monitor, from, to int64) []Alert {
+	return runtime.Replay(ds, m, from, to)
+}
+
+// DiagnoseAlarm attributes an alarm at sample index `at` of a raw frame to
+// the deviating metrics and a Table 1 fault level, with the suggested
+// remediation (as in the paper's §5.2 case study).
+func DiagnoseAlarm(det *Detector, frame *NodeFrame, at, topN int) DiagnosisReport {
+	return diagnose.Alarm(det, frame, at, topN)
+}
+
+// CloneDetector returns an independent copy of a detector, safe for use
+// from another goroutine.
+func CloneDetector(d *Detector) (*Detector, error) { return d.Clone() }
