@@ -15,25 +15,33 @@ import (
 func BenchmarkTable2DatasetBuild(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		experiments.Table2(io.Discard, experiments.Quick)
+		if _, err := experiments.Table2(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkTable3Catalog(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Table3(io.Discard)
+		if _, err := experiments.Table3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkFig1Characteristics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig1(io.Discard)
+		if _, err := experiments.Fig1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkFig4JobDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig4(io.Discard)
+		if _, err := experiments.Fig4(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -111,7 +119,9 @@ func BenchmarkFig8OOMCaseStudy(b *testing.B) {
 
 func BenchmarkDTWvsFeatureClustering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.DTWCost(io.Discard, experiments.Quick)
+		if _, err := experiments.DTWCost(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -141,7 +151,9 @@ func BenchmarkLinkageAblation(b *testing.B) {
 
 func BenchmarkFeatureDomainAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.FeatureDomainAblation(io.Discard, experiments.Quick)
+		if _, err := experiments.FeatureDomainAblation(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

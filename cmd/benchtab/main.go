@@ -31,12 +31,12 @@ func main() {
 	w := os.Stdout
 
 	runners := map[string]func() error{
-		"table2": func() error { experiments.Table2(w, scale); return nil },
-		"table3": func() error { experiments.Table3(w); return nil },
+		"table2": func() error { _, err := experiments.Table2(w, scale); return err },
+		"table3": func() error { _, err := experiments.Table3(w); return err },
 		"table4": func() error { _, err := experiments.Table4(w, scale); return err },
 		"table5": func() error { _, err := experiments.Table5(w, scale); return err },
-		"fig1":   func() error { experiments.Fig1(w); return nil },
-		"fig4":   func() error { experiments.Fig4(w); return nil },
+		"fig1":   func() error { _, err := experiments.Fig1(w); return err },
+		"fig4":   func() error { _, err := experiments.Fig4(w); return err },
 		"fig6a":  func() error { _, err := experiments.Fig6a(w, scale); return err },
 		"fig6b":  func() error { _, err := experiments.Fig6b(w, scale); return err },
 		"fig6c":  func() error { _, err := experiments.Fig6c(w, scale); return err },
@@ -44,7 +44,7 @@ func main() {
 		"fig6e":  func() error { _, err := experiments.Fig6e(w, scale); return err },
 		"fig6f":  func() error { _, err := experiments.Fig6f(w, scale); return err },
 		"fig8":   func() error { _, err := experiments.Fig8(w, scale); return err },
-		"dtw":    func() error { experiments.DTWCost(w, scale); return nil },
+		"dtw":    func() error { _, err := experiments.DTWCost(w, scale); return err },
 		"incremental": func() error {
 			_, err := experiments.Incremental(w, scale)
 			return err
@@ -55,7 +55,7 @@ func main() {
 			_, err := experiments.LinkageAblation(w, scale)
 			return err
 		},
-		"domains": func() error { experiments.FeatureDomainAblation(w, scale); return nil },
+		"domains": func() error { _, err := experiments.FeatureDomainAblation(w, scale); return err },
 		"pca": func() error {
 			_, err := experiments.PCAAblation(w, scale)
 			return err
@@ -78,12 +78,12 @@ func main() {
 
 	run := func(name string) {
 		t0 := time.Now()
-		fmt.Fprintf(w, "--- %s ---\n", name)
+		fmt.Printf("--- %s ---\n", name)
 		if err := runners[name](); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "    (%v)\n\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("    (%v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *exp == "all" {

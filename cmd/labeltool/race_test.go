@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClients drives overlapping label/cancel/read/save/cluster
+// requests through a real HTTP server. The labeling store and cluster
+// session have no internal locking, so this test (run with -race in the
+// verify gate) is what pins the handler-level mutex discipline.
+func TestConcurrentClients(t *testing.T) {
+	tl := testTool(t)
+	srv := httptest.NewServer(tl.handler())
+	defer srv.Close()
+	node := tl.ds.Nodes()[0]
+
+	do := func(method, path, body string) error {
+		var resp *http.Response
+		var err error
+		if method == "GET" {
+			resp, err = http.Get(srv.URL + path)
+		} else {
+			resp, err = http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.Body.Close()
+	}
+
+	const workers = 8
+	const rounds = 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				lo := int64(100 * (w*rounds + i))
+				var err error
+				switch i % 5 {
+				case 0:
+					err = do("POST", "/api/label",
+						fmt.Sprintf(`{"node":%q,"start":%d,"end":%d}`, node, lo, lo+50))
+				case 1:
+					err = do("POST", "/api/cancel",
+						fmt.Sprintf(`{"node":%q,"start":%d,"end":%d}`, node, lo+10, lo+20))
+				case 2:
+					err = do("GET", "/api/labels?node="+node, "")
+				case 3:
+					err = do("POST", "/api/save", `{}`)
+				case 4:
+					err = do("GET", "/api/clusters", "")
+				}
+				if err != nil {
+					t.Errorf("worker %d request %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The store must still be coherent: a final label round-trips.
+	var ivs []map[string]int64
+	post(t, tl.handleLabel, "/api/label",
+		fmt.Sprintf(`{"node":%q,"start":1000000,"end":1000100}`, node), &ivs)
+	if len(ivs) == 0 {
+		t.Error("store unusable after concurrent traffic")
+	}
+}

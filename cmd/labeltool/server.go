@@ -16,7 +16,9 @@ import (
 )
 
 // tool bundles the dataset, labeling session and (lazily built) cluster
-// session behind both front ends.
+// session behind both front ends. Neither labeling.Store nor
+// labeling.ClusterSession locks internally, so every handler that touches
+// them goes through t.mu; the dataset itself is read-only after startup.
 type tool struct {
 	mu      sync.Mutex
 	ds      *dataset.Dataset
@@ -29,13 +31,33 @@ func newTool(ds *dataset.Dataset, store *labeling.Store, workdir string) *tool {
 	return &tool{ds: ds, store: store, workdir: workdir}
 }
 
-func (t *tool) save() error { return t.store.Save(t.workdir) }
+func (t *tool) save() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.store.Save(t.workdir)
+}
 
-// clusters lazily builds the cluster session from the dataset's training
-// split (cleaned frames, job segmentation, feature extraction, HAC).
+// labelsCopy snapshots a node's label intervals under t.mu so JSON encoding
+// can run unlocked without racing later mutations.
+func (t *tool) labelsCopy(node string) []mts.Interval {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]mts.Interval(nil), t.store.Labels()[node]...)
+}
+
+// clusters builds (or returns) the cluster session. The single-goroutine
+// CLI front end may keep using the returned session without the lock; the
+// HTTP handlers go through clustersLocked under t.mu instead.
 func (t *tool) clusters() *labeling.ClusterSession {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.clustersLocked()
+}
+
+// clustersLocked lazily builds the cluster session from the dataset's
+// training split (cleaned frames, job segmentation, feature extraction,
+// HAC). Callers must hold t.mu.
+func (t *tool) clustersLocked() *labeling.ClusterSession {
 	if t.cs != nil {
 		return t.cs
 	}
@@ -80,7 +102,7 @@ func (t *tool) suggest(node string) []labeling.Suggestion {
 
 // ---- HTTP layer ----
 
-func (t *tool) serve(addr string) error {
+func (t *tool) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", t.handleIndex)
 	mux.HandleFunc("/api/nodes", t.handleNodes)
@@ -92,7 +114,11 @@ func (t *tool) serve(addr string) error {
 	mux.HandleFunc("/api/clusters", t.handleClusters)
 	mux.HandleFunc("/api/move", t.handleMove)
 	mux.HandleFunc("/api/save", t.handleSave)
-	return http.ListenAndServe(addr, mux)
+	return mux
+}
+
+func (t *tool) serve(addr string) error {
+	return http.ListenAndServe(addr, t.handler())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -143,8 +169,7 @@ func (t *tool) handleSeries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (t *tool) handleLabels(w http.ResponseWriter, r *http.Request) {
-	node := r.URL.Query().Get("node")
-	writeJSON(w, t.store.Labels()[node])
+	writeJSON(w, t.labelsCopy(r.URL.Query().Get("node")))
 }
 
 type intervalRequest struct {
@@ -159,11 +184,14 @@ func (t *tool) handleLabel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := t.store.Label(req.Node, mts.Interval{Start: req.Start, End: req.End}); err != nil {
+	t.mu.Lock()
+	err := t.store.Label(req.Node, mts.Interval{Start: req.Start, End: req.End})
+	t.mu.Unlock()
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, t.store.Labels()[req.Node])
+	writeJSON(w, t.labelsCopy(req.Node))
 }
 
 func (t *tool) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -172,8 +200,10 @@ func (t *tool) handleCancel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	t.mu.Lock()
 	t.store.Cancel(req.Node, mts.Interval{Start: req.Start, End: req.End})
-	writeJSON(w, t.store.Labels()[req.Node])
+	t.mu.Unlock()
+	writeJSON(w, t.labelsCopy(req.Node))
 }
 
 func (t *tool) handleSuggest(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +224,8 @@ type clustersResponse struct {
 }
 
 func (t *tool) handleClusters(w http.ResponseWriter, r *http.Request) {
-	cs := t.clusters()
+	t.mu.Lock()
+	cs := t.clustersLocked()
 	labels := cs.Labels()
 	resp := clustersResponse{K: cs.NumClusters(), Silhouette: cs.Silhouette(), Adjusted: cs.Adjusted()}
 	for i, seg := range cs.Segments {
@@ -206,6 +237,7 @@ func (t *tool) handleClusters(w http.ResponseWriter, r *http.Request) {
 			Cluster int    `json:"cluster"`
 		}{i, seg.Node, seg.Job, seg.Len(), labels[i]})
 	}
+	t.mu.Unlock()
 	writeJSON(w, resp)
 }
 
@@ -218,16 +250,21 @@ func (t *tool) handleMove(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cs := t.clusters()
+	t.mu.Lock()
+	cs := t.clustersLocked()
 	if err := cs.Move(req.Segment, req.Cluster); err != nil {
+		t.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := cs.Save(t.workdir); err != nil {
+		t.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{"ok": true, "silhouette": cs.Silhouette()})
+	sil := cs.Silhouette()
+	t.mu.Unlock()
+	writeJSON(w, map[string]any{"ok": true, "silhouette": sil})
 }
 
 func (t *tool) handleSave(w http.ResponseWriter, r *http.Request) {

@@ -74,7 +74,9 @@ func main() {
 			if err := det.Save(f); err != nil {
 				log.Fatalf("nodesentry: save model: %v", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				log.Fatalf("nodesentry: close model file: %v", err)
+			}
 			fmt.Printf("model saved to %s\n", *modelPath)
 		}
 	} else if *modelPath != "" {
@@ -83,7 +85,7 @@ func main() {
 			log.Fatalf("nodesentry: open model: %v", err)
 		}
 		det, err = nodesentry.LoadDetector(f)
-		f.Close()
+		_ = f.Close() // read-only; the load error below is the one that matters
 		if err != nil {
 			log.Fatalf("nodesentry: load model: %v", err)
 		}
@@ -98,7 +100,10 @@ func main() {
 		for _, node := range ds.Nodes() {
 			frame := ds.TestFrames()[node]
 			spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
-			rep := det.IncrementalUpdate(frame, spans, 2)
+			rep, err := det.IncrementalUpdate(frame, spans, 2)
+			if err != nil {
+				log.Fatalf("nodesentry: incremental update %s: %v", node, err)
+			}
 			matched += rep.MatchedSegments
 			spawned += rep.SpawnedClusters
 		}
@@ -112,7 +117,9 @@ func main() {
 			if err := det.Save(f); err != nil {
 				log.Fatalf("nodesentry: save model: %v", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				log.Fatalf("nodesentry: close model file: %v", err)
+			}
 		}
 	}
 

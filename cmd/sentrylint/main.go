@@ -1,0 +1,113 @@
+// Command sentrylint runs the repo's stdlib-only static analyzer over
+// module packages and reports findings as `file:line: [check] message`.
+//
+// Usage:
+//
+//	sentrylint [-checks floatcmp,errdrop] [-list] [packages]
+//
+// Packages follow go-tool conventions: `./...` walks the module,
+// `./internal/mat` names one package. With no arguments, `./...` is
+// assumed. The exit status is 1 when findings survive suppression, 2 on
+// load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nodesentry/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sentrylint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "list available checks and exit")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	checks, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrylint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrylint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrylint:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrylint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrylint:", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, checks)
+	for _, f := range findings {
+		fmt.Println(shorten(cwd, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sentrylint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// selectChecks resolves the -checks flag against the registry.
+func selectChecks(spec string) ([]analysis.Check, error) {
+	all := analysis.Checks()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]analysis.Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []analysis.Check
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(analysis.CheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// shorten renders a finding with a path relative to the working
+// directory when possible.
+func shorten(cwd string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

@@ -42,7 +42,10 @@ func main() {
 		f := ds.Frames[node]
 		frame := f.Slice(f.IndexOf(cut), f.IndexOf(ds.SplitTime()))
 		spans := ds.SpansForNode(node, cut, ds.SplitTime())
-		rep := det.IncrementalUpdate(frame, spans, 2)
+		rep, err := det.IncrementalUpdate(frame, spans, 2)
+		if err != nil {
+			log.Fatalf("incremental: update %s: %v", node, err)
+		}
 		matched += rep.MatchedSegments
 		unmatched += rep.UnmatchedSegments
 		spawned += rep.SpawnedClusters

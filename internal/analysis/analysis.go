@@ -1,0 +1,101 @@
+// Package analysis implements sentrylint, a from-scratch static analyzer
+// for this repository built only on the standard library's go/* packages
+// (go/parser, go/ast, go/token, go/types, go/importer — no x/tools).
+//
+// The analyzer walks every package in the module with full type
+// information and enforces repo-specific invariants as named checks.
+// Each check targets a bug class that silently corrupts the benchmark
+// numbers reproduced from the paper (float equality in threshold logic,
+// unseeded global randomness, swallowed errors, library panics) or the
+// safety of the concurrent hot paths (missing mutex unlocks).
+//
+// Findings are reported as `file:line: [check] message`. Any finding can
+// be suppressed with a `//lint:ignore <check> reason` comment on the same
+// line or the line directly above; see suppress.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the canonical `file:line: [check] message` form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Message)
+}
+
+// Check is a named analysis pass over one type-checked package.
+type Check struct {
+	Name string
+	// Doc is a one-line description shown by `sentrylint -list`.
+	Doc string
+	// Run inspects pkg and reports findings through report.
+	Run func(pkg *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Checks returns all registered checks in a stable order.
+func Checks() []Check {
+	return []Check{
+		checkFloatCmp,
+		checkGlobalRand,
+		checkErrDrop,
+		checkLibPanic,
+		checkLockSafe,
+	}
+}
+
+// CheckNames returns the names of all registered checks.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Run executes the given checks over the packages and returns surviving
+// findings (suppressions already applied), sorted by file, line, check.
+func Run(pkgs []*Package, checks []Check) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, c := range checks {
+			c := c
+			report := func(pos token.Pos, format string, args ...any) {
+				p := pkg.Fset.Position(pos)
+				if sup.suppressed(c.Name, p) {
+					return
+				}
+				out = append(out, Finding{Pos: p, Check: c.Name, Message: fmt.Sprintf(format, args...)})
+			}
+			c.Run(pkg, report)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// inspectFiles applies fn to every node of every file in the package.
+func inspectFiles(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

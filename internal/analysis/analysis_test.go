@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// fixtureChecks maps each fixture to the single check it must trigger
+// ("" means any check may appear, used by the suppression fixture).
+var fixtureChecks = []struct {
+	dir   string
+	check string
+}{
+	{"floatcmp", "floatcmp"},
+	{"globalrand", "globalrand"},
+	{"errdrop", "errdrop"},
+	{"libpanic", "libpanic"},
+	{"locksafe", "locksafe"},
+	{"suppress", "floatcmp"},
+}
+
+func loadFixture(t *testing.T, dir string) []Finding {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand(".", []string{filepath.Join("testdata", dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return Run(pkgs, Checks())
+}
+
+// TestFixturesGolden runs every check over each fixture package and
+// compares the full finding list against the fixture's golden file.
+func TestFixturesGolden(t *testing.T) {
+	for _, tc := range fixtureChecks {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			findings := loadFixture(t, tc.dir)
+			if len(findings) == 0 {
+				t.Fatalf("fixture %s produced no findings", tc.dir)
+			}
+			var b strings.Builder
+			for _, f := range findings {
+				if f.Check != tc.check {
+					t.Errorf("fixture %s triggered unexpected check: %s", tc.dir, f)
+				}
+				fmt.Fprintf(&b, "%s:%d: [%s] %s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check, f.Message)
+			}
+			golden := filepath.Join("testdata", tc.dir, "expect.golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -update): %v", err)
+			}
+			if got := b.String(); got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSuppressionRespected pins the suppression contract precisely: the
+// suppress fixture contains three float comparisons, two suppressed.
+func TestSuppressionRespected(t *testing.T) {
+	findings := loadFixture(t, "suppress")
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 surviving suppression: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].String(), "floatcmp") {
+		t.Errorf("surviving finding is not floatcmp: %s", findings[0])
+	}
+}
+
+// TestExpandSkipsTestdata ensures ./... walks never descend into
+// testdata, so the intentional fixture violations cannot fail the gate.
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand descended into %s", d)
+		}
+	}
+	if len(dirs) != 1 {
+		t.Errorf("expected only the analysis package itself, got %v", dirs)
+	}
+}
+
+// TestCheckRegistry pins the advertised check set.
+func TestCheckRegistry(t *testing.T) {
+	want := []string{"floatcmp", "globalrand", "errdrop", "libpanic", "locksafe"}
+	got := CheckNames()
+	if len(got) != len(want) {
+		t.Fatalf("CheckNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("check %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, c := range Checks() {
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc line", c.Name)
+		}
+	}
+}
+
+// TestModuleDiscovery verifies go.mod ascent from a nested directory.
+func TestModuleDiscovery(t *testing.T) {
+	loader, err := NewLoader("testdata/floatcmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "nodesentry" {
+		t.Errorf("ModulePath = %q, want nodesentry", loader.ModulePath)
+	}
+	if _, err := os.Stat(filepath.Join(loader.ModuleRoot, "go.mod")); err != nil {
+		t.Errorf("ModuleRoot %s has no go.mod: %v", loader.ModuleRoot, err)
+	}
+}

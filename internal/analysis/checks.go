@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---- floatcmp ----
+//
+// Exact ==/!= between floating-point values is almost always a bug in
+// numeric code: k-sigma thresholding, centroid matching and score
+// comparison all accumulate rounding error, so exact equality silently
+// flips outcomes between platforms and optimization levels. Two idioms
+// stay legal: comparison against an exact constant zero (the ubiquitous
+// division guard, exact under IEEE 754) and `x != x` (the NaN probe).
+
+var checkFloatCmp = Check{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between floating-point operands (zero guards and x != x excluded)",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		inspectFiles(pkg, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			// Two constants fold at compile time; exact-zero guards are
+			// IEEE-exact; x != x / x == x probe for NaN.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			if isZeroConst(tx) || isZeroConst(ty) {
+				return true
+			}
+			if exprString(be.X) == exprString(be.Y) {
+				return true
+			}
+			report(be.OpPos, "floating-point values compared with %s; use an explicit tolerance (math.Abs(a-b) <= eps) or restructure", be.Op)
+			return true
+		})
+	},
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	return tv.Value != nil && constant.Sign(tv.Value) == 0
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// ---- globalrand ----
+//
+// Top-level math/rand functions draw from the process-global source,
+// which is seeded differently on every run (and shared across
+// goroutines), so any table produced through it is unreproducible.
+// Constructors that build an injectable source remain legal; everything
+// randomness must flow through a seed-injected *rand.Rand.
+
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors, should the module migrate.
+	"NewPCG":       true,
+	"NewChaCha8":   true,
+	"Int64Source":  true,
+	"Uint64Source": true,
+}
+
+var checkGlobalRand = Check{
+	Name: "globalrand",
+	Doc:  "flags top-level math/rand functions; inject a seeded *rand.Rand instead",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		inspectFiles(pkg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			report(call.Pos(), "%s.%s draws from the process-global RNG; thread a seeded *rand.Rand through options instead", id.Name, sel.Sel.Name)
+			return true
+		})
+	},
+}
+
+// ---- errdrop ----
+//
+// A call whose error result is discarded implicitly (a bare expression
+// statement, possibly under go/defer) swallows failures: short writes
+// while emitting experiment tables, failed saves in the labeling tool.
+// An explicit `_ = f()` assignment stays legal as a visible,
+// greppable acknowledgment. Exempt are prints to the process's standard
+// streams (fmt.Print*, and fmt.Fprint* aimed at os.Stdout/os.Stderr)
+// and writers documented to never fail: strings.Builder, bytes.Buffer
+// (as receivers or as fmt.Fprint* targets) and the hash.Hash
+// implementations under hash/.
+
+var errDropExempt = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+var errDropFprint = map[string]bool{
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+var errDropExemptRecv = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+var checkErrDrop = Check{
+	Name: "errdrop",
+	Doc:  "flags calls whose error result is silently discarded outside test files",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		flag := func(call *ast.CallExpr) {
+			if !returnsError(pkg, call) || errDropExemptCall(pkg, call) {
+				return
+			}
+			report(call.Pos(), "error result of %s is silently discarded; handle it or assign it to _ explicitly", calleeName(pkg, call))
+		}
+		inspectFiles(pkg, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					flag(call)
+				}
+			case *ast.GoStmt:
+				flag(st.Call)
+			case *ast.DeferStmt:
+				flag(st.Call)
+			}
+			return true
+		})
+	},
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// errDropExemptCall exempts std-stream prints and never-failing writers.
+func errDropExemptCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.FullName()
+	if errDropExempt[full] {
+		return true
+	}
+	if errDropFprint[full] && len(call.Args) > 0 && neverFailingWriter(pkg, call.Args[0]) {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Judge by the receiver expression's static type, so interface
+		// values (hash.Hash64 from fnv.New64a) resolve to the package
+		// that documents the no-error contract, not to io.Writer.
+		if t := pkg.Info.Types[sel.X].Type; t != nil {
+			if pkgPath, name := namedRecv(t); pkgPath != "" {
+				if errDropExemptRecv[pkgPath+"."+name] {
+					return true
+				}
+				// hash.Hash and its implementations (hash/fnv,
+				// hash/crc32, ...) document that Write never fails.
+				if pkgPath == "hash" || strings.HasPrefix(pkgPath, "hash/") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// neverFailingWriter reports whether expr is a write destination whose
+// failures are either impossible (in-memory builders/buffers) or as
+// unactionable as fmt.Println's (the process's standard streams).
+func neverFailingWriter(pkg *Package, expr ast.Expr) bool {
+	if t := pkg.Info.Types[expr].Type; t != nil {
+		if p, ok := t.(*types.Pointer); ok {
+			if pkgPath, name := namedRecv(p.Elem()); errDropExemptRecv[pkgPath+"."+name] {
+				return true
+			}
+		}
+	}
+	if sel, ok := expr.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok &&
+				pn.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedRecv unwraps pointers and returns the package path and name of a
+// named type, or "", "".
+func namedRecv(t types.Type) (pkgPath, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// calleeName renders a short name for the called function.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.FullName()
+		}
+		return exprString(fun)
+	default:
+		return exprString(call.Fun)
+	}
+}
+
+// ---- libpanic ----
+//
+// Library code under internal/ is consumed by long-running services
+// (the monitor, the labeltool server); a panic there takes down the
+// whole process instead of failing one request or one training run.
+// Invariant guards that indicate programmer error (shape mismatches in
+// the mat kernels) may be suppressed explicitly with a reason.
+
+var checkLibPanic = Check{
+	Name: "libpanic",
+	Doc:  "flags panic calls in internal/* packages; return errors instead",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		if !strings.Contains("/"+pkg.ImportPath+"/", "/internal/") {
+			return
+		}
+		inspectFiles(pkg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			report(call.Pos(), "panic in library package %s; return an error so callers can recover", pkg.ImportPath)
+			return true
+		})
+	},
+}
+
+// ---- locksafe ----
+//
+// A function that calls mu.Lock() but never mu.Unlock() (directly or in
+// a defer, including deferred closures) will deadlock the next locker —
+// in the monitor's per-node mutexes that freezes ingestion for a node
+// forever. The check keys lock and unlock calls by the printed receiver
+// expression within one top-level function, so a lock handed to a
+// deferred closure for unlocking still counts.
+
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+var checkLockSafe = Check{
+	Name: "locksafe",
+	Doc:  "flags functions that acquire a sync lock but never release it",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkLockBalance(pkg, fd.Body, report)
+			}
+		}
+	},
+}
+
+func checkLockBalance(pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	type lockUse struct {
+		pos  token.Pos
+		name string // method called, e.g. Lock
+	}
+	locks := map[string][]lockUse{} // receiver expr + want-method -> lock sites
+	unlocked := map[string]bool{}   // receiver expr + method actually called
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		recv := exprString(sel.X)
+		switch name := sel.Sel.Name; name {
+		case "Lock", "RLock":
+			key := recv + "." + lockPairs[name]
+			locks[key] = append(locks[key], lockUse{pos: call.Pos(), name: name})
+		case "Unlock", "RUnlock":
+			unlocked[recv+"."+name] = true
+		}
+		return true
+	})
+	for key, uses := range locks {
+		if unlocked[key] {
+			continue
+		}
+		for _, u := range uses {
+			report(u.pos, "%s acquired but %s is never called in this function", u.name, key[strings.LastIndex(key, ".")+1:])
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// ImportPath is the package's module-qualified import path
+	// (e.g. nodesentry/internal/mat).
+	ImportPath string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries expression types, object resolution and selections.
+	Info *types.Info
+}
+
+// Loader discovers, parses and type-checks module packages using only
+// the standard library. Module-local imports resolve against packages
+// the loader has already checked; everything else (the standard library)
+// falls back to go/importer's source importer.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset     *token.FileSet
+	local    map[string]*Package // keyed by import path
+	fallback types.Importer
+}
+
+// NewLoader builds a loader for the module enclosing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		local:      map[string]*Package{},
+		fallback:   importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// findModule ascends from dir to the nearest go.mod and returns its
+// directory and declared module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if path, ok := strings.CutPrefix(line, "module "); ok {
+					if unq, err := strconv.Unquote(path); err == nil {
+						path = unq
+					}
+					return d, strings.TrimSpace(path), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Expand resolves package patterns relative to base into package
+// directories. A pattern ending in "/..." walks the prefix recursively;
+// other patterns name a single directory. Directories named testdata,
+// hidden directories, and directories without non-test Go files are
+// skipped during walks.
+func (l *Loader) Expand(base string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if abs, err := filepath.Abs(dir); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if prefix == "." || prefix == "" {
+				prefix = base
+			} else if !filepath.IsAbs(prefix) {
+				prefix = filepath.Join(base, prefix)
+			}
+			err := filepath.WalkDir(prefix, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != prefix && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if names, err := goSources(path); err == nil && len(names) > 0 {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(base, dir)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// goSources lists the non-test .go files in dir, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// importPathFor derives the module-qualified import path of dir.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// isLocal reports whether path names a package of this module.
+func (l *Loader) isLocal(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// parsedPkg is an intermediate parse result awaiting type checking.
+type parsedPkg struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+	imports    []string // module-local imports only
+}
+
+// Load parses and type-checks the packages in dirs plus the closure of
+// their module-local imports, returning only the packages requested in
+// dirs (dependencies are checked but not analyzed).
+func (l *Loader) Load(dirs []string) ([]*Package, error) {
+	parsed := map[string]*parsedPkg{}
+	requested := map[string]bool{}
+	seenDir := map[string]bool{}
+	queue := append([]string(nil), dirs...)
+	for i := 0; i < len(queue); i++ {
+		dir := queue[i]
+		if seenDir[dir] {
+			continue
+		}
+		seenDir[dir] = true
+		p, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(dirs) {
+			requested[p.importPath] = true
+		}
+		parsed[p.importPath] = p
+		for _, imp := range p.imports {
+			if _, ok := parsed[imp]; ok {
+				continue
+			}
+			depDir := l.ModuleRoot
+			if imp != l.ModulePath {
+				depDir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(imp, l.ModulePath+"/")))
+			}
+			queue = append(queue, depDir)
+		}
+	}
+
+	order, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range order {
+		pkg, err := l.check(parsed[path])
+		if err != nil {
+			return nil, err
+		}
+		l.local[path] = pkg
+		if requested[path] {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// parseDir parses the non-test sources of one directory.
+func (l *Loader) parseDir(dir string) (*parsedPkg, error) {
+	importPath, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	p := &parsedPkg{importPath: importPath, dir: dir}
+	seenImp := map[string]bool{}
+	for _, name := range names {
+		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, file)
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.isLocal(path) && !seenImp[path] {
+				seenImp[path] = true
+				p.imports = append(p.imports, path)
+			}
+		}
+	}
+	return p, nil
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importer.
+func topoSort(pkgs map[string]*parsedPkg) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, imp := range pkgs[path].imports {
+			if _, ok := pkgs[imp]; ok {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var paths []string
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Import satisfies types.Importer: module-local packages must already be
+// checked; everything else is type-checked from source via go/importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg.Types, nil
+	}
+	if l.isLocal(path) {
+		return nil, fmt.Errorf("analysis: local package %s not loaded (import cycle?)", path)
+	}
+	return l.fallback.Import(path)
+}
+
+// check type-checks one parsed package.
+func (l *Loader) check(p *parsedPkg) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(p.importPath, l.fset, p.files, info)
+	if err != nil && len(errs) == 0 {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", p.importPath, errs[0])
+	}
+	return &Package{
+		ImportPath: p.importPath,
+		Dir:        p.dir,
+		Files:      p.files,
+		Fset:       l.fset,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//lint:ignore <check>[,<check>...] reason
+//
+// The comment silences the named checks on its own line and on the line
+// directly below it, so both trailing and leading placements work:
+//
+//	foo() //lint:ignore errdrop best-effort cleanup
+//
+//	//lint:ignore libpanic shape mismatch is a programmer error
+//	panic("mat: dimension mismatch")
+const ignorePrefix = "lint:ignore"
+
+// suppressions maps file -> line -> set of suppressed check names.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(check string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][check]
+}
+
+func (s suppressions) add(file string, line int, check string) {
+	lines := s[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s[file] = lines
+	}
+	for _, l := range []int{line, line + 1} {
+		if lines[l] == nil {
+			lines[l] = map[string]bool{}
+		}
+		lines[l][check] = true
+	}
+}
+
+// collectSuppressions scans every comment in the package for lint:ignore
+// directives.
+func collectSuppressions(pkg *Package) suppressions {
+	sup := suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, check := range strings.Split(fields[0], ",") {
+					if check = strings.TrimSpace(check); check != "" {
+						sup.add(pos.Filename, pos.Line, check)
+					}
+				}
+			}
+		}
+	}
+	return sup
+}

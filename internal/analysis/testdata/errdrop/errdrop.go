@@ -1,0 +1,24 @@
+// Package fixerrdrop triggers only the errdrop check.
+package fixerrdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// dump exercises the exemptions and two violations.
+func dump(path string, lines []string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // finding: deferred Close error discarded
+	var b strings.Builder
+	b.WriteString(strings.Join(lines, "\n"))  // allowed: strings.Builder never fails
+	fmt.Fprintf(&b, "%d lines\n", len(lines)) // allowed: Fprintf into a Builder
+	f.WriteString(b.String())                 // finding: write error discarded
+	_ = f.Sync()                              // allowed: explicit acknowledgment
+	fmt.Println("wrote", path)                // allowed: stdout print
+	fmt.Fprintln(os.Stderr, "wrote", path)    // allowed: standard stream
+}

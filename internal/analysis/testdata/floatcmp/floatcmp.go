@@ -1,0 +1,30 @@
+// Package fixfloatcmp triggers only the floatcmp check.
+package fixfloatcmp
+
+// equalish exercises the allowed idioms and one violation.
+func equalish(a, b float64) bool {
+	if a == 0 { // allowed: exact-zero division guard
+		return b == 0
+	}
+	if a != a { // allowed: NaN probe
+		return false
+	}
+	return a == b // finding: exact equality
+}
+
+// countAbove exercises != between non-constant floats.
+func countAbove(scores []float64, limit float64) int {
+	n := 0
+	for _, s := range scores {
+		if s != limit { // finding: exact inequality
+			n++
+		}
+	}
+	return n
+}
+
+// constFold shows that two constants never fire.
+func constFold() bool {
+	const eps = 1e-9
+	return eps == 1e-9 // allowed: both constant
+}

@@ -1,0 +1,15 @@
+// Package fixglobalrand triggers only the globalrand check.
+package fixglobalrand
+
+import "math/rand"
+
+// jitter mixes the legal constructor idiom with a global draw.
+func jitter() float64 {
+	rng := rand.New(rand.NewSource(1))    // allowed: constructors build an injectable source
+	return rng.Float64() + rand.Float64() // finding: global draw
+}
+
+// shuffle uses the global source wholesale.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // finding
+}

@@ -1,0 +1,11 @@
+// Package fixlibpanic triggers only the libpanic check (it loads with an
+// import path under internal/, where the check applies).
+package fixlibpanic
+
+// Mid panics instead of returning an error.
+func Mid(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("fixlibpanic: empty input") // finding
+	}
+	return xs[len(xs)/2]
+}

@@ -1,0 +1,48 @@
+// Package fixlocksafe triggers only the locksafe check.
+package fixlocksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bad acquires the mutex and never releases it.
+func (c *counter) bad() int {
+	c.mu.Lock() // finding
+	return c.n
+}
+
+// good releases via defer.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// closure releases inside a deferred closure, which still counts.
+func (c *counter) closure() int {
+	c.mu.Lock()
+	defer func() { c.mu.Unlock() }()
+	return c.n
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// get read-locks and never read-unlocks.
+func (t *table) get(k string) int {
+	t.mu.RLock() // finding
+	return t.m[k]
+}
+
+// paired Lock/Unlock against a write lock is fine even when an RLock
+// elsewhere in the file is not.
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Package fixsuppress proves lint:ignore scoping: only the unsuppressed
+// comparison survives.
+package fixsuppress
+
+// cmp suppresses one finding with a leading comment; the second
+// comparison still fires.
+func cmp(a, b float64) bool {
+	//lint:ignore floatcmp exact bit equality is intended here
+	if a == b {
+		return true
+	}
+	return a != b // finding: not suppressed
+}
+
+// alias suppresses with a trailing comment on the same line.
+func alias(a, b float64) bool {
+	return a == b //lint:ignore floatcmp trailing suppression
+}

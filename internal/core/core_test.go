@@ -253,7 +253,10 @@ func TestIncrementalUpdateMatchesAndSpawns(t *testing.T) {
 	node := ds.Nodes()[1]
 	frame := ds.TestFrames()[node]
 	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
-	rep := d.IncrementalUpdate(frame, spans, 1)
+	rep, err := d.IncrementalUpdate(frame, spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.MatchedSegments+rep.UnmatchedSegments == 0 {
 		t.Fatal("incremental update saw no segments")
 	}

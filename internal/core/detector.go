@@ -139,9 +139,15 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 
 	// --- Fine-grained model sharing: one shared model per cluster ---
 	d.library = make([]*clusterModel, k)
+	trainErrs := make([]error, k)
 	mat.ParallelItems(k, func(c int) {
-		d.library[c] = d.trainClusterModel(c, F, labels, segments, reduced)
+		d.library[c], trainErrs[c] = d.trainClusterModel(c, F, labels, segments, reduced)
 	})
+	for _, err := range trainErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	d.Stats.TrainDuration = time.Since(start)
 	return d, nil
@@ -227,7 +233,7 @@ func ensureNonEmpty(labels []int, k int) {
 // trainClusterModel trains the shared model of cluster c on the K segments
 // nearest its centroid (a form of data augmentation per §3.4), with
 // MAC-derived WMSE weights and segment-aware positional encoding.
-func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segments []mts.Segment, frames map[string]*mts.NodeFrame) *clusterModel {
+func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segments []mts.Segment, frames map[string]*mts.NodeFrame) (*clusterModel, error) {
 	reps := cluster.NearestMembers(F, labels, d.centroids.Row(c), c, d.opts.RepSegments)
 	if len(reps) == 0 {
 		reps = []int{0}
@@ -279,7 +285,10 @@ func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segment
 	cfg.UseMoE = !d.opts.DenseFFN
 	cfg.SegmentAwarePE = !d.opts.FlatPositionalEncoding
 	cfg.Seed = d.opts.Seed + int64(c)*977
-	model := nn.NewReconstructor(cfg)
+	model, err := nn.NewReconstructor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	opt := nn.NewAdam(model.Params(), d.opts.LR)
 	for epoch := 0; epoch < d.opts.Epochs; epoch++ {
 		for _, w := range wins {
@@ -300,7 +309,7 @@ func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segment
 	if !(scale > 1e-9) {
 		scale = 1
 	}
-	return &clusterModel{model: model, weights: weights, radius: radius, scale: scale}
+	return &clusterModel{model: model, weights: weights, radius: radius, scale: scale}, nil
 }
 
 // trainWindow is one token window with its positional metadata.

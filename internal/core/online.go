@@ -262,7 +262,7 @@ type UpdateReport struct {
 // scratch: segments matching an existing cluster fine-tune that cluster's
 // model for `epochs` epochs and nudge the centroid; segments matching
 // nothing are clustered among themselves and become new library entries.
-func (d *Detector) IncrementalUpdate(frame *mts.NodeFrame, spans []mts.JobSpan, epochs int) UpdateReport {
+func (d *Detector) IncrementalUpdate(frame *mts.NodeFrame, spans []mts.JobSpan, epochs int) (UpdateReport, error) {
 	if epochs <= 0 {
 		epochs = 1
 	}
@@ -297,7 +297,7 @@ func (d *Detector) IncrementalUpdate(frame *mts.NodeFrame, spans []mts.JobSpan, 
 	}
 	rep.UnmatchedSegments = len(unmatched)
 	if len(unmatched) == 0 {
-		return rep
+		return rep, nil
 	}
 
 	// Cluster the unmatched patterns among themselves and train fresh
@@ -331,13 +331,16 @@ func (d *Detector) IncrementalUpdate(frame *mts.NodeFrame, spans []mts.JobSpan, 
 		if math.IsNaN(radius) || radius == 0 {
 			radius = 1
 		}
-		cm := d.trainNewClusterModel(global, F, labels, c, segsNew, frames, epochs)
+		cm, err := d.trainNewClusterModel(global, F, labels, c, segsNew, frames, epochs)
+		if err != nil {
+			return rep, err
+		}
 		cm.radius = radius
 		d.library = append(d.library, cm)
 		rep.SpawnedClusters++
 	}
 	d.Stats.Clusters = len(d.library)
-	return rep
+	return rep, nil
 }
 
 // fineTune runs a few epochs of the cluster's model on one new segment.
@@ -360,7 +363,7 @@ func (d *Detector) fineTune(c int, f *mts.NodeFrame, seg mts.Segment, epochs int
 }
 
 // trainNewClusterModel builds and trains a model for a spawned cluster.
-func (d *Detector) trainNewClusterModel(globalID int, F *mat.Matrix, labels []int, c int, segs []mts.Segment, frames map[string]*mts.NodeFrame, epochs int) *clusterModel {
+func (d *Detector) trainNewClusterModel(globalID int, F *mat.Matrix, labels []int, c int, segs []mts.Segment, frames map[string]*mts.NodeFrame, epochs int) (*clusterModel, error) {
 	dim := d.red.NumOutput()
 	macs := make([]float64, dim)
 	var wins []trainWindow
@@ -387,7 +390,10 @@ func (d *Detector) trainNewClusterModel(globalID int, F *mat.Matrix, labels []in
 	cfg.UseMoE = !d.opts.DenseFFN
 	cfg.SegmentAwarePE = !d.opts.FlatPositionalEncoding
 	cfg.Seed = d.opts.Seed + int64(globalID)*977
-	model := nn.NewReconstructor(cfg)
+	model, err := nn.NewReconstructor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	opt := nn.NewAdam(model.Params(), d.opts.LR)
 	if d.opts.MaxWindowsPerCluster > 0 && len(wins) > d.opts.MaxWindowsPerCluster {
 		wins = wins[:d.opts.MaxWindowsPerCluster]
@@ -410,7 +416,7 @@ func (d *Detector) trainNewClusterModel(globalID int, F *mat.Matrix, labels []in
 	if !(scale > 1e-9) {
 		scale = 1
 	}
-	return &clusterModel{model: model, weights: weights, scale: scale}
+	return &clusterModel{model: model, weights: weights, scale: scale}, nil
 }
 
 func appendRow(m *mat.Matrix, row []float64) *mat.Matrix {

@@ -91,7 +91,10 @@ func Load(r io.Reader) (*Detector, error) {
 		cfg.UseMoE = !snap.Opts.DenseFFN
 		cfg.SegmentAwarePE = !snap.Opts.FlatPositionalEncoding
 		cfg.Seed = snap.Opts.Seed + int64(i)*977
-		model := nn.NewReconstructor(cfg)
+		model, err := nn.NewReconstructor(cfg)
+		if err != nil {
+			return nil, err
+		}
 		params := model.Params()
 		if len(params) != len(ms.Params) {
 			return nil, fmt.Errorf("core: snapshot model %d has %d params, architecture wants %d",

@@ -43,12 +43,12 @@ func (d *Dataset) Export(dir string) error {
 	return os.WriteFile(filepath.Join(dir, "meta.csv"), []byte(meta), 0o644)
 }
 
-func writeFrameCSV(path string, f *mts.NodeFrame) error {
-	fd, err := os.Create(path)
-	if err != nil {
-		return err
+func writeFrameCSV(path string, f *mts.NodeFrame) (err error) {
+	fd, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer fd.Close()
+	defer closeFile(fd, &err)
 	w := csv.NewWriter(fd)
 	header := append([]string{"timestamp"}, f.Metrics...)
 	if err := w.Write(header); err != nil {
@@ -73,12 +73,12 @@ func writeFrameCSV(path string, f *mts.NodeFrame) error {
 	return w.Error()
 }
 
-func writeJobsCSV(path string, recs []slurmsim.Record) error {
-	fd, err := os.Create(path)
-	if err != nil {
-		return err
+func writeJobsCSV(path string, recs []slurmsim.Record) (err error) {
+	fd, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer fd.Close()
+	defer closeFile(fd, &err)
 	w := csv.NewWriter(fd)
 	if err := w.Write([]string{"job_id", "kind", "start", "end", "nodes"}); err != nil {
 		return err
@@ -97,12 +97,12 @@ func writeJobsCSV(path string, recs []slurmsim.Record) error {
 	return w.Error()
 }
 
-func writeLabelsCSV(path string, labels mts.Labels) error {
-	fd, err := os.Create(path)
-	if err != nil {
-		return err
+func writeLabelsCSV(path string, labels mts.Labels) (err error) {
+	fd, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer fd.Close()
+	defer closeFile(fd, &err)
 	w := csv.NewWriter(fd)
 	if err := w.Write([]string{"node", "start", "end"}); err != nil {
 		return err
@@ -124,12 +124,12 @@ func writeLabelsCSV(path string, labels mts.Labels) error {
 	return w.Error()
 }
 
-func writeCatalogCSV(path string, cat []telemetry.Metric) error {
-	fd, err := os.Create(path)
-	if err != nil {
-		return err
+func writeCatalogCSV(path string, cat []telemetry.Metric) (err error) {
+	fd, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer fd.Close()
+	defer closeFile(fd, &err)
 	w := csv.NewWriter(fd)
 	if err := w.Write([]string{"name", "category", "semantic", "role", "core"}); err != nil {
 		return err
@@ -145,6 +145,14 @@ func writeCatalogCSV(path string, cat []telemetry.Metric) error {
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// closeFile closes fd and, if the caller has no error yet, surfaces the
+// close error — on buffered writes that is where ENOSPC appears.
+func closeFile(fd *os.File, err *error) {
+	if cerr := fd.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
 }
 
 // Import reads a dataset previously written by Export. Fault metadata is
@@ -211,7 +219,7 @@ func readFrameCSV(path, node string, step int64) (*mts.NodeFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer fd.Close()
+	defer func() { _ = fd.Close() }() // read-only; close errors carry no data loss
 	r := csv.NewReader(fd)
 	rows, err := r.ReadAll()
 	if err != nil {
@@ -301,7 +309,7 @@ func readAll(path string) ([][]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer fd.Close()
+	defer func() { _ = fd.Close() }() // read-only; close errors carry no data loss
 	rows, err := csv.NewReader(fd).ReadAll()
 	if err != nil {
 		return nil, err

@@ -148,6 +148,7 @@ func rankAUC(pos, neg []float64) float64 {
 	ranks := make([]float64, len(all))
 	for i := 0; i < len(all); {
 		j := i
+		//lint:ignore floatcmp exact equality groups tied scores for average ranks; a tolerance would merge distinct scores
 		for j < len(all) && all[j].v == all[i].v {
 			j++
 		}

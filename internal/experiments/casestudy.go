@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"math"
 	"time"
@@ -97,16 +96,17 @@ func Fig8(w io.Writer, s Scale) (Fig8Result, error) {
 		}
 		out.TopMetric = topDeviatingMetric(det, frame, peak)
 	}
-	fmt.Fprintln(w, "Fig 8: case study of an out-of-memory fault")
-	fmt.Fprintf(w, "  leak window: %s, job failure at +%s\n",
+	pr := &report{w: w}
+	pr.println("Fig 8: case study of an out-of-memory fault")
+	pr.printf("  leak window: %s, job failure at +%s\n",
 		time.Duration(failAt-leakStart)*time.Second, time.Duration(failAt-split)*time.Second)
 	if out.Detected {
-		fmt.Fprintf(w, "  detected %v before job failure (paper: 54 min)\n", out.LeadTime)
-		fmt.Fprintf(w, "  top deviating metric: %s\n", out.TopMetric)
+		pr.printf("  detected %v before job failure (paper: 54 min)\n", out.LeadTime)
+		pr.printf("  top deviating metric: %s\n", out.TopMetric)
 	} else {
-		fmt.Fprintln(w, "  NOT DETECTED before failure")
+		pr.println("  NOT DETECTED before failure")
 	}
-	return out, nil
+	return out, pr.Err()
 }
 
 // rebuildWithFaults regenerates a dataset with a custom fault campaign.
@@ -160,7 +160,7 @@ type DTWCostResult struct {
 // DTWCost measures the §2.1 claim that DTW-based clustering of a fleet's
 // segments is prohibitively expensive ("3.8 months for a week of data")
 // while feature-vector clustering is cheap.
-func DTWCost(w io.Writer, s Scale) DTWCostResult {
+func DTWCost(w io.Writer, s Scale) (DTWCostResult, error) {
 	cfg := dataset.Tiny()
 	if s == Full {
 		cfg = dataset.D2Small()
@@ -227,13 +227,14 @@ func DTWCost(w io.Writer, s Scale) DTWCostResult {
 		Speedup:          float64(dtwTotal) / math.Max(1, float64(featTotal)),
 		FleetExtrapolate: extrap,
 	}
-	fmt.Fprintln(w, "Challenge 1: DTW vs feature-based clustering cost")
-	fmt.Fprintf(w, "  %d segments: DTW %v (%v/pair), features+HAC %v (%.0fx faster)\n",
+	pr := &report{w: w}
+	pr.println("Challenge 1: DTW vs feature-based clustering cost")
+	pr.printf("  %d segments: DTW %v (%v/pair), features+HAC %v (%.0fx faster)\n",
 		n, dtwTotal.Round(time.Millisecond), perPair.Round(time.Microsecond),
 		featTotal.Round(time.Millisecond), res.Speedup)
-	fmt.Fprintf(w, "  extrapolated DTW cost for a 13k-segment fleet week: %v (paper: 3.8 months)\n",
+	pr.printf("  extrapolated DTW cost for a 13k-segment fleet week: %v (paper: 3.8 months)\n",
 		extrap.Round(time.Hour))
-	return res
+	return res, pr.Err()
 }
 
 func clampSegs(segs []mts.Segment, n int) []mts.Segment {
@@ -279,7 +280,10 @@ func Incremental(w io.Writer, s Scale) (IncrementalResult, error) {
 		f := ds.Frames[node]
 		frame := f.Slice(f.IndexOf(cut), f.IndexOf(ds.SplitTime()))
 		spans := ds.SpansForNode(node, cut, ds.SplitTime())
-		rep := detHalf.IncrementalUpdate(frame, spans, 2)
+		rep, err := detHalf.IncrementalUpdate(frame, spans, 2)
+		if err != nil {
+			return IncrementalResult{}, err
+		}
 		spawned += rep.SpawnedClusters
 	}
 	f1Incremental := nodesentry.EvaluateDetector(detHalf, ds).F1
@@ -294,11 +298,12 @@ func Incremental(w io.Writer, s Scale) (IncrementalResult, error) {
 		F1Initial: f1Initial, F1Incremental: f1Incremental, F1Full: f1Full,
 		Spawned: spawned,
 	}
-	fmt.Fprintln(w, "Incremental training (RQ3)")
-	fmt.Fprintf(w, "  half data:          F1=%.3f\n", res.F1Initial)
-	fmt.Fprintf(w, "  + incremental:      F1=%.3f (%d clusters spawned)\n", res.F1Incremental, res.Spawned)
-	fmt.Fprintf(w, "  full retrain:       F1=%.3f\n", res.F1Full)
-	return res, nil
+	pr := &report{w: w}
+	pr.println("Incremental training (RQ3)")
+	pr.printf("  half data:          F1=%.3f\n", res.F1Initial)
+	pr.printf("  + incremental:      F1=%.3f (%d clusters spawned)\n", res.F1Incremental, res.Spawned)
+	pr.printf("  full retrain:       F1=%.3f\n", res.F1Full)
+	return res, pr.Err()
 }
 
 // DeployResult holds the §5.1 deployment measurements.
@@ -340,8 +345,9 @@ func Deploy(w io.Writer, s Scale) (DeployResult, error) {
 	perPoint := time.Since(t1) / time.Duration(max(1, frame.Len()))
 
 	res := DeployResult{PatternMatchPerCycle: matchPerCycle, PerPointLatency: perPoint}
-	fmt.Fprintln(w, "Deployment (§5.1)")
-	fmt.Fprintf(w, "  hourly cycle (match+detect): %v (paper: 5.11 s)\n", matchPerCycle.Round(time.Millisecond))
-	fmt.Fprintf(w, "  per-sampling-point latency:  %v (paper: 36 ms)\n", perPoint.Round(time.Microsecond))
-	return res, nil
+	pr := &report{w: w}
+	pr.println("Deployment (§5.1)")
+	pr.printf("  hourly cycle (match+detect): %v (paper: 5.11 s)\n", matchPerCycle.Round(time.Millisecond))
+	pr.printf("  per-sampling-point latency:  %v (paper: 36 ms)\n", perPoint.Round(time.Microsecond))
+	return res, pr.Err()
 }

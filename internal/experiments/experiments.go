@@ -139,7 +139,8 @@ func fill(row *MethodRow, s eval.Summary) {
 // Table4 reproduces the overall-performance comparison: NodeSentry versus
 // the four baselines on both datasets, with offline and online costs.
 func Table4(w io.Writer, s Scale) ([]MethodRow, error) {
-	fmt.Fprintln(w, "Table 4: effectiveness of anomaly detection on different methods")
+	rep := &report{w: w}
+	rep.println("Table 4: effectiveness of anomaly detection on different methods")
 	var rows []MethodRow
 	for _, ds := range datasets(s) {
 		row, _, err := evalNodeSentry(ds, options(s))
@@ -147,7 +148,7 @@ func Table4(w io.Writer, s Scale) ([]MethodRow, error) {
 			return nil, err
 		}
 		rows = append(rows, row)
-		fmt.Fprintln(w, "  "+row.String())
+		rep.println("  " + row.String())
 		for _, b := range []baselines.Detector{
 			baselines.NewProdigy(11), baselines.NewRUAD(12),
 			baselines.NewExaMon(13), baselines.NewISC20(14),
@@ -157,10 +158,10 @@ func Table4(w io.Writer, s Scale) ([]MethodRow, error) {
 				return nil, err
 			}
 			rows = append(rows, br)
-			fmt.Fprintln(w, "  "+br.String())
+			rep.println("  " + br.String())
 		}
 	}
-	return rows, nil
+	return rows, rep.Err()
 }
 
 // AblationRow is one row of Table 5.
@@ -179,7 +180,8 @@ func (r AblationRow) String() string {
 // C1 (no clustering), C2 (random clusters), C3 (equal-length chopping),
 // C4 (flat positional encoding) and C5 (dense FFN instead of MoE).
 func Table5(w io.Writer, s Scale) ([]AblationRow, error) {
-	fmt.Fprintln(w, "Table 5: performance comparison of different components")
+	rep := &report{w: w}
+	rep.println("Table 5: performance comparison of different components")
 	variants := []struct {
 		name   string
 		mutate func(*core.Options)
@@ -204,10 +206,10 @@ func Table5(w io.Writer, s Scale) ([]AblationRow, error) {
 			sum := nodesentry.EvaluateDetector(det, ds)
 			row := AblationRow{Variant: v.name, Dataset: ds.Name, Summary: sum}
 			rows = append(rows, row)
-			fmt.Fprintln(w, "  "+row.String())
+			rep.println("  " + row.String())
 		}
 	}
-	return rows, nil
+	return rows, rep.Err()
 }
 
 // segmentSpans is a small helper shared by figure experiments.

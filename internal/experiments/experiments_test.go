@@ -14,7 +14,10 @@ import (
 
 func TestTable2Shapes(t *testing.T) {
 	var buf bytes.Buffer
-	sums := Table2(&buf, Quick)
+	sums, err := Table2(&buf, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sums) != 2 {
 		t.Fatalf("want 2 dataset rows, got %d", len(sums))
 	}
@@ -32,7 +35,10 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestTable3Shapes(t *testing.T) {
-	counts := Table3(io.Discard)
+	counts, err := Table3(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if counts["CPU"] <= counts["Process"] {
 		t.Error("CPU should dominate the catalog, as in the paper's Table 3")
 	}
@@ -44,14 +50,20 @@ func TestTable3Shapes(t *testing.T) {
 }
 
 func TestFig1Shapes(t *testing.T) {
-	res := Fig1(io.Discard)
+	res, err := Fig1(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(res.SameJobDist < res.SameKindDist && res.SameKindDist < res.CrossKindDist) {
 		t.Errorf("distance ordering violated: %+v (want same-job < same-kind < cross-kind)", res)
 	}
 }
 
 func TestFig4Shapes(t *testing.T) {
-	res := Fig4(io.Discard)
+	res, err := Fig4(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FractionUnderOneDay < 0.85 {
 		t.Errorf("fraction under one day = %v, paper reports ~0.949", res.FractionUnderOneDay)
 	}
@@ -186,7 +198,10 @@ func TestFig8CaseStudy(t *testing.T) {
 }
 
 func TestDTWCostShape(t *testing.T) {
-	res := DTWCost(io.Discard, Quick)
+	res, err := DTWCost(io.Discard, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Segments == 0 {
 		t.Fatal("no segments measured")
 	}
@@ -266,7 +281,10 @@ func TestLinkageAblationShape(t *testing.T) {
 }
 
 func TestFeatureDomainAblationShape(t *testing.T) {
-	rows := FeatureDomainAblation(io.Discard, Quick)
+	rows, err := FeatureDomainAblation(io.Discard, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("want 4 domain rows, got %d", len(rows))
 	}

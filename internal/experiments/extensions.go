@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"nodesentry"
@@ -33,11 +32,12 @@ func GPUExtension(w io.Writer, s Scale) (MethodRow, error) {
 	if err != nil {
 		return MethodRow{}, err
 	}
-	fmt.Fprintln(w, "GPU extension (§5.3): NodeSentry on an accelerator partition")
-	fmt.Fprintf(w, "  catalog: %d metrics (%d GPU)\n", len(ds.Catalog), gpuCount(ds))
-	fmt.Fprintln(w, "  "+row.String())
-	fmt.Fprintf(w, "  clusters: %d (silhouette %.2f)\n", det.NumClusters(), det.Stats.Silhouette)
-	return row, nil
+	rep := &report{w: w}
+	rep.println("GPU extension (§5.3): NodeSentry on an accelerator partition")
+	rep.printf("  catalog: %d metrics (%d GPU)\n", len(ds.Catalog), gpuCount(ds))
+	rep.println("  " + row.String())
+	rep.printf("  clusters: %d (silhouette %.2f)\n", det.NumClusters(), det.Stats.Silhouette)
+	return row, rep.Err()
 }
 
 func gpuCount(ds *dataset.Dataset) int {
@@ -65,7 +65,8 @@ type LinkageRow struct {
 func LinkageAblation(w io.Writer, s Scale) ([]LinkageRow, error) {
 	ds := datasets(s)[0]
 	in := nodesentry.TrainInputFromDataset(ds)
-	fmt.Fprintln(w, "Design ablation: HAC linkage criterion")
+	rep := &report{w: w}
+	rep.println("Design ablation: HAC linkage criterion")
 	var rows []LinkageRow
 	for _, l := range []cluster.Linkage{cluster.Single, cluster.Complete, cluster.Average, cluster.Ward} {
 		opts := options(s)
@@ -77,9 +78,9 @@ func LinkageAblation(w io.Writer, s Scale) ([]LinkageRow, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		row := LinkageRow{Linkage: l, K: det.NumClusters(), Silhouette: det.Stats.Silhouette, F1: sum.F1}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "  %-9s k=%-3d silhouette=%.3f F1=%.3f\n", l, row.K, row.Silhouette, row.F1)
+		rep.printf("  %-9s k=%-3d silhouette=%.3f F1=%.3f\n", l, row.K, row.Silhouette, row.F1)
 	}
-	return rows, nil
+	return rows, rep.Err()
 }
 
 // PCARow reports one PCA-dimension setting's clustering and detection
@@ -99,7 +100,8 @@ type PCARow struct {
 func PCAAblation(w io.Writer, s Scale) ([]PCARow, error) {
 	ds := datasets(s)[0]
 	in := nodesentry.TrainInputFromDataset(ds)
-	fmt.Fprintln(w, "Design ablation: PCA projection before clustering")
+	rep := &report{w: w}
+	rep.println("Design ablation: PCA projection before clustering")
 	var rows []PCARow
 	for _, dims := range []int{0, 8, 16, 32} {
 		opts := options(s)
@@ -111,9 +113,9 @@ func PCAAblation(w io.Writer, s Scale) ([]PCARow, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		row := PCARow{Dims: dims, K: det.NumClusters(), Sil: det.Stats.Silhouette, F1: sum.F1}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "  pca=%-3d k=%-3d silhouette=%.3f F1=%.3f\n", dims, row.K, row.Sil, row.F1)
+		rep.printf("  pca=%-3d k=%-3d silhouette=%.3f F1=%.3f\n", dims, row.K, row.Sil, row.F1)
 	}
-	return rows, nil
+	return rows, rep.Err()
 }
 
 // WMSEAblation compares the MAC-weighted reconstruction loss of
@@ -122,7 +124,8 @@ func PCAAblation(w io.Writer, s Scale) ([]PCARow, error) {
 func WMSEAblation(w io.Writer, s Scale) (weighted, uniform float64, err error) {
 	ds := datasets(s)[0]
 	in := nodesentry.TrainInputFromDataset(ds)
-	fmt.Fprintln(w, "Design ablation: MAC-weighted WMSE vs uniform MSE")
+	rep := &report{w: w}
+	rep.println("Design ablation: MAC-weighted WMSE vs uniform MSE")
 	for _, variant := range []bool{false, true} {
 		opts := options(s)
 		opts.UniformLossWeights = variant
@@ -138,9 +141,9 @@ func WMSEAblation(w io.Writer, s Scale) (weighted, uniform float64, err error) {
 		} else {
 			weighted = sum.F1
 		}
-		fmt.Fprintf(w, "  %-13s F1=%.3f\n", name, sum.F1)
+		rep.printf("  %-13s F1=%.3f\n", name, sum.F1)
 	}
-	return weighted, uniform, nil
+	return weighted, uniform, rep.Err()
 }
 
 // DomainRow reports a feature-domain subset's clustering quality.
@@ -154,7 +157,7 @@ type DomainRow struct {
 // domain at a time (statistical / temporal / spectral) versus all three —
 // the paper's Challenge 1 argues all three are needed for discriminative
 // fixed-width representations.
-func FeatureDomainAblation(w io.Writer, s Scale) []DomainRow {
+func FeatureDomainAblation(w io.Writer, s Scale) ([]DomainRow, error) {
 	ds := datasets(s)[0]
 	// Preprocess and segment once.
 	frames := map[string]*mts.NodeFrame{}
@@ -180,7 +183,8 @@ func FeatureDomainAblation(w io.Writer, s Scale) []DomainRow {
 		{"spectral", func(d features.Domain) bool { return d == features.Spectral }},
 		{"all", func(features.Domain) bool { return true }},
 	}
-	fmt.Fprintln(w, "Design ablation: feature domains for coarse clustering")
+	rep := &report{w: w}
+	rep.println("Design ablation: feature domains for coarse clustering")
 	var rows []DomainRow
 	for _, sub := range subsets {
 		var cols []int
@@ -196,9 +200,9 @@ func FeatureDomainAblation(w io.Writer, s Scale) []DomainRow {
 		res := cluster.HACAuto(F, cluster.Average, 2, 12)
 		row := DomainRow{Domains: sub.name, Width: len(cols), Silhouette: res.Silhouette}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "  %-12s %5d features  silhouette=%.3f (k=%d)\n", sub.name, row.Width, row.Silhouette, res.K)
+		rep.printf("  %-12s %5d features  silhouette=%.3f (k=%d)\n", sub.name, row.Width, row.Silhouette, res.K)
 	}
-	return rows
+	return rows, rep.Err()
 }
 
 func selectColumns(m *mat.Matrix, cols []int) *mat.Matrix {

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"time"
@@ -79,15 +78,16 @@ func FaultRecall(w io.Writer, s Scale) ([]FaultClassRow, error) {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Type < rows[j].Type })
 
-	fmt.Fprintln(w, "Fault-class recall breakdown (Table 1 taxonomy)")
+	pr := &report{w: w}
+	pr.println("Fault-class recall breakdown (Table 1 taxonomy)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-24s %d/%d detected", r.Type, r.Detected, r.Injected)
+		pr.printf("  %-24s %d/%d detected", r.Type, r.Detected, r.Injected)
 		if r.Detected > 0 {
-			fmt.Fprintf(w, ", MTTD %v", r.MeanTimeToDetect.Round(time.Second))
+			pr.printf(", MTTD %v", r.MeanTimeToDetect.Round(time.Second))
 		}
-		fmt.Fprintln(w)
+		pr.println()
 	}
-	return rows, nil
+	return rows, pr.Err()
 }
 
 func allTrue(n int) []bool {

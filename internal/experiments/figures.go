@@ -18,32 +18,34 @@ import (
 
 // Table2 prints the dataset-details table for the presets at the given
 // scale and returns the summaries.
-func Table2(w io.Writer, s Scale) []dataset.Summary {
-	fmt.Fprintln(w, "Table 2: detailed information of datasets")
+func Table2(w io.Writer, s Scale) ([]dataset.Summary, error) {
+	rep := &report{w: w}
+	rep.println("Table 2: detailed information of datasets")
 	var out []dataset.Summary
 	for _, ds := range datasets(s) {
 		sum := ds.Summarize()
 		out = append(out, sum)
-		fmt.Fprintln(w, "  "+sum.String())
+		rep.println("  " + sum.String())
 	}
-	return out
+	return out, rep.Err()
 }
 
 // Table3 prints the monitoring-metric catalog overview (category counts)
 // of the D1-style catalog.
-func Table3(w io.Writer) map[string]int {
+func Table3(w io.Writer) (map[string]int, error) {
 	cat := telemetry.BuildCatalog(telemetry.CatalogOptions{
 		Cores: 8, AffinePerSemantic: 2, ConstantMetrics: 4,
 	})
 	counts := telemetry.CategoryCounts(cat)
-	fmt.Fprintln(w, "Table 3: an overview of monitoring metrics")
+	rep := &report{w: w}
+	rep.println("Table 3: an overview of monitoring metrics")
 	total := 0
 	for _, c := range []string{"CPU", "Memory", "Filesystem", "Network", "Process", "System"} {
-		fmt.Fprintf(w, "  %-10s %4d\n", c, counts[c])
+		rep.printf("  %-10s %4d\n", c, counts[c])
 		total += counts[c]
 	}
-	fmt.Fprintf(w, "  %-10s %4d\n", "total", total)
-	return counts
+	rep.printf("  %-10s %4d\n", "total", total)
+	return counts, rep.Err()
 }
 
 // Fig1Result quantifies the MTS characteristics of Fig. 1: feature
@@ -58,7 +60,7 @@ type Fig1Result struct {
 // Fig1 reproduces the observation behind Fig. 1: nodes running the same
 // job exhibit near-identical patterns, same-kind jobs are similar, and
 // different kinds differ — the structure coarse clustering exploits.
-func Fig1(w io.Writer) Fig1Result {
+func Fig1(w io.Writer) (Fig1Result, error) {
 	gen := &telemetry.Generator{
 		Catalog:  telemetry.BuildCatalog(telemetry.CatalogOptions{Cores: 2}),
 		Step:     60,
@@ -98,11 +100,12 @@ func Fig1(w io.Writer) Fig1Result {
 		SameKindDist:  dist(vecs[0], vecs[2]),
 		CrossKindDist: dist(vecs[0], vecs[3]),
 	}
-	fmt.Fprintln(w, "Fig 1: segment feature distances (characteristics of HPC MTS)")
-	fmt.Fprintf(w, "  same job on two nodes:       %8.1f\n", res.SameJobDist)
-	fmt.Fprintf(w, "  same kind, different job:    %8.1f\n", res.SameKindDist)
-	fmt.Fprintf(w, "  different kind:              %8.1f\n", res.CrossKindDist)
-	return res
+	rep := &report{w: w}
+	rep.println("Fig 1: segment feature distances (characteristics of HPC MTS)")
+	rep.printf("  same job on two nodes:       %8.1f\n", res.SameJobDist)
+	rep.printf("  same kind, different job:    %8.1f\n", res.SameKindDist)
+	rep.printf("  different kind:              %8.1f\n", res.CrossKindDist)
+	return res, rep.Err()
 }
 
 // Fig4Result is the job-duration distribution summary.
@@ -114,7 +117,7 @@ type Fig4Result struct {
 
 // Fig4 reproduces the job-duration distribution: the paper reports ~94.9 %
 // of job segments shorter than one day.
-func Fig4(w io.Writer) Fig4Result {
+func Fig4(w io.Writer) (Fig4Result, error) {
 	recs := slurmsim.Simulate(slurmsim.Config{
 		Nodes:   slurmsim.NodeNames(64),
 		Horizon: 7 * 24 * 3600,
@@ -123,17 +126,18 @@ func Fig4(w io.Writer) Fig4Result {
 	bounds := []int64{3600, 6 * 3600, 12 * 3600, 24 * 3600, 48 * 3600}
 	hist := slurmsim.DurationHistogram(recs, bounds)
 	frac := slurmsim.DurationStats(recs, []int64{24 * 3600})[0]
-	fmt.Fprintln(w, "Fig 4: the distribution of jobs for nodes")
+	rep := &report{w: w}
+	rep.println("Fig 4: the distribution of jobs for nodes")
 	labels := []string{"<1h", "1-6h", "6-12h", "12-24h", "24-48h", ">=48h"}
 	total := 0
 	for _, c := range hist {
 		total += c
 	}
 	for i, c := range hist {
-		fmt.Fprintf(w, "  %-7s %5d (%.1f%%)\n", labels[i], c, 100*float64(c)/float64(total))
+		rep.printf("  %-7s %5d (%.1f%%)\n", labels[i], c, 100*float64(c)/float64(total))
 	}
-	fmt.Fprintf(w, "  fraction under one day: %.1f%% (paper: 94.9%%)\n", 100*frac)
-	return Fig4Result{FractionUnderOneDay: frac, Histogram: hist, Bounds: bounds}
+	rep.printf("  fraction under one day: %.1f%% (paper: 94.9%%)\n", 100*frac)
+	return Fig4Result{FractionUnderOneDay: frac, Histogram: hist, Bounds: bounds}, rep.Err()
 }
 
 // SweepPoint is one point of a Fig. 6 hyperparameter curve.
@@ -143,11 +147,13 @@ type SweepPoint struct {
 	F1    float64
 }
 
-func printSweep(w io.Writer, title string, pts []SweepPoint) {
-	fmt.Fprintln(w, title)
+func printSweep(w io.Writer, title string, pts []SweepPoint) error {
+	rep := &report{w: w}
+	rep.println(title)
 	for _, p := range pts {
-		fmt.Fprintf(w, "  %-8s F1=%.3f\n", p.Label, p.F1)
+		rep.printf("  %-8s F1=%.3f\n", p.Label, p.F1)
 	}
+	return rep.Err()
 }
 
 // Fig6a sweeps the training-set size (fractions of the training window).
@@ -163,7 +169,9 @@ func Fig6a(w io.Writer, s Scale) ([]SweepPoint, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%.0f%%", frac*100), X: frac, F1: sum.F1})
 	}
-	printSweep(w, "Fig 6(a): training set size vs F1", pts)
+	if err := printSweep(w, "Fig 6(a): training set size vs F1", pts); err != nil {
+		return nil, err
+	}
 	return pts, nil
 }
 
@@ -194,13 +202,15 @@ func Fig6b(w io.Writer, s Scale) ([]SweepPoint, error) {
 	}
 	autoK := auto.NumClusters()
 	var pts []SweepPoint
-	for _, mul := range []float64{0.1, 0.5, 1, 1.5, 2} {
+	muls := []float64{0.1, 0.5, 1, 1.5, 2}
+	const autoIdx = 2 // muls[autoIdx] is the automatic choice; reuse it
+	for mi, mul := range muls {
 		k := int(math.Round(float64(autoK) * mul))
 		if k < 1 {
 			k = 1
 		}
 		var sum eval.Summary
-		if mul == 1 {
+		if mi == autoIdx {
 			sum = nodesentry.EvaluateDetector(auto, ds)
 		} else {
 			opts := options(s)
@@ -213,7 +223,9 @@ func Fig6b(w io.Writer, s Scale) ([]SweepPoint, error) {
 		}
 		pts = append(pts, SweepPoint{Label: fmt.Sprintf("x%.1f", mul), X: mul, F1: sum.F1})
 	}
-	printSweep(w, fmt.Sprintf("Fig 6(b): number of clusters vs F1 (auto k=%d)", autoK), pts)
+	if err := printSweep(w, fmt.Sprintf("Fig 6(b): number of clusters vs F1 (auto k=%d)", autoK), pts); err != nil {
+		return nil, err
+	}
 	return pts, nil
 }
 
@@ -235,7 +247,9 @@ func Fig6c(w io.Writer, s Scale) ([]SweepPoint, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%d", experts), X: float64(experts), F1: sum.F1})
 	}
-	printSweep(w, "Fig 6(c): number of experts vs F1", pts)
+	if err := printSweep(w, "Fig 6(c): number of experts vs F1", pts); err != nil {
+		return nil, err
+	}
 	return pts, nil
 }
 
@@ -255,7 +269,9 @@ func Fig6d(w io.Writer, s Scale) ([]SweepPoint, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%d", topK), X: float64(topK), F1: sum.F1})
 	}
-	printSweep(w, "Fig 6(d): number of experts assigned per token vs F1", pts)
+	if err := printSweep(w, "Fig 6(d): number of experts assigned per token vs F1", pts); err != nil {
+		return nil, err
+	}
 	return pts, nil
 }
 
@@ -273,7 +289,9 @@ func Fig6e(w io.Writer, s Scale) ([]SweepPoint, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%.1fh", hours), X: hours, F1: sum.F1})
 	}
-	printSweep(w, "Fig 6(e): period for pattern matching vs F1", pts)
+	if err := printSweep(w, "Fig 6(e): period for pattern matching vs F1", pts); err != nil {
+		return nil, err
+	}
 	return pts, nil
 }
 
@@ -291,7 +309,9 @@ func Fig6f(w io.Writer, s Scale) ([]SweepPoint, error) {
 		sum := nodesentry.EvaluateDetector(det, ds)
 		pts = append(pts, SweepPoint{Label: fmt.Sprintf("%dm", minutes), X: float64(minutes), F1: sum.F1})
 	}
-	printSweep(w, "Fig 6(f): time window for threshold selection vs F1", pts)
+	if err := printSweep(w, "Fig 6(f): time window for threshold selection vs F1", pts); err != nil {
+		return nil, err
+	}
 	return pts, nil
 }
 

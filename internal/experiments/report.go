@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// report wraps a table emitter's destination writer: the first write
+// error sticks and later prints become no-ops, so emitters stay linear
+// and surface I/O failures exactly once through Err. This keeps table
+// output honest when benchtab is redirected to a full disk or a closed
+// pipe instead of silently truncating the reproduction of the paper.
+type report struct {
+	w   io.Writer
+	err error
+}
+
+func (r *report) printf(format string, args ...any) {
+	if r.err == nil {
+		_, r.err = fmt.Fprintf(r.w, format, args...)
+	}
+}
+
+func (r *report) println(args ...any) {
+	if r.err == nil {
+		_, r.err = fmt.Fprintln(r.w, args...)
+	}
+}
+
+// Err returns the first write error, if any.
+func (r *report) Err() error { return r.err }

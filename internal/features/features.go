@@ -171,8 +171,8 @@ func Extract(x []float64) []float64 {
 		stats.Autocorr(x, 10),
 		mx-mn,
 		countAboveRate(x, mean),
-		firstLoc(x, mx),
-		firstLoc(x, mn),
+		argLoc(x, true),
+		argLoc(x, false),
 		turningRate(x, true),
 		turningRate(x, false),
 		signalDistance(x),
@@ -232,16 +232,19 @@ func countAboveRate(x []float64, mean float64) float64 {
 	return float64(c) / float64(len(x))
 }
 
-func firstLoc(x []float64, target float64) float64 {
+// argLoc returns the relative position of the first maximum (max=true)
+// or first minimum (max=false) of x.
+func argLoc(x []float64, max bool) float64 {
 	if len(x) == 0 {
 		return 0
 	}
+	best := 0
 	for i, v := range x {
-		if v == target {
-			return float64(i) / float64(len(x))
+		if (max && v > x[best]) || (!max && v < x[best]) {
+			best = i
 		}
 	}
-	return 0
+	return float64(best) / float64(len(x))
 }
 
 // turningRate counts local maxima (pos=true) or minima (pos=false) per sample.

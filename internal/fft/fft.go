@@ -24,6 +24,7 @@ func FFT(x []complex128) []complex128 {
 		return nil
 	}
 	if n&(n-1) != 0 {
+		//lint:ignore libpanic the power-of-two precondition is a caller bug; all callers pad via NextPow2
 		panic("fft: length must be a power of two")
 	}
 	out := make([]complex128, n)

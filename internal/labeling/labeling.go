@@ -148,7 +148,7 @@ func Load(dir string) (*Store, error) {
 		}
 	}
 	if hist, err := os.Open(filepath.Join(dir, "annotation_history.txt")); err == nil {
-		defer hist.Close()
+		defer func() { _ = hist.Close() }() // read-only; close errors carry no data loss
 		sc := bufio.NewScanner(hist)
 		for sc.Scan() {
 			fields := strings.Fields(sc.Text())

@@ -34,11 +34,27 @@ func FromRows(rows [][]float64) *Matrix {
 	m := New(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
-			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+			failShape("ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols)
 		}
 		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
 	}
 	return m
+}
+
+// failShape reports a dimension mismatch. These kernels treat shape errors
+// as caller bugs and deliberately share the panic contract of slice
+// indexing rather than threading error returns through every hot loop.
+func failShape(format string, args ...any) {
+	//lint:ignore libpanic shape mismatches are caller bugs; the documented kernel contract panics like slice indexing
+	panic(fmt.Sprintf("mat: "+format, args...))
+}
+
+// assertSameLen enforces equal vector lengths under the same contract as
+// failShape.
+func assertSameLen(op string, x, y []float64) {
+	if len(x) != len(y) {
+		failShape("%s length mismatch: %d vs %d", op, len(x), len(y))
+	}
 }
 
 // At returns element (i, j).
@@ -84,7 +100,7 @@ const parallelThreshold = 1 << 16
 // large. Panics on dimension mismatch.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul dimension mismatch: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		failShape("Mul dimension mismatch: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Rows, b.Cols)
 	work := a.Rows * a.Cols * b.Cols
@@ -117,7 +133,7 @@ func mulRange(a, b, out *Matrix, lo, hi int) {
 // MulT returns a×bᵀ without materializing the transpose.
 func MulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MulT dimension mismatch: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+		failShape("MulT dimension mismatch: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Rows, b.Rows)
 	body := func(lo, hi int) {
@@ -140,12 +156,10 @@ func MulT(a, b *Matrix) *Matrix {
 // TMul returns aᵀ×b without materializing the transpose.
 func TMul(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: TMul dimension mismatch: (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		failShape("TMul dimension mismatch: (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Cols, b.Cols)
-	var mu sync.Mutex
-	body := func(lo, hi int) {
-		local := New(out.Rows, out.Cols)
+	tmulRange := func(dst *Matrix, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			arow := a.Row(k)
 			brow := b.Row(k)
@@ -153,34 +167,37 @@ func TMul(a, b *Matrix) *Matrix {
 				if av == 0 {
 					continue
 				}
-				lrow := local.Row(i)
+				drow := dst.Row(i)
 				for j, bv := range brow {
-					lrow[j] += av * bv
+					drow[j] += av * bv
 				}
 			}
 		}
-		mu.Lock()
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		tmulRange(out, 0, a.Rows)
+		return out
+	}
+	// Every output element sums over all rows of a, so workers accumulate
+	// into per-chunk locals that are merged in chunk order after the fan-out:
+	// the floating-point addition order — and therefore the result — depends
+	// only on the chunking, not on goroutine scheduling.
+	ck := chunks(a.Rows)
+	locals := make([]*Matrix, len(ck))
+	var wg sync.WaitGroup
+	for ci, c := range ck {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			locals[ci] = New(out.Rows, out.Cols)
+			tmulRange(locals[ci], lo, hi)
+		}(ci, c[0], c[1])
+	}
+	wg.Wait()
+	for _, local := range locals {
 		for i, v := range local.Data {
 			out.Data[i] += v
 		}
-		mu.Unlock()
-	}
-	if a.Rows*a.Cols*b.Cols < parallelThreshold {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i, av := range arow {
-				if av == 0 {
-					continue
-				}
-				orow := out.Row(i)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	} else {
-		Parallel(a.Rows, body)
 	}
 	return out
 }
@@ -235,7 +252,7 @@ func Hadamard(a, b *Matrix) *Matrix {
 // m.Cols.
 func AddRowVector(m *Matrix, v []float64) {
 	if len(v) != m.Cols {
-		panic("mat: AddRowVector length mismatch")
+		failShape("AddRowVector length mismatch: %d vs %d cols", len(v), m.Cols)
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -247,15 +264,13 @@ func AddRowVector(m *Matrix, v []float64) {
 
 func checkSameShape(op string, a, b *Matrix) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: %s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+		failShape("%s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 }
 
 // Dot returns the inner product of equal-length vectors x and y.
 func Dot(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic("mat: Dot length mismatch")
-	}
+	assertSameLen("Dot", x, y)
 	s := 0.0
 	for i, v := range x {
 		s += v * y[i]
@@ -265,9 +280,7 @@ func Dot(x, y []float64) float64 {
 
 // Axpy computes y += a*x in place.
 func Axpy(a float64, x, y []float64) {
-	if len(x) != len(y) {
-		panic("mat: Axpy length mismatch")
-	}
+	assertSameLen("Axpy", x, y)
 	for i, v := range x {
 		y[i] += a * v
 	}
@@ -278,9 +291,7 @@ func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
 
 // EuclideanDist returns the Euclidean distance between x and y.
 func EuclideanDist(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic("mat: EuclideanDist length mismatch")
-	}
+	assertSameLen("EuclideanDist", x, y)
 	s := 0.0
 	for i, v := range x {
 		d := v - y[i]
@@ -291,9 +302,7 @@ func EuclideanDist(x, y []float64) float64 {
 
 // SquaredDist returns the squared Euclidean distance between x and y.
 func SquaredDist(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic("mat: SquaredDist length mismatch")
-	}
+	assertSameLen("SquaredDist", x, y)
 	s := 0.0
 	for i, v := range x {
 		d := v - y[i]
@@ -308,31 +317,49 @@ func SquaredDist(x, y []float64) float64 {
 // ranges. For n == 0 it returns immediately; for a single worker it calls fn
 // inline.
 func Parallel(n int, fn func(lo, hi int)) {
-	if n <= 0 {
+	ck := chunks(n)
+	if len(ck) == 0 {
 		return
+	}
+	if len(ck) == 1 {
+		fn(ck[0][0], ck[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range ck {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(c[0], c[1])
+	}
+	wg.Wait()
+}
+
+// chunks partitions [0, n) into one contiguous {lo, hi} range per available
+// CPU (fewer when n is small). The partition depends only on n and
+// GOMAXPROCS, which keeps chunk-ordered reductions deterministic.
+func chunks(n int) [][2]int {
+	if n <= 0 {
+		return nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		fn(0, n)
-		return
+	if workers < 1 {
+		workers = 1
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
+	out := make([][2]int, 0, workers)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		out = append(out, [2]int{lo, hi})
 	}
-	wg.Wait()
+	return out
 }
 
 // ParallelItems invokes fn(i) for every i in [0, n) using the worker pool.

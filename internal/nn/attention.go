@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -26,9 +27,9 @@ type MultiHeadAttention struct {
 
 // NewMultiHeadAttention builds an attention layer with the given model
 // dimension and head count.
-func NewMultiHeadAttention(dim, heads int, rng *rand.Rand) *MultiHeadAttention {
-	if dim%heads != 0 {
-		panic("nn: attention dim must be divisible by heads")
+func NewMultiHeadAttention(dim, heads int, rng *rand.Rand) (*MultiHeadAttention, error) {
+	if heads < 1 || dim%heads != 0 {
+		return nil, fmt.Errorf("nn: attention dim %d must be divisible by heads %d", dim, heads)
 	}
 	a := &MultiHeadAttention{
 		Heads: heads, Dim: dim, dk: dim / heads,
@@ -38,7 +39,7 @@ func NewMultiHeadAttention(dim, heads int, rng *rand.Rand) *MultiHeadAttention {
 	for _, p := range []*Param{a.Wq, a.Wk, a.Wv, a.Wo} {
 		p.XavierInit(rng)
 	}
-	return a
+	return a, nil
 }
 
 // headView returns the [T × dk] sub-matrix of m holding head h.

@@ -22,7 +22,7 @@ func benchInput(rows, cols int) *mat.Matrix {
 
 func BenchmarkMoEForwardTop1(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
-	moe := NewMoE(48, 64, 3, 1, rng)
+	moe := mustMoE(b, 48, 64, 3, 1, rng)
 	x := benchInput(20, 48)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -32,7 +32,7 @@ func BenchmarkMoEForwardTop1(b *testing.B) {
 
 func BenchmarkMoEForwardTop2(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
-	moe := NewMoE(48, 64, 3, 2, rng)
+	moe := mustMoE(b, 48, 64, 3, 2, rng)
 	x := benchInput(20, 48)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -52,7 +52,7 @@ func BenchmarkFFNForward(b *testing.B) {
 
 func BenchmarkAttentionForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
-	attn := NewMultiHeadAttention(48, 2, rng)
+	attn := mustAttention(b, 48, 2, rng)
 	x := benchInput(20, 48)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -61,7 +61,7 @@ func BenchmarkAttentionForward(b *testing.B) {
 }
 
 func BenchmarkReconstructorForward(b *testing.B) {
-	r := NewReconstructor(ReconstructorConfig{InputDim: 19, UseMoE: true, Seed: 1})
+	r := mustReconstructor(b, ReconstructorConfig{InputDim: 19, UseMoE: true, Seed: 1})
 	x := benchInput(20, 19)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -70,7 +70,7 @@ func BenchmarkReconstructorForward(b *testing.B) {
 }
 
 func BenchmarkReconstructorTrainStep(b *testing.B) {
-	r := NewReconstructor(ReconstructorConfig{InputDim: 19, UseMoE: true, Seed: 1})
+	r := mustReconstructor(b, ReconstructorConfig{InputDim: 19, UseMoE: true, Seed: 1})
 	opt := NewAdam(r.Params(), 1.5e-3)
 	x := benchInput(20, 19)
 	b.ReportAllocs()

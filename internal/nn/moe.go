@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -51,9 +52,9 @@ type MoE struct {
 
 // NewMoE builds an MoE layer with numExperts dim→hidden→dim experts and
 // top-k routing.
-func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) *MoE {
+func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) (*MoE, error) {
 	if topK < 1 || topK > numExperts {
-		panic("nn: MoE topK out of range")
+		return nil, fmt.Errorf("nn: MoE topK %d out of range [1, %d]", topK, numExperts)
 	}
 	m := &MoE{
 		NumExperts: numExperts,
@@ -65,7 +66,7 @@ func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) *MoE {
 	for i := 0; i < numExperts; i++ {
 		m.Experts = append(m.Experts, NewExpert(dim, hidden, rng))
 	}
-	return m
+	return m, nil
 }
 
 // Forward implements Layer.
@@ -212,8 +213,12 @@ func topKIndices(p []float64, k int) []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if p[idx[a]] != p[idx[b]] {
-			return p[idx[a]] > p[idx[b]]
+		pa, pb := p[idx[a]], p[idx[b]]
+		if pa > pb {
+			return true
+		}
+		if pa < pb {
+			return false
 		}
 		return idx[a] < idx[b]
 	})

@@ -14,7 +14,7 @@ import (
 func TestMoEExpertsSpecialize(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	dim := 4
-	moe := NewMoE(dim, 16, 2, 1, rng)
+	moe := mustMoE(t, dim, 16, 2, 1, rng)
 	dec := NewDense(dim, dim, rng)
 	params := append(moe.Params(), dec.Params()...)
 	opt := NewAdam(params, 3e-3)
@@ -89,7 +89,7 @@ func argmax(xs []int) int {
 // → same routing and output.
 func TestMoEDeterministicForward(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	moe := NewMoE(3, 8, 3, 1, rng)
+	moe := mustMoE(t, 3, 8, 3, 1, rng)
 	x := randInput(rng, 6, 3)
 	y1 := moe.Forward(x)
 	l1 := append([]int(nil), moe.ExpertLoad()...)

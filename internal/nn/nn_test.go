@@ -64,6 +64,44 @@ func gradCheck(t *testing.T, name string, layer Layer, in *mat.Matrix, tol float
 	}
 }
 
+// Constructors that validate their configuration return errors; tests treat
+// any such error as fatal via these helpers.
+func mustMoE(tb testing.TB, dim, hidden, numExperts, topK int, rng *rand.Rand) *MoE {
+	tb.Helper()
+	m, err := NewMoE(dim, hidden, numExperts, topK, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func mustAttention(tb testing.TB, dim, heads int, rng *rand.Rand) *MultiHeadAttention {
+	tb.Helper()
+	a, err := NewMultiHeadAttention(dim, heads, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+func mustEncoderBlock(tb testing.TB, dim, heads, hidden, experts, topK int, useMoE bool, rng *rand.Rand) *EncoderBlock {
+	tb.Helper()
+	b, err := NewEncoderBlock(dim, heads, hidden, experts, topK, useMoE, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func mustReconstructor(tb testing.TB, cfg ReconstructorConfig) *Reconstructor {
+	tb.Helper()
+	r, err := NewReconstructor(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
 func randInput(rng *rand.Rand, rows, cols int) *mat.Matrix {
 	m := mat.New(rows, cols)
 	for i := range m.Data {
@@ -101,7 +139,7 @@ func TestLayerNormGradients(t *testing.T) {
 
 func TestAttentionGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	gradCheck(t, "attention", NewMultiHeadAttention(6, 2, rng), randInput(rng, 4, 6), 1e-4)
+	gradCheck(t, "attention", mustAttention(t, 6, 2, rng), randInput(rng, 4, 6), 1e-4)
 }
 
 func TestFFNGradients(t *testing.T) {
@@ -111,24 +149,24 @@ func TestFFNGradients(t *testing.T) {
 
 func TestMoEGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	moe := NewMoE(4, 6, 3, 1, rng)
+	moe := mustMoE(t, 4, 6, 3, 1, rng)
 	moe.AuxWeight = 0 // the aux loss is not part of the checked loss
 	gradCheck(t, "moe-top1", moe, randInput(rng, 5, 4), 1e-4)
 
-	moe2 := NewMoE(4, 6, 3, 2, rng)
+	moe2 := mustMoE(t, 4, 6, 3, 2, rng)
 	moe2.AuxWeight = 0
 	gradCheck(t, "moe-top2", moe2, randInput(rng, 5, 4), 1e-4)
 }
 
 func TestEncoderBlockGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	b := NewEncoderBlock(4, 2, 6, 2, 1, true, rng)
+	b := mustEncoderBlock(t, 4, 2, 6, 2, 1, true, rng)
 	if m := b.MoELayer(); m != nil {
 		m.AuxWeight = 0
 	}
 	gradCheck(t, "encoder-moe", b, randInput(rng, 3, 4), 2e-4)
 
-	bd := NewEncoderBlock(4, 2, 6, 0, 0, false, rng)
+	bd := mustEncoderBlock(t, 4, 2, 6, 0, 0, false, rng)
 	gradCheck(t, "encoder-dense", bd, randInput(rng, 3, 4), 2e-4)
 }
 
@@ -168,7 +206,7 @@ func TestSoftmaxRowsProperties(t *testing.T) {
 
 func TestMoERoutingRespectsTopK(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	moe := NewMoE(4, 6, 4, 2, rng)
+	moe := mustMoE(t, 4, 6, 4, 2, rng)
 	x := randInput(rng, 10, 4)
 	moe.Forward(x)
 	for tok, sel := range moe.selected {
@@ -188,7 +226,7 @@ func TestMoERoutingRespectsTopK(t *testing.T) {
 
 func TestMoEAuxLossComputed(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	moe := NewMoE(4, 6, 3, 1, rng)
+	moe := mustMoE(t, 4, 6, 3, 1, rng)
 	moe.Forward(randInput(rng, 30, 4))
 	// For N experts the Switch aux loss is >= 1 with equality at perfect
 	// balance; any routing yields a value in [1, N].
@@ -330,7 +368,7 @@ func TestPositionalEncodingDistinguishesSegments(t *testing.T) {
 }
 
 func TestReconstructorShapesAndParams(t *testing.T) {
-	r := NewReconstructor(ReconstructorConfig{InputDim: 5, UseMoE: true, SegmentAwarePE: true, Seed: 1})
+	r := mustReconstructor(t, ReconstructorConfig{InputDim: 5, UseMoE: true, SegmentAwarePE: true, Seed: 1})
 	rng := rand.New(rand.NewSource(14))
 	x := randInput(rng, 7, 5)
 	y := r.Forward(x, nil, nil)
@@ -350,7 +388,7 @@ func TestReconstructorLearnsIdentity(t *testing.T) {
 	// Training on a repeating pattern must reduce reconstruction loss a lot.
 	cfg := ReconstructorConfig{InputDim: 4, ModelDim: 16, Heads: 2, Hidden: 16,
 		Blocks: 1, Experts: 2, TopK: 1, UseMoE: true, Seed: 2}
-	r := NewReconstructor(cfg)
+	r := mustReconstructor(t, cfg)
 	opt := NewAdam(r.Params(), 3e-3)
 	rng := rand.New(rand.NewSource(15))
 	window := func() *mat.Matrix {
@@ -389,11 +427,8 @@ func TestSequentialComposition(t *testing.T) {
 	gradCheck(t, "sequential", seq, randInput(rng, 4, 3), 1e-5)
 }
 
-func TestAttentionPanicsOnBadHeads(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for dim % heads != 0")
-		}
-	}()
-	NewMultiHeadAttention(5, 2, rand.New(rand.NewSource(1)))
+func TestAttentionRejectsBadHeads(t *testing.T) {
+	if _, err := NewMultiHeadAttention(5, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for dim % heads != 0")
+	}
 }

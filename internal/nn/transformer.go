@@ -68,18 +68,26 @@ type EncoderBlock struct {
 }
 
 // NewEncoderBlock builds a block; moe selects the sparse layer.
-func NewEncoderBlock(dim, heads, hidden, experts, topK int, moe bool, rng *rand.Rand) *EncoderBlock {
+func NewEncoderBlock(dim, heads, hidden, experts, topK int, moe bool, rng *rand.Rand) (*EncoderBlock, error) {
+	attn, err := NewMultiHeadAttention(dim, heads, rng)
+	if err != nil {
+		return nil, err
+	}
 	b := &EncoderBlock{
 		ln1:  NewLayerNorm(dim),
-		attn: NewMultiHeadAttention(dim, heads, rng),
+		attn: attn,
 		ln2:  NewLayerNorm(dim),
 	}
 	if moe {
-		b.ff = NewMoE(dim, hidden, experts, topK, rng)
+		ff, err := NewMoE(dim, hidden, experts, topK, rng)
+		if err != nil {
+			return nil, err
+		}
+		b.ff = ff
 	} else {
 		b.ff = NewFFN(dim, hidden, rng)
 	}
-	return b
+	return b, nil
 }
 
 // MoELayer returns the block's MoE layer, or nil in dense mode.
@@ -183,7 +191,7 @@ type Reconstructor struct {
 }
 
 // NewReconstructor builds the model.
-func NewReconstructor(cfg ReconstructorConfig) *Reconstructor {
+func NewReconstructor(cfg ReconstructorConfig) (*Reconstructor, error) {
 	cfg = cfg.Defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := &Reconstructor{
@@ -193,10 +201,14 @@ func NewReconstructor(cfg ReconstructorConfig) *Reconstructor {
 		decode: NewDense(cfg.ModelDim, cfg.InputDim, rng),
 	}
 	for i := 0; i < cfg.Blocks; i++ {
-		r.blocks = append(r.blocks, NewEncoderBlock(
-			cfg.ModelDim, cfg.Heads, cfg.Hidden, cfg.Experts, cfg.TopK, cfg.UseMoE, rng))
+		blk, err := NewEncoderBlock(
+			cfg.ModelDim, cfg.Heads, cfg.Hidden, cfg.Experts, cfg.TopK, cfg.UseMoE, rng)
+		if err != nil {
+			return nil, err
+		}
+		r.blocks = append(r.blocks, blk)
 	}
-	return r
+	return r, nil
 }
 
 // Forward reconstructs the window x [T × InputDim]; positions/segIDs feed

@@ -306,6 +306,51 @@ func (m *Monitor) RegisterNode(node string, metrics []string) {
 	st.mu.Unlock()
 }
 
+// NodeStatus is a point-in-time view of one node's streaming state.
+type NodeStatus struct {
+	Node string
+	// Job is the job currently running on the node (mts.IdleJobID when idle).
+	Job int64
+	// Matched reports whether the post-transition observation window has
+	// completed and the node's pattern has been assigned a cluster.
+	Matched bool
+	// Cluster is the matched cluster index (-1 before matching).
+	Cluster int
+	// Consumed counts samples scored since the job started.
+	Consumed int
+	// Buffered counts samples waiting for the next full scoring window.
+	Buffered int
+}
+
+// Snapshot returns the streaming state of every node the monitor has seen,
+// sorted by node name. It is safe to call concurrently with Ingest and
+// ObserveJob; each node is captured atomically under its own lock, so the
+// snapshot is per-node consistent (not a global barrier).
+func (m *Monitor) Snapshot() []NodeStatus {
+	m.mu.Lock()
+	states := make([]*nodeState, 0, len(m.nodes))
+	for _, st := range m.nodes {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	out := make([]NodeStatus, 0, len(states))
+	for _, st := range states {
+		st.mu.Lock()
+		buffered := len(st.pending) + len(st.probe)
+		out = append(out, NodeStatus{
+			Node:     st.node,
+			Job:      st.job,
+			Matched:  st.matched,
+			Cluster:  st.cluster,
+			Consumed: st.consumed,
+			Buffered: buffered,
+		})
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
 // Close stops accepting work and closes the alert channel. Callers must
 // not Ingest after Close.
 func (m *Monitor) Close() { close(m.alerts) }

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMonitorSnapshotDuringIngest hammers Snapshot while collectors ingest
+// samples and flip job transitions on the same nodes. Run with -race (the
+// verify gate does) this pins the monitor's two-level locking: the node map
+// under m.mu and each node's streaming state under its own mutex.
+func TestMonitorSnapshotDuringIngest(t *testing.T) {
+	ds, det := fixture(t)
+	m, err := NewMonitor(det, Config{Step: ds.Step, ScoringWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range m.Alerts() {
+		}
+	}()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ns := range m.Snapshot() {
+				if ns.Node == "" {
+					t.Error("snapshot produced an unnamed node")
+					return
+				}
+				if ns.Matched && ns.Cluster < 0 {
+					t.Errorf("node %s matched but cluster = %d", ns.Node, ns.Cluster)
+					return
+				}
+			}
+		}
+	}()
+
+	var ingesters sync.WaitGroup
+	for _, node := range ds.Nodes() {
+		node := node
+		ingesters.Add(1)
+		go func() {
+			defer ingesters.Done()
+			f := ds.Frames[node]
+			m.RegisterNode(node, f.Metrics)
+			m.ObserveJob(node, 1, f.Start)
+			n := f.Len()
+			if n > 200 {
+				n = 200
+			}
+			for i := 0; i < n; i++ {
+				if i == n/2 {
+					// A mid-stream transition exercises the probe-reset
+					// path concurrently with Snapshot reads.
+					m.ObserveJob(node, 2, f.TimeAt(i))
+				}
+				m.Ingest(node, f.TimeAt(i), f.Window(i))
+			}
+		}()
+	}
+	ingesters.Wait()
+	close(stop)
+	readers.Wait()
+	m.Close()
+
+	snap := m.Snapshot()
+	if len(snap) != len(ds.Nodes()) {
+		t.Fatalf("snapshot has %d nodes, want %d", len(snap), len(ds.Nodes()))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Node >= snap[i].Node {
+			t.Fatal("snapshot not sorted by node")
+		}
+	}
+	for _, ns := range snap {
+		if ns.Job != 2 {
+			t.Errorf("node %s ends on job %d, want 2", ns.Node, ns.Job)
+		}
+		if ns.Consumed+ns.Buffered == 0 {
+			t.Errorf("node %s shows no progress", ns.Node)
+		}
+	}
+}

@@ -67,7 +67,7 @@ func (s *WebhookSink) Send(a Alert) error {
 	if err != nil {
 		return s.fail(err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }() // body already consumed; close error is inert
 	if resp.StatusCode >= 300 {
 		return s.fail(fmt.Errorf("runtime: webhook returned %s", resp.Status))
 	}

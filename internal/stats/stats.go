@@ -143,6 +143,7 @@ func Max(x []float64) float64 {
 // and panics if the lengths differ.
 func Pearson(x, y []float64) float64 {
 	if len(x) != len(y) {
+		//lint:ignore libpanic the documented contract panics on length mismatch, mirroring the mat vector kernels
 		panic("stats: Pearson length mismatch")
 	}
 	if len(x) == 0 {

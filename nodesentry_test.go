@@ -114,7 +114,10 @@ func TestPublicIncrementalUpdate(t *testing.T) {
 	node := ds.Nodes()[0]
 	frame := ds.TestFrames()[node]
 	spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
-	rep := det.IncrementalUpdate(frame, spans, 1)
+	rep, err := det.IncrementalUpdate(frame, spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.MatchedSegments+rep.UnmatchedSegments == 0 {
 		t.Error("incremental update processed nothing")
 	}

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# verify.sh — the repo's full static-analysis + test gate.
+#
+#   build      go build ./...
+#   format     gofmt -l (fails on any unformatted file)
+#   vet        go vet ./...
+#   sentrylint the repo's own analyzer (cmd/sentrylint); findings fail the
+#              gate unless suppressed with //lint:ignore <check> <reason>
+#   race tests go test -race ./...
+#
+# Run from the repository root: ./scripts/verify.sh
+# Pass -short to forward to go test (trims the slow experiment tests):
+#   ./scripts/verify.sh -short
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> sentrylint ./..."
+go run ./cmd/sentrylint ./...
+
+echo "==> go test -race $* ./..."
+# The full experiment reproductions exceed go test's default 10m package
+# timeout under the race detector; -short (what CI passes) stays well under.
+go test -race -timeout 60m "$@" ./...
+
+echo "verify: all gates passed"
