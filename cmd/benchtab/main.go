@@ -5,6 +5,7 @@
 //
 //	benchtab -exp table4              # one experiment at full scale
 //	benchtab -exp all -quick         # everything, reduced scale
+//	benchtab -exp all -quick -json   # also write stage timings to BENCH_obs.json
 //
 // Experiments: table2 table3 table4 table5 fig1 fig4 fig6a fig6b fig6c
 // fig6d fig6e fig6f fig8 dtw incremental deploy all.
@@ -17,11 +18,13 @@ import (
 	"time"
 
 	"nodesentry/internal/experiments"
+	"nodesentry/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, all)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
+	jsonOut := flag.Bool("json", false, "write per-experiment stage timings (wall, allocs, bytes) to BENCH_obs.json")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -76,20 +79,49 @@ func main() {
 		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
 	}
 
+	// Each experiment runs under a tracer span; -json persists the records
+	// (wall time, allocations, bytes) as the perf trajectory's seed file.
+	var tracer *obs.Tracer
+	if *jsonOut {
+		tracer = obs.NewTracer(nil)
+	}
+
 	run := func(name string) {
 		t0 := time.Now()
 		fmt.Printf("--- %s ---\n", name)
+		sp := tracer.Start(name)
 		if err := runners[name](); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		sp.End()
 		fmt.Printf("    (%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	writeJSON := func() {
+		if !*jsonOut {
+			return
+		}
+		f, err := os.Create("BENCH_obs.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: create BENCH_obs.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: write BENCH_obs.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: close BENCH_obs.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stage timings written to BENCH_obs.json (%d stages)\n", len(tracer.Records()))
 	}
 
 	if *exp == "all" {
 		for _, name := range order {
 			run(name)
 		}
+		writeJSON()
 		return
 	}
 	if _, ok := runners[*exp]; !ok {
@@ -97,4 +129,5 @@ func main() {
 		os.Exit(2)
 	}
 	run(*exp)
+	writeJSON()
 }

@@ -11,7 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"nodesentry"
@@ -56,7 +56,8 @@ func main() {
 
 	ds := nodesentry.BuildDataset(cfg)
 	if err := ds.Export(*out); err != nil {
-		log.Fatalf("datagen: export: %v", err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("export", "dir", *out, "err", err)
+		os.Exit(1)
 	}
 	sum := ds.Summarize()
 	fmt.Printf("wrote %s: %s\n", *out, sum)

@@ -18,7 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strconv"
 
@@ -33,24 +33,30 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the web UI on this address instead of running a CLI command")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "labeltool: -data is required")
 		os.Exit(2)
 	}
 	ds, err := nodesentry.ImportDataset(*data)
 	if err != nil {
-		log.Fatalf("labeltool: load dataset: %v", err)
+		fatal("load dataset", "dir", *data, "err", err)
 	}
 	store, err := labeling.Load(*workdir)
 	if err != nil {
-		log.Fatalf("labeltool: load session: %v", err)
+		fatal("load session", "workdir", *workdir, "err", err)
 	}
 	tool := newTool(ds, store, *workdir)
 
 	if *httpAddr != "" {
-		log.Printf("labeltool: serving on %s (data %s, session %s)", *httpAddr, *data, *workdir)
+		logger.Info("serving", "addr", *httpAddr, "data", *data, "session", *workdir)
 		if err := tool.serve(*httpAddr); err != nil {
-			log.Fatal(err)
+			fatal("serve", "err", err)
 		}
 		return
 	}
@@ -61,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := tool.runCLI(args); err != nil {
-		log.Fatalf("labeltool: %v", err)
+		fatal("command failed", "cmd", args[0], "err", err)
 	}
 }
 

@@ -6,6 +6,11 @@
 //	nodesentry -data ./data/d1 -train -model ./model.bin
 //	nodesentry -data ./data/d1 -model ./model.bin -detect
 //	nodesentry -data ./data/d1 -train -detect            # both, in memory
+//	nodesentry -data ./data/d1 -train -monitor -obs-listen :9090
+//
+// With -obs-listen the process serves its own Prometheus scrape endpoint
+// (/metrics), a health check (/healthz), and pprof (/debug/pprof/) while it
+// works — the self-observability loop the paper's §5.1 deployment assumes.
 //
 // The dataset directory is the layout datagen writes (or any real data
 // converted to it).
@@ -14,12 +19,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"nodesentry"
 	"nodesentry/internal/labeling"
+	"nodesentry/internal/obs"
 )
+
+// fatal logs the error as a structured record and exits non-zero.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	data := flag.String("data", "", "dataset directory (required)")
@@ -32,15 +44,41 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override training epochs")
 	kmax := flag.Int("kmax", 0, "override the max cluster count for silhouette search")
 	configPath := flag.String("config", "", "JSON config file overlaying the default options (see cmd/nodesentry/config.go)")
+	obsListen := flag.String("obs-listen", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables observability)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "nodesentry: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "nodesentry: -data is required")
 		os.Exit(2)
 	}
+
+	// Observability is opt-in: without -obs-listen every handle below is a
+	// nil no-op and no server is started.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *obsListen != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(reg)
+		srv, addr, err := obs.Serve(*obsListen, reg, nil)
+		if err != nil {
+			fatal(logger, "obs server", "err", err)
+		}
+		defer func() { _ = srv.Close() }() // process exit; shutdown error is inert
+		logger.Info("observability listening", "addr", addr,
+			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
+
 	ds, err := nodesentry.ImportDataset(*data)
 	if err != nil {
-		log.Fatalf("nodesentry: load dataset: %v", err)
+		fatal(logger, "load dataset", "dir", *data, "err", err)
 	}
 	fmt.Printf("dataset: %s\n", ds.Summarize())
 
@@ -50,7 +88,7 @@ func main() {
 		if *configPath != "" {
 			opts, err = loadConfig(*configPath)
 			if err != nil {
-				log.Fatalf("nodesentry: %v", err)
+				fatal(logger, "load config", "path", *configPath, "err", err)
 			}
 		}
 		if *epochs > 0 {
@@ -59,42 +97,48 @@ func main() {
 		if *kmax > 0 {
 			opts.KMax = *kmax
 		}
-		det, err = nodesentry.Train(nodesentry.TrainInputFromDataset(ds), opts)
+		in := nodesentry.TrainInputFromDataset(ds)
+		in.Trace = tracer
+		det, err = nodesentry.Train(in, opts)
 		if err != nil {
-			log.Fatalf("nodesentry: train: %v", err)
+			fatal(logger, "train", "err", err)
 		}
 		st := det.Stats
 		fmt.Printf("trained: %d segments -> %d clusters (silhouette %.3f), %d metrics after reduction, %v\n",
 			st.Segments, st.Clusters, st.Silhouette, st.ReducedDim, st.TrainDuration.Round(1e6))
+		for _, rec := range tracer.Records() {
+			logger.Debug("train stage", "stage", rec.Stage, "wall", rec.Wall(),
+				"allocs", rec.Allocs, "items", rec.Items)
+		}
 		if *modelPath != "" {
 			f, err := os.Create(*modelPath)
 			if err != nil {
-				log.Fatalf("nodesentry: create model file: %v", err)
+				fatal(logger, "create model file", "path", *modelPath, "err", err)
 			}
 			if err := det.Save(f); err != nil {
-				log.Fatalf("nodesentry: save model: %v", err)
+				fatal(logger, "save model", "path", *modelPath, "err", err)
 			}
 			if err := f.Close(); err != nil {
-				log.Fatalf("nodesentry: close model file: %v", err)
+				fatal(logger, "close model file", "path", *modelPath, "err", err)
 			}
 			fmt.Printf("model saved to %s\n", *modelPath)
 		}
 	} else if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {
-			log.Fatalf("nodesentry: open model: %v", err)
+			fatal(logger, "open model", "path", *modelPath, "err", err)
 		}
 		det, err = nodesentry.LoadDetector(f)
 		_ = f.Close() // read-only; the load error below is the one that matters
 		if err != nil {
-			log.Fatalf("nodesentry: load model: %v", err)
+			fatal(logger, "load model", "path", *modelPath, "err", err)
 		}
 		fmt.Printf("model loaded from %s (%d clusters)\n", *modelPath, det.NumClusters())
 	}
 
 	if *update {
 		if det == nil {
-			log.Fatal("nodesentry: -update needs -train or -model")
+			fatal(logger, "-update needs -train or -model")
 		}
 		matched, spawned := 0, 0
 		for _, node := range ds.Nodes() {
@@ -102,7 +146,7 @@ func main() {
 			spans := ds.SpansForNode(node, ds.SplitTime(), ds.Horizon)
 			rep, err := det.IncrementalUpdate(frame, spans, 2)
 			if err != nil {
-				log.Fatalf("nodesentry: incremental update %s: %v", node, err)
+				fatal(logger, "incremental update", "node", node, "err", err)
 			}
 			matched += rep.MatchedSegments
 			spawned += rep.SpawnedClusters
@@ -112,24 +156,26 @@ func main() {
 		if *modelPath != "" {
 			f, err := os.Create(*modelPath)
 			if err != nil {
-				log.Fatalf("nodesentry: rewrite model: %v", err)
+				fatal(logger, "rewrite model", "path", *modelPath, "err", err)
 			}
 			if err := det.Save(f); err != nil {
-				log.Fatalf("nodesentry: save model: %v", err)
+				fatal(logger, "save model", "path", *modelPath, "err", err)
 			}
 			if err := f.Close(); err != nil {
-				log.Fatalf("nodesentry: close model file: %v", err)
+				fatal(logger, "close model file", "path", *modelPath, "err", err)
 			}
 		}
 	}
 
 	if *monitor {
 		if det == nil {
-			log.Fatal("nodesentry: -monitor needs -train or -model")
+			fatal(logger, "-monitor needs -train or -model")
 		}
-		mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{Step: ds.Step, ScoringWorkers: 3})
+		mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{
+			Step: ds.Step, ScoringWorkers: 3, Metrics: reg, Logger: logger,
+		})
 		if err != nil {
-			log.Fatalf("nodesentry: monitor: %v", err)
+			fatal(logger, "monitor", "err", err)
 		}
 		alerts := nodesentry.ReplayDataset(ds, mon, ds.SplitTime(), ds.Horizon)
 		fmt.Printf("monitor replay: %d alerts (%d dropped)\n", len(alerts), mon.Dropped())
@@ -147,7 +193,7 @@ func main() {
 		return
 	}
 	if det == nil {
-		log.Fatal("nodesentry: -detect needs -train or -model")
+		fatal(logger, "-detect needs -train or -model")
 	}
 	sum := nodesentry.EvaluateDetector(det, ds)
 	fmt.Printf("evaluation: P=%.3f R=%.3f AUC=%.3f F1=%.3f\n",

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"nodesentry"
@@ -18,16 +19,29 @@ func main() {
 	ds := nodesentry.BuildDataset(nodesentry.TinyDataset())
 	fmt.Println("dataset:", ds.Summarize())
 
-	det, err := nodesentry.Train(nodesentry.TrainInputFromDataset(ds), nodesentry.DefaultOptions())
+	// The observability loop: training stages trace into the registry, the
+	// monitor records its hot-path series there, and an operator (or a
+	// Prometheus collector) scrapes it all back out as /metrics.
+	reg := nodesentry.NewMetricsRegistry()
+	tracer := nodesentry.NewStageTracer(reg)
+
+	in := nodesentry.TrainInputFromDataset(ds)
+	in.Trace = tracer
+	det, err := nodesentry.Train(in, nodesentry.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("detector ready: %d clusters\n", det.NumClusters())
+	for _, rec := range tracer.Records() {
+		fmt.Printf("  stage %-12s %8v  %6d items  %.1f MB allocated\n",
+			rec.Stage, rec.Wall().Round(time.Millisecond), rec.Items, float64(rec.Bytes)/1e6)
+	}
 
 	mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{
 		Step:           ds.Step,
 		ScoringWorkers: 3,
 		CooldownSec:    600,
+		Metrics:        reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -68,4 +82,19 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%d/%d alerts fall inside injected fault windows\n", hits, len(alerts))
+
+	// What a Prometheus scrape of this process would have collected.
+	var scrape strings.Builder
+	if err := reg.WritePrometheus(&scrape); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nself-scrape (/metrics excerpt):")
+	for _, line := range strings.Split(scrape.String(), "\n") {
+		if strings.HasPrefix(line, "nodesentry_alerts_") ||
+			strings.HasPrefix(line, "nodesentry_ingest_") ||
+			strings.HasPrefix(line, "nodesentry_score_latency_seconds_sum") ||
+			strings.HasPrefix(line, "nodesentry_score_latency_seconds_count") {
+			fmt.Println("  " + line)
+		}
+	}
 }

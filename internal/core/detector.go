@@ -11,6 +11,7 @@ import (
 	"nodesentry/internal/mat"
 	"nodesentry/internal/mts"
 	"nodesentry/internal/nn"
+	"nodesentry/internal/obs"
 	"nodesentry/internal/preprocess"
 	"nodesentry/internal/stats"
 )
@@ -29,6 +30,10 @@ type TrainInput struct {
 	// nil, every metric stands alone and only Pearson deduplication
 	// reduces the dimension.
 	SemanticGroups map[string][]int
+	// Trace, when non-nil, receives one span per offline stage
+	// (preprocess, segmentation, features, hac, train_models) with wall
+	// time, allocations, and item counts. It never alters training.
+	Trace *obs.Tracer
 }
 
 // clusterModel is one entry of the model library: the shared reconstruction
@@ -86,6 +91,7 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 	d := &Detector{opts: opts}
 
 	// --- Preprocessing ---
+	sp := in.Trace.Start("preprocess")
 	nodes := sortedNodes(in.Frames)
 	cleaned := make(map[string]*mts.NodeFrame, len(in.Frames))
 	for _, node := range nodes {
@@ -104,8 +110,11 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 		d.std.Apply(f)
 	}
 	d.Stats.ReducedDim = d.red.NumOutput()
+	sp.AddItems(int64(len(nodes)))
+	sp.End()
 
 	// --- Segmentation ---
+	sp = in.Trace.Start("segmentation")
 	var segments []mts.Segment
 	for _, node := range nodes {
 		f := reduced[node]
@@ -115,19 +124,25 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 			segments = append(segments, preprocess.Segment(f, in.Spans[node], opts.MinSegmentLen)...)
 		}
 	}
+	sp.AddItems(int64(len(segments)))
+	sp.End()
 	if len(segments) == 0 {
 		return nil, fmt.Errorf("core: no segments after preprocessing (min length %d)", opts.MinSegmentLen)
 	}
 	d.Stats.Segments = len(segments)
 
 	// --- Feature extraction & coarse clustering ---
+	sp = in.Trace.Start("features")
 	F := features.Matrix(reduced, segments)
 	d.featMean, d.featStd = features.NormalizeColumns(F)
 	if opts.PCADims > 0 {
 		d.pca = cluster.FitPCA(F.Clone(), opts.PCADims)
 		F = d.pca.Transform(F)
 	}
+	sp.AddItems(int64(F.Rows))
+	sp.End()
 
+	sp = in.Trace.Start("hac")
 	labels, k, sil := d.clusterSegments(F)
 	d.Stats.Clusters = k
 	d.Stats.Silhouette = sil
@@ -136,13 +151,18 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 	for _, l := range labels {
 		d.Stats.ClusterSizes[l]++
 	}
+	sp.AddItems(int64(k))
+	sp.End()
 
 	// --- Fine-grained model sharing: one shared model per cluster ---
+	sp = in.Trace.Start("train_models")
 	d.library = make([]*clusterModel, k)
 	trainErrs := make([]error, k)
 	mat.ParallelItems(k, func(c int) {
 		d.library[c], trainErrs[c] = d.trainClusterModel(c, F, labels, segments, reduced)
 	})
+	sp.AddItems(int64(k))
+	sp.End()
 	for _, err := range trainErrs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"nodesentry/internal/obs"
+)
+
+// TestTrainStageTracing asserts that the offline pipeline emits one span
+// per stage in pipeline order, with sane item counts, and that tracing is
+// observation only: the trained detector serializes byte-identically with
+// and without a tracer attached.
+func TestTrainStageTracing(t *testing.T) {
+	fx := fixture(t)
+	opts := fastOptions()
+	opts.Epochs = 2
+
+	in := fx.in
+	reg := obs.NewRegistry()
+	in.Trace = obs.NewTracer(reg)
+	traced, err := Train(in, opts)
+	if err != nil {
+		t.Fatalf("traced Train: %v", err)
+	}
+	plain, err := Train(fx.in, opts)
+	if err != nil {
+		t.Fatalf("plain Train: %v", err)
+	}
+
+	recs := in.Trace.Records()
+	wantOrder := []string{"preprocess", "segmentation", "features", "hac", "train_models"}
+	if len(recs) != len(wantOrder) {
+		t.Fatalf("spans = %d (%v), want %d", len(recs), recs, len(wantOrder))
+	}
+	for i, rec := range recs {
+		if rec.Stage != wantOrder[i] {
+			t.Errorf("span %d = %q, want %q", i, rec.Stage, wantOrder[i])
+		}
+		if rec.WallNanos <= 0 {
+			t.Errorf("span %q has no wall time", rec.Stage)
+		}
+	}
+	byStage := map[string]obs.StageRecord{}
+	for _, rec := range recs {
+		byStage[rec.Stage] = rec
+	}
+	if got := byStage["segmentation"].Items; got != int64(traced.Stats.Segments) {
+		t.Errorf("segmentation items = %d, want %d segments", got, traced.Stats.Segments)
+	}
+	if got := byStage["hac"].Items; got != int64(traced.Stats.Clusters) {
+		t.Errorf("hac items = %d, want %d clusters", got, traced.Stats.Clusters)
+	}
+	if got := byStage["train_models"].Items; got != int64(traced.Stats.Clusters) {
+		t.Errorf("train_models items = %d, want %d clusters", got, traced.Stats.Clusters)
+	}
+	// The tracer mirrored the stage series into the registry.
+	if got := reg.Counter("nodesentry_stage_items_total", "stage", "segmentation").Value(); got != int64(traced.Stats.Segments) {
+		t.Errorf("registry stage items = %d, want %d", got, traced.Stats.Segments)
+	}
+
+	// Tracing must be observation only. Gob bytes are not a usable
+	// witness (map encoding order is nondeterministic), so compare what
+	// matters: identical detection output on the test split, score for
+	// score.
+	if traced.Stats.Segments != plain.Stats.Segments || traced.Stats.Clusters != plain.Stats.Clusters {
+		t.Fatalf("tracing changed training: %+v vs %+v", traced.Stats, plain.Stats)
+	}
+	for _, node := range fx.ds.Nodes() {
+		frame := fx.ds.TestFrames()[node]
+		spans := fx.ds.SpansForNode(node, fx.ds.SplitTime(), fx.ds.Horizon)
+		a := traced.Detect(frame, spans)
+		b := plain.Detect(frame, spans)
+		if len(a.Scores) != len(b.Scores) {
+			t.Fatalf("node %s: score lengths differ", node)
+		}
+		for i := range a.Scores {
+			if a.Scores[i] != b.Scores[i] {
+				t.Fatalf("node %s: score[%d] %v != %v with tracing on", node, i, a.Scores[i], b.Scores[i])
+			}
+			if a.Preds[i] != b.Preds[i] {
+				t.Fatalf("node %s: pred[%d] differs with tracing on", node, i)
+			}
+		}
+	}
+}

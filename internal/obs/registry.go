@@ -1,0 +1,381 @@
+// Package obs is NodeSentry's stdlib-only observability subsystem: a
+// concurrent metrics registry with Prometheus text exposition (the format
+// the paper's deployment collects through, §5.1), span-style stage tracing
+// for the offline pipeline and the online hot path, and an opt-in HTTP
+// server exposing /metrics, /healthz and pprof.
+//
+// Everything is nil-safe: a nil *Registry hands out nil metric handles,
+// and every handle method no-ops on a nil receiver. Instrumented code
+// therefore never branches on "is observability enabled" — it records
+// unconditionally, and the disabled path costs one nil check.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind discriminates the exposition TYPE of a metric family.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+// Registry is a concurrent metrics registry. Handles are created on first
+// use and cached by (name, labels); hot paths should hold the handle rather
+// than re-looking it up. The zero value is not usable — call NewRegistry —
+// but a nil *Registry is a valid "observability off" registry.
+type Registry struct {
+	mu    sync.Mutex
+	kinds map[string]kind
+	// series maps canonical series id -> metric handle.
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    map[string]kind{},
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the counter series for name with the
+// given label key/value pairs. Returns nil — a valid no-op handle — on a
+// nil registry. A name already registered as a different kind yields a
+// detached handle that works but is never exported (programmer error kept
+// observable via Value, without corrupting the exposition).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	id := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[id]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: ls}
+	if k, ok := r.kinds[name]; ok && k != counterKind {
+		return c // detached
+	}
+	r.kinds[name] = counterKind
+	r.counters[id] = c
+	return c
+}
+
+// Gauge returns the gauge series for name and labels (nil-safe, as Counter).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	id := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[id]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: ls}
+	if k, ok := r.kinds[name]; ok && k != gaugeKind {
+		return g
+	}
+	r.kinds[name] = gaugeKind
+	r.gauges[id] = g
+	return g
+}
+
+// Histogram returns the histogram series for name and labels with the given
+// fixed bucket upper bounds (ascending, +Inf implied). Buckets are fixed at
+// first registration; later calls with different buckets get the existing
+// series. Nil-safe, as Counter.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	id := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[id]; ok {
+		return h
+	}
+	h := newHistogram(name, ls, buckets)
+	if k, ok := r.kinds[name]; ok && k != histogramKind {
+		return h
+	}
+	r.kinds[name] = histogramKind
+	r.hists[id] = h
+	return h
+}
+
+// Counter is a monotonically increasing integer series.
+type Counter struct {
+	name   string
+	labels string
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored (counters
+// never decrease).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float series that can go up and down.
+type Gauge struct {
+	name   string
+	labels string
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets, Prometheus-style:
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+type Histogram struct {
+	name   string
+	labels string
+	uppers []float64      // ascending upper bounds, +Inf excluded
+	counts []atomic.Int64 // len(uppers)+1; last is the +Inf overflow
+	sum    atomic.Uint64  // float64 bits
+	n      atomic.Int64
+}
+
+func newHistogram(name, labels string, buckets []float64) *Histogram {
+	uppers := append([]float64(nil), buckets...)
+	sort.Float64s(uppers)
+	// Drop a trailing +Inf if the caller included one; it is implicit.
+	for len(uppers) > 0 && math.IsInf(uppers[len(uppers)-1], 1) {
+		uppers = uppers[:len(uppers)-1]
+	}
+	return &Histogram{
+		name:   name,
+		labels: labels,
+		uppers: uppers,
+		counts: make([]atomic.Int64, len(uppers)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum reports the total of all observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// LatencyBuckets is the default bucket layout for sub-second latencies:
+// 50 µs to ~26 s in powers of 4.
+var LatencyBuckets = ExpBuckets(50e-6, 4, 10)
+
+// StageBuckets is the default layout for offline pipeline stages: 1 ms to
+// ~16 minutes in powers of 4.
+var StageBuckets = ExpBuckets(1e-3, 4, 11)
+
+// ExpBuckets builds n exponential bucket bounds start, start*factor, ….
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (the same conventions internal/telemetry's promtext
+// emits and parses): one TYPE comment per family, series sorted by name
+// then labels, values in shortest-float form. Safe to call concurrently
+// with metric updates; each series is read atomically (the scrape is not a
+// global barrier, matching real exporters).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		return counters[i].name+counters[i].labels < counters[j].name+counters[j].labels
+	})
+	sort.Slice(gauges, func(i, j int) bool {
+		return gauges[i].name+gauges[i].labels < gauges[j].name+gauges[j].labels
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		return hists[i].name+hists[i].labels < hists[j].name+hists[j].labels
+	})
+
+	var b strings.Builder
+	lastType := ""
+	for _, c := range counters {
+		if c.name != lastType {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", c.name)
+			lastType = c.name
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", c.name, c.labels, c.Value())
+	}
+	lastType = ""
+	for _, g := range gauges {
+		if g.name != lastType {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", g.name)
+			lastType = g.name
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", g.name, g.labels, formatValue(g.Value()))
+	}
+	lastType = ""
+	for _, h := range hists {
+		if h.name != lastType {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", h.name)
+			lastType = h.name
+		}
+		cum := int64(0)
+		for i, upper := range h.uppers {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.name, withLE(h.labels, formatValue(upper)), cum)
+		}
+		cum += h.counts[len(h.uppers)].Load()
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.name, withLE(h.labels, "+Inf"), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.name, h.labels, formatValue(h.Sum()))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.name, h.labels, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString canonicalizes key/value pairs into `{k="v",…}` sorted by key
+// ("" when empty). An odd trailing key gets an empty value rather than
+// being dropped, so mistakes stay visible in the exposition.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		p := pair{k: kv[i]}
+		if i+1 < len(kv) {
+			p.v = kv[i+1]
+		}
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLE merges an `le` label into an existing label string.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_seconds", LatencyBuckets)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must stay zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	var tr *Tracer
+	sp := tr.Start("stage")
+	sp.AddItems(3)
+	sp.End()
+	if got := tr.Records(); got != nil {
+		t.Fatalf("nil tracer records = %v", got)
+	}
+}
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ingest_total", "node", "cn-1")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if again := r.Counter("ingest_total", "node", "cn-1"); again != c {
+		t.Fatal("same (name, labels) must return the same handle")
+	}
+	if other := r.Counter("ingest_total", "node", "cn-2"); other == c {
+		t.Fatal("different labels must return a different series")
+	}
+
+	g := r.Gauge("threshold")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2.0 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("hist sum = %v, want %v", got, want)
+	}
+}
+
+func TestKindConflictReturnsDetachedHandle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	g := r.Gauge("x_total")
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatal("detached handle must still record")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# TYPE x_total gauge") {
+		t.Fatalf("conflicting kind leaked into exposition:\n%s", b.String())
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "b", "2", "a", "1")
+	b := r.Counter("x_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order must not distinguish series")
+	}
+	a.Inc()
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `x_total{a="1",b="2"} 1`) {
+		t.Fatalf("canonical labels missing:\n%s", out.String())
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c_total", "w", "x").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", LatencyBuckets).Observe(0.001)
+				var b strings.Builder
+				if j%100 == 0 {
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Errorf("scrape during writes: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "w", "x").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 4000 {
+		t.Fatalf("gauge = %v, want 4000", got)
+	}
+	if got := r.Histogram("h_seconds", LatencyBuckets).Count(); got != 4000 {
+		t.Fatalf("hist count = %d, want 4000", got)
+	}
+}

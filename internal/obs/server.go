@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the self-scrape endpoint: /metrics serves the registry in
+// Prometheus text format, /healthz runs the optional health check (503 with
+// the error text on failure, 200 "ok" otherwise), and /debug/pprof/* serves
+// the standard runtime profiles. The registry may be nil (an empty scrape).
+func Handler(reg *Registry, health func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is note it for the scraper.
+			_, _ = fmt.Fprintf(w, "# write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		_, _ = fmt.Fprintln(w, "ok") // best-effort body; the 200 status is the signal
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler(reg, health) on a background
+// goroutine, returning the bound server (shut it down with Server.Close or
+// Server.Shutdown) and the resolved listen address. The explicit listener
+// makes ":0" usable in tests and examples.
+func Serve(addr string, reg *Registry, health func() error) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has
+		// nowhere to go but the scrape endpoint's absence.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"nodesentry/internal/telemetry"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }() // test teardown; read error below dominates
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsExpositionRoundTrip scrapes /metrics over HTTP, parses the
+// body back with internal/telemetry's exposition conventions, and asserts
+// counter monotonicity across scrapes plus histogram bucket/sum/count
+// consistency — the contract a real Prometheus collector depends on.
+func TestMetricsExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	ingest := reg.Counter("nodesentry_ingest_samples_total")
+	alerts := reg.Counter("nodesentry_alerts_total", "priority", "critical")
+	thr := reg.Gauge("nodesentry_threshold_value", "node", "cn-1")
+	lat := reg.Histogram("nodesentry_score_latency_seconds", []float64{0.001, 0.01, 0.1})
+
+	ingest.Add(10)
+	alerts.Inc()
+	thr.Set(3.75)
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		lat.Observe(v)
+	}
+
+	first, err := telemetry.ParseSeries(scrape(t, srv.URL+"/metrics"))
+	if err != nil {
+		t.Fatalf("parse first scrape: %v", err)
+	}
+	fm := telemetry.SeriesMap(first)
+	if fm["nodesentry_ingest_samples_total"] != 10 {
+		t.Fatalf("ingest counter = %v, want 10", fm["nodesentry_ingest_samples_total"])
+	}
+	if fm[`nodesentry_alerts_total{priority="critical"}`] != 1 {
+		t.Fatalf("alert counter missing: %v", fm)
+	}
+	if fm[`nodesentry_threshold_value{node="cn-1"}`] != 3.75 {
+		t.Fatalf("gauge = %v, want 3.75", fm[`nodesentry_threshold_value{node="cn-1"}`])
+	}
+
+	// Histogram consistency: buckets cumulative, +Inf equals _count, and
+	// _sum matches the observations.
+	if got := fm[`nodesentry_score_latency_seconds_bucket{le="0.001"}`]; got != 1 {
+		t.Fatalf("le=0.001 bucket = %v, want 1", got)
+	}
+	if got := fm[`nodesentry_score_latency_seconds_bucket{le="0.01"}`]; got != 2 {
+		t.Fatalf("le=0.01 bucket = %v, want 2", got)
+	}
+	if got := fm[`nodesentry_score_latency_seconds_bucket{le="0.1"}`]; got != 3 {
+		t.Fatalf("le=0.1 bucket = %v, want 3", got)
+	}
+	inf := fm[`nodesentry_score_latency_seconds_bucket{le="+Inf"}`]
+	count := fm["nodesentry_score_latency_seconds_count"]
+	if inf != 4 || count != 4 {
+		t.Fatalf("+Inf bucket = %v, count = %v, want 4", inf, count)
+	}
+	if sum := fm["nodesentry_score_latency_seconds_sum"]; math.Abs(sum-0.5555) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.5555", sum)
+	}
+
+	// Monotonicity: every counter series only moves up between scrapes.
+	ingest.Add(5)
+	alerts.Add(2)
+	lat.Observe(1)
+	second, err := telemetry.ParseSeries(scrape(t, srv.URL+"/metrics"))
+	if err != nil {
+		t.Fatalf("parse second scrape: %v", err)
+	}
+	sm := telemetry.SeriesMap(second)
+	for key, before := range fm {
+		if strings.Contains(key, "_total") || strings.Contains(key, "_count") || strings.Contains(key, "_bucket") {
+			if sm[key] < before {
+				t.Errorf("series %s went backwards: %v -> %v", key, before, sm[key])
+			}
+		}
+	}
+	if sm["nodesentry_ingest_samples_total"] != 15 {
+		t.Fatalf("ingest after second scrape = %v, want 15", sm["nodesentry_ingest_samples_total"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	h := Handler(nil, func() error {
+		if !healthy.Load() {
+			return fmt.Errorf("detector pool exhausted")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if body := scrape(t, srv.URL+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz body = %q", body)
+	}
+	healthy.Store(false)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close() // status code is the assertion; body is discarded
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }() // test teardown; shutdown error is inert
+	body := scrape(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "up_total 1") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	// pprof index must be wired.
+	if body := scrape(t, "http://"+addr+"/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Fatalf("pprof index body:\n%s", body)
+	}
+}

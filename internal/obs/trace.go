@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracer records span-style stage timings — wall time, heap allocations,
+// and an item count — for the offline pipeline (segment → feature → HAC →
+// per-cluster training) and any other coarse stage worth accounting for.
+// Completed spans are kept as StageRecords (for benchtab's JSON output)
+// and mirrored into the registry as stage metrics:
+//
+//	nodesentry_stage_duration_seconds{stage=…}  histogram
+//	nodesentry_stage_allocs_total{stage=…}      counter (heap objects)
+//	nodesentry_stage_items_total{stage=…}       counter
+//
+// A nil *Tracer is a valid no-op tracer; Start on it returns a nil *Span
+// whose methods all no-op. Spans read runtime.MemStats at the boundaries,
+// which briefly stops the world — use spans for coarse stages (milliseconds
+// and up), not per-sample hot paths; the hot path records straight into
+// registry handles instead.
+type Tracer struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	records []StageRecord
+}
+
+// StageRecord is one completed span.
+type StageRecord struct {
+	// Stage names the pipeline stage (e.g. "hac", "train_models").
+	Stage string `json:"stage"`
+	// WallNanos is the span's wall-clock duration.
+	WallNanos int64 `json:"wall_ns"`
+	// Allocs counts heap objects allocated while the span was open
+	// (process-wide, so concurrent work is attributed too).
+	Allocs uint64 `json:"allocs"`
+	// Bytes counts heap bytes allocated while the span was open.
+	Bytes uint64 `json:"bytes"`
+	// Items is the stage's work-unit count (segments, windows, clusters…);
+	// 0 when the stage did not report one.
+	Items int64 `json:"items"`
+}
+
+// Wall returns the span duration as a time.Duration.
+func (r StageRecord) Wall() time.Duration { return time.Duration(r.WallNanos) }
+
+// NewTracer builds a tracer mirroring spans into reg (which may be nil —
+// records are still kept for Records/WriteJSON).
+func NewTracer(reg *Registry) *Tracer { return &Tracer{reg: reg} }
+
+// Span is one open stage measurement.
+type Span struct {
+	t      *Tracer
+	stage  string
+	start  time.Time
+	allocs uint64
+	bytes  uint64
+	items  int64
+	done   bool
+}
+
+// Start opens a span for the named stage. Nil-safe.
+func (t *Tracer) Start(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Span{t: t, stage: stage, start: time.Now(), allocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+// AddItems accumulates the stage's work-unit count.
+func (s *Span) AddItems(n int64) {
+	if s == nil {
+		return
+	}
+	s.items += n
+}
+
+// End closes the span, appends its record to the tracer, and mirrors it
+// into the registry. End is idempotent; the first call wins.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	wall := time.Since(s.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := StageRecord{
+		Stage:     s.stage,
+		WallNanos: wall.Nanoseconds(),
+		Allocs:    ms.Mallocs - s.allocs,
+		Bytes:     ms.TotalAlloc - s.bytes,
+		Items:     s.items,
+	}
+	t := s.t
+	t.mu.Lock()
+	t.records = append(t.records, rec)
+	t.mu.Unlock()
+	t.reg.Histogram("nodesentry_stage_duration_seconds", StageBuckets, "stage", s.stage).Observe(wall.Seconds())
+	t.reg.Counter("nodesentry_stage_allocs_total", "stage", s.stage).Add(int64(rec.Allocs))
+	t.reg.Counter("nodesentry_stage_items_total", "stage", s.stage).Add(rec.Items)
+}
+
+// Records returns a copy of the completed spans in completion order
+// (nil-safe: empty on a nil tracer).
+func (t *Tracer) Records() []StageRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageRecord(nil), t.records...)
+}
+
+// WriteJSON writes the completed spans as an indented JSON array — the
+// payload benchtab saves as BENCH_obs.json.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	recs := t.Records()
+	if recs == nil {
+		recs = []StageRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

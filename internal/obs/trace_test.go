@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRecordsAndRegistryMirror(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	sp := tr.Start("segmentation")
+	sp.AddItems(42)
+	// Allocate something measurable so the alloc counters move.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	sp.End()
+	sp.End() // idempotent
+
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Stage != "segmentation" || rec.Items != 42 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.WallNanos <= 0 {
+		t.Fatalf("wall = %d, want > 0", rec.WallNanos)
+	}
+	if rec.Allocs == 0 || rec.Bytes == 0 {
+		t.Fatalf("alloc accounting missing: %+v", rec)
+	}
+
+	if got := r.Histogram("nodesentry_stage_duration_seconds", StageBuckets, "stage", "segmentation").Count(); got != 1 {
+		t.Fatalf("duration histogram count = %d, want 1", got)
+	}
+	if got := r.Counter("nodesentry_stage_items_total", "stage", "segmentation").Value(); got != 42 {
+		t.Fatalf("items counter = %d, want 42", got)
+	}
+}
+
+func TestTracerWithoutRegistry(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("hac")
+	sp.End()
+	if len(tr.Records()) != 1 {
+		t.Fatal("records must accumulate even without a registry")
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("features")
+	sp.AddItems(7)
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []StageRecord
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, buf.String())
+	}
+	if len(recs) != 1 || recs[0].Stage != "features" || recs[0].Items != 7 {
+		t.Fatalf("round-tripped records = %+v", recs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}

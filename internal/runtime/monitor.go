@@ -14,13 +14,17 @@
 package runtime
 
 import (
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nodesentry/internal/core"
 	"nodesentry/internal/diagnose"
 	"nodesentry/internal/mts"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/stats"
 )
 
 // Alert is one prioritized anomaly notification.
@@ -58,6 +62,15 @@ type Config struct {
 	// CriticalFactor promotes an alert to Critical when the score exceeds
 	// the threshold by this factor (default 2).
 	CriticalFactor float64
+	// Metrics, when non-nil, receives the monitor's operational series
+	// (ingest/alert counters, match/score latency histograms, per-node
+	// threshold and backlog gauges — see DESIGN.md's observability
+	// appendix). A nil registry disables instrumentation at the cost of
+	// one nil check per record; detection output is identical either way.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured runtime events (job
+	// transitions at Debug, alert drops at Warn). Nil disables logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +111,58 @@ type nodeState struct {
 	// score history for the dynamic threshold.
 	scores    []float64
 	lastAlert int64
+
+	// lastIngest/lastScored track the node's scoring lag: the newest
+	// ingested sample timestamp vs. the newest timestamp covered by a
+	// scored window.
+	lastIngest int64
+	lastScored int64
+	// dropped counts this node's alerts discarded by a full alert channel
+	// (atomic: bumped outside the node lock on the delivery path).
+	dropped atomic.Int64
+
+	// Per-node observability gauges (nil when metrics are disabled).
+	thrGauge *obs.Gauge
+	bufGauge *obs.Gauge
+}
+
+// monMetrics holds the monitor's pre-registered metric handles so the hot
+// path never goes through the registry's map lock. Every handle is nil —
+// a no-op — when observability is disabled.
+type monMetrics struct {
+	ingest       *obs.Counter
+	unregistered *obs.Counter
+	windows      *obs.Counter
+	samples      *obs.Counter
+	matchLat     *obs.Histogram
+	scoreLat     *obs.Histogram
+	matchedOK    *obs.Counter
+	matchedMiss  *obs.Counter
+	alertWarn    *obs.Counter
+	alertCrit    *obs.Counter
+	delivered    *obs.Counter
+	dropped      *obs.Counter
+	thrUpdates   *obs.Counter
+	nodes        *obs.Gauge
+}
+
+func newMonMetrics(r *obs.Registry) monMetrics {
+	return monMetrics{
+		ingest:       r.Counter("nodesentry_ingest_samples_total"),
+		unregistered: r.Counter("nodesentry_ingest_unregistered_total"),
+		windows:      r.Counter("nodesentry_windows_scored_total"),
+		samples:      r.Counter("nodesentry_samples_scored_total"),
+		matchLat:     r.Histogram("nodesentry_match_latency_seconds", obs.LatencyBuckets),
+		scoreLat:     r.Histogram("nodesentry_score_latency_seconds", obs.LatencyBuckets),
+		matchedOK:    r.Counter("nodesentry_pattern_matches_total", "matched", "true"),
+		matchedMiss:  r.Counter("nodesentry_pattern_matches_total", "matched", "false"),
+		alertWarn:    r.Counter("nodesentry_alerts_total", "priority", "warning"),
+		alertCrit:    r.Counter("nodesentry_alerts_total", "priority", "critical"),
+		delivered:    r.Counter("nodesentry_alerts_delivered_total"),
+		dropped:      r.Counter("nodesentry_alerts_dropped_total"),
+		thrUpdates:   r.Counter("nodesentry_threshold_updates_total"),
+		nodes:        r.Gauge("nodesentry_nodes"),
+	}
 }
 
 // Monitor is the streaming detection engine.
@@ -110,6 +175,14 @@ type Monitor struct {
 
 	alerts  chan Alert
 	dropped atomic.Int64
+
+	// reg is nil when observability is off; met's handles are then all
+	// nil no-ops. obsOn gates the timing reads (time.Now) the no-op
+	// handles cannot elide.
+	reg   *obs.Registry
+	met   monMetrics
+	obsOn bool
+	log   *slog.Logger
 }
 
 // NewMonitor builds a monitor around a trained detector. The detector is
@@ -121,6 +194,10 @@ func NewMonitor(det *core.Detector, cfg Config) (*Monitor, error) {
 		pool:   make(chan *core.Detector, cfg.ScoringWorkers),
 		nodes:  map[string]*nodeState{},
 		alerts: make(chan Alert, cfg.AlertBuffer),
+		reg:    cfg.Metrics,
+		met:    newMonMetrics(cfg.Metrics),
+		obsOn:  cfg.Metrics != nil,
+		log:    cfg.Logger,
 	}
 	for i := 0; i < cfg.ScoringWorkers; i++ {
 		clone, err := det.Clone()
@@ -145,7 +222,12 @@ func (m *Monitor) state(node string) *nodeState {
 	st, ok := m.nodes[node]
 	if !ok {
 		st = &nodeState{node: node, cluster: -1, job: mts.IdleJobID}
+		if m.obsOn {
+			st.thrGauge = m.reg.Gauge("nodesentry_threshold_value", "node", node)
+			st.bufGauge = m.reg.Gauge("nodesentry_node_buffered", "node", node)
+		}
 		m.nodes[node] = st
+		m.met.nodes.Set(float64(len(m.nodes)))
 	}
 	return st
 }
@@ -153,6 +235,9 @@ func (m *Monitor) state(node string) *nodeState {
 // ObserveJob notifies the monitor of a job transition on a node: the
 // current segment ends and a new pattern observation begins (§3.5).
 func (m *Monitor) ObserveJob(node string, job int64, start int64) {
+	if m.log != nil {
+		m.log.Debug("job transition", "node", node, "job", job, "start", start)
+	}
 	st := m.state(node)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -176,8 +261,11 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 	st.mu.Lock()
 	if st.metrics == nil {
 		st.mu.Unlock()
+		m.met.unregistered.Inc()
 		return // not registered: cannot build frames
 	}
+	m.met.ingest.Inc()
+	st.lastIngest = ts
 	v := append([]float64(nil), values...)
 	if !st.matched {
 		if len(st.probe) == 0 && ts > st.jobStart {
@@ -194,7 +282,19 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 		}
 		if len(st.probe) >= need {
 			frame := frameOf(st.node, st.metrics, st.probe, st.probeTs[0], m.cfg.Step)
+			var t0 time.Time
+			if m.obsOn {
+				t0 = time.Now()
+			}
 			asg := det.MatchPattern(frame)
+			if m.obsOn {
+				m.met.matchLat.Observe(time.Since(t0).Seconds())
+				if asg.Matched {
+					m.met.matchedOK.Inc()
+				} else {
+					m.met.matchedMiss.Inc()
+				}
+			}
 			st.matched = true
 			st.cluster = asg.Cluster
 			// The probe samples become the first pending windows.
@@ -204,6 +304,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 		}
 		m.pool <- det
 		if !st.matched {
+			st.bufGauge.Set(float64(len(st.probe)))
 			st.mu.Unlock()
 			return
 		}
@@ -217,16 +318,27 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 	var emit []Alert
 	for len(st.pending) >= win {
 		frame := frameOf(st.node, st.metrics, st.pending[:win], st.pendTs[0], m.cfg.Step)
+		var t0 time.Time
+		if m.obsOn {
+			t0 = time.Now()
+		}
 		scores := det.ScoreFrame(frame, st.cluster, st.consumed)
+		if m.obsOn {
+			m.met.scoreLat.Observe(time.Since(t0).Seconds())
+			m.met.windows.Inc()
+			m.met.samples.Add(int64(win))
+		}
+		st.lastScored = frame.TimeAt(win - 1)
 		emit = append(emit, m.absorbScores(det, st, frame, scores)...)
 		st.pending = st.pending[win:]
 		st.pendTs = st.pendTs[win:]
 		st.consumed += win
 	}
+	st.bufGauge.Set(float64(len(st.pending)))
 	m.pool <- det
 	st.mu.Unlock()
 	for _, a := range emit {
-		m.deliver(a)
+		m.deliver(st, a)
 	}
 }
 
@@ -238,6 +350,10 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 	base := len(st.scores)
 	st.scores = append(st.scores, scores...)
 	preds := core.KSigmaThreshold(st.scores, m.cfg.Step, winSec, k)
+	if m.obsOn {
+		m.met.thrUpdates.Inc()
+		st.thrGauge.Set(currentThreshold(st.scores, m.cfg.Step, winSec, k))
+	}
 	var out []Alert
 	for i := range scores {
 		gi := base + i
@@ -290,11 +406,47 @@ func exceedFactor(scores []float64, i, w int) float64 {
 	return scores[i] / mean
 }
 
-func (m *Monitor) deliver(a Alert) {
+// currentThreshold reports the k-sigma bound the next sample will be
+// compared against (mean + k·sigma of the trailing window), mirroring
+// core.KSigmaThreshold's window and sigma-floor rules. Purely diagnostic:
+// it never feeds back into detection.
+func currentThreshold(scores []float64, step, windowSec int64, k float64) float64 {
+	w := int(windowSec / step)
+	if w < 4 {
+		w = 4
+	}
+	lo := len(scores) - w
+	if lo < 0 {
+		lo = 0
+	}
+	win := scores[lo:]
+	if len(win) == 0 {
+		return 0
+	}
+	mean, sd := stats.MeanStd(win)
+	floor := 0.1*mean + 1e-9
+	if sd < floor {
+		sd = floor
+	}
+	return mean + k*sd
+}
+
+func (m *Monitor) deliver(st *nodeState, a Alert) {
+	if a.Priority == Critical {
+		m.met.alertCrit.Inc()
+	} else {
+		m.met.alertWarn.Inc()
+	}
 	select {
 	case m.alerts <- a:
+		m.met.delivered.Inc()
 	default:
 		m.dropped.Add(1)
+		st.dropped.Add(1)
+		m.met.dropped.Inc()
+		if m.log != nil {
+			m.log.Warn("alert dropped: consumer behind", "node", a.Node, "time", a.Time, "score", a.Score)
+		}
 	}
 }
 
@@ -320,6 +472,15 @@ type NodeStatus struct {
 	Consumed int
 	// Buffered counts samples waiting for the next full scoring window.
 	Buffered int
+	// Dropped counts this node's alerts discarded because the consumer
+	// fell behind; summing it across nodes reconciles with the monitor's
+	// global Dropped() — the cross-node operator invariant ROADMAP asks
+	// Snapshot to answer.
+	Dropped int64
+	// ScoreLagSec is how far scoring trails ingestion on this node: the
+	// newest ingested timestamp minus the newest scored timestamp (0
+	// before the first scored window or when fully caught up).
+	ScoreLagSec int64
 }
 
 // Snapshot returns the streaming state of every node the monitor has seen,
@@ -337,13 +498,19 @@ func (m *Monitor) Snapshot() []NodeStatus {
 	for _, st := range states {
 		st.mu.Lock()
 		buffered := len(st.pending) + len(st.probe)
+		lag := int64(0)
+		if st.lastScored > 0 && st.lastIngest > st.lastScored {
+			lag = st.lastIngest - st.lastScored
+		}
 		out = append(out, NodeStatus{
-			Node:     st.node,
-			Job:      st.job,
-			Matched:  st.matched,
-			Cluster:  st.cluster,
-			Consumed: st.consumed,
-			Buffered: buffered,
+			Node:        st.node,
+			Job:         st.job,
+			Matched:     st.matched,
+			Cluster:     st.cluster,
+			Consumed:    st.consumed,
+			Buffered:    buffered,
+			Dropped:     st.dropped.Load(),
+			ScoreLagSec: lag,
 		})
 		st.mu.Unlock()
 	}

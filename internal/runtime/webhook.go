@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
+
+	"nodesentry/internal/obs"
 )
 
 // WebhookSink forwards alerts to an HTTP endpoint as JSON — the "triggers
@@ -16,9 +19,40 @@ type WebhookSink struct {
 	URL string
 	// Client defaults to a 5-second-timeout client.
 	Client *http.Client
-	// OnError, when set, observes delivery failures (the sink never
-	// blocks or retries: alerting paths must not back-pressure detection).
+	// OnError, when set, observes every failed delivery attempt. The sink
+	// never blocks detection: Send runs on the alert consumer's goroutine,
+	// off the scoring path.
 	OnError func(error)
+	// MaxRetries re-attempts a failed delivery up to this many extra
+	// times before giving up (0 keeps the historical fire-once behavior).
+	MaxRetries int
+	// RetryBackoff is slept between attempts (default 100 ms when
+	// retrying).
+	RetryBackoff time.Duration
+	// Metrics, when non-nil, counts delivery activity:
+	//
+	//	nodesentry_webhook_attempts_total    every POST attempted
+	//	nodesentry_webhook_delivered_total   alerts accepted by the receiver
+	//	nodesentry_webhook_failures_total    attempts that errored or got non-2xx
+	//	nodesentry_webhook_retries_total     re-attempts after a failure
+	Metrics *obs.Registry
+
+	once      sync.Once
+	attempts  *obs.Counter
+	delivered *obs.Counter
+	failures  *obs.Counter
+	retries   *obs.Counter
+}
+
+// instrument resolves the counter handles once; all are nil no-ops when
+// Metrics is nil.
+func (s *WebhookSink) instrument() {
+	s.once.Do(func() {
+		s.attempts = s.Metrics.Counter("nodesentry_webhook_attempts_total")
+		s.delivered = s.Metrics.Counter("nodesentry_webhook_delivered_total")
+		s.failures = s.Metrics.Counter("nodesentry_webhook_failures_total")
+		s.retries = s.Metrics.Counter("nodesentry_webhook_retries_total")
+	})
 }
 
 // webhookPayload is the wire format.
@@ -37,8 +71,10 @@ type webhookPayload struct {
 	} `json:"top_metrics"`
 }
 
-// Send delivers one alert; errors go to OnError and are returned.
+// Send delivers one alert, retrying up to MaxRetries times; each failed
+// attempt goes to OnError, and the last error is returned.
 func (s *WebhookSink) Send(a Alert) error {
+	s.instrument()
 	client := s.Client
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
@@ -61,15 +97,39 @@ func (s *WebhookSink) Send(a Alert) error {
 	}
 	body, err := json.Marshal(p)
 	if err != nil {
+		s.failures.Inc()
 		return s.fail(err)
 	}
+	backoff := s.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var last error
+	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Inc()
+			time.Sleep(backoff)
+		}
+		s.attempts.Inc()
+		if last = s.post(client, body); last == nil {
+			s.delivered.Inc()
+			return nil
+		}
+		s.failures.Inc()
+		_ = s.fail(last) // observe every failed attempt
+	}
+	return last
+}
+
+// post performs one delivery attempt.
+func (s *WebhookSink) post(client *http.Client, body []byte) error {
 	resp, err := client.Post(s.URL, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return s.fail(err)
+		return err
 	}
 	defer func() { _ = resp.Body.Close() }() // body already consumed; close error is inert
 	if resp.StatusCode >= 300 {
-		return s.fail(fmt.Errorf("runtime: webhook returned %s", resp.Status))
+		return fmt.Errorf("runtime: webhook returned %s", resp.Status)
 	}
 	return nil
 }
@@ -83,7 +143,7 @@ func (s *WebhookSink) fail(err error) error {
 
 // Forward consumes the monitor's alert channel, sending every alert to the
 // sink until the channel closes. Run it on its own goroutine; it returns
-// the number of alerts forwarded and how many failed.
+// the number of alerts forwarded and how many gave up after retries.
 func (s *WebhookSink) Forward(alerts <-chan Alert) (sent, failed int) {
 	for a := range alerts {
 		if err := s.Send(a); err != nil {

@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"nodesentry/internal/diagnose"
+	"nodesentry/internal/obs"
 )
 
 func sampleAlert() Alert {
@@ -97,5 +99,73 @@ func TestWebhookForward(t *testing.T) {
 	defer mu.Unlock()
 	if count != 3 {
 		t.Errorf("server saw %d", count)
+	}
+}
+
+// TestWebhookCounters asserts the delivery accounting satellite: attempts,
+// failures, retries, and deliveries all land in the registry.
+func TestWebhookCounters(t *testing.T) {
+	var mu sync.Mutex
+	failures := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failures > 0 {
+			failures--
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	sink := &WebhookSink{URL: srv.URL, MaxRetries: 3, RetryBackoff: time.Millisecond, Metrics: reg}
+	if err := sink.Send(sampleAlert()); err != nil {
+		t.Fatalf("send with retries: %v", err)
+	}
+	check := func(name string, want int64) {
+		t.Helper()
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("nodesentry_webhook_attempts_total", 3)  // 1 initial + 2 retries
+	check("nodesentry_webhook_failures_total", 2)  // the two 503s
+	check("nodesentry_webhook_retries_total", 2)   // re-attempts after them
+	check("nodesentry_webhook_delivered_total", 1) // the final success
+}
+
+// TestWebhookFailureCounters covers the give-up path: every attempt fails,
+// the send errors, and nothing counts as delivered.
+func TestWebhookFailureCounters(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	var observed int
+	sink := &WebhookSink{
+		URL: srv.URL, MaxRetries: 1, RetryBackoff: time.Millisecond,
+		Metrics: reg, OnError: func(error) { observed++ },
+	}
+	if err := sink.Send(sampleAlert()); err == nil {
+		t.Fatal("send must fail when every attempt fails")
+	}
+	if got := reg.Counter("nodesentry_webhook_attempts_total").Value(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if got := reg.Counter("nodesentry_webhook_failures_total").Value(); got != 2 {
+		t.Errorf("failures = %d, want 2", got)
+	}
+	if got := reg.Counter("nodesentry_webhook_retries_total").Value(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := reg.Counter("nodesentry_webhook_delivered_total").Value(); got != 0 {
+		t.Errorf("delivered = %d, want 0", got)
+	}
+	if observed != 2 {
+		t.Errorf("OnError observed %d failures, want 2", observed)
 	}
 }

@@ -103,6 +103,65 @@ func splitMetricLine(line string) (name, rest string, err error) {
 	return line[:brace], strings.TrimSpace(line[end+1:]), nil
 }
 
+// Series is one parsed exposition series: the full name{labels} key and
+// its value. Used to read back NodeSentry's own /metrics endpoint
+// (internal/obs), where — unlike node scrapes — several series share a
+// metric name and differ only in labels.
+type Series struct {
+	// Name is the bare metric name.
+	Name string
+	// Labels is the canonical `{k="v",…}` string ("" when unlabeled).
+	Labels string
+	// Value is the sample value.
+	Value float64
+}
+
+// Key returns the series' full identity, name plus labels.
+func (s Series) Key() string { return s.Name + s.Labels }
+
+// ParseSeries parses a text exposition body into its individual series,
+// keeping labels intact (ParseScrape collapses them, which is right for
+// single-node collector scrapes but loses the per-priority / per-stage
+// series of a registry exposition). Comment lines are skipped; duplicate
+// keys keep the last value, as a scraper would.
+func ParseSeries(text string) ([]Series, error) {
+	var out []Series
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, err := splitMetricLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: series line %d: %w", ln+1, err)
+		}
+		labels := ""
+		if brace := strings.IndexByte(line, '{'); brace >= 0 && brace < len(name)+1 {
+			end := strings.IndexByte(line, '}')
+			labels = line[brace : end+1]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("telemetry: series line %d: want value [timestamp]", ln+1)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: series line %d: bad value %q", ln+1, fields[0])
+		}
+		out = append(out, Series{Name: name, Labels: labels, Value: v})
+	}
+	return out, nil
+}
+
+// SeriesMap indexes parsed series by Key for assertion-style lookups.
+func SeriesMap(series []Series) map[string]float64 {
+	out := make(map[string]float64, len(series))
+	for _, s := range series {
+		out[s.Key()] = s.Value
+	}
+	return out
+}
+
 // NodeOf extracts the node label of a scrape body ("" when absent).
 func NodeOf(text string) string {
 	idx := strings.Index(text, `node="`)

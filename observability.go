@@ -1,0 +1,43 @@
+package nodesentry
+
+import (
+	"net/http"
+
+	"nodesentry/internal/obs"
+)
+
+// Observability types (internal/obs): a stdlib-only metrics registry with
+// Prometheus text exposition — the collector protocol the paper's §5.1
+// deployment assumes — plus span-style stage tracing for the offline
+// pipeline. Both are nil-safe: a nil registry or tracer disables all
+// instrumentation without changing any detection output.
+type (
+	// MetricsRegistry is the concurrent counter/gauge/histogram registry;
+	// pass it via MonitorConfig.Metrics and scrape it with ObsHandler.
+	MetricsRegistry = obs.Registry
+	// StageTracer records per-stage wall time, allocations and item
+	// counts; pass it via TrainInput.Trace.
+	StageTracer = obs.Tracer
+	// StageRecord is one completed stage span.
+	StageRecord = obs.StageRecord
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStageTracer builds a tracer mirroring stage spans into reg (nil keeps
+// records only).
+func NewStageTracer(reg *MetricsRegistry) *StageTracer { return obs.NewTracer(reg) }
+
+// ObsHandler builds the self-scrape endpoint: /metrics (Prometheus text
+// format), /healthz (the optional health check), and /debug/pprof/*.
+func ObsHandler(reg *MetricsRegistry, health func() error) http.Handler {
+	return obs.Handler(reg, health)
+}
+
+// ServeObs listens on addr and serves ObsHandler in the background,
+// returning the server (close it to stop) and the resolved address —
+// ":0" picks a free port.
+func ServeObs(addr string, reg *MetricsRegistry, health func() error) (*http.Server, string, error) {
+	return obs.Serve(addr, reg, health)
+}
