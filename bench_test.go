@@ -165,6 +165,17 @@ func BenchmarkPCAAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkGatewayThroughput times the full network ingestion path:
+// HTTP push -> decoder -> shard router -> scoring monitor, at 1/2/4
+// shards (see experiments.Gateway for the reported samples/s rows).
+func BenchmarkGatewayThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Gateway(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Deployment benchmarks (§5.1): the per-operation costs of the online
 // path, trained once outside the timed loop.
 

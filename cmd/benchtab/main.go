@@ -8,7 +8,7 @@
 //	benchtab -exp all -quick -json   # also write stage timings to BENCH_obs.json
 //
 // Experiments: table2 table3 table4 table5 fig1 fig4 fig6a fig6b fig6c
-// fig6d fig6e fig6f fig8 dtw incremental deploy all.
+// fig6d fig6e fig6f fig8 dtw incremental deploy gateway all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, all)")
+	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, all)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jsonOut := flag.Bool("json", false, "write per-experiment stage timings (wall, allocs, bytes) to BENCH_obs.json")
 	flag.Parse()
@@ -52,8 +52,9 @@ func main() {
 			_, err := experiments.Incremental(w, scale)
 			return err
 		},
-		"deploy": func() error { _, err := experiments.Deploy(w, scale); return err },
-		"gpu":    func() error { _, err := experiments.GPUExtension(w, scale); return err },
+		"deploy":  func() error { _, err := experiments.Deploy(w, scale); return err },
+		"gateway": func() error { _, err := experiments.Gateway(w, scale); return err },
+		"gpu":     func() error { _, err := experiments.GPUExtension(w, scale); return err },
 		"linkage": func() error {
 			_, err := experiments.LinkageAblation(w, scale)
 			return err
@@ -75,7 +76,7 @@ func main() {
 	order := []string{
 		"table2", "table3", "fig1", "fig4", "table4", "table5",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
-		"fig8", "dtw", "incremental", "deploy",
+		"fig8", "dtw", "incremental", "deploy", "gateway",
 		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
 	}
 

@@ -12,8 +12,9 @@ import (
 
 // TestConcurrentClients drives overlapping label/cancel/read/save/cluster
 // requests through a real HTTP server. The labeling store and cluster
-// session have no internal locking, so this test (run with -race in the
-// verify gate) is what pins the handler-level mutex discipline.
+// session lock internally, so this test (run with -race in the verify
+// gate) pins that the library-level locking keeps lock-free handlers
+// safe.
 func TestConcurrentClients(t *testing.T) {
 	tl := testTool(t)
 	srv := httptest.NewServer(tl.handler())

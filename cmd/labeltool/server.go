@@ -16,11 +16,12 @@ import (
 )
 
 // tool bundles the dataset, labeling session and (lazily built) cluster
-// session behind both front ends. Neither labeling.Store nor
-// labeling.ClusterSession locks internally, so every handler that touches
-// them goes through t.mu; the dataset itself is read-only after startup.
+// session behind both front ends. labeling.Store and
+// labeling.ClusterSession lock internally, so handlers call them
+// directly; t.mu only guards the lazy cluster-session build (and the
+// dataset is read-only after startup).
 type tool struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards cs initialization only
 	ds      *dataset.Dataset
 	store   *labeling.Store
 	workdir string
@@ -32,32 +33,15 @@ func newTool(ds *dataset.Dataset, store *labeling.Store, workdir string) *tool {
 }
 
 func (t *tool) save() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	return t.store.Save(t.workdir)
 }
 
-// labelsCopy snapshots a node's label intervals under t.mu so JSON encoding
-// can run unlocked without racing later mutations.
-func (t *tool) labelsCopy(node string) []mts.Interval {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]mts.Interval(nil), t.store.Labels()[node]...)
-}
-
-// clusters builds (or returns) the cluster session. The single-goroutine
-// CLI front end may keep using the returned session without the lock; the
-// HTTP handlers go through clustersLocked under t.mu instead.
+// clusters lazily builds the cluster session from the dataset's training
+// split (cleaned frames, job segmentation, feature extraction, HAC).
+// t.mu serializes the build; the returned session locks internally.
 func (t *tool) clusters() *labeling.ClusterSession {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.clustersLocked()
-}
-
-// clustersLocked lazily builds the cluster session from the dataset's
-// training split (cleaned frames, job segmentation, feature extraction,
-// HAC). Callers must hold t.mu.
-func (t *tool) clustersLocked() *labeling.ClusterSession {
 	if t.cs != nil {
 		return t.cs
 	}
@@ -169,7 +153,7 @@ func (t *tool) handleSeries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (t *tool) handleLabels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, t.labelsCopy(r.URL.Query().Get("node")))
+	writeJSON(w, t.store.NodeLabels(r.URL.Query().Get("node")))
 }
 
 type intervalRequest struct {
@@ -184,14 +168,11 @@ func (t *tool) handleLabel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	t.mu.Lock()
-	err := t.store.Label(req.Node, mts.Interval{Start: req.Start, End: req.End})
-	t.mu.Unlock()
-	if err != nil {
+	if err := t.store.Label(req.Node, mts.Interval{Start: req.Start, End: req.End}); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, t.labelsCopy(req.Node))
+	writeJSON(w, t.store.NodeLabels(req.Node))
 }
 
 func (t *tool) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -200,10 +181,8 @@ func (t *tool) handleCancel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	t.mu.Lock()
 	t.store.Cancel(req.Node, mts.Interval{Start: req.Start, End: req.End})
-	t.mu.Unlock()
-	writeJSON(w, t.labelsCopy(req.Node))
+	writeJSON(w, t.store.NodeLabels(req.Node))
 }
 
 func (t *tool) handleSuggest(w http.ResponseWriter, r *http.Request) {
@@ -224,8 +203,7 @@ type clustersResponse struct {
 }
 
 func (t *tool) handleClusters(w http.ResponseWriter, r *http.Request) {
-	t.mu.Lock()
-	cs := t.clustersLocked()
+	cs := t.clusters()
 	labels := cs.Labels()
 	resp := clustersResponse{K: cs.NumClusters(), Silhouette: cs.Silhouette(), Adjusted: cs.Adjusted()}
 	for i, seg := range cs.Segments {
@@ -237,7 +215,6 @@ func (t *tool) handleClusters(w http.ResponseWriter, r *http.Request) {
 			Cluster int    `json:"cluster"`
 		}{i, seg.Node, seg.Job, seg.Len(), labels[i]})
 	}
-	t.mu.Unlock()
 	writeJSON(w, resp)
 }
 
@@ -250,21 +227,16 @@ func (t *tool) handleMove(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	t.mu.Lock()
-	cs := t.clustersLocked()
+	cs := t.clusters()
 	if err := cs.Move(req.Segment, req.Cluster); err != nil {
-		t.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := cs.Save(t.workdir); err != nil {
-		t.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	sil := cs.Silhouette()
-	t.mu.Unlock()
-	writeJSON(w, map[string]any{"ok": true, "silhouette": sil})
+	writeJSON(w, map[string]any{"ok": true, "silhouette": cs.Silhouette()})
 }
 
 func (t *tool) handleSave(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,248 @@
+// Command sentryd runs the streaming ingestion gateway: a trained
+// detector behind runtime.Monitor, fed over the network instead of by the
+// in-process replay driver. It is the deployment loop of the paper's §5.1
+// (Fig. 7) as one daemon: telemetry arrives by push (POST /push with
+// Prometheus text exposition or JSONL batches) or by pull (a scrape
+// poller against a target list), a shard router fans the stream out to
+// the monitor under an explicit backpressure policy, and prioritized
+// alerts leave through a retrying webhook sink.
+//
+// Usage:
+//
+//	sentryd -data ./data/d1 -train -listen :9100 -obs-listen :9090
+//	sentryd -data ./data/d1 -model ./model.bin -scrape-targets http://host:9101/metrics
+//	curl --data-binary 'cpu{node="cn-1"} 0.5 60000' http://localhost:9100/push
+//
+// SIGINT/SIGTERM triggers a graceful drain: the intake server stops
+// accepting, the scraper finishes its sweep, the shard queues empty into
+// the monitor, and the alert consumer runs to completion.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"nodesentry"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+)
+
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+func main() {
+	data := flag.String("data", "", "dataset directory (required; supplies node layouts and, with -train, the training split)")
+	train := flag.Bool("train", false, "train a detector on the dataset's training split at startup")
+	modelPath := flag.String("model", "", "model file to load (or to save after -train)")
+	listen := flag.String("listen", ":9100", "push intake address (POST /push, GET /healthz)")
+	obsListen := flag.String("obs-listen", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+	shards := flag.Int("shards", 4, "shard router worker queues")
+	queue := flag.Int("queue", 256, "per-shard queue capacity")
+	policy := flag.String("policy", "block", "backpressure policy: block | drop-oldest")
+	scrapeTargets := flag.String("scrape-targets", "", "comma-separated /metrics URLs to poll (empty disables pull mode)")
+	scrapeInterval := flag.Duration("scrape-interval", 15*time.Second, "scrape sweep interval")
+	webhook := flag.String("webhook", "", "POST alerts to this URL (empty logs alerts only)")
+	webhookRetries := flag.Int("webhook-retries", 2, "extra webhook delivery attempts per alert")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "sentryd: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "sentryd: -data is required")
+		os.Exit(2)
+	}
+	var routerPolicy ingest.Policy
+	switch *policy {
+	case "block":
+		routerPolicy = ingest.Block
+	case "drop-oldest":
+		routerPolicy = ingest.DropOldest
+	default:
+		fmt.Fprintf(os.Stderr, "sentryd: bad -policy %q (want block or drop-oldest)\n", *policy)
+		os.Exit(2)
+	}
+
+	// The gateway is always instrumented; -obs-listen only controls
+	// whether the registry is additionally served for scraping.
+	reg := obs.NewRegistry()
+	if *obsListen != "" {
+		srv, addr, err := obs.Serve(*obsListen, reg, nil)
+		if err != nil {
+			fatal(logger, "obs server", "err", err)
+		}
+		defer func() { _ = srv.Close() }() // process exit; shutdown error is inert
+		logger.Info("observability listening", "addr", addr)
+	}
+
+	ds, err := nodesentry.ImportDataset(*data)
+	if err != nil {
+		fatal(logger, "load dataset", "dir", *data, "err", err)
+	}
+	logger.Info("dataset loaded", "summary", fmt.Sprint(ds.Summarize()))
+
+	det := loadOrTrain(logger, ds, *train, *modelPath)
+	mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{
+		Step: ds.Step, ScoringWorkers: 3, Metrics: reg, Logger: logger,
+	})
+	if err != nil {
+		fatal(logger, "monitor", "err", err)
+	}
+
+	// Alert consumer: every alert is logged; with -webhook each is also
+	// delivered through the retrying sink. Runs until Monitor.Close.
+	var sink *runtime.WebhookSink
+	if *webhook != "" {
+		sink = &runtime.WebhookSink{
+			URL: *webhook, MaxRetries: *webhookRetries,
+			Backoff: ingest.Backoff{Base: 200 * time.Millisecond},
+			Metrics: reg,
+		}
+	}
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range mon.Alerts() {
+			logger.Info("alert", "node", a.Node, "time", a.Time, "job", a.Job,
+				"score", a.Score, "level", a.Diagnosis.Level)
+			if sink != nil {
+				if err := sink.Send(a); err != nil {
+					logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
+				}
+			}
+		}
+	}()
+
+	// Gateway: decoder -> shard router -> monitor, with the dataset's
+	// frame layouts pre-registered so pushed metric names land in the
+	// exact column order the detector was trained on.
+	router := ingest.NewShardRouter(mon, ingest.RouterConfig{
+		Shards: *shards, QueueSize: *queue, Policy: routerPolicy,
+		Metrics: reg, Logger: logger,
+	})
+	dec := ingest.NewDecoder(router, ingest.DecoderConfig{Metrics: reg, Logger: logger})
+	for node, frame := range ds.Frames {
+		dec.Register(node, frame.Metrics)
+	}
+
+	intake := ingest.NewIntake(dec, ingest.IntakeConfig{Metrics: reg, Logger: logger})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(logger, "intake listen", "addr", *listen, "err", err)
+	}
+	srv := &http.Server{
+		Handler:           intake.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logger.Info("intake listening", "addr", ln.Addr().String(),
+		"shards", *shards, "queue", *queue, "policy", *policy)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	scrapeDone := make(chan struct{})
+	if *scrapeTargets == "" {
+		close(scrapeDone)
+	} else {
+		targets := strings.Split(*scrapeTargets, ",")
+		scraper := ingest.NewScraper(dec, ingest.ScrapeConfig{
+			Targets: targets, Interval: *scrapeInterval,
+			Metrics: reg, Logger: logger,
+		})
+		go func() {
+			defer close(scrapeDone)
+			scraper.Run(ctx)
+		}()
+		logger.Info("scraping", "targets", len(targets), "interval", *scrapeInterval)
+	}
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutdown signal received")
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(logger, "intake server", "err", err)
+		}
+	}
+
+	// Graceful drain, upstream to downstream: stop accepting, finish the
+	// scrape loop, empty the shard queues, close the monitor, and let the
+	// alert consumer finish the channel.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("intake shutdown", "err", err)
+	}
+	stop()
+	<-scrapeDone
+	if dropped := router.Drain(); dropped > 0 {
+		logger.Warn("shard queues dropped events", "dropped", dropped)
+	}
+	mon.Close()
+	consumer.Wait()
+	logger.Info("drained", "monitor_dropped", mon.Dropped())
+}
+
+// loadOrTrain resolves the detector from -model and/or -train, mirroring
+// cmd/nodesentry's startup.
+func loadOrTrain(logger *slog.Logger, ds *nodesentry.Dataset, train bool, modelPath string) *nodesentry.Detector {
+	if train {
+		det, err := nodesentry.Train(nodesentry.TrainInputFromDataset(ds), nodesentry.DefaultOptions())
+		if err != nil {
+			fatal(logger, "train", "err", err)
+		}
+		logger.Info("detector trained", "clusters", det.NumClusters())
+		if modelPath != "" {
+			f, err := os.Create(modelPath)
+			if err != nil {
+				fatal(logger, "create model file", "path", modelPath, "err", err)
+			}
+			if err := det.Save(f); err != nil {
+				fatal(logger, "save model", "path", modelPath, "err", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(logger, "close model file", "path", modelPath, "err", err)
+			}
+			logger.Info("model saved", "path", modelPath)
+		}
+		return det
+	}
+	if modelPath == "" {
+		fatal(logger, "a detector is required: pass -train or -model")
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		fatal(logger, "open model", "path", modelPath, "err", err)
+	}
+	det, err := nodesentry.LoadDetector(f)
+	_ = f.Close() // read-only; the load error below is the one that matters
+	if err != nil {
+		fatal(logger, "load model", "path", modelPath, "err", err)
+	}
+	logger.Info("model loaded", "path", modelPath, "clusters", det.NumClusters())
+	return det
+}

@@ -4,20 +4,41 @@
 // transitions arriving from the scheduler, and prioritized alerts with
 // fault-level diagnoses coming out the other end — the loop a production
 // operator would watch.
+//
+// With -serve-fleet it instead plays the fleet itself: the tiny
+// dataset's test split is served as a Prometheus /metrics endpoint (one
+// timestep per scrape, every node in one body), so cmd/sentryd in
+// scrape mode has something real to poll:
+//
+//	go run ./examples/livemonitor -serve-fleet :9101
+//	go run ./cmd/sentryd -data ./data/tiny -train \
+//	    -scrape-targets http://localhost:9101/metrics -scrape-interval 2s
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"nodesentry"
 )
 
 func main() {
+	serveFleet := flag.String("serve-fleet", "",
+		"serve the test split as a /metrics endpoint on this address instead of running the replay demo")
+	flag.Parse()
+
 	ds := nodesentry.BuildDataset(nodesentry.TinyDataset())
 	fmt.Println("dataset:", ds.Summarize())
+
+	if *serveFleet != "" {
+		serveFleetTelemetry(*serveFleet, ds)
+		return
+	}
 
 	// The observability loop: training stages trace into the registry, the
 	// monitor records its hot-path series there, and an operator (or a
@@ -97,4 +118,39 @@ func main() {
 			fmt.Println("  " + line)
 		}
 	}
+}
+
+// serveFleetTelemetry plays the compute fleet: every GET /metrics
+// returns one timestep of the test split for all nodes as a single
+// node-labelled exposition body, then advances, wrapping at the end of
+// the split. One sentryd scrape sweep therefore ingests one fleet-wide
+// sample, exactly as a federation scrape of per-node exporters would.
+func serveFleetTelemetry(addr string, ds *nodesentry.Dataset) {
+	test := ds.TestFrames()
+	nodes := ds.Nodes()
+	maxLen := 0
+	for _, f := range test {
+		if f.Len() > maxLen {
+			maxLen = f.Len()
+		}
+	}
+	var mu sync.Mutex
+	step := 0
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		t := step
+		step = (step + 1) % maxLen
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, node := range nodes {
+			if f := test[node]; t < f.Len() {
+				if _, err := fmt.Fprint(w, nodesentry.FormatScrape(f, t)); err != nil {
+					return
+				}
+			}
+		}
+	})
+	fmt.Printf("serving %d nodes × %d test samples at http://localhost%s/metrics (one timestep per scrape)\n",
+		len(nodes), maxLen, addr)
+	log.Fatal(http.ListenAndServe(addr, nil))
 }

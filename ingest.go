@@ -1,0 +1,81 @@
+package nodesentry
+
+import (
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/telemetry"
+)
+
+// Ingestion-gateway types (internal/ingest): the network tier of the
+// §5.1 deployment loop, between "telemetry exists on the fleet" and
+// "the monitor scores it" — push/pull intake, sharded fan-out with
+// backpressure, and the agent-side batching forwarder.
+type (
+	// IngestSink is the downstream contract of every gateway stage;
+	// *Monitor, *ShardRouter and *Forwarder all implement it.
+	IngestSink = ingest.Sink
+	// ShardRouter consistently hashes nodes onto bounded worker queues.
+	ShardRouter = ingest.ShardRouter
+	// RouterConfig parameterizes a ShardRouter.
+	RouterConfig = ingest.RouterConfig
+	// BackpressurePolicy selects what a full shard queue does.
+	BackpressurePolicy = ingest.Policy
+	// IngestDecoder turns exposition or JSONL bodies into sink calls.
+	IngestDecoder = ingest.Decoder
+	// DecoderConfig parameterizes an IngestDecoder.
+	DecoderConfig = ingest.DecoderConfig
+	// Intake is the HTTP push server (POST /push).
+	Intake = ingest.Intake
+	// IntakeConfig parameterizes an Intake.
+	IntakeConfig = ingest.IntakeConfig
+	// Scraper polls /metrics targets on an interval.
+	Scraper = ingest.Scraper
+	// ScrapeConfig parameterizes a Scraper.
+	ScrapeConfig = ingest.ScrapeConfig
+	// Forwarder is the agent-side batching client with retry/backoff.
+	Forwarder = ingest.Forwarder
+	// ForwarderConfig parameterizes a Forwarder.
+	ForwarderConfig = ingest.ForwarderConfig
+	// Backoff is the shared exponential-backoff-with-jitter policy.
+	Backoff = ingest.Backoff
+)
+
+// Backpressure policies for RouterConfig.Policy.
+const (
+	// BlockOnFull applies backpressure to the producer (lossless).
+	BlockOnFull = ingest.Block
+	// DropOldestOnFull evicts the queue head so fresh samples win.
+	DropOldestOnFull = ingest.DropOldest
+)
+
+// NewShardRouter fans sink calls out over consistent-hashed worker
+// queues; call Drain for a graceful stop.
+func NewShardRouter(sink IngestSink, cfg RouterConfig) *ShardRouter {
+	return ingest.NewShardRouter(sink, cfg)
+}
+
+// NewIngestDecoder builds the shared wire-format decoder feeding sink.
+func NewIngestDecoder(sink IngestSink, cfg DecoderConfig) *IngestDecoder {
+	return ingest.NewDecoder(sink, cfg)
+}
+
+// NewIntake builds the push intake server around a decoder.
+func NewIntake(dec *IngestDecoder, cfg IntakeConfig) *Intake {
+	return ingest.NewIntake(dec, cfg)
+}
+
+// NewScraper builds the pull poller around a decoder.
+func NewScraper(dec *IngestDecoder, cfg ScrapeConfig) *Scraper {
+	return ingest.NewScraper(dec, cfg)
+}
+
+// NewForwarder builds the agent-side batching client; Close drains it.
+func NewForwarder(cfg ForwarderConfig) *Forwarder {
+	return ingest.NewForwarder(cfg)
+}
+
+// FormatScrape renders a frame's sample at index t as a Prometheus text
+// exposition body with a `node` label and millisecond timestamps — what
+// a per-node exporter serves and what Scraper/IngestDecoder read back.
+func FormatScrape(f *NodeFrame, t int) string {
+	return telemetry.FormatScrape(f, t)
+}

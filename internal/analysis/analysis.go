@@ -50,6 +50,7 @@ func Checks() []Check {
 		checkErrDrop,
 		checkLibPanic,
 		checkLockSafe,
+		checkUnboundedGoroutine,
 	}
 }
 

@@ -22,6 +22,7 @@ var fixtureChecks = []struct {
 	{"errdrop", "errdrop"},
 	{"libpanic", "libpanic"},
 	{"locksafe", "locksafe"},
+	{"unboundedgoroutine", "unboundedgoroutine"},
 	{"suppress", "floatcmp"},
 }
 
@@ -115,7 +116,7 @@ func TestExpandSkipsTestdata(t *testing.T) {
 
 // TestCheckRegistry pins the advertised check set.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"floatcmp", "globalrand", "errdrop", "libpanic", "locksafe"}
+	want := []string{"floatcmp", "globalrand", "errdrop", "libpanic", "locksafe", "unboundedgoroutine"}
 	got := CheckNames()
 	if len(got) != len(want) {
 		t.Fatalf("CheckNames() = %v, want %v", got, want)

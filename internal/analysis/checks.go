@@ -349,6 +349,92 @@ var checkLockSafe = Check{
 	},
 }
 
+// ---- unboundedgoroutine ----
+//
+// A goroutine started in library code with no visible stop signal can
+// never be shut down: the monitor and the ingestion gateway run inside
+// long-lived services, so every background goroutine must be cancelable
+// or joinable. A goroutine is accepted when its arguments (for any call)
+// or its body (for func literals) reference a shutdown carrier — a
+// context.Context, a channel (any send/receive/range/select or a
+// channel-typed identifier), or a sync.WaitGroup. Deliberately
+// process-lived goroutines may be suppressed explicitly with a reason.
+
+var checkUnboundedGoroutine = Check{
+	Name: "unboundedgoroutine",
+	Doc:  "flags go statements in internal/* with no stop signal (context, channel, or WaitGroup) in scope",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		if !strings.Contains("/"+pkg.ImportPath+"/", "/internal/") {
+			return
+		}
+		inspectFiles(pkg, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineHasStopSignal(pkg, gs.Call) {
+				report(gs.Go, "goroutine has no stop signal (no context, channel, or WaitGroup in scope); thread one through so it can shut down")
+			}
+			return true
+		})
+	},
+}
+
+// goroutineHasStopSignal reports whether the spawned call can observe a
+// shutdown: a stop carrier among its arguments, or (for func literals)
+// a channel operation, context reference, or WaitGroup use in the body.
+func goroutineHasStopSignal(pkg *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isStopCarrier(pkg.Info.Types[arg].Type) {
+			return true
+		}
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil && isStopCarrier(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopCarrier reports whether t can carry a shutdown signal: a channel,
+// a context.Context, or a (pointer to) sync.WaitGroup.
+func isStopCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	pkgPath, name := namedRecv(t)
+	return (pkgPath == "context" && name == "Context") ||
+		(pkgPath == "sync" && name == "WaitGroup")
+}
+
 func checkLockBalance(pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
 	type lockUse struct {
 		pos  token.Pos

@@ -1,0 +1,60 @@
+// Package fixunbounded triggers only the unboundedgoroutine check.
+package fixunbounded
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func pump(ch chan int) { <-ch }
+
+// spawnBad starts goroutines that nothing can ever stop.
+func spawnBad() {
+	go work()   // finding
+	go func() { // finding
+		for {
+			work()
+		}
+	}()
+}
+
+// goodArgs hands the spawned function a channel it can block on.
+func goodArgs(ch chan int) {
+	go pump(ch)
+}
+
+// goodCtx watches a context inside the literal body.
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goodWait joins through a WaitGroup.
+func goodWait(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// goodSelect blocks on a quit channel in a select.
+func goodSelect(quit chan struct{}) {
+	go func() {
+		select {
+		case <-quit:
+		}
+	}()
+}
+
+// goodRange drains a channel until the producer closes it.
+func goodRange(events chan int) {
+	go func() {
+		for range events {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"nodesentry"
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/runtime"
+)
+
+// GatewayRow is one shard-count measurement of the ingestion gateway.
+type GatewayRow struct {
+	Shards  int
+	Samples int
+	Wall    time.Duration
+	PerSec  float64
+}
+
+// GatewayResult holds the streaming-gateway throughput measurements:
+// samples/second through the full network path (HTTP push -> decoder ->
+// shard router -> scoring monitor) at increasing shard counts.
+type GatewayResult struct {
+	Rows []GatewayRow
+}
+
+// Gateway measures end-to-end ingestion throughput of the §5.1 gateway.
+// It trains a detector, pre-encodes the test split as JSONL push bodies,
+// and replays them through a live httptest intake server at 1, 2, and 4
+// router shards under the lossless Block policy, timing first push to
+// queue drain.
+func Gateway(w io.Writer, s Scale) (GatewayResult, error) {
+	ds := datasets(s)[0]
+	det, err := core.Train(nodesentry.TrainInputFromDataset(ds), options(s))
+	if err != nil {
+		return GatewayResult{}, err
+	}
+
+	bodies, total, err := gatewayBodies(ds)
+	if err != nil {
+		return GatewayResult{}, err
+	}
+
+	res := GatewayResult{}
+	pr := &report{w: w}
+	pr.println("Ingestion gateway throughput (§5.1)")
+	for _, shards := range []int{1, 2, 4} {
+		row, err := gatewayRun(det, ds, shards, bodies, total)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+		pr.printf("  shards=%d  %6d samples in %-10v %10.0f samples/s\n",
+			row.Shards, row.Samples, row.Wall.Round(time.Millisecond), row.PerSec)
+	}
+	return res, pr.Err()
+}
+
+// gatewayBatchLines caps the sample lines per push body so a run issues
+// many requests (exercising the HTTP path) rather than one giant POST.
+const gatewayBatchLines = 200
+
+// gatewayBodies encodes the dataset's test split as JSONL push bodies of
+// at most gatewayBatchLines sample lines each, interleaved across nodes
+// timestep-by-timestep so consecutive samples hash to different shards.
+// Returns the bodies and the total sample count.
+func gatewayBodies(ds *dataset.Dataset) ([]string, int, error) {
+	test := ds.TestFrames()
+	nodes := ds.Nodes()
+	maxLen := 0
+	for _, f := range test {
+		if f.Len() > maxLen {
+			maxLen = f.Len()
+		}
+	}
+	var (
+		bodies []string
+		b      strings.Builder
+		lines  int
+		total  int
+	)
+	flush := func() {
+		if lines > 0 {
+			bodies = append(bodies, b.String())
+			b.Reset()
+			lines = 0
+		}
+	}
+	for t := 0; t < maxLen; t++ {
+		for _, node := range nodes {
+			f := test[node]
+			if t >= f.Len() {
+				continue
+			}
+			vec := f.Window(t)
+			vals := make([]ingest.JSONFloat, len(vec))
+			for i, v := range vec {
+				vals[i] = ingest.JSONFloat(v)
+			}
+			raw, err := json.Marshal(ingest.Line{Node: node, Time: f.TimeAt(t), Values: vals})
+			if err != nil {
+				return nil, 0, err
+			}
+			b.Write(raw)
+			b.WriteByte('\n')
+			lines++
+			total++
+			if lines == gatewayBatchLines {
+				flush()
+			}
+		}
+	}
+	flush()
+	return bodies, total, nil
+}
+
+// gatewayRun stands up one monitor-backed gateway at the given shard
+// count, replays the pre-encoded bodies over HTTP, and times first push
+// to queue drain.
+func gatewayRun(det *core.Detector, ds *dataset.Dataset, shards int, bodies []string, total int) (GatewayRow, error) {
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2})
+	if err != nil {
+		return GatewayRow{}, err
+	}
+	alertsDone := make(chan struct{})
+	go func(alerts <-chan runtime.Alert) {
+		defer close(alertsDone)
+		for range alerts {
+		}
+	}(mon.Alerts())
+
+	router := ingest.NewShardRouter(mon, ingest.RouterConfig{
+		Shards: shards, QueueSize: 512, Policy: ingest.Block,
+	})
+	dec := ingest.NewDecoder(router, ingest.DecoderConfig{})
+	for _, node := range ds.Nodes() {
+		dec.Register(node, ds.Frames[node].Metrics)
+	}
+	intake := ingest.NewIntake(dec, ingest.IntakeConfig{})
+	srv := httptest.NewServer(intake.Handler())
+	defer srv.Close()
+
+	t0 := time.Now()
+	for _, body := range bodies {
+		resp, err := http.Post(srv.URL+"/push", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			return GatewayRow{}, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return GatewayRow{}, fmt.Errorf("gateway: push status %d, want %d", resp.StatusCode, http.StatusAccepted)
+		}
+	}
+	router.Drain()
+	wall := time.Since(t0)
+	mon.Close()
+	<-alertsDone
+
+	row := GatewayRow{Shards: shards, Samples: total, Wall: wall}
+	if secs := wall.Seconds(); secs > 0 {
+		row.PerSec = float64(total) / secs
+	}
+	return row, nil
+}

@@ -1,0 +1,242 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"nodesentry/internal/obs"
+	"nodesentry/internal/telemetry"
+)
+
+// DecoderConfig parameterizes a Decoder.
+type DecoderConfig struct {
+	// Metrics, when non-nil, receives decode counters (samples, jobs,
+	// parse errors, auto-registrations, clock fallbacks).
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives decode warnings.
+	Logger *slog.Logger
+	// Now supplies fallback timestamps (Unix seconds) for samples whose
+	// wire form carried none. Defaults to the wall clock; tests inject.
+	Now func() int64
+}
+
+// Decoder turns wire telemetry — Prometheus text exposition or JSONL
+// batches — into Sink calls. It remembers each node's ordered metric
+// layout: layouts arrive explicitly (Register, or a JSONL metrics
+// line), and a sample for an unknown node auto-registers its sorted
+// metric names. Exposition samples are re-ordered into the layout, with
+// NaN for metrics a scrape dropped, exactly like
+// telemetry.VectorFromScrape. Safe for concurrent use; per-node event
+// order follows call order (Intake and Scraper push bodies in order).
+type Decoder struct {
+	sink Sink
+	cfg  DecoderConfig
+
+	mu      sync.Mutex
+	layouts map[string][]string
+
+	samples       *obs.Counter
+	jobs          *obs.Counter
+	parseErrs     *obs.Counter
+	autoReg       *obs.Counter
+	skipped       *obs.Counter
+	unknown       *obs.Counter
+	clockFallback *obs.Counter
+}
+
+// NewDecoder wraps a sink.
+func NewDecoder(sink Sink, cfg DecoderConfig) *Decoder {
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().Unix() }
+	}
+	r := cfg.Metrics
+	return &Decoder{
+		sink:          sink,
+		cfg:           cfg,
+		layouts:       map[string][]string{},
+		samples:       r.Counter("nodesentry_intake_samples_total"),
+		jobs:          r.Counter("nodesentry_intake_jobs_total"),
+		parseErrs:     r.Counter("nodesentry_intake_parse_errors_total"),
+		autoReg:       r.Counter("nodesentry_intake_autoregistered_total"),
+		skipped:       r.Counter("nodesentry_intake_skipped_series_total"),
+		unknown:       r.Counter("nodesentry_intake_unknown_metrics_total"),
+		clockFallback: r.Counter("nodesentry_intake_clock_fallback_total"),
+	}
+}
+
+// Register declares a node's ordered metric layout ahead of samples —
+// what cmd/sentryd does for every node of its training dataset, so
+// exposition pushes score against the exact layout the detector was
+// trained on rather than an auto-registered sorted one.
+func (d *Decoder) Register(node string, metrics []string) {
+	layout := append([]string(nil), metrics...)
+	d.mu.Lock()
+	d.layouts[node] = layout
+	d.mu.Unlock()
+	d.sink.RegisterNode(node, layout)
+}
+
+// PushExposition decodes one Prometheus text body. Series need a node
+// label (others are counted and skipped — a self-scrape of the obs
+// registry decodes to nothing, harmlessly); consecutive series sharing
+// (node, timestamp) form one sample vector, and JobTransitionSeries
+// lines become ObserveJob calls in body order. Returns the number of
+// samples ingested.
+func (d *Decoder) PushExposition(text string) (int, error) {
+	series, err := telemetry.ParseSeries(text)
+	if err != nil {
+		d.parseErrs.Inc()
+		return 0, err
+	}
+	type groupKey struct {
+		node string
+		tsMs int64
+	}
+	var (
+		n      int
+		curKey groupKey
+		cur    map[string]float64
+	)
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		ts := curKey.tsMs / 1000
+		if curKey.tsMs == 0 {
+			ts = d.cfg.Now()
+			d.clockFallback.Inc()
+		}
+		d.sample(curKey.node, ts, cur)
+		n++
+		cur = nil
+	}
+	for _, s := range series {
+		node := telemetry.LabelValue(s.Labels, "node")
+		if node == "" {
+			d.skipped.Inc()
+			continue
+		}
+		if s.Name == JobTransitionSeries {
+			flush()
+			start := s.TimeMs / 1000
+			if s.TimeMs == 0 {
+				start = d.cfg.Now()
+				d.clockFallback.Inc()
+			}
+			d.sink.ObserveJob(node, int64(s.Value), start)
+			d.jobs.Inc()
+			continue
+		}
+		k := groupKey{node: node, tsMs: s.TimeMs}
+		if cur != nil && k != curKey {
+			flush()
+		}
+		if cur == nil {
+			cur = map[string]float64{}
+			curKey = k
+		}
+		cur[s.Name] = s.Value
+	}
+	flush()
+	return n, nil
+}
+
+// sample maps a name→value set into the node's layout and ingests it.
+func (d *Decoder) sample(node string, ts int64, vals map[string]float64) {
+	layout := d.layoutOf(node, vals)
+	vec := make([]float64, len(layout))
+	matched := 0
+	for i, name := range layout {
+		if v, ok := vals[name]; ok {
+			vec[i] = v
+			matched++
+		} else {
+			vec[i] = math.NaN()
+		}
+	}
+	if extra := len(vals) - matched; extra > 0 {
+		d.unknown.Add(int64(extra))
+	}
+	d.sink.Ingest(node, ts, vec)
+	d.samples.Inc()
+}
+
+// layoutOf returns the node's layout, auto-registering the sorted
+// metric names of this first sample for nodes never declared.
+func (d *Decoder) layoutOf(node string, vals map[string]float64) []string {
+	d.mu.Lock()
+	if l, ok := d.layouts[node]; ok {
+		d.mu.Unlock()
+		return l
+	}
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	d.layouts[node] = names
+	d.mu.Unlock()
+	d.autoReg.Inc()
+	if d.cfg.Logger != nil {
+		d.cfg.Logger.Debug("auto-registered node", "node", node, "metrics", len(names))
+	}
+	d.sink.RegisterNode(node, names)
+	return names
+}
+
+// PushJSONL decodes a stream of Line records (see Line for the wire
+// shapes). Lines are applied as they decode; the first malformed line
+// aborts with its line number, everything before it already ingested.
+// Returns the number of sample lines ingested.
+func (d *Decoder) PushJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n, ln := 0, 0
+	for sc.Scan() {
+		ln++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var l Line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			d.parseErrs.Inc()
+			return n, fmt.Errorf("ingest: jsonl line %d: %w", ln, err)
+		}
+		switch {
+		case l.Node == "":
+			d.parseErrs.Inc()
+			return n, fmt.Errorf("ingest: jsonl line %d: missing node", ln)
+		case len(l.Metrics) > 0:
+			d.Register(l.Node, l.Metrics)
+		case l.Job != nil:
+			d.sink.ObserveJob(l.Node, *l.Job, l.Start)
+			d.jobs.Inc()
+		case l.Values != nil:
+			ts := l.Time
+			if ts == 0 {
+				ts = d.cfg.Now()
+				d.clockFallback.Inc()
+			}
+			d.sink.Ingest(l.Node, ts, floats(l.Values))
+			d.samples.Inc()
+			n++
+		default:
+			d.parseErrs.Inc()
+			return n, fmt.Errorf("ingest: jsonl line %d: no metrics, job, or values", ln)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		d.parseErrs.Inc()
+		return n, fmt.Errorf("ingest: jsonl: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"nodesentry/internal/obs"
+)
+
+func testDecoder(sink Sink, reg *obs.Registry) *Decoder {
+	return NewDecoder(sink, DecoderConfig{
+		Metrics: reg,
+		Now:     func() int64 { return 9999 }, // deterministic fallback clock
+	})
+}
+
+func TestDecoderExpositionGrouping(t *testing.T) {
+	sink := &recordSink{}
+	dec := testDecoder(sink, nil)
+	dec.Register("cn-1", []string{"cpu", "mem"})
+	// Two timesteps with a job transition between them, mem omitted at
+	// the second step (a dropped collector).
+	body := strings.Join([]string{
+		`cpu{node="cn-1"} 0.5 60000`,
+		`mem{node="cn-1"} 100 60000`,
+		`nodesentry_job_transition{node="cn-1"} 7 120000`,
+		`cpu{node="cn-1"} 0.75 120000`,
+	}, "\n")
+	n, err := dec.PushExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ingested %d samples, want 2", n)
+	}
+	got := sink.all()
+	want := []string{
+		"reg cn-1 [cpu mem]",
+		"ing cn-1 60 [0.5 100]",
+		"job cn-1 7 120",
+		"ing cn-1 120 [0.75 NaN]",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecoderAutoRegisterSorted(t *testing.T) {
+	sink := &recordSink{}
+	reg := obs.NewRegistry()
+	dec := testDecoder(sink, reg)
+	n, err := dec.PushExposition("zz{node=\"n\"} 1 1000\naa{node=\"n\"} 2 1000\n")
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got := sink.all()
+	if got[0] != "reg n [aa zz]" {
+		t.Errorf("auto-registration = %q, want sorted [aa zz]", got[0])
+	}
+	if got[1] != "ing n 1 [2 1]" {
+		t.Errorf("sample = %q, want layout order [2 1]", got[1])
+	}
+	if v := reg.Counter("nodesentry_intake_autoregistered_total").Value(); v != 1 {
+		t.Errorf("autoregistered counter = %d, want 1", v)
+	}
+}
+
+func TestDecoderSkipsAndCounts(t *testing.T) {
+	sink := &recordSink{}
+	reg := obs.NewRegistry()
+	dec := testDecoder(sink, reg)
+	dec.Register("n", []string{"cpu"})
+	// A registry self-scrape has no node labels: skipped, not an error.
+	if n, err := dec.PushExposition("up 1\nhttp_requests_total{code=\"200\"} 7\n"); err != nil || n != 0 {
+		t.Fatalf("self-scrape n=%d err=%v", n, err)
+	}
+	if v := reg.Counter("nodesentry_intake_skipped_series_total").Value(); v != 2 {
+		t.Errorf("skipped = %d, want 2", v)
+	}
+	// A metric outside the registered layout is counted, not ingested.
+	if _, err := dec.PushExposition("cpu{node=\"n\"} 1 1000\nrogue{node=\"n\"} 2 1000\n"); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("nodesentry_intake_unknown_metrics_total").Value(); v != 1 {
+		t.Errorf("unknown metrics = %d, want 1", v)
+	}
+	// A timestamp-free sample falls back to the injected clock.
+	if _, err := dec.PushExposition("cpu{node=\"n\"} 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("nodesentry_intake_clock_fallback_total").Value(); v != 1 {
+		t.Errorf("clock fallbacks = %d, want 1", v)
+	}
+	events := sink.forNode("n")
+	last := events[len(events)-1]
+	if last != "ing n 9999 [3]" {
+		t.Errorf("fallback sample = %q, want ing n 9999 [3]", last)
+	}
+	// A malformed body errors and is counted.
+	if _, err := dec.PushExposition("cpu{node=\"n\" 1"); err == nil {
+		t.Error("unterminated labels accepted")
+	}
+	if v := reg.Counter("nodesentry_intake_parse_errors_total").Value(); v != 1 {
+		t.Errorf("parse errors = %d, want 1", v)
+	}
+}
+
+func TestDecoderJSONL(t *testing.T) {
+	sink := &recordSink{}
+	dec := testDecoder(sink, nil)
+	batch := strings.Join([]string{
+		`{"node":"cn-2","metrics":["cpu","mem"]}`,
+		`{"node":"cn-2","job":5,"start":100}`,
+		`{"node":"cn-2","time":160,"values":[0.25,"NaN"]}`,
+		``,
+		`{"node":"cn-2","time":220,"values":["+Inf",3]}`,
+	}, "\n")
+	n, err := dec.PushJSONL(strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ingested %d samples, want 2", n)
+	}
+	want := []string{
+		"reg cn-2 [cpu mem]",
+		"job cn-2 5 100",
+		"ing cn-2 160 [0.25 NaN]",
+		"ing cn-2 220 [+Inf 3]",
+	}
+	got := sink.all()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecoderJSONLErrors(t *testing.T) {
+	for _, tc := range []struct{ name, body string }{
+		{"not json", "nope\n"},
+		{"missing node", `{"time":1,"values":[1]}` + "\n"},
+		{"empty line shape", `{"node":"n"}` + "\n"},
+		{"bad value", `{"node":"n","time":1,"values":["wat"]}` + "\n"},
+	} {
+		dec := testDecoder(&recordSink{}, nil)
+		if _, err := dec.PushJSONL(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Lines before the bad one are already applied.
+	sink := &recordSink{}
+	dec := testDecoder(sink, nil)
+	body := `{"node":"n","metrics":["m"]}` + "\n" + `{"node":"n","time":5,"values":[1]}` + "\ngarbage\n"
+	n, err := dec.PushJSONL(strings.NewReader(body))
+	if err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if n != 1 || len(sink.all()) != 2 {
+		t.Errorf("applied %d samples, %d events before failing; want 1, 2", n, len(sink.all()))
+	}
+}
+
+func TestDecoderVectorNaNSemantics(t *testing.T) {
+	sink := &recordSink{}
+	dec := testDecoder(sink, nil)
+	dec.Register("n", []string{"a", "b", "c"})
+	if _, err := dec.PushExposition("b{node=\"n\"} 2 1000\n"); err != nil {
+		t.Fatal(err)
+	}
+	ev := sink.all()[1]
+	if !strings.Contains(ev, "[NaN 2 NaN]") {
+		t.Errorf("missing metrics not NaN-filled: %q", ev)
+	}
+}

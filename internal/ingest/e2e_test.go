@@ -1,0 +1,387 @@
+package ingest_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+	"nodesentry/internal/telemetry"
+)
+
+var (
+	fixtureDS  *dataset.Dataset
+	fixtureDet *core.Detector
+)
+
+// fixture trains one small detector per test binary, mirroring the
+// runtime package's fixture (we cannot import its test helpers).
+func fixture(t *testing.T) (*dataset.Dataset, *core.Detector) {
+	t.Helper()
+	if fixtureDS != nil {
+		return fixtureDS, fixtureDet
+	}
+	ds := dataset.Build(dataset.Tiny())
+	opts := core.DefaultOptions()
+	opts.Epochs = 4
+	opts.MaxWindowsPerCluster = 60
+	in := core.TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: map[string][]int{},
+	}
+	for sem, rows := range telemetry.SemanticIndex(ds.Catalog) {
+		in.SemanticGroups[sem] = rows
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	det, err := core.Train(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureDS, fixtureDet = ds, det
+	return ds, det
+}
+
+// collect drains a monitor's alert stream on a goroutine; the returned
+// func waits for channel close and hands back everything, canonically
+// sorted and formatted — the byte-identity unit of this test.
+func collect(m *runtime.Monitor) func() []string {
+	var mu sync.Mutex
+	var out []runtime.Alert
+	done := make(chan struct{})
+	go func() {
+		for a := range m.Alerts() {
+			mu.Lock()
+			out = append(out, a)
+			mu.Unlock()
+		}
+		close(done)
+	}()
+	return func() []string {
+		<-done
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Time != out[j].Time {
+				return out[i].Time < out[j].Time
+			}
+			return out[i].Node < out[j].Node
+		})
+		lines := make([]string, len(out))
+		for i, a := range out {
+			lines[i] = fmt.Sprintf("%+v", a)
+		}
+		return lines
+	}
+}
+
+const (
+	e2eJob1 = 77
+	e2eJob2 = 78
+)
+
+// views returns each node's test-window frame slice.
+func views(ds *dataset.Dataset) (map[string]*mts.NodeFrame, []string) {
+	out := map[string]*mts.NodeFrame{}
+	for _, node := range ds.Nodes() {
+		f := ds.Frames[node]
+		out[node] = f.Slice(f.IndexOf(ds.SplitTime()), f.Len())
+	}
+	return out, ds.Nodes()
+}
+
+// feedDirect drives the monitor in-process with the canonical event
+// sequence: register, job at window start, a mid-window transition,
+// every sample vector.
+func feedDirect(m *runtime.Monitor, view *mts.NodeFrame, node string) {
+	m.RegisterNode(node, view.Metrics)
+	m.ObserveJob(node, e2eJob1, view.TimeAt(0))
+	mid := view.Len() / 2
+	for t2 := 0; t2 < view.Len(); t2++ {
+		if t2 == mid {
+			m.ObserveJob(node, e2eJob2, view.TimeAt(t2))
+		}
+		m.Ingest(node, view.TimeAt(t2), view.Window(t2))
+	}
+}
+
+// expositionBody renders the identical event sequence as Prometheus
+// text: job-transition series in stream position, one scrape block per
+// timestep.
+func expositionBody(view *mts.NodeFrame, node string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{node=%q} %d %d\n", ingest.JobTransitionSeries, node, e2eJob1, view.TimeAt(0)*1000)
+	mid := view.Len() / 2
+	for t2 := 0; t2 < view.Len(); t2++ {
+		if t2 == mid {
+			fmt.Fprintf(&b, "%s{node=%q} %d %d\n", ingest.JobTransitionSeries, node, e2eJob2, view.TimeAt(t2)*1000)
+		}
+		b.WriteString(telemetry.FormatScrape(view, t2))
+	}
+	return b.String()
+}
+
+// gateway assembles decoder → shard router → monitor with explicit
+// pre-registered layouts, the way cmd/sentryd wires them.
+func gateway(t *testing.T, det *core.Detector, ds *dataset.Dataset, reg *obs.Registry) (*runtime.Monitor, *ingest.ShardRouter, *ingest.Decoder, func() []string) {
+	t.Helper()
+	m, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := collect(m)
+	router := ingest.NewShardRouter(m, ingest.RouterConfig{Shards: 4, QueueSize: 512, Policy: ingest.Block, Metrics: reg})
+	dec := ingest.NewDecoder(router, ingest.DecoderConfig{
+		Metrics: reg,
+		// Every pushed sample carries a timestamp; hitting the fallback
+		// clock would silently break byte-identity, so make it loud.
+		Now: func() int64 { return -12345 },
+	})
+	vw, nodes := views(ds)
+	for _, node := range nodes {
+		dec.Register(node, vw[node].Metrics)
+	}
+	return m, router, dec, wait
+}
+
+// TestGatewayEndToEndEquivalence is the acceptance test of the
+// ingestion tier: the same synthetic exposition pushed over HTTP (and,
+// separately, scraped from an exporter endpoint) through decoder →
+// shard router → Monitor must yield byte-identical alerts to direct
+// in-process Ingest of the same samples, with fan-out over >= 2 shards
+// and forced backpressure drops accounted in /metrics.
+func TestGatewayEndToEndEquivalence(t *testing.T) {
+	ds, det := fixture(t)
+	vw, nodes := views(ds)
+
+	// Baseline: direct in-process ingestion.
+	direct, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDirect := collect(direct)
+	for _, node := range nodes {
+		feedDirect(direct, vw[node], node)
+	}
+	direct.Close()
+	want := waitDirect()
+	if len(want) == 0 {
+		t.Fatal("direct replay of the fault-injected window raised no alerts")
+	}
+
+	// Push path: the same stream as exposition bodies over POST /push.
+	reg := obs.NewRegistry()
+	pushMon, router, dec, waitPush := gateway(t, det, ds, reg)
+	intake := ingest.NewIntake(dec, ingest.IntakeConfig{Metrics: reg})
+	srv := httptest.NewServer(intake.Handler())
+	defer srv.Close()
+	for i, node := range nodes {
+		// Exercise both plain and gzipped pushes.
+		resp := postBody(t, srv.URL+"/push", expositionBody(vw[node], node), i%2 == 0)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("push %s: %s", node, resp.Status)
+		}
+	}
+	if d := router.Drain(); d != 0 {
+		t.Fatalf("blocking router dropped %d events", d)
+	}
+	pushMon.Close()
+	got := waitPush()
+	diffAlerts(t, "push", got, want)
+
+	// Shard fan-out: the node set must spread over >= 2 shards.
+	busy := 0
+	for _, n := range router.ShardLoads() {
+		if n > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("gateway used %d shards, want >= 2", busy)
+	}
+
+	// Forced backpressure: a stalled consumer behind a 1-slot DropOldest
+	// shard must shed load, and the shed must be visible in /metrics.
+	stall := &stallSink{gate: make(chan struct{})}
+	lossy := ingest.NewShardRouter(stall, ingest.RouterConfig{Shards: 1, QueueSize: 1, Policy: ingest.DropOldest, Metrics: reg})
+	lossyDec := ingest.NewDecoder(lossy, ingest.DecoderConfig{Metrics: reg})
+	lossyIntake := ingest.NewIntake(lossyDec, ingest.IntakeConfig{Metrics: reg})
+	lossySrv := httptest.NewServer(lossyIntake.Handler())
+	defer lossySrv.Close()
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf("cpu{node=\"stalled\"} %d %d\n", i, (int64(i)+1)*1000)
+		resp := postBody(t, lossySrv.URL+"/push", body, false)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("lossy push %d: %s", i, resp.Status)
+		}
+	}
+	close(stall.gate)
+	if d := lossy.Drain(); d < 1 {
+		t.Fatalf("stalled shard dropped %d events, want >= 1", d)
+	}
+
+	// The drop is accounted in the exposition the obs endpoint serves.
+	obsSrv := httptest.NewServer(obs.Handler(reg, nil))
+	defer obsSrv.Close()
+	series := scrapeSeries(t, obsSrv.URL+"/metrics")
+	dropped := int64(0)
+	for key, v := range series {
+		if strings.HasPrefix(key, "nodesentry_shard_dropped_total") {
+			dropped += int64(v)
+		}
+	}
+	if dropped < 1 {
+		t.Errorf("/metrics accounts %d shard drops, want >= 1", dropped)
+	}
+	if samples := series[`nodesentry_intake_samples_total`]; samples <= 0 {
+		t.Errorf("/metrics intake samples = %v, want > 0", samples)
+	}
+}
+
+// TestGatewayScrapeEquivalence drives the same stream through the pull
+// half: an exporter endpoint serves one timestep per sweep and the
+// Scraper polls it into the gateway.
+func TestGatewayScrapeEquivalence(t *testing.T) {
+	ds, det := fixture(t)
+	vw, nodes := views(ds)
+
+	direct, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDirect := collect(direct)
+	for _, node := range nodes {
+		feedDirect(direct, vw[node], node)
+	}
+	direct.Close()
+	want := waitDirect()
+
+	reg := obs.NewRegistry()
+	scrapeMon, router, dec, waitScrape := gateway(t, det, ds, reg)
+
+	// The exporter serves all nodes' samples for sweep k, with the job
+	// transitions of the canonical sequence in stream position.
+	steps := vw[nodes[0]].Len()
+	var sweep atomic.Int64
+	exporter := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		k := int(sweep.Load())
+		var b strings.Builder
+		for _, node := range nodes {
+			view := vw[node]
+			if k >= view.Len() {
+				continue
+			}
+			if k == 0 {
+				fmt.Fprintf(&b, "%s{node=%q} %d %d\n", ingest.JobTransitionSeries, node, e2eJob1, view.TimeAt(0)*1000)
+			}
+			if k == view.Len()/2 {
+				fmt.Fprintf(&b, "%s{node=%q} %d %d\n", ingest.JobTransitionSeries, node, e2eJob2, view.TimeAt(k)*1000)
+			}
+			b.WriteString(telemetry.FormatScrape(view, k))
+		}
+		_, _ = w.Write([]byte(b.String()))
+	}))
+	defer exporter.Close()
+
+	scraper := ingest.NewScraper(dec, ingest.ScrapeConfig{Targets: []string{exporter.URL}, Metrics: reg})
+	ctx := context.Background()
+	for k := 0; k < steps; k++ {
+		sweep.Store(int64(k))
+		scraper.Sweep(ctx)
+	}
+	if d := router.Drain(); d != 0 {
+		t.Fatalf("blocking router dropped %d events", d)
+	}
+	scrapeMon.Close()
+	got := waitScrape()
+	diffAlerts(t, "scrape", got, want)
+	if v := reg.Counter("nodesentry_scrape_total").Value(); v != int64(steps) {
+		t.Errorf("scrape counter = %d, want %d", v, steps)
+	}
+}
+
+// stallSink blocks every Ingest until its gate opens.
+type stallSink struct {
+	gate chan struct{}
+}
+
+func (s *stallSink) RegisterNode(string, []string)   {}
+func (s *stallSink) ObserveJob(string, int64, int64) {}
+func (s *stallSink) Ingest(string, int64, []float64) { <-s.gate }
+
+func postBody(t *testing.T, url, body string, gzipped bool) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if gzipped {
+		gz := gzip.NewWriter(&buf)
+		if _, err := gz.Write([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		if err := gz.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		buf.WriteString(body)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = resp.Body.Close() })
+	return resp
+}
+
+// diffAlerts asserts byte-identical alert streams with a readable diff.
+func diffAlerts(t *testing.T, path string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s path raised %d alerts, direct raised %d", path, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s path alert %d differs:\n got %s\nwant %s", path, i, got[i], want[i])
+		}
+	}
+	t.Logf("%s path: %d alerts byte-identical to direct ingestion", path, len(want))
+}
+
+// scrapeSeries fetches and parses a /metrics endpoint.
+func scrapeSeries(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := telemetry.ParseSeries(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return telemetry.SeriesMap(series)
+}

@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recordSink captures Sink calls as formatted strings so tests can
+// assert exact event order and content.
+type recordSink struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (r *recordSink) add(s string) {
+	r.mu.Lock()
+	r.events = append(r.events, s)
+	r.mu.Unlock()
+}
+
+func (r *recordSink) RegisterNode(node string, metrics []string) {
+	r.add(fmt.Sprintf("reg %s %v", node, metrics))
+}
+
+func (r *recordSink) ObserveJob(node string, job int64, start int64) {
+	r.add(fmt.Sprintf("job %s %d %d", node, job, start))
+}
+
+func (r *recordSink) Ingest(node string, ts int64, values []float64) {
+	r.add(fmt.Sprintf("ing %s %d %v", node, ts, values))
+}
+
+func (r *recordSink) all() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+// forNode filters events mentioning one node, preserving order.
+func (r *recordSink) forNode(node string) []string {
+	var out []string
+	for _, e := range r.all() {
+		if strings.Contains(e, " "+node+" ") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestJSONFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25e9, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b, err := JSONFloat(v).MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back JSONFloat
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		got := float64(back)
+		if math.IsNaN(v) {
+			if !math.IsNaN(got) {
+				t.Errorf("NaN round-tripped to %v", got)
+			}
+		} else if got != v {
+			t.Errorf("%v round-tripped to %v via %s", v, got, b)
+		}
+	}
+	var bad JSONFloat
+	if err := bad.UnmarshalJSON([]byte(`"wat"`)); err == nil {
+		t.Error("non-numeric string accepted")
+	}
+}

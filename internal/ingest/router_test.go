@@ -1,0 +1,154 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nodesentry/internal/obs"
+)
+
+func TestRouterPreservesPerNodeOrder(t *testing.T) {
+	sink := &recordSink{}
+	r := NewShardRouter(sink, RouterConfig{Shards: 4, QueueSize: 8})
+	nodes := []string{"cn-1", "cn-2", "cn-3", "cn-4", "cn-5"}
+	for _, n := range nodes {
+		r.RegisterNode(n, []string{"cpu"})
+	}
+	for i := 0; i < 50; i++ {
+		for _, n := range nodes {
+			r.Ingest(n, int64(i), []float64{float64(i)})
+		}
+	}
+	if d := r.Drain(); d != 0 {
+		t.Fatalf("blocked router dropped %d events", d)
+	}
+	for _, n := range nodes {
+		evs := sink.forNode(n)
+		if len(evs) != 51 {
+			t.Fatalf("node %s saw %d events, want 51", n, len(evs))
+		}
+		if evs[0] != fmt.Sprintf("reg %s [cpu]", n) {
+			t.Errorf("node %s first event %q, not registration", n, evs[0])
+		}
+		for i, ev := range evs[1:] {
+			want := fmt.Sprintf("ing %s %d [%d]", n, i, i)
+			if ev != want {
+				t.Fatalf("node %s event %d = %q, want %q", n, i, ev, want)
+			}
+		}
+	}
+}
+
+func TestRouterShardingIsConsistent(t *testing.T) {
+	r := NewShardRouter(&recordSink{}, RouterConfig{Shards: 8})
+	defer r.Drain()
+	seen := map[string]int{}
+	for i := 0; i < 3; i++ {
+		for _, n := range []string{"a", "b", "c", "node-17", "node-18"} {
+			s := r.shardOf(n)
+			if prev, ok := seen[n]; ok && prev != s {
+				t.Fatalf("node %s moved shard %d -> %d", n, prev, s)
+			}
+			seen[n] = s
+		}
+	}
+}
+
+// gateSink blocks every Ingest until the gate opens, simulating a slow
+// downstream consumer.
+type gateSink struct {
+	recordSink
+	gate chan struct{}
+}
+
+func (g *gateSink) Ingest(node string, ts int64, values []float64) {
+	<-g.gate
+	g.recordSink.Ingest(node, ts, values)
+}
+
+func TestRouterDropOldestUnderBackpressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &gateSink{gate: make(chan struct{})}
+	r := NewShardRouter(sink, RouterConfig{Shards: 1, QueueSize: 1, Policy: DropOldest, Metrics: reg})
+	// First sample occupies the drain goroutine (blocked on the gate),
+	// the second fills the 1-slot queue, each further one evicts it.
+	for i := 0; i < 6; i++ {
+		r.Ingest("n", int64(i), []float64{1})
+	}
+	close(sink.gate)
+	dropped := r.Drain()
+	if dropped < 3 {
+		t.Fatalf("dropped %d events, want >= 3 with a 1-slot queue", dropped)
+	}
+	if got := len(sink.all()) + int(dropped); got != 6 {
+		t.Errorf("processed+dropped = %d, want 6", got)
+	}
+	if v := reg.Counter("nodesentry_shard_dropped_total", "shard", "0").Value(); v != dropped {
+		t.Errorf("drop counter = %d, want %d", v, dropped)
+	}
+	if v := reg.Counter("nodesentry_shard_processed_total", "shard", "0").Value(); v != int64(len(sink.all())) {
+		t.Errorf("processed counter = %d, want %d", v, len(sink.all()))
+	}
+}
+
+func TestRouterBlockPolicyLosesNothing(t *testing.T) {
+	sink := &recordSink{}
+	r := NewShardRouter(sink, RouterConfig{Shards: 2, QueueSize: 1, Policy: Block})
+	var wg sync.WaitGroup
+	const producers, each = 8, 200
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := fmt.Sprintf("cn-%d", p)
+			for i := 0; i < each; i++ {
+				r.Ingest(node, int64(i), []float64{0})
+			}
+		}()
+	}
+	wg.Wait()
+	if d := r.Drain(); d != 0 {
+		t.Fatalf("block policy dropped %d", d)
+	}
+	if got := len(sink.all()); got != producers*each {
+		t.Fatalf("delivered %d events, want %d", got, producers*each)
+	}
+}
+
+func TestRouterEnqueueAfterDrainCounted(t *testing.T) {
+	r := NewShardRouter(&recordSink{}, RouterConfig{Shards: 2})
+	if d := r.Drain(); d != 0 {
+		t.Fatalf("fresh drain dropped %d", d)
+	}
+	r.Ingest("n", 1, []float64{1}) // must not panic on closed queues
+	if r.Dropped() != 1 {
+		t.Errorf("post-drain ingest not counted: %d", r.Dropped())
+	}
+	if d := r.Drain(); d != 1 {
+		t.Errorf("second Drain = %d, want 1", d)
+	}
+}
+
+func TestRouterShardLoadsFanOut(t *testing.T) {
+	r := NewShardRouter(&recordSink{}, RouterConfig{Shards: 4})
+	for i := 0; i < 32; i++ {
+		r.Ingest(fmt.Sprintf("cn-%d", i), 1, []float64{1})
+	}
+	r.Drain()
+	busy := 0
+	total := int64(0)
+	for _, n := range r.ShardLoads() {
+		if n > 0 {
+			busy++
+		}
+		total += n
+	}
+	if busy < 2 {
+		t.Errorf("32 nodes landed on %d shards, want >= 2", busy)
+	}
+	if total != 32 {
+		t.Errorf("shard loads sum to %d, want 32", total)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"nodesentry/internal/cluster"
 	"nodesentry/internal/mat"
@@ -14,12 +15,16 @@ import (
 
 // ClusterSession is the interactive cluster-adjustment state: algorithmic
 // assignments plus operator overrides, with centroids recomputed after
-// every adjustment — functionality (3) of the paper's tool.
+// every adjustment — functionality (3) of the paper's tool. All methods
+// are safe for concurrent use; Features and Segments are fixed at
+// construction and must not be mutated afterwards.
 type ClusterSession struct {
 	// Features is the segment feature matrix (row per segment).
 	Features *mat.Matrix
 	// Segments identifies the rows.
 	Segments []mts.Segment
+
+	mu sync.RWMutex
 	// original holds the algorithmic labels; current the adjusted ones.
 	original []int
 	current  []int
@@ -40,18 +45,32 @@ func NewClusterSession(F *mat.Matrix, segments []mts.Segment, kMin, kMax int) *C
 }
 
 // NumClusters returns the current cluster count.
-func (c *ClusterSession) NumClusters() int { return c.k }
+func (c *ClusterSession) NumClusters() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.k
+}
 
 // Labels returns the adjusted labels (copy).
-func (c *ClusterSession) Labels() []int { return append([]int(nil), c.current...) }
+func (c *ClusterSession) Labels() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]int(nil), c.current...)
+}
 
 // OriginalLabels returns the algorithmic labels (copy).
-func (c *ClusterSession) OriginalLabels() []int { return append([]int(nil), c.original...) }
+func (c *ClusterSession) OriginalLabels() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]int(nil), c.original...)
+}
 
 // Move reassigns segment i to cluster target; targets beyond the current
 // count create a new cluster. Centroids are implicitly updated (they are
 // derived from labels on demand).
 func (c *ClusterSession) Move(i, target int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.current) {
 		return fmt.Errorf("labeling: segment %d out of range", i)
 	}
@@ -67,16 +86,22 @@ func (c *ClusterSession) Move(i, target int) error {
 
 // Centroids returns the centroids of the adjusted clustering.
 func (c *ClusterSession) Centroids() *mat.Matrix {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return cluster.Centroids(c.Features, c.current, c.k)
 }
 
 // Silhouette scores the adjusted clustering.
 func (c *ClusterSession) Silhouette() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return cluster.Silhouette(c.Features, c.current)
 }
 
 // Adjusted reports how many segments differ from the algorithmic result.
 func (c *ClusterSession) Adjusted() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	n := 0
 	for i := range c.current {
 		if c.current[i] != c.original[i] {
@@ -91,6 +116,8 @@ func (c *ClusterSession) Adjusted() int {
 // (operator-modified groupings). Format: one "node job cluster" line per
 // segment.
 func (c *ClusterSession) Save(dir string) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	cfgDir := filepath.Join(dir, "config_files")
 	if err := os.MkdirAll(cfgDir, 0o755); err != nil {
 		return err
@@ -115,6 +142,8 @@ func (c *ClusterSession) LoadAdjustments(path string) error {
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
 	if len(lines) != len(c.Segments) {
 		return fmt.Errorf("labeling: %s has %d rows, session has %d segments", path, len(lines), len(c.Segments))

@@ -16,14 +16,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"nodesentry/internal/mts"
 )
 
 // Store holds the labeling session state: per-node anomaly intervals plus
-// an append-only annotation history.
+// an append-only annotation history. All methods are safe for concurrent
+// use; accessor results are copies the caller owns.
 type Store struct {
+	mu      sync.RWMutex
 	labels  mts.Labels
 	history []HistoryEntry
 }
@@ -46,6 +49,8 @@ func (s *Store) Label(node string, iv mts.Interval) error {
 	if iv.End <= iv.Start {
 		return fmt.Errorf("labeling: empty interval %v", iv)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.labels.Add(node, iv)
 	s.history = append(s.history, HistoryEntry{
 		Time: time.Now(), Action: "label", Node: node, Span: iv,
@@ -55,6 +60,8 @@ func (s *Store) Label(node string, iv mts.Interval) error {
 
 // Cancel removes any labeled overlap with [start, end) on node.
 func (s *Store) Cancel(node string, iv mts.Interval) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var kept []mts.Interval
 	for _, l := range s.labels[node] {
 		if !l.Overlaps(iv) {
@@ -75,15 +82,36 @@ func (s *Store) Cancel(node string, iv mts.Interval) {
 	})
 }
 
-// Labels returns the current labels (shared, do not mutate).
-func (s *Store) Labels() mts.Labels { return s.labels }
+// Labels returns a deep copy of the current labels.
+func (s *Store) Labels() mts.Labels {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(mts.Labels, len(s.labels))
+	for node, ivs := range s.labels {
+		out[node] = append([]mts.Interval(nil), ivs...)
+	}
+	return out
+}
 
-// History returns the annotation history.
-func (s *Store) History() []HistoryEntry { return s.history }
+// NodeLabels returns a copy of one node's intervals (nil when unlabeled).
+func (s *Store) NodeLabels(node string) []mts.Interval {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]mts.Interval(nil), s.labels[node]...)
+}
+
+// History returns a copy of the annotation history.
+func (s *Store) History() []HistoryEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]HistoryEntry(nil), s.history...)
+}
 
 // Save writes the session in the artifact's layout: per-node CSVs under
 // labels/ plus annotation_history.txt.
 func (s *Store) Save(dir string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	labelDir := filepath.Join(dir, "labels")
 	if err := os.MkdirAll(labelDir, 0o755); err != nil {
 		return err

@@ -1,0 +1,82 @@
+package labeling
+
+import (
+	"sync"
+	"testing"
+
+	"nodesentry/internal/mts"
+)
+
+// TestStoreConcurrentAccess exercises every Store method from overlapping
+// goroutines; the -race verify gate turns any missing lock into a failure.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := "n1"
+			if w%2 == 1 {
+				node = "n2"
+			}
+			for i := 0; i < 50; i++ {
+				lo := int64(100 * (w*50 + i))
+				switch i % 4 {
+				case 0:
+					if err := s.Label(node, mts.Interval{Start: lo, End: lo + 50}); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					s.Cancel(node, mts.Interval{Start: lo - 120, End: lo - 80})
+				case 2:
+					_ = s.Labels()
+					_ = s.NodeLabels(node)
+				case 3:
+					_ = s.History()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(s.NodeLabels("n1")) == 0 || len(s.NodeLabels("n2")) == 0 {
+		t.Error("store lost all labels under concurrent traffic")
+	}
+}
+
+// TestClusterSessionConcurrentAccess drives Move against every read
+// accessor at once.
+func TestClusterSessionConcurrentAccess(t *testing.T) {
+	F, segs := clusterFixture()
+	cs := NewClusterSession(F, segs, 2, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				switch (w + i) % 5 {
+				case 0:
+					if err := cs.Move(i%len(segs), i%cs.NumClusters()); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					_ = cs.Labels()
+					_ = cs.OriginalLabels()
+				case 2:
+					_ = cs.Silhouette()
+				case 3:
+					_ = cs.Centroids()
+				case 4:
+					_ = cs.Adjusted()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(cs.Labels()); got != len(segs) {
+		t.Errorf("labels length %d, want %d", got, len(segs))
+	}
+}

@@ -51,6 +51,7 @@ func Serve(addr string, reg *Registry, health func() error) (*http.Server, strin
 		Handler:           Handler(reg, health),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	//lint:ignore unboundedgoroutine the returned *http.Server is the stop signal: callers shut the goroutine down via srv.Close/Shutdown
 	go func() {
 		// ErrServerClosed is the normal shutdown path; anything else has
 		// nowhere to go but the scrape endpoint's absence.

@@ -175,6 +175,10 @@ type Monitor struct {
 
 	alerts  chan Alert
 	dropped atomic.Int64
+	// closeMu serializes deliver against Close so a send can never race a
+	// channel close: deliver holds the read side, Close the write side.
+	closeMu sync.RWMutex
+	closed  bool
 
 	// reg is nil when observability is off; met's handles are then all
 	// nil no-ops. obsOn gates the timing reads (time.Now) the no-op
@@ -437,6 +441,16 @@ func (m *Monitor) deliver(st *nodeState, a Alert) {
 	} else {
 		m.met.alertWarn.Inc()
 	}
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		// Raised after shutdown began: account it as dropped rather than
+		// panicking on the closed channel.
+		m.dropped.Add(1)
+		st.dropped.Add(1)
+		m.met.dropped.Inc()
+		return
+	}
 	select {
 	case m.alerts <- a:
 		m.met.delivered.Inc()
@@ -518,9 +532,20 @@ func (m *Monitor) Snapshot() []NodeStatus {
 	return out
 }
 
-// Close stops accepting work and closes the alert channel. Callers must
-// not Ingest after Close.
-func (m *Monitor) Close() { close(m.alerts) }
+// Close closes the alert channel. It is idempotent and safe to call
+// concurrently with Ingest/ObserveJob: in-flight deliveries observe the
+// closed flag under closeMu and are counted as dropped instead of
+// panicking on a closed-channel send. Samples ingested after Close are
+// still scored; only their alerts are discarded.
+func (m *Monitor) Close() {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	close(m.alerts)
+}
 
 // frameOf assembles a NodeFrame from row-major samples.
 func frameOf(node string, metrics []string, rows [][]float64, start, step int64) *mts.NodeFrame {

@@ -5,6 +5,63 @@ import (
 	"testing"
 )
 
+// TestMonitorCloseDuringIngest closes the monitor while collectors are
+// mid-Ingest. Before deliver checked the closed flag, an in-flight alert
+// could be sent on the just-closed channel and panic; now it is counted
+// as dropped. Run with -race (the verify gate does) this also pins Close
+// idempotence under concurrent use.
+func TestMonitorCloseDuringIngest(t *testing.T) {
+	ds, det := fixture(t)
+	// A tiny alert buffer and cooldown maximize delivery traffic around
+	// the close.
+	m, err := NewMonitor(det, Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 1, CooldownSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range m.Alerts() {
+		}
+	}()
+
+	started := make(chan struct{}, 1)
+	var ingesters sync.WaitGroup
+	for _, node := range ds.Nodes() {
+		node := node
+		ingesters.Add(1)
+		go func() {
+			defer ingesters.Done()
+			f := ds.Frames[node]
+			m.RegisterNode(node, f.Metrics)
+			m.ObserveJob(node, 1, f.Start)
+			n := f.Len()
+			if n > 200 {
+				n = 200
+			}
+			for i := 0; i < n; i++ {
+				if i == 20 {
+					select {
+					case started <- struct{}{}:
+					default:
+					}
+				}
+				m.Ingest(node, f.TimeAt(i), f.Window(i))
+			}
+		}()
+	}
+	<-started
+	m.Close()
+	m.Close() // must be idempotent
+	ingesters.Wait()
+	<-drained
+	// Ingesting after Close still scores but never panics.
+	node := ds.Nodes()[0]
+	f := ds.Frames[node]
+	last := f.Len() - 1
+	m.Ingest(node, f.TimeAt(last), f.Window(last))
+}
+
 // TestMonitorSnapshotDuringIngest hammers Snapshot while collectors ingest
 // samples and flip job transitions on the same nodes. Run with -race (the
 // verify gate does) this pins the monitor's two-level locking: the node map

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"nodesentry/internal/ingest"
 	"nodesentry/internal/obs"
 )
 
@@ -27,8 +28,12 @@ type WebhookSink struct {
 	// times before giving up (0 keeps the historical fire-once behavior).
 	MaxRetries int
 	// RetryBackoff is slept between attempts (default 100 ms when
-	// retrying).
+	// retrying). It feeds ingest.Backoff with Factor 1 — the historical
+	// constant delay; set Backoff for exponential growth or jitter.
 	RetryBackoff time.Duration
+	// Backoff, when its Base is set, overrides RetryBackoff with the
+	// full exponential/jittered policy shared with ingest.Forwarder.
+	Backoff ingest.Backoff
 	// Metrics, when non-nil, counts delivery activity:
 	//
 	//	nodesentry_webhook_attempts_total    every POST attempted
@@ -100,15 +105,15 @@ func (s *WebhookSink) Send(a Alert) error {
 		s.failures.Inc()
 		return s.fail(err)
 	}
-	backoff := s.RetryBackoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+	backoff := s.Backoff
+	if backoff.Base <= 0 {
+		backoff = ingest.Backoff{Base: s.RetryBackoff, Max: s.RetryBackoff, Factor: 1}
 	}
 	var last error
 	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
 		if attempt > 0 {
 			s.retries.Inc()
-			time.Sleep(backoff)
+			time.Sleep(backoff.Delay(attempt, nil))
 		}
 		s.attempts.Inc()
 		if last = s.post(client, body); last == nil {

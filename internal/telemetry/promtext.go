@@ -114,6 +114,9 @@ type Series struct {
 	Labels string
 	// Value is the sample value.
 	Value float64
+	// TimeMs is the optional exposition timestamp in milliseconds
+	// (0 when the line carried none, as registry expositions do).
+	TimeMs int64
 }
 
 // Key returns the series' full identity, name plus labels.
@@ -148,7 +151,14 @@ func ParseSeries(text string) ([]Series, error) {
 		if err != nil {
 			return nil, fmt.Errorf("telemetry: series line %d: bad value %q", ln+1, fields[0])
 		}
-		out = append(out, Series{Name: name, Labels: labels, Value: v})
+		var millis int64
+		if len(fields) == 2 {
+			millis, err = strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: series line %d: bad timestamp %q", ln+1, fields[1])
+			}
+		}
+		out = append(out, Series{Name: name, Labels: labels, Value: v, TimeMs: millis})
 	}
 	return out, nil
 }
@@ -169,6 +179,23 @@ func NodeOf(text string) string {
 		return ""
 	}
 	rest := text[idx+len(`node="`):]
+	end := strings.IndexByte(rest, '"')
+	if end < 0 {
+		return ""
+	}
+	return rest[:end]
+}
+
+// LabelValue extracts one label's value from a canonical `{k="v",…}`
+// label string ("" when absent). Like NodeOf it assumes values without
+// embedded escaped quotes, which holds for everything FormatScrape and
+// the obs registry emit.
+func LabelValue(labels, key string) string {
+	idx := strings.Index(labels, key+`="`)
+	if idx < 0 {
+		return ""
+	}
+	rest := labels[idx+len(key)+len(`="`):]
 	end := strings.IndexByte(rest, '"')
 	if end < 0 {
 		return ""
