@@ -8,7 +8,7 @@
 //	benchtab -exp all -quick -json   # also write stage timings to BENCH_obs.json
 //
 // Experiments: table2 table3 table4 table5 fig1 fig4 fig6a fig6b fig6c
-// fig6d fig6e fig6f fig8 dtw incremental deploy gateway all.
+// fig6d fig6e fig6f fig8 dtw incremental deploy gateway lifecycle all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, all)")
+	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, lifecycle, all)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jsonOut := flag.Bool("json", false, "write per-experiment stage timings (wall, allocs, bytes) to BENCH_obs.json")
 	flag.Parse()
@@ -32,6 +32,14 @@ func main() {
 		scale = experiments.Quick
 	}
 	w := os.Stdout
+
+	// Each experiment runs under a tracer span; -json persists the records
+	// (wall time, allocations, bytes) as the perf trajectory's seed file.
+	// The lifecycle experiment additionally adds retrain/swap sub-spans.
+	var tracer *obs.Tracer
+	if *jsonOut {
+		tracer = obs.NewTracer(nil)
+	}
 
 	runners := map[string]func() error{
 		"table2": func() error { _, err := experiments.Table2(w, scale); return err },
@@ -54,7 +62,11 @@ func main() {
 		},
 		"deploy":  func() error { _, err := experiments.Deploy(w, scale); return err },
 		"gateway": func() error { _, err := experiments.Gateway(w, scale); return err },
-		"gpu":     func() error { _, err := experiments.GPUExtension(w, scale); return err },
+		"lifecycle": func() error {
+			_, err := experiments.Lifecycle(w, scale, tracer)
+			return err
+		},
+		"gpu": func() error { _, err := experiments.GPUExtension(w, scale); return err },
 		"linkage": func() error {
 			_, err := experiments.LinkageAblation(w, scale)
 			return err
@@ -76,15 +88,8 @@ func main() {
 	order := []string{
 		"table2", "table3", "fig1", "fig4", "table4", "table5",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
-		"fig8", "dtw", "incremental", "deploy", "gateway",
+		"fig8", "dtw", "incremental", "deploy", "gateway", "lifecycle",
 		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
-	}
-
-	// Each experiment runs under a tracer span; -json persists the records
-	// (wall time, allocations, bytes) as the perf trajectory's seed file.
-	var tracer *obs.Tracer
-	if *jsonOut {
-		tracer = obs.NewTracer(nil)
 	}
 
 	run := func(name string) {

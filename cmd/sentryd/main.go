@@ -13,9 +13,19 @@
 //	sentryd -data ./data/d1 -model ./model.bin -scrape-targets http://host:9101/metrics
 //	curl --data-binary 'cpu{node="cn-1"} 0.5 60000' http://localhost:9100/push
 //
+// With -lifecycle the daemon additionally runs the model lifecycle loop
+// (internal/lifecycle): drift detection on the live stream, background
+// retraining off a rolling buffer, shadow auditing, and zero-drop hot
+// swap of promoted candidates, all recorded in a versioned on-disk
+// registry under -registry-dir. On restart the active registry version is
+// loaded instead of -model/-train:
+//
+//	sentryd -data ./data/d1 -train -lifecycle -registry-dir ./registry
+//
 // SIGINT/SIGTERM triggers a graceful drain: the intake server stops
 // accepting, the scraper finishes its sweep, the shard queues empty into
-// the monitor, and the alert consumer runs to completion.
+// the monitor, any in-flight retraining is waited out, and the alert
+// consumer runs to completion.
 package main
 
 import (
@@ -35,8 +45,10 @@ import (
 
 	"nodesentry"
 	"nodesentry/internal/ingest"
+	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
+	"nodesentry/internal/telemetry"
 )
 
 func fatal(logger *slog.Logger, msg string, args ...any) {
@@ -57,6 +69,10 @@ func main() {
 	scrapeInterval := flag.Duration("scrape-interval", 15*time.Second, "scrape sweep interval")
 	webhook := flag.String("webhook", "", "POST alerts to this URL (empty logs alerts only)")
 	webhookRetries := flag.Int("webhook-retries", 2, "extra webhook delivery attempts per alert")
+	lifecycleOn := flag.Bool("lifecycle", false, "run the model lifecycle loop: drift detection, background retraining, shadow promotion, hot swap")
+	registryDir := flag.String("registry-dir", "registry", "versioned model registry directory (with -lifecycle)")
+	retrainInterval := flag.Duration("retrain-interval", 0, "also retrain on this fixed period regardless of drift (0 = drift-driven only)")
+	driftThreshold := flag.Float64("drift-threshold", 2.5, "multiple of the training baseline at which the rolling median counts as drifted")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -100,7 +116,37 @@ func main() {
 	}
 	logger.Info("dataset loaded", "summary", fmt.Sprint(ds.Summarize()))
 
-	det := loadOrTrain(logger, ds, *train, *modelPath)
+	// Detector resolution: with -lifecycle the registry is authoritative —
+	// a previously promoted model survives restarts; -train/-model only
+	// seed an empty (or unreadable) registry.
+	var store *lifecycle.Store
+	var activeID string
+	var det *nodesentry.Detector
+	if *lifecycleOn {
+		store, err = lifecycle.OpenStore(*registryDir, 5)
+		if err != nil {
+			fatal(logger, "open registry", "dir", *registryDir, "err", err)
+		}
+		if d, v, err := store.LoadActive(); err == nil {
+			det, activeID = d, v.ID
+			logger.Info("model loaded from registry", "version", v.ID,
+				"clusters", det.NumClusters(), "source", v.Source)
+		} else {
+			logger.Info("registry has no loadable active version", "err", err)
+			det = loadOrTrain(logger, ds, *train, *modelPath)
+			v, err := store.SaveVersion(det, "initial")
+			if err != nil {
+				fatal(logger, "save initial version", "err", err)
+			}
+			if err := store.Activate(v.ID); err != nil {
+				fatal(logger, "activate initial version", "err", err)
+			}
+			activeID = v.ID
+			logger.Info("initial model registered", "version", v.ID)
+		}
+	} else {
+		det = loadOrTrain(logger, ds, *train, *modelPath)
+	}
 	mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{
 		Step: ds.Step, ScoringWorkers: 3, Metrics: reg, Logger: logger,
 	})
@@ -133,10 +179,43 @@ func main() {
 		}
 	}()
 
+	// Lifecycle manager: its sink rides the same stream as the monitor via
+	// a Tee, so the drift detector and retrain buffer see exactly what is
+	// scored. Run gets its own context — it is cancelled only after the
+	// shard queues drain, so buffered events still reach the manager.
+	var mgr *lifecycle.Manager
+	routerSink := ingest.Sink(mon)
+	lcDone := make(chan struct{})
+	lcCtx, lcCancel := context.WithCancel(context.Background())
+	defer lcCancel()
+	if *lifecycleOn {
+		mgr, err = lifecycle.NewManager(mon, det, activeID, store, lifecycle.Config{
+			Step:            ds.Step,
+			TrainOptions:    nodesentry.DefaultOptions(),
+			SemanticGroups:  telemetry.SemanticIndex(ds.Catalog),
+			DriftThreshold:  *driftThreshold,
+			RetrainInterval: *retrainInterval,
+			Metrics:         reg,
+			Logger:          logger,
+		})
+		if err != nil {
+			fatal(logger, "lifecycle manager", "err", err)
+		}
+		routerSink = ingest.Tee(mon, mgr.Sink())
+		go func() {
+			defer close(lcDone)
+			mgr.Run(lcCtx)
+		}()
+		logger.Info("lifecycle loop running", "registry", *registryDir,
+			"drift_threshold", *driftThreshold, "retrain_interval", *retrainInterval)
+	} else {
+		close(lcDone)
+	}
+
 	// Gateway: decoder -> shard router -> monitor, with the dataset's
 	// frame layouts pre-registered so pushed metric names land in the
 	// exact column order the detector was trained on.
-	router := ingest.NewShardRouter(mon, ingest.RouterConfig{
+	router := ingest.NewShardRouter(routerSink, ingest.RouterConfig{
 		Shards: *shards, QueueSize: *queue, Policy: routerPolicy,
 		Metrics: reg, Logger: logger,
 	})
@@ -190,7 +269,8 @@ func main() {
 	}
 
 	// Graceful drain, upstream to downstream: stop accepting, finish the
-	// scrape loop, empty the shard queues, close the monitor, and let the
+	// scrape loop, empty the shard queues, wait out the lifecycle loop
+	// (including any in-flight retraining), close the monitor, and let the
 	// alert consumer finish the channel.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -202,6 +282,8 @@ func main() {
 	if dropped := router.Drain(); dropped > 0 {
 		logger.Warn("shard queues dropped events", "dropped", dropped)
 	}
+	lcCancel()
+	<-lcDone
 	mon.Close()
 	consumer.Wait()
 	logger.Info("drained", "monitor_dropped", mon.Dropped())

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sentrylint [-checks floatcmp,errdrop] [-list] [packages]
+//	sentrylint [-checks floatcmp,errdrop] [-cache .cache/sentrylint.json] [-list] [packages]
 //
 // Packages follow go-tool conventions: `./...` walks the module,
 // `./internal/mat` names one package. With no arguments, `./...` is
@@ -30,6 +30,7 @@ func run(args []string) int {
 	fs.SetOutput(os.Stderr)
 	list := fs.Bool("list", false, "list available checks and exit")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	cachePath := fs.String("cache", "", "findings cache file: unchanged packages (and unchanged dependency closures) reuse recorded findings instead of re-type-checking")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,18 +65,28 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "sentrylint:", err)
 		return 2
 	}
-	pkgs, err := loader.Load(dirs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sentrylint:", err)
-		return 2
+	var findings []analysis.Finding
+	if *cachePath != "" {
+		var stats analysis.CacheStats
+		findings, stats, err = analysis.RunCached(loader, dirs, checks, *cachePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sentrylint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "sentrylint: cache: %d package(s) reused, %d analyzed\n", stats.Hits, stats.Misses)
+	} else {
+		pkgs, err := loader.Load(dirs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sentrylint:", err)
+			return 2
+		}
+		findings = analysis.Run(pkgs, checks)
 	}
-
-	findings := analysis.Run(pkgs, checks)
 	for _, f := range findings {
 		fmt.Println(shorten(cwd, f))
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sentrylint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		fmt.Fprintf(os.Stderr, "sentrylint: %d finding(s) in %d package(s)\n", len(findings), len(dirs))
 		return 1
 	}
 	return 0

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheFormat invalidates every entry when the on-disk layout or the
+// analyzer's reporting semantics change. Check-set changes are covered by
+// the key salt, source changes by the content hashes.
+const cacheFormat = "sentrylint-cache-1"
+
+// CacheStats reports how a cached run split between reuse and analysis.
+type CacheStats struct {
+	// Hits is the number of requested packages whose findings were reused.
+	Hits int
+	// Misses is the number of requested packages that were type-checked
+	// and analyzed this run.
+	Misses int
+}
+
+// cacheFinding is one Finding flattened for JSON, with the filename
+// stored relative to the module root so the cache survives a checkout
+// move.
+type cacheFinding struct {
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+type cacheEntry struct {
+	Findings []cacheFinding `json:"findings"`
+}
+
+type cacheFile struct {
+	Format  string                `json:"format"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// RunCached is Run plus a persistent findings cache: each requested
+// package is keyed by a hash of the check set, its sources, and the
+// sources of its transitive module-local imports. Key hits reuse the
+// recorded findings without parsing or type-checking the package; only
+// missed packages (and their dependency closure) are loaded. Entries not
+// touched by this run are dropped on save, so the file tracks the
+// current tree. A missing or unreadable cache file degrades to a full
+// run, never an error.
+func RunCached(l *Loader, dirs []string, checks []Check, cachePath string) ([]Finding, CacheStats, error) {
+	var stats CacheStats
+	old := readCache(cachePath)
+	next := cacheFile{Format: cacheFormat, Entries: map[string]cacheEntry{}}
+
+	h := newCacheHasher(l, checks)
+	keyOf := make(map[string]string, len(dirs)) // package dir -> cache key
+	var findings []Finding
+	var missed []string
+	for _, dir := range dirs {
+		key, err := h.keyFor(dir)
+		if err != nil {
+			return nil, stats, err
+		}
+		keyOf[dir] = key
+		if entry, ok := old.Entries[key]; ok {
+			stats.Hits++
+			next.Entries[key] = entry
+			for _, cf := range entry.Findings {
+				findings = append(findings, cf.finding(l.ModuleRoot))
+			}
+			continue
+		}
+		stats.Misses++
+		missed = append(missed, dir)
+	}
+
+	if len(missed) > 0 {
+		pkgs, err := l.Load(missed)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, pkg := range pkgs {
+			fs := Run([]*Package{pkg}, checks)
+			entry := cacheEntry{Findings: []cacheFinding{}}
+			for _, f := range fs {
+				entry.Findings = append(entry.Findings, flatten(f, l.ModuleRoot))
+			}
+			next.Entries[keyOf[pkg.Dir]] = entry
+			findings = append(findings, fs...)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	if err := writeCache(cachePath, next); err != nil {
+		return nil, stats, err
+	}
+	return findings, stats, nil
+}
+
+func flatten(f Finding, root string) cacheFinding {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return cacheFinding{
+		File:    file,
+		Offset:  f.Pos.Offset,
+		Line:    f.Pos.Line,
+		Column:  f.Pos.Column,
+		Check:   f.Check,
+		Message: f.Message,
+	}
+}
+
+func (cf cacheFinding) finding(root string) Finding {
+	file := filepath.FromSlash(cf.File)
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(root, file)
+	}
+	return Finding{
+		Pos:     token.Position{Filename: file, Offset: cf.Offset, Line: cf.Line, Column: cf.Column},
+		Check:   cf.Check,
+		Message: cf.Message,
+	}
+}
+
+// readCache loads the cache file; any problem (absent, unreadable,
+// foreign format) yields an empty cache rather than failing the lint run.
+func readCache(path string) cacheFile {
+	empty := cacheFile{Entries: map[string]cacheEntry{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return empty
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil || cf.Format != cacheFormat || cf.Entries == nil {
+		return empty
+	}
+	return cf
+}
+
+// writeCache persists the cache atomically (tmp + rename), creating the
+// parent directory as needed.
+func writeCache(path string, cf cacheFile) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cf, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// cacheHasher computes per-package cache keys: a sha256 over the cache
+// format, the check names, the package's import path and source bytes,
+// and (recursively, memoized) the keys of its module-local imports — so
+// editing a dependency invalidates every package built on it. Imports are
+// discovered with parser.ImportsOnly; the full parse stays on the miss
+// path.
+type cacheHasher struct {
+	l    *Loader
+	salt string
+	memo map[string]string // package dir -> key
+	busy map[string]bool   // cycle guard
+}
+
+func newCacheHasher(l *Loader, checks []Check) *cacheHasher {
+	sum := sha256.New()
+	sum.Write([]byte(cacheFormat + "\n"))
+	for _, c := range checks {
+		sum.Write([]byte(c.Name + "\n"))
+	}
+	return &cacheHasher{
+		l:    l,
+		salt: hex.EncodeToString(sum.Sum(nil)),
+		memo: map[string]string{},
+		busy: map[string]bool{},
+	}
+}
+
+func (h *cacheHasher) keyFor(dir string) (string, error) {
+	if key, ok := h.memo[dir]; ok {
+		return key, nil
+	}
+	if h.busy[dir] {
+		return "", fmt.Errorf("analysis: import cycle through %s", dir)
+	}
+	h.busy[dir] = true
+	defer delete(h.busy, dir)
+
+	importPath, err := h.l.importPathFor(dir)
+	if err != nil {
+		return "", err
+	}
+	names, err := goSources(dir)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.New()
+	sum.Write([]byte(h.salt + "\n"))
+	sum.Write([]byte(importPath + "\n"))
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var imports []string
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		sum.Write([]byte(fmt.Sprintf("%s %d\n", name, len(src))))
+		sum.Write(src)
+		file, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+		if err != nil {
+			return "", err
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if h.l.isLocal(path) && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	for _, imp := range imports {
+		depDir := h.l.ModuleRoot
+		if imp != h.l.ModulePath {
+			depDir = filepath.Join(h.l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(imp, h.l.ModulePath+"/")))
+		}
+		depKey, err := h.keyFor(depDir)
+		if err != nil {
+			return "", err
+		}
+		sum.Write([]byte("import " + imp + " " + depKey + "\n"))
+	}
+	key := hex.EncodeToString(sum.Sum(nil))
+	h.memo[dir] = key
+	return key, nil
+}

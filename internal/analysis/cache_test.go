@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cacheModule materializes a tiny throwaway module: dep (clean) and app
+// (imports dep, carries one floatcmp violation).
+func cacheModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.24\n",
+		"dep/dep.go": `package dep
+
+func Scale(x float64) float64 { return x * 2 }
+`,
+		"app/app.go": `package app
+
+import "cachetest/dep"
+
+func Equal(a, b float64) bool { return a == dep.Scale(b) }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runCachedOnce stands up a fresh loader (as each sentrylint invocation
+// does) and runs the full check set over the module through the cache.
+func runCachedOnce(t *testing.T, root, cachePath string, checks []Check) ([]Finding, CacheStats) {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats, err := RunCached(loader, dirs, checks, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings, stats
+}
+
+func findingStrings(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+func TestCacheColdWarmRoundTrip(t *testing.T) {
+	root := cacheModule(t)
+	cachePath := filepath.Join(root, ".cache", "sentrylint.json")
+
+	cold, stats := runCachedOnce(t, root, cachePath, Checks())
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("cold stats = %+v, want 0 hits / 2 misses", stats)
+	}
+	if len(cold) != 1 || cold[0].Check != "floatcmp" {
+		t.Fatalf("cold findings = %v, want one floatcmp", findingStrings(cold))
+	}
+
+	warm, stats := runCachedOnce(t, root, cachePath, Checks())
+	if stats.Hits != 2 || stats.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want 2 hits / 0 misses", stats)
+	}
+	if got, want := findingStrings(warm), findingStrings(cold); len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("warm findings %v != cold findings %v", got, want)
+	}
+}
+
+func TestCacheInvalidatesDependents(t *testing.T) {
+	root := cacheModule(t)
+	cachePath := filepath.Join(root, "cache.json")
+	_, _ = runCachedOnce(t, root, cachePath, Checks()) // populate
+
+	// Editing the dependency must invalidate the dependent package too,
+	// even though app's own sources are untouched.
+	dep := filepath.Join(root, "dep", "dep.go")
+	if err := os.WriteFile(dep, []byte("package dep\n\nfunc Scale(x float64) float64 { return x * 3 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats := runCachedOnce(t, root, cachePath, Checks())
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("after dep edit: stats = %+v, want 0 hits / 2 misses", stats)
+	}
+
+	// Editing only the leaf leaves the dependency's entry valid.
+	app := filepath.Join(root, "app", "app.go")
+	src, err := os.ReadFile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(app, append(src, []byte("\n// trailing comment\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, stats := runCachedOnce(t, root, cachePath, Checks())
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("after app edit: stats = %+v, want 1 hit / 1 miss", stats)
+	}
+	if len(findings) != 1 || findings[0].Check != "floatcmp" {
+		t.Fatalf("findings after edits = %v", findingStrings(findings))
+	}
+
+	// Stale entries are pruned on save: the file holds exactly the live tree.
+	data, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.Entries) != 2 {
+		t.Fatalf("cache holds %d entries after edits, want 2", len(cf.Entries))
+	}
+}
+
+func TestCacheKeyedByCheckSet(t *testing.T) {
+	root := cacheModule(t)
+	cachePath := filepath.Join(root, "cache.json")
+	_, _ = runCachedOnce(t, root, cachePath, Checks()) // populate with all checks
+
+	subset := []Check{checkErrDrop}
+	findings, stats := runCachedOnce(t, root, cachePath, subset)
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("check-subset run reused full-set entries: stats = %+v", stats)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("errdrop-only run found %v", findingStrings(findings))
+	}
+}
+
+func TestCacheCorruptFileDegradesToFullRun(t *testing.T) {
+	root := cacheModule(t)
+	cachePath := filepath.Join(root, "cache.json")
+	if err := os.WriteFile(cachePath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, stats := runCachedOnce(t, root, cachePath, Checks())
+	if stats.Misses != 2 || len(findings) != 1 {
+		t.Fatalf("corrupt cache: stats %+v findings %v", stats, findingStrings(findings))
+	}
+	// And the corrupt file was replaced with a valid one.
+	if _, stats := runCachedOnce(t, root, cachePath, Checks()); stats.Hits != 2 {
+		t.Fatalf("cache not rewritten after corruption: %+v", stats)
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestTrainHonorsCancellation(t *testing.T) {
+	fx := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := fx.in
+	in.Ctx = ctx
+	if _, err := Train(in, fastOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Train with canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	_, d := trainFixture(t, fastOptions())
+	for c := 0; c < d.NumClusters(); c++ {
+		if r := d.ClusterRadius(c); r < 0 {
+			t.Errorf("cluster %d radius %v < 0", c, r)
+		}
+		if s := d.ClusterScale(c); s <= 0 {
+			t.Errorf("cluster %d scale %v <= 0 (calibration floors it at 1)", c, s)
+		}
+	}
+	if d.ClusterRadius(-1) != 0 || d.ClusterScale(d.NumClusters()) != 0 {
+		t.Error("out-of-range accessors must return 0")
+	}
+}

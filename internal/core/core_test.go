@@ -19,7 +19,7 @@ type fixtureData struct {
 	in TrainInput
 }
 
-func fixture(t *testing.T) *fixtureData {
+func fixture(t testing.TB) *fixtureData {
 	t.Helper()
 	if fixtureCache != nil {
 		return fixtureCache
@@ -54,7 +54,7 @@ func fastOptions() Options {
 	return o
 }
 
-func trainFixture(t *testing.T, opts Options) (*fixtureData, *Detector) {
+func trainFixture(t testing.TB, opts Options) (*fixtureData, *Detector) {
 	t.Helper()
 	fx := fixture(t)
 	d, err := Train(fx.in, opts)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -34,6 +35,19 @@ type TrainInput struct {
 	// (preprocess, segmentation, features, hac, train_models) with wall
 	// time, allocations, and item counts. It never alters training.
 	Trace *obs.Tracer
+	// Ctx, when non-nil, lets callers cancel training: Train checks it
+	// between stages and between epochs inside per-cluster training, and
+	// returns ctx.Err(). A background retrainer needs this to drain
+	// promptly on shutdown without waiting out a full training run.
+	Ctx context.Context
+}
+
+// ctx returns the input's context, defaulting to Background.
+func (in TrainInput) ctx() context.Context {
+	if in.Ctx != nil {
+		return in.Ctx
+	}
+	return context.Background()
 }
 
 // clusterModel is one entry of the model library: the shared reconstruction
@@ -88,6 +102,7 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 	if len(in.Frames) == 0 {
 		return nil, fmt.Errorf("core: no training frames")
 	}
+	ctx := in.ctx()
 	d := &Detector{opts: opts}
 
 	// --- Preprocessing ---
@@ -112,6 +127,9 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 	d.Stats.ReducedDim = d.red.NumOutput()
 	sp.AddItems(int64(len(nodes)))
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: training canceled: %w", err)
+	}
 
 	// --- Segmentation ---
 	sp = in.Trace.Start("segmentation")
@@ -141,6 +159,9 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 	}
 	sp.AddItems(int64(F.Rows))
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: training canceled: %w", err)
+	}
 
 	sp = in.Trace.Start("hac")
 	labels, k, sil := d.clusterSegments(F)
@@ -153,13 +174,16 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 	}
 	sp.AddItems(int64(k))
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: training canceled: %w", err)
+	}
 
 	// --- Fine-grained model sharing: one shared model per cluster ---
 	sp = in.Trace.Start("train_models")
 	d.library = make([]*clusterModel, k)
 	trainErrs := make([]error, k)
 	mat.ParallelItems(k, func(c int) {
-		d.library[c], trainErrs[c] = d.trainClusterModel(c, F, labels, segments, reduced)
+		d.library[c], trainErrs[c] = d.trainClusterModel(ctx, c, F, labels, segments, reduced)
 	})
 	sp.AddItems(int64(k))
 	sp.End()
@@ -252,8 +276,10 @@ func ensureNonEmpty(labels []int, k int) {
 
 // trainClusterModel trains the shared model of cluster c on the K segments
 // nearest its centroid (a form of data augmentation per §3.4), with
-// MAC-derived WMSE weights and segment-aware positional encoding.
-func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segments []mts.Segment, frames map[string]*mts.NodeFrame) (*clusterModel, error) {
+// MAC-derived WMSE weights and segment-aware positional encoding. The
+// context is checked between epochs — the granularity at which cancellation
+// is cheap and deterministic.
+func (d *Detector) trainClusterModel(ctx context.Context, c int, F *mat.Matrix, labels []int, segments []mts.Segment, frames map[string]*mts.NodeFrame) (*clusterModel, error) {
 	reps := cluster.NearestMembers(F, labels, d.centroids.Row(c), c, d.opts.RepSegments)
 	if len(reps) == 0 {
 		reps = []int{0}
@@ -311,6 +337,9 @@ func (d *Detector) trainClusterModel(c int, F *mat.Matrix, labels []int, segment
 	}
 	opt := nn.NewAdam(model.Params(), d.opts.LR)
 	for epoch := 0; epoch < d.opts.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: training canceled: %w", err)
+		}
 		for _, w := range wins {
 			out := model.Forward(w.x, w.positions, w.segIDs)
 			_, grad := nn.WMSE(out, w.x, weights)

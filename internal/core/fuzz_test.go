@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadDetector pins Load's totality: arbitrary bytes must produce
+// (detector, nil) or (nil, error), never a panic or a runaway allocation.
+// The registry's corrupt-entry quarantine and the lifecycle rollback path
+// both lean on this. `go test` runs the seed corpus; `go test -fuzz
+// FuzzLoadDetector` explores mutations.
+func FuzzLoadDetector(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a snapshot at all"))
+	f.Add([]byte(snapshotMagic))                          // header cut short
+	f.Add(append([]byte(snapshotMagic), snapshotVersion)) // header, no payload
+	f.Add(append([]byte(snapshotMagic), snapshotVersion+9))
+
+	_, d := trainFixture(f, fastOptions())
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add(valid[:len(valid)-1])
+	corrupted := append([]byte(nil), valid...)
+	for i := len(snapshotMagic) + 1; i < len(corrupted); i += 301 {
+		corrupted[i] ^= 0xA5
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(bytes.NewReader(data))
+		if err == nil && d == nil {
+			t.Fatal("nil detector with nil error")
+		}
+		if err != nil && d != nil {
+			t.Fatal("non-nil detector with non-nil error")
+		}
+	})
+}

@@ -241,6 +241,27 @@ func (d *Detector) ScoreFrame(frame *mts.NodeFrame, cluster int, offset int) []f
 // WindowLen returns the model's token-window length.
 func (d *Detector) WindowLen() int { return d.opts.WindowLen }
 
+// ClusterRadius returns cluster c's match radius (the p95 member-to-centroid
+// feature distance), or 0 for an out-of-range index. Drift detectors use it
+// to normalize observed match distances into radius multiples.
+func (d *Detector) ClusterRadius(c int) float64 {
+	if c < 0 || c >= len(d.library) {
+		return 0
+	}
+	return d.library[c].radius
+}
+
+// ClusterScale returns cluster c's score scale (the median training-time
+// reconstruction error), or 0 for an out-of-range index. Because online
+// scores are divided by it, a healthy score stream has median ≈ 1 — the
+// baseline drift detection compares against.
+func (d *Detector) ClusterScale(c int) float64 {
+	if c < 0 || c >= len(d.library) {
+		return 0
+	}
+	return d.library[c].scale
+}
+
 // MatchPeriodSec returns the configured pattern-matching period.
 func (d *Detector) MatchPeriodSec() int64 { return d.opts.MatchPeriodSec }
 

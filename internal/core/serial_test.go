@@ -51,6 +51,56 @@ func TestLoadRejectsArchitectureMismatch(t *testing.T) {
 	}
 }
 
+func TestLoadRejectsVersionSkew(t *testing.T) {
+	_, d := trainFixture(t, fastOptions())
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(snapshotMagic)] = snapshotVersion + 1
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("future-version snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("skew error does not mention version: %v", err)
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	_, d := trainFixture(t, fastOptions())
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("bad-magic snapshot accepted")
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	// Flip single bytes at spread positions across a valid payload. Every
+	// outcome must be either a clean error or a successful load — never a
+	// panic (the registry depends on Load being total).
+	_, d := trainFixture(t, fastOptions())
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	for pos := 0; pos < len(base); pos += 977 {
+		raw := append([]byte(nil), base...)
+		raw[pos] ^= 0x5A
+		d2, err := Load(bytes.NewReader(raw))
+		if err == nil && d2 == nil {
+			t.Fatalf("flip at %d: nil detector with nil error", pos)
+		}
+	}
+}
+
 func TestCloneIsIndependent(t *testing.T) {
 	fx, d := trainFixture(t, fastOptions())
 	clone, err := d.Clone()

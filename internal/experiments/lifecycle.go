@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nodesentry"
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/lifecycle"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+	"nodesentry/internal/telemetry"
+)
+
+// LifecycleResult summarizes one drift->retrain->shadow->swap cycle.
+type LifecycleResult struct {
+	DriftReason string
+	// RetrainWall is the background retraining wall time (buffer ->
+	// candidate in the registry, shadow started).
+	RetrainWall time.Duration
+	// SwapPause is the scoring pause of the zero-drop hot swap.
+	SwapPause time.Duration
+	Decision  lifecycle.Decision
+}
+
+// lifecycleShift multiplies every metric during the shifted replay.
+const lifecycleShift = 4.0
+
+// lifecycleFeed replays [from, to) of the dataset into sink with every
+// metric scaled by mul — the sustained workload shift that drives drift.
+func lifecycleFeed(sink ingest.Sink, ds *dataset.Dataset, from, to int64, mul float64) {
+	for _, node := range ds.Nodes() {
+		f := ds.Frames[node]
+		view := f.Slice(f.IndexOf(from), f.IndexOf(to))
+		sink.RegisterNode(node, view.Metrics)
+		spans := ds.SpansForNode(node, from, to)
+		si := 0
+		for t := 0; t < view.Len(); t++ {
+			ts := view.Start + int64(t)*view.Step
+			for si < len(spans) && spans[si].Start <= ts {
+				sink.ObserveJob(node, spans[si].Job, spans[si].Start)
+				si++
+			}
+			row := make([]float64, len(view.Data))
+			for m := range row {
+				row[m] = view.Data[m][t] * mul
+			}
+			sink.Ingest(node, ts, row)
+		}
+	}
+}
+
+// Lifecycle measures the model-lifecycle loop end to end: an incumbent
+// trained on the clean split watches a sustained 4x workload shift, drift
+// crosses the threshold, the buffered stream retrains a candidate
+// (lifecycle_retrain span), the candidate audits the remaining stream in
+// shadow, and the promotion gate hot-swaps it in (lifecycle_swap span).
+// The reported swap pause is the time scoring stands still during handoff.
+func Lifecycle(w io.Writer, s Scale, tr *obs.Tracer) (LifecycleResult, error) {
+	ds := datasets(s)[0]
+	det, err := core.Train(nodesentry.TrainInputFromDataset(ds), options(s))
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+
+	dir, err := os.MkdirTemp("", "nodesentry-registry-*")
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }() // scratch registry; best-effort cleanup
+	store, err := lifecycle.OpenStore(dir, 3)
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+	v0, err := store.SaveVersion(det, "initial")
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+	if err := store.Activate(v0.ID); err != nil {
+		return LifecycleResult{}, err
+	}
+
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 1024})
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range mon.Alerts() {
+		}
+	}()
+	defer func() { mon.Close(); <-drained }()
+
+	mgr, err := lifecycle.NewManager(mon, det, v0.ID, store, lifecycle.Config{
+		Step:              ds.Step,
+		TrainOptions:      options(s),
+		SemanticGroups:    telemetry.SemanticIndex(ds.Catalog),
+		DriftThreshold:    1.6,
+		DriftWindow:       128,
+		MinDriftSamples:   8,
+		MinShadowWindows:  4,
+		ShadowQueue:       1 << 15,
+		AlertSlack:        25,
+		ImprovementFactor: 0.7,
+	})
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+	sink := ingest.Tee(mon, mgr.Sink())
+
+	mid := ds.SplitTime() + (ds.Horizon-ds.SplitTime())*7/10
+	mid -= mid % ds.Step
+	lifecycleFeed(sink, ds, ds.SplitTime(), mid, lifecycleShift)
+	drifted, reason := mgr.Drift().Check()
+	if !drifted {
+		return LifecycleResult{}, fmt.Errorf("lifecycle experiment: shifted stream did not drift")
+	}
+
+	sp := tr.Start("lifecycle_retrain")
+	t0 := time.Now()
+	_, err = mgr.RetrainNow(context.Background(), "drift: "+reason)
+	retrainWall := time.Since(t0)
+	sp.End()
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+
+	lifecycleFeed(sink, ds, mid, ds.Horizon, lifecycleShift)
+	spSwap := tr.Start("lifecycle_swap")
+	dec, decided := mgr.DecideShadow(true)
+	spSwap.End()
+	if !decided {
+		return LifecycleResult{}, fmt.Errorf("lifecycle experiment: shadow gate did not decide")
+	}
+
+	res := LifecycleResult{
+		DriftReason: reason,
+		RetrainWall: retrainWall,
+		SwapPause:   dec.Pause,
+		Decision:    dec,
+	}
+	pr := &report{w: w}
+	pr.println("Model lifecycle (drift -> retrain -> shadow -> hot swap)")
+	pr.printf("  drift:        %s\n", reason)
+	pr.printf("  retrain wall: %v (candidate %s)\n", retrainWall.Round(time.Millisecond), dec.Version.ID)
+	pr.printf("  shadow:       %d windows, cand p50 %.2f vs inc p50 %.2f, alerts %d vs %d\n",
+		dec.CandWindows, dec.CandP50, dec.IncP50, dec.CandAlerts, dec.IncAlerts)
+	if dec.Promoted {
+		pr.printf("  promoted:     swap pause %v (%s)\n", dec.Pause, dec.Reason)
+	} else {
+		pr.printf("  rejected:     %s\n", dec.Reason)
+	}
+	return res, pr.Err()
+}

@@ -1,0 +1,54 @@
+package ingest
+
+import (
+	"reflect"
+	"testing"
+)
+
+type teeSinkRecorder struct {
+	registered map[string][]string
+	jobs       []int64
+	samples    int
+	lastValues []float64
+}
+
+func newTeeSinkRecorder() *teeSinkRecorder {
+	return &teeSinkRecorder{registered: map[string][]string{}}
+}
+
+func (r *teeSinkRecorder) RegisterNode(node string, metrics []string) {
+	r.registered[node] = append([]string(nil), metrics...)
+}
+func (r *teeSinkRecorder) ObserveJob(node string, job int64, start int64) {
+	r.jobs = append(r.jobs, job)
+}
+func (r *teeSinkRecorder) Ingest(node string, ts int64, values []float64) {
+	r.samples++
+	r.lastValues = append([]float64(nil), values...)
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := newTeeSinkRecorder(), newTeeSinkRecorder()
+	tee := Tee(a, nil, b)
+	tee.RegisterNode("n0", []string{"cpu", "mem"})
+	tee.ObserveJob("n0", 7, 100)
+	tee.Ingest("n0", 110, []float64{1, 2})
+	for name, s := range map[string]*teeSinkRecorder{"a": a, "b": b} {
+		if !reflect.DeepEqual(s.registered["n0"], []string{"cpu", "mem"}) {
+			t.Errorf("sink %s missed RegisterNode: %v", name, s.registered)
+		}
+		if len(s.jobs) != 1 || s.jobs[0] != 7 {
+			t.Errorf("sink %s missed ObserveJob: %v", name, s.jobs)
+		}
+		if s.samples != 1 || !reflect.DeepEqual(s.lastValues, []float64{1, 2}) {
+			t.Errorf("sink %s missed Ingest: %d %v", name, s.samples, s.lastValues)
+		}
+	}
+}
+
+func TestTeeSingleSinkPassThrough(t *testing.T) {
+	a := newTeeSinkRecorder()
+	if got := Tee(nil, a, nil); got != Sink(a) {
+		t.Error("Tee with one live sink should return it directly")
+	}
+}

@@ -1,0 +1,52 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"nodesentry/internal/runtime"
+)
+
+// BenchmarkRetrainSwap measures the hot-swap handoff — the only lifecycle
+// stage on the serving path. Retraining wall time is covered by the benchtab
+// lifecycle experiment; here each iteration is one SwapDetector against a
+// live monitor, and pause-ns/op reports the pool-drain pause alerts actually
+// experience.
+func BenchmarkRetrainSwap(b *testing.B) {
+	ds, det := fixture(b)
+	inc, err := det.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	next, err := det.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := runtime.NewMonitor(inc, runtime.Config{Step: ds.Step, ScoringWorkers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range mon.Alerts() {
+		}
+	}()
+	defer func() { mon.Close(); <-drained }()
+
+	var pause time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := next
+		if i%2 == 1 {
+			d = inc
+		}
+		p, err := mon.SwapDetector(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pause += p
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(pause.Nanoseconds())/float64(b.N), "pause-ns/op")
+}

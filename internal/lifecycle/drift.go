@@ -1,0 +1,159 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/obs"
+)
+
+// Drift watches the rolling distributions of the two online health signals
+// the paper's deployment exposes per cluster — centroid-match distance and
+// normalized reconstruction error — and reports when their medians shift
+// past a threshold multiple of the training-time baseline.
+//
+// The baselines need no storage: the detector's calibration provides them.
+// Scores are normalized by each cluster's median training error, so a
+// representative model's rolling score median sits near 1; match distances
+// are divided by the cluster's match radius (the p95 member-to-centroid
+// training distance), so a representative workload's ratio median sits at
+// or below 1. Drift is "median score > threshold" or "median distance
+// ratio > threshold".
+type Drift struct {
+	mu        sync.Mutex
+	threshold float64
+	minSamp   int
+	window    int
+	scores    map[int]*QuantileWindow
+	match     map[int]*QuantileWindow
+	radius    map[int]float64
+
+	reg     *obs.Registry
+	scoreG  map[int]*obs.Gauge
+	matchG  map[int]*obs.Gauge
+	nonFinG *obs.Gauge
+}
+
+// NewDrift builds a drift detector baselined on det's calibration.
+func NewDrift(det *core.Detector, cfg Config, reg *obs.Registry) *Drift {
+	cfg = cfg.withDefaults()
+	d := &Drift{
+		threshold: cfg.DriftThreshold,
+		minSamp:   cfg.MinDriftSamples,
+		window:    cfg.DriftWindow,
+		scores:    map[int]*QuantileWindow{},
+		match:     map[int]*QuantileWindow{},
+		radius:    map[int]float64{},
+		reg:       reg,
+		scoreG:    map[int]*obs.Gauge{},
+		matchG:    map[int]*obs.Gauge{},
+		nonFinG:   reg.Gauge("nodesentry_lifecycle_drift_nonfinite"),
+	}
+	d.rebaselineLocked(det)
+	return d
+}
+
+// Rebaseline resets the sketches and radii to a newly promoted detector's
+// calibration; called after every successful hot swap.
+func (d *Drift) Rebaseline(det *core.Detector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rebaselineLocked(det)
+}
+
+func (d *Drift) rebaselineLocked(det *core.Detector) {
+	d.radius = map[int]float64{}
+	for c := 0; c < det.NumClusters(); c++ {
+		d.radius[c] = det.ClusterRadius(c)
+	}
+	for _, q := range d.scores {
+		q.Reset()
+	}
+	for _, q := range d.match {
+		q.Reset()
+	}
+}
+
+func (d *Drift) sketch(m map[int]*QuantileWindow, c int) *QuantileWindow {
+	q, ok := m[c]
+	if !ok {
+		q = NewQuantileWindow(d.window)
+		m[c] = q
+	}
+	return q
+}
+
+// ObserveMatch records one pattern match's centroid distance for cluster c.
+// Wire it to runtime.Hooks.OnMatch.
+func (d *Drift) ObserveMatch(c int, distance float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := d.radius[c]
+	ratio := distance
+	if r > 0 {
+		ratio = distance / r
+	}
+	d.sketch(d.match, c).Observe(ratio)
+}
+
+// ObserveScores records one scored window's normalized scores for cluster
+// c. Wire it to runtime.Hooks.OnScores.
+func (d *Drift) ObserveScores(c int, scores []float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	q := d.sketch(d.scores, c)
+	for _, s := range scores {
+		q.Observe(s)
+	}
+}
+
+// Check evaluates every cluster's sketches against the threshold, refreshes
+// the exported gauges, and reports whether any cluster drifted along with a
+// human-readable reason. Clusters below MinDriftSamples never vote.
+func (d *Drift) Check() (drifted bool, reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nonFinite := 0
+	for c, q := range d.scores {
+		nonFinite += q.NonFinite()
+		if q.Len() < d.minSamp {
+			continue
+		}
+		p50 := q.Quantile(0.5)
+		d.gauge(d.scoreG, "nodesentry_lifecycle_drift_score", c).Set(p50)
+		if !drifted && !math.IsNaN(p50) && p50 > d.threshold {
+			drifted = true
+			reason = fmt.Sprintf("cluster %d score p50 %.2f > %.2f", c, p50, d.threshold)
+		}
+	}
+	for c, q := range d.match {
+		if q.Len() < d.minSamp {
+			continue
+		}
+		p50 := q.Quantile(0.5)
+		d.gauge(d.matchG, "nodesentry_lifecycle_drift_match", c).Set(p50)
+		if !drifted && !math.IsNaN(p50) && p50 > d.threshold {
+			drifted = true
+			reason = fmt.Sprintf("cluster %d match-distance p50 %.2fx radius > %.2f", c, p50, d.threshold)
+		}
+	}
+	d.nonFinG.Set(float64(nonFinite))
+	if !drifted && nonFinite > 0 {
+		// A model emitting NaN/Inf is unconditionally unhealthy.
+		drifted = true
+		reason = fmt.Sprintf("%d non-finite scores observed", nonFinite)
+	}
+	return drifted, reason
+}
+
+func (d *Drift) gauge(cache map[int]*obs.Gauge, name string, c int) *obs.Gauge {
+	g, ok := cache[c]
+	if !ok {
+		g = d.reg.Gauge(name, "cluster", strconv.Itoa(c))
+		cache[c] = g
+	}
+	return g
+}

@@ -1,0 +1,83 @@
+package lifecycle
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func driftCfg() Config {
+	return Config{DriftThreshold: 2, MinDriftSamples: 4, DriftWindow: 64}
+}
+
+func TestDriftFiresOnScoreShift(t *testing.T) {
+	_, det := fixture(t)
+	d := NewDrift(det, driftCfg(), nil)
+	for i := 0; i < 16; i++ {
+		d.ObserveScores(0, []float64{0.9, 1.1})
+	}
+	if drifted, reason := d.Check(); drifted {
+		t.Fatalf("healthy scores (median ~1) reported drift: %s", reason)
+	}
+	for i := 0; i < 64; i++ {
+		d.ObserveScores(0, []float64{5, 5.5})
+	}
+	drifted, reason := d.Check()
+	if !drifted {
+		t.Fatal("sustained 5x score median did not drift past threshold 2")
+	}
+	if !strings.Contains(reason, "score") {
+		t.Fatalf("reason %q does not name the score signal", reason)
+	}
+}
+
+func TestDriftFiresOnMatchDistance(t *testing.T) {
+	_, det := fixture(t)
+	d := NewDrift(det, driftCfg(), nil)
+	r := det.ClusterRadius(0)
+	if r <= 0 {
+		t.Fatal("fixture cluster 0 has no match radius")
+	}
+	for i := 0; i < 16; i++ {
+		d.ObserveMatch(0, 5*r)
+	}
+	drifted, reason := d.Check()
+	if !drifted || !strings.Contains(reason, "match") {
+		t.Fatalf("5x-radius matches: drifted=%v reason=%q", drifted, reason)
+	}
+}
+
+func TestDriftFiresOnNonFinite(t *testing.T) {
+	_, det := fixture(t)
+	d := NewDrift(det, driftCfg(), nil)
+	d.ObserveScores(0, []float64{math.NaN()})
+	drifted, reason := d.Check()
+	if !drifted || !strings.Contains(reason, "non-finite") {
+		t.Fatalf("NaN score: drifted=%v reason=%q", drifted, reason)
+	}
+}
+
+func TestDriftBelowMinSamplesNeverVotes(t *testing.T) {
+	_, det := fixture(t)
+	d := NewDrift(det, driftCfg(), nil)
+	// 3 huge observations < MinDriftSamples(4): not enough evidence.
+	d.ObserveScores(0, []float64{100, 100, 100})
+	if drifted, reason := d.Check(); drifted {
+		t.Fatalf("under-sampled cluster voted for drift: %s", reason)
+	}
+}
+
+func TestDriftRebaselineResets(t *testing.T) {
+	_, det := fixture(t)
+	d := NewDrift(det, driftCfg(), nil)
+	for i := 0; i < 16; i++ {
+		d.ObserveScores(0, []float64{9})
+	}
+	if drifted, _ := d.Check(); !drifted {
+		t.Fatal("setup: expected drift before rebaseline")
+	}
+	d.Rebaseline(det)
+	if drifted, reason := d.Check(); drifted {
+		t.Fatalf("drift survived a rebaseline: %s", reason)
+	}
+}

@@ -1,0 +1,81 @@
+package lifecycle
+
+import (
+	"sync"
+	"testing"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+var (
+	fixOnce sync.Once
+	fixDS   *dataset.Dataset
+	fixDet  *core.Detector
+	fixErr  error
+)
+
+func fastOpts() core.Options {
+	o := core.DefaultOptions()
+	o.Epochs = 3
+	o.MaxWindowsPerCluster = 60
+	o.KMax = 4
+	o.RepSegments = 3
+	return o
+}
+
+// trainInputOf mirrors the public TrainInputFromDataset helper without
+// importing the root package.
+func trainInputOf(ds *dataset.Dataset) core.TrainInput {
+	in := core.TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: telemetry.SemanticIndex(ds.Catalog),
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	return in
+}
+
+// fixture trains one incumbent detector on the tiny dataset, shared across
+// the package's tests and benchmarks (training dominates wall time).
+func fixture(tb testing.TB) (*dataset.Dataset, *core.Detector) {
+	tb.Helper()
+	fixOnce.Do(func() {
+		fixDS = dataset.Build(dataset.Tiny())
+		fixDet, fixErr = core.Train(trainInputOf(fixDS), fastOpts())
+	})
+	if fixErr != nil {
+		tb.Fatal(fixErr)
+	}
+	return fixDS, fixDet
+}
+
+// feed replays the dataset's [from, to) window into sink with every metric
+// multiplied by mul — mul > 1 simulates a sustained workload shift the
+// incumbent never trained on.
+func feed(sink ingest.Sink, ds *dataset.Dataset, from, to int64, mul float64) {
+	for _, node := range ds.Nodes() {
+		f := ds.Frames[node]
+		view := f.Slice(f.IndexOf(from), f.IndexOf(to))
+		sink.RegisterNode(node, view.Metrics)
+		spans := ds.SpansForNode(node, from, to)
+		si := 0
+		for t := 0; t < view.Len(); t++ {
+			ts := view.Start + int64(t)*view.Step
+			for si < len(spans) && spans[si].Start <= ts {
+				sink.ObserveJob(node, spans[si].Job, spans[si].Start)
+				si++
+			}
+			row := make([]float64, len(view.Data))
+			for m := range row {
+				row[m] = view.Data[m][t] * mul
+			}
+			sink.Ingest(node, ts, row)
+		}
+	}
+}

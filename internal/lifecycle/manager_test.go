@@ -1,0 +1,241 @@
+package lifecycle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+	"nodesentry/internal/telemetry"
+)
+
+// shiftScale multiplies every metric during replay: a sustained shift far
+// outside the incumbent's training distribution.
+const shiftScale = 4.0
+
+// newManagerUnderTest stands up the full live topology: an incumbent
+// monitor fed through a Tee with the manager's sink, exactly as sentryd
+// wires it.
+func newManagerUnderTest(t *testing.T, reg *obs.Registry, mut func(*Config)) (mon *runtime.Monitor, mgr *Manager, store *Store, sink ingest.Sink, v1 Version) {
+	t.Helper()
+	ds, det := fixture(t)
+	inc, err := det.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err = OpenStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err = store.SaveVersion(inc, "initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Activate(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	mon, err = runtime.NewMonitor(inc, runtime.Config{
+		Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 512, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range mon.Alerts() { // deliberately unbuffered consumer
+		}
+	}()
+	t.Cleanup(func() { mon.Close(); <-drained })
+
+	cfg := Config{
+		DriftThreshold:   1.6,
+		DriftWindow:      128,
+		MinDriftSamples:  8,
+		MinShadowWindows: 4,
+		Step:             ds.Step,
+		TrainOptions:     fastOpts(),
+		SemanticGroups:   telemetry.SemanticIndex(ds.Catalog),
+		ShadowQueue:      1 << 15,
+		Metrics:          reg,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	mgr, err = NewManager(mon, inc, v1.ID, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon, mgr, store, ingest.Tee(mon, mgr.Sink()), v1
+}
+
+// TestLifecyclePromotesOnDrift is the end-to-end loop the subsystem exists
+// for: a sustained workload shift drives drift past the threshold, the
+// buffer retrains a candidate on the shifted stream, the shadow audition
+// passes the gate, and the candidate is hot-swapped in and activated in the
+// registry.
+func TestLifecyclePromotesOnDrift(t *testing.T) {
+	ds, _ := fixture(t)
+	reg := obs.NewRegistry()
+	mon, mgr, store, sink, v1 := newManagerUnderTest(t, reg, func(c *Config) {
+		// A freshly retrained candidate carries a generalization gap on the
+		// short buffered corpus, so promotion rides the relative half of the
+		// score gate; extra alert slack absorbs the phase's injected faults.
+		c.ImprovementFactor = 0.7
+		c.AlertSlack = 25
+	})
+
+	// 70% of the shifted window feeds the retrain buffer, the rest audits:
+	// a shorter corpus leaves the candidate under-trained and (correctly)
+	// rejected by the gate.
+	mid := ds.SplitTime() + (ds.Horizon-ds.SplitTime())*7/10
+	mid -= mid % ds.Step
+	feed(sink, ds, ds.SplitTime(), mid, shiftScale)
+
+	drifted, reason := mgr.Drift().Check()
+	if !drifted {
+		t.Fatalf("a sustained %.0fx shift did not register as drift", shiftScale)
+	}
+	t.Logf("drift: %s", reason)
+
+	v2, err := mgr.RetrainNow(context.Background(), "drift: "+reason)
+	if err != nil {
+		t.Fatalf("retrain off the buffer failed: %v", err)
+	}
+
+	// The candidate audits the rest of the shifted stream in shadow.
+	feed(sink, ds, mid, ds.Horizon, shiftScale)
+	dec, decided := mgr.DecideShadow(true)
+	if !decided {
+		t.Fatal("DecideShadow(force) did not decide")
+	}
+	if !dec.Promoted {
+		t.Fatalf("candidate trained on the shifted stream was rejected: %+v", dec)
+	}
+	t.Logf("decision: %+v", dec)
+
+	if got := mon.Epoch(); got != 2 {
+		t.Fatalf("monitor epoch = %d after one promotion, want 2", got)
+	}
+	if act, ok := store.Active(); !ok || act.ID != v2.ID {
+		t.Fatalf("registry active = %+v, want %s", act, v2.ID)
+	}
+	for _, rec := range store.Versions() {
+		if rec.ID == v1.ID && rec.Status != StatusRetired {
+			t.Fatalf("previous incumbent %s status %s, want retired", v1.ID, rec.Status)
+		}
+	}
+	last, ok := mgr.LastDecision()
+	if !ok || !last.Promoted || last.Version.ID != v2.ID {
+		t.Fatalf("LastDecision = %+v, %v", last, ok)
+	}
+	if drifted, reason := mgr.Drift().Check(); drifted {
+		t.Fatalf("drift not rebaselined after promotion: %s", reason)
+	}
+
+	// Every transition is visible on /metrics.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"nodesentry_lifecycle_drift_events_total",
+		"nodesentry_lifecycle_drift_score{cluster=",
+		"nodesentry_lifecycle_retrains_total{reason=\"drift\"} 1",
+		"nodesentry_lifecycle_promotions_total 1",
+		"nodesentry_lifecycle_model_version 2",
+		"nodesentry_lifecycle_buffer_bytes",
+		"nodesentry_detector_swaps_total 1",
+		"nodesentry_detector_epoch 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestLifecycleRejectsBadCandidate pins the other half of the gate: a
+// candidate that scores the shifted stream as badly as the incumbent (here:
+// a clone of it) must be rejected, recorded, and the incumbent left
+// serving, unswapped.
+func TestLifecycleRejectsBadCandidate(t *testing.T) {
+	ds, det := fixture(t)
+	// A tight band makes the shifted-score rejection deterministic: the
+	// clone can never beat the incumbent's own p50 by the default 2x either.
+	mon, mgr, store, sink, v1 := newManagerUnderTest(t, nil, func(c *Config) { c.P50Band = 1.5 })
+
+	mid := (ds.SplitTime() + ds.Horizon) / 2
+	feed(sink, ds, ds.SplitTime(), mid, shiftScale)
+
+	cand, err := det.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := store.SaveVersion(cand, "bad-candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartShadow(cand, v2); err != nil {
+		t.Fatal(err)
+	}
+	feed(sink, ds, mid, ds.Horizon, shiftScale)
+
+	dec, decided := mgr.DecideShadow(true)
+	if !decided {
+		t.Fatal("DecideShadow(force) did not decide")
+	}
+	if dec.Promoted {
+		t.Fatalf("incumbent clone passed the gate under shifted traffic: %+v", dec)
+	}
+	if dec.Reason == "" {
+		t.Fatal("rejection must carry a reason")
+	}
+	t.Logf("rejected: %s", dec.Reason)
+
+	if got := mon.Epoch(); got != 1 {
+		t.Fatalf("monitor epoch = %d after a rejection, want 1 (no swap)", got)
+	}
+	if act, ok := store.Active(); !ok || act.ID != v1.ID {
+		t.Fatalf("registry active = %+v, want incumbent %s", act, v1.ID)
+	}
+	for _, rec := range store.Versions() {
+		if rec.ID == v2.ID {
+			if rec.Status != StatusRejected || rec.Reason == "" {
+				t.Fatalf("rejected candidate record = %+v", rec)
+			}
+		}
+	}
+	// The incumbent still serves: more traffic flows without incident.
+	feed(sink, ds, ds.SplitTime(), ds.SplitTime()+10*ds.Step, 1)
+}
+
+// TestManagerRunDrainsOnCancel exercises the Run loop's shutdown contract:
+// cancellation waits out in-flight retraining and tears down any shadow.
+func TestManagerRunDrainsOnCancel(t *testing.T) {
+	ds, _ := fixture(t)
+	_, mgr, _, sink, _ := newManagerUnderTest(t, nil, nil)
+	feed(sink, ds, ds.SplitTime(), ds.SplitTime()+60*ds.Step, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mgr.Run(ctx)
+	}()
+	mgr.StartRetrain(ctx, "manual")
+	cancel()
+	<-done
+	if sh := mgr.shadow.Load(); sh != nil {
+		t.Fatal("Run exited with a live shadow")
+	}
+}
+
+func TestRetrainNowEmptyBufferErrors(t *testing.T) {
+	_, mgr, _, _, _ := newManagerUnderTest(t, nil, nil)
+	if _, err := mgr.RetrainNow(context.Background(), "manual"); err == nil {
+		t.Fatal("retraining off an empty buffer must error, not train")
+	}
+}

@@ -1,0 +1,148 @@
+package lifecycle
+
+import (
+	"math"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+)
+
+// shadowEvent is one mirrored sink call.
+type shadowEvent struct {
+	kind    uint8 // 0 ingest, 1 observeJob, 2 registerNode
+	node    string
+	ts      int64 // Ingest ts / ObserveJob start
+	job     int64
+	metrics []string
+	values  []float64
+}
+
+// shadowRun scores the live stream with a candidate detector behind a
+// bounded queue: the live path enqueues and never blocks — when the
+// candidate can't keep up, events are dropped and counted, because a slow
+// candidate must degrade its own audition, not production scoring. Scoring
+// statistics (windows, alert count, normalized-score distribution) feed the
+// promotion gate.
+type shadowRun struct {
+	version Version
+	det     *core.Detector
+	mon     *runtime.Monitor
+
+	ch      chan shadowEvent
+	pending atomic.Int64
+	dropped *obs.Counter
+	wg      sync.WaitGroup
+
+	windows   atomic.Int64
+	alerts    atomic.Int64
+	nonFinite atomic.Int64
+	mu        sync.Mutex
+	scoreQ    *QuantileWindow
+}
+
+// newShadowRun builds and starts a shadow scorer for det. The caller
+// provides the node layouts and current jobs to prime the candidate monitor
+// with the stream's mid-flight state.
+func newShadowRun(det *core.Detector, v Version, cfg Config, layouts map[string][]string, jobs map[string][2]int64, reg *obs.Registry) (*shadowRun, error) {
+	mon, err := runtime.NewMonitor(det, runtime.Config{
+		Step:           cfg.Step,
+		ScoringWorkers: 1,
+		AlertBuffer:    64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh := &shadowRun{
+		version: v,
+		det:     det,
+		mon:     mon,
+		ch:      make(chan shadowEvent, cfg.ShadowQueue),
+		dropped: reg.Counter("nodesentry_lifecycle_shadow_dropped_total"),
+		scoreQ:  NewQuantileWindow(4096),
+	}
+	mon.SetHooks(runtime.Hooks{
+		OnScores: func(node string, cluster int, scores []float64) {
+			sh.windows.Add(1)
+			sh.mu.Lock()
+			for _, s := range scores {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					sh.nonFinite.Add(1)
+					continue
+				}
+				sh.scoreQ.Observe(s)
+			}
+			sh.mu.Unlock()
+		},
+		OnAlert: func(a runtime.Alert) { sh.alerts.Add(1) },
+	})
+	for node, metrics := range layouts {
+		mon.RegisterNode(node, metrics)
+	}
+	for node, j := range jobs {
+		mon.ObserveJob(node, j[0], j[1])
+	}
+	// Consume the candidate's alerts so its buffer never influences
+	// accounting; the count comes from the OnAlert hook.
+	sh.wg.Add(1)
+	go func() {
+		defer sh.wg.Done()
+		for range mon.Alerts() { // drains until mon.Close
+		}
+	}()
+	sh.wg.Add(1)
+	go func() {
+		defer sh.wg.Done()
+		for ev := range sh.ch { // stopped by closing sh.ch
+			switch ev.kind {
+			case 0:
+				sh.mon.Ingest(ev.node, ev.ts, ev.values)
+			case 1:
+				sh.mon.ObserveJob(ev.node, ev.job, ev.ts)
+			case 2:
+				sh.mon.RegisterNode(ev.node, ev.metrics)
+			}
+			sh.pending.Add(-1)
+		}
+	}()
+	return sh, nil
+}
+
+// offer enqueues a mirrored event without ever blocking the live path.
+func (sh *shadowRun) offer(ev shadowEvent) {
+	select {
+	case sh.ch <- ev:
+		sh.pending.Add(1)
+	default:
+		sh.dropped.Inc()
+	}
+}
+
+// settle blocks until every enqueued event has been applied — used by the
+// gate (and tests) to make the audition deterministic before deciding.
+func (sh *shadowRun) settle() {
+	for sh.pending.Load() > 0 {
+		// The forwarder drains without locks the caller could hold; a
+		// busy-wait with a yield keeps this dependency-free.
+		goruntime.Gosched()
+	}
+}
+
+// stop tears the shadow down: the queue closes, the forwarder drains, and
+// the candidate monitor shuts.
+func (sh *shadowRun) stop() {
+	close(sh.ch)
+	sh.mon.Close()
+	sh.wg.Wait()
+}
+
+// p50 returns the candidate's median normalized score (NaN before any
+// window).
+func (sh *shadowRun) p50() float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.scoreQ.Quantile(0.5)
+}

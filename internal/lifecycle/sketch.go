@@ -1,0 +1,77 @@
+package lifecycle
+
+import (
+	"math"
+
+	"nodesentry/internal/stats"
+)
+
+// QuantileWindow is a fixed-capacity sliding window of observations
+// supporting quantile queries — the drift detector's distribution sketch.
+// At the scale of per-cluster drift checks (hundreds of samples, queried
+// once per check interval) an exact ring buffer beats an approximate
+// sketch: no error bounds to reason about, and Quantile costs one copy and
+// one partial sort of at most the window size. Not safe for concurrent use;
+// callers serialize (Drift holds its own mutex).
+type QuantileWindow struct {
+	buf []float64
+	// n counts total finite observations ever seen; min(n, len(buf)) are
+	// live. i is the next ring slot.
+	n         int
+	i         int
+	nonFinite int
+}
+
+// NewQuantileWindow returns a window holding the last `capacity`
+// observations (minimum 4).
+func NewQuantileWindow(capacity int) *QuantileWindow {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &QuantileWindow{buf: make([]float64, capacity)}
+}
+
+// Observe adds one value. NaN and ±Inf are counted separately rather than
+// stored — a model emitting non-finite scores is its own drift signal, and
+// storing them would poison every quantile query.
+func (q *QuantileWindow) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		q.nonFinite++
+		return
+	}
+	q.buf[q.i] = v
+	q.i = (q.i + 1) % len(q.buf)
+	q.n++
+}
+
+// Len reports how many observations are currently held.
+func (q *QuantileWindow) Len() int {
+	if q.n < len(q.buf) {
+		return q.n
+	}
+	return len(q.buf)
+}
+
+// NonFinite reports how many NaN/Inf observations were rejected.
+func (q *QuantileWindow) NonFinite() int { return q.nonFinite }
+
+// Quantile returns the p-quantile (0..1) of the held observations, or NaN
+// when empty.
+func (q *QuantileWindow) Quantile(p float64) float64 {
+	n := q.Len()
+	if n == 0 {
+		return math.NaN()
+	}
+	tmp := make([]float64, n)
+	if q.n < len(q.buf) {
+		copy(tmp, q.buf[:n])
+	} else {
+		copy(tmp, q.buf)
+	}
+	return stats.Quantile(tmp, p)
+}
+
+// Reset empties the window (the non-finite count included).
+func (q *QuantileWindow) Reset() {
+	q.n, q.i, q.nonFinite = 0, 0, 0
+}

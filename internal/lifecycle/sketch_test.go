@@ -1,0 +1,85 @@
+package lifecycle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileWindowBasics(t *testing.T) {
+	q := NewQuantileWindow(8)
+	if !math.IsNaN(q.Quantile(0.5)) {
+		t.Fatal("empty window must return NaN")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		q.Observe(v)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	if p50 := q.Quantile(0.5); p50 != 3 {
+		t.Fatalf("p50 = %v, want 3", p50)
+	}
+	if p0 := q.Quantile(0); p0 != 1 {
+		t.Fatalf("p0 = %v, want 1", p0)
+	}
+	if p1 := q.Quantile(1); p1 != 5 {
+		t.Fatalf("p1 = %v, want 5", p1)
+	}
+}
+
+func TestQuantileWindowSlides(t *testing.T) {
+	q := NewQuantileWindow(4)
+	for v := 1.0; v <= 8; v++ {
+		q.Observe(v)
+	}
+	// Only 5..8 remain live.
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if lo := q.Quantile(0); lo != 5 {
+		t.Fatalf("min after wrap = %v, want 5", lo)
+	}
+	if hi := q.Quantile(1); hi != 8 {
+		t.Fatalf("max after wrap = %v, want 8", hi)
+	}
+}
+
+func TestQuantileWindowNonFinite(t *testing.T) {
+	q := NewQuantileWindow(4)
+	q.Observe(1)
+	q.Observe(math.NaN())
+	q.Observe(math.Inf(1))
+	q.Observe(math.Inf(-1))
+	if q.Len() != 1 {
+		t.Fatalf("non-finite values must not be stored, Len = %d", q.Len())
+	}
+	if q.NonFinite() != 3 {
+		t.Fatalf("NonFinite = %d, want 3", q.NonFinite())
+	}
+	if p50 := q.Quantile(0.5); p50 != 1 {
+		t.Fatalf("p50 = %v, want 1", p50)
+	}
+}
+
+func TestQuantileWindowReset(t *testing.T) {
+	q := NewQuantileWindow(4)
+	q.Observe(7)
+	q.Observe(math.NaN())
+	q.Reset()
+	if q.Len() != 0 || q.NonFinite() != 0 {
+		t.Fatal("Reset must clear counts")
+	}
+	if !math.IsNaN(q.Quantile(0.5)) {
+		t.Fatal("quantile after Reset must be NaN")
+	}
+}
+
+func TestQuantileWindowMinCapacity(t *testing.T) {
+	q := NewQuantileWindow(0)
+	for v := 1.0; v <= 4; v++ {
+		q.Observe(v)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("minimum capacity must be 4, Len = %d", q.Len())
+	}
+}

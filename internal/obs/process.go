@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterProcessMetrics adds the process-health series — goroutine count,
+// heap usage, and GC activity — to the registry, refreshed lazily on every
+// scrape via an OnScrape hook rather than by a background goroutine, so a
+// registry that is never scraped costs nothing. Repeated registration is a
+// no-op, and a nil registry is the usual no-op.
+//
+// Series (all prefixed nodesentry_process_):
+//
+//	goroutines              gauge    runtime.NumGoroutine
+//	heap_alloc_bytes        gauge    live heap bytes (MemStats.HeapAlloc)
+//	heap_sys_bytes          gauge    heap bytes held from the OS
+//	heap_objects            gauge    live heap objects
+//	next_gc_bytes           gauge    target heap of the next GC cycle
+//	gc_cycles_total         counter  completed GC cycles
+//	gc_pause_seconds_total  gauge    cumulative stop-the-world pause time
+//	gc_last_pause_seconds   gauge    most recent GC pause
+//	max_procs               gauge    GOMAXPROCS
+//
+// These make retrain CPU/memory pressure visible on /metrics while a
+// background training run is underway (the lifecycle subsystem's main
+// operational question: "is the daemon struggling because of retraining?").
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.procRegistered {
+		r.mu.Unlock()
+		return
+	}
+	r.procRegistered = true
+	r.mu.Unlock()
+
+	goroutines := r.Gauge("nodesentry_process_goroutines")
+	heapAlloc := r.Gauge("nodesentry_process_heap_alloc_bytes")
+	heapSys := r.Gauge("nodesentry_process_heap_sys_bytes")
+	heapObjects := r.Gauge("nodesentry_process_heap_objects")
+	nextGC := r.Gauge("nodesentry_process_next_gc_bytes")
+	gcCycles := r.Counter("nodesentry_process_gc_cycles_total")
+	gcPauseTotal := r.Gauge("nodesentry_process_gc_pause_seconds_total")
+	gcLastPause := r.Gauge("nodesentry_process_gc_last_pause_seconds")
+	maxProcs := r.Gauge("nodesentry_process_max_procs")
+
+	var lastCycles uint32
+	var gcs debug.GCStats
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		heapObjects.Set(float64(ms.HeapObjects))
+		nextGC.Set(float64(ms.NextGC))
+		gcCycles.Add(int64(ms.NumGC - lastCycles))
+		lastCycles = ms.NumGC
+		gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+		debug.ReadGCStats(&gcs)
+		if len(gcs.Pause) > 0 {
+			gcLastPause.Set(gcs.Pause[0].Seconds())
+		}
+		maxProcs.Set(float64(runtime.GOMAXPROCS(0)))
+	})
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus call,
+// before series are read — the place to refresh gauges that sample process
+// state (MemStats, goroutine counts) only when someone is looking. Hooks
+// run outside the registry lock and must not block; they may run
+// concurrently with each other when scrapes overlap. Nil-safe.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.scrapeHooks = append(r.scrapeHooks, fn)
+	r.mu.Unlock()
+}

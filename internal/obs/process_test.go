@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestProcessMetricsAppearOnScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"nodesentry_process_goroutines",
+		"nodesentry_process_heap_alloc_bytes",
+		"nodesentry_process_heap_sys_bytes",
+		"nodesentry_process_gc_cycles_total",
+		"nodesentry_process_gc_pause_seconds_total",
+		"nodesentry_process_max_procs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %s:\n%s", want, out)
+		}
+	}
+	// Values must be live, not zero placeholders: at least one goroutine
+	// and a non-empty heap exist in any running test binary.
+	if reg.Gauge("nodesentry_process_goroutines").Value() < 1 {
+		t.Error("goroutine gauge not refreshed on scrape")
+	}
+	if reg.Gauge("nodesentry_process_heap_alloc_bytes").Value() <= 0 {
+		t.Error("heap gauge not refreshed on scrape")
+	}
+}
+
+func TestProcessMetricsIdempotentAndNilSafe(t *testing.T) {
+	RegisterProcessMetrics(nil) // must not panic
+	var nilReg *Registry
+	nilReg.OnScrape(func() {})
+
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	RegisterProcessMetrics(reg)
+	if n := len(reg.scrapeHooks); n != 1 {
+		t.Fatalf("double registration installed %d hooks, want 1", n)
+	}
+	// A counter must not double-count cycles when registered twice.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRegistersProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	srv, addr, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }() // test teardown; shutdown error is inert
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }() // test teardown
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "nodesentry_process_goroutines") {
+		t.Error("served /metrics missing process collector series")
+	}
+}

@@ -41,6 +41,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// scrapeHooks run at the start of every WritePrometheus call (see
+	// OnScrape); procRegistered makes RegisterProcessMetrics idempotent.
+	scrapeHooks    []func()
+	procRegistered bool
 }
 
 // NewRegistry returns an empty registry.
@@ -274,6 +278,12 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.scrapeHooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	r.mu.Lock()
 	counters := make([]*Counter, 0, len(r.counters))

@@ -41,8 +41,11 @@ func Handler(reg *Registry, health func() error) http.Handler {
 // Serve listens on addr and serves Handler(reg, health) on a background
 // goroutine, returning the bound server (shut it down with Server.Close or
 // Server.Shutdown) and the resolved listen address. The explicit listener
-// makes ":0" usable in tests and examples.
+// makes ":0" usable in tests and examples. A served registry also gets the
+// process-metrics collector (RegisterProcessMetrics): anything reachable
+// over the network should expose its own goroutine/heap/GC health.
 func Serve(addr string, reg *Registry, health func() error) (*http.Server, string, error) {
+	RegisterProcessMetrics(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)

@@ -37,6 +37,11 @@ type Alert struct {
 	Priority Priority
 	// Diagnosis attributes the alarm to metrics and a Table 1 fault level.
 	Diagnosis diagnose.Report
+	// Epoch identifies the detector generation that scored the alerted
+	// window: 1 is the generation NewMonitor installed, and each
+	// SwapDetector increments it. Consumers use it to attribute alerts
+	// across a hot swap.
+	Epoch int64
 }
 
 // Priority grades an alert.
@@ -144,6 +149,9 @@ type monMetrics struct {
 	dropped      *obs.Counter
 	thrUpdates   *obs.Counter
 	nodes        *obs.Gauge
+	epoch        *obs.Gauge
+	swaps        *obs.Counter
+	swapPause    *obs.Histogram
 }
 
 func newMonMetrics(r *obs.Registry) monMetrics {
@@ -162,13 +170,41 @@ func newMonMetrics(r *obs.Registry) monMetrics {
 		dropped:      r.Counter("nodesentry_alerts_dropped_total"),
 		thrUpdates:   r.Counter("nodesentry_threshold_updates_total"),
 		nodes:        r.Gauge("nodesentry_nodes"),
+		epoch:        r.Gauge("nodesentry_detector_epoch"),
+		swaps:        r.Counter("nodesentry_detector_swaps_total"),
+		swapPause:    r.Histogram("nodesentry_detector_swap_pause_seconds", obs.LatencyBuckets),
 	}
+}
+
+// pooled is one checkout slot of the detector pool: a clone plus the epoch
+// of the generation it belongs to, so work performed with it can be
+// attributed across hot swaps.
+type pooled struct {
+	det   *core.Detector
+	epoch int64
+}
+
+// Hooks observe the monitor's hot path. All callbacks are optional; they
+// run synchronously on the ingestion goroutine — OnMatch and OnScores while
+// the node's lock is held — so they must be fast, must not call back into
+// the Monitor, and must not retain the scores slice (copy it). The
+// lifecycle drift detector and shadow scorer are the intended consumers.
+type Hooks struct {
+	// OnMatch fires after each pattern match with the assigned cluster,
+	// the centroid distance, and whether it fell inside the match radius.
+	OnMatch func(node string, cluster int, distance float64, matched bool)
+	// OnScores fires after each scored window with the per-sample
+	// normalized scores.
+	OnScores func(node string, cluster int, scores []float64)
+	// OnAlert fires for every alert the monitor raises, including ones the
+	// alert channel then drops; it runs without node locks held.
+	OnAlert func(a Alert)
 }
 
 // Monitor is the streaming detection engine.
 type Monitor struct {
 	cfg  Config
-	pool chan *core.Detector
+	pool chan pooled
 
 	mu    sync.Mutex
 	nodes map[string]*nodeState
@@ -177,8 +213,21 @@ type Monitor struct {
 	dropped atomic.Int64
 	// closeMu serializes deliver against Close so a send can never race a
 	// channel close: deliver holds the read side, Close the write side.
+	// SwapDetector also holds the read side while the pool is drained, so
+	// SnapshotConsistent's write-side barrier freezes both alert
+	// accounting and epoch changes at once.
 	closeMu sync.RWMutex
 	closed  bool
+
+	// epoch is the current detector generation (1 at construction, +1 per
+	// swap); seq advances on every event a consistent snapshot must not
+	// tear across (alert accounting, node creation, swaps). swapMu
+	// serializes swaps.
+	epoch  atomic.Int64
+	seq    atomic.Uint64
+	swapMu sync.Mutex
+
+	hooks atomic.Pointer[Hooks]
 
 	// reg is nil when observability is off; met's handles are then all
 	// nil no-ops. obsOn gates the timing reads (time.Now) the no-op
@@ -195,7 +244,7 @@ func NewMonitor(det *core.Detector, cfg Config) (*Monitor, error) {
 	cfg = cfg.withDefaults()
 	m := &Monitor{
 		cfg:    cfg,
-		pool:   make(chan *core.Detector, cfg.ScoringWorkers),
+		pool:   make(chan pooled, cfg.ScoringWorkers),
 		nodes:  map[string]*nodeState{},
 		alerts: make(chan Alert, cfg.AlertBuffer),
 		reg:    cfg.Metrics,
@@ -203,14 +252,67 @@ func NewMonitor(det *core.Detector, cfg Config) (*Monitor, error) {
 		obsOn:  cfg.Metrics != nil,
 		log:    cfg.Logger,
 	}
+	m.epoch.Store(1)
+	m.met.epoch.Set(1)
 	for i := 0; i < cfg.ScoringWorkers; i++ {
 		clone, err := det.Clone()
 		if err != nil {
 			return nil, err
 		}
-		m.pool <- clone
+		m.pool <- pooled{det: clone, epoch: 1}
 	}
 	return m, nil
+}
+
+// SetHooks installs (or, with a zero Hooks, clears) the observation hooks.
+// Safe to call concurrently with ingestion; in-flight calls may still see
+// the previous hooks.
+func (m *Monitor) SetHooks(h Hooks) {
+	m.hooks.Store(&h)
+}
+
+// Epoch returns the current detector generation.
+func (m *Monitor) Epoch() int64 { return m.epoch.Load() }
+
+// SwapDetector atomically replaces the monitor's detector with det (hot
+// swap): it clones det for every pool slot, waits for in-flight scoring to
+// finish, and installs the new generation. No window is dropped or scored
+// twice — a window is scored by exactly one generation, and alerts carry
+// the epoch that scored them. The returned duration is the pause: the time
+// the pool was unavailable to ingestion (cloning happens before the pause
+// begins). The old clones are discarded; the caller keeps det.
+func (m *Monitor) SwapDetector(det *core.Detector) (time.Duration, error) {
+	clones := make([]*core.Detector, m.cfg.ScoringWorkers)
+	for i := range clones {
+		c, err := det.Clone()
+		if err != nil {
+			return 0, err
+		}
+		clones[i] = c
+	}
+	m.swapMu.Lock()
+	defer m.swapMu.Unlock()
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	start := time.Now()
+	// Drain every slot: each in-flight Ingest returns its checkout without
+	// needing any lock this goroutine holds, so this always completes.
+	for i := 0; i < m.cfg.ScoringWorkers; i++ {
+		<-m.pool
+	}
+	epoch := m.epoch.Add(1)
+	for _, c := range clones {
+		m.pool <- pooled{det: c, epoch: epoch}
+	}
+	pause := time.Since(start)
+	m.seq.Add(1)
+	m.met.swaps.Inc()
+	m.met.epoch.Set(float64(epoch))
+	m.met.swapPause.Observe(pause.Seconds())
+	if m.log != nil {
+		m.log.Info("detector swapped", "epoch", epoch, "pause", pause)
+	}
+	return pause, nil
 }
 
 // Alerts returns the alert stream.
@@ -232,6 +334,7 @@ func (m *Monitor) state(node string) *nodeState {
 		}
 		m.nodes[node] = st
 		m.met.nodes.Set(float64(len(m.nodes)))
+		m.seq.Add(1)
 	}
 	return st
 }
@@ -279,8 +382,8 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 		}
 		st.probe = append(st.probe, v)
 		st.probeTs = append(st.probeTs, ts)
-		det := <-m.pool
-		need := int(det.MatchPeriodSec() / m.cfg.Step)
+		p := <-m.pool
+		need := int(p.det.MatchPeriodSec() / m.cfg.Step)
 		if need < 2 {
 			need = 2
 		}
@@ -290,7 +393,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			if m.obsOn {
 				t0 = time.Now()
 			}
-			asg := det.MatchPattern(frame)
+			asg := p.det.MatchPattern(frame)
 			if m.obsOn {
 				m.met.matchLat.Observe(time.Since(t0).Seconds())
 				if asg.Matched {
@@ -299,6 +402,9 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 					m.met.matchedMiss.Inc()
 				}
 			}
+			if h := m.hooks.Load(); h != nil && h.OnMatch != nil {
+				h.OnMatch(st.node, asg.Cluster, asg.Distance, asg.Matched)
+			}
 			st.matched = true
 			st.cluster = asg.Cluster
 			// The probe samples become the first pending windows.
@@ -306,7 +412,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			st.pendTs = st.probeTs
 			st.probe, st.probeTs = nil, nil
 		}
-		m.pool <- det
+		m.pool <- p
 		if !st.matched {
 			st.bufGauge.Set(float64(len(st.probe)))
 			st.mu.Unlock()
@@ -317,8 +423,8 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 		st.pendTs = append(st.pendTs, ts)
 	}
 
-	det := <-m.pool
-	win := det.WindowLen()
+	p := <-m.pool
+	win := p.det.WindowLen()
 	var emit []Alert
 	for len(st.pending) >= win {
 		frame := frameOf(st.node, st.metrics, st.pending[:win], st.pendTs[0], m.cfg.Step)
@@ -326,23 +432,27 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 		if m.obsOn {
 			t0 = time.Now()
 		}
-		scores := det.ScoreFrame(frame, st.cluster, st.consumed)
+		scores := p.det.ScoreFrame(frame, st.cluster, st.consumed)
 		if m.obsOn {
 			m.met.scoreLat.Observe(time.Since(t0).Seconds())
 			m.met.windows.Inc()
 			m.met.samples.Add(int64(win))
 		}
+		if h := m.hooks.Load(); h != nil && h.OnScores != nil {
+			h.OnScores(st.node, st.cluster, scores)
+		}
 		st.lastScored = frame.TimeAt(win - 1)
-		emit = append(emit, m.absorbScores(det, st, frame, scores)...)
+		emit = append(emit, m.absorbScores(p.det, st, frame, scores)...)
 		st.pending = st.pending[win:]
 		st.pendTs = st.pendTs[win:]
 		st.consumed += win
 	}
 	st.bufGauge.Set(float64(len(st.pending)))
-	m.pool <- det
+	m.pool <- p
 	st.mu.Unlock()
-	for _, a := range emit {
-		m.deliver(st, a)
+	for i := range emit {
+		emit[i].Epoch = p.epoch
+		m.deliver(st, emit[i])
 	}
 }
 
@@ -441,8 +551,15 @@ func (m *Monitor) deliver(st *nodeState, a Alert) {
 	} else {
 		m.met.alertWarn.Inc()
 	}
+	if h := m.hooks.Load(); h != nil && h.OnAlert != nil {
+		h.OnAlert(a)
+	}
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
+	// The seq bump is the last mutation, so a consistent snapshot that saw
+	// an unchanged seq either missed this delivery entirely or fell back to
+	// the invariant check.
+	defer m.seq.Add(1)
 	if m.closed {
 		// Raised after shutdown began: account it as dropped rather than
 		// panicking on the closed channel.
@@ -500,8 +617,66 @@ type NodeStatus struct {
 // Snapshot returns the streaming state of every node the monitor has seen,
 // sorted by node name. It is safe to call concurrently with Ingest and
 // ObserveJob; each node is captured atomically under its own lock, so the
-// snapshot is per-node consistent (not a global barrier).
-func (m *Monitor) Snapshot() []NodeStatus {
+// snapshot is per-node consistent (not a global barrier). For a globally
+// consistent view, use SnapshotConsistent.
+func (m *Monitor) Snapshot() []NodeStatus { return m.collect() }
+
+// SnapshotView is a globally consistent point-in-time view of the monitor.
+// It upholds the cross-node invariant the per-node Snapshot cannot: the sum
+// of per-node Dropped counts equals the global Dropped count, and Epoch is
+// the detector generation in effect for the whole capture.
+type SnapshotView struct {
+	// Epoch is the detector generation (see SwapDetector).
+	Epoch int64
+	// Seq is the monitor's sequence stamp at capture: it advances on every
+	// alert accounting event, node registration, and swap, so two views
+	// with equal Seq describe the same global state.
+	Seq uint64
+	// Dropped is the global count of alerts discarded because the consumer
+	// fell behind; it equals the sum of Nodes[i].Dropped.
+	Dropped int64
+	// Nodes is the per-node state, sorted by node name.
+	Nodes []NodeStatus
+}
+
+// SnapshotConsistent captures a globally consistent SnapshotView. It first
+// tries optimistically — collect between two sequence reads and validate
+// the dropped-count invariant — and only if concurrent activity keeps
+// tearing the view does it take the write side of closeMu, briefly pausing
+// alert delivery and swaps (never scoring) while it reads. The swap
+// handoff's epoch stamping makes the per-epoch attribution exact.
+func (m *Monitor) SnapshotConsistent() SnapshotView {
+	for attempt := 0; attempt < 8; attempt++ {
+		s1 := m.seq.Load()
+		v := SnapshotView{Epoch: m.epoch.Load(), Seq: s1}
+		v.Nodes = m.collect()
+		v.Dropped = m.dropped.Load()
+		if m.seq.Load() == s1 && m.epoch.Load() == v.Epoch && droppedInvariant(v) {
+			return v
+		}
+	}
+	// Barrier: the write lock excludes deliver (alert accounting) and
+	// SwapDetector (epoch changes); node creation may still interleave but
+	// a node created now has zero dropped alerts, preserving the invariant.
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	v := SnapshotView{Epoch: m.epoch.Load(), Seq: m.seq.Load()}
+	v.Nodes = m.collect()
+	v.Dropped = m.dropped.Load()
+	return v
+}
+
+// droppedInvariant reports whether the view's per-node dropped counts
+// reconcile with its global count.
+func droppedInvariant(v SnapshotView) bool {
+	var sum int64
+	for _, n := range v.Nodes {
+		sum += n.Dropped
+	}
+	return sum == v.Dropped
+}
+
+func (m *Monitor) collect() []NodeStatus {
 	m.mu.Lock()
 	states := make([]*nodeState, 0, len(m.nodes))
 	for _, st := range m.nodes {

@@ -1,0 +1,40 @@
+package nodesentry
+
+import (
+	"nodesentry/internal/lifecycle"
+)
+
+// Model-lifecycle types: the control loop that keeps deployed per-cluster
+// models representative as workloads churn (drift detection, background
+// retraining, shadow promotion, zero-drop hot swap, versioned registry).
+type (
+	// LifecycleManager owns the drift -> retrain -> shadow -> promote loop
+	// around a Monitor.
+	LifecycleManager = lifecycle.Manager
+	// LifecycleConfig parameterizes a LifecycleManager.
+	LifecycleConfig = lifecycle.Config
+	// LifecycleDecision records one shadow-gate outcome (promotion or
+	// rejection) with its evidence.
+	LifecycleDecision = lifecycle.Decision
+	// ModelStore is the versioned on-disk model registry: checksummed
+	// payloads, retention, quarantine, rollback.
+	ModelStore = lifecycle.Store
+	// ModelVersion is one registry entry's metadata.
+	ModelVersion = lifecycle.Version
+)
+
+// OpenModelStore opens (creating if needed) a versioned model registry in
+// dir, retaining at most keep inactive versions.
+func OpenModelStore(dir string, keep int) (*ModelStore, error) {
+	return lifecycle.OpenStore(dir, keep)
+}
+
+// NewLifecycleManager builds the lifecycle control loop around a monitor
+// and its incumbent detector. activeID names the registry version the
+// incumbent was loaded from; pass the Version returned by SaveVersion (or
+// LoadActive) on startup. Feed the manager's Sink alongside the monitor —
+// e.g. ingest.Tee(mon, mgr.Sink()) — and run Run in a goroutine; cancel
+// its context to drain in-flight retraining on shutdown.
+func NewLifecycleManager(mon *Monitor, det *Detector, activeID string, store *ModelStore, cfg LifecycleConfig) (*LifecycleManager, error) {
+	return lifecycle.NewManager(mon, det, activeID, store, cfg)
+}

@@ -5,7 +5,9 @@
 #   format     gofmt -l (fails on any unformatted file)
 #   vet        go vet ./...
 #   sentrylint the repo's own analyzer (cmd/sentrylint); findings fail the
-#              gate unless suppressed with //lint:ignore <check> <reason>
+#              gate unless suppressed with //lint:ignore <check> <reason>.
+#              Runs against a findings cache under .cache/ so unchanged
+#              packages skip re-type-checking on repeat runs.
 #   race tests go test -race ./...
 #
 # Run from the repository root: ./scripts/verify.sh
@@ -30,7 +32,7 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> sentrylint ./..."
-go run ./cmd/sentrylint ./...
+go run ./cmd/sentrylint -cache .cache/sentrylint.json ./...
 
 echo "==> go test -race $* ./..."
 # The full experiment reproductions exceed go test's default 10m package
