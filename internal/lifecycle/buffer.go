@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"nodesentry/internal/core"
@@ -46,6 +47,7 @@ type Buffer struct {
 	step    int64
 	budget  int64
 	maxSegs int
+	maxGap  int64 // widest inter-segment gap TrainInput bridges, in seconds
 	bytes   int64
 	nodes   map[string]*nodeBuf
 
@@ -53,6 +55,7 @@ type Buffer struct {
 	segsG   *obs.Gauge
 	evicted *obs.Counter
 	samples *obs.Counter
+	gapSkip *obs.Counter
 }
 
 // NewBuffer builds a buffer with the config's byte budget, per-node segment
@@ -63,11 +66,13 @@ func NewBuffer(cfg Config, reg *obs.Registry) *Buffer {
 		step:    cfg.Step,
 		budget:  cfg.BufferBytes,
 		maxSegs: cfg.MaxSegmentsPerNode,
+		maxGap:  int64(cfg.MaxGapSteps) * cfg.Step,
 		nodes:   map[string]*nodeBuf{},
 		bytesG:  reg.Gauge("nodesentry_lifecycle_buffer_bytes"),
 		segsG:   reg.Gauge("nodesentry_lifecycle_buffer_segments"),
 		evicted: reg.Counter("nodesentry_lifecycle_buffer_evicted_total"),
 		samples: reg.Counter("nodesentry_lifecycle_buffer_samples_total"),
+		gapSkip: reg.Counter("nodesentry_lifecycle_buffer_gap_skipped_total"),
 	}
 }
 
@@ -241,6 +246,25 @@ func (b *Buffer) TrainInput(groups map[string][]int) core.TrainInput {
 		}
 		if len(segs) == 0 || nb.metrics == nil {
 			continue
+		}
+		// Replay of past timestamps can leave the done list out of order;
+		// sort so the gap walk below sees chronological neighbours.
+		sort.Slice(segs, func(i, j int) bool { return segs[i].firstTs < segs[j].firstTs })
+		// Keep only the newest run of segments whose pairwise gaps fit
+		// MaxGapSteps: gap cells are NaN-filled into the frame at full metric
+		// width but never charged to BufferBytes, so an unbounded gap (a node
+		// returning after a long outage) would materialize a frame far past
+		// the budget.
+		cut := 0
+		for i := len(segs) - 1; i > 0; i-- {
+			if segs[i].firstTs-segs[i-1].lastTs > b.maxGap {
+				cut = i
+				break
+			}
+		}
+		if cut > 0 {
+			b.gapSkip.Add(int64(cut))
+			segs = segs[cut:]
 		}
 		first, last := segs[0].firstTs, segs[0].lastTs
 		for _, s := range segs[1:] {

@@ -96,6 +96,37 @@ func TestBufferPerNodeSegmentCap(t *testing.T) {
 	}
 }
 
+// TestBufferGapBoundCapsTrainInput pins TrainInput's memory contract: a node
+// resuming after an outage far wider than MaxGapSteps must not have the gap
+// NaN-bridged into the frame (the fill is never charged to BufferBytes), so
+// only the post-outage run is materialized.
+func TestBufferGapBoundCapsTrainInput(t *testing.T) {
+	cfg := bufCfg(1<<20, 16)
+	cfg.MaxGapSteps = 10
+	b := NewBuffer(cfg, nil)
+	b.RegisterNode("n", []string{"a"})
+	b.ObserveJob("n", 1, 0)
+	b.Ingest("n", 0, []float64{1})
+	b.Ingest("n", 60, []float64{2})
+	// The node goes dark for 10000 steps, far past the 10-step gap bound.
+	const resume = 600000
+	b.Ingest("n", resume, []float64{3})
+	b.Ingest("n", resume+60, []float64{4})
+
+	in := b.TrainInput(nil)
+	f := in.Frames["n"]
+	if f == nil {
+		t.Fatal("no frame for node n")
+	}
+	if f.Start != resume || f.Len() != 2 {
+		t.Fatalf("frame start=%d len=%d, want %d/2: pre-outage segment must be dropped, not NaN-bridged",
+			f.Start, f.Len(), resume)
+	}
+	if spans := in.Spans["n"]; len(spans) != 1 || spans[0].Start != resume {
+		t.Fatalf("spans = %+v, want one span starting at %d", spans, resume)
+	}
+}
+
 func TestBufferIgnoresUnregisteredNode(t *testing.T) {
 	b := NewBuffer(bufCfg(1<<20, 16), nil)
 	b.Ingest("ghost", 0, []float64{1, 2, 3})

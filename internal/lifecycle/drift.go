@@ -30,6 +30,10 @@ type Drift struct {
 	scores    map[int]*QuantileWindow
 	match     map[int]*QuantileWindow
 	radius    map[int]float64
+	// nonFinSeen is the cumulative non-finite count already reported by a
+	// previous Check: only scores gone non-finite since the last check vote
+	// for drift, so one transient NaN cannot latch drift on every tick.
+	nonFinSeen int
 
 	reg     *obs.Registry
 	scoreG  map[int]*obs.Gauge
@@ -75,6 +79,7 @@ func (d *Drift) rebaselineLocked(det *core.Detector) {
 	for _, q := range d.match {
 		q.Reset()
 	}
+	d.nonFinSeen = 0
 }
 
 func (d *Drift) sketch(m map[int]*QuantileWindow, c int) *QuantileWindow {
@@ -141,10 +146,12 @@ func (d *Drift) Check() (drifted bool, reason string) {
 		}
 	}
 	d.nonFinG.Set(float64(nonFinite))
-	if !drifted && nonFinite > 0 {
+	fresh := nonFinite - d.nonFinSeen
+	d.nonFinSeen = nonFinite
+	if !drifted && fresh > 0 {
 		// A model emitting NaN/Inf is unconditionally unhealthy.
 		drifted = true
-		reason = fmt.Sprintf("%d non-finite scores observed", nonFinite)
+		reason = fmt.Sprintf("%d non-finite scores since last check", fresh)
 	}
 	return drifted, reason
 }

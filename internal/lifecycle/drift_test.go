@@ -57,6 +57,25 @@ func TestDriftFiresOnNonFinite(t *testing.T) {
 	}
 }
 
+// TestDriftNonFiniteDoesNotLatch pins the decay of the non-finite signal: a
+// transient NaN votes for drift exactly once, not on every subsequent check
+// (which would drive endless retrain cycles while candidates fail the gate).
+func TestDriftNonFiniteDoesNotLatch(t *testing.T) {
+	_, det := fixture(t)
+	d := NewDrift(det, driftCfg(), nil)
+	d.ObserveScores(0, []float64{math.NaN()})
+	if drifted, _ := d.Check(); !drifted {
+		t.Fatal("a fresh NaN score must register as drift")
+	}
+	if drifted, reason := d.Check(); drifted {
+		t.Fatalf("a stale NaN latched drift on the next check: %s", reason)
+	}
+	d.ObserveScores(0, []float64{math.Inf(1)})
+	if drifted, _ := d.Check(); !drifted {
+		t.Fatal("a new non-finite score after a clean check must drift again")
+	}
+}
+
 func TestDriftBelowMinSamplesNeverVotes(t *testing.T) {
 	_, det := fixture(t)
 	d := NewDrift(det, driftCfg(), nil)

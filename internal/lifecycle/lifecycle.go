@@ -51,6 +51,13 @@ type Config struct {
 	// MaxSegmentsPerNode caps how many closed job segments the buffer
 	// retains per node (default 16).
 	MaxSegmentsPerNode int
+	// MaxGapSteps bounds the inter-segment gap, in sampling steps, that
+	// TrainInput will bridge with NaN fill (default 120). Gap cells cost
+	// frame memory like real samples but are never charged to BufferBytes,
+	// so a node resuming after a long outage could otherwise materialize a
+	// frame orders of magnitude past the budget; segments older than an
+	// oversized gap are left out of the retrain corpus instead.
+	MaxGapSteps int
 
 	// CheckInterval is the cadence of drift evaluation and shadow-gate
 	// checks in Run (default 30 s).
@@ -115,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSegmentsPerNode <= 0 {
 		c.MaxSegmentsPerNode = 16
+	}
+	if c.MaxGapSteps <= 0 {
+		c.MaxGapSteps = 120
 	}
 	if c.CheckInterval <= 0 {
 		c.CheckInterval = 30 * time.Second

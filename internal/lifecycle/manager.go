@@ -86,6 +86,9 @@ type Manager struct {
 	retraining atomic.Bool
 	retrainWG  sync.WaitGroup
 	shadow     atomic.Pointer[shadowRun]
+	// incumbent is the detector currently serving in the monitor — kept so a
+	// promotion whose registry activation fails can swap it back in.
+	incumbent atomic.Pointer[core.Detector]
 
 	// Incumbent alert count since the current shadow started (the gate's
 	// disagreement baseline); counted via the monitor's OnAlert hook.
@@ -119,6 +122,7 @@ func NewManager(mon *runtime.Monitor, det *core.Detector, activeID string, store
 		log:       cfg.Logger,
 		incScoreQ: NewQuantileWindow(4096),
 	}
+	m.incumbent.Store(det)
 	m.activeID.Store(&activeID)
 	m.met.modelVersion.Set(versionNumber(activeID))
 	mon.SetHooks(runtime.Hooks{
@@ -339,7 +343,17 @@ func (m *Manager) DecideShadow(force bool) (Decision, bool) {
 	if ok {
 		pause, err := m.mon.SwapDetector(sh.det)
 		if err == nil {
-			err = m.store.Activate(sh.version.ID)
+			if actErr := m.store.Activate(sh.version.ID); actErr != nil {
+				err = actErr
+				// The candidate is already live but the registry refused to
+				// record it: swap the incumbent back so the monitor, the
+				// drift baseline, and the registry's active version stay one
+				// coherent lineage under the rejection recorded below.
+				if _, rbErr := m.mon.SwapDetector(m.incumbent.Load()); rbErr != nil && m.log != nil {
+					m.log.Error("restoring incumbent after activation failure failed; monitor serves an unrecorded model",
+						"version", sh.version.ID, "err", rbErr)
+				}
+			}
 		}
 		if err != nil {
 			// The swap or the bookkeeping failed: treat as rejection so the
@@ -356,6 +370,7 @@ func (m *Manager) DecideShadow(force bool) (Decision, bool) {
 			m.met.modelVersion.Set(versionNumber(sh.version.ID))
 			id := sh.version.ID
 			m.activeID.Store(&id)
+			m.incumbent.Store(sh.det)
 			m.drift.Rebaseline(sh.det)
 		}
 	} else {

@@ -212,6 +212,54 @@ func TestLifecycleRejectsBadCandidate(t *testing.T) {
 	feed(sink, ds, ds.SplitTime(), ds.SplitTime()+10*ds.Step, 1)
 }
 
+// TestActivationFailureRestoresIncumbent pins the promotion path's
+// consistency contract: when the hot swap succeeds but the registry refuses
+// to activate the candidate, the incumbent must be swapped back so the
+// serving model, the drift baseline, and the registry's active version stay
+// one lineage — not a live-but-unrecorded candidate that a restart would
+// silently revert.
+func TestActivationFailureRestoresIncumbent(t *testing.T) {
+	ds, _ := fixture(t)
+	mon, mgr, store, sink, v1 := newManagerUnderTest(t, nil, func(c *Config) {
+		// Same gate tuning as the promotion test: the candidate must pass.
+		c.ImprovementFactor = 0.7
+		c.AlertSlack = 25
+	})
+
+	mid := ds.SplitTime() + (ds.Horizon-ds.SplitTime())*7/10
+	mid -= mid % ds.Step
+	feed(sink, ds, ds.SplitTime(), mid, shiftScale)
+	v2, err := mgr.RetrainNow(context.Background(), "manual")
+	if err != nil {
+		t.Fatalf("retrain off the buffer failed: %v", err)
+	}
+	feed(sink, ds, mid, ds.Horizon, shiftScale)
+
+	// Sabotage activation: a quarantined version cannot be activated, so the
+	// gate passes and the swap succeeds, but the registry bookkeeping fails.
+	if err := store.Quarantine(v2.ID, "sabotaged by test"); err != nil {
+		t.Fatal(err)
+	}
+	dec, decided := mgr.DecideShadow(true)
+	if !decided {
+		t.Fatal("DecideShadow(force) did not decide")
+	}
+	if dec.Promoted {
+		t.Fatalf("activation failure must reject, not promote: %+v", dec)
+	}
+	if !strings.Contains(dec.Reason, "promotion failed") {
+		t.Fatalf("decision reason %q does not record the failed promotion", dec.Reason)
+	}
+	if got := mon.Epoch(); got != 3 {
+		t.Fatalf("monitor epoch = %d, want 3 (candidate swap + incumbent restore)", got)
+	}
+	if act, ok := store.Active(); !ok || act.ID != v1.ID {
+		t.Fatalf("registry active = %+v, want incumbent %s", act, v1.ID)
+	}
+	// The restored incumbent still serves: more traffic flows without incident.
+	feed(sink, ds, ds.SplitTime(), ds.SplitTime()+10*ds.Step, 1)
+}
+
 // TestManagerRunDrainsOnCancel exercises the Run loop's shutdown contract:
 // cancellation waits out in-flight retraining and tears down any shadow.
 func TestManagerRunDrainsOnCancel(t *testing.T) {

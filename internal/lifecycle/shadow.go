@@ -5,6 +5,7 @@ import (
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nodesentry/internal/core"
 	"nodesentry/internal/obs"
@@ -32,10 +33,18 @@ type shadowRun struct {
 	det     *core.Detector
 	mon     *runtime.Monitor
 
+	// ch is deliberately never closed: live offers race with stop by
+	// design, and a send on a closed channel panics even under select.
+	// Shutdown is signalled by the stopped flag plus the done channel
+	// instead; the unclosed channel is reclaimed with sh by the GC.
 	ch      chan shadowEvent
+	done    chan struct{}
+	stopped atomic.Bool
 	pending atomic.Int64
+	applied atomic.Int64
 	dropped *obs.Counter
-	wg      sync.WaitGroup
+	fwdWG   sync.WaitGroup // forwarder: drains before the monitor closes
+	wg      sync.WaitGroup // alert drainer: exits when the monitor closes
 
 	windows   atomic.Int64
 	alerts    atomic.Int64
@@ -61,6 +70,7 @@ func newShadowRun(det *core.Detector, v Version, cfg Config, layouts map[string]
 		det:     det,
 		mon:     mon,
 		ch:      make(chan shadowEvent, cfg.ShadowQueue),
+		done:    make(chan struct{}),
 		dropped: reg.Counter("nodesentry_lifecycle_shadow_dropped_total"),
 		scoreQ:  NewQuantileWindow(4096),
 	}
@@ -93,48 +103,86 @@ func newShadowRun(det *core.Detector, v Version, cfg Config, layouts map[string]
 		for range mon.Alerts() { // drains until mon.Close
 		}
 	}()
-	sh.wg.Add(1)
+	sh.fwdWG.Add(1)
 	go func() {
-		defer sh.wg.Done()
-		for ev := range sh.ch { // stopped by closing sh.ch
-			switch ev.kind {
-			case 0:
-				sh.mon.Ingest(ev.node, ev.ts, ev.values)
-			case 1:
-				sh.mon.ObserveJob(ev.node, ev.job, ev.ts)
-			case 2:
-				sh.mon.RegisterNode(ev.node, ev.metrics)
+		defer sh.fwdWG.Done()
+		for {
+			select {
+			case ev := <-sh.ch:
+				sh.apply(ev)
+			case <-sh.done:
+				// Drain what was enqueued before stop, then exit. An offer
+				// racing past the stopped check can still park an event in
+				// the buffered channel after this drain; it is simply
+				// abandoned with sh.
+				for {
+					select {
+					case ev := <-sh.ch:
+						sh.apply(ev)
+					default:
+						return
+					}
+				}
 			}
-			sh.pending.Add(-1)
 		}
 	}()
 	return sh, nil
 }
 
+// apply replays one mirrored event into the candidate monitor.
+func (sh *shadowRun) apply(ev shadowEvent) {
+	switch ev.kind {
+	case 0:
+		sh.mon.Ingest(ev.node, ev.ts, ev.values)
+	case 1:
+		sh.mon.ObserveJob(ev.node, ev.job, ev.ts)
+	case 2:
+		sh.mon.RegisterNode(ev.node, ev.metrics)
+	}
+	sh.pending.Add(-1)
+	sh.applied.Add(1)
+}
+
 // offer enqueues a mirrored event without ever blocking the live path.
 func (sh *shadowRun) offer(ev shadowEvent) {
+	if sh.stopped.Load() {
+		sh.dropped.Inc()
+		return
+	}
+	sh.pending.Add(1)
 	select {
 	case sh.ch <- ev:
-		sh.pending.Add(1)
 	default:
+		sh.pending.Add(-1)
 		sh.dropped.Inc()
 	}
 }
 
-// settle blocks until every enqueued event has been applied — used by the
-// gate (and tests) to make the audition deterministic before deciding.
+// settle waits until the events enqueued at entry have been applied — used
+// by the gate (and tests) to make a quiescent audition deterministic before
+// deciding. It targets a snapshot of the backlog, so sustained ingest that
+// keeps the queue full cannot pin the caller (the lifecycle loop) forever,
+// and a stopped shadow returns immediately.
 func (sh *shadowRun) settle() {
-	for sh.pending.Load() > 0 {
-		// The forwarder drains without locks the caller could hold; a
-		// busy-wait with a yield keeps this dependency-free.
-		goruntime.Gosched()
+	target := sh.applied.Load() + sh.pending.Load()
+	for i := 0; sh.applied.Load() < target && !sh.stopped.Load(); i++ {
+		if i < 64 {
+			goruntime.Gosched()
+		} else {
+			time.Sleep(200 * time.Microsecond)
+		}
 	}
 }
 
-// stop tears the shadow down: the queue closes, the forwarder drains, and
-// the candidate monitor shuts.
+// stop tears the shadow down: late offers start draining to the dropped
+// counter, the forwarder drains the backlog and exits, and the candidate
+// monitor shuts. Idempotent — the decide path and Run's shutdown may race.
 func (sh *shadowRun) stop() {
-	close(sh.ch)
+	if !sh.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(sh.done)
+	sh.fwdWG.Wait()
 	sh.mon.Close()
 	sh.wg.Wait()
 }

@@ -1,0 +1,104 @@
+package lifecycle
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nodesentry/internal/core"
+)
+
+func newTestShadow(t *testing.T, det *core.Detector, queue int) *shadowRun {
+	t.Helper()
+	sh, err := newShadowRun(det, Version{ID: "vtest"}, Config{Step: 60, ShadowQueue: queue}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// TestShadowOfferStopRace pins the shutdown contract of the shadow queue:
+// live offers racing with stop must never panic (the queue channel is never
+// closed) and offers landing after stop are counted drops, not crashes.
+// Run under -race this also checks the flag/done signalling.
+func TestShadowOfferStopRace(t *testing.T) {
+	_, det := fixture(t)
+	for round := 0; round < 8; round++ {
+		sh := newTestShadow(t, det, 64)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := int64(0); i < 500; i++ {
+					sh.offer(shadowEvent{kind: 1, node: "n", job: i, ts: i * 60})
+				}
+			}()
+		}
+		close(start)
+		sh.stop() // races with the offers above
+		wg.Wait()
+		sh.offer(shadowEvent{kind: 1, node: "n", job: 1, ts: 60})
+		sh.stop() // idempotent
+	}
+}
+
+// TestShadowSettleBoundedUnderSustainedIngest pins settle's bound: with a
+// producer that keeps the queue non-empty forever, settle must still return
+// once its entry-time backlog snapshot has been applied instead of spinning
+// until the queue drains (it never would).
+func TestShadowSettleBoundedUnderSustainedIngest(t *testing.T) {
+	_, det := fixture(t)
+	sh := newTestShadow(t, det, 256)
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stopFeed:
+				return
+			default:
+				sh.offer(shadowEvent{kind: 1, node: "n", job: i, ts: i * 60})
+			}
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		sh.settle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("settle did not return under sustained ingest")
+	}
+	close(stopFeed)
+	feedWG.Wait()
+	sh.stop()
+}
+
+// TestShadowSettleReturnsAfterStop: a stopped shadow can no longer apply
+// late-parked events, so settle must bail on the stopped flag rather than
+// wait for them.
+func TestShadowSettleReturnsAfterStop(t *testing.T) {
+	_, det := fixture(t)
+	sh := newTestShadow(t, det, 64)
+	for i := int64(0); i < 32; i++ {
+		sh.offer(shadowEvent{kind: 1, node: "n", job: i, ts: i * 60})
+	}
+	sh.stop()
+	done := make(chan struct{})
+	go func() {
+		sh.settle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("settle hung on a stopped shadow")
+	}
+}
