@@ -8,7 +8,8 @@
 //	benchtab -exp all -quick -json   # also write stage timings to BENCH_obs.json
 //
 // Experiments: table2 table3 table4 table5 fig1 fig4 fig6a fig6b fig6c
-// fig6d fig6e fig6f fig8 dtw incremental deploy gateway lifecycle all.
+// fig6d fig6e fig6f fig8 dtw incremental deploy gateway lifecycle chaos
+// all.
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, lifecycle, all)")
+	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, lifecycle, chaos, all)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jsonOut := flag.Bool("json", false, "write per-experiment stage timings (wall, allocs, bytes) to BENCH_obs.json")
 	flag.Parse()
@@ -84,12 +85,17 @@ func main() {
 			_, err := experiments.FaultRecall(w, scale)
 			return err
 		},
+		"chaos": func() error {
+			_, err := experiments.Chaos(w, scale, tracer)
+			return err
+		},
 	}
 	order := []string{
 		"table2", "table3", "fig1", "fig4", "table4", "table5",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
 		"fig8", "dtw", "incremental", "deploy", "gateway", "lifecycle",
 		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
+		"chaos",
 	}
 
 	run := func(name string) {

@@ -5,7 +5,9 @@
 // Prometheus text exposition or JSONL batches) or by pull (a scrape
 // poller against a target list), a shard router fans the stream out to
 // the monitor under an explicit backpressure policy, and prioritized
-// alerts leave through a retrying webhook sink.
+// alerts leave through a retrying webhook sink. The wiring itself lives
+// in internal/daemon, where the chaos soak tests drive the identical
+// loop under scripted infrastructure faults.
 //
 // Usage:
 //
@@ -39,15 +41,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"nodesentry"
+	"nodesentry/internal/daemon"
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
-	"nodesentry/internal/runtime"
 	"nodesentry/internal/telemetry"
 )
 
@@ -147,49 +148,26 @@ func main() {
 	} else {
 		det = loadOrTrain(logger, ds, *train, *modelPath)
 	}
-	mon, err := nodesentry.NewMonitor(det, nodesentry.MonitorConfig{
-		Step: ds.Step, ScoringWorkers: 3, Metrics: reg, Logger: logger,
-	})
-	if err != nil {
-		fatal(logger, "monitor", "err", err)
-	}
 
-	// Alert consumer: every alert is logged; with -webhook each is also
-	// delivered through the retrying sink. Runs until Monitor.Close.
-	var sink *runtime.WebhookSink
-	if *webhook != "" {
-		sink = &runtime.WebhookSink{
-			URL: *webhook, MaxRetries: *webhookRetries,
-			Backoff: ingest.Backoff{Base: 200 * time.Millisecond},
-			Metrics: reg,
-		}
+	cfg := daemon.Config{
+		Detector:       det,
+		Step:           ds.Step,
+		ScoringWorkers: 3,
+		Shards:         *shards,
+		QueueSize:      *queue,
+		Policy:         routerPolicy,
+		WebhookURL:     *webhook,
+		WebhookRetries: *webhookRetries,
+		WebhookBackoff: ingest.Backoff{Base: 200 * time.Millisecond},
+		Metrics:        reg,
+		Logger:         logger,
 	}
-	var consumer sync.WaitGroup
-	consumer.Add(1)
-	go func() {
-		defer consumer.Done()
-		for a := range mon.Alerts() {
-			logger.Info("alert", "node", a.Node, "time", a.Time, "job", a.Job,
-				"score", a.Score, "level", a.Diagnosis.Level)
-			if sink != nil {
-				if err := sink.Send(a); err != nil {
-					logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
-				}
-			}
-		}
-	}()
-
-	// Lifecycle manager: its sink rides the same stream as the monitor via
-	// a Tee, so the drift detector and retrain buffer see exactly what is
-	// scored. Run gets its own context — it is cancelled only after the
-	// shard queues drain, so buffered events still reach the manager.
-	var mgr *lifecycle.Manager
-	routerSink := ingest.Sink(mon)
-	lcDone := make(chan struct{})
-	lcCtx, lcCancel := context.WithCancel(context.Background())
-	defer lcCancel()
+	cfg.Layouts = map[string][]string{}
+	for node, frame := range ds.Frames {
+		cfg.Layouts[node] = frame.Metrics
+	}
 	if *lifecycleOn {
-		mgr, err = lifecycle.NewManager(mon, det, activeID, store, lifecycle.Config{
+		cfg.Lifecycle = &lifecycle.Config{
 			Step:            ds.Step,
 			TrainOptions:    nodesentry.DefaultOptions(),
 			SemanticGroups:  telemetry.SemanticIndex(ds.Catalog),
@@ -197,96 +175,50 @@ func main() {
 			RetrainInterval: *retrainInterval,
 			Metrics:         reg,
 			Logger:          logger,
-		})
-		if err != nil {
-			fatal(logger, "lifecycle manager", "err", err)
 		}
-		routerSink = ingest.Tee(mon, mgr.Sink())
-		go func() {
-			defer close(lcDone)
-			mgr.Run(lcCtx)
-		}()
-		logger.Info("lifecycle loop running", "registry", *registryDir,
-			"drift_threshold", *driftThreshold, "retrain_interval", *retrainInterval)
-	} else {
-		close(lcDone)
+		cfg.Store = store
+		cfg.ActiveID = activeID
 	}
-
-	// Gateway: decoder -> shard router -> monitor, with the dataset's
-	// frame layouts pre-registered so pushed metric names land in the
-	// exact column order the detector was trained on.
-	router := ingest.NewShardRouter(routerSink, ingest.RouterConfig{
-		Shards: *shards, QueueSize: *queue, Policy: routerPolicy,
-		Metrics: reg, Logger: logger,
-	})
-	dec := ingest.NewDecoder(router, ingest.DecoderConfig{Metrics: reg, Logger: logger})
-	for node, frame := range ds.Frames {
-		dec.Register(node, frame.Metrics)
-	}
-
-	intake := ingest.NewIntake(dec, ingest.IntakeConfig{Metrics: reg, Logger: logger})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(logger, "intake listen", "addr", *listen, "err", err)
 	}
-	srv := &http.Server{
-		Handler:           intake.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
+	cfg.Listener = ln
+	if *scrapeTargets != "" {
+		cfg.ScrapeTargets = strings.Split(*scrapeTargets, ",")
+		cfg.ScrapeInterval = *scrapeInterval
 	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-	logger.Info("intake listening", "addr", ln.Addr().String(),
+
+	d, err := daemon.New(cfg)
+	if err != nil {
+		fatal(logger, "daemon", "err", err)
+	}
+	logger.Info("intake listening", "addr", d.Addr(),
 		"shards", *shards, "queue", *queue, "policy", *policy)
+	if *lifecycleOn {
+		logger.Info("lifecycle loop running", "registry", *registryDir,
+			"drift_threshold", *driftThreshold, "retrain_interval", *retrainInterval)
+	}
+	if len(cfg.ScrapeTargets) > 0 {
+		logger.Info("scraping", "targets", len(cfg.ScrapeTargets), "interval", *scrapeInterval)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	scrapeDone := make(chan struct{})
-	if *scrapeTargets == "" {
-		close(scrapeDone)
-	} else {
-		targets := strings.Split(*scrapeTargets, ",")
-		scraper := ingest.NewScraper(dec, ingest.ScrapeConfig{
-			Targets: targets, Interval: *scrapeInterval,
-			Metrics: reg, Logger: logger,
-		})
-		go func() {
-			defer close(scrapeDone)
-			scraper.Run(ctx)
-		}()
-		logger.Info("scraping", "targets", len(targets), "interval", *scrapeInterval)
-	}
-
 	select {
 	case <-ctx.Done():
 		logger.Info("shutdown signal received")
-	case err := <-serveErr:
+	case err := <-d.ServeErr():
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(logger, "intake server", "err", err)
 		}
 	}
 
-	// Graceful drain, upstream to downstream: stop accepting, finish the
-	// scrape loop, empty the shard queues, wait out the lifecycle loop
-	// (including any in-flight retraining), close the monitor, and let the
-	// alert consumer finish the channel.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		logger.Warn("intake shutdown", "err", err)
+	if err := d.Close(shutdownCtx); err != nil {
+		logger.Warn("daemon close", "err", err)
 	}
-	stop()
-	<-scrapeDone
-	if dropped := router.Drain(); dropped > 0 {
-		logger.Warn("shard queues dropped events", "dropped", dropped)
-	}
-	lcCancel()
-	<-lcDone
-	mon.Close()
-	consumer.Wait()
-	logger.Info("drained", "monitor_dropped", mon.Dropped())
 }
 
 // loadOrTrain resolves the detector from -model and/or -train, mirroring

@@ -51,6 +51,7 @@ func Checks() []Check {
 		checkLibPanic,
 		checkLockSafe,
 		checkUnboundedGoroutine,
+		checkContextLeak,
 	}
 }
 

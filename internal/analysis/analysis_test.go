@@ -23,6 +23,7 @@ var fixtureChecks = []struct {
 	{"libpanic", "libpanic"},
 	{"locksafe", "locksafe"},
 	{"unboundedgoroutine", "unboundedgoroutine"},
+	{"contextleak", "contextleak"},
 	{"suppress", "floatcmp"},
 }
 
@@ -116,7 +117,7 @@ func TestExpandSkipsTestdata(t *testing.T) {
 
 // TestCheckRegistry pins the advertised check set.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"floatcmp", "globalrand", "errdrop", "libpanic", "locksafe", "unboundedgoroutine"}
+	want := []string{"floatcmp", "globalrand", "errdrop", "libpanic", "locksafe", "unboundedgoroutine", "contextleak"}
 	got := CheckNames()
 	if len(got) != len(want) {
 		t.Fatalf("CheckNames() = %v, want %v", got, want)

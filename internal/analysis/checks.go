@@ -435,6 +435,82 @@ func isStopCarrier(t types.Type) bool {
 		(pkgPath == "sync" && name == "WaitGroup")
 }
 
+// ---- contextleak ----
+//
+// Two context misuses that leak cancellation resources or break the
+// request-scoped contract. Discarding the CancelFunc returned by
+// context.WithCancel/WithTimeout/WithDeadline/WithCancelCause leaks the
+// derived context — its timer and cancellation machinery live until the
+// parent dies, and nothing can ever release the subtree early. Storing a
+// context.Context in a struct field detaches it from the call graph: the
+// stored value outlives the call that created it, so deadlines and
+// cancellation propagate to the wrong work. Deliberate carriers (a
+// handoff struct that documents its lifetime) may be suppressed
+// explicitly with a reason.
+
+var contextCancelFuncs = map[string]bool{
+	"WithCancel":      true,
+	"WithTimeout":     true,
+	"WithDeadline":    true,
+	"WithCancelCause": true,
+}
+
+var checkContextLeak = Check{
+	Name: "contextleak",
+	Doc:  "flags discarded context CancelFuncs and context.Context struct fields",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		inspectFiles(pkg, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				checkDiscardedCancel(pkg, x.Lhs, x.Rhs, report)
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(x.Names))
+				for i, name := range x.Names {
+					lhs[i] = name
+				}
+				checkDiscardedCancel(pkg, lhs, x.Values, report)
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					tv, ok := pkg.Info.Types[field.Type]
+					if !ok {
+						continue
+					}
+					if pkgPath, name := namedRecv(tv.Type); pkgPath == "context" && name == "Context" {
+						report(field.Type.Pos(), "context.Context stored in a struct field; pass it as a function argument so it stays call-scoped")
+					}
+				}
+			}
+			return true
+		})
+	},
+}
+
+// checkDiscardedCancel flags `ctx, _ := context.WithCancel(...)` and the
+// WithTimeout/WithDeadline/WithCancelCause variants: the CancelFunc is
+// the only way to release the derived context before its parent ends.
+func checkDiscardedCancel(pkg *Package, lhs, rhs []ast.Expr, report func(pos token.Pos, format string, args ...any)) {
+	if len(rhs) != 1 || len(lhs) < 2 {
+		return
+	}
+	call, ok := rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !contextCancelFuncs[fn.Name()] {
+		return
+	}
+	last, ok := lhs[len(lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	report(last.Pos(), "CancelFunc from context.%s is discarded; keep it and defer cancel() so the derived context can be released", fn.Name())
+}
+
 func checkLockBalance(pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
 	type lockUse struct {
 		pos  token.Pos

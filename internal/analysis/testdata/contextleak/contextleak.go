@@ -1,0 +1,39 @@
+// Package fixcontextleak triggers only the contextleak check.
+package fixcontextleak
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) {}
+
+// bag stores a context for later, detaching it from the call graph.
+type bag struct {
+	ctx context.Context // finding
+}
+
+// carrier embeds one: the same leak in disguise.
+type carrier struct {
+	context.Context // finding
+}
+
+// leakCancel discards the only handle that can release the subtree.
+func leakCancel(parent context.Context) {
+	ctx, _ := context.WithCancel(parent) // finding
+	use(ctx)
+}
+
+// leakTimer also leaks the deadline timer until the parent dies.
+func leakTimer(parent context.Context) {
+	ctx, _ := context.WithTimeout(parent, time.Second) // finding
+	use(ctx)
+}
+
+// keepCancel is the legal form: the CancelFunc is kept and deferred,
+// and contexts travel as arguments, not fields.
+func keepCancel(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	use(ctx)
+}

@@ -1,0 +1,116 @@
+// Package chaos is the deterministic infrastructure-fault-injection and
+// soak-test harness for the sentryd loop. Where internal/faults perturbs
+// the *telemetry* (the anomalies the detector must find), this package
+// perturbs the *infrastructure carrying it* — connections are dropped at
+// accept, webhook sinks turn flaky or slow, scrape bodies arrive
+// truncated or garbled, node streams reorder, duplicate, and skew their
+// timestamps, the model registry is corrupted mid-lifecycle, and bursts
+// of extra nodes flood the intake — while the full production wiring
+// (push+scrape intake → decoder → shard router → monitor → drift →
+// retrain → shadow → hot swap) keeps running underneath.
+//
+// Everything is scripted, not randomized: each seam consumes an explicit
+// fault schedule, so a soak run injects an exactly known number of each
+// fault kind and the final reconciliation can demand that the daemon's
+// /metrics counters account for every single one. That is the harness's
+// core contract, mirroring the paper's §5.1 fault-drill methodology
+// (ChaosBlade-style infrastructure faults against the deployed pipeline):
+// chaos is only trustworthy when the injected dose is measurable at the
+// other end.
+package chaos
+
+import "sync"
+
+// FaultKind names one injectable infrastructure fault. The string value
+// is the reporting key in Counts and soak reports.
+type FaultKind string
+
+const (
+	// AcceptDrop closes an intake connection at accept, before any bytes
+	// flow — a flaky load balancer or SYN-dropping firewall.
+	AcceptDrop FaultKind = "accept_drop"
+	// ConnDrop fails a forwarder POST at the transport with a connection
+	// error — a mid-flight network partition.
+	ConnDrop FaultKind = "conn_drop"
+	// Scrape5xx answers a scrape with a synthesized 503, never reaching
+	// the exporter.
+	Scrape5xx FaultKind = "scrape_5xx"
+	// ScrapeDrop fails a scrape at the transport with a connection error.
+	ScrapeDrop FaultKind = "scrape_drop"
+	// ScrapeGarble delivers the exporter's real body with bytes flipped —
+	// a corrupted proxy buffer. Always unparseable.
+	ScrapeGarble FaultKind = "scrape_garble"
+	// ScrapeTruncate delivers only a prefix of the exporter's body — a
+	// connection cut mid-transfer. Always unparseable.
+	ScrapeTruncate FaultKind = "scrape_truncate"
+	// Webhook5xx fails an alert delivery with a synthesized 503.
+	Webhook5xx FaultKind = "webhook_5xx"
+	// WebhookSlow delays an alert delivery before letting it through.
+	WebhookSlow FaultKind = "webhook_slow"
+	// OutOfOrder swaps adjacent samples of one node's stream.
+	OutOfOrder FaultKind = "out_of_order"
+	// DupTimestamp re-emits a sample with an already-used timestamp.
+	DupTimestamp FaultKind = "dup_timestamp"
+	// ClockSkew shifts one node's entire stream by a constant offset — an
+	// unsynchronized node clock.
+	ClockSkew FaultKind = "clock_skew"
+	// RegistryCorrupt flips bytes inside the active model payload on disk.
+	RegistryCorrupt FaultKind = "registry_corrupt"
+	// FloodBurst injects a contiguous burst of extra-node samples
+	// mid-stream — a backpressure spike.
+	FloodBurst FaultKind = "flood_burst"
+	// Pass is the no-fault schedule entry.
+	Pass FaultKind = "pass"
+)
+
+// Counts tallies injected faults by kind, shared by every seam of one
+// scenario so the soak's reconciliation reads a single ledger. Safe for
+// concurrent use.
+type Counts struct {
+	mu sync.Mutex
+	m  map[FaultKind]int64
+}
+
+// NewCounts returns an empty ledger.
+func NewCounts() *Counts { return &Counts{m: map[FaultKind]int64{}} }
+
+// Add records n injections of kind. Pass is never recorded.
+func (c *Counts) Add(kind FaultKind, n int64) {
+	if kind == Pass || n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.m[kind] += n
+	c.mu.Unlock()
+}
+
+// Get returns the tally for one kind.
+func (c *Counts) Get(kind FaultKind) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[kind]
+}
+
+// Snapshot returns a copy of the ledger.
+func (c *Counts) Snapshot() map[FaultKind]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[FaultKind]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Kinds returns how many distinct fault kinds have been injected.
+func (c *Counts) Kinds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,53 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/ingest"
+)
+
+// linesForTest renders the dataset's full test window as a JSONL stream —
+// register, jobs, samples per node — plus two flood clones of the first
+// two nodes.
+func linesForTest(ds *dataset.Dataset) []ingest.Line {
+	var out []ingest.Line
+	emit := func(src, as string) {
+		f := ds.Frames[src]
+		view := f.Slice(f.IndexOf(ds.SplitTime()), f.Len())
+		out = append(out, ingest.Line{Node: as, Metrics: view.Metrics})
+		spans := ds.SpansForNode(src, ds.SplitTime(), ds.Horizon)
+		si := 0
+		for t := 0; t < view.Len(); t++ {
+			ts := view.Start + int64(t)*view.Step
+			for si < len(spans) && spans[si].Start <= ts {
+				job := spans[si].Job
+				out = append(out, ingest.Line{Node: as, Job: &job, Start: spans[si].Start})
+				si++
+			}
+			vals := make([]ingest.JSONFloat, len(view.Data))
+			for m := range vals {
+				vals[m] = ingest.JSONFloat(view.Data[m][t])
+			}
+			out = append(out, ingest.Line{Node: as, Time: ts, Values: vals})
+		}
+	}
+	for _, node := range ds.Nodes() {
+		emit(node, node)
+	}
+	emit(ds.Nodes()[0], "flood-0")
+	emit(ds.Nodes()[1%len(ds.Nodes())], "flood-1")
+	return out
+}
+
+func writeJSONL(t *testing.T, b *strings.Builder, l ingest.Line) {
+	t.Helper()
+	raw, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(raw)
+	b.WriteByte('\n')
+}

@@ -1,0 +1,38 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nodesentry/internal/lifecycle"
+)
+
+// CorruptActiveModel flips bytes inside the registry's active model
+// payload on disk — the mid-lifecycle corruption (failing disk, botched
+// sync) the store's checksummed load path exists for — and returns the
+// corrupted version's id. The manifest is left intact so the damage is
+// only discoverable by actually verifying the payload.
+func CorruptActiveModel(store *lifecycle.Store, counts *Counts) (string, error) {
+	v, ok := store.Active()
+	if !ok {
+		return "", errors.New("chaos: registry has no active version")
+	}
+	path := filepath.Join(store.Dir(), v.ID, "model.bin")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("chaos: read model payload: %w", err)
+	}
+	if len(data) == 0 {
+		return "", fmt.Errorf("chaos: model payload %s is empty", path)
+	}
+	for i := len(data) / 4; i < len(data)/4+16 && i < len(data); i++ {
+		data[i] ^= 0xA5
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("chaos: write corrupted payload: %w", err)
+	}
+	counts.Add(RegistryCorrupt, 1)
+	return v.ID, nil
+}

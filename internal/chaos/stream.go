@@ -1,0 +1,82 @@
+package chaos
+
+import "nodesentry/internal/ingest"
+
+// StreamChaos rewrites a JSONL line stream with the timestamp-level
+// faults a real fleet exhibits: one node's samples arrive pairwise out
+// of order, another re-sends samples under an already-used timestamp,
+// and a third runs on a skewed clock. Deterministic — the same input
+// always yields the same output and the same fault tallies — so a soak
+// knows exactly how many of each perturbation it shipped.
+type StreamChaos struct {
+	// SwapNode has adjacent sample pairs swapped; every SwapEvery-th
+	// pair (default 8) is exchanged.
+	SwapNode  string
+	SwapEvery int
+	// DupNode has every DupEvery-th sample (default 10) re-emitted
+	// immediately with identical timestamp and values.
+	DupNode  string
+	DupEvery int
+	// SkewNode has every sample timestamp and job start shifted by
+	// SkewSec — a node whose clock runs ahead.
+	SkewNode string
+	SkewSec  int64
+	// Counts receives one OutOfOrder per swapped pair, one DupTimestamp
+	// per duplicate, and one ClockSkew per shifted line.
+	Counts *Counts
+}
+
+// Perturb returns a rewritten copy of lines; the input is not modified.
+// Register lines pass through untouched so layouts always precede the
+// samples they describe.
+func (s *StreamChaos) Perturb(lines []ingest.Line) []ingest.Line {
+	swapEvery := s.SwapEvery
+	if swapEvery <= 0 {
+		swapEvery = 8
+	}
+	dupEvery := s.DupEvery
+	if dupEvery <= 0 {
+		dupEvery = 10
+	}
+
+	out := make([]ingest.Line, 0, len(lines)+len(lines)/dupEvery+1)
+	// Positions (in out) of SwapNode's sample lines, for pair swapping
+	// after assembly; dupSeen counts DupNode's samples for cadence.
+	var swapPos []int
+	dupSeen := 0
+	for _, l := range lines {
+		l := l
+		isSample := l.Values != nil && len(l.Metrics) == 0 && l.Job == nil
+		if s.SkewNode != "" && l.Node == s.SkewNode && s.SkewSec != 0 {
+			if isSample {
+				l.Time += s.SkewSec
+				s.Counts.Add(ClockSkew, 1)
+			} else if l.Job != nil {
+				l.Start += s.SkewSec
+				s.Counts.Add(ClockSkew, 1)
+			}
+		}
+		out = append(out, l)
+		if !isSample {
+			continue
+		}
+		if l.Node == s.SwapNode {
+			swapPos = append(swapPos, len(out)-1)
+		}
+		if l.Node == s.DupNode {
+			dupSeen++
+			if dupSeen%dupEvery == 0 {
+				out = append(out, l)
+				s.Counts.Add(DupTimestamp, 1)
+			}
+		}
+	}
+	// Swap the members of every swapEvery-th adjacent sample pair of
+	// SwapNode. Pairs are disjoint (2k, 2k+1), so no sample moves twice.
+	for pair := 0; 2*pair+1 < len(swapPos); pair += swapEvery {
+		i, j := swapPos[2*pair], swapPos[2*pair+1]
+		out[i], out[j] = out[j], out[i]
+		s.Counts.Add(OutOfOrder, 1)
+	}
+	return out
+}

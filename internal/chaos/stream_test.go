@@ -1,0 +1,109 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"nodesentry/internal/chaos"
+	"nodesentry/internal/ingest"
+)
+
+func sample(node string, ts int64) ingest.Line {
+	return ingest.Line{Node: node, Time: ts, Values: []ingest.JSONFloat{ingest.JSONFloat(ts)}}
+}
+
+// TestStreamChaosPerturb pins the stream faults: swapped pairs, exact
+// duplicates, constant skew — all deterministic, all ledgered.
+func TestStreamChaosPerturb(t *testing.T) {
+	var lines []ingest.Line
+	lines = append(lines, ingest.Line{Node: "a", Metrics: []string{"m"}})
+	job := int64(9)
+	lines = append(lines, ingest.Line{Node: "c", Job: &job, Start: 60})
+	for ts := int64(60); ts <= 600; ts += 60 {
+		lines = append(lines, sample("a", ts), sample("b", ts), sample("c", ts))
+	}
+	counts := chaos.NewCounts()
+	s := &chaos.StreamChaos{
+		SwapNode: "a", SwapEvery: 2,
+		DupNode: "b", DupEvery: 3,
+		SkewNode: "c", SkewSec: 3600,
+		Counts: counts,
+	}
+	out := s.Perturb(lines)
+
+	var aTimes, bTimes, cTimes []int64
+	var jobStart int64
+	dups := 0
+	seenB := map[int64]int{}
+	for _, l := range out {
+		switch {
+		case len(l.Metrics) > 0:
+		case l.Job != nil:
+			jobStart = l.Start
+		case l.Node == "a":
+			aTimes = append(aTimes, l.Time)
+		case l.Node == "b":
+			bTimes = append(bTimes, l.Time)
+			seenB[l.Time]++
+		case l.Node == "c":
+			cTimes = append(cTimes, l.Time)
+		}
+	}
+	// a: 10 samples = 5 adjacent pairs; every 2nd pair (0, 2, 4) swapped.
+	if want := []int64{120, 60, 180, 240, 360, 300, 420, 480, 600, 540}; len(aTimes) != len(want) {
+		t.Fatalf("a samples = %d, want %d", len(aTimes), len(want))
+	} else {
+		for i := range want {
+			if aTimes[i] != want[i] {
+				t.Fatalf("a times = %v, want %v", aTimes, want)
+			}
+		}
+	}
+	if counts.Get(chaos.OutOfOrder) != 3 {
+		t.Errorf("out_of_order = %d, want 3", counts.Get(chaos.OutOfOrder))
+	}
+	// b: every 3rd of 10 samples duplicated in place.
+	for ts, n := range seenB {
+		if n == 2 {
+			dups++
+		} else if n != 1 {
+			t.Errorf("b sample at %d appears %d times", ts, n)
+		}
+	}
+	if dups != 3 || counts.Get(chaos.DupTimestamp) != 3 {
+		t.Errorf("dups = %d (ledger %d), want 3", dups, counts.Get(chaos.DupTimestamp))
+	}
+	if len(bTimes) != 13 {
+		t.Errorf("b samples = %d, want 13", len(bTimes))
+	}
+	// c: every sample and the job start shifted by exactly the skew.
+	for i, ts := range cTimes {
+		if want := int64(60+60*i) + 3600; ts != want {
+			t.Fatalf("c time[%d] = %d, want %d", i, ts, want)
+		}
+	}
+	if jobStart != 60+3600 {
+		t.Errorf("job start = %d, want %d", jobStart, 60+3600)
+	}
+	if counts.Get(chaos.ClockSkew) != 11 {
+		t.Errorf("clock_skew = %d, want 11 (10 samples + 1 job)", counts.Get(chaos.ClockSkew))
+	}
+
+	// Determinism: a second pass over the same input is byte-identical.
+	counts2 := chaos.NewCounts()
+	s2 := &chaos.StreamChaos{
+		SwapNode: "a", SwapEvery: 2,
+		DupNode: "b", DupEvery: 3,
+		SkewNode: "c", SkewSec: 3600,
+		Counts: counts2,
+	}
+	again := s2.Perturb(lines)
+	if len(again) != len(out) {
+		t.Fatalf("second pass length %d, want %d", len(again), len(out))
+	}
+	for i := range out {
+		a, b := out[i], again[i]
+		if a.Node != b.Node || a.Time != b.Time || a.Start != b.Start {
+			t.Fatalf("second pass diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}

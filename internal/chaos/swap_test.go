@@ -1,0 +1,117 @@
+package chaos_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nodesentry/internal/chaos"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+	"nodesentry/internal/testutil"
+)
+
+// TestSwapUnderChaosIngest pins hot-swap stability under hostile load: N
+// back-to-back SwapDetector calls while a perturbed stream (out-of-order,
+// duplicated, skewed, plus flood clones) floods the decoder → router →
+// monitor path. Nothing may drop, and every alert must carry an epoch
+// that existed while it could have been scored.
+func TestSwapUnderChaosIngest(t *testing.T) {
+	ds, det := fixture(t)
+	leaks := testutil.CheckGoroutines(t)
+
+	reg := obs.NewRegistry()
+	mon, err := runtime.NewMonitor(det, runtime.Config{
+		Step: ds.Step, ScoringWorkers: 3, AlertBuffer: 4096, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alertMu sync.Mutex
+	var alerts []runtime.Alert
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for a := range mon.Alerts() {
+			alertMu.Lock()
+			alerts = append(alerts, a)
+			alertMu.Unlock()
+		}
+	}()
+	router := ingest.NewShardRouter(mon, ingest.RouterConfig{
+		Shards: 4, QueueSize: 64, Policy: ingest.Block, Metrics: reg,
+	})
+	dec := ingest.NewDecoder(router, ingest.DecoderConfig{Metrics: reg})
+	for node, frame := range ds.Frames {
+		dec.Register(node, frame.Metrics)
+	}
+	dec.Register("flood-0", ds.Frames[ds.Nodes()[0]].Metrics)
+	dec.Register("flood-1", ds.Frames[ds.Nodes()[1]].Metrics)
+
+	counters := testutil.SnapshotCounters(map[string]*obs.Counter{
+		"alerts_dropped": reg.Counter("nodesentry_alerts_dropped_total"),
+		"shape":          reg.Counter("nodesentry_ingest_shape_mismatch_total"),
+	})
+
+	// The perturbed stream plus two clone nodes, fed as JSONL chunks with
+	// two immediate swaps after each chunk — swaps land while the shard
+	// queues are still draining the previous chunk.
+	counts := chaos.NewCounts()
+	stream := &chaos.StreamChaos{
+		SwapNode: ds.Nodes()[0], DupNode: ds.Nodes()[1],
+		SkewNode: ds.Nodes()[2%len(ds.Nodes())], SkewSec: 1800,
+		Counts: counts,
+	}
+	lines := stream.Perturb(linesForTest(ds))
+	const chunks, swapsPerChunk = 8, 2
+	per := (len(lines) + chunks - 1) / chunks
+	swaps := 0
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*per, min((c+1)*per, len(lines))
+		if lo >= hi {
+			break
+		}
+		var b strings.Builder
+		for _, l := range lines[lo:hi] {
+			writeJSONL(t, &b, l)
+		}
+		if _, err := dec.PushJSONL(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("chunk %d: %v", c, err)
+		}
+		for i := 0; i < swapsPerChunk; i++ {
+			if _, err := mon.SwapDetector(det); err != nil {
+				t.Fatalf("swap %d: %v", swaps, err)
+			}
+			swaps++
+		}
+	}
+	if dropped := router.Drain(); dropped != 0 {
+		t.Errorf("router dropped %d events", dropped)
+	}
+	mon.Close()
+	<-drained
+	leaks()
+
+	if got := mon.Epoch(); got != int64(1+swaps) {
+		t.Errorf("epoch = %d, want %d", got, 1+swaps)
+	}
+	if mon.Dropped() != 0 {
+		t.Errorf("monitor dropped %d alerts", mon.Dropped())
+	}
+	counters.ExpectDelta(t, "alerts_dropped", 0)
+	counters.ExpectDelta(t, "shape", 0)
+	alertMu.Lock()
+	defer alertMu.Unlock()
+	if len(alerts) == 0 {
+		t.Error("no alerts under chaos ingest")
+	}
+	for _, a := range alerts {
+		if a.Epoch < 1 || a.Epoch > int64(1+swaps) {
+			t.Errorf("alert on %s: epoch %d outside [1, %d]", a.Node, a.Epoch, 1+swaps)
+		}
+	}
+	if counts.Get(chaos.OutOfOrder) == 0 || counts.Get(chaos.DupTimestamp) == 0 || counts.Get(chaos.ClockSkew) == 0 {
+		t.Errorf("stream faults not injected: %v", counts.Snapshot())
+	}
+}

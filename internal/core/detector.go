@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"nodesentry/internal/cluster"
@@ -39,6 +40,7 @@ type TrainInput struct {
 	// between stages and between epochs inside per-cluster training, and
 	// returns ctx.Err(). A background retrainer needs this to drain
 	// promptly on shutdown without waiting out a full training run.
+	//lint:ignore contextleak TrainInput is a call argument bundle consumed within one Train call, not stored state
 	Ctx context.Context
 }
 
@@ -74,6 +76,11 @@ type TrainStats struct {
 	TrainDuration time.Duration
 	// ClusterSizes[c] is the number of segments assigned to cluster c.
 	ClusterSizes []int
+	// SkippedNodes counts training nodes excluded for not sharing the
+	// fleet's majority metric layout — model sharing needs one schema,
+	// and a divergent node (partial collector, foreign auto-registration)
+	// must not poison or crash the shared reduction.
+	SkippedNodes int
 }
 
 // Detector is a trained NodeSentry instance. Train builds it; Detect and
@@ -114,6 +121,8 @@ func Train(in TrainInput, opts Options) (*Detector, error) {
 		preprocess.Clean(f)
 		cleaned[node] = f
 	}
+	nodes, skipped := majorityLayout(nodes, cleaned)
+	d.Stats.SkippedNodes = skipped
 	first := cleaned[nodes[0]]
 	d.red = preprocess.PlanReduction(cleaned, first.Metrics, in.SemanticGroups, opts.CorrThreshold)
 	reduced := make(map[string]*mts.NodeFrame, len(cleaned))
@@ -415,6 +424,39 @@ func sortedNodes(frames map[string]*mts.NodeFrame) []string {
 	}
 	sort.Strings(nodes)
 	return nodes
+}
+
+// majorityLayout keeps only the nodes sharing the most common metric
+// layout, deleting the rest from cleaned, and reports how many were
+// skipped. Model sharing reduces and clusters every node under one
+// fleet-wide schema; a frame with a different metric set (a partial
+// collector, a foreign auto-registration riding the retrain buffer)
+// cannot share it, and indexing the shared semantic groups into such a
+// frame would read out of range. Ties break toward the layout seen
+// first in sorted node order, keeping training deterministic.
+func majorityLayout(nodes []string, cleaned map[string]*mts.NodeFrame) ([]string, int) {
+	sig := func(ms []string) string { return strings.Join(ms, "\x00") }
+	count := map[string]int{}
+	for _, node := range nodes {
+		count[sig(cleaned[node].Metrics)]++
+	}
+	best := sig(cleaned[nodes[0]].Metrics)
+	for _, node := range nodes {
+		if s := sig(cleaned[node].Metrics); count[s] > count[best] {
+			best = s
+		}
+	}
+	kept := nodes[:0]
+	skipped := 0
+	for _, node := range nodes {
+		if sig(cleaned[node].Metrics) == best {
+			kept = append(kept, node)
+		} else {
+			delete(cleaned, node)
+			skipped++
+		}
+	}
+	return kept, skipped
 }
 
 // NumClusters returns the size of the model library.

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"nodesentry/internal/mts"
+)
+
+// TestMajorityLayout pins the heterogeneous-fleet guard the chaos soak
+// exposed: a retrain buffer can carry auto-registered nodes whose metric
+// layout differs from the fleet's, and indexing the shared semantic
+// groups into such a frame read out of range. Training must keep the
+// majority layout, drop the rest, and stay deterministic on ties.
+func TestMajorityLayout(t *testing.T) {
+	frame := func(metrics ...string) *mts.NodeFrame {
+		data := make([][]float64, len(metrics))
+		for i := range data {
+			data[i] = []float64{1, 2}
+		}
+		return &mts.NodeFrame{Metrics: metrics, Data: data, Step: 60}
+	}
+
+	cleaned := map[string]*mts.NodeFrame{
+		"cn-01": frame("cpu", "mem"),
+		"cn-02": frame("cpu", "mem"),
+		"cn-03": frame("cpu", "mem"),
+		"probe": frame("heartbeat"),
+	}
+	nodes, skipped := majorityLayout(sortedNodes(cleaned), cleaned)
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("kept %d nodes, want 3: %v", len(nodes), nodes)
+	}
+	for _, n := range nodes {
+		if n == "probe" {
+			t.Error("divergent node survived the filter")
+		}
+	}
+	// The divergent frame must leave the map too: the reduction step
+	// ranges over cleaned, not over the returned node list.
+	if _, ok := cleaned["probe"]; ok {
+		t.Error("divergent frame still in cleaned")
+	}
+
+	// A tie breaks toward the layout seen first in sorted node order.
+	tied := map[string]*mts.NodeFrame{
+		"aa": frame("cpu"),
+		"bb": frame("gpu"),
+	}
+	nodes, skipped = majorityLayout(sortedNodes(tied), tied)
+	if skipped != 1 || len(nodes) != 1 || nodes[0] != "aa" {
+		t.Errorf("tiebreak kept %v (skipped %d), want [aa] skipping 1", nodes, skipped)
+	}
+
+	// A homogeneous fleet passes through untouched.
+	uniform := map[string]*mts.NodeFrame{
+		"cn-01": frame("cpu", "mem"),
+		"cn-02": frame("cpu", "mem"),
+	}
+	nodes, skipped = majorityLayout(sortedNodes(uniform), uniform)
+	if skipped != 0 || len(nodes) != 2 {
+		t.Errorf("uniform fleet: kept %v, skipped %d, want all 2 and 0", nodes, skipped)
+	}
+}

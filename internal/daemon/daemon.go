@@ -1,0 +1,282 @@
+// Package daemon assembles the full sentryd run-loop — push+scrape
+// intake → decoder → shard router → monitor (→ lifecycle tee) → alert
+// consumer → webhook — as one constructible, closable value. cmd/sentryd
+// is a flag parser around it; internal/chaos drives the identical wiring
+// under scripted infrastructure faults, so the soak tests exercise the
+// literal production loop rather than a test-only reassembly.
+package daemon
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"sync"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/lifecycle"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+)
+
+// Config assembles one daemon. Detector and Step are required; every
+// network-facing component takes an optional injectable seam (Listener,
+// ScrapeClient, WebhookClient) so tests can interpose fault injection.
+type Config struct {
+	// Detector is the trained model the monitor starts with (required).
+	Detector *core.Detector
+	// Step is the sampling interval in seconds (required).
+	Step int64
+	// Layouts pre-registers per-node metric column orders on the decoder,
+	// so pushed metric names land in the exact order the detector was
+	// trained on.
+	Layouts map[string][]string
+
+	// ScoringWorkers sizes the monitor's detector-clone pool (default 2).
+	ScoringWorkers int
+	// AlertBuffer is the monitor's alert channel capacity (default 256).
+	AlertBuffer int
+
+	// Shards / QueueSize / Policy parameterize the shard router.
+	Shards    int
+	QueueSize int
+	Policy    ingest.Policy
+
+	// Listener, when non-nil, serves the push intake (POST /push) until
+	// Close. The daemon owns it from New on.
+	Listener net.Listener
+	// MaxBodyBytes caps one intake body (0 = ingest default).
+	MaxBodyBytes int64
+
+	// ScrapeTargets, when non-empty, runs the pull poller against these
+	// /metrics URLs every ScrapeInterval.
+	ScrapeTargets  []string
+	ScrapeInterval time.Duration
+	// ScrapeClient overrides the scraper's HTTP client.
+	ScrapeClient *http.Client
+
+	// WebhookURL, when non-empty, delivers every alert through a retrying
+	// WebhookSink on the consumer goroutine.
+	WebhookURL     string
+	WebhookRetries int
+	WebhookBackoff ingest.Backoff
+	// WebhookClient overrides the sink's HTTP client.
+	WebhookClient *http.Client
+
+	// OnAlert, when non-nil, observes every alert on the consumer
+	// goroutine (after logging and webhook delivery).
+	OnAlert func(runtime.Alert)
+
+	// Lifecycle, when non-nil, runs the drift→retrain→shadow→swap loop.
+	// Store and ActiveID identify the registry lineage the loop records
+	// promotions into.
+	Lifecycle *lifecycle.Config
+	Store     *lifecycle.Store
+	ActiveID  string
+
+	// Metrics, when non-nil, receives every component's series.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives component logs.
+	Logger *slog.Logger
+}
+
+// Daemon is one running sentryd loop.
+type Daemon struct {
+	cfg    Config
+	mon    *runtime.Monitor
+	mgr    *lifecycle.Manager
+	router *ingest.ShardRouter
+	dec    *ingest.Decoder
+
+	srv      *http.Server
+	addr     string
+	serveErr chan error
+
+	consumer   sync.WaitGroup
+	scrapeDone chan struct{}
+	scrapeStop context.CancelFunc
+	lcDone     chan struct{}
+	lcCancel   context.CancelFunc
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New wires and starts the daemon: monitor, alert consumer, optional
+// lifecycle manager, shard router, decoder, optional push server on
+// cfg.Listener, optional scrape poller. On error nothing is left
+// running.
+func New(cfg Config) (*Daemon, error) {
+	mon, err := runtime.NewMonitor(cfg.Detector, runtime.Config{
+		Step:           cfg.Step,
+		ScoringWorkers: cfg.ScoringWorkers,
+		AlertBuffer:    cfg.AlertBuffer,
+		Metrics:        cfg.Metrics,
+		Logger:         cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:        cfg,
+		mon:        mon,
+		serveErr:   make(chan error, 1),
+		scrapeDone: make(chan struct{}),
+		lcDone:     make(chan struct{}),
+	}
+
+	// Alert consumer: every alert is logged; with a webhook each is also
+	// delivered through the retrying sink. Runs until Monitor.Close.
+	var sink *runtime.WebhookSink
+	if cfg.WebhookURL != "" {
+		sink = &runtime.WebhookSink{
+			URL:        cfg.WebhookURL,
+			MaxRetries: cfg.WebhookRetries,
+			Backoff:    cfg.WebhookBackoff,
+			Client:     cfg.WebhookClient,
+			Metrics:    cfg.Metrics,
+		}
+	}
+	d.consumer.Add(1)
+	go func() {
+		defer d.consumer.Done()
+		for a := range mon.Alerts() {
+			if cfg.Logger != nil {
+				cfg.Logger.Info("alert", "node", a.Node, "time", a.Time, "job", a.Job,
+					"score", a.Score, "level", a.Diagnosis.Level)
+			}
+			if sink != nil {
+				if err := sink.Send(a); err != nil && cfg.Logger != nil {
+					cfg.Logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
+				}
+			}
+			if cfg.OnAlert != nil {
+				cfg.OnAlert(a)
+			}
+		}
+	}()
+
+	// Lifecycle manager: its sink rides the same stream as the monitor
+	// via a Tee, so the drift detector and retrain buffer see exactly
+	// what is scored. Run gets its own context — it is cancelled only
+	// after the shard queues drain, so buffered events still reach it.
+	routerSink := ingest.Sink(mon)
+	lcCtx, lcCancel := context.WithCancel(context.Background())
+	d.lcCancel = lcCancel
+	if cfg.Lifecycle != nil {
+		mgr, err := lifecycle.NewManager(mon, cfg.Detector, cfg.ActiveID, cfg.Store, *cfg.Lifecycle)
+		if err != nil {
+			lcCancel()
+			mon.Close()
+			d.consumer.Wait()
+			return nil, err
+		}
+		d.mgr = mgr
+		routerSink = ingest.Tee(mon, mgr.Sink())
+		go func() {
+			defer close(d.lcDone)
+			mgr.Run(lcCtx)
+		}()
+	} else {
+		close(d.lcDone)
+	}
+
+	d.router = ingest.NewShardRouter(routerSink, ingest.RouterConfig{
+		Shards: cfg.Shards, QueueSize: cfg.QueueSize, Policy: cfg.Policy,
+		Metrics: cfg.Metrics, Logger: cfg.Logger,
+	})
+	d.dec = ingest.NewDecoder(d.router, ingest.DecoderConfig{Metrics: cfg.Metrics, Logger: cfg.Logger})
+	for node, metrics := range cfg.Layouts {
+		d.dec.Register(node, metrics)
+	}
+
+	if cfg.Listener != nil {
+		intake := ingest.NewIntake(d.dec, ingest.IntakeConfig{
+			MaxBodyBytes: cfg.MaxBodyBytes, Metrics: cfg.Metrics, Logger: cfg.Logger,
+		})
+		d.addr = cfg.Listener.Addr().String()
+		d.srv = &http.Server{
+			Handler:           intake.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      30 * time.Second,
+		}
+		srv, ln := d.srv, cfg.Listener
+		go func() { d.serveErr <- srv.Serve(ln) }()
+	}
+
+	scrapeCtx, scrapeStop := context.WithCancel(context.Background())
+	d.scrapeStop = scrapeStop
+	if len(cfg.ScrapeTargets) > 0 {
+		scraper := ingest.NewScraper(d.dec, ingest.ScrapeConfig{
+			Targets:  cfg.ScrapeTargets,
+			Interval: cfg.ScrapeInterval,
+			Client:   cfg.ScrapeClient,
+			Metrics:  cfg.Metrics,
+			Logger:   cfg.Logger,
+		})
+		go func() {
+			defer close(d.scrapeDone)
+			scraper.Run(scrapeCtx)
+		}()
+	} else {
+		close(d.scrapeDone)
+	}
+	return d, nil
+}
+
+// Monitor returns the streaming detection engine.
+func (d *Daemon) Monitor() *runtime.Monitor { return d.mon }
+
+// Manager returns the lifecycle manager (nil without Config.Lifecycle).
+func (d *Daemon) Manager() *lifecycle.Manager { return d.mgr }
+
+// Router returns the shard router.
+func (d *Daemon) Router() *ingest.ShardRouter { return d.router }
+
+// Decoder returns the shared decoder (register late-arriving layouts
+// through it).
+func (d *Daemon) Decoder() *ingest.Decoder { return d.dec }
+
+// Addr returns the push intake address ("" without a Listener).
+func (d *Daemon) Addr() string { return d.addr }
+
+// ServeErr reports the push server's exit: http.ErrServerClosed after an
+// orderly Close, anything else when the server died on its own. Nothing
+// is ever sent without a Listener.
+func (d *Daemon) ServeErr() <-chan error { return d.serveErr }
+
+// Close drains the daemon upstream to downstream — stop accepting,
+// finish the scrape sweep, empty the shard queues, wait out the
+// lifecycle loop (including in-flight retraining), close the monitor,
+// let the alert consumer finish — exactly the order cmd/sentryd's signal
+// handler historically applied. ctx bounds the intake server shutdown.
+// Idempotent; later calls return the first result.
+func (d *Daemon) Close(ctx context.Context) error {
+	d.closeOnce.Do(func() {
+		if d.srv != nil {
+			if err := d.srv.Shutdown(ctx); err != nil {
+				d.closeErr = err
+				if d.cfg.Logger != nil {
+					d.cfg.Logger.Warn("intake shutdown", "err", err)
+				}
+			}
+		}
+		d.scrapeStop()
+		<-d.scrapeDone
+		if dropped := d.router.Drain(); dropped > 0 && d.cfg.Logger != nil {
+			d.cfg.Logger.Warn("shard queues dropped events", "dropped", dropped)
+		}
+		d.lcCancel()
+		<-d.lcDone
+		d.mon.Close()
+		d.consumer.Wait()
+		if d.cfg.Logger != nil {
+			d.cfg.Logger.Info("drained", "monitor_dropped", d.mon.Dropped())
+		}
+	})
+	return d.closeErr
+}

@@ -50,6 +50,7 @@ type Decoder struct {
 	skipped       *obs.Counter
 	unknown       *obs.Counter
 	clockFallback *obs.Counter
+	shape         *obs.Counter
 }
 
 // NewDecoder wraps a sink.
@@ -69,6 +70,7 @@ func NewDecoder(sink Sink, cfg DecoderConfig) *Decoder {
 		skipped:       r.Counter("nodesentry_intake_skipped_series_total"),
 		unknown:       r.Counter("nodesentry_intake_unknown_metrics_total"),
 		clockFallback: r.Counter("nodesentry_intake_clock_fallback_total"),
+		shape:         r.Counter("nodesentry_intake_shape_mismatch_total"),
 	}
 }
 
@@ -169,6 +171,32 @@ func (d *Decoder) sample(node string, ts int64, vals map[string]float64) {
 	d.samples.Inc()
 }
 
+// conform fits a JSONL sample vector to the node's declared layout:
+// missing trailing columns become NaN (a dropped collector) and extra
+// ones are cut, both counted. Without this a hostile or buggy agent
+// pushing a short vector for a registered node would reach frame
+// assembly with the wrong width. Unregistered nodes pass through
+// unchanged — the monitor discards their samples as unregistered.
+func (d *Decoder) conform(node string, vec []float64) []float64 {
+	d.mu.Lock()
+	layout, known := d.layouts[node]
+	d.mu.Unlock()
+	if !known || len(vec) == len(layout) {
+		return vec
+	}
+	d.shape.Inc()
+	if d.cfg.Logger != nil {
+		d.cfg.Logger.Warn("sample shape mismatch", "node", node,
+			"got", len(vec), "want", len(layout))
+	}
+	out := make([]float64, len(layout))
+	n := copy(out, vec)
+	for i := n; i < len(out); i++ {
+		out[i] = math.NaN()
+	}
+	return out
+}
+
 // layoutOf returns the node's layout, auto-registering the sorted
 // metric names of this first sample for nodes never declared.
 func (d *Decoder) layoutOf(node string, vals map[string]float64) []string {
@@ -226,7 +254,7 @@ func (d *Decoder) PushJSONL(r io.Reader) (int, error) {
 				ts = d.cfg.Now()
 				d.clockFallback.Inc()
 			}
-			d.sink.Ingest(l.Node, ts, floats(l.Values))
+			d.sink.Ingest(l.Node, ts, d.conform(l.Node, floats(l.Values)))
 			d.samples.Inc()
 			n++
 		default:

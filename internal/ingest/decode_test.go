@@ -178,3 +178,32 @@ func TestDecoderVectorNaNSemantics(t *testing.T) {
 		t.Errorf("missing metrics not NaN-filled: %q", ev)
 	}
 }
+
+func TestDecoderJSONLShapeConform(t *testing.T) {
+	sink := &recordSink{}
+	reg := obs.NewRegistry()
+	dec := testDecoder(sink, reg)
+	dec.Register("n", []string{"a", "b", "c"})
+	body := `{"node":"n","time":5,"values":[1]}` + "\n" +
+		`{"node":"n","time":6,"values":[1,2,3,4]}` + "\n" +
+		`{"node":"n","time":7,"values":[1,2,3]}` + "\n" +
+		`{"node":"u","time":8,"values":[9]}` + "\n"
+	if _, err := dec.PushJSONL(strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.all()
+	if want := "ing n 5 [1 NaN NaN]"; events[1] != want {
+		t.Errorf("short vector: got %q, want %q", events[1], want)
+	}
+	if want := "ing n 6 [1 2 3]"; events[2] != want {
+		t.Errorf("long vector: got %q, want %q", events[2], want)
+	}
+	// Unregistered nodes pass through unchanged; exact-width vectors are
+	// untouched; two repairs counted.
+	if want := "ing u 8 [9]"; events[4] != want {
+		t.Errorf("unregistered: got %q, want %q", events[4], want)
+	}
+	if got := reg.Counter("nodesentry_intake_shape_mismatch_total").Value(); got != 2 {
+		t.Errorf("shape mismatch counter = %d, want 2", got)
+	}
+}

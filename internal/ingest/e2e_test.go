@@ -21,6 +21,7 @@ import (
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
 	"nodesentry/internal/telemetry"
+	"nodesentry/internal/testutil"
 )
 
 var (
@@ -167,6 +168,15 @@ func gateway(t *testing.T, det *core.Detector, ds *dataset.Dataset, reg *obs.Reg
 func TestGatewayEndToEndEquivalence(t *testing.T) {
 	ds, det := fixture(t)
 	vw, nodes := views(ds)
+	// Registered before any server defer so it runs after all of them: the
+	// whole gateway topology must tear down without leaking a goroutine.
+	// The shared client's keep-alive pool is drained first — pooled
+	// connections are the harness's, not the gateway's.
+	leaks := testutil.CheckGoroutines(t)
+	defer func() {
+		http.DefaultClient.CloseIdleConnections()
+		leaks()
+	}()
 
 	// Baseline: direct in-process ingestion.
 	direct, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 4096})
@@ -184,7 +194,14 @@ func TestGatewayEndToEndEquivalence(t *testing.T) {
 	}
 
 	// Push path: the same stream as exposition bodies over POST /push.
+	// Byte-identity holds only if nothing is silently repaired on the way
+	// in, so the decode-side failure counters must not move at all.
 	reg := obs.NewRegistry()
+	decodeCounters := testutil.SnapshotCounters(map[string]*obs.Counter{
+		"parse_errors": reg.Counter("nodesentry_intake_parse_errors_total"),
+		"shape":        reg.Counter("nodesentry_intake_shape_mismatch_total"),
+		"samples":      reg.Counter("nodesentry_intake_samples_total"),
+	})
 	pushMon, router, dec, waitPush := gateway(t, det, ds, reg)
 	intake := ingest.NewIntake(dec, ingest.IntakeConfig{Metrics: reg})
 	srv := httptest.NewServer(intake.Handler())
@@ -250,6 +267,9 @@ func TestGatewayEndToEndEquivalence(t *testing.T) {
 	if samples := series[`nodesentry_intake_samples_total`]; samples <= 0 {
 		t.Errorf("/metrics intake samples = %v, want > 0", samples)
 	}
+	decodeCounters.ExpectDelta(t, "parse_errors", 0)
+	decodeCounters.ExpectDelta(t, "shape", 0)
+	decodeCounters.ExpectDeltaAtLeast(t, "samples", int64(len(nodes)))
 }
 
 // TestGatewayScrapeEquivalence drives the same stream through the pull
@@ -349,7 +369,11 @@ func postBody(t *testing.T, url, body string, gzipped bool) *http.Response {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = resp.Body.Close() })
+	// Drain and close now: callers read only the status, and an unclosed
+	// body pins its connection out of the idle pool until test cleanup —
+	// the goroutine leak gate would see every push as two live goroutines.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
 	return resp
 }
 

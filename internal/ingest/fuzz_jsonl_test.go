@@ -1,0 +1,88 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"nodesentry/internal/obs"
+)
+
+// fuzzSink checks the decoder's sink-call contract under hostile input:
+// no call may carry an empty node name (a phantom node), and once a
+// node's layout is declared, every later sample vector must arrive at
+// exactly the layout's width — the invariant frame assembly depends on.
+type fuzzSink struct {
+	t       *testing.T
+	layouts map[string]int
+}
+
+func (s *fuzzSink) RegisterNode(node string, metrics []string) {
+	if node == "" {
+		s.t.Error("RegisterNode with empty node")
+	}
+	s.layouts[node] = len(metrics)
+}
+
+func (s *fuzzSink) ObserveJob(node string, job int64, start int64) {
+	if node == "" {
+		s.t.Error("ObserveJob with empty node")
+	}
+}
+
+func (s *fuzzSink) Ingest(node string, ts int64, values []float64) {
+	if node == "" {
+		s.t.Error("Ingest with empty node")
+	}
+	if want, ok := s.layouts[node]; ok && len(values) != want {
+		s.t.Errorf("ingest %q: vector width %d, want %d", node, len(values), want)
+	}
+}
+
+// FuzzPushJSONL pins the JSONL decode path against hostile batches:
+// malformed JSON, NaN/Inf values, bad UTF-8 in labels, duplicate
+// timestamps, and — the historical panic — sample vectors narrower or
+// wider than the node's declared layout. It must never panic, never
+// emit a phantom (empty-name) node, and never hand a registered node a
+// mis-shaped vector.
+func FuzzPushJSONL(f *testing.F) {
+	seeds := []string{
+		`{"node":"a","metrics":["m0","m1"]}` + "\n" + `{"node":"a","time":60,"values":[1,2]}`,
+		// Short and long vectors against a declared layout.
+		`{"node":"a","metrics":["m0","m1","m2"]}` + "\n" + `{"node":"a","time":60,"values":[1]}`,
+		`{"node":"a","metrics":["m0"]}` + "\n" + `{"node":"a","time":60,"values":[1,2,3]}`,
+		// Non-finite values travel as quoted strings.
+		`{"node":"a","time":60,"values":["NaN","+Inf","-Inf"]}`,
+		// Duplicate timestamps.
+		`{"node":"a","time":60,"values":[1]}` + "\n" + `{"node":"a","time":60,"values":[1]}`,
+		// Job transitions, idle id, zero time (clock fallback).
+		`{"node":"a","job":7,"start":1200}`,
+		`{"node":"a","job":-1,"start":0}`,
+		`{"node":"a","values":[0.5]}`,
+		// Malformed shapes.
+		`{node:`,
+		`{"node":""}`,
+		`{"node":"a"}`,
+		`{"time":60,"values":[1]}`,
+		`{"node":"a","values":[]}`,
+		"{\"node\":\"\xff\xfe\",\"values\":[1]}",
+		`{"node":"a","values":["nope"]}`,
+		"\n\n" + `{"node":"a","metrics":["m0"]}` + "\n\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		sink := &fuzzSink{t: t, layouts: map[string]int{}}
+		dec := NewDecoder(sink, DecoderConfig{
+			Metrics: obs.NewRegistry(),
+			Now:     func() int64 { return 1_700_000_000 },
+		})
+		n, err := dec.PushJSONL(strings.NewReader(body))
+		if n < 0 {
+			t.Errorf("negative sample count %d", n)
+		}
+		if err != nil && n > len(strings.Split(body, "\n")) {
+			t.Errorf("counted %d samples from %d lines", n, len(strings.Split(body, "\n")))
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
 	"nodesentry/internal/telemetry"
+	"nodesentry/internal/testutil"
 )
 
 // shiftScale multiplies every metric during replay: a sustained shift far
@@ -267,6 +268,11 @@ func TestManagerRunDrainsOnCancel(t *testing.T) {
 	_, mgr, _, sink, _ := newManagerUnderTest(t, nil, nil)
 	feed(sink, ds, ds.SplitTime(), ds.SplitTime()+60*ds.Step, 1)
 
+	// Snapshot after the topology is up: everything Run spawns — the loop
+	// itself, the retrain worker, any shadow scorer — must be gone once it
+	// returns. The monitor's own goroutines predate the snapshot and are
+	// torn down by t.Cleanup afterwards.
+	leaks := testutil.CheckGoroutines(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
@@ -276,6 +282,7 @@ func TestManagerRunDrainsOnCancel(t *testing.T) {
 	mgr.StartRetrain(ctx, "manual")
 	cancel()
 	<-done
+	leaks()
 	if sh := mgr.shadow.Load(); sh != nil {
 		t.Fatal("Run exited with a live shadow")
 	}

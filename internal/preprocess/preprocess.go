@@ -122,7 +122,17 @@ func PlanReduction(frames map[string]*mts.NodeFrame, metricNames []string, group
 	}
 	sort.Strings(groupNames)
 	for _, name := range groupNames {
-		rows := groups[name]
+		// Drop rows outside the frame layout: a semantic catalog built for
+		// the full fleet schema may reference rows a narrower layout lacks.
+		rows := make([]int, 0, len(groups[name]))
+		for _, r := range groups[name] {
+			if r >= 0 && r < len(metricNames) {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
 		red.Groups = append(red.Groups, ReductionGroup{Name: name, Rows: rows})
 		for _, r := range rows {
 			covered[r] = true

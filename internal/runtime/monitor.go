@@ -15,6 +15,7 @@ package runtime
 
 import (
 	"log/slog"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -148,6 +149,7 @@ type monMetrics struct {
 	delivered    *obs.Counter
 	dropped      *obs.Counter
 	thrUpdates   *obs.Counter
+	shape        *obs.Counter
 	nodes        *obs.Gauge
 	epoch        *obs.Gauge
 	swaps        *obs.Counter
@@ -169,6 +171,7 @@ func newMonMetrics(r *obs.Registry) monMetrics {
 		delivered:    r.Counter("nodesentry_alerts_delivered_total"),
 		dropped:      r.Counter("nodesentry_alerts_dropped_total"),
 		thrUpdates:   r.Counter("nodesentry_threshold_updates_total"),
+		shape:        r.Counter("nodesentry_ingest_shape_mismatch_total"),
 		nodes:        r.Gauge("nodesentry_nodes"),
 		epoch:        r.Gauge("nodesentry_detector_epoch"),
 		swaps:        r.Counter("nodesentry_detector_swaps_total"),
@@ -374,6 +377,18 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 	m.met.ingest.Inc()
 	st.lastIngest = ts
 	v := append([]float64(nil), values...)
+	if len(v) != len(st.metrics) {
+		// A mis-shaped vector must never reach frame assembly (frameOf
+		// indexes one column per registered metric): conform it to the
+		// layout, NaN-padding missing columns, and count the repair.
+		m.met.shape.Inc()
+		w := make([]float64, len(st.metrics))
+		n := copy(w, v)
+		for i := n; i < len(w); i++ {
+			w[i] = math.NaN()
+		}
+		v = w
+	}
 	if !st.matched {
 		if len(st.probe) == 0 && ts > st.jobStart {
 			// Joining a job already in progress (e.g. monitor started

@@ -3,6 +3,8 @@ package runtime
 import (
 	"sync"
 	"testing"
+
+	"nodesentry/internal/testutil"
 )
 
 // TestMonitorCloseDuringIngest closes the monitor while collectors are
@@ -12,6 +14,7 @@ import (
 // idempotence under concurrent use.
 func TestMonitorCloseDuringIngest(t *testing.T) {
 	ds, det := fixture(t)
+	leaks := testutil.CheckGoroutines(t)
 	// A tiny alert buffer and cooldown maximize delivery traffic around
 	// the close.
 	m, err := NewMonitor(det, Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 1, CooldownSec: 1})
@@ -60,6 +63,7 @@ func TestMonitorCloseDuringIngest(t *testing.T) {
 	f := ds.Frames[node]
 	last := f.Len() - 1
 	m.Ingest(node, f.TimeAt(last), f.Window(last))
+	leaks()
 }
 
 // TestMonitorSnapshotDuringIngest hammers Snapshot while collectors ingest

@@ -1,0 +1,118 @@
+// Package testutil holds the cross-package assertion helpers the chaos
+// and gateway test suites share: goroutine-leak detection and metrics
+// reconciliation, both snapshot-before/after with a grace window —
+// drain goroutines and counter increments trail the events they account
+// for, so a single instantaneous read would flake under -race on a
+// loaded CI machine.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"nodesentry/internal/obs"
+)
+
+// graceWindow bounds how long the retrying assertions wait for the
+// system to settle before declaring failure.
+const graceWindow = 5 * time.Second
+
+// CheckGoroutines snapshots the goroutine count and returns a closer
+// that fails tb if, after the grace window, more goroutines are running
+// than at the snapshot. Register it first so it runs after every other
+// deferred cleanup:
+//
+//	defer testutil.CheckGoroutines(t)()
+//
+// Build fixtures that spin up shared state (trained detectors, worker
+// pools) before taking the snapshot, or they count as leaks.
+func CheckGoroutines(tb testing.TB) func() {
+	tb.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(graceWindow)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		tb.Errorf("goroutine leak: %d running, %d at snapshot\n%s", n, base, buf)
+	}
+}
+
+// Eventually retries cond until it returns nil or the grace window
+// elapses, then fails tb with the last error. Use it for assertions on
+// state that settles asynchronously (queue drains, counter increments).
+func Eventually(tb testing.TB, what string, cond func() error) {
+	tb.Helper()
+	deadline := time.Now().Add(graceWindow)
+	var err error
+	for {
+		if err = cond(); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Errorf("%s: %v", what, err)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Counters is a named set of obs counters captured at snapshot time, for
+// before/after reconciliation against injected event counts.
+type Counters struct {
+	handles map[string]*obs.Counter
+	base    map[string]int64
+}
+
+// SnapshotCounters records the current value of every named counter.
+func SnapshotCounters(handles map[string]*obs.Counter) *Counters {
+	c := &Counters{handles: handles, base: map[string]int64{}}
+	for name, h := range handles {
+		c.base[name] = h.Value()
+	}
+	return c
+}
+
+// Delta returns how far the named counter has moved since the snapshot.
+func (c *Counters) Delta(name string) int64 {
+	h, ok := c.handles[name]
+	if !ok {
+		//lint:ignore libpanic asking for an unsnapshotted counter is programmer error in a test helper with no tb to fail
+		panic(fmt.Sprintf("testutil: unknown counter %q", name))
+	}
+	return h.Value() - c.base[name]
+}
+
+// ExpectDelta asserts, with grace retries, that the named counter moved
+// by exactly want since the snapshot.
+func (c *Counters) ExpectDelta(tb testing.TB, name string, want int64) {
+	tb.Helper()
+	Eventually(tb, "counter "+name, func() error {
+		if got := c.Delta(name); got != want {
+			return fmt.Errorf("delta = %d, want %d", got, want)
+		}
+		return nil
+	})
+}
+
+// ExpectDeltaAtLeast asserts, with grace retries, that the named counter
+// moved by at least want since the snapshot.
+func (c *Counters) ExpectDeltaAtLeast(tb testing.TB, name string, want int64) {
+	tb.Helper()
+	Eventually(tb, "counter "+name, func() error {
+		if got := c.Delta(name); got < want {
+			return fmt.Errorf("delta = %d, want >= %d", got, want)
+		}
+		return nil
+	})
+}
