@@ -15,9 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"nodesentry/internal/analysis"
 	"nodesentry/internal/experiments"
 	"nodesentry/internal/obs"
 )
@@ -89,13 +92,14 @@ func main() {
 			_, err := experiments.Chaos(w, scale, tracer)
 			return err
 		},
+		"lint": func() error { return lintBench(w, tracer) },
 	}
 	order := []string{
 		"table2", "table3", "fig1", "fig4", "table4", "table5",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
 		"fig8", "dtw", "incremental", "deploy", "gateway", "lifecycle",
 		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
-		"chaos",
+		"chaos", "lint",
 	}
 
 	run := func(name string) {
@@ -142,4 +146,66 @@ func main() {
 	}
 	run(*exp)
 	writeJSON()
+}
+
+// lintBench times the repo's own analyzer over the full module: a cold run
+// (fresh loader, no cache) and a warm run against a pre-populated findings
+// cache. The lint_cold/lint_warm spans land in BENCH_obs.json so analyzer
+// performance is tracked alongside the paper experiments, matching the
+// 2.5s cold budget scripts/verify.sh enforces.
+func lintBench(w io.Writer, tracer *obs.Tracer) error {
+	root, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+
+	cold := tracer.Start("lint_cold")
+	t0 := time.Now()
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	dirs, err := loader.Expand(root, []string{"./..."})
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		return err
+	}
+	findings := analysis.Run(pkgs, analysis.Checks())
+	coldDur := time.Since(t0)
+	cold.End()
+
+	cacheDir, err := os.MkdirTemp("", "sentrylint-bench")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(cacheDir) }() // scratch cache; best-effort cleanup
+	cachePath := filepath.Join(cacheDir, "cache.json")
+	warmup, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	if _, _, err := analysis.RunCached(warmup, dirs, analysis.Checks(), cachePath); err != nil {
+		return err
+	}
+
+	warm := tracer.Start("lint_warm")
+	t1 := time.Now()
+	cached, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	warmFindings, stats, err := analysis.RunCached(cached, dirs, analysis.Checks(), cachePath)
+	if err != nil {
+		return err
+	}
+	warmDur := time.Since(t1)
+	warm.End()
+
+	_, err = fmt.Fprintf(w, "sentrylint over %d package(s): cold %v (%d finding(s)), warm %v (%d reused, %d analyzed, %d finding(s))\n",
+		len(dirs), coldDur.Round(time.Millisecond), len(findings),
+		warmDur.Round(time.Millisecond), stats.Hits, stats.Misses, len(warmFindings))
+	return err
 }

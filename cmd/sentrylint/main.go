@@ -8,7 +8,13 @@
 // Packages follow go-tool conventions: `./...` walks the module,
 // `./internal/mat` names one package. With no arguments, `./...` is
 // assumed. The exit status is 1 when findings survive suppression, 2 on
-// load or usage errors.
+// load or usage errors, and 3 when -budget is set and the run overran it.
+//
+// -unused-ignores (default on) additionally reports //lint:ignore
+// comments that no longer suppress anything; -serial disables the
+// parallel loader (findings are byte-identical either way); -budget
+// fails the run when wall time exceeds the given duration, giving CI a
+// regression tripwire for analyzer performance.
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"nodesentry/internal/analysis"
 )
@@ -31,9 +39,16 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list available checks and exit")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	cachePath := fs.String("cache", "", "findings cache file: unchanged packages (and unchanged dependency closures) reuse recorded findings instead of re-type-checking")
+	unusedIgnores := fs.Bool("unused-ignores", true, "report lint:ignore comments that no longer suppress any finding")
+	serial := fs.Bool("serial", false, "disable the parallel loader (one package at a time, identical findings)")
+	budget := fs.Duration("budget", 0, "fail with exit status 3 if the run takes longer than this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	start := time.Now()
+	// One-shot process: trading heap headroom for fewer GC cycles is
+	// pure wall-time win on the cold path.
+	debug.SetGCPercent(400)
 	if *list {
 		for _, c := range analysis.Checks() {
 			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
@@ -44,6 +59,15 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentrylint:", err)
 		return 2
+	}
+	if !*unusedIgnores {
+		kept := checks[:0]
+		for _, c := range checks {
+			if c.Name != "unusedignore" {
+				kept = append(kept, c)
+			}
+		}
+		checks = kept
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -60,6 +84,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "sentrylint:", err)
 		return 2
 	}
+	loader.Serial = *serial
 	dirs, err := loader.Expand(cwd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentrylint:", err)
@@ -85,9 +110,18 @@ func run(args []string) int {
 	for _, f := range findings {
 		fmt.Println(shorten(cwd, f))
 	}
+	elapsed := time.Since(start)
+	if *budget > 0 {
+		fmt.Fprintf(os.Stderr, "sentrylint: wall time %s (budget %s)\n",
+			elapsed.Round(time.Millisecond), *budget)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "sentrylint: %d finding(s) in %d package(s)\n", len(findings), len(dirs))
 		return 1
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "sentrylint: run exceeded the %s budget\n", *budget)
+		return 3
 	}
 	return 0
 }

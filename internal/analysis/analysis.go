@@ -38,8 +38,19 @@ type Check struct {
 	Name string
 	// Doc is a one-line description shown by `sentrylint -list`.
 	Doc string
-	// Run inspects pkg and reports findings through report.
+	// Run inspects pkg and reports findings through report. The
+	// unusedignore pseudo-check has a nil Run: it reports from the
+	// suppression table after every other check has executed.
 	Run func(pkg *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// checkUnusedIgnore is a pseudo-check evaluated by Run after all real
+// checks: a //lint:ignore directive that silenced nothing this run is
+// stale and reported, so suppressions cannot outlive the finding they
+// were written for.
+var checkUnusedIgnore = Check{
+	Name: "unusedignore",
+	Doc:  "flags lint:ignore comments that no longer suppress any finding (run with every other check)",
 }
 
 // Checks returns all registered checks in a stable order.
@@ -49,9 +60,13 @@ func Checks() []Check {
 		checkGlobalRand,
 		checkErrDrop,
 		checkLibPanic,
-		checkLockSafe,
+		checkLockBalance,
 		checkUnboundedGoroutine,
 		checkContextLeak,
+		checkDeferLoop,
+		checkTickLeak,
+		checkHotAlloc,
+		checkUnusedIgnore,
 	}
 }
 
@@ -68,9 +83,22 @@ func CheckNames() []string {
 // findings (suppressions already applied), sorted by file, line, check.
 func Run(pkgs []*Package, checks []Check) []Finding {
 	var out []Finding
+	registered := map[string]bool{}
+	for _, c := range Checks() {
+		registered[c.Name] = true
+	}
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
+		unusedIgnores := false
+		ran := map[string]bool{}
 		for _, c := range checks {
+			if c.Run == nil {
+				if c.Name == checkUnusedIgnore.Name {
+					unusedIgnores = true
+				}
+				continue
+			}
+			ran[c.Name] = true
 			c := c
 			report := func(pos token.Pos, format string, args ...any) {
 				p := pkg.Fset.Position(pos)
@@ -80,6 +108,23 @@ func Run(pkgs []*Package, checks []Check) []Finding {
 				out = append(out, Finding{Pos: p, Check: c.Name, Message: fmt.Sprintf(format, args...)})
 			}
 			c.Run(pkg, report)
+		}
+		if !unusedIgnores {
+			continue
+		}
+		// Stale suppressions: directives naming a check that ran but
+		// silenced nothing, and directives naming a check that does not
+		// exist. Directives for registered checks excluded from this run
+		// are left alone — we cannot tell whether they are stale.
+		for _, d := range sup.all {
+			switch {
+			case !registered[d.check]:
+				out = append(out, Finding{Pos: d.pos, Check: checkUnusedIgnore.Name,
+					Message: fmt.Sprintf("lint:ignore names unknown check %q; remove or fix the directive", d.check)})
+			case ran[d.check] && !d.used:
+				out = append(out, Finding{Pos: d.pos, Check: checkUnusedIgnore.Name,
+					Message: fmt.Sprintf("lint:ignore %s suppresses nothing here; remove the stale directive", d.check)})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

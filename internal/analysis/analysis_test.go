@@ -21,9 +21,13 @@ var fixtureChecks = []struct {
 	{"globalrand", "globalrand"},
 	{"errdrop", "errdrop"},
 	{"libpanic", "libpanic"},
-	{"locksafe", "locksafe"},
+	{"lockbalance", "lockbalance"},
 	{"unboundedgoroutine", "unboundedgoroutine"},
 	{"contextleak", "contextleak"},
+	{"deferloop", "deferloop"},
+	{"tickleak", "tickleak"},
+	{"hotalloc", "hotalloc"},
+	{"unusedignore", "unusedignore"},
 	{"suppress", "floatcmp"},
 }
 
@@ -117,7 +121,11 @@ func TestExpandSkipsTestdata(t *testing.T) {
 
 // TestCheckRegistry pins the advertised check set.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"floatcmp", "globalrand", "errdrop", "libpanic", "locksafe", "unboundedgoroutine", "contextleak"}
+	want := []string{
+		"floatcmp", "globalrand", "errdrop", "libpanic", "lockbalance",
+		"unboundedgoroutine", "contextleak", "deferloop", "tickleak",
+		"hotalloc", "unusedignore",
+	}
 	got := CheckNames()
 	if len(got) != len(want) {
 		t.Fatalf("CheckNames() = %v, want %v", got, want)

@@ -1,0 +1,552 @@
+package analysis
+
+// cfg.go is the dataflow substrate for the path-sensitive checks: a
+// lightweight intra-procedural control-flow graph (basic blocks with
+// branch, loop, switch/select, defer, return, panic and goto edges) and
+// a forward may-analysis worklist that iterates block facts to a
+// fixpoint. Built only on go/ast + go/types, no x/tools.
+//
+// The model is deliberately statement-grained. Each Block holds the AST
+// nodes that execute when control reaches it, in source order; nested
+// statements live in their own blocks, so a transfer function inspecting
+// a block's nodes never sees a statement twice. Function literals are
+// not inlined — each literal is analyzed as its own function by
+// packageFuncs — with one exception checks may opt into: a deferred
+// closure runs at the enclosing function's exit, so lock-release checks
+// treat its body as exit-time effects of the registering function.
+//
+// Known soundness limits (documented in DESIGN.md):
+//   - only explicit panic(...) statements create panic edges; every
+//     other call is assumed to return,
+//   - short-circuit flow inside expressions (&&, ||) is not modeled,
+//   - facts merge by union (may-analysis), so a condition repeated on
+//     two branches is not correlated.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: the AST nodes that execute together, plus
+// the control-flow successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is the
+// first block executed; Exit is a synthetic empty block every return,
+// panic and fall-off-the-end path feeds into.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// buildCFG constructs the control-flow graph of body. pkg supplies type
+// information (used to recognize the panic builtin).
+func buildCFG(pkg *Package, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{pkg: pkg, g: &CFG{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmt(body)
+	b.link(b.cur, b.g.Exit) // falling off the end returns
+	for _, p := range b.gotos {
+		if target, ok := b.labels[p.label]; ok {
+			b.link(p.from, target)
+		}
+	}
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+// frame is one enclosing breakable construct (loop, switch or select).
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type gotoPatch struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	pkg    *Package
+	g      *CFG
+	cur    *Block // nil while the current point is unreachable
+	frames []frame
+	labels map[string]*Block
+	gotos  []gotoPatch
+	// pendingLabel names the label attached to the next loop/switch, so
+	// `L: for ...` registers L as that loop's break/continue label.
+	pendingLabel string
+	// ftTarget is the next case clause's block, the fallthrough target.
+	ftTarget *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a fresh block with an edge from the current one.
+func (b *cfgBuilder) startBlock() *Block {
+	nb := b.newBlock()
+	b.link(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the pending label for a loop/switch construct.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// isPanicCall reports whether e is a call of the panic builtin.
+func (b *cfgBuilder) isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, ok = b.pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.ExprStmt:
+		b.add(s.X)
+		if b.isPanicCall(s.X) {
+			b.link(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		thenB := b.newBlock()
+		b.link(cond, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		elseEnd := cond
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		b.link(thenEnd, join)
+		b.link(elseEnd, join)
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		cont := head
+		var postB *Block
+		if s.Post != nil {
+			postB = b.newBlock()
+			cont = postB
+		}
+		body := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after) // `for {}` has no exit edge without a break
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, cont)
+		b.frames = b.frames[:len(b.frames)-1]
+		if postB != nil {
+			b.cur = postB
+			b.stmt(s.Post)
+			b.link(b.cur, head)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.startBlock()
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		if len(s.Body.List) == 0 {
+			b.cur = nil // empty select blocks forever
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.link(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.link(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.link(b.cur, b.findFrame(s.Label, false))
+		case token.CONTINUE:
+			b.link(b.cur, b.findFrame(s.Label, true))
+		case token.GOTO:
+			if b.cur != nil && s.Label != nil {
+				b.gotos = append(b.gotos, gotoPatch{from: b.cur, label: s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			b.link(b.cur, b.ftTarget)
+		}
+		b.cur = nil
+	case *ast.LabeledStmt:
+		lb := b.startBlock()
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.SendStmt:
+		b.add(s)
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		b.add(s)
+	}
+}
+
+// switchLike builds expression and type switches: every clause branches
+// from the head, break (implicit at each clause end) joins after, and
+// fallthrough chains into the next clause's block.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+	}
+	hasDefault := false
+	b.frames = append(b.frames, frame{label: label, brk: after})
+	savedFT := b.ftTarget
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(blocks) {
+			b.ftTarget = blocks[i+1]
+		} else {
+			b.ftTarget = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.link(b.cur, after)
+	}
+	b.ftTarget = savedFT
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.cur = after
+}
+
+// findFrame resolves a break/continue target. needLoop restricts the
+// search to loop frames (continue); a nil label matches the innermost
+// eligible frame.
+func (b *cfgBuilder) findFrame(label *ast.Ident, needLoop bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needLoop && f.cont == nil {
+			continue
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if needLoop {
+			return f.cont
+		}
+		return f.brk
+	}
+	return nil
+}
+
+// String renders the graph one block per line, for tests and debugging:
+//
+//	b0[assign,call] -> b1 b2
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		labels := make([]string, len(blk.Nodes))
+		for i, n := range blk.Nodes {
+			labels[i] = nodeLabel(n)
+		}
+		name := ""
+		switch blk {
+		case g.Entry:
+			name = " entry"
+		case g.Exit:
+			name = " exit"
+		}
+		fmt.Fprintf(&sb, "b%d%s[%s]", blk.Index, name, strings.Join(labels, ","))
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeLabel(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return "panic"
+		}
+		return "call"
+	case ast.Expr:
+		return "expr"
+	default:
+		return "stmt"
+	}
+}
+
+// facts is a may-dataflow lattice element: the keys that may hold at a
+// program point, each with the position that generated it (the earliest
+// across merged paths, for deterministic reporting).
+type facts map[string]token.Pos
+
+func (f facts) clone() facts {
+	out := make(facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// unionInto merges src into dst, keeping the smallest position per key,
+// and reports whether dst changed. Keys only accumulate and positions
+// only decrease, so iteration terminates.
+func (f facts) unionInto(src facts) bool {
+	changed := false
+	for k, pos := range src {
+		if have, ok := f[k]; !ok || pos < have {
+			changed = true
+			f[k] = pos
+		}
+	}
+	return changed
+}
+
+// equal reports whether two fact sets agree on keys and positions.
+func (f facts) equal(g facts) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		if gv, ok := g[k]; !ok || gv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys returns the fact keys in deterministic (position, name) order.
+func (f facts) sortedKeys() []string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if f[keys[i]] != f[keys[j]] {
+			return f[keys[i]] < f[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// forwardMay runs a forward may-analysis to fixpoint and returns the
+// fact set flowing into the exit block: everything that may hold on some
+// path reaching return/panic. transfer must not retain or mutate blocks;
+// it receives its own copy of the in-facts and returns the out-facts.
+func forwardMay(g *CFG, transfer func(b *Block, in facts) facts) facts {
+	in := make([]facts, len(g.Blocks))
+	out := make([]facts, len(g.Blocks))
+	processed := make([]bool, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	in[g.Entry.Index] = facts{}
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if in[blk.Index] == nil {
+			continue // unreachable
+		}
+		o := transfer(blk, in[blk.Index].clone())
+		if processed[blk.Index] && out[blk.Index].equal(o) {
+			continue
+		}
+		processed[blk.Index] = true
+		out[blk.Index] = o
+		for _, s := range blk.Succs {
+			if in[s.Index] == nil {
+				in[s.Index] = facts{}
+			}
+			if in[s.Index].unionInto(o) || !processed[s.Index] {
+				if !queued[s.Index] {
+					queued[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	exit := in[g.Exit.Index]
+	if exit == nil {
+		exit = facts{}
+	}
+	return exit
+}
+
+// inCycle reports, for each block, whether it lies on a control-flow
+// cycle (is reachable from itself). Used by deferloop: a defer that
+// executes more than once before the function exits must sit on a cycle.
+func (g *CFG) inCycle() []bool {
+	// Reachability per block over the successor relation; graphs are
+	// function-sized, so the quadratic sweep is fine.
+	n := len(g.Blocks)
+	cyc := make([]bool, n)
+	for _, blk := range g.Blocks {
+		seen := make([]bool, n)
+		stack := append([]*Block(nil), blk.Succs...)
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if s == blk {
+				cyc[blk.Index] = true
+				break
+			}
+			if seen[s.Index] {
+				continue
+			}
+			seen[s.Index] = true
+			stack = append(stack, s.Succs...)
+		}
+	}
+	return cyc
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one synthetic file and wraps it as a Package.
+func checkSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: newStdImporter(fset)}
+	tpkg, err := conf.Check("cfgtest", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "cfgtest", Files: []*ast.File{f}, Fset: fset, Types: tpkg, Info: info}
+}
+
+// funcCFG builds the CFG of the named function.
+func funcCFG(t *testing.T, pkg *Package, name string) *CFG {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return buildCFG(pkg, fd.Body)
+			}
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	pkg := checkSource(t, `package p
+func f(a bool) int {
+	x := 1
+	if a {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`)
+	g := funcCFG(t, pkg, "f")
+	want := strings.Join([]string{
+		"b0 entry[assign,expr] ->b2 ->b3",
+		"b1 exit[]",
+		"b2[assign] ->b4",
+		"b3[assign] ->b4",
+		"b4[return] ->b1",
+		"",
+	}, "\n")
+	if got := g.String(); got != want {
+		t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The forward may-analysis merges both arms into the join: seeding a
+	// distinct fact per block must surface every block on a path to exit.
+	exit := forwardMay(g, func(b *Block, in facts) facts {
+		in[fmt.Sprintf("b%d", b.Index)] = token.Pos(b.Index + 1)
+		return in
+	})
+	for _, key := range []string{"b0", "b2", "b3", "b4"} {
+		if _, ok := exit[key]; !ok {
+			t.Errorf("exit facts missing %s: %v", key, exit.sortedKeys())
+		}
+	}
+	if _, ok := exit["b1"]; ok {
+		t.Errorf("exit facts contain the exit block itself")
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	pkg := checkSource(t, `package p
+func g(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i%2 == 0 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`)
+	g := funcCFG(t, pkg, "g")
+	cyc := g.inCycle()
+
+	var returnBlk *Block
+	onCycle := 0
+	for _, b := range g.Blocks {
+		if cyc[b.Index] {
+			onCycle++
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returnBlk = b
+			}
+		}
+	}
+	if onCycle == 0 {
+		t.Fatalf("no blocks on the loop cycle:\n%s", g)
+	}
+	if returnBlk == nil {
+		t.Fatalf("no return block:\n%s", g)
+	}
+	if cyc[returnBlk.Index] {
+		t.Errorf("return block b%d must not be on the cycle:\n%s", returnBlk.Index, g)
+	}
+	// break and continue leave their blocks with exactly one successor
+	// (the after-loop block and the post block respectively), never
+	// falling through to the next statement.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok {
+				t.Fatalf("branch statement %v recorded as a plain node in b%d", br.Tok, b.Index)
+			}
+		}
+	}
+}
+
+func TestCFGDeferOrdering(t *testing.T) {
+	pkg := checkSource(t, `package p
+func release() {}
+func d(a bool) {
+	defer release()
+	if a {
+		defer release()
+	}
+}`)
+	g := funcCFG(t, pkg, "d")
+	// Defers are registration points, not control flow: they stay plain
+	// nodes inside their blocks in source order, and the conditional
+	// defer sits in the then-branch block only.
+	entryDefers, branchDefers := 0, 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				if b == g.Entry {
+					entryDefers++
+				} else {
+					branchDefers++
+				}
+			}
+		}
+	}
+	if entryDefers != 1 || branchDefers != 1 {
+		t.Errorf("defers: entry=%d branch=%d, want 1 and 1\n%s", entryDefers, branchDefers, g)
+	}
+}
+
+func TestCFGPanicEdges(t *testing.T) {
+	pkg := checkSource(t, `package p
+func p1(a bool) int {
+	if a {
+		panic("boom")
+	}
+	return 1
+}
+func boom() {
+	panic("always")
+}
+func fallsOff() {
+}`)
+	g := funcCFG(t, pkg, "p1")
+	// The panic block's only successor is the exit: control cannot flow
+	// to the join.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Errorf("panic block b%d succs = %v, want only exit\n%s", b.Index, b.Succs, g)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no panic block:\n%s", g)
+	}
+
+	for _, tc := range []struct {
+		fn   string
+		want bool
+	}{{"p1", false}, {"boom", true}, {"fallsOff", false}} {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == tc.fn {
+					if got := neverReturns(pkg, fd.Body); got != tc.want {
+						t.Errorf("neverReturns(%s) = %v, want %v", tc.fn, got, tc.want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCFGGotoCycle(t *testing.T) {
+	pkg := checkSource(t, `package p
+func loop() int {
+	i := 0
+L:
+	i++
+	if i < 10 {
+		goto L
+	}
+	return i
+}`)
+	g := funcCFG(t, pkg, "loop")
+	cyc := g.inCycle()
+	on := 0
+	for _, b := range g.Blocks {
+		if cyc[b.Index] {
+			on++
+		}
+	}
+	if on == 0 {
+		t.Errorf("goto cycle not detected:\n%s", g)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	pkg := checkSource(t, `package p
+func sw(n int) int {
+	switch n {
+	case 0:
+		n = 1
+		fallthrough
+	case 1:
+		n = 2
+	default:
+		n = 3
+	}
+	return n
+}`)
+	g := funcCFG(t, pkg, "sw")
+	// With a default present, the head must not edge straight to the
+	// after block, and the fixpoint must still reach the return.
+	exit := forwardMay(g, func(b *Block, in facts) facts { return in })
+	if exit == nil {
+		t.Fatal("forwardMay returned nil")
+	}
+	var returnReached bool
+	for _, b := range g.Exit.Preds {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returnReached = true
+			}
+		}
+	}
+	if !returnReached {
+		t.Errorf("return does not feed exit:\n%s", g)
+	}
+}

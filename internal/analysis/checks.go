@@ -319,36 +319,6 @@ var checkLibPanic = Check{
 	},
 }
 
-// ---- locksafe ----
-//
-// A function that calls mu.Lock() but never mu.Unlock() (directly or in
-// a defer, including deferred closures) will deadlock the next locker —
-// in the monitor's per-node mutexes that freezes ingestion for a node
-// forever. The check keys lock and unlock calls by the printed receiver
-// expression within one top-level function, so a lock handed to a
-// deferred closure for unlocking still counts.
-
-var lockPairs = map[string]string{
-	"Lock":  "Unlock",
-	"RLock": "RUnlock",
-}
-
-var checkLockSafe = Check{
-	Name: "locksafe",
-	Doc:  "flags functions that acquire a sync lock but never release it",
-	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				checkLockBalance(pkg, fd.Body, report)
-			}
-		}
-	},
-}
-
 // ---- unboundedgoroutine ----
 //
 // A goroutine started in library code with no visible stop signal can
@@ -509,44 +479,4 @@ func checkDiscardedCancel(pkg *Package, lhs, rhs []ast.Expr, report func(pos tok
 		return
 	}
 	report(last.Pos(), "CancelFunc from context.%s is discarded; keep it and defer cancel() so the derived context can be released", fn.Name())
-}
-
-func checkLockBalance(pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
-	type lockUse struct {
-		pos  token.Pos
-		name string // method called, e.g. Lock
-	}
-	locks := map[string][]lockUse{} // receiver expr + want-method -> lock sites
-	unlocked := map[string]bool{}   // receiver expr + method actually called
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-			return true
-		}
-		recv := exprString(sel.X)
-		switch name := sel.Sel.Name; name {
-		case "Lock", "RLock":
-			key := recv + "." + lockPairs[name]
-			locks[key] = append(locks[key], lockUse{pos: call.Pos(), name: name})
-		case "Unlock", "RUnlock":
-			unlocked[recv+"."+name] = true
-		}
-		return true
-	})
-	for key, uses := range locks {
-		if unlocked[key] {
-			continue
-		}
-		for _, u := range uses {
-			report(u.pos, "%s acquired but %s is never called in this function", u.name, key[strings.LastIndex(key, ".")+1:])
-		}
-	}
 }

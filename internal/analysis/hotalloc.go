@@ -1,0 +1,249 @@
+package analysis
+
+// hotalloc.go enforces the allocation-free-scoring roadmap item: any
+// function annotated //perf:hot — and every same-package function it can
+// reach through the call graph — must not contain constructs that
+// allocate per call. Findings are fixed or carry a reasoned
+// //lint:ignore, so the annotation set is a ratchet CI holds while the
+// hot path is migrated to reusable buffers.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotDirective is the annotation that marks a function as part of the
+// per-window scoring path.
+const hotDirective = "//perf:hot"
+
+var checkHotAlloc = Check{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs (make, append, map literals, fmt.*, interface boxing) in //perf:hot functions and their same-package callees",
+	Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+		decls := map[types.Object]*ast.FuncDecl{}
+		var order []*ast.FuncDecl
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+					order = append(order, fd)
+				}
+			}
+		}
+
+		// Seed set: functions carrying the //perf:hot directive.
+		hot := map[*ast.FuncDecl]string{} // decl -> hot root it is reachable from
+		var work []*ast.FuncDecl
+		for _, fd := range order {
+			if hasHotDirective(fd) {
+				hot[fd] = fd.Name.Name
+				work = append(work, fd)
+			}
+		}
+
+		// Call-graph closure within the package. Callees that can never
+		// return (panic-only helpers like shape-check failures) are cold
+		// paths and excluded. Memoized: isCold also guards the body scan
+		// below, where arguments to such helpers are skipped.
+		cold := map[types.Object]*bool{}
+		isCold := func(obj types.Object) bool {
+			fd, ok := decls[obj]
+			if !ok {
+				return false
+			}
+			if v, done := cold[obj]; done {
+				return *v
+			}
+			v := neverReturns(pkg, fd.Body)
+			cold[obj] = &v
+			return v
+		}
+		for len(work) > 0 {
+			fd := work[0]
+			work = work[1:]
+			root := hot[fd]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(pkg, call)
+				if obj == nil {
+					return true
+				}
+				callee, ok := decls[obj]
+				if !ok {
+					return true // not a same-package FuncDecl
+				}
+				if _, seen := hot[callee]; seen {
+					return true
+				}
+				if isCold(obj) {
+					return true
+				}
+				hot[callee] = root
+				work = append(work, callee)
+				return true
+			})
+		}
+
+		// Deterministic order: scan declarations in source order.
+		sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+		for _, fd := range order {
+			root, ok := hot[fd]
+			if !ok {
+				continue
+			}
+			where := fd.Name.Name
+			if root != where {
+				where += " (hot via " + root + ")"
+			}
+			scanHotBody(pkg, fd.Body, where, isCold, report)
+		}
+	},
+}
+
+// hasHotDirective reports whether the declaration's doc comment carries
+// the //perf:hot directive line.
+func hasHotDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves a call to the function object it invokes, when
+// statically known.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// neverReturns reports whether every path through body ends in an
+// explicit panic (or the exit is unreachable): such helpers are cold
+// error paths, not part of the hot loop.
+func neverReturns(pkg *Package, body *ast.BlockStmt) bool {
+	g := buildCFG(pkg, body)
+	for _, pred := range g.Exit.Preds {
+		if len(pred.Nodes) == 0 {
+			return false // fall-off-the-end or empty return path
+		}
+		last := pred.Nodes[len(pred.Nodes)-1]
+		call, ok := last.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return false
+		}
+		if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// scanHotBody reports every allocating construct in one hot function.
+// isCold identifies same-package callees that never return, whose
+// argument subtrees are failure paths and exempt like panic's.
+func scanHotBody(pkg *Package, body *ast.BlockStmt, where string, isCold func(types.Object) bool, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			if t := pkg.Info.TypeOf(x); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(x.Pos(), "map literal allocates in hot path %s; hoist it to a package-level table or a reused field", where)
+				}
+			}
+		case *ast.CallExpr:
+			// A panic call terminates the hot path; whatever its
+			// arguments allocate is cold, so skip the whole subtree.
+			// Same for calls to panic-only helpers in this package.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+			if obj := calleeObject(pkg, x); obj != nil && isCold(obj) {
+				return false
+			}
+			scanHotCall(pkg, x, where, report)
+		}
+		return true
+	})
+}
+
+func scanHotCall(pkg *Package, call *ast.CallExpr, where string, report func(pos token.Pos, format string, args ...any)) {
+	// Builtins that allocate or may grow.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates in hot path %s; reuse a buffer grown outside the loop", where)
+			case "append":
+				report(call.Pos(), "append may grow its backing array in hot path %s; pre-size the slice or reuse a buffer", where)
+			}
+			return
+		}
+	}
+	// fmt.* formats through reflection and allocates on every call.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt.%s allocates in hot path %s; format outside the scoring loop or use strconv into a reused buffer", sel.Sel.Name, where)
+			return // boxing into fmt's ...any params is implied, don't double-report
+		}
+	}
+	// Interface boxing: a concrete-typed argument passed to an interface
+	// parameter escapes to the heap. Constants are materialized in static
+	// data, so they are exempt. One finding per call.
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Value != nil || tv.IsNil() || tv.Type == nil {
+			continue
+		}
+		if types.IsInterface(tv.Type.Underlying()) {
+			continue
+		}
+		report(arg.Pos(), "argument boxes %s into %s in hot path %s; avoid interface conversions per call", tv.Type, pt, where)
+		return
+	}
+}

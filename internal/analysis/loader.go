@@ -3,15 +3,16 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module.
@@ -34,16 +35,29 @@ type Package struct {
 // Loader discovers, parses and type-checks module packages using only
 // the standard library. Module-local imports resolve against packages
 // the loader has already checked; everything else (the standard library)
-// falls back to go/importer's source importer.
+// goes through one shared concurrent source importer (see
+// stdimporter.go), so the stdlib is parsed and checked at most once per
+// run no matter how many module packages import it.
+//
+// Load parses all discovered packages in parallel and type-checks them
+// in parallel topological waves: every package in a wave has all its
+// module-local imports satisfied by earlier waves, so packages within a
+// wave are independent and go/types can check them concurrently. Serial
+// forces one package at a time (same topological order) — findings are
+// byte-identical either way; the option exists for tests to prove it.
 type Loader struct {
 	// ModuleRoot is the absolute directory containing go.mod.
 	ModuleRoot string
 	// ModulePath is the module path declared in go.mod.
 	ModulePath string
+	// Serial disables parallel parsing and wave checking.
+	Serial bool
 
-	fset     *token.FileSet
-	local    map[string]*Package // keyed by import path
-	fallback types.Importer
+	fset *token.FileSet
+	std  *stdImporter
+
+	mu    sync.RWMutex
+	local map[string]*Package // keyed by import path
 }
 
 // NewLoader builds a loader for the module enclosing dir.
@@ -58,7 +72,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		fset:       fset,
 		local:      map[string]*Package{},
-		fallback:   importer.ForCompiler(fset, "source", nil),
+		std:        newStdImporter(fset),
 	}, nil
 }
 
@@ -192,55 +206,158 @@ type parsedPkg struct {
 
 // Load parses and type-checks the packages in dirs plus the closure of
 // their module-local imports, returning only the packages requested in
-// dirs (dependencies are checked but not analyzed).
+// dirs (dependencies are checked but not analyzed). Parsing proceeds in
+// parallel breadth-first waves over the import closure; type-checking in
+// parallel topological waves (unless Serial is set).
 func (l *Loader) Load(dirs []string) ([]*Package, error) {
-	parsed := map[string]*parsedPkg{}
-	requested := map[string]bool{}
-	seenDir := map[string]bool{}
-	queue := append([]string(nil), dirs...)
-	for i := 0; i < len(queue); i++ {
-		dir := queue[i]
-		if seenDir[dir] {
-			continue
-		}
-		seenDir[dir] = true
-		p, err := l.parseDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		if i < len(dirs) {
-			requested[p.importPath] = true
-		}
-		parsed[p.importPath] = p
-		for _, imp := range p.imports {
-			if _, ok := parsed[imp]; ok {
-				continue
-			}
-			depDir := l.ModuleRoot
-			if imp != l.ModulePath {
-				depDir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(imp, l.ModulePath+"/")))
-			}
-			queue = append(queue, depDir)
-		}
+	parsed, requested, err := l.parseClosure(dirs)
+	if err != nil {
+		return nil, err
 	}
 
 	order, err := topoSort(parsed)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+
+	// Wave assignment: a package's wave is one past its deepest
+	// module-local import, so each wave only depends on earlier ones.
+	wave := map[string]int{}
+	maxWave := 0
 	for _, path := range order {
-		pkg, err := l.check(parsed[path])
-		if err != nil {
-			return nil, err
+		w := 0
+		for _, imp := range parsed[path].imports {
+			if _, ok := parsed[imp]; ok && wave[imp]+1 > w {
+				w = wave[imp] + 1
+			}
 		}
-		l.local[path] = pkg
-		if requested[path] {
-			out = append(out, pkg)
+		wave[path] = w
+		if w > maxWave {
+			maxWave = w
 		}
 	}
+	waves := make([][]string, maxWave+1)
+	for _, path := range order { // topo order keeps waves deterministic
+		waves[wave[path]] = append(waves[wave[path]], path)
+	}
+
+	for _, ps := range waves {
+		if err := l.checkWave(parsed, ps); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	l.mu.RLock()
+	for path := range requested {
+		out = append(out, l.local[path])
+	}
+	l.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
+}
+
+// parseClosure parses dirs and, breadth-first, every module-local
+// import reachable from them, parallelizing within each wave.
+func (l *Loader) parseClosure(dirs []string) (parsed map[string]*parsedPkg, requested map[string]bool, err error) {
+	parsed = map[string]*parsedPkg{}
+	requested = map[string]bool{}
+	seenDir := map[string]bool{}
+	first := true
+	queue := append([]string(nil), dirs...)
+	for len(queue) > 0 {
+		var batch []string
+		for _, dir := range queue {
+			if !seenDir[dir] {
+				seenDir[dir] = true
+				batch = append(batch, dir)
+			}
+		}
+		queue = queue[:0]
+		results := make([]*parsedPkg, len(batch))
+		errs := make([]error, len(batch))
+		l.forEach(len(batch), func(i int) {
+			results[i], errs[i] = l.parseDir(batch[i])
+		})
+		for i, p := range results {
+			if errs[i] != nil {
+				return nil, nil, errs[i]
+			}
+			if first {
+				requested[p.importPath] = true
+			}
+			parsed[p.importPath] = p
+			for _, imp := range p.imports {
+				if _, ok := parsed[imp]; !ok {
+					queue = append(queue, l.dirFor(imp))
+				}
+			}
+		}
+		first = false
+	}
+	return parsed, requested, nil
+}
+
+// dirFor maps a module-local import path to its source directory.
+func (l *Loader) dirFor(imp string) string {
+	if imp == l.ModulePath {
+		return l.ModuleRoot
+	}
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(imp, l.ModulePath+"/")))
+}
+
+// checkWave type-checks one wave of mutually independent packages.
+func (l *Loader) checkWave(parsed map[string]*parsedPkg, paths []string) error {
+	pkgs := make([]*Package, len(paths))
+	errs := make([]error, len(paths))
+	l.forEach(len(paths), func(i int) {
+		pkgs[i], errs[i] = l.check(parsed[paths[i]])
+		if errs[i] == nil {
+			l.mu.Lock()
+			l.local[paths[i]] = pkgs[i]
+			l.mu.Unlock()
+		}
+	})
+	for _, err := range errs { // first error in topo order, deterministic
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEach runs fn for 0..n-1, concurrently unless the loader is Serial.
+func (l *Loader) forEach(n int, fn func(i int)) {
+	if l.Serial || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // parseDir parses the non-test sources of one directory.
@@ -259,7 +376,7 @@ func (l *Loader) parseDir(dir string) (*parsedPkg, error) {
 	p := &parsedPkg{importPath: importPath, dir: dir}
 	seenImp := map[string]bool{}
 	for _, name := range names {
-		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -317,15 +434,19 @@ func topoSort(pkgs map[string]*parsedPkg) ([]string, error) {
 }
 
 // Import satisfies types.Importer: module-local packages must already be
-// checked; everything else is type-checked from source via go/importer.
+// checked (by an earlier wave); everything else is type-checked from
+// source via the shared concurrent stdlib importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if pkg, ok := l.local[path]; ok {
+	l.mu.RLock()
+	pkg, ok := l.local[path]
+	l.mu.RUnlock()
+	if ok {
 		return pkg.Types, nil
 	}
 	if l.isLocal(path) {
 		return nil, fmt.Errorf("analysis: local package %s not loaded (import cycle?)", path)
 	}
-	return l.fallback.Import(path)
+	return l.std.Import(path)
 }
 
 // check type-checks one parsed package.

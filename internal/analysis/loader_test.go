@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOnce loads the given patterns with a fresh loader and renders every
+// finding in canonical order.
+func runOnce(t *testing.T, serial bool, patterns []string) string {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Serial = serial
+	var dirs []string
+	for _, pat := range patterns {
+		d, err := l.Expand(l.ModuleRoot, []string{pat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, d...)
+	}
+	pkgs, err := l.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range Run(pkgs, Checks()) {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestLoaderParallelSerialIdentical pins the loader contract: parallel
+// topological waves and the serial path must produce byte-identical
+// findings. The fixture packages are included deliberately — they emit
+// real findings, so the comparison is not vacuous.
+func TestLoaderParallelSerialIdentical(t *testing.T) {
+	patterns := []string{
+		"internal/analysis/testdata/lockbalance",
+		"internal/analysis/testdata/deferloop",
+		"internal/analysis/testdata/tickleak",
+		"internal/analysis/testdata/hotalloc",
+		"internal/analysis/testdata/unusedignore",
+		"internal/analysis/testdata/suppress",
+	}
+	if !testing.Short() {
+		// The full module exercises multi-wave dependency ordering.
+		patterns = append([]string{"./..."}, patterns...)
+	}
+	par := runOnce(t, false, patterns)
+	ser := runOnce(t, true, patterns)
+	if par != ser {
+		t.Errorf("parallel and serial findings differ\n--- parallel ---\n%s--- serial ---\n%s", par, ser)
+	}
+	if !strings.Contains(par, "[lockbalance]") || !strings.Contains(par, "[hotalloc]") {
+		t.Errorf("fixture findings missing from comparison output:\n%s", par)
+	}
+}

@@ -1,0 +1,380 @@
+package analysis
+
+// stdimporter.go is a concurrency-safe source importer for non-module
+// (standard library) packages, replacing go/importer's source importer.
+// Differences that matter for sentrylint's cold-run wall time:
+//
+//   - one shared cache serves every package type-checked in a run, and
+//     concurrent importers for the same path coalesce onto a single
+//     type-check (singleflight), so parallel waves never duplicate work;
+//   - files are read exactly once: go/build's Context.Import tokenizes
+//     every file header (build tags + imports) and then the importer
+//     reads the file again to parse it — half the old cold run. Here a
+//     minimal resolver lists GOROOT/src/<path>, applies the filename
+//     GOOS/GOARCH convention, evaluates the //go:build line with
+//     go/build/constraint, and hands the same bytes to the parser;
+//   - cgo is disabled (files importing "C" are excluded, as are files
+//     tagged cgo), selecting the pure-Go variants of net/os-user/etc.
+//     instead of shelling out to `go tool cgo`;
+//   - function bodies are skipped (types.Config.IgnoreFuncBodies): the
+//     analyzer only needs exported API shapes from dependencies.
+//
+// Soundness trade: with cgo off, cgo-only exported symbols would be
+// invisible; the stdlib keeps its exported API identical across the
+// build tag, so this does not affect type-checking module code.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/build/constraint"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// stdImporter implements types.ImporterFrom for out-of-module packages.
+type stdImporter struct {
+	goroot      string
+	goos        string
+	goarch      string
+	releaseTags []string
+	fset        *token.FileSet
+	sizes       types.Sizes
+
+	mu      sync.Mutex
+	entries map[string]*stdEntry // keyed by import path
+}
+
+// stdEntry is the singleflight slot for one package: the first importer
+// claims it and closes done when the result is in.
+type stdEntry struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	return &stdImporter{
+		goroot:      build.Default.GOROOT,
+		goos:        build.Default.GOOS,
+		goarch:      build.Default.GOARCH,
+		releaseTags: build.Default.ReleaseTags,
+		fset:        fset,
+		sizes:       sizes,
+		entries:     map[string]*stdEntry{},
+	}
+}
+
+// Import implements types.Importer.
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	return s.importChain(path, map[string]bool{})
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (s *stdImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return s.importChain(path, map[string]bool{})
+}
+
+// chainImporter threads the in-progress import stack of one goroutine's
+// import chain through nested type-checks, so a dependency cycle is
+// reported instead of deadlocking the singleflight wait.
+type chainImporter struct {
+	s     *stdImporter
+	stack map[string]bool
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	return c.s.importChain(path, c.stack)
+}
+
+func (c chainImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return c.s.importChain(path, c.stack)
+}
+
+func (s *stdImporter) importChain(path string, stack map[string]bool) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if stack[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+
+	s.mu.Lock()
+	entry, ok := s.entries[path]
+	if ok {
+		s.mu.Unlock()
+		<-entry.done // either already closed or another goroutine is checking
+		return entry.pkg, entry.err
+	}
+	entry = &stdEntry{done: make(chan struct{})}
+	s.entries[path] = entry
+	s.mu.Unlock()
+
+	stack[path] = true
+	entry.pkg, entry.err = s.check(path, stack)
+	delete(stack, path)
+	close(entry.done)
+	return entry.pkg, entry.err
+}
+
+// check parses and type-checks one out-of-module package, API only.
+func (s *stdImporter) check(path string, stack map[string]bool) (*types.Package, error) {
+	dir, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := s.loadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: import %s: %w", path, err)
+	}
+	var firstErr error
+	conf := types.Config{
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Importer:         chainImporter{s: s, stack: stack},
+		Sizes:            s.sizes,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, s.fset, files, nil)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking import %s: %v", path, firstErr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// resolve maps an import path to its GOROOT source directory, checking
+// the stdlib's vendor tree for non-std paths (golang.org/x/... imports
+// inside net/http and friends).
+func (s *stdImporter) resolve(path string) (string, error) {
+	if path == "" || strings.HasPrefix(path, ".") || filepath.IsAbs(path) {
+		return "", fmt.Errorf("analysis: unsupported import path %q", path)
+	}
+	dir := filepath.Join(s.goroot, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	vdir := filepath.Join(s.goroot, "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(vdir); err == nil && fi.IsDir() {
+		return vdir, nil
+	}
+	return "", fmt.Errorf("analysis: cannot find import %q in GOROOT (module dependencies are not supported)", path)
+}
+
+// loadDir reads and parses the buildable non-test sources of dir
+// concurrently, reading each file exactly once. Files are excluded by
+// the _GOOS/_GOARCH filename convention, their //go:build line, or an
+// `import "C"` clause (cgo is disabled).
+func (s *stdImporter) loadDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !s.goodOSArchFile(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, filename string) {
+			defer wg.Done()
+			src, err := os.ReadFile(filename)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !s.shouldBuild(src) {
+				return
+			}
+			f, err := parser.ParseFile(s.fset, filename, src, parser.SkipObjectResolution)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if importsCgo(f) {
+				return
+			}
+			files[i] = f
+		}(i, filepath.Join(dir, name))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f != nil {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	// A GOROOT dir can hold stray files of another package that carry no
+	// excluding build tag (generators, docs). Keep the majority package.
+	counts := map[string]int{}
+	for _, f := range kept {
+		counts[f.Name.Name]++
+	}
+	major, best := "", 0
+	for name, c := range counts {
+		if c > best || (c == best && name < major) {
+			major, best = name, c
+		}
+	}
+	if len(counts) > 1 {
+		trimmed := kept[:0]
+		for _, f := range kept {
+			if f.Name.Name == major {
+				trimmed = append(trimmed, f)
+			}
+		}
+		kept = trimmed
+	}
+	return kept, nil
+}
+
+// importsCgo reports whether the file has an `import "C"` clause.
+func importsCgo(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"C"` {
+			return true
+		}
+	}
+	return false
+}
+
+// knownOS and knownArch mirror go/build's lists for the filename
+// _GOOS/_GOARCH convention.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "nacl": true, "netbsd": true,
+	"openbsd": true, "plan9": true, "solaris": true, "wasip1": true,
+	"windows": true, "zos": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "amd64p32": true, "arm": true,
+	"armbe": true, "arm64": true, "arm64be": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"mips64p32": true, "mips64p32le": true, "ppc": true, "ppc64": true,
+	"ppc64le": true, "riscv": true, "riscv64": true, "s390": true,
+	"s390x": true, "sparc": true, "sparc64": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// goodOSArchFile applies the name_GOOS.go / name_GOARCH.go /
+// name_GOOS_GOARCH.go convention (only to names with an explicit prefix,
+// matching go/build: "linux.go" is not constrained).
+func (s *stdImporter) goodOSArchFile(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	l := strings.Split(name, "_")
+	if len(l) < 2 {
+		return true
+	}
+	n := len(l)
+	if n >= 3 && knownOS[l[n-2]] && knownArch[l[n-1]] {
+		return l[n-2] == s.goos && l[n-1] == s.goarch
+	}
+	if knownArch[l[n-1]] {
+		return l[n-1] == s.goarch
+	}
+	if knownOS[l[n-1]] {
+		return l[n-1] == s.goos
+	}
+	return true
+}
+
+// shouldBuild evaluates the file's //go:build line (if any) against the
+// importer's tag set. Only the header before the package clause is
+// scanned, per the build-constraint spec.
+func (s *stdImporter) shouldBuild(src []byte) bool {
+	text := string(src)
+	for len(text) > 0 {
+		line := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "//"):
+			if constraint.IsGoBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return false
+				}
+				return expr.Eval(s.tagOK)
+			}
+			continue
+		case strings.HasPrefix(line, "/*"):
+			// Skip the block comment (build lines never sit inside one).
+			rest := line[2:] + "\n" + text
+			end := strings.Index(rest, "*/")
+			if end < 0 {
+				return true
+			}
+			text = rest[end+2:]
+			continue
+		default:
+			return true // package clause (or code): header is over
+		}
+	}
+	return true
+}
+
+// tagOK is the build-tag predicate for constraint evaluation: target
+// OS/arch, compiler, release tags, and the unix alias; cgo and
+// everything else are off.
+func (s *stdImporter) tagOK(tag string) bool {
+	switch tag {
+	case s.goos, s.goarch, "gc":
+		return true
+	case "unix":
+		return unixOS[s.goos]
+	}
+	for _, t := range s.releaseTags {
+		if tag == t {
+			return true
+		}
+	}
+	return false
+}

@@ -18,35 +18,52 @@ import (
 //	panic("mat: dimension mismatch")
 const ignorePrefix = "lint:ignore"
 
-// suppressions maps file -> line -> set of suppressed check names.
-type suppressions map[string]map[int]map[string]bool
-
-func (s suppressions) suppressed(check string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	return lines[pos.Line][check]
+// ignoreDirective is one check name from one lint:ignore comment, with a
+// used flag flipped when it actually suppresses a finding. Stale
+// directives are reported by the unusedignore pseudo-check.
+type ignoreDirective struct {
+	pos   token.Position // the directive comment's own position
+	check string
+	used  bool
 }
 
-func (s suppressions) add(file string, line int, check string) {
-	lines := s[file]
-	if lines == nil {
-		lines = map[int]map[string]bool{}
-		s[file] = lines
-	}
-	for _, l := range []int{line, line + 1} {
-		if lines[l] == nil {
-			lines[l] = map[string]bool{}
+// suppressions indexes every lint:ignore directive in a package by the
+// lines it applies to.
+type suppressions struct {
+	byLine map[string]map[int][]*ignoreDirective // file -> line -> directives
+	all    []*ignoreDirective                    // source order
+}
+
+// suppressed reports whether a finding of check at pos is silenced, and
+// marks the matching directive as used.
+func (s *suppressions) suppressed(check string, pos token.Position) bool {
+	hit := false
+	for _, d := range s.byLine[pos.Filename][pos.Line] {
+		if d.check == check {
+			d.used = true
+			hit = true
 		}
-		lines[l][check] = true
+	}
+	return hit
+}
+
+func (s *suppressions) add(pos token.Position, check string) {
+	d := &ignoreDirective{pos: pos, check: check}
+	s.all = append(s.all, d)
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int][]*ignoreDirective{}
+		s.byLine[pos.Filename] = lines
+	}
+	for _, l := range []int{pos.Line, pos.Line + 1} {
+		lines[l] = append(lines[l], d)
 	}
 }
 
 // collectSuppressions scans every comment in the package for lint:ignore
 // directives.
-func collectSuppressions(pkg *Package) suppressions {
-	sup := suppressions{}
+func collectSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int][]*ignoreDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -63,7 +80,7 @@ func collectSuppressions(pkg *Package) suppressions {
 				pos := pkg.Fset.Position(c.Pos())
 				for _, check := range strings.Split(fields[0], ",") {
 					if check = strings.TrimSpace(check); check != "" {
-						sup.add(pos.Filename, pos.Line, check)
+						sup.add(pos, check)
 					}
 				}
 			}

@@ -1,0 +1,51 @@
+// Package fixdeferloop triggers only the deferloop check.
+package fixdeferloop
+
+type resource struct{ closed bool }
+
+func (r *resource) close() { r.closed = true }
+
+// processAll defers inside the loop: every close waits until the whole
+// function returns, one stacked frame per resource.
+func processAll(rs []*resource) {
+	for _, r := range rs {
+		defer r.close() // finding
+	}
+}
+
+// processEach hoists the body into a function literal, so each defer
+// runs at the end of its own iteration.
+func processEach(rs []*resource) {
+	for _, r := range rs {
+		func(r *resource) {
+			defer r.close()
+			r.closed = false
+		}(r)
+	}
+}
+
+// one defer outside any loop is the normal idiom.
+func one(r *resource) {
+	defer r.close()
+	r.closed = false
+}
+
+// whileTrue catches the same accumulation in a condition-less loop.
+func whileTrue(rs chan *resource) {
+	for r := range rs {
+		defer r.close() // finding
+	}
+}
+
+// afterBreak sits after the loop, not on the cycle.
+func afterBreak(rs []*resource) {
+	for _, r := range rs {
+		if r.closed {
+			break
+		}
+	}
+	defer noop()
+	_ = rs
+}
+
+func noop() {}

@@ -1,0 +1,61 @@
+// Package fixhotalloc triggers only the hotalloc check.
+package fixhotalloc
+
+import "fmt"
+
+var weights []float64
+
+//perf:hot
+func score(xs []float64) float64 {
+	buf := make([]float64, len(xs)) // finding: make in hot path
+	copy(buf, xs)
+	total := 0.0
+	for _, v := range buf {
+		total += v
+	}
+	accumulate(total)
+	if total < 0 {
+		failNegative("total")
+	}
+	return total
+}
+
+// accumulate is hot via score's call graph, not its own annotation.
+func accumulate(v float64) {
+	weights = append(weights, v) // finding: append may grow
+}
+
+//perf:hot
+func describe(n int) string {
+	return fmt.Sprintf("window-%d", n) // finding: fmt in hot path
+}
+
+//perf:hot
+func lookup(k string) int {
+	m := map[string]int{"a": 1} // finding: map literal in hot path
+	return m[k]
+}
+
+var last any
+
+//perf:hot
+func record(v float64) {
+	sink(v) // finding: boxes float64 into any
+}
+
+// sink joins the hot closure but is itself allocation-free.
+func sink(v any) { last = v }
+
+// failNegative never returns, so hotalloc treats it as a cold error
+// path and does not descend into it.
+func failNegative(msg string) {
+	//lint:ignore libpanic fixture: cold error helper
+	panic(fmt.Sprint("negative ", msg))
+}
+
+// cold is unannotated and unreachable from any hot function: its
+// allocations are fine.
+func cold(n int) []int {
+	out := make([]int, n)
+	return out
+}

@@ -1,0 +1,93 @@
+// Package fixlockbalance triggers only the lockbalance check.
+package fixlockbalance
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bad acquires the mutex and never releases it on any path.
+func (c *counter) bad() int {
+	c.mu.Lock() // finding
+	return c.n
+}
+
+// good releases via defer.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// closure releases inside a deferred closure, which still counts.
+func (c *counter) closure() int {
+	c.mu.Lock()
+	defer func() { c.mu.Unlock() }()
+	return c.n
+}
+
+// leakOnBranch releases on the fallthrough path but leaks through the
+// early return — the case the old syntactic locksafe could not see.
+func (c *counter) leakOnBranch(cond bool) int {
+	c.mu.Lock() // finding
+	if cond {
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// balancedBranches releases on every path, so the same shape is clean.
+func (c *counter) balancedBranches(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// get read-locks and never read-unlocks.
+func (t *table) get(k string) int {
+	t.mu.RLock() // finding
+	return t.m[k]
+}
+
+// paired Lock/Unlock against a write lock is fine even when an RLock
+// elsewhere in the file is not.
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+// perIteration locks and unlocks inside each loop iteration; the back
+// edge carries no held lock, so the function is balanced.
+func (t *table) perIteration(keys []string) {
+	for _, k := range keys {
+		t.mu.Lock()
+		t.m[k] = 0
+		t.mu.Unlock()
+	}
+}
+
+// switchLeak releases in one case but not the default arm.
+func (t *table) switchLeak(mode int) {
+	t.mu.Lock() // finding
+	switch mode {
+	case 0:
+		t.mu.Unlock()
+	default:
+		t.m["mode"] = mode
+	}
+}

@@ -1,0 +1,65 @@
+// Package fixtickleak triggers only the tickleak check.
+package fixtickleak
+
+import (
+	"errors"
+	"time"
+)
+
+// pollForever uses time.Tick, whose ticker has no Stop handle and lives
+// for the life of the process.
+func pollForever(done chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(time.Second): // finding
+			continue
+		case <-done:
+			return
+		}
+	}
+}
+
+// leakOnReturn never stops the ticker on any path.
+func leakOnReturn(done chan struct{}) {
+	t := time.NewTicker(time.Second) // finding
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+// stopped is the correct idiom.
+func stopped(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+// leakOnError stops on the happy path but leaks through the early error
+// return.
+func leakOnError(ok bool) error {
+	t := time.NewTimer(time.Second) // finding
+	if !ok {
+		return errors.New("not ready")
+	}
+	<-t.C
+	t.Stop()
+	return nil
+}
+
+// handoff transfers ownership: the callee is responsible for Stop.
+func handoff() {
+	t := time.NewTicker(time.Second)
+	consume(t)
+}
+
+func consume(t *time.Ticker) { t.Stop() }

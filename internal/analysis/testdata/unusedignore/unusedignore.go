@@ -1,0 +1,11 @@
+// Package fixunusedignore triggers only the unusedignore pseudo-check.
+package fixunusedignore
+
+// near is epsilon-based, so the directive below suppresses nothing.
+func near(a, b float64) bool {
+	//lint:ignore floatcmp stale: this comparison already uses an epsilon
+	return a-b < 1e-9 && b-a < 1e-9 // finding: stale directive above
+}
+
+//lint:ignore nosuchcheck the named check does not exist
+var version = "v1" // finding: unknown check name

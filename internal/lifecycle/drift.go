@@ -93,6 +93,8 @@ func (d *Drift) sketch(m map[int]*QuantileWindow, c int) *QuantileWindow {
 
 // ObserveMatch records one pattern match's centroid distance for cluster c.
 // Wire it to runtime.Hooks.OnMatch.
+//
+//perf:hot
 func (d *Drift) ObserveMatch(c int, distance float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -106,6 +108,8 @@ func (d *Drift) ObserveMatch(c int, distance float64) {
 
 // ObserveScores records one scored window's normalized scores for cluster
 // c. Wire it to runtime.Hooks.OnScores.
+//
+//perf:hot
 func (d *Drift) ObserveScores(c int, scores []float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -28,6 +28,7 @@ func NewQuantileWindow(capacity int) *QuantileWindow {
 	if capacity < 4 {
 		capacity = 4
 	}
+	//lint:ignore hotalloc constructed once per cluster on first observation, then the ring buffer is reused forever
 	return &QuantileWindow{buf: make([]float64, capacity)}
 }
 

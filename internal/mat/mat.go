@@ -22,6 +22,7 @@ type Matrix struct {
 
 // New returns a zeroed rows×cols matrix.
 func New(rows, cols int) *Matrix {
+	//lint:ignore hotalloc result allocation is the kernel contract today; the arena refactor (ROADMAP: allocation-free scoring) replaces these with caller-owned buffers
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
@@ -98,6 +99,8 @@ const parallelThreshold = 1 << 16
 
 // Mul returns a×b, parallelizing over row blocks of a when the product is
 // large. Panics on dimension mismatch.
+//
+//perf:hot
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		failShape("Mul dimension mismatch: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -131,6 +134,8 @@ func mulRange(a, b, out *Matrix, lo, hi int) {
 }
 
 // MulT returns a×bᵀ without materializing the transpose.
+//
+//perf:hot
 func MulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		failShape("MulT dimension mismatch: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -250,6 +255,8 @@ func Hadamard(a, b *Matrix) *Matrix {
 
 // AddRowVector adds vector v to every row of m in place. len(v) must equal
 // m.Cols.
+//
+//perf:hot
 func AddRowVector(m *Matrix, v []float64) {
 	if len(v) != m.Cols {
 		failShape("AddRowVector length mismatch: %d vs %d cols", len(v), m.Cols)
@@ -269,6 +276,8 @@ func checkSameShape(op string, a, b *Matrix) {
 }
 
 // Dot returns the inner product of equal-length vectors x and y.
+//
+//perf:hot
 func Dot(x, y []float64) float64 {
 	assertSameLen("Dot", x, y)
 	s := 0.0
@@ -279,6 +288,8 @@ func Dot(x, y []float64) float64 {
 }
 
 // Axpy computes y += a*x in place.
+//
+//perf:hot
 func Axpy(a float64, x, y []float64) {
 	assertSameLen("Axpy", x, y)
 	for i, v := range x {
@@ -290,6 +301,8 @@ func Axpy(a float64, x, y []float64) {
 func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
 
 // EuclideanDist returns the Euclidean distance between x and y.
+//
+//perf:hot
 func EuclideanDist(x, y []float64) float64 {
 	assertSameLen("EuclideanDist", x, y)
 	s := 0.0
@@ -301,6 +314,8 @@ func EuclideanDist(x, y []float64) float64 {
 }
 
 // SquaredDist returns the squared Euclidean distance between x and y.
+//
+//perf:hot
 func SquaredDist(x, y []float64) float64 {
 	assertSameLen("SquaredDist", x, y)
 	s := 0.0
@@ -316,22 +331,40 @@ func SquaredDist(x, y []float64) float64 {
 // when all chunks finish. fn must be safe to run concurrently on disjoint
 // ranges. For n == 0 it returns immediately; for a single worker it calls fn
 // inline.
+//
+// The chunk bounds are computed inline rather than via chunks: this sits on
+// every hot kernel's path, and materializing the partition slice would be
+// one allocation per matmul. The math mirrors chunks exactly, so kernels
+// that need the explicit partition (TMul's chunk-ordered reduction) see the
+// same split.
 func Parallel(n int, fn func(lo, hi int)) {
-	ck := chunks(n)
-	if len(ck) == 0 {
+	if n <= 0 {
 		return
 	}
-	if len(ck) == 1 {
-		fn(ck[0][0], ck[0][1])
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk >= n {
+		fn(0, n)
 		return
 	}
 	var wg sync.WaitGroup
-	for _, c := range ck {
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
-		}(c[0], c[1])
+		}(lo, hi)
 	}
 	wg.Wait()
 }

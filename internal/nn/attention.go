@@ -35,6 +35,9 @@ func NewMultiHeadAttention(dim, heads int, rng *rand.Rand) (*MultiHeadAttention,
 		Heads: heads, Dim: dim, dk: dim / heads,
 		Wq: NewParam(dim, dim), Wk: NewParam(dim, dim),
 		Wv: NewParam(dim, dim), Wo: NewParam(dim, dim),
+		// The per-head cache has a fixed length; allocating it here keeps
+		// Forward allocation-free at the slice level.
+		attn: make([]*mat.Matrix, heads),
 	}
 	for _, p := range []*Param{a.Wq, a.Wk, a.Wv, a.Wo} {
 		p.XavierInit(rng)
@@ -66,12 +69,13 @@ func (a *MultiHeadAttention) scatterHead(dst *mat.Matrix, src *mat.Matrix, h int
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (a *MultiHeadAttention) Forward(x *mat.Matrix) *mat.Matrix {
 	a.x = x
 	a.q = mat.Mul(x, a.Wq.W)
 	a.k = mat.Mul(x, a.Wk.W)
 	a.v = mat.Mul(x, a.Wv.W)
-	a.attn = make([]*mat.Matrix, a.Heads)
 	a.concat = mat.New(x.Rows, a.Dim)
 	scale := 1 / math.Sqrt(float64(a.dk))
 	for h := 0; h < a.Heads; h++ {

@@ -3,7 +3,6 @@ package nn
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"nodesentry/internal/mat"
 )
@@ -61,6 +60,10 @@ func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) (*MoE, error) {
 		TopK:       topK,
 		AuxWeight:  0.01,
 		Gate:       NewParam(dim, numExperts),
+		// Fixed-length routing caches live for the layer's lifetime;
+		// Forward only resets them.
+		expTokens: make([][]int, numExperts),
+		expOut:    make([]*mat.Matrix, numExperts),
 	}
 	m.Gate.XavierInit(rng)
 	for i := 0; i < numExperts; i++ {
@@ -70,23 +73,35 @@ func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) (*MoE, error) {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (m *MoE) Forward(x *mat.Matrix) *mat.Matrix {
 	m.x = x
 	logits := mat.Mul(x, m.Gate.W)
 	m.probs = SoftmaxRows(logits)
 	T := x.Rows
 
-	m.selected = make([][]int, T)
-	m.expTokens = make([][]int, m.NumExperts)
+	// Grow-once routing caches: selected grows to the largest window seen;
+	// the per-expert token lists keep their backing arrays by re-slicing
+	// to zero length, so appends amortize to nothing once warm.
+	if cap(m.selected) < T {
+		//lint:ignore hotalloc grow-once: hit only when the window grows, steady-state Forwards reuse the slice
+		m.selected = make([][]int, T)
+	}
+	m.selected = m.selected[:T]
+	for e := range m.expTokens {
+		m.expTokens[e] = m.expTokens[e][:0]
+		m.expOut[e] = nil
+	}
 	for t := 0; t < T; t++ {
-		m.selected[t] = topKIndices(m.probs.Row(t), m.TopK)
+		m.selected[t] = topKInto(m.selected[t], m.probs.Row(t), m.TopK)
 		for _, e := range m.selected[t] {
+			//lint:ignore hotalloc amortized: the backing array is reused across Forwards via [:0] re-slicing
 			m.expTokens[e] = append(m.expTokens[e], t)
 		}
 	}
 
 	// Run each expert on its routed tokens.
-	m.expOut = make([]*mat.Matrix, m.NumExperts)
 	out := mat.New(T, x.Cols)
 	for e, tokens := range m.expTokens {
 		if len(tokens) == 0 {
@@ -207,24 +222,39 @@ func (m *MoE) ExpertLoad() []int {
 	return out
 }
 
-func topKIndices(p []float64, k int) []int {
-	idx := make([]int, len(p))
-	for i := range idx {
-		idx[i] = i
+// topKInto writes the indices of the k highest-probability experts into
+// dst in ascending index order, reusing dst's backing array. Selection is
+// a repeated scan with ties broken toward the lower index — expert counts
+// are tiny, and unlike sort.Slice this allocates nothing once dst is warm.
+func topKInto(dst []int, p []float64, k int) []int {
+	dst = dst[:0]
+	for len(dst) < k {
+		best := -1
+		for i, v := range p {
+			taken := false
+			for _, c := range dst {
+				if c == i {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				continue
+			}
+			if best < 0 || v > p[best] {
+				best = i
+			}
+		}
+		//lint:ignore hotalloc amortized: dst's backing array is reused across Forwards, capped at TopK
+		dst = append(dst, best)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := p[idx[a]], p[idx[b]]
-		if pa > pb {
-			return true
+	// Insertion sort: k is the paper's top-k (1 or 2), already near-sorted.
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j] < dst[j-1]; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
-		if pa < pb {
-			return false
-		}
-		return idx[a] < idx[b]
-	})
-	out := append([]int(nil), idx[:k]...)
-	sort.Ints(out)
-	return out
+	}
+	return dst
 }
 
 func gatherRows(m *mat.Matrix, rows []int) *mat.Matrix {
@@ -251,6 +281,8 @@ func NewFFN(dim, hidden int, rng *rand.Rand) *FFN {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (f *FFN) Forward(x *mat.Matrix) *mat.Matrix { return f.net.Forward(x) }
 
 // Backward implements Layer.

@@ -58,6 +58,8 @@ type Layer interface {
 
 // SoftmaxRows applies a numerically stable softmax to each row of x,
 // returning a new matrix.
+//
+//perf:hot
 func SoftmaxRows(x *mat.Matrix) *mat.Matrix {
 	out := mat.New(x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
@@ -117,6 +119,8 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
 	d.x = x
 	y := mat.Mul(x, d.Weight.W)
@@ -148,6 +152,8 @@ type GELU struct {
 const geluC = 0.7978845608028654 // sqrt(2/pi)
 
 // Forward implements Layer.
+//
+//perf:hot
 func (g *GELU) Forward(x *mat.Matrix) *mat.Matrix {
 	g.x = x
 	y := mat.New(x.Rows, x.Cols)
@@ -179,6 +185,8 @@ type ReLU struct {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
 	r.x = x
 	y := mat.New(x.Rows, x.Cols)
@@ -210,6 +218,8 @@ type Sequential struct {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (s *Sequential) Forward(x *mat.Matrix) *mat.Matrix {
 	for _, l := range s.Layers {
 		x = l.Forward(x)
@@ -255,9 +265,20 @@ func NewLayerNorm(dim int) *LayerNorm {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
-	ln.norm = mat.New(x.Rows, x.Cols)
-	ln.invStd = make([]float64, x.Rows)
+	// Grow-once caches: norm and invStd are reallocated only when the
+	// window shape grows, then reused across every subsequent Forward.
+	// Layers are single-goroutine by contract, so reuse is safe.
+	if ln.norm == nil || ln.norm.Rows != x.Rows || ln.norm.Cols != x.Cols {
+		ln.norm = mat.New(x.Rows, x.Cols)
+	}
+	if cap(ln.invStd) < x.Rows {
+		//lint:ignore hotalloc grow-once: hit only when the window shape grows, steady-state Forwards reuse the buffer
+		ln.invStd = make([]float64, x.Rows)
+	}
+	ln.invStd = ln.invStd[:x.Rows]
 	out := mat.New(x.Rows, x.Cols)
 	gamma := ln.Gamma.W.Row(0)
 	beta := ln.Beta.W.Row(0)

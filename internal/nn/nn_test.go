@@ -235,10 +235,20 @@ func TestMoEAuxLossComputed(t *testing.T) {
 	}
 }
 
-func TestTopKIndices(t *testing.T) {
-	got := topKIndices([]float64{0.1, 0.5, 0.2, 0.9}, 2)
+func TestTopKInto(t *testing.T) {
+	got := topKInto(nil, []float64{0.1, 0.5, 0.2, 0.9}, 2)
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
-		t.Errorf("topKIndices = %v, want [1 3]", got)
+		t.Errorf("topKInto = %v, want [1 3]", got)
+	}
+	// Reuse keeps the backing array and re-ranks fresh probabilities.
+	got = topKInto(got, []float64{0.9, 0.1, 0.2, 0.5}, 3)
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("topKInto reuse = %v, want [0 2 3]", got)
+	}
+	// Ties break toward the lower expert index.
+	got = topKInto(got, []float64{0.5, 0.5, 0.1}, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("topKInto tie = %v, want [0]", got)
 	}
 }
 

