@@ -176,6 +176,17 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetView times the fleet observability tier's serving costs:
+// consistent /fleet/state snapshots with spark rings and SSE bus fan-out
+// to a subscriber population (see experiments.FleetView).
+func BenchmarkFleetView(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FleetView(io.Discard, experiments.Quick, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Deployment benchmarks (§5.1): the per-operation costs of the online
 // path, trained once outside the timed loop.
 

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/url"
 	"os"
 	"strconv"
 
@@ -31,6 +32,7 @@ func main() {
 	data := flag.String("data", "", "dataset directory (required)")
 	workdir := flag.String("workdir", "./labelsession", "session directory for labels and cluster files")
 	httpAddr := flag.String("http", "", "serve the web UI on this address instead of running a CLI command")
+	sentrydURL := flag.String("sentryd", "", "base URL of a running sentryd -obs-listen endpoint; proxies its /fleet/ dashboard into this UI")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -52,6 +54,13 @@ func main() {
 		fatal("load session", "workdir", *workdir, "err", err)
 	}
 	tool := newTool(ds, store, *workdir)
+	if *sentrydURL != "" {
+		u, err := url.Parse(*sentrydURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			fatal("bad -sentryd URL", "url", *sentrydURL, "err", err)
+		}
+		tool.fleet = u
+	}
 
 	if *httpAddr != "" {
 		logger.Info("serving", "addr", *httpAddr, "data", *data, "session", *workdir)

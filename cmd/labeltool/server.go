@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"sync"
 
 	"nodesentry/internal/core"
@@ -26,6 +28,10 @@ type tool struct {
 	store   *labeling.Store
 	workdir string
 	cs      *labeling.ClusterSession
+	// fleet, when non-nil, is a running sentryd observability endpoint;
+	// its /fleet/ dashboard is reverse-proxied into this UI so the
+	// labeling workflow gains the live fleet view it historically lacked.
+	fleet *url.URL
 }
 
 func newTool(ds *dataset.Dataset, store *labeling.Store, workdir string) *tool {
@@ -98,6 +104,9 @@ func (t *tool) handler() http.Handler {
 	mux.HandleFunc("/api/clusters", t.handleClusters)
 	mux.HandleFunc("/api/move", t.handleMove)
 	mux.HandleFunc("/api/save", t.handleSave)
+	if t.fleet != nil {
+		mux.Handle("/fleet/", httputil.NewSingleHostReverseProxy(t.fleet))
+	}
 	return mux
 }
 
@@ -258,6 +267,7 @@ table { border-collapse: collapse; } td, th { padding: 2px 8px; border: 1px soli
 </style></head>
 <body>
 <h2>NodeSentry labeling &amp; cluster-adjustment tool — {{.Dataset}}</h2>
+{{if .Fleet}}<p><a href="{{.Fleet}}" target="_blank">live fleet dashboard ↗</a> (proxied from sentryd)</p>{{end}}
 <p>
  node <select id="node"></select>
  metric <select id="metric"></select>
@@ -354,7 +364,11 @@ func (t *tool) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	err := indexTemplate.Execute(w, map[string]string{"Dataset": t.ds.Name})
+	fleet := ""
+	if t.fleet != nil {
+		fleet = "/fleet/"
+	}
+	err := indexTemplate.Execute(w, map[string]string{"Dataset": t.ds.Name, "Fleet": fleet})
 	if err != nil {
 		fmt.Println("labeltool: render:", err)
 	}

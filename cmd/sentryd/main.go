@@ -46,6 +46,7 @@ import (
 
 	"nodesentry"
 	"nodesentry/internal/daemon"
+	"nodesentry/internal/fleetview"
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
@@ -70,6 +71,9 @@ func main() {
 	scrapeInterval := flag.Duration("scrape-interval", 15*time.Second, "scrape sweep interval")
 	webhook := flag.String("webhook", "", "POST alerts to this URL (empty logs alerts only)")
 	webhookRetries := flag.Int("webhook-retries", 2, "extra webhook delivery attempts per alert")
+	fleet := flag.Bool("fleet", true, "run the fleet observability tier: vicinity residuals, event journal, and the /fleet/ dashboard on -obs-listen")
+	vicinityThreshold := flag.Float64("vicinity-threshold", 4, "robust z vs job-peer median/MAD at which a node counts as peer-divergent")
+	exemplars := flag.Bool("exemplars", false, "render (trace-id, value, ts) exemplars on histogram buckets in /metrics")
 	lifecycleOn := flag.Bool("lifecycle", false, "run the model lifecycle loop: drift detection, background retraining, shadow promotion, hot swap")
 	registryDir := flag.String("registry-dir", "registry", "versioned model registry directory (with -lifecycle)")
 	retrainInterval := flag.Duration("retrain-interval", 0, "also retrain on this fixed period regardless of drift (0 = drift-driven only)")
@@ -100,16 +104,11 @@ func main() {
 	}
 
 	// The gateway is always instrumented; -obs-listen only controls
-	// whether the registry is additionally served for scraping.
+	// whether the registry is additionally served for scraping. The server
+	// starts after daemon.New so the /fleet/ mounts can come from the live
+	// aggregator.
 	reg := obs.NewRegistry()
-	if *obsListen != "" {
-		srv, addr, err := obs.Serve(*obsListen, reg, nil)
-		if err != nil {
-			fatal(logger, "obs server", "err", err)
-		}
-		defer func() { _ = srv.Close() }() // process exit; shutdown error is inert
-		logger.Info("observability listening", "addr", addr)
-	}
+	reg.SetExemplars(*exemplars)
 
 	ds, err := nodesentry.ImportDataset(*data)
 	if err != nil {
@@ -179,6 +178,13 @@ func main() {
 		cfg.Store = store
 		cfg.ActiveID = activeID
 	}
+	if *fleet {
+		cfg.FleetView = &fleetview.Config{
+			VicinityThreshold: *vicinityThreshold,
+			Metrics:           reg,
+			Logger:            logger,
+		}
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(logger, "intake listen", "addr", *listen, "err", err)
@@ -192,6 +198,18 @@ func main() {
 	d, err := daemon.New(cfg)
 	if err != nil {
 		fatal(logger, "daemon", "err", err)
+	}
+	if *obsListen != "" {
+		var mounts []obs.Mount
+		if fv := d.FleetView(); fv != nil {
+			mounts = fv.Mounts()
+		}
+		srv, addr, err := obs.Serve(*obsListen, reg, nil, mounts...)
+		if err != nil {
+			fatal(logger, "obs server", "err", err)
+		}
+		defer func() { _ = srv.Close() }() // process exit; shutdown error is inert
+		logger.Info("observability listening", "addr", addr, "fleet", *fleet)
 	}
 	logger.Info("intake listening", "addr", d.Addr(),
 		"shards", *shards, "queue", *queue, "policy", *policy)

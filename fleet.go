@@ -1,0 +1,33 @@
+package nodesentry
+
+import (
+	"nodesentry/internal/fleetview"
+	"nodesentry/internal/obs"
+)
+
+// Fleet observability (internal/fleetview): the fleet-state aggregator
+// behind sentryd's /fleet/ dashboard — per-node score rings, vicinity
+// residuals (robust z vs job-peer median/MAD), a bounded event journal,
+// and JSON/SSE serving. Embedders tap a live Monitor with NewFleetView
+// and mount FleetView.Mounts() onto ObsHandler's mux.
+type (
+	// FleetView aggregates one monitor's fleet state.
+	FleetView = fleetview.Aggregator
+	// FleetViewConfig parameterizes NewFleetView; the zero value gets
+	// sensible defaults.
+	FleetViewConfig = fleetview.Config
+	// FleetEvent is one journaled fleet incident (alert, vicinity alert,
+	// lifecycle transition, chaos fault).
+	FleetEvent = fleetview.Event
+	// FleetVicinityAlert reports a node diverging from its job-peers.
+	FleetVicinityAlert = fleetview.VicinityAlert
+	// ObsMount attaches an extra handler subtree to ObsHandler/ServeObs.
+	ObsMount = obs.Mount
+)
+
+// NewFleetView taps mon's hook chain (after any already-installed hooks)
+// and returns the fleet aggregator. Drive vicinity evaluation with
+// FleetView.Run; serve it by passing FleetView.Mounts() to ObsHandler.
+func NewFleetView(mon *Monitor, cfg FleetViewConfig) *FleetView {
+	return fleetview.New(mon, cfg)
+}

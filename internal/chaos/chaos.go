@@ -69,6 +69,11 @@ const (
 type Counts struct {
 	mu sync.Mutex
 	m  map[FaultKind]int64
+	// OnAdd, when non-nil, observes every recorded injection after the
+	// ledger update (outside the lock). Set it before any seam starts
+	// injecting — it is not synchronized against concurrent assignment.
+	// The fleetview event journal uses it to mirror the ledger.
+	OnAdd func(kind FaultKind, n int64)
 }
 
 // NewCounts returns an empty ledger.
@@ -81,7 +86,11 @@ func (c *Counts) Add(kind FaultKind, n int64) {
 	}
 	c.mu.Lock()
 	c.m[kind] += n
+	cb := c.OnAdd
 	c.mu.Unlock()
+	if cb != nil {
+		cb(kind, n)
+	}
 }
 
 // Get returns the tally for one kind.

@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -19,6 +21,7 @@ import (
 	"nodesentry/internal/core"
 	"nodesentry/internal/daemon"
 	"nodesentry/internal/dataset"
+	"nodesentry/internal/fleetview"
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
@@ -84,6 +87,46 @@ type Report struct {
 	// the version whose payload was corrupted and the retired version the
 	// store fell back to.
 	QuarantinedID, RecoveredID string
+	// FleetProbes counts successful /fleet/state probes through the chaos
+	// phases; FleetEvents is the journal's all-time event total and
+	// SSEEvents how many of them the live SSE client received.
+	FleetProbes int
+	FleetEvents uint64
+	SSEEvents   int64
+}
+
+// faultMirror forwards every ledger injection into the fleetview journal.
+// The aggregator is only constructed by daemon.New, after the seams (and
+// their Counts callback) exist, so injections recorded before attach are
+// buffered and flushed under the same lock — the two ledgers stay exactly
+// equal with no window.
+type faultMirror struct {
+	mu      sync.Mutex
+	fv      *fleetview.Aggregator
+	pending map[FaultKind]int64
+}
+
+func (fm *faultMirror) record(kind FaultKind, n int64) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	if fm.fv != nil {
+		fm.fv.RecordFault(string(kind), n)
+		return
+	}
+	if fm.pending == nil {
+		fm.pending = map[FaultKind]int64{}
+	}
+	fm.pending[kind] += n
+}
+
+func (fm *faultMirror) attach(fv *fleetview.Aggregator) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	fm.fv = fv
+	for kind, n := range fm.pending {
+		fv.RecordFault(string(kind), n)
+	}
+	fm.pending = nil
 }
 
 // soak is one running scenario's state.
@@ -113,6 +156,11 @@ type soak struct {
 
 	probes   []string
 	probeSeq int64
+
+	fm       faultMirror
+	fleetSrv *httptest.Server
+	sseData  atomic.Int64
+	sseErr   chan error
 
 	fwdLines, pushSamples, pushJobs int64
 }
@@ -216,6 +264,9 @@ func (s *soak) start() (func() error, error) {
 	}
 	s.scrapeLen = len(scrapeScript)
 	s.scrapeT = &Transport{Script: scrapeScript, Counts: s.counts}
+	// Every injection is mirrored into the fleetview journal; reconcile
+	// demands the two ledgers agree exactly.
+	s.counts.OnAdd = s.fm.record
 	s.fwdClient = &http.Client{Transport: &Transport{
 		Script: []FaultKind{Pass, Pass, Pass, Pass, Pass, ConnDrop, Pass, Pass, Pass, Pass, Pass, Pass},
 		Counts: s.counts,
@@ -299,6 +350,13 @@ func (s *soak) start() (func() error, error) {
 			Metrics:       s.reg,
 			Logger:        s.cfg.Logger,
 		},
+		FleetView: &fleetview.Config{
+			// The soak settles in milliseconds; evaluate residuals on the
+			// same timescale so vicinity passes actually run mid-chaos.
+			EvalInterval: 25 * time.Millisecond,
+			Metrics:      s.reg,
+			Logger:       s.cfg.Logger,
+		},
 		Store:    s.store,
 		ActiveID: active.ID,
 		Metrics:  s.reg,
@@ -309,6 +367,19 @@ func (s *soak) start() (func() error, error) {
 		return nil, err
 	}
 	s.d = d
+	s.fm.attach(d.FleetView())
+	// The fleet endpoints ride the same obs handler an operator would
+	// scrape; the SSE client below holds a live stream open through every
+	// chaos phase.
+	s.fleetSrv = httptest.NewServer(obs.Handler(s.reg, nil, d.FleetView().Mounts()...))
+	s.sseErr = make(chan error, 1)
+	if err := s.startSSE(); err != nil {
+		s.fleetSrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = d.Close(ctx)
+		return nil, err
+	}
 	s.pushURL = "http://" + d.Addr() + "/push"
 	return func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -329,13 +400,71 @@ func (s *soak) start() (func() error, error) {
 }
 
 // closeSeams releases client-side resources so leak checks see a quiet
-// process.
+// process. Closing fleetSrv blocks until the SSE handler unwinds, so by
+// the time reconcile reads sseErr the stream's fate is decided.
 func (s *soak) closeSeams() {
 	s.webhook.Close()
 	s.exporter.srv.Close()
+	if s.fleetSrv != nil {
+		s.fleetSrv.Close()
+	}
 	for _, c := range []*http.Client{s.fwdClient, s.plainClient} {
 		c.CloseIdleConnections()
 	}
+}
+
+// startSSE opens the live /fleet/events stream and consumes it on a
+// background goroutine until the aggregator closes it (daemon shutdown).
+// Every data frame is counted; the exit error lands in s.sseErr.
+func (s *soak) startSSE() error {
+	req, err := http.NewRequest(http.MethodGet, s.fleetSrv.URL+"/fleet/events?stream=1", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.plainClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("chaos: sse connect: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		return fmt.Errorf("chaos: sse connect returned %s", resp.Status)
+	}
+	go func() {
+		defer func() { _ = resp.Body.Close() }()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				s.sseData.Add(1)
+			}
+		}
+		// EOF is the orderly end (aggregator closed); anything else is a
+		// mid-stream failure reconcile flags.
+		s.sseErr <- sc.Err()
+	}()
+	return nil
+}
+
+// fleetProbe asserts /fleet/state answers with a coherent snapshot while
+// chaos is in flight.
+func (s *soak) fleetProbe() error {
+	resp, err := s.plainClient.Get(s.fleetSrv.URL + "/fleet/state?spark=4")
+	if err != nil {
+		return fmt.Errorf("chaos: fleet state probe: %w", err)
+	}
+	defer func() { _, _ = io.Copy(io.Discard, resp.Body); _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("chaos: fleet state probe returned %s", resp.Status)
+	}
+	var st fleetview.FleetState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("chaos: fleet state probe decode: %w", err)
+	}
+	if len(st.Nodes) == 0 || st.Seq == 0 {
+		return fmt.Errorf("chaos: fleet state probe empty (nodes %d, seq %d)", len(st.Nodes), st.Seq)
+	}
+	s.rep.FleetProbes++
+	return nil
 }
 
 // drive runs the scenario's cycles against the live daemon.
@@ -372,6 +501,9 @@ func (s *soak) drive() error {
 		if err := s.settle(); err != nil {
 			return err
 		}
+		if err := s.fleetProbe(); err != nil {
+			return err
+		}
 
 		// Phase B: a sustained 4x workload shift drives drift; retraining
 		// runs off the buffered (chaos-perturbed) stream.
@@ -379,6 +511,9 @@ func (s *soak) drive() error {
 			return err
 		}
 		if err := s.settle(); err != nil {
+			return err
+		}
+		if err := s.fleetProbe(); err != nil {
 			return err
 		}
 		mgr := s.d.Manager()
@@ -406,6 +541,9 @@ func (s *soak) drive() error {
 			return err
 		}
 		if err := s.settle(); err != nil {
+			return err
+		}
+		if err := s.fleetProbe(); err != nil {
 			return err
 		}
 		endSwap := s.span("chaos_swap")
@@ -692,6 +830,41 @@ func (s *soak) reconcile() error {
 			break
 		}
 	}
+	// Fleet tier: the event journal's fault ledger must equal the injected
+	// ledger exactly (both directions), and the state/SSE surfaces must
+	// have stayed live through every phase and terminated cleanly.
+	fv := s.d.FleetView()
+	ft := fv.FaultTotals()
+	for kind, n := range cs {
+		chk("fleet fault "+string(kind), ft[string(kind)], n)
+	}
+	for kind := range ft {
+		if _, ok := cs[FaultKind(kind)]; !ok {
+			errs = append(errs, fmt.Sprintf("fleet journal has fault kind %q the ledger never injected", kind))
+		}
+	}
+	for _, n := range fv.Journal().Totals() {
+		s.rep.FleetEvents += n
+	}
+	if s.rep.FleetEvents == 0 {
+		errs = append(errs, "fleet journal recorded no events")
+	}
+	if s.rep.FleetProbes == 0 {
+		errs = append(errs, "no /fleet/state probes succeeded")
+	}
+	select {
+	case err := <-s.sseErr:
+		if err != nil {
+			errs = append(errs, "sse stream failed mid-run: "+err.Error())
+		}
+	case <-time.After(5 * time.Second):
+		errs = append(errs, "sse stream did not terminate after daemon close")
+	}
+	s.rep.SSEEvents = s.sseData.Load()
+	if s.rep.SSEEvents == 0 {
+		errs = append(errs, "sse stream received no events")
+	}
+
 	if len(errs) > 0 {
 		return fmt.Errorf("chaos: reconciliation failed:\n  %s", strings.Join(errs, "\n  "))
 	}

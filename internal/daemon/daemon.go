@@ -11,11 +11,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"sync"
-
 	"nodesentry/internal/core"
+	"nodesentry/internal/fleetview"
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
@@ -77,6 +78,13 @@ type Config struct {
 	Store     *lifecycle.Store
 	ActiveID  string
 
+	// FleetView, when non-nil, runs the fleet-state aggregator (vicinity
+	// residuals, event journal, dashboard APIs) against the monitor; serve
+	// its endpoints by passing Daemon.FleetView().Mounts() to obs.Serve.
+	// The aggregator only observes — alerts are byte-identical with it on
+	// or off.
+	FleetView *fleetview.Config
+
 	// Metrics, when non-nil, receives every component's series.
 	Metrics *obs.Registry
 	// Logger, when non-nil, receives component logs.
@@ -88,6 +96,7 @@ type Daemon struct {
 	cfg    Config
 	mon    *runtime.Monitor
 	mgr    *lifecycle.Manager
+	fv     *fleetview.Aggregator
 	router *ingest.ShardRouter
 	dec    *ingest.Decoder
 
@@ -100,6 +109,7 @@ type Daemon struct {
 	scrapeStop context.CancelFunc
 	lcDone     chan struct{}
 	lcCancel   context.CancelFunc
+	fvDone     chan struct{}
 
 	closeOnce sync.Once
 	closeErr  error
@@ -126,6 +136,7 @@ func New(cfg Config) (*Daemon, error) {
 		serveErr:   make(chan error, 1),
 		scrapeDone: make(chan struct{}),
 		lcDone:     make(chan struct{}),
+		fvDone:     make(chan struct{}),
 	}
 
 	// Alert consumer: every alert is logged; with a webhook each is also
@@ -166,8 +177,25 @@ func New(cfg Config) (*Daemon, error) {
 	routerSink := ingest.Sink(mon)
 	lcCtx, lcCancel := context.WithCancel(context.Background())
 	d.lcCancel = lcCancel
+	// The fleetview aggregator is built after the lifecycle manager (the
+	// manager owns SetHooks; the aggregator Taps on top), but lifecycle
+	// transitions must reach its journal — an atomic pointer bridges the
+	// construction-order gap race-free.
+	var fvPtr atomic.Pointer[fleetview.Aggregator]
 	if cfg.Lifecycle != nil {
-		mgr, err := lifecycle.NewManager(mon, cfg.Detector, cfg.ActiveID, cfg.Store, *cfg.Lifecycle)
+		lcCfg := *cfg.Lifecycle
+		if cfg.FleetView != nil {
+			prev := lcCfg.OnEvent
+			lcCfg.OnEvent = func(kind, detail string) {
+				if prev != nil {
+					prev(kind, detail)
+				}
+				if fv := fvPtr.Load(); fv != nil {
+					fv.LifecycleEvent(kind, detail)
+				}
+			}
+		}
+		mgr, err := lifecycle.NewManager(mon, cfg.Detector, cfg.ActiveID, cfg.Store, lcCfg)
 		if err != nil {
 			lcCancel()
 			mon.Close()
@@ -182,6 +210,27 @@ func New(cfg Config) (*Daemon, error) {
 		}()
 	} else {
 		close(d.lcDone)
+	}
+
+	// Fleet aggregator: taps the monitor's hook chain after the manager
+	// installed its own, so both observe every match/score/alert.
+	if cfg.FleetView != nil {
+		fvCfg := *cfg.FleetView
+		if fvCfg.Metrics == nil {
+			fvCfg.Metrics = cfg.Metrics
+		}
+		if fvCfg.Logger == nil {
+			fvCfg.Logger = cfg.Logger
+		}
+		d.fv = fleetview.New(mon, fvCfg)
+		fvPtr.Store(d.fv)
+		fv := d.fv
+		go func() {
+			defer close(d.fvDone)
+			fv.Run(lcCtx)
+		}()
+	} else {
+		close(d.fvDone)
 	}
 
 	d.router = ingest.NewShardRouter(routerSink, ingest.RouterConfig{
@@ -234,6 +283,10 @@ func (d *Daemon) Monitor() *runtime.Monitor { return d.mon }
 // Manager returns the lifecycle manager (nil without Config.Lifecycle).
 func (d *Daemon) Manager() *lifecycle.Manager { return d.mgr }
 
+// FleetView returns the fleet aggregator (nil without Config.FleetView);
+// mount its endpoints with FleetView().Mounts().
+func (d *Daemon) FleetView() *fleetview.Aggregator { return d.fv }
+
 // Router returns the shard router.
 func (d *Daemon) Router() *ingest.ShardRouter { return d.router }
 
@@ -272,8 +325,14 @@ func (d *Daemon) Close(ctx context.Context) error {
 		}
 		d.lcCancel()
 		<-d.lcDone
+		<-d.fvDone
 		d.mon.Close()
 		d.consumer.Wait()
+		if d.fv != nil {
+			// After the monitor closes no tap fires; Close just ends any
+			// remaining SSE streams.
+			d.fv.Close()
+		}
 		if d.cfg.Logger != nil {
 			d.cfg.Logger.Info("drained", "monitor_dropped", d.mon.Dropped())
 		}

@@ -211,6 +211,44 @@ func Aggregate(results []NodeResult) Summary {
 	return s
 }
 
+// EntityConfusion measures entity-level detection: truth is the set of
+// genuinely anomalous entities (e.g. the peer-divergent nodes of a
+// vicinity drill), flagged the set a detector surfaced. Recall is the
+// fraction of truth entities flagged; precision the fraction of flagged
+// entities that are true. An empty denominator yields 1 (nothing to miss
+// / nothing falsely raised) — the convention that lets tests pin floors
+// without special-casing empty drills. Duplicates are collapsed.
+func EntityConfusion(truth, flagged []string) (recall, precision float64) {
+	ts := map[string]bool{}
+	for _, t := range truth {
+		ts[t] = true
+	}
+	fs := map[string]bool{}
+	for _, f := range flagged {
+		fs[f] = true
+	}
+	recall, precision = 1, 1
+	if len(ts) > 0 {
+		hit := 0
+		for t := range ts {
+			if fs[t] {
+				hit++
+			}
+		}
+		recall = float64(hit) / float64(len(ts))
+	}
+	if len(fs) > 0 {
+		good := 0
+		for f := range fs {
+			if ts[f] {
+				good++
+			}
+		}
+		precision = float64(good) / float64(len(fs))
+	}
+	return recall, precision
+}
+
 // TransitionIgnoreMask builds the evaluation ignore mask of a frame: true
 // for samples within margin seconds of any job-transition boundary in
 // spans. The paper uses a 1-minute margin at the start and end of each

@@ -337,3 +337,26 @@ func TestFaultRecallShape(t *testing.T) {
 		t.Errorf("nothing detected across %d faults", totalInjected)
 	}
 }
+
+func TestFleetViewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick fleetview run still trains a detector")
+	}
+	var buf bytes.Buffer
+	res, err := FleetView(&buf, Quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 || res.Snapshots == 0 || res.Published == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.SnapshotMean <= 0 || res.FanOutPerSend <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	out := buf.String()
+	for _, want := range []string{"state:", "fan-out:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"nodesentry"
+	"nodesentry/internal/core"
+	"nodesentry/internal/fleetview"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+)
+
+// FleetViewResult holds the fleet-observability tier's measured costs: the
+// price of a full /fleet/state snapshot and of fanning one event out to a
+// population of SSE subscribers. Both sit on sentryd's serving path, so
+// their trajectory belongs in BENCH_obs.json next to the pipeline stages.
+type FleetViewResult struct {
+	Nodes         int
+	Snapshots     int
+	SnapshotMean  time.Duration
+	Subscribers   int
+	Published     int
+	FanOutPerSend time.Duration
+	Dropped       int
+}
+
+// FleetView measures the fleet-state aggregator: it replays the first
+// dataset's test split through a tapped monitor, then times (a) repeated
+// consistent state snapshots with inline spark rings — the /fleet/state
+// hot path — and (b) Bus fan-out of journal events to a subscriber
+// population, the SSE serving path. Spans fleetview_state and
+// fleetview_sse_fanout land in the tracer.
+func FleetView(w io.Writer, s Scale, tr *obs.Tracer) (FleetViewResult, error) {
+	ds := datasets(s)[0]
+	det, err := core.Train(nodesentry.TrainInputFromDataset(ds), options(s))
+	if err != nil {
+		return FleetViewResult{}, err
+	}
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2, AlertBuffer: 1024})
+	if err != nil {
+		return FleetViewResult{}, err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range mon.Alerts() {
+		}
+	}()
+	defer func() { mon.Close(); <-drained }()
+
+	agg := fleetview.New(mon, fleetview.Config{VicinityThreshold: 3.5})
+	defer agg.Close()
+	lifecycleFeed(mon, ds, ds.SplitTime(), ds.Horizon, 1)
+	agg.Evaluate()
+
+	res := FleetViewResult{Nodes: len(ds.Nodes())}
+
+	// (a) /fleet/state snapshots: SnapshotConsistent + ring joins + spark
+	// copies, the whole JSON payload minus encoding.
+	const snapshots = 2000
+	sp := tr.Start("fleetview_state")
+	t0 := time.Now()
+	for i := 0; i < snapshots; i++ {
+		st := agg.State(48)
+		if len(st.Nodes) == 0 {
+			break
+		}
+	}
+	stateWall := time.Since(t0)
+	sp.AddItems(snapshots)
+	sp.End()
+	res.Snapshots = snapshots
+	res.SnapshotMean = stateWall / snapshots
+
+	// (b) SSE fan-out: one publisher, a subscriber population with
+	// realistic buffers, every queue drained by its own consumer — the
+	// shape of a dashboard-heavy operations room.
+	const subscribers, published = 32, 5000
+	bus := agg.Bus()
+	done := make(chan int, subscribers)
+	var chans []chan fleetview.Event
+	for i := 0; i < subscribers; i++ {
+		ch := bus.Subscribe(64)
+		chans = append(chans, ch)
+		go func(ch chan fleetview.Event) {
+			n := 0
+			for range ch {
+				n++
+			}
+			done <- n
+		}(ch)
+	}
+	sp = tr.Start("fleetview_sse_fanout")
+	t1 := time.Now()
+	dropped := 0
+	for i := 0; i < published; i++ {
+		dropped += bus.Publish(fleetview.Event{Seq: uint64(i + 1), Kind: "bench"})
+	}
+	fanWall := time.Since(t1)
+	sp.AddItems(published)
+	sp.End()
+	for _, ch := range chans {
+		bus.Unsubscribe(ch)
+		close(ch) // bench-owned channels; the handler path never closes
+	}
+	for i := 0; i < subscribers; i++ {
+		<-done
+	}
+	res.Subscribers = subscribers
+	res.Published = published
+	res.FanOutPerSend = fanWall / published
+	res.Dropped = dropped
+
+	pr := &report{w: w}
+	pr.println("Fleet observability tier (state snapshots + SSE fan-out)")
+	pr.printf("  fleet:     %d nodes, %d journal kinds\n", res.Nodes, len(agg.Journal().Totals()))
+	pr.printf("  state:     %d snapshots, %v mean (spark=48)\n", res.Snapshots, res.SnapshotMean.Round(time.Microsecond))
+	pr.printf("  fan-out:   %d events x %d subscribers, %v per publish, %d dropped\n",
+		res.Published, res.Subscribers, res.FanOutPerSend.Round(time.Nanosecond), res.Dropped)
+	return res, pr.Err()
+}

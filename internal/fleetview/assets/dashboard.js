@@ -1,0 +1,220 @@
+// Fleet dashboard: renders /fleet/state into a score heatmap, a cluster
+// map colored by vicinity residual, and an incident timeline, then keeps
+// itself live off the /fleet/events SSE stream. Plain d3 v7, no build
+// step; degrades to the raw JSON endpoints when the CDN is unreachable.
+(function () {
+  "use strict";
+  if (typeof d3 === "undefined") {
+    document.getElementById("fallback").style.display = "block";
+    return;
+  }
+
+  const vicThreshold = +document.body.dataset.vicinityThreshold || 4;
+  const scoreColor = d3.scaleSequential(d3.interpolateInferno).domain([0, 1]);
+  const vicColor = d3
+    .scaleSequential(d3.interpolateRdYlGn)
+    .domain([vicThreshold * 1.5, 0]); // green at 0, red past threshold
+  const events = []; // newest last, bounded
+  const MAX_EVENTS = 400;
+
+  function renderHeatmap(state) {
+    const nodes = state.nodes;
+    const cols = d3.max(nodes, (n) => (n.spark || []).length) || 0;
+    const cell = 14,
+      labelW = 90,
+      w = labelW + cols * cell + 10,
+      h = nodes.length * cell + 24;
+    const svg = d3
+      .select("#heatmap")
+      .selectAll("svg")
+      .data([null])
+      .join("svg")
+      .attr("width", w)
+      .attr("height", h);
+    const row = svg
+      .selectAll("g.row")
+      .data(nodes, (n) => n.node)
+      .join("g")
+      .attr("class", "row")
+      .attr("transform", (n, i) => `translate(0,${i * cell + 16})`);
+    row
+      .selectAll("text")
+      .data((n) => [n])
+      .join("text")
+      .attr("x", 0)
+      .attr("y", cell - 4)
+      .text((n) => n.node);
+    row
+      .selectAll("rect")
+      .data((n) => n.spark || [])
+      .join("rect")
+      .attr("x", (p, i) => labelW + i * cell)
+      .attr("width", cell - 1)
+      .attr("height", cell - 1)
+      .attr("fill", (p) => scoreColor(Math.min(1, p.score)))
+      .append("title")
+      .text((p) => `${new Date(p.ts * 1000).toISOString()} score=${p.score.toFixed(3)} max=${p.max.toFixed(3)}`);
+  }
+
+  function renderClusters(state) {
+    const nodes = state.nodes;
+    const clusters = [...new Set(nodes.map((n) => n.cluster))].sort((a, b) => a - b);
+    const colW = 120,
+      cell = 26,
+      perCol = {},
+      w = Math.max(clusters.length * colW, 200);
+    let maxRows = 1;
+    nodes.forEach((n) => {
+      perCol[n.cluster] = (perCol[n.cluster] || 0) + 1;
+      maxRows = Math.max(maxRows, perCol[n.cluster]);
+    });
+    const h = maxRows * cell + 40;
+    const svg = d3
+      .select("#clusters")
+      .selectAll("svg")
+      .data([null])
+      .join("svg")
+      .attr("width", w)
+      .attr("height", h);
+    svg
+      .selectAll("text.cl")
+      .data(clusters)
+      .join("text")
+      .attr("class", "cl")
+      .attr("x", (c, i) => i * colW + 6)
+      .attr("y", 12)
+      .text((c) => (c < 0 ? "unmatched" : `cluster ${c}`));
+    const rowIdx = {};
+    const pos = nodes.map((n) => {
+      rowIdx[n.cluster] = (rowIdx[n.cluster] || 0) + 1;
+      return { n, col: clusters.indexOf(n.cluster), row: rowIdx[n.cluster] - 1 };
+    });
+    const g = svg
+      .selectAll("g.node")
+      .data(pos, (d) => d.n.node)
+      .join("g")
+      .attr("class", "node")
+      .attr("transform", (d) => `translate(${d.col * colW + 6},${d.row * cell + 22})`);
+    g.selectAll("circle")
+      .data((d) => [d])
+      .join("circle")
+      .attr("cx", 8)
+      .attr("cy", 8)
+      .attr("r", 8)
+      .attr("stroke", (d) =>
+        Math.max(d.n.vic_score, d.n.vic_dist) >= vicThreshold ? "#f85149" : "none"
+      )
+      .attr("stroke-width", 2)
+      .attr("fill", (d) => vicColor(Math.max(d.n.vic_score, d.n.vic_dist, 0)))
+      .append("title")
+      .text(
+        (d) =>
+          `${d.n.node} vic_score=${d.n.vic_score.toFixed(2)} vic_dist=${d.n.vic_dist.toFixed(2)} peers=${d.n.peers}`
+      );
+    g.selectAll("text")
+      .data((d) => [d])
+      .join("text")
+      .attr("x", 20)
+      .attr("y", 12)
+      .text((d) => d.n.node);
+  }
+
+  function renderTimeline() {
+    const w = document.getElementById("timeline").clientWidth || 800,
+      h = 90,
+      m = { l: 10, r: 10, t: 10, b: 20 };
+    const svg = d3
+      .select("#timeline")
+      .selectAll("svg")
+      .data([null])
+      .join("svg")
+      .attr("width", w)
+      .attr("height", h);
+    if (!events.length) return;
+    const x = d3
+      .scaleTime()
+      .domain(d3.extent(events, (e) => e.ts * 1000))
+      .range([m.l, w - m.r]);
+    const kinds = [...new Set(events.map((e) => e.kind))];
+    const y = d3.scalePoint().domain(kinds).range([m.t, h - m.b]).padding(0.5);
+    const kindColor = {
+      alert: "#f85149",
+      vicinity: "#d29922",
+      chaos_fault: "#a371f7",
+    };
+    svg
+      .selectAll("g.axis")
+      .data([null])
+      .join("g")
+      .attr("class", "axis")
+      .attr("transform", `translate(0,${h - m.b})`)
+      .call(d3.axisBottom(x).ticks(6));
+    svg
+      .selectAll("circle.ev")
+      .data(events, (e) => e.seq)
+      .join("circle")
+      .attr("class", "ev")
+      .attr("cx", (e) => x(e.ts * 1000))
+      .attr("cy", (e) => y(e.kind))
+      .attr("r", 4)
+      .attr("fill", (e) => kindColor[e.kind] || "#58a6ff")
+      .append("title")
+      .text((e) => `#${e.seq} ${e.kind} ${e.node || ""} ${e.detail || ""}`);
+  }
+
+  function renderEventList() {
+    const ul = d3.select("#events");
+    ul.selectAll("li")
+      .data(events.slice(-60).reverse(), (e) => e.seq)
+      .join("li")
+      .html(
+        (e) =>
+          `<span class="kind kind-${e.kind}">${e.kind}</span> ` +
+          `${new Date(e.ts * 1000).toISOString().slice(11, 19)} ` +
+          `${e.node ? e.node + " " : ""}${e.detail || ""}`
+      );
+  }
+
+  function addEvents(list) {
+    for (const e of list) {
+      if (events.length && e.seq <= events[events.length - 1].seq) continue;
+      events.push(e);
+    }
+    if (events.length > MAX_EVENTS) events.splice(0, events.length - MAX_EVENTS);
+    renderEventList();
+    renderTimeline();
+  }
+
+  async function refresh() {
+    const res = await fetch("state?spark=48");
+    const state = await res.json();
+    document.getElementById("stat-nodes").textContent = state.nodes.length;
+    document.getElementById("stat-epoch").textContent = state.epoch;
+    document.getElementById("stat-seq").textContent = state.seq;
+    document.getElementById("stat-dropped").textContent = state.dropped;
+    renderHeatmap(state);
+    renderClusters(state);
+  }
+
+  async function start() {
+    await refresh();
+    const past = await (await fetch("events")).json();
+    addEvents(past);
+    const feed = document.getElementById("stat-feed");
+    const es = new EventSource("events?stream=1");
+    es.onopen = () => (feed.textContent = "live");
+    es.onerror = () => (feed.textContent = "reconnecting…");
+    for (const kind of [
+      "alert", "vicinity", "chaos_fault", "drift", "retrain",
+      "shadow", "promoted", "rejected", "swap",
+    ]) {
+      es.addEventListener(kind, (msg) => addEvents([JSON.parse(msg.data)]));
+    }
+    setInterval(refresh, 5000);
+  }
+
+  start().catch((err) => {
+    document.getElementById("fallback").style.display = "block";
+    document.getElementById("fallback").textContent = "dashboard error: " + err;
+  });
+})();

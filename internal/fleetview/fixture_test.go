@@ -1,0 +1,124 @@
+package fleetview
+
+import (
+	"sync"
+	"testing"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/ingest"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+var (
+	fixOnce sync.Once
+	fixDS   *dataset.Dataset
+	fixDet  *core.Detector
+	fixErr  error
+)
+
+func fastOpts() core.Options {
+	o := core.DefaultOptions()
+	o.Epochs = 3
+	o.MaxWindowsPerCluster = 60
+	o.KMax = 4
+	o.RepSegments = 3
+	return o
+}
+
+func trainInputOf(ds *dataset.Dataset) core.TrainInput {
+	in := core.TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: telemetry.SemanticIndex(ds.Catalog),
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	return in
+}
+
+// fixture trains one detector on the tiny dataset, shared across the
+// package's tests (training dominates wall time).
+func fixture(tb testing.TB) (*dataset.Dataset, *core.Detector) {
+	tb.Helper()
+	fixOnce.Do(func() {
+		fixDS = dataset.Build(dataset.Tiny())
+		fixDet, fixErr = core.Train(trainInputOf(fixDS), fastOpts())
+	})
+	if fixErr != nil {
+		tb.Fatal(fixErr)
+	}
+	return fixDS, fixDet
+}
+
+// feed replays the dataset's [from, to) window into sink with every metric
+// multiplied by mul.
+func feed(sink ingest.Sink, ds *dataset.Dataset, from, to int64, mul float64) {
+	for _, node := range ds.Nodes() {
+		f := ds.Frames[node]
+		view := f.Slice(f.IndexOf(from), f.IndexOf(to))
+		sink.RegisterNode(node, view.Metrics)
+		spans := ds.SpansForNode(node, from, to)
+		si := 0
+		for t := 0; t < view.Len(); t++ {
+			ts := view.Start + int64(t)*view.Step
+			for si < len(spans) && spans[si].Start <= ts {
+				sink.ObserveJob(node, spans[si].Job, spans[si].Start)
+				si++
+			}
+			row := make([]float64, len(view.Data))
+			for m := range row {
+				row[m] = view.Data[m][t] * mul
+			}
+			sink.Ingest(node, ts, row)
+		}
+	}
+}
+
+// feedCohort replays one source node's [from, to) frame into sink under
+// count synthetic node names, all observing the same job — a controlled
+// peer group for vicinity drills. mulFor picks the per-node multiplier, so
+// one node can diverge while its peers stay on the shared baseline.
+func feedCohort(sink ingest.Sink, ds *dataset.Dataset, src string, from, to int64, names []string, job int64, mulFor func(node string) float64) {
+	f := ds.Frames[src]
+	view := f.Slice(f.IndexOf(from), f.IndexOf(to))
+	for _, node := range names {
+		sink.RegisterNode(node, view.Metrics)
+		sink.ObserveJob(node, job, view.Start)
+	}
+	for t := 0; t < view.Len(); t++ {
+		ts := view.Start + int64(t)*view.Step
+		for _, node := range names {
+			mul := mulFor(node)
+			row := make([]float64, len(view.Data))
+			for m := range row {
+				row[m] = view.Data[m][t] * mul
+			}
+			sink.Ingest(node, ts, row)
+		}
+	}
+}
+
+// cleanWindow finds a [from, to) span of n samples in src's test split that
+// overlaps no injected fault, so threshold alerts inside it reflect only
+// the synthetic divergence a drill adds. Returns ok=false when every
+// window is contaminated.
+func cleanWindow(ds *dataset.Dataset, src string, n int) (from, to int64, ok bool) {
+	span := int64(n) * ds.Step
+	for from = ds.SplitTime(); from+span <= ds.Horizon; from += span / 2 {
+		to = from + span
+		dirty := false
+		for _, ft := range ds.Faults {
+			if ft.Node == src && ft.Start < to && ft.End > from {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			return from, to, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,144 @@
+package fleetview
+
+import "sync"
+
+// Event is one fleet-level incident: a monitor alert, a vicinity alert, a
+// lifecycle transition (drift/retrain/shadow/promote/swap), or an injected
+// chaos fault. Events carry a monotone Seq so SSE clients can detect gaps
+// and re-sync from the JSON journal (`/fleet/events?since=`).
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	Ts     int64   `json:"ts"`
+	Kind   string  `json:"kind"`
+	Node   string  `json:"node,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// Journal is a bounded ring of fleet events. Old events are evicted;
+// Totals keeps the per-kind counts forever so ledger reconciliation (the
+// chaos soak's exact-accounting check) survives eviction.
+type Journal struct {
+	mu     sync.Mutex
+	ring   []Event
+	head   int
+	n      int
+	seq    uint64
+	totals map[string]uint64
+}
+
+// NewJournal builds a journal holding at most size events (minimum 1).
+func NewJournal(size int) *Journal {
+	if size < 1 {
+		size = 1
+	}
+	return &Journal{ring: make([]Event, size), totals: map[string]uint64{}}
+}
+
+// Append stamps e with the next sequence number, stores it (possibly
+// evicting the oldest), tallies its kind, and returns the stamped event.
+func (j *Journal) Append(e Event) Event {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.ring[j.head] = e
+	j.head = (j.head + 1) % len(j.ring)
+	if j.n < len(j.ring) {
+		j.n++
+	}
+	j.totals[e.Kind]++
+	j.mu.Unlock()
+	return e
+}
+
+// Seq returns the sequence number of the newest event (0 when empty).
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Since returns retained events with Seq > after, oldest first.
+func (j *Journal) Since(after uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	start := j.head - j.n
+	if start < 0 {
+		start += len(j.ring)
+	}
+	for i := 0; i < j.n; i++ {
+		e := j.ring[(start+i)%len(j.ring)]
+		if e.Seq > after {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Totals returns a copy of the all-time per-kind event counts (immune to
+// ring eviction).
+func (j *Journal) Totals() map[string]uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]uint64, len(j.totals))
+	for k, v := range j.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// Bus fans events out to SSE subscribers without spawning any goroutines:
+// Publish delivers inline with non-blocking sends, so a stalled client
+// never blocks the emitter — it just loses events (counted, and visible
+// to the client as a Seq gap it can heal via the JSON journal). Each
+// subscriber is serviced by its own HTTP request goroutine; when that
+// request ends the handler unsubscribes, so the Bus owns no lifecycle of
+// its own and can't leak.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[chan Event]struct{}
+}
+
+// NewBus builds an empty bus.
+func NewBus() *Bus { return &Bus{subs: map[chan Event]struct{}{}} }
+
+// Subscribe registers a new subscriber channel with the given buffer.
+// The caller must Unsubscribe when done.
+func (b *Bus) Subscribe(buffer int) chan Event {
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes ch. Pending events remain readable; the channel is
+// not closed (the subscriber side selects on its own done signal).
+func (b *Bus) Unsubscribe(ch chan Event) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// Publish offers e to every subscriber, never blocking; it returns how
+// many subscribers had a full buffer and missed the event.
+func (b *Bus) Publish(e Event) (dropped int) {
+	b.mu.Lock()
+	for ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			dropped++
+		}
+	}
+	b.mu.Unlock()
+	return dropped
+}
+
+// Clients returns the live subscriber count.
+func (b *Bus) Clients() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,114 @@
+package fleetview
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(4)
+	if j.Seq() != 0 {
+		t.Fatalf("fresh journal seq = %d", j.Seq())
+	}
+	for i := 1; i <= 6; i++ {
+		e := j.Append(Event{Kind: "alert", Node: fmt.Sprintf("n%d", i)})
+		if e.Seq != uint64(i) {
+			t.Fatalf("append %d stamped seq %d", i, e.Seq)
+		}
+	}
+	if j.Seq() != 6 {
+		t.Fatalf("seq = %d, want 6", j.Seq())
+	}
+
+	// The ring holds only the newest 4, oldest first.
+	all := j.Since(0)
+	if len(all) != 4 {
+		t.Fatalf("Since(0) returned %d events, want 4 (ring bound)", len(all))
+	}
+	for i, e := range all {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Fatalf("Since(0)[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+
+	// Since filters strictly-after; a seq at or past the head yields nil.
+	if got := j.Since(5); len(got) != 1 || got[0].Seq != 6 {
+		t.Fatalf("Since(5) = %+v", got)
+	}
+	if got := j.Since(6); len(got) != 0 {
+		t.Fatalf("Since(6) = %+v", got)
+	}
+
+	// Totals survive eviction: all 6 appends are counted even though the
+	// ring kept 4 — the property chaos reconciliation depends on.
+	if tot := j.Totals(); tot["alert"] != 6 {
+		t.Fatalf("Totals = %v, want alert:6", tot)
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	if n := b.Clients(); n != 0 {
+		t.Fatalf("fresh bus has %d clients", n)
+	}
+	c1 := b.Subscribe(2)
+	c2 := b.Subscribe(2)
+	if n := b.Clients(); n != 2 {
+		t.Fatalf("clients = %d, want 2", n)
+	}
+
+	if dropped := b.Publish(Event{Seq: 1}); dropped != 0 {
+		t.Fatalf("publish dropped %d with empty queues", dropped)
+	}
+	if e := <-c1; e.Seq != 1 {
+		t.Fatalf("c1 got seq %d", e.Seq)
+	}
+	if e := <-c2; e.Seq != 1 {
+		t.Fatalf("c2 got seq %d", e.Seq)
+	}
+
+	// A full queue drops for that client only; the publish never blocks.
+	b.Publish(Event{Seq: 2})
+	b.Publish(Event{Seq: 3})
+	<-c1
+	<-c1 // c1 drained, c2 still holds 2 and 3
+	if dropped := b.Publish(Event{Seq: 4}); dropped != 1 {
+		t.Fatalf("publish to one full queue dropped %d, want 1", dropped)
+	}
+
+	b.Unsubscribe(c2)
+	if n := b.Clients(); n != 1 {
+		t.Fatalf("clients after unsubscribe = %d, want 1", n)
+	}
+	if dropped := b.Publish(Event{Seq: 5}); dropped != 0 {
+		t.Fatalf("publish after unsubscribe dropped %d", dropped)
+	}
+	if e := <-c1; e.Seq != 4 {
+		t.Fatalf("c1 got seq %d, want 4", e.Seq)
+	}
+}
+
+func TestRobustZ(t *testing.T) {
+	// Below or at the median is never divergent.
+	if z := robustZ(0.9, 1.0, 0.1); z != 0 {
+		t.Fatalf("robustZ below median = %v", z)
+	}
+	if z := robustZ(1.0, 1.0, 0.1); z != 0 {
+		t.Fatalf("robustZ at median = %v", z)
+	}
+	// Standard consistency scaling above the median.
+	if z := robustZ(2.0, 1.0, 0.6745); z < 0.99 || z > 1.01 {
+		t.Fatalf("robustZ(2,1,0.6745) = %v, want ~1", z)
+	}
+	// The MAD floor (5%% of |median|) caps residuals from freakishly
+	// tight peer groups: identical peers cannot make z infinite.
+	zTight := robustZ(1.3, 1.0, 0)
+	zFloor := robustZ(1.3, 1.0, 0.05)
+	if zTight != zFloor {
+		t.Fatalf("MAD floor not applied: %v vs %v", zTight, zFloor)
+	}
+	// And still lets a genuinely divergent value through.
+	if zTight < 4 {
+		t.Fatalf("30%% divergence under floored MAD = %v, want >= 4", zTight)
+	}
+}

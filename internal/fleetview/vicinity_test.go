@@ -1,0 +1,203 @@
+package fleetview
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nodesentry/internal/eval"
+	"nodesentry/internal/runtime"
+)
+
+// TestVicinityPeerDivergence is the tier's reason to exist: a synthetic
+// peer-divergence fault — one node running hotter than the peers executing
+// the same job, but steadily enough that its own k-sigma threshold never
+// trips — must be caught by the vicinity residual. The drill replays one
+// clean source frame to a six-node cohort under a shared job ID, scales
+// the victim's telemetry by a constant factor (anomalous vs peers, flat vs
+// its own history), and pins the entity-level recall floor at 1.
+func TestVicinityPeerDivergence(t *testing.T) {
+	ds, det := fixture(t)
+	const samples = 180
+	src := ds.Nodes()[0]
+	from, to, ok := cleanWindow(ds, src, samples)
+	if !ok {
+		t.Fatalf("no fault-free %d-sample window for %s in the test split", samples, src)
+	}
+
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vicinityCb []VicinityAlert
+	a := New(mon, Config{
+		MinPeers:            3,
+		VicinityThreshold:   3.5,
+		VicinityCooldownSec: 1,
+		OnVicinityAlert:     func(al VicinityAlert) { vicinityCb = append(vicinityCb, al) },
+	})
+	defer a.Close()
+
+	cohort := []string{"sim-0", "sim-1", "sim-2", "sim-3", "sim-4", "sim-odd"}
+	const victim = "sim-odd"
+	feedCohort(mon, ds, src, from, to, cohort, 7001, func(node string) float64 {
+		if node == victim {
+			return 1.3
+		}
+		return 1
+	})
+	mon.Close()
+
+	// The victim's per-node dynamic threshold must stay silent: its score
+	// history is uniformly elevated, so k-sigma over its own past sees
+	// nothing. This is precisely the divergence class per-node models miss.
+	for al := range mon.Alerts() {
+		if al.Node == victim {
+			t.Fatalf("per-node threshold fired for the victim (score %.4f at %d): the drill's premise requires a fault only peers can see",
+				al.Score, al.Time)
+		}
+	}
+
+	alerts := a.Evaluate()
+	var flagged []string
+	for _, al := range alerts {
+		flagged = append(flagged, al.Node)
+		if al.Job != 7001 {
+			t.Errorf("alert for %s attributes job %d, want 7001", al.Node, al.Job)
+		}
+		if al.Peers != len(cohort) {
+			t.Errorf("alert for %s saw %d peers, want %d", al.Node, al.Peers, len(cohort))
+		}
+		if al.Residual < 3.5 {
+			t.Errorf("alert for %s carries residual %.2f below the threshold", al.Node, al.Residual)
+		}
+	}
+
+	// Entity-level floor: recall 1 (the victim is flagged) and precision 1
+	// (no clean peer is accused).
+	recall, precision := eval.EntityConfusion([]string{victim}, flagged)
+	if recall < 1 {
+		t.Fatalf("vicinity recall %.2f < 1.0: victim not flagged (alerts %v)", recall, flagged)
+	}
+	if precision < 1 {
+		t.Fatalf("vicinity precision %.2f < 1.0: clean peers accused (alerts %v)", precision, flagged)
+	}
+
+	// The alert reached every surface: callback, journal, and metrics-free
+	// residual state exposed via /fleet/state's NodeState.
+	if len(vicinityCb) != len(alerts) {
+		t.Fatalf("OnVicinityAlert saw %d alerts, Evaluate returned %d", len(vicinityCb), len(alerts))
+	}
+	tot := a.Journal().Totals()
+	if tot[EventVicinity] != uint64(len(alerts)) {
+		t.Fatalf("journal holds %d vicinity events, want %d", tot[EventVicinity], len(alerts))
+	}
+	st := a.State(0)
+	foundVictim := false
+	for _, ns := range st.Nodes {
+		if ns.Node != victim {
+			continue
+		}
+		foundVictim = true
+		if ns.VicScore < 3.5 && ns.VicDist < 3.5 {
+			t.Errorf("victim NodeState residuals (%.2f, %.2f) below threshold", ns.VicScore, ns.VicDist)
+		}
+	}
+	if !foundVictim {
+		t.Fatal("victim missing from /fleet/state")
+	}
+
+	// Cooldown: an immediate re-evaluation recomputes residuals but fires
+	// no duplicate alerts.
+	a2 := a.Evaluate()
+	_ = a2 // cooldown is 1s; same-second re-eval must be suppressed
+	if len(a2) != 0 {
+		t.Fatalf("re-evaluation inside cooldown fired %d alerts", len(a2))
+	}
+}
+
+// TestEvaluateNeedsMinPeers: groups below MinPeers produce no residuals
+// and no alerts — two nodes cannot accuse each other.
+func TestEvaluateNeedsMinPeers(t *testing.T) {
+	ds, det := fixture(t)
+	const samples = 120
+	src := ds.Nodes()[0]
+	from, to, ok := cleanWindow(ds, src, samples)
+	if !ok {
+		t.Fatalf("no clean window for %s", src)
+	}
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(mon, Config{MinPeers: 3, VicinityThreshold: 3.5})
+	defer a.Close()
+
+	feedCohort(mon, ds, src, from, to, []string{"duo-0", "duo-1"}, 42, func(node string) float64 {
+		if node == "duo-1" {
+			return 2 // wildly divergent, but unaccusable with one peer
+		}
+		return 1
+	})
+	mon.Close()
+	for range mon.Alerts() {
+	}
+
+	if alerts := a.Evaluate(); len(alerts) != 0 {
+		t.Fatalf("two-node group fired %d vicinity alerts", len(alerts))
+	}
+}
+
+// TestAlertsByteIdenticalWithFleetview pins the tier's observer contract:
+// running the same replay through a monitor with the fleetview tap
+// attached (and Evaluate churning) yields byte-identical alert output to a
+// bare monitor. The tap observes; it never feeds back.
+func TestAlertsByteIdenticalWithFleetview(t *testing.T) {
+	ds, det := fixture(t)
+	from, to := ds.SplitTime(), ds.Horizon
+
+	run := func(withFleet bool) []byte {
+		mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, AlertBuffer: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withFleet {
+			a := New(mon, Config{VicinityThreshold: 3.5, VicinityCooldownSec: 1})
+			defer a.Close()
+			done := make(chan struct{})
+			stop := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						a.Evaluate()
+					}
+				}
+			}()
+			defer func() { close(stop); <-done }()
+		}
+		feed(mon, ds, from, to, 1.35)
+		mon.Close()
+		var alerts []runtime.Alert
+		for al := range mon.Alerts() {
+			alerts = append(alerts, al)
+		}
+		if len(alerts) == 0 {
+			t.Fatal("replay produced no alerts; the identity check would be vacuous")
+		}
+		b, err := json.Marshal(alerts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	bare := run(false)
+	tapped := run(true)
+	if !bytes.Equal(bare, tapped) {
+		t.Fatalf("alert streams diverge with fleetview attached:\nbare:   %.200s\ntapped: %.200s", bare, tapped)
+	}
+}

@@ -105,6 +105,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger, when non-nil, receives lifecycle transitions at Info.
 	Logger *slog.Logger
+	// OnEvent, when non-nil, receives every lifecycle transition as a
+	// (kind, detail) pair — kinds: "drift", "retrain", "retrain_failed",
+	// "shadow", "promoted", "rejected", "swap". It is called synchronously
+	// from the transitioning goroutine and must not block; the fleetview
+	// event journal is the intended consumer.
+	OnEvent func(kind, detail string)
 }
 
 func (c Config) withDefaults() Config {

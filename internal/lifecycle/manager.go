@@ -129,7 +129,7 @@ func NewManager(mon *runtime.Monitor, det *core.Detector, activeID string, store
 		OnMatch: func(node string, cluster int, distance float64, matched bool) {
 			m.drift.ObserveMatch(cluster, distance)
 		},
-		OnScores: func(node string, cluster int, scores []float64) {
+		OnScores: func(node string, cluster int, start int64, scores []float64) {
 			m.drift.ObserveScores(cluster, scores)
 			m.incScoreMu.Lock()
 			for _, s := range scores {
@@ -140,6 +140,13 @@ func NewManager(mon *runtime.Monitor, det *core.Detector, activeID string, store
 		OnAlert: func(a runtime.Alert) { m.incAlerts.Add(1) },
 	})
 	return m, nil
+}
+
+// event forwards a lifecycle transition to Config.OnEvent, if set.
+func (m *Manager) event(kind, detail string) {
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(kind, detail)
+	}
 }
 
 // Buffer exposes the retrain buffer (operator introspection and tests).
@@ -233,6 +240,7 @@ func (m *Manager) Tick(ctx context.Context) {
 		if m.log != nil {
 			m.log.Info("drift detected", "reason", reason)
 		}
+		m.event("drift", reason)
 		m.StartRetrain(ctx, "drift: "+reason)
 	}
 }
@@ -268,16 +276,19 @@ func (m *Manager) RetrainNow(ctx context.Context, reason string) (Version, error
 	}
 	in.Ctx = ctx
 	m.countRetrain(reason)
+	m.event("retrain", reason)
 	t0 := time.Now()
 	det, err := core.Train(in, m.cfg.TrainOptions)
 	m.met.retrainSec.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		m.met.retrainFail.Inc()
+		m.event("retrain_failed", err.Error())
 		return Version{}, fmt.Errorf("lifecycle: retrain: %w", err)
 	}
 	v, err := m.store.SaveVersion(det, reason)
 	if err != nil {
 		m.met.retrainFail.Inc()
+		m.event("retrain_failed", err.Error())
 		return Version{}, err
 	}
 	if m.log != nil {
@@ -304,6 +315,7 @@ func (m *Manager) StartShadow(det *core.Detector, v Version) error {
 	if m.log != nil {
 		m.log.Info("shadow started", "version", v.ID)
 	}
+	m.event("shadow", "version "+v.ID)
 	return nil
 }
 
@@ -380,6 +392,12 @@ func (m *Manager) DecideShadow(force bool) (Decision, bool) {
 		}
 	}
 	sh.stop()
+	if dec.Promoted {
+		m.event("promoted", fmt.Sprintf("version %s: %s", dec.Version.ID, dec.Reason))
+		m.event("swap", fmt.Sprintf("version %s pause=%s", dec.Version.ID, dec.Pause))
+	} else {
+		m.event("rejected", fmt.Sprintf("version %s: %s", dec.Version.ID, dec.Reason))
+	}
 	if m.log != nil {
 		m.log.Info("shadow decided", "version", dec.Version.ID, "promoted", dec.Promoted,
 			"reason", dec.Reason, "candWindows", dec.CandWindows,

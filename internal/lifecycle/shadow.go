@@ -75,7 +75,7 @@ func newShadowRun(det *core.Detector, v Version, cfg Config, layouts map[string]
 		scoreQ:  NewQuantileWindow(4096),
 	}
 	mon.SetHooks(runtime.Hooks{
-		OnScores: func(node string, cluster int, scores []float64) {
+		OnScores: func(node string, cluster int, start int64, scores []float64) {
 			sh.windows.Add(1)
 			sh.mu.Lock()
 			for _, s := range scores {

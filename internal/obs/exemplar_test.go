@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBoundary pins the le-inclusive bucket convention the
+// Histogram type comment documents: a value exactly on a bucket's upper
+// bound lands in that bucket, not the next one. Fleetview and the chaos
+// ledger reconcile /metrics against other snapshots assuming this.
+func TestHistogramBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("boundary_test", []float64{0.1, 0.5})
+
+	h.Observe(0.1)  // exactly on the first bound → le="0.1"
+	h.Observe(0.05) // below → le="0.1"
+	h.Observe(0.5)  // exactly on the second bound → le="0.5"
+	h.Observe(0.11) // between → le="0.5"
+	h.Observe(0.51) // above all → +Inf overflow
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	// Cumulative counts: le=0.1 has 2, le=0.5 has 4, +Inf has 5.
+	for _, want := range []string{
+		`boundary_test_bucket{le="0.1"} 2`,
+		`boundary_test_bucket{le="0.5"} 4`,
+		`boundary_test_bucket{le="+Inf"} 5`,
+		`boundary_test_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// A trailing +Inf in the bucket layout is implicit and must be dropped.
+	h2 := r.Histogram("boundary_inf_test", []float64{1, math.Inf(1)})
+	h2.Observe(2)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "boundary_inf_test_bucket") != 2 {
+		t.Errorf("explicit +Inf bucket not deduplicated:\n%s", b.String())
+	}
+}
+
+func TestExemplarRing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_ring_test", []float64{1})
+
+	if got := h.Exemplars(); len(got) != 0 {
+		t.Fatalf("fresh histogram has %d exemplars", len(got))
+	}
+	h.ObserveExemplar(0.5, "t0", 100)
+	h.ObserveExemplar(math.NaN(), "nan", 101) // NaN-guarded: dropped entirely
+	if got := h.Exemplars(); len(got) != 1 || got[0].TraceID != "t0" {
+		t.Fatalf("after one observation: %+v", got)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("NaN exemplar observation changed count: %d", h.Count())
+	}
+
+	// Overflow the ring: only the newest exemplarRingSize survive, oldest
+	// first.
+	for i := 0; i < exemplarRingSize+5; i++ {
+		h.ObserveExemplar(float64(i), "", int64(i))
+	}
+	got := h.Exemplars()
+	if len(got) != exemplarRingSize {
+		t.Fatalf("ring holds %d, want %d", len(got), exemplarRingSize)
+	}
+	for i, e := range got {
+		if want := int64(i + 5); e.Ts != want {
+			t.Fatalf("ring[%d].Ts = %d, want %d (oldest-first rotation)", i, e.Ts, want)
+		}
+	}
+
+	// Nil handle: all exemplar methods are no-ops.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x", 1)
+	if nilH.Exemplars() != nil {
+		t.Fatal("nil histogram returned exemplars")
+	}
+}
+
+// TestExemplarExposition covers the flag-gated OpenMetrics suffix: with
+// SetExemplars(true) bucket lines carry ` # {trace_id="…"} value ts` for
+// the newest exemplar falling in that bucket; with the flag off (the
+// default) the exposition is byte-free of exemplar syntax.
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_expo_test", []float64{0.1, 0.5})
+	h.ObserveExemplar(0.05, "trace-a", 111)
+	h.ObserveExemplar(0.3, "trace-b", 222)
+	h.ObserveExemplar(0.2, "trace-c", 333) // newer, same bucket as trace-b → wins
+	h.ObserveExemplar(7, "trace-inf", 444) // overflow bucket
+
+	render := func() string {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	if r.ExemplarsEnabled() {
+		t.Fatal("exemplars enabled by default")
+	}
+	if text := render(); strings.Contains(text, "trace_id") {
+		t.Fatalf("exemplar suffix rendered with flag off:\n%s", text)
+	}
+
+	r.SetExemplars(true)
+	text := render()
+	for _, want := range []string{
+		`ex_expo_test_bucket{le="0.1"} 1 # {trace_id="trace-a"} 0.05 111`,
+		`ex_expo_test_bucket{le="0.5"} 3 # {trace_id="trace-c"} 0.2 333`,
+		`ex_expo_test_bucket{le="+Inf"} 4 # {trace_id="trace-inf"} 7 444`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "trace-b") {
+		t.Errorf("older same-bucket exemplar not superseded:\n%s", text)
+	}
+
+	// A bucket without an exemplar renders without a suffix; the metric
+	// still parses as plain Prometheus text (count intact).
+	h2 := r.Histogram("ex_plain_test", []float64{1})
+	h2.Observe(0.5)
+	if text := render(); !strings.Contains(text, "ex_plain_test_bucket{le=\"1\"} 1\n") {
+		t.Errorf("plain bucket line altered by exemplar mode:\n%s", text)
+	}
+
+	r.SetExemplars(false)
+	if text := render(); strings.Contains(text, "trace_id") {
+		t.Fatalf("exemplar suffix survives disabling:\n%s", text)
+	}
+}
+
+// TestHandlerMounts verifies extra Mounts join the scrape mux alongside the
+// built-in routes — the seam sentryd uses to serve /fleet/ from the same
+// listener as /metrics.
+func TestHandlerMounts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mounted_scrape_total").Inc()
+	mounted := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		_, _ = io.WriteString(w, "fleet:"+req.URL.Path)
+	})
+	srv := httptest.NewServer(Handler(r, nil, Mount{Pattern: "/fleet/", Handler: mounted}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/fleet/state"); code != http.StatusOK || body != "fleet:/fleet/state" {
+		t.Fatalf("mounted handler: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "mounted_scrape_total 1") {
+		t.Fatalf("/metrics with mounts: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz with mounts: %d", code)
+	}
+}

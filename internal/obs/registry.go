@@ -45,6 +45,11 @@ type Registry struct {
 	// OnScrape); procRegistered makes RegisterProcessMetrics idempotent.
 	scrapeHooks    []func()
 	procRegistered bool
+	// exemplars gates exemplar rendering in WritePrometheus (see
+	// SetExemplars). Histograms always *record* exemplars handed to
+	// ObserveExemplar; the flag only controls exposition, so flipping it
+	// at runtime costs nothing retroactively.
+	exemplars atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
@@ -193,6 +198,13 @@ func (g *Gauge) Value() float64 {
 
 // Histogram counts observations into fixed buckets, Prometheus-style:
 // cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+//
+// Bucket boundary semantics follow the Prometheus `le` convention exactly:
+// upper bounds are INCLUSIVE, so a value equal to a bucket's upper bound is
+// counted in that bucket, not the next one. Observe(0.1) with buckets
+// [0.1, 0.5] lands in le="0.1". This is pinned by TestHistogramBoundary —
+// code reconciling /metrics against other snapshots (fleetview, the chaos
+// ledger) depends on both sides agreeing on it.
 type Histogram struct {
 	name   string
 	labels string
@@ -200,6 +212,82 @@ type Histogram struct {
 	counts []atomic.Int64 // len(uppers)+1; last is the +Inf overflow
 	sum    atomic.Uint64  // float64 bits
 	n      atomic.Int64
+
+	// exMu guards the bounded exemplar ring (ObserveExemplar). The ring
+	// is off the Observe fast path entirely: plain Observe never touches
+	// it, and instrumented code opts in per call site.
+	exMu   sync.Mutex
+	exRing []Exemplar
+	exNext int
+}
+
+// Exemplar is one traced observation attached to a histogram: the value,
+// the trace id that produced it, and the observation time (Unix seconds).
+// Rendered in the exposition as OpenMetrics-style exemplar suffixes when
+// the registry's SetExemplars flag is on.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Ts      int64
+}
+
+// exemplarRingSize bounds the per-histogram exemplar ring: large enough
+// that every populated bucket of a typical latency layout can surface a
+// recent exemplar, small enough to stay negligible next to the counters.
+const exemplarRingSize = 16
+
+// ObserveExemplar records v like Observe and additionally attaches an
+// exemplar (traceID, v, ts) to the histogram's bounded ring, overwriting
+// the oldest entry when full. Nil-safe and NaN-guarded like Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, ts int64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	h.exMu.Lock()
+	if h.exRing == nil {
+		h.exRing = make([]Exemplar, 0, exemplarRingSize)
+	}
+	e := Exemplar{TraceID: traceID, Value: v, Ts: ts}
+	if len(h.exRing) < exemplarRingSize {
+		h.exRing = append(h.exRing, e)
+	} else {
+		h.exRing[h.exNext] = e
+		h.exNext = (h.exNext + 1) % exemplarRingSize
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns a copy of the histogram's exemplar ring, oldest first
+// (empty on a nil handle or when no exemplars were recorded).
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	out := make([]Exemplar, 0, len(h.exRing))
+	if len(h.exRing) == exemplarRingSize {
+		out = append(out, h.exRing[h.exNext:]...)
+		out = append(out, h.exRing[:h.exNext]...)
+	} else {
+		out = append(out, h.exRing...)
+	}
+	return out
+}
+
+// bucketExemplars picks, for each bucket (uppers plus the +Inf overflow),
+// the newest ringed exemplar whose value falls inside it — the per-bucket
+// attachment rule OpenMetrics renders. Slots without a matching exemplar
+// are zero-valued (TraceID "").
+func (h *Histogram) bucketExemplars() []Exemplar {
+	ring := h.Exemplars() // oldest first, so later wins below
+	out := make([]Exemplar, len(h.uppers)+1)
+	for _, e := range ring {
+		i := sort.SearchFloat64s(h.uppers, e.Value)
+		out[i] = e
+	}
+	return out
 }
 
 func newHistogram(name, labels string, buckets []float64) *Histogram {
@@ -217,12 +305,13 @@ func newHistogram(name, labels string, buckets []float64) *Histogram {
 	}
 }
 
-// Observe records one value.
+// Observe records one value. A value exactly on a bucket's upper bound is
+// counted in that bucket (le is inclusive; see the type comment).
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
-	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v: le-inclusive
 	h.counts[i].Add(1)
 	h.n.Add(1)
 	for {
@@ -267,6 +356,24 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 		v *= factor
 	}
 	return out
+}
+
+// SetExemplars enables (or disables) exemplar rendering in WritePrometheus:
+// when on, bucket lines carry OpenMetrics-style exemplar suffixes
+// (`# {trace_id="…"} value ts`) for the newest recorded exemplar falling in
+// each bucket. Off by default — plain Prometheus scrapers ignore the suffix,
+// but the flag keeps the exposition byte-stable for consumers that diff it.
+// Nil-safe.
+func (r *Registry) SetExemplars(on bool) {
+	if r == nil {
+		return
+	}
+	r.exemplars.Store(on)
+}
+
+// ExemplarsEnabled reports whether exemplar rendering is on (false on nil).
+func (r *Registry) ExemplarsEnabled() bool {
+	return r != nil && r.exemplars.Load()
 }
 
 // WritePrometheus renders every registered series in the Prometheus text
@@ -328,18 +435,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s%s %s\n", g.name, g.labels, formatValue(g.Value()))
 	}
 	lastType = ""
+	withExemplars := r.exemplars.Load()
 	for _, h := range hists {
 		if h.name != lastType {
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", h.name)
 			lastType = h.name
 		}
+		var ex []Exemplar
+		if withExemplars {
+			ex = h.bucketExemplars()
+		}
 		cum := int64(0)
 		for i, upper := range h.uppers {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.name, withLE(h.labels, formatValue(upper)), cum)
+			fmt.Fprintf(&b, "%s_bucket%s %d", h.name, withLE(h.labels, formatValue(upper)), cum)
+			writeExemplar(&b, ex, i)
+			b.WriteByte('\n')
 		}
 		cum += h.counts[len(h.uppers)].Load()
-		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.name, withLE(h.labels, "+Inf"), cum)
+		fmt.Fprintf(&b, "%s_bucket%s %d", h.name, withLE(h.labels, "+Inf"), cum)
+		writeExemplar(&b, ex, len(h.uppers))
+		b.WriteByte('\n')
 		fmt.Fprintf(&b, "%s_sum%s %s\n", h.name, h.labels, formatValue(h.Sum()))
 		fmt.Fprintf(&b, "%s_count%s %d\n", h.name, h.labels, h.Count())
 	}
@@ -349,6 +465,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeExemplar appends the OpenMetrics exemplar suffix for bucket i when
+// one was recorded: ` # {trace_id="…"} value ts`.
+func writeExemplar(b *strings.Builder, ex []Exemplar, i int) {
+	if i >= len(ex) || ex[i].TraceID == "" {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=%s} %s %d", strconv.Quote(ex[i].TraceID), formatValue(ex[i].Value), ex[i].Ts)
 }
 
 // labelString canonicalizes key/value pairs into `{k="v",…}` sorted by key

@@ -8,11 +8,21 @@ import (
 	"time"
 )
 
+// Mount attaches an extra handler subtree to the observability endpoint —
+// the seam sentryd uses to serve the fleetview APIs and dashboard from the
+// same listener as /metrics. Pattern follows net/http.ServeMux rules
+// (e.g. "/fleet/").
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler builds the self-scrape endpoint: /metrics serves the registry in
 // Prometheus text format, /healthz runs the optional health check (503 with
 // the error text on failure, 200 "ok" otherwise), and /debug/pprof/* serves
 // the standard runtime profiles. The registry may be nil (an empty scrape).
-func Handler(reg *Registry, health func() error) http.Handler {
+// Extra mounts are registered on the same mux after the built-in routes.
+func Handler(reg *Registry, health func() error, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -35,6 +45,9 @@ func Handler(reg *Registry, health func() error) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -44,14 +57,14 @@ func Handler(reg *Registry, health func() error) http.Handler {
 // makes ":0" usable in tests and examples. A served registry also gets the
 // process-metrics collector (RegisterProcessMetrics): anything reachable
 // over the network should expose its own goroutine/heap/GC health.
-func Serve(addr string, reg *Registry, health func() error) (*http.Server, string, error) {
+func Serve(addr string, reg *Registry, health func() error, mounts ...Mount) (*http.Server, string, error) {
 	RegisterProcessMetrics(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, health),
+		Handler:           Handler(reg, health, mounts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	//lint:ignore unboundedgoroutine the returned *http.Server is the stop signal: callers shut the goroutine down via srv.Close/Shutdown

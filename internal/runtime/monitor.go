@@ -117,6 +117,10 @@ type nodeState struct {
 	// score history for the dynamic threshold.
 	scores    []float64
 	lastAlert int64
+	// lastThr is the k-sigma bound the next sample will be compared
+	// against, refreshed once per scored window (diagnostic: exported via
+	// NodeStatus.Threshold and the per-node threshold gauge).
+	lastThr float64
 
 	// lastIngest/lastScored track the node's scoring lag: the newest
 	// ingested sample timestamp vs. the newest timestamp covered by a
@@ -197,11 +201,53 @@ type Hooks struct {
 	// the centroid distance, and whether it fell inside the match radius.
 	OnMatch func(node string, cluster int, distance float64, matched bool)
 	// OnScores fires after each scored window with the per-sample
-	// normalized scores.
-	OnScores func(node string, cluster int, scores []float64)
+	// normalized scores; start is the window's first sample timestamp
+	// (Unix seconds), so taps can place the scores on the fleet timeline.
+	OnScores func(node string, cluster int, start int64, scores []float64)
 	// OnAlert fires for every alert the monitor raises, including ones the
 	// alert channel then drops; it runs without node locks held.
 	OnAlert func(a Alert)
+}
+
+// MergeHooks composes two hook sets: each callback invokes a's then b's,
+// skipping nil entries. Used by Monitor.Tap to let multiple observers
+// (lifecycle manager, fleetview aggregator) share the single hook slot.
+func MergeHooks(a, b Hooks) Hooks {
+	out := Hooks{}
+	if a.OnMatch != nil || b.OnMatch != nil {
+		am, bm := a.OnMatch, b.OnMatch
+		out.OnMatch = func(node string, cluster int, distance float64, matched bool) {
+			if am != nil {
+				am(node, cluster, distance, matched)
+			}
+			if bm != nil {
+				bm(node, cluster, distance, matched)
+			}
+		}
+	}
+	if a.OnScores != nil || b.OnScores != nil {
+		as, bs := a.OnScores, b.OnScores
+		out.OnScores = func(node string, cluster int, start int64, scores []float64) {
+			if as != nil {
+				as(node, cluster, start, scores)
+			}
+			if bs != nil {
+				bs(node, cluster, start, scores)
+			}
+		}
+	}
+	if a.OnAlert != nil || b.OnAlert != nil {
+		aa, ba := a.OnAlert, b.OnAlert
+		out.OnAlert = func(al Alert) {
+			if aa != nil {
+				aa(al)
+			}
+			if ba != nil {
+				ba(al)
+			}
+		}
+	}
+	return out
 }
 
 // Monitor is the streaming detection engine.
@@ -269,9 +315,26 @@ func NewMonitor(det *core.Detector, cfg Config) (*Monitor, error) {
 
 // SetHooks installs (or, with a zero Hooks, clears) the observation hooks.
 // Safe to call concurrently with ingestion; in-flight calls may still see
-// the previous hooks.
+// the previous hooks. SetHooks replaces whatever was installed — observers
+// that must coexist with an owner (the lifecycle manager installs hooks in
+// NewManager) chain themselves afterwards with Tap instead.
 func (m *Monitor) SetHooks(h Hooks) {
 	m.hooks.Store(&h)
+}
+
+// Tap chains h after any hooks already installed: existing callbacks run
+// first, then h's. Intended for wiring-time composition (daemon startup
+// attaches the fleetview tap after the lifecycle manager's hooks); it is
+// not atomic against a concurrent SetHooks/Tap, so install taps before
+// ingestion starts.
+func (m *Monitor) Tap(h Hooks) {
+	cur := m.hooks.Load()
+	if cur == nil {
+		m.hooks.Store(&h)
+		return
+	}
+	merged := MergeHooks(*cur, h)
+	m.hooks.Store(&merged)
 }
 
 // Epoch returns the current detector generation.
@@ -361,6 +424,7 @@ func (m *Monitor) ObserveJob(node string, job int64, start int64) {
 	st.cluster = -1
 	st.consumed = 0
 	st.scores = nil
+	st.lastThr = 0
 }
 
 // Ingest feeds one sample (the node's full metric vector at ts). Metric
@@ -460,7 +524,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			m.met.samples.Add(int64(win))
 		}
 		if h := m.hooks.Load(); h != nil && h.OnScores != nil {
-			h.OnScores(st.node, st.cluster, scores)
+			h.OnScores(st.node, st.cluster, frame.Start, scores)
 		}
 		st.lastScored = frame.TimeAt(win - 1)
 		//lint:ignore hotalloc alert path: emit stays nil on anomaly-free windows, the common case
@@ -487,9 +551,10 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 	//lint:ignore hotalloc amortized: the history is trimmed below, so growth is O(1) per window
 	st.scores = append(st.scores, scores...)
 	preds := core.KSigmaThreshold(st.scores, m.cfg.Step, winSec, k)
+	st.lastThr = currentThreshold(st.scores, m.cfg.Step, winSec, k)
 	if m.obsOn {
 		m.met.thrUpdates.Inc()
-		st.thrGauge.Set(currentThreshold(st.scores, m.cfg.Step, winSec, k))
+		st.thrGauge.Set(st.lastThr)
 	}
 	var out []Alert
 	for i := range scores {
@@ -638,6 +703,11 @@ type NodeStatus struct {
 	// newest ingested timestamp minus the newest scored timestamp (0
 	// before the first scored window or when fully caught up).
 	ScoreLagSec int64
+	// Threshold is the current dynamic k-sigma bound on this node's
+	// scores (0 before the first scored window). Diagnostic: the same
+	// value the per-node threshold gauge exports, surfaced here so fleet
+	// views need no registry scrape to pair scores with their bound.
+	Threshold float64
 }
 
 // Snapshot returns the streaming state of every node the monitor has seen,
@@ -726,6 +796,7 @@ func (m *Monitor) collect() []NodeStatus {
 			Buffered:    buffered,
 			Dropped:     st.dropped.Load(),
 			ScoreLagSec: lag,
+			Threshold:   st.lastThr,
 		})
 		st.mu.Unlock()
 	}

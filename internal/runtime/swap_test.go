@@ -186,7 +186,7 @@ func TestHooksObserveHotPath(t *testing.T) {
 			}
 			matches.Add(1)
 		},
-		OnScores: func(node string, cluster int, scores []float64) {
+		OnScores: func(node string, cluster int, start int64, scores []float64) {
 			if len(scores) == 0 {
 				t.Errorf("OnScores(%q, %d) with no scores", node, cluster)
 			}

@@ -31,13 +31,14 @@ func NewStageTracer(reg *MetricsRegistry) *StageTracer { return obs.NewTracer(re
 
 // ObsHandler builds the self-scrape endpoint: /metrics (Prometheus text
 // format), /healthz (the optional health check), and /debug/pprof/*.
-func ObsHandler(reg *MetricsRegistry, health func() error) http.Handler {
-	return obs.Handler(reg, health)
+// Extra mounts (e.g. FleetView.Mounts()) join the same mux.
+func ObsHandler(reg *MetricsRegistry, health func() error, mounts ...ObsMount) http.Handler {
+	return obs.Handler(reg, health, mounts...)
 }
 
 // ServeObs listens on addr and serves ObsHandler in the background,
 // returning the server (close it to stop) and the resolved address —
 // ":0" picks a free port.
-func ServeObs(addr string, reg *MetricsRegistry, health func() error) (*http.Server, string, error) {
-	return obs.Serve(addr, reg, health)
+func ServeObs(addr string, reg *MetricsRegistry, health func() error, mounts ...ObsMount) (*http.Server, string, error) {
+	return obs.Serve(addr, reg, health, mounts...)
 }
