@@ -187,6 +187,17 @@ func BenchmarkFleetView(b *testing.B) {
 	}
 }
 
+// BenchmarkCoord times the fleet control plane: partition-table recomputes
+// under membership churn and alert fan-in through the fencing ledger (see
+// experiments.Coord).
+func BenchmarkCoord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Coord(io.Discard, experiments.Quick, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Deployment benchmarks (§5.1): the per-operation costs of the online
 // path, trained once outside the timed loop.
 

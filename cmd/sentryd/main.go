@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"nodesentry"
+	"nodesentry/internal/coord"
 	"nodesentry/internal/daemon"
 	"nodesentry/internal/fleetview"
 	"nodesentry/internal/ingest"
@@ -78,6 +79,14 @@ func main() {
 	registryDir := flag.String("registry-dir", "registry", "versioned model registry directory (with -lifecycle)")
 	retrainInterval := flag.Duration("retrain-interval", 0, "also retrain on this fixed period regardless of drift (0 = drift-driven only)")
 	driftThreshold := flag.Float64("drift-threshold", 2.5, "multiple of the training baseline at which the rolling median counts as drifted")
+	role := flag.String("role", "standalone", "fleet role: standalone | scorer | coordinator")
+	coordinatorURL := flag.String("coordinator", "", "coordinator base URL (required with -role scorer)")
+	scorerID := flag.String("id", "", "this scorer's stable identity (default: hostname)")
+	advertisePush := flag.String("advertise-push", "", "push intake URL this scorer advertises to the coordinator")
+	advertiseObs := flag.String("advertise-obs", "", "observability URL this scorer advertises (the coordinator scrapes its /metrics and /fleet/*)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "scorer lease-renewal cadence")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease age at which a silent scorer's shards are reassigned")
+	sweepInterval := flag.Duration("sweep-interval", 2*time.Second, "coordinator: cadence of lease sweeps and fleet fan-in scrapes")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -87,6 +96,31 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	switch *role {
+	case "standalone", "scorer", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "sentryd: bad -role %q (want standalone, scorer or coordinator)\n", *role)
+		os.Exit(2)
+	}
+
+	// The coordinator tier has no detector and no intake: it is pure
+	// membership + model distribution + fan-in, so it branches off before
+	// any dataset work. With -lifecycle it serves -registry-dir over
+	// /registry/ for scorers to pull from.
+	if *role == "coordinator" {
+		runCoordinator(logger, coordinatorFlags{
+			listen:            *listen,
+			shards:            *shards,
+			leaseTTL:          *leaseTTL,
+			sweepInterval:     *sweepInterval,
+			vicinityThreshold: *vicinityThreshold,
+			registryDir:       *registryDir,
+			lifecycleOn:       *lifecycleOn,
+			exemplars:         *exemplars,
+		})
+		return
+	}
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "sentryd: -data is required")
@@ -185,6 +219,29 @@ func main() {
 			Logger:            logger,
 		}
 	}
+	if *role == "scorer" {
+		if *coordinatorURL == "" {
+			fmt.Fprintln(os.Stderr, "sentryd: -role scorer requires -coordinator")
+			os.Exit(2)
+		}
+		id := *scorerID
+		if id == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				fatal(logger, "resolve hostname for scorer id", "err", err)
+			}
+			id = host
+		}
+		cfg.Coord = &coord.AgentConfig{
+			ID:                id,
+			CoordinatorURL:    strings.TrimRight(*coordinatorURL, "/"),
+			PushURL:           *advertisePush,
+			ObsURL:            *advertiseObs,
+			HeartbeatInterval: *heartbeat,
+			// The registry version already running doesn't re-pull.
+			ActiveModelID: activeID,
+		}
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(logger, "intake listen", "addr", *listen, "err", err)
@@ -213,6 +270,10 @@ func main() {
 	}
 	logger.Info("intake listening", "addr", d.Addr(),
 		"shards", *shards, "queue", *queue, "policy", *policy)
+	if cfg.Coord != nil {
+		logger.Info("scorer role", "id", cfg.Coord.ID, "coordinator", cfg.Coord.CoordinatorURL,
+			"heartbeat", *heartbeat)
+	}
 	if *lifecycleOn {
 		logger.Info("lifecycle loop running", "registry", *registryDir,
 			"drift_threshold", *driftThreshold, "retrain_interval", *retrainInterval)
@@ -237,6 +298,61 @@ func main() {
 	if err := d.Close(shutdownCtx); err != nil {
 		logger.Warn("daemon close", "err", err)
 	}
+}
+
+// coordinatorFlags carries the subset of flags the coordinator role uses.
+type coordinatorFlags struct {
+	listen            string
+	shards            int
+	leaseTTL          time.Duration
+	sweepInterval     time.Duration
+	vicinityThreshold float64
+	registryDir       string
+	lifecycleOn       bool
+	exemplars         bool
+}
+
+// runCoordinator serves the coordinator tier on f.listen: /coord/*
+// membership and alert intake, /registry/* model distribution (with
+// -lifecycle), and the merged /fleet/* surface, until SIGINT/SIGTERM.
+func runCoordinator(logger *slog.Logger, f coordinatorFlags) {
+	reg := obs.NewRegistry()
+	reg.SetExemplars(f.exemplars)
+
+	var store *lifecycle.Store
+	if f.lifecycleOn {
+		var err error
+		store, err = lifecycle.OpenStore(f.registryDir, 5)
+		if err != nil {
+			fatal(logger, "open registry", "dir", f.registryDir, "err", err)
+		}
+		logger.Info("serving model registry", "dir", f.registryDir)
+	}
+	c := coord.New(coord.Config{
+		TotalShards:       f.shards,
+		LeaseTTL:          f.leaseTTL,
+		SweepInterval:     f.sweepInterval,
+		VicinityThreshold: f.vicinityThreshold,
+		Store:             store,
+		Metrics:           reg,
+		Logger:            logger,
+	})
+	defer c.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go c.Run(ctx)
+
+	srv, addr, err := obs.Serve(f.listen, reg, nil, c.Mounts()...)
+	if err != nil {
+		fatal(logger, "coordinator server", "err", err)
+	}
+	defer func() { _ = srv.Close() }() // process exit; shutdown error is inert
+	logger.Info("coordinator listening", "addr", addr,
+		"total_shards", f.shards, "lease_ttl", f.leaseTTL, "sweep", f.sweepInterval)
+
+	<-ctx.Done()
+	logger.Info("shutdown signal received")
 }
 
 // loadOrTrain resolves the detector from -model and/or -train, mirroring

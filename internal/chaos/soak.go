@@ -942,23 +942,13 @@ func probeNames(shards int) []string {
 	for target := range names {
 		for j := 0; ; j++ {
 			name := fmt.Sprintf("chaos-probe-%d", j)
-			if fnvShard(name, shards) == target {
+			if ingest.FNVShard(name, shards) == target {
 				names[target] = name
 				break
 			}
 		}
 	}
 	return names
-}
-
-// fnvShard mirrors ShardRouter.shardOf (FNV-1a mod shards).
-func fnvShard(node string, shards int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(node); i++ {
-		h ^= uint32(node[i])
-		h *= 16777619
-	}
-	return int(h % uint32(shards))
 }
 
 // exporter is the scrape-side origin: a /metrics endpoint exposing two

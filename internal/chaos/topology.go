@@ -1,0 +1,549 @@
+// Topology drill: the sharded-fleet counterpart of the single-daemon
+// soak. One in-process coordinator and N scorer daemons run the real
+// production wiring (daemon.New with Config.Coord against the
+// coordinator's HTTP surface) while the partition fault family is
+// scripted against the control plane:
+//
+//   - coordinator unreachable — a scorer loses the coordinator entirely;
+//     it keeps scoring its last assignment and its alert forwards fail
+//     loudly (counted, never silently dropped);
+//   - lease expiry mid-flood — the silent scorer's shards are reassigned
+//     to the survivors while the stream is still being fed;
+//   - split-brain — the partitioned scorer's data plane heals first, so
+//     it keeps forwarding alerts for shards it no longer owns under a
+//     stale epoch, and every one must be fenced, not double-counted.
+//
+// Run reconciles the exact alert ledger at the end: every alert any
+// scorer raised is accounted for in exactly one bucket (accepted,
+// fenced, deduped, or transport-errored), the coordinator's accepted
+// stream holds no (node, time) twice, and recall over the steady-phase
+// ground truth stays above the floor.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodesentry/internal/coord"
+	"nodesentry/internal/core"
+	"nodesentry/internal/daemon"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+	"nodesentry/internal/telemetry"
+)
+
+// Partition modes, per scorer, flipped atomically mid-run.
+const (
+	partHealthy int32 = iota
+	// partControl fails only the membership endpoints: heartbeats and
+	// registration are dark, alert forwards and model pulls still flow.
+	// This is the split-brain shape — the scorer keeps acting on a stale
+	// assignment and the coordinator must fence it.
+	partControl
+	// partFull fails every request to the coordinator.
+	partFull
+)
+
+// partitionTransport injects coordinator-partition faults on a scorer's
+// client. The zero value is healthy.
+type partitionTransport struct {
+	base http.RoundTripper
+	mode atomic.Int32
+}
+
+func (p *partitionTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	switch p.mode.Load() {
+	case partFull:
+		return nil, fmt.Errorf("chaos: coordinator unreachable (injected)")
+	case partControl:
+		switch r.URL.Path {
+		case "/coord/register", "/coord/heartbeat", "/coord/leave":
+			return nil, fmt.Errorf("chaos: control plane partitioned (injected)")
+		}
+	}
+	return p.base.RoundTrip(r)
+}
+
+// TopologyConfig parameterizes one partition drill.
+type TopologyConfig struct {
+	// DS supplies telemetry and fault ground truth (required).
+	DS *dataset.Dataset
+	// Det is the trained incumbent every scorer runs (required).
+	Det *core.Detector
+	// Scorers is the fleet size (default and minimum 2; scorer 1 is the
+	// partition victim).
+	Scorers int
+	// TotalShards is the coordinator's partition-line count (default 8).
+	TotalShards int
+	// RecallFloor is the minimum fault recall over the steady phase
+	// (default 0.2).
+	RecallFloor float64
+	// SlackSec pads alert-to-fault matching (default 30*DS.Step).
+	SlackSec int64
+	// Logger, when non-nil, receives component logs.
+	Logger *slog.Logger
+}
+
+// TopologyReport is one drill's evidence, fully reconciled by Run.
+type TopologyReport struct {
+	// Scorers / TotalShards echo the topology.
+	Scorers, TotalShards int
+	// FinalEpoch is the assignment-table generation after recovery;
+	// Reassigns counts reassignment events in the coordinator journal.
+	FinalEpoch int64
+	Reassigns  int
+	// Ledger is the coordinator's exact alert accounting.
+	Ledger coord.Ledger
+	// Raised is every alert each scorer's own consumer delivered;
+	// ForwardErrors counts forwards that exhausted their retries against
+	// a partitioned coordinator. Raised == Ledger.Received+ForwardErrors.
+	Raised        int
+	ForwardErrors int64
+	// UniqueAccepted == Ledger.Accepted (no (node, time) double-counts).
+	UniqueAccepted int
+	// MatchedFaults / TotalFaults / Recall measure detection over the
+	// steady-phase ground truth, from the coordinator's accepted stream.
+	MatchedFaults, TotalFaults int
+	Recall                     float64
+}
+
+// topoScorer is one scorer daemon plus its drill-side instrumentation.
+type topoScorer struct {
+	id    string
+	d     *daemon.Daemon
+	part  *partitionTransport
+	reg   *obs.Registry
+	close func()
+
+	mu     sync.Mutex
+	raised []runtime.Alert
+}
+
+func (s *topoScorer) raisedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.raised)
+}
+
+// counterTotal scrapes one counter family's sum from a registry.
+func counterTotal(reg *obs.Registry, name string) int64 {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return 0
+	}
+	series, err := telemetry.ParseSeries(buf.String())
+	if err != nil {
+		return 0
+	}
+	var sum float64
+	for _, s := range series {
+		if s.Name == name {
+			sum += s.Value
+		}
+	}
+	return int64(sum + 0.5)
+}
+
+// RunTopology executes one partition cycle against a live 1-coordinator
+// + N-scorer topology and returns the reconciled report; any
+// unaccounted alert, double count, or recall regression is an error.
+func RunTopology(cfg TopologyConfig) (*TopologyReport, error) {
+	if cfg.DS == nil || cfg.Det == nil {
+		return nil, fmt.Errorf("chaos: topology needs DS and Det")
+	}
+	if cfg.Scorers < 2 {
+		cfg.Scorers = 2
+	}
+	if cfg.TotalShards <= 0 {
+		cfg.TotalShards = 8
+	}
+	if cfg.RecallFloor == 0 {
+		cfg.RecallFloor = 0.2
+	}
+	if cfg.SlackSec == 0 {
+		cfg.SlackSec = 30 * cfg.DS.Step
+	}
+
+	// Coordinator: short leases so expiry lands mid-drill, fast sweeps.
+	c := coord.New(coord.Config{
+		TotalShards:   cfg.TotalShards,
+		LeaseTTL:      400 * time.Millisecond,
+		SweepInterval: 50 * time.Millisecond,
+		Logger:        cfg.Logger,
+	})
+	defer c.Close()
+	srv := httptest.NewServer(obs.Handler(nil, nil, c.Mounts()...))
+	defer srv.Close()
+	runCtx, stopRun := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		c.Run(runCtx)
+	}()
+	defer func() { stopRun(); <-runDone }()
+
+	// Scorers: the real daemon wiring, each with its own partitionable
+	// client and metrics registry. Every scorer is fed the full stream —
+	// the shard filter is what partitions the work, exactly as a fleet
+	// fed by a non-assignment-aware broadcaster would behave.
+	scorers := make([]*topoScorer, cfg.Scorers)
+	for i := range scorers {
+		s := &topoScorer{
+			id:   fmt.Sprintf("scorer-%d", i),
+			part: &partitionTransport{base: http.DefaultTransport},
+			reg:  obs.NewRegistry(),
+		}
+		client := &http.Client{Timeout: 5 * time.Second, Transport: s.part}
+		d, err := daemon.New(daemon.Config{
+			Detector: cfg.Det, Step: cfg.DS.Step, ScoringWorkers: 2, Shards: 4,
+			Coord: &coord.AgentConfig{
+				ID:                s.id,
+				CoordinatorURL:    srv.URL,
+				HeartbeatInterval: 50 * time.Millisecond,
+				PullInterval:      -1,
+				Client:            client,
+			},
+			OnAlert: func(a runtime.Alert) {
+				s.mu.Lock()
+				s.raised = append(s.raised, a)
+				s.mu.Unlock()
+			},
+			Metrics: s.reg,
+			Logger:  cfg.Logger,
+		})
+		if err != nil {
+			for _, prev := range scorers[:i] {
+				prev.close()
+			}
+			return nil, fmt.Errorf("chaos: topology scorer %d: %w", i, err)
+		}
+		s.d = d
+		s.close = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = d.Close(ctx)
+			client.CloseIdleConnections()
+		}
+		scorers[i] = s
+	}
+	closeScorers := func() {
+		for _, s := range scorers {
+			s.close()
+		}
+	}
+	defer closeScorers()
+
+	t := &topo{cfg: cfg, c: c, scorers: scorers}
+	if err := t.drive(); err != nil {
+		return nil, err
+	}
+	// Quiesce fully (drain every scorer) before the final reconciliation.
+	closeScorers()
+	return t.reconcile()
+}
+
+type topo struct {
+	cfg     TopologyConfig
+	c       *coord.Coordinator
+	scorers []*topoScorer
+	rep     TopologyReport
+}
+
+// await polls cond until it returns nil or the deadline passes.
+func await(what string, d time.Duration, cond func() error) error {
+	deadline := time.Now().Add(d)
+	for {
+		err := cond()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: %s: %w", what, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// quiesce waits until the whole topology stops moving: the coordinator
+// ledger, every scorer's raised count, and every scorer's forward-error
+// counter unchanged for a stability window. Alert forwarding retries on
+// a 50ms backoff, so the window must comfortably exceed one retry run.
+func (t *topo) quiesce() error {
+	snapshot := func() string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%+v", t.c.LedgerSnapshot())
+		for _, s := range t.scorers {
+			fmt.Fprintf(&b, "|%d/%d", s.raisedCount(),
+				counterTotal(s.reg, "nodesentry_agent_forward_errors_total"))
+		}
+		return b.String()
+	}
+	last, since := snapshot(), time.Now()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		time.Sleep(25 * time.Millisecond)
+		cur := snapshot()
+		if cur != last {
+			last, since = cur, time.Now()
+			continue
+		}
+		if time.Since(since) > 500*time.Millisecond {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: topology did not quiesce")
+		}
+	}
+}
+
+// feed renders [from, to) shifted by offset and pushes the identical
+// JSONL stream through every scorer's decoder.
+func (t *topo) feed(from, to, offset int64) error {
+	var buf bytes.Buffer
+	for _, l := range phaseLines(t.cfg.DS, from, to, 1, offset) {
+		raw, err := json.Marshal(l)
+		if err != nil {
+			return fmt.Errorf("chaos: topology feed: %w", err)
+		}
+		buf.Write(raw)
+		buf.WriteByte('\n')
+	}
+	for _, s := range t.scorers {
+		if _, err := s.d.Decoder().PushJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+			return fmt.Errorf("chaos: topology feed %s: %w", s.id, err)
+		}
+	}
+	return nil
+}
+
+// filtersAtCurrentEpoch reports whether every live scorer has applied
+// the coordinator's current assignment table.
+func (t *topo) filtersAt(epoch int64, live func(i int) bool) func() error {
+	return func() error {
+		for i, s := range t.scorers {
+			if live != nil && !live(i) {
+				continue
+			}
+			if got := s.d.ShardFilter().Epoch(); got != epoch {
+				return fmt.Errorf("%s filter at epoch %d, want %d", s.id, got, epoch)
+			}
+		}
+		return nil
+	}
+}
+
+func (t *topo) drive() error {
+	ds := t.cfg.DS
+	split := ds.SplitTime()
+	midA := split + (ds.Horizon-split)*7/10
+	midA -= midA % ds.Step
+	span := ds.Horizon - split
+	victim := t.scorers[1]
+
+	// Every scorer joins; the table settles at one epoch per join.
+	if err := await("fleet forms", 10*time.Second, func() error {
+		if got := len(t.c.Scorers()); got != len(t.scorers) {
+			return fmt.Errorf("members = %d", got)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := await("assignments applied", 10*time.Second,
+		t.filtersAt(t.c.Epoch(), nil)); err != nil {
+		return err
+	}
+
+	// Phase 1 — steady state: disjoint ownership, every alert lands.
+	if err := t.feed(split, midA, 0); err != nil {
+		return err
+	}
+	if err := t.quiesce(); err != nil {
+		return err
+	}
+	led1 := t.c.LedgerSnapshot()
+	if led1.Accepted == 0 {
+		return fmt.Errorf("chaos: steady phase raised no accepted alerts")
+	}
+	if led1.Fenced != 0 || led1.Deduped != 0 {
+		return fmt.Errorf("chaos: steady phase not clean: %+v", led1)
+	}
+	epochSteady := t.c.Epoch()
+
+	// Phase 2 — coordinator unreachable + lease expiry mid-flood: the
+	// victim goes fully dark while the steady slice replays (shifted past
+	// the horizon, so it deterministically re-raises the phase 1 alerts).
+	// Half streams while the victim's lease is still live — its alerts
+	// all fail loudly against the unreachable coordinator — then its
+	// shards move to the survivors mid-stream.
+	victim.part.mode.Store(partFull)
+	mid1 := split + (midA-split)/2
+	mid1 -= mid1 % ds.Step
+	if err := t.feed(split, mid1, span); err != nil {
+		return err
+	}
+	if err := await("lease expiry reassigns", 10*time.Second, func() error {
+		if got := len(t.c.Scorers()); got != len(t.scorers)-1 {
+			return fmt.Errorf("members = %d", got)
+		}
+		if t.c.Epoch() == epochSteady {
+			return fmt.Errorf("epoch still %d", epochSteady)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Survivors must apply the widened assignment before the flood
+	// resumes — the drill's probe that handover happens mid-stream.
+	if err := await("survivors own the victim's shards", 10*time.Second,
+		t.filtersAt(t.c.Epoch(), func(i int) bool { return i != 1 })); err != nil {
+		return err
+	}
+	if err := t.feed(mid1, midA, span); err != nil {
+		return err
+	}
+	if err := t.quiesce(); err != nil {
+		return err
+	}
+	if got := counterTotal(victim.reg, "nodesentry_agent_forward_errors_total"); got == 0 {
+		return fmt.Errorf("chaos: unreachable phase errored no forwards on the victim")
+	}
+
+	// Phase 3 — split-brain: the victim's data plane heals first. It
+	// still holds its steady-state assignment, so everything it forwards
+	// for its lost shards carries a stale epoch and must be fenced. The
+	// steady slice replays shifted past the horizon — the same faults the
+	// victim alerted on in phase 1, now fenced because ownership moved.
+	victim.part.mode.Store(partControl)
+	fencedBefore := t.c.LedgerSnapshot().Fenced
+	if err := t.feed(split, midA, 2*span); err != nil {
+		return err
+	}
+	if err := t.quiesce(); err != nil {
+		return err
+	}
+	if got := t.c.LedgerSnapshot().Fenced; got == fencedBefore {
+		return fmt.Errorf("chaos: split-brain phase fenced nothing")
+	}
+
+	// Phase 4 — heal and recover: the victim re-registers on its next
+	// heartbeat, the table rebalances, and another shifted replay lands
+	// from both sides under the new epoch.
+	victim.part.mode.Store(partHealthy)
+	if err := await("victim rejoins", 10*time.Second, func() error {
+		if got := len(t.c.Scorers()); got != len(t.scorers) {
+			return fmt.Errorf("members = %d", got)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := await("rebalanced assignments applied", 10*time.Second,
+		t.filtersAt(t.c.Epoch(), nil)); err != nil {
+		return err
+	}
+	acceptedBefore := t.c.LedgerSnapshot().Accepted
+	if err := t.feed(split, midA, 3*span); err != nil {
+		return err
+	}
+	if err := t.quiesce(); err != nil {
+		return err
+	}
+	if got := t.c.LedgerSnapshot().Accepted; got == acceptedBefore {
+		return fmt.Errorf("chaos: recovered fleet accepted nothing")
+	}
+	return nil
+}
+
+// reconcile checks the exact ledger equations and computes recall.
+func (t *topo) reconcile() (*TopologyReport, error) {
+	rep := &t.rep
+	rep.Scorers, rep.TotalShards = len(t.scorers), t.cfg.TotalShards
+	rep.FinalEpoch = t.c.Epoch()
+	rep.Ledger = t.c.LedgerSnapshot()
+	for _, e := range t.c.Journal().Since(0) {
+		if e.Kind == coord.EventReassign {
+			rep.Reassigns++
+		}
+	}
+
+	var errs []string
+	for _, s := range t.scorers {
+		rep.Raised += s.raisedCount()
+		rep.ForwardErrors += counterTotal(s.reg, "nodesentry_agent_forward_errors_total")
+	}
+
+	// Zero lost in transit: every raised alert is accounted for exactly
+	// once — delivered (and ledgered) or a counted transport error.
+	if int64(rep.Raised) != rep.Ledger.Received+rep.ForwardErrors {
+		errs = append(errs, fmt.Sprintf("alert conservation: raised %d != received %d + errored %d",
+			rep.Raised, rep.Ledger.Received, rep.ForwardErrors))
+	}
+	// The coordinator's own accounting partitions exactly.
+	if rep.Ledger.Received != rep.Ledger.Accepted+rep.Ledger.Fenced+rep.Ledger.Deduped {
+		errs = append(errs, fmt.Sprintf("ledger does not balance: %+v", rep.Ledger))
+	}
+	// Zero duplicates: the accepted stream never holds (node, time) twice.
+	accepted := t.c.Accepted()
+	seen := map[string]bool{}
+	for _, e := range accepted {
+		k := fmt.Sprintf("%s@%d", e.Node, e.Time)
+		if seen[k] {
+			errs = append(errs, fmt.Sprintf("duplicate accepted alert %s", k))
+		}
+		seen[k] = true
+	}
+	rep.UniqueAccepted = len(seen)
+	if rep.UniqueAccepted != int(rep.Ledger.Accepted) {
+		errs = append(errs, fmt.Sprintf("accepted ledger %d vs %d unique envelopes",
+			rep.Ledger.Accepted, rep.UniqueAccepted))
+	}
+	if rep.Reassigns < 2 {
+		errs = append(errs, fmt.Sprintf("expected expiry+rejoin reassignments, saw %d", rep.Reassigns))
+	}
+
+	// Recall over the steady phase, from the coordinator's accepted
+	// stream — the fleet-level alert surface, not any one scorer's.
+	ds := t.cfg.DS
+	split := ds.SplitTime()
+	midA := split + (ds.Horizon-split)*7/10
+	midA -= midA % ds.Step
+	for _, f := range ds.Faults {
+		if f.Start < split || f.End > midA {
+			continue
+		}
+		rep.TotalFaults++
+		for _, e := range accepted {
+			if e.Node == f.Node && e.Time >= f.Start-2*ds.Step && e.Time <= f.End+t.cfg.SlackSec {
+				rep.MatchedFaults++
+				break
+			}
+		}
+	}
+	if rep.TotalFaults == 0 {
+		errs = append(errs, "no ground-truth faults inside the steady phase")
+	} else {
+		rep.Recall = float64(rep.MatchedFaults) / float64(rep.TotalFaults)
+		if rep.Recall < t.cfg.RecallFloor {
+			errs = append(errs, fmt.Sprintf("recall %.3f below floor %.3f (%d/%d faults)",
+				rep.Recall, t.cfg.RecallFloor, rep.MatchedFaults, rep.TotalFaults))
+		}
+	}
+
+	if len(errs) != 0 {
+		sort.Strings(errs)
+		return rep, fmt.Errorf("chaos: topology reconciliation failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return rep, nil
+}

@@ -1,0 +1,66 @@
+package chaos_test
+
+import (
+	"os"
+	"testing"
+
+	"nodesentry/internal/chaos"
+	"nodesentry/internal/testutil"
+)
+
+// TestTopologyPartition runs one full partition cycle against a live
+// 1-coordinator + 2-scorer topology: steady state, coordinator
+// unreachable, lease expiry mid-flood, split-brain fencing, heal and
+// rebalance — with the exact alert-ledger reconciliation (zero silently
+// lost, zero duplicates) done by RunTopology itself.
+func TestTopologyPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-topology partition drill")
+	}
+	ds, det := fixture(t)
+	defer testutil.CheckGoroutines(t)()
+
+	rep, err := chaos.RunTopology(chaos.TopologyConfig{DS: ds, Det: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("topology: scorers=%d epoch=%d reassigns=%d ledger=%+v raised=%d errored=%d recall=%.2f (%d/%d)",
+		rep.Scorers, rep.FinalEpoch, rep.Reassigns, rep.Ledger,
+		rep.Raised, rep.ForwardErrors, rep.Recall, rep.MatchedFaults, rep.TotalFaults)
+
+	// Run reconciled the exact equations; assert the drill's breadth on
+	// top: every partition mode left its fingerprint.
+	if rep.Ledger.Fenced == 0 {
+		t.Error("split-brain phase fenced nothing")
+	}
+	if rep.ForwardErrors == 0 {
+		t.Error("coordinator-unreachable phase errored no forwards")
+	}
+	if rep.Reassigns < 2 {
+		t.Errorf("reassignments = %d, want expiry + rejoin", rep.Reassigns)
+	}
+	if rep.FinalEpoch < 4 {
+		t.Errorf("final epoch = %d, want ≥4 (2 joins + expiry + rejoin)", rep.FinalEpoch)
+	}
+}
+
+// TestTopologySoakLong repeats the partition cycle back to back, gated
+// on NODESENTRY_SOAK so CI's regular lane stays fast. Each cycle builds
+// a fresh topology; surviving several proves the drill leaves nothing
+// behind (the goroutine gate would trip on any residue).
+func TestTopologySoakLong(t *testing.T) {
+	if os.Getenv("NODESENTRY_SOAK") == "" {
+		t.Skip("set NODESENTRY_SOAK=1 for the multi-cycle topology soak")
+	}
+	ds, det := fixture(t)
+	defer testutil.CheckGoroutines(t)()
+
+	for cycle := 0; cycle < 3; cycle++ {
+		rep, err := chaos.RunTopology(chaos.TopologyConfig{DS: ds, Det: det})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		t.Logf("cycle %d: ledger=%+v raised=%d errored=%d recall=%.2f",
+			cycle, rep.Ledger, rep.Raised, rep.ForwardErrors, rep.Recall)
+	}
+}

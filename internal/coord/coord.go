@@ -1,0 +1,126 @@
+// Package coord is NodeSentry's coordinator tier: the control plane that
+// turns many single-process scorer daemons into one sharded fleet,
+// modeled on the agent / cluster-agent split in datadog-agent. One
+// coordinator owns three things the scorers cannot decide alone:
+//
+//   - Membership. Scorers register over HTTP and heartbeat under a lease;
+//     a missed lease reassigns the dead scorer's shards across the
+//     survivors. Shards are the same FNV-1a partition lines the in-process
+//     ShardRouter uses (ingest.FNVShard), so "who owns node X" has one
+//     answer at every tier. Every assignment-table change increments an
+//     epoch; alerts arriving from a scorer that no longer owns the node's
+//     shard — or that owns it but under an older acquisition epoch — are
+//     fenced, not double-counted.
+//
+//   - Model distribution. The coordinator publishes into the
+//     sha256-manifest lifecycle.Store and serves it over /registry/;
+//     scorers pull the active version, verify the checksum against the
+//     manifest, and hot-swap — the fleet converges on one lineage.
+//
+//   - Fleet fan-in. The coordinator scrapes each scorer's /fleet/state,
+//     /fleet/events and /metrics, merges them into a single fleet-wide
+//     /fleet/* surface (the embedded dashboard renders the merged view
+//     unchanged), and aggregates forwarded alerts with per-source journal
+//     dedup and an exactly-once accepted-alert ledger.
+//
+// Everything is stdlib-only, like the rest of the module.
+package coord
+
+import (
+	"nodesentry/internal/runtime"
+)
+
+// ScorerInfo is one registered scorer as the coordinator sees it.
+type ScorerInfo struct {
+	// ID is the scorer's stable name (its daemon/journal source ID).
+	ID string `json:"id"`
+	// PushURL is the scorer's telemetry intake base URL — feeders ask the
+	// coordinator where a node's owner listens.
+	PushURL string `json:"push_url,omitempty"`
+	// ObsURL is the scorer's observability base URL (/metrics, /fleet/*),
+	// the surface the coordinator's fan-in sweep scrapes.
+	ObsURL string `json:"obs_url,omitempty"`
+	// RegisteredUnix / LastSeenUnix bound the scorer's lease history.
+	RegisteredUnix int64 `json:"registered_unix"`
+	LastSeenUnix   int64 `json:"last_seen_unix"`
+	// Shards are the partition indexes currently assigned to the scorer.
+	Shards []int `json:"shards"`
+}
+
+// Assignment is a scorer's view of the partition table: the shards it
+// owns, out of TotalShards, as of Epoch. It is returned from register and
+// every heartbeat; a scorer stamps Epoch into each alert it forwards so
+// the coordinator can fence stale senders.
+type Assignment struct {
+	Epoch       int64  `json:"epoch"`
+	Scorer      string `json:"scorer"`
+	Shards      []int  `json:"shards"`
+	TotalShards int    `json:"total_shards"`
+}
+
+// Owns reports whether the assignment includes shard.
+func (a Assignment) Owns(shard int) bool {
+	for _, s := range a.Shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// AlertEnvelope is one forwarded alert on the scorer→coordinator wire:
+// the alert's identity plus the provenance the coordinator fences on.
+type AlertEnvelope struct {
+	// Scorer and Epoch record who forwarded the alert and under which
+	// assignment epoch they believed they owned the node's shard.
+	Scorer string `json:"scorer"`
+	Epoch  int64  `json:"epoch"`
+
+	Node     string  `json:"node"`
+	Time     int64   `json:"time"`
+	Job      int64   `json:"job"`
+	Score    float64 `json:"score"`
+	Priority int     `json:"priority"`
+	Level    string  `json:"level,omitempty"`
+	// ModelEpoch is the detector generation that scored the window
+	// (runtime.Alert.Epoch), distinct from the assignment Epoch.
+	ModelEpoch int64 `json:"model_epoch,omitempty"`
+}
+
+// Envelope wraps a runtime alert for forwarding by scorer under epoch.
+func Envelope(a runtime.Alert, scorer string, epoch int64) AlertEnvelope {
+	return AlertEnvelope{
+		Scorer:     scorer,
+		Epoch:      epoch,
+		Node:       a.Node,
+		Time:       a.Time,
+		Job:        a.Job,
+		Score:      a.Score,
+		Priority:   int(a.Priority),
+		Level:      a.Diagnosis.Level,
+		ModelEpoch: a.Epoch,
+	}
+}
+
+// Alert intake verdicts (the "status" field of /coord/alerts responses).
+// Delivery is at-least-once and the response is always 2xx so retrying
+// senders stop; the status says what the ledger did:
+//
+//	accepted  — counted once, exactly; in the ledger
+//	fenced    — sender does not own the node's shard under a current
+//	            epoch; dropped without double-counting
+//	duplicate — (node, time) already accepted (a redelivery or a
+//	            re-scored window after reassignment)
+const (
+	VerdictAccepted  = "accepted"
+	VerdictFenced    = "fenced"
+	VerdictDuplicate = "duplicate"
+)
+
+// AlertVerdict is the /coord/alerts response body.
+type AlertVerdict struct {
+	Status string `json:"status"`
+	// Epoch is the coordinator's current assignment epoch — a fenced
+	// scorer learns from it that it must re-sync its assignment.
+	Epoch int64 `json:"epoch"`
+}

@@ -1,0 +1,79 @@
+package coord
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nodesentry/internal/core"
+	"nodesentry/internal/dataset"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/telemetry"
+)
+
+var (
+	fixOnce sync.Once
+	fixDS   *dataset.Dataset
+	fixDet  *core.Detector
+	fixErr  error
+)
+
+func fastOpts() core.Options {
+	o := core.DefaultOptions()
+	o.Epochs = 3
+	o.MaxWindowsPerCluster = 60
+	o.KMax = 4
+	o.RepSegments = 3
+	return o
+}
+
+// trainInputOf mirrors the public TrainInputFromDataset helper without
+// importing the root package.
+func trainInputOf(ds *dataset.Dataset) core.TrainInput {
+	in := core.TrainInput{
+		Frames:         ds.TrainFrames(),
+		Spans:          map[string][]mts.JobSpan{},
+		SemanticGroups: telemetry.SemanticIndex(ds.Catalog),
+	}
+	for _, node := range ds.Nodes() {
+		in.Spans[node] = ds.SpansForNode(node, 0, ds.SplitTime())
+	}
+	return in
+}
+
+// fixture trains one detector on the tiny dataset, shared across the
+// package's model-distribution tests (training dominates wall time).
+func fixture(tb testing.TB) (*dataset.Dataset, *core.Detector) {
+	tb.Helper()
+	fixOnce.Do(func() {
+		fixDS = dataset.Build(dataset.Tiny())
+		fixDet, fixErr = core.Train(trainInputOf(fixDS), fastOpts())
+	})
+	if fixErr != nil {
+		tb.Fatal(fixErr)
+	}
+	return fixDS, fixDet
+}
+
+// testClock is a hand-cranked Config.Clock: lease arithmetic under test
+// control, no sleeps.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,362 @@
+package coord
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nodesentry/internal/fleetview"
+	"nodesentry/internal/lifecycle"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/testutil"
+)
+
+// serveCoordinator mounts the coordinator on an httptest server exactly
+// as sentryd does: obs.Handler with the coordinator's mount seam. The
+// returned closer must run via defer (not t.Cleanup) so it precedes the
+// test's CheckGoroutines closer.
+func serveCoordinator(t *testing.T, c *Coordinator, reg *obs.Registry) (*httptest.Server, func()) {
+	t.Helper()
+	srv := httptest.NewServer(obs.Handler(reg, nil, c.Mounts()...))
+	return srv, func() {
+		srv.Close()
+		// The default client's keep-alive conns would read as leaks.
+		http.DefaultClient.CloseIdleConnections()
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer func() { _ = resp.Body.Close() }()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPRegisterHeartbeatAlerts(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	clk := newTestClock()
+	c := New(Config{TotalShards: 8, Clock: clk.now})
+	defer c.Close()
+	srv, closeSrv := serveCoordinator(t, c, nil)
+	defer closeSrv()
+
+	// Register two scorers over the wire.
+	var a1, a2 Assignment
+	decodeBody(t, postJSON(t, srv.URL+"/coord/register", ScorerInfo{ID: "scorer-a"}), &a1)
+	decodeBody(t, postJSON(t, srv.URL+"/coord/register", ScorerInfo{ID: "scorer-b"}), &a2)
+	if a2.Epoch != 2 || a2.TotalShards != 8 {
+		t.Fatalf("second register = %+v", a2)
+	}
+	// Heartbeat returns the refreshed assignment.
+	var hb Assignment
+	decodeBody(t, postJSON(t, srv.URL+"/coord/heartbeat", map[string]string{"id": "scorer-a"}), &hb)
+	if hb.Epoch != 2 || len(hb.Shards) == 0 {
+		t.Fatalf("heartbeat = %+v", hb)
+	}
+	// Unknown heartbeat is 410 Gone (re-register signal), not 404: the
+	// path exists, the lease doesn't.
+	resp := postJSON(t, srv.URL+"/coord/heartbeat", map[string]string{"id": "ghost"})
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("unknown heartbeat status = %d, want 410", resp.StatusCode)
+	}
+	// Malformed bodies are 400.
+	badResp, err := http.Post(srv.URL+"/coord/register", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed register status = %d, want 400", badResp.StatusCode)
+	}
+
+	// Alert intake over the wire: owner accepted, stale epoch fenced —
+	// and the response is always 200 so retrying senders stand down.
+	nodeB := nodeOwnedBy(t, c, "scorer-b")
+	var v AlertVerdict
+	decodeBody(t, postJSON(t, srv.URL+"/coord/alerts",
+		AlertEnvelope{Scorer: "scorer-b", Epoch: 2, Node: nodeB, Time: 500}), &v)
+	if v.Status != VerdictAccepted {
+		t.Fatalf("owner alert verdict = %+v", v)
+	}
+	decodeBody(t, postJSON(t, srv.URL+"/coord/alerts",
+		AlertEnvelope{Scorer: "scorer-a", Epoch: 2, Node: nodeB, Time: 501}), &v)
+	if v.Status != VerdictFenced {
+		t.Fatalf("non-owner alert verdict = %+v", v)
+	}
+
+	// The read side agrees.
+	var scorers []ScorerInfo
+	resp, err = http.Get(srv.URL + "/coord/scorers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &scorers)
+	if len(scorers) != 2 || scorers[0].ID != "scorer-a" {
+		t.Fatalf("scorers = %+v", scorers)
+	}
+	var led Ledger
+	resp, err = http.Get(srv.URL + "/coord/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &led)
+	if led.Received != 2 || led.Accepted != 1 || led.Fenced != 1 {
+		t.Fatalf("ledger = %+v", led)
+	}
+	var owner ScorerInfo
+	resp, err = http.Get(srv.URL + "/coord/owner/" + nodeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &owner)
+	if owner.ID != "scorer-b" {
+		t.Fatalf("owner = %+v", owner)
+	}
+}
+
+func TestHTTPRegistryPull(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	_, det := fixture(t)
+	store, err := lifecycle.OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := store.SaveVersion(det, "initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Activate(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{TotalShards: 4, Store: store})
+	defer c.Close()
+	srv, closeSrv := serveCoordinator(t, c, nil)
+	defer closeSrv()
+
+	var man Manifest
+	resp, err := http.Get(srv.URL + "/registry/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &man)
+	if !man.HasActive || man.Active.ID != v1.ID || len(man.Versions) != 1 {
+		t.Fatalf("manifest = %+v", man)
+	}
+
+	resp, err = http.Get(srv.URL + "/registry/model/" + v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("model pull: status %d err %v", resp.StatusCode, err)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != man.Active.SHA256 {
+		t.Fatal("served payload does not match manifest checksum")
+	}
+	if got := resp.Header.Get("X-Model-SHA256"); got != man.Active.SHA256 {
+		t.Fatalf("X-Model-SHA256 = %s", got)
+	}
+
+	// Unknown and quarantined versions are refused.
+	resp, err = http.Get(srv.URL + "/registry/model/v999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status = %d", resp.StatusCode)
+	}
+	if err := store.Quarantine(v1.ID, "test"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/registry/model/" + v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("quarantined model status = %d", resp.StatusCode)
+	}
+}
+
+// fakeScorer is a canned scorer observability surface for fan-in tests:
+// a fleetview journal + static state + metrics, served over httptest.
+type fakeScorer struct {
+	id      string
+	journal *fleetview.Journal
+	state   fleetview.FleetState
+	metrics string
+	srv     *httptest.Server
+}
+
+func newFakeScorer(t *testing.T, id string, nodes []string) *fakeScorer {
+	t.Helper()
+	f := &fakeScorer{id: id, journal: fleetview.NewJournal(64)}
+	f.journal.SetSource(id)
+	for _, n := range nodes {
+		f.state.Nodes = append(f.state.Nodes, fleetview.NodeState{Node: n, Ready: true, Score: 0.5})
+	}
+	f.state.Seq = 7
+	f.metrics = "nodesentry_alerts_total 3\nnodesentry_shard_processed_total{shard=\"0\"} 11\n"
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(f.state)
+	})
+	mux.Handle("GET /fleet/events", fleetview.EventsServer{Journal: f.journal, Bus: fleetview.NewBus()})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprint(w, f.metrics)
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+func TestSweepFanInMergesStateEventsMetrics(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	clk := newTestClock()
+	c := New(Config{TotalShards: 8, Clock: clk.now})
+	defer c.Close()
+	srv, closeSrv := serveCoordinator(t, c, nil)
+	defer closeSrv()
+
+	// Two fake scorers; each will be asked only about nodes it owns, but
+	// both *report* an overlapping node — the merged view must fence the
+	// non-owner's row out.
+	sA := newFakeScorer(t, "scorer-a", nil)
+	defer sA.srv.Close()
+	sB := newFakeScorer(t, "scorer-b", nil)
+	defer sB.srv.Close()
+	c.Register(ScorerInfo{ID: "scorer-a", ObsURL: sA.srv.URL})
+	c.Register(ScorerInfo{ID: "scorer-b", ObsURL: sB.srv.URL})
+	nodeA := nodeOwnedBy(t, c, "scorer-a")
+	nodeB := nodeOwnedBy(t, c, "scorer-b")
+	sA.state.Nodes = []fleetview.NodeState{{Node: nodeA, Ready: true}, {Node: nodeB, Ready: true}}
+	sB.state.Nodes = []fleetview.NodeState{{Node: nodeB, Ready: true}}
+	sA.journal.Append(fleetview.Event{Kind: "alert", Node: nodeA})
+	sB.journal.Append(fleetview.Event{Kind: "alert", Node: nodeB})
+
+	c.Sweep()
+
+	// Merged state: one row per node, each from its owner.
+	var st fleetview.FleetState
+	resp, err := http.Get(srv.URL + "/fleet/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &st)
+	if len(st.Nodes) != 2 {
+		t.Fatalf("merged state has %d rows, want 2 (non-owner row fenced): %+v", len(st.Nodes), st.Nodes)
+	}
+	// Merged journal: both scorer events present, namespaced.
+	bySrc := map[string]int{}
+	for _, e := range c.Journal().Since(0) {
+		bySrc[e.Src]++
+	}
+	if bySrc["scorer-a"] != 1 || bySrc["scorer-b"] != 1 {
+		t.Fatalf("merged journal sources = %v", bySrc)
+	}
+	// A second sweep re-replays the scorer journals; per-source cursors
+	// dedup them — no event appears twice.
+	c.Sweep()
+	if tot := c.Journal().Totals(); tot["alert"] != 2 {
+		t.Fatalf("after re-sweep journal holds %d alerts, want 2 (deduped)", tot["alert"])
+	}
+	// New events still flow after the dedup cursor.
+	sB.journal.Append(fleetview.Event{Kind: "alert", Node: nodeB, Detail: "second"})
+	c.Sweep()
+	if tot := c.Journal().Totals(); tot["alert"] != 3 {
+		t.Fatalf("fresh event lost to dedup: %v", tot)
+	}
+
+	// Merged metrics: series summed across scorers by identity.
+	resp, err = http.Get(srv.URL + "/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(body), "nodesentry_alerts_total 6") {
+		t.Fatalf("merged metrics missing summed series:\n%s", body)
+	}
+
+	// Merged events serve over the same /fleet/events shape, SSE included.
+	resp, err = http.Get(srv.URL + "/fleet/events?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []fleetview.Event
+	decodeBody(t, resp, &events)
+	alerts := 0
+	for _, e := range events {
+		if e.Kind == "alert" {
+			alerts++
+		}
+	}
+	if alerts != 3 {
+		t.Fatalf("merged events carry %d alerts, want 3: %+v", alerts, events)
+	}
+
+	// The dashboard renders over the merged surface.
+	resp, err = http.Get(srv.URL + "/fleet/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "coordinator") {
+		t.Fatalf("dashboard status %d", resp.StatusCode)
+	}
+}
+
+func TestFanInSurvivesScorerOutage(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	clk := newTestClock()
+	reg := obs.NewRegistry()
+	c := New(Config{TotalShards: 4, Clock: clk.now, Metrics: reg, LeaseTTL: time.Hour})
+	defer c.Close()
+	s := newFakeScorer(t, "scorer-a", []string{"n1"})
+	defer s.srv.Close() // idempotent with the mid-test Close
+	c.Register(ScorerInfo{ID: "scorer-a", ObsURL: s.srv.URL})
+	c.Sweep()
+	if st := c.MergedState(); len(st.Nodes) != 1 {
+		t.Fatalf("merged state rows = %d", len(st.Nodes))
+	}
+	// The scorer's obs endpoint dies; the sweep records errors but keeps
+	// the last good state (the lease, not the scrape, decides liveness).
+	s.srv.Close()
+	c.Sweep()
+	if st := c.MergedState(); len(st.Nodes) != 1 {
+		t.Fatalf("outage evicted cached state: %d rows", len(st.Nodes))
+	}
+	snap := testutil.SnapshotCounters(map[string]*obs.Counter{
+		"errs": reg.Counter("nodesentry_coord_fanin_errors_total"),
+	})
+	c.Sweep()
+	snap.ExpectDelta(t, "errs", 3) // state + events + metrics all failed
+}

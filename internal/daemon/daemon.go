@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nodesentry/internal/coord"
 	"nodesentry/internal/core"
 	"nodesentry/internal/fleetview"
 	"nodesentry/internal/ingest"
@@ -78,6 +79,14 @@ type Config struct {
 	Store     *lifecycle.Store
 	ActiveID  string
 
+	// Coord, when non-nil, runs this daemon as a scorer in a sharded
+	// fleet: a coord.Agent registers with the coordinator, heartbeats the
+	// lease, installs every assignment into a ShardFilter between the
+	// decoder and the shard router, forwards each alert under the current
+	// epoch, and keeps the detector synced to the coordinator's model
+	// registry. Nil keeps the standalone wiring byte-identical.
+	Coord *coord.AgentConfig
+
 	// FleetView, when non-nil, runs the fleet-state aggregator (vicinity
 	// residuals, event journal, dashboard APIs) against the monitor; serve
 	// its endpoints by passing Daemon.FleetView().Mounts() to obs.Serve.
@@ -99,6 +108,8 @@ type Daemon struct {
 	fv     *fleetview.Aggregator
 	router *ingest.ShardRouter
 	dec    *ingest.Decoder
+	filter *coord.ShardFilter
+	agent  *coord.Agent
 
 	srv      *http.Server
 	addr     string
@@ -110,6 +121,8 @@ type Daemon struct {
 	lcDone     chan struct{}
 	lcCancel   context.CancelFunc
 	fvDone     chan struct{}
+	agDone     chan struct{}
+	agCancel   context.CancelFunc
 
 	closeOnce sync.Once
 	closeErr  error
@@ -137,6 +150,7 @@ func New(cfg Config) (*Daemon, error) {
 		scrapeDone: make(chan struct{}),
 		lcDone:     make(chan struct{}),
 		fvDone:     make(chan struct{}),
+		agDone:     make(chan struct{}),
 	}
 
 	// Alert consumer: every alert is logged; with a webhook each is also
@@ -151,6 +165,11 @@ func New(cfg Config) (*Daemon, error) {
 			Metrics:    cfg.Metrics,
 		}
 	}
+	// In scorer mode every alert is additionally forwarded to the
+	// coordinator; the agent is built after the router below, so the
+	// consumer reaches it through an atomic pointer (same bridge as the
+	// fleetview aggregator uses for lifecycle events).
+	var agPtr atomic.Pointer[coord.Agent]
 	d.consumer.Add(1)
 	go func() {
 		defer d.consumer.Done()
@@ -162,6 +181,11 @@ func New(cfg Config) (*Daemon, error) {
 			if sink != nil {
 				if err := sink.Send(a); err != nil && cfg.Logger != nil {
 					cfg.Logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
+				}
+			}
+			if ag := agPtr.Load(); ag != nil {
+				if _, err := ag.ForwardAlert(a); err != nil && cfg.Logger != nil {
+					cfg.Logger.Warn("alert forward failed", "node", a.Node, "err", err)
 				}
 			}
 			if cfg.OnAlert != nil {
@@ -222,6 +246,11 @@ func New(cfg Config) (*Daemon, error) {
 		if fvCfg.Logger == nil {
 			fvCfg.Logger = cfg.Logger
 		}
+		if fvCfg.Source == "" && cfg.Coord != nil {
+			// Scorer events carry the daemon's identity so the
+			// coordinator's merged feed stays gap-free per source.
+			fvCfg.Source = cfg.Coord.ID
+		}
 		d.fv = fleetview.New(mon, fvCfg)
 		fvPtr.Store(d.fv)
 		fv := d.fv
@@ -237,7 +266,45 @@ func New(cfg Config) (*Daemon, error) {
 		Shards: cfg.Shards, QueueSize: cfg.QueueSize, Policy: cfg.Policy,
 		Metrics: cfg.Metrics, Logger: cfg.Logger,
 	})
-	d.dec = ingest.NewDecoder(d.router, ingest.DecoderConfig{Metrics: cfg.Metrics, Logger: cfg.Logger})
+
+	// Scorer mode: the shard filter sits between the decoder and the
+	// router, so samples for unowned shards are dropped before they cost a
+	// queue slot. Standalone (Coord nil) wires the decoder straight to the
+	// router — byte-identical to the pre-coordinator daemon.
+	decSink := ingest.Sink(d.router)
+	agCtx, agCancel := context.WithCancel(context.Background())
+	d.agCancel = agCancel
+	if cfg.Coord != nil {
+		d.filter = coord.NewShardFilter(d.router, cfg.Metrics)
+		decSink = d.filter
+		acfg := *cfg.Coord
+		if acfg.Metrics == nil {
+			acfg.Metrics = cfg.Metrics
+		}
+		if acfg.Logger == nil {
+			acfg.Logger = cfg.Logger
+		}
+		ag, err := coord.NewAgent(acfg, d.filter, mon)
+		if err != nil {
+			d.router.Drain()
+			lcCancel()
+			<-d.lcDone
+			<-d.fvDone
+			mon.Close()
+			d.consumer.Wait()
+			return nil, err
+		}
+		d.agent = ag
+		agPtr.Store(ag)
+		go func() {
+			defer close(d.agDone)
+			ag.Run(agCtx)
+		}()
+	} else {
+		close(d.agDone)
+	}
+
+	d.dec = ingest.NewDecoder(decSink, ingest.DecoderConfig{Metrics: cfg.Metrics, Logger: cfg.Logger})
 	for node, metrics := range cfg.Layouts {
 		d.dec.Register(node, metrics)
 	}
@@ -290,6 +357,13 @@ func (d *Daemon) FleetView() *fleetview.Aggregator { return d.fv }
 // Router returns the shard router.
 func (d *Daemon) Router() *ingest.ShardRouter { return d.router }
 
+// Agent returns the coordinator client (nil without Config.Coord).
+func (d *Daemon) Agent() *coord.Agent { return d.agent }
+
+// ShardFilter returns the assignment-enforcing filter between decoder
+// and router (nil without Config.Coord).
+func (d *Daemon) ShardFilter() *coord.ShardFilter { return d.filter }
+
 // Decoder returns the shared decoder (register late-arriving layouts
 // through it).
 func (d *Daemon) Decoder() *ingest.Decoder { return d.dec }
@@ -328,6 +402,10 @@ func (d *Daemon) Close(ctx context.Context) error {
 		<-d.fvDone
 		d.mon.Close()
 		d.consumer.Wait()
+		// The agent outlives the consumer so the last drained alerts still
+		// forward; its shutdown path deregisters gracefully.
+		d.agCancel()
+		<-d.agDone
 		if d.fv != nil {
 			// After the monitor closes no tap fires; Close just ends any
 			// remaining SSE streams.

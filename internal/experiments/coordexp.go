@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nodesentry/internal/coord"
+	"nodesentry/internal/obs"
+)
+
+// CoordResult holds the coordinator tier's measured costs: partition-table
+// recomputes under membership churn and alert fan-in through the fencing
+// ledger. Both sit on the control plane's hot paths — a sweep that expires
+// a lease pays the assign cost, every forwarded alert pays the fan-in
+// cost — so their trajectory belongs in BENCH_obs.json next to the scorer
+// pipeline stages.
+type CoordResult struct {
+	Scorers     int
+	TotalShards int
+
+	ChurnCycles int
+	AssignMean  time.Duration
+	FinalEpoch  int64
+
+	Alerts     int
+	AcceptMean time.Duration
+	ReplayMean time.Duration
+	Ledger     coord.Ledger
+}
+
+// Coord measures the fleet control plane in-process: (a) membership churn
+// — a rotating scorer leaves and rejoins, forcing two partition-table
+// recomputes per cycle over the full shard range — and (b) alert fan-in —
+// a pre-resolved envelope stream through Accept, first pass all-accepted,
+// second pass all-deduplicated. Spans coord_assign and coord_fanin land
+// in the tracer.
+func Coord(w io.Writer, s Scale, tr *obs.Tracer) (CoordResult, error) {
+	scorers, shards, cycles, alerts := 32, 256, 1000, 20000
+	if s == Quick {
+		scorers, shards, cycles, alerts = 8, 64, 200, 4000
+	}
+
+	c := coord.New(coord.Config{
+		TotalShards: shards,
+		// The dedup window must hold the whole first pass, or FIFO
+		// eviction lets replayed envelopes through as fresh accepts and
+		// the second pass stops measuring the duplicate path.
+		DedupWindow: alerts + 1,
+		LedgerSize:  2 * alerts,
+	})
+	defer c.Close()
+
+	res := CoordResult{Scorers: scorers, TotalShards: shards, ChurnCycles: cycles, Alerts: alerts}
+
+	id := func(i int) string { return fmt.Sprintf("scorer-%03d", i) }
+	for i := 0; i < scorers; i++ {
+		c.Register(coord.ScorerInfo{ID: id(i)})
+	}
+
+	// (a) Membership churn: each cycle drops one member and re-admits it,
+	// which is the shape of a lease expiry followed by the scorer's
+	// re-register — two full recomputes of the shard→owner table.
+	sp := tr.Start("coord_assign")
+	t0 := time.Now()
+	for i := 0; i < cycles; i++ {
+		victim := id(i % scorers)
+		c.Leave(victim)
+		c.Register(coord.ScorerInfo{ID: victim})
+	}
+	assignWall := time.Since(t0)
+	sp.AddItems(int64(cycles))
+	sp.End()
+	res.AssignMean = assignWall / time.Duration(cycles)
+	res.FinalEpoch = c.Epoch()
+
+	// (b) Alert fan-in: envelopes pre-resolved to each node's rightful
+	// owner under the current epoch, so the timed loop is pure intake —
+	// fence check, dedup probe, ledger write, journal append.
+	epoch := c.Epoch()
+	envs := make([]coord.AlertEnvelope, alerts)
+	for i := range envs {
+		node := fmt.Sprintf("node-%05d", i%(4*shards))
+		owner, ok := c.Owner(node)
+		if !ok {
+			return res, fmt.Errorf("experiments: node %s has no owner", node)
+		}
+		envs[i] = coord.AlertEnvelope{
+			Scorer: owner.ID, Epoch: epoch,
+			Node: node, Time: int64(i), Score: 5, Priority: 1, Level: "warning",
+		}
+	}
+	sp = tr.Start("coord_fanin")
+	t1 := time.Now()
+	for _, env := range envs {
+		if v := c.Accept(env); v.Status != coord.VerdictAccepted {
+			return res, fmt.Errorf("experiments: fresh envelope got verdict %q", v.Status)
+		}
+	}
+	acceptWall := time.Since(t1)
+	t2 := time.Now()
+	for _, env := range envs {
+		if v := c.Accept(env); v.Status != coord.VerdictDuplicate {
+			return res, fmt.Errorf("experiments: replayed envelope got verdict %q", v.Status)
+		}
+	}
+	replayWall := time.Since(t2)
+	sp.AddItems(int64(2 * alerts))
+	sp.End()
+	res.AcceptMean = acceptWall / time.Duration(alerts)
+	res.ReplayMean = replayWall / time.Duration(alerts)
+	res.Ledger = c.LedgerSnapshot()
+
+	pr := &report{w: w}
+	pr.println("Coordinator tier (membership churn + alert fan-in)")
+	pr.printf("  fleet:   %d scorers over %d shards, final epoch %d\n", res.Scorers, res.TotalShards, res.FinalEpoch)
+	pr.printf("  assign:  %d leave+rejoin cycles, %v mean per cycle\n", res.ChurnCycles, res.AssignMean.Round(time.Nanosecond))
+	pr.printf("  fan-in:  %d accepts %v mean, %d dedup hits %v mean\n",
+		res.Alerts, res.AcceptMean.Round(time.Nanosecond), res.Alerts, res.ReplayMean.Round(time.Nanosecond))
+	pr.printf("  ledger:  %+v\n", res.Ledger)
+	return res, pr.Err()
+}

@@ -360,3 +360,32 @@ func TestFleetViewShape(t *testing.T) {
 		}
 	}
 }
+
+func TestCoordShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Coord(&buf, Quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scorers == 0 || res.ChurnCycles == 0 || res.Alerts == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.AssignMean <= 0 || res.AcceptMean <= 0 || res.ReplayMean <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	// Every churn cycle is a leave + rejoin: two table recomputes, so the
+	// epoch must have advanced at least twice per cycle past the joins.
+	if res.FinalEpoch < int64(2*res.ChurnCycles) {
+		t.Fatalf("epoch %d after %d churn cycles", res.FinalEpoch, res.ChurnCycles)
+	}
+	led := res.Ledger
+	if led.Accepted != int64(res.Alerts) || led.Deduped != int64(res.Alerts) || led.Fenced != 0 {
+		t.Fatalf("ledger off: %+v for %d alerts", led, res.Alerts)
+	}
+	out := buf.String()
+	for _, want := range []string{"assign:", "fan-in:", "ledger:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -44,6 +44,15 @@ type Config struct {
 	RecentWindows int
 	// JournalSize bounds the event journal ring (default 2048).
 	JournalSize int
+	// Source, when set, namespaces every journaled event with this daemon
+	// ID (Event.Src/SrcSeq) so a coordinator merging several scorer feeds
+	// can dedup replays per source. Empty (the default) leaves the
+	// standalone wire format untouched.
+	Source string
+	// ResidualHistory is the per-node ring of retained vicinity residual
+	// evaluations (default 64) served by /fleet/nodes/{node} — the
+	// sustained-divergence trace a single latest value can't show.
+	ResidualHistory int
 
 	// MinPeers is the minimum job-peer group size for vicinity residuals
 	// (default 3): below it the median/MAD are too fragile to accuse a
@@ -97,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.JournalSize <= 0 {
 		c.JournalSize = 2048
 	}
+	if c.ResidualHistory <= 0 {
+		c.ResidualHistory = 64
+	}
 	if c.MinPeers <= 0 {
 		c.MinPeers = 3
 	}
@@ -143,6 +155,12 @@ type nodeHist struct {
 	vicDist  float64
 	peers    int
 
+	// Residual evaluation history (one entry per Evaluate pass in which
+	// the node had a usable peer group).
+	resRing []ResidualPoint
+	resHead int
+	resN    int
+
 	lastVicAlert int64
 
 	// Per-node residual gauges (nil when metrics are disabled).
@@ -170,6 +188,37 @@ func (h *nodeHist) last(k int) []Point {
 	}
 	for i := 0; i < k; i++ {
 		out = append(out, h.ring[(start+i)%len(h.ring)])
+	}
+	return out
+}
+
+// ResidualPoint is one vicinity evaluation's outcome for a node: the
+// robust-z residuals of both signals against its job peers at Ts (0 when
+// the signal was not evaluable) and the peer-group size.
+type ResidualPoint struct {
+	Ts    int64   `json:"ts"`
+	Score float64 `json:"score"`
+	Dist  float64 `json:"dist"`
+	Peers int     `json:"peers"`
+}
+
+func (h *nodeHist) pushResidual(p ResidualPoint) {
+	h.resRing[h.resHead] = p
+	h.resHead = (h.resHead + 1) % len(h.resRing)
+	if h.resN < len(h.resRing) {
+		h.resN++
+	}
+}
+
+// residuals returns the retained evaluation history, oldest first.
+func (h *nodeHist) residuals() []ResidualPoint {
+	out := make([]ResidualPoint, 0, h.resN)
+	start := h.resHead - h.resN
+	if start < 0 {
+		start += len(h.resRing)
+	}
+	for i := 0; i < h.resN; i++ {
+		out = append(out, h.resRing[(start+i)%len(h.resRing)])
 	}
 	return out
 }
@@ -260,6 +309,7 @@ func New(mon *runtime.Monitor, cfg Config) *Aggregator {
 		log:     cfg.Logger,
 		done:    make(chan struct{}),
 	}
+	a.journal.SetSource(cfg.Source)
 	mon.Tap(runtime.Hooks{
 		OnMatch:  a.onMatch,
 		OnScores: a.onScores,
@@ -314,7 +364,7 @@ type ctxDone interface{ Done() <-chan struct{} }
 func (a *Aggregator) state(node string) *nodeHist {
 	h, ok := a.nodes[node]
 	if !ok {
-		h = &nodeHist{ring: make([]Point, a.cfg.History), cluster: -1, lastDist: nan}
+		h = &nodeHist{ring: make([]Point, a.cfg.History), resRing: make([]ResidualPoint, a.cfg.ResidualHistory), cluster: -1, lastDist: nan}
 		if a.reg != nil {
 			h.resScoreG = a.reg.Gauge("nodesentry_vicinity_residual", "node", node, "signal", "score")
 			h.resDistG = a.reg.Gauge("nodesentry_vicinity_residual", "node", node, "signal", "distance")

@@ -108,10 +108,12 @@ func (a *Aggregator) State(sparkN int) FleetState {
 }
 
 // NodeDetail is the /fleet/nodes/{node} response: the node's full
-// retained ring plus its latest status row.
+// retained ring plus its latest status row and the last R vicinity
+// residual evaluations (sustained divergence, not just the latest value).
 type NodeDetail struct {
 	NodeState
-	History []Point `json:"history"`
+	History   []Point         `json:"history"`
+	Residuals []ResidualPoint `json:"residuals,omitempty"`
 }
 
 // nodeDetail returns the detail view, or false if the aggregator has
@@ -129,8 +131,10 @@ func (a *Aggregator) nodeDetail(node string) (NodeDetail, bool) {
 	a.mu.Lock()
 	h, ok := a.nodes[node]
 	var hist []Point
+	var res []ResidualPoint
 	if ok {
 		hist = h.last(h.n)
+		res = h.residuals()
 		if !found {
 			// Seen by the tap but already gone from the monitor snapshot;
 			// serve what the ring remembers.
@@ -144,7 +148,7 @@ func (a *Aggregator) nodeDetail(node string) (NodeDetail, bool) {
 	if !found {
 		return NodeDetail{}, false
 	}
-	return NodeDetail{NodeState: row, History: hist}, true
+	return NodeDetail{NodeState: row, History: hist, Residuals: res}, true
 }
 
 // Handler returns the /fleet/ HTTP handler tree:
@@ -210,9 +214,39 @@ func (a *Aggregator) serveNode(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *Aggregator) serveEvents(w http.ResponseWriter, r *http.Request) {
+	EventsServer{
+		Journal:   a.journal,
+		Bus:       a.bus,
+		Buffer:    a.cfg.SSEBuffer,
+		KeepAlive: a.cfg.KeepAlive,
+		Done:      a.done,
+		OnClients: func(delta int) { a.met.sseClients.Add(float64(delta)) },
+	}.ServeHTTP(w, r)
+}
+
+// EventsServer serves a journal+bus pair as the /fleet/events endpoint:
+// JSON replay (?since=seq) by default, a live Server-Sent-Events stream
+// when the client asks (Accept: text/event-stream or ?stream=1). The
+// aggregator's own endpoint and the coordinator's merged feed are both
+// this handler over different journals.
+type EventsServer struct {
+	Journal *Journal
+	Bus     *Bus
+	// Buffer is the per-client SSE queue capacity; KeepAlive the
+	// comment-ping interval.
+	Buffer    int
+	KeepAlive time.Duration
+	// Done, when non-nil, ends every open stream when closed.
+	Done <-chan struct{}
+	// OnClients, when non-nil, observes stream open(+1)/close(-1) — the
+	// gauge hook.
+	OnClients func(delta int)
+}
+
+func (s EventsServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	since := uint64(0)
-	if s := r.URL.Query().Get("since"); s != "" {
-		n, err := strconv.ParseUint(s, 10, 64)
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
 			http.Error(w, "bad since", http.StatusBadRequest)
 			return
@@ -226,28 +260,38 @@ func (a *Aggregator) serveEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !stream {
-		writeJSON(w, a.journal.Since(since))
+		writeJSON(w, s.Journal.Since(since))
 		return
 	}
-	a.streamEvents(w, r, since)
+	s.stream(w, r, since)
 }
 
-// streamEvents serves the SSE live feed. The whole stream runs on this
+// stream serves the SSE live feed. The whole stream runs on this
 // request's own goroutine — no per-client goroutines exist anywhere in
 // the path (Bus.Publish fans out inline), so a disconnect unwinds
 // everything via defer and nothing can leak. Subscribe happens *before*
 // the journal replay and replayed sequence numbers are deduplicated, so
 // no event falls in the gap between replay and live.
-func (a *Aggregator) streamEvents(w http.ResponseWriter, r *http.Request, since uint64) {
+func (s EventsServer) stream(w http.ResponseWriter, r *http.Request, since uint64) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
 		return
 	}
-	ch := a.bus.Subscribe(a.cfg.SSEBuffer)
-	defer a.bus.Unsubscribe(ch)
-	a.met.sseClients.Add(1)
-	defer a.met.sseClients.Add(-1)
+	buffer := s.Buffer
+	if buffer <= 0 {
+		buffer = 64
+	}
+	keepAlive := s.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = 15 * time.Second
+	}
+	ch := s.Bus.Subscribe(buffer)
+	defer s.Bus.Unsubscribe(ch)
+	if s.OnClients != nil {
+		s.OnClients(1)
+		defer s.OnClients(-1)
+	}
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -271,21 +315,21 @@ func (a *Aggregator) streamEvents(w http.ResponseWriter, r *http.Request, since 
 		fl.Flush()
 		return true
 	}
-	for _, e := range a.journal.Since(since) {
+	for _, e := range s.Journal.Since(since) {
 		if !send(e) {
 			return
 		}
 	}
 	fl.Flush()
 
-	keep := time.NewTicker(a.cfg.KeepAlive)
+	keep := time.NewTicker(keepAlive)
 	defer keep.Stop()
 	ctx := r.Context()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-a.done:
+		case <-s.Done:
 			return
 		case e := <-ch:
 			if !send(e) {
@@ -303,17 +347,38 @@ func (a *Aggregator) streamEvents(w http.ResponseWriter, r *http.Request, since 
 }
 
 func (a *Aggregator) serveDashboard(w http.ResponseWriter, r *http.Request) {
+	renderDashboard(w, "nodesentry fleet", a.cfg.VicinityThreshold)
+}
+
+func renderDashboard(w http.ResponseWriter, title string, threshold float64) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	err := dashboardTmpl.Execute(w, struct {
 		Title             string
 		VicinityThreshold float64
 	}{
-		Title:             "nodesentry fleet",
-		VicinityThreshold: a.cfg.VicinityThreshold,
+		Title:             title,
+		VicinityThreshold: threshold,
 	})
 	if err != nil {
 		// Template data is static and the template parses at init; an
 		// error here means the client went away mid-write.
 		return
 	}
+}
+
+// DashboardHandler serves the embedded d3 dashboard standalone — the
+// coordinator mounts it over its *merged* fleet surface, so one binary
+// renders both the per-daemon and the fleet-wide view from the same
+// template. The page only talks to /fleet/state, /fleet/nodes/{id} and
+// /fleet/events, whatever serves them.
+func DashboardHandler(title string, vicinityThreshold float64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		renderDashboard(w, title, vicinityThreshold)
+	})
+}
+
+// AssetsHandler serves the embedded /fleet/assets/ tree standalone
+// (companion to DashboardHandler for non-Aggregator mounts).
+func AssetsHandler() http.Handler {
+	return http.StripPrefix("/fleet/", http.FileServerFS(assetsFS))
 }

@@ -7,7 +7,15 @@ import "sync"
 // chaos fault. Events carry a monotone Seq so SSE clients can detect gaps
 // and re-sync from the JSON journal (`/fleet/events?since=`).
 type Event struct {
-	Seq    uint64  `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Src names the daemon whose journal first stamped the event and
+	// SrcSeq is its sequence number there. Seq alone is only monotone
+	// within one journal; when a coordinator fans several scorer journals
+	// into one merged feed, (Src, SrcSeq) is the identity that stays
+	// gap-free and dedupable across replays. Standalone daemons leave Src
+	// empty and the fields vanish from the JSON (omitempty).
+	Src    string  `json:"src,omitempty"`
+	SrcSeq uint64  `json:"src_seq,omitempty"`
 	Ts     int64   `json:"ts"`
 	Kind   string  `json:"kind"`
 	Node   string  `json:"node,omitempty"`
@@ -19,12 +27,14 @@ type Event struct {
 // Totals keeps the per-kind counts forever so ledger reconciliation (the
 // chaos soak's exact-accounting check) survives eviction.
 type Journal struct {
-	mu     sync.Mutex
-	ring   []Event
-	head   int
-	n      int
-	seq    uint64
-	totals map[string]uint64
+	mu      sync.Mutex
+	ring    []Event
+	head    int
+	n       int
+	seq     uint64
+	source  string
+	cursors map[string]uint64 // per-source high-water SrcSeq
+	totals  map[string]uint64
 }
 
 // NewJournal builds a journal holding at most size events (minimum 1).
@@ -32,23 +42,70 @@ func NewJournal(size int) *Journal {
 	if size < 1 {
 		size = 1
 	}
-	return &Journal{ring: make([]Event, size), totals: map[string]uint64{}}
+	return &Journal{ring: make([]Event, size), cursors: map[string]uint64{}, totals: map[string]uint64{}}
+}
+
+// SetSource names this journal's daemon; locally-appended events are
+// stamped Src=source so a coordinator merging several feeds can tell them
+// apart. Empty (the default) leaves events un-namespaced — the standalone
+// wire format is unchanged.
+func (j *Journal) SetSource(source string) {
+	j.mu.Lock()
+	j.source = source
+	j.mu.Unlock()
 }
 
 // Append stamps e with the next sequence number, stores it (possibly
 // evicting the oldest), tallies its kind, and returns the stamped event.
+// A local event (empty Src) inherits the journal's source and its local
+// Seq as SrcSeq; a relayed event keeps the (Src, SrcSeq) identity its
+// origin journal gave it and only Seq is reassigned.
 func (j *Journal) Append(e Event) Event {
 	j.mu.Lock()
+	e = j.appendLocked(e)
+	j.mu.Unlock()
+	return e
+}
+
+func (j *Journal) appendLocked(e Event) Event {
 	j.seq++
 	e.Seq = j.seq
+	if e.Src == "" && j.source != "" {
+		e.Src = j.source
+		e.SrcSeq = e.Seq
+	}
+	if e.Src != "" && e.SrcSeq > j.cursors[e.Src] {
+		j.cursors[e.Src] = e.SrcSeq
+	}
 	j.ring[j.head] = e
 	j.head = (j.head + 1) % len(j.ring)
 	if j.n < len(j.ring) {
 		j.n++
 	}
 	j.totals[e.Kind]++
-	j.mu.Unlock()
 	return e
+}
+
+// AppendIfNew appends a relayed event unless its (Src, SrcSeq) is at or
+// below the source's cursor — the dedup a coordinator needs when it
+// re-replays a scorer's journal after a reconnect. Events without a Src
+// are always appended (there is nothing to dedup against). Reports
+// whether the event was admitted.
+func (j *Journal) AppendIfNew(e Event) (Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if e.Src != "" && e.SrcSeq <= j.cursors[e.Src] {
+		return e, false
+	}
+	return j.appendLocked(e), true
+}
+
+// Cursor returns the highest SrcSeq journaled for source — the `since`
+// value that makes a replay of that source's feed gap-free.
+func (j *Journal) Cursor(source string) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cursors[source]
 }
 
 // Seq returns the sequence number of the newest event (0 when empty).

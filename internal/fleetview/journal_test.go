@@ -112,3 +112,50 @@ func TestRobustZ(t *testing.T) {
 		t.Fatalf("30%% divergence under floored MAD = %v, want >= 4", zTight)
 	}
 }
+
+func TestJournalSourceNamespacing(t *testing.T) {
+	j := NewJournal(8)
+	j.SetSource("scorer-a")
+	e := j.Append(Event{Kind: "alert", Node: "n1"})
+	if e.Src != "scorer-a" || e.SrcSeq != e.Seq {
+		t.Fatalf("local event not namespaced: %+v", e)
+	}
+	if j.Cursor("scorer-a") != e.SrcSeq {
+		t.Fatalf("cursor = %d, want %d", j.Cursor("scorer-a"), e.SrcSeq)
+	}
+
+	// A merged journal re-stamps Seq but preserves the origin identity.
+	merged := NewJournal(8)
+	merged.SetSource("coord")
+	got, ok := merged.AppendIfNew(e)
+	if !ok || got.Src != "scorer-a" || got.SrcSeq != e.SrcSeq || got.Seq != 1 {
+		t.Fatalf("relayed event = %+v, ok=%v", got, ok)
+	}
+	// Replaying the same origin event (reconnect) is deduped...
+	if _, ok := merged.AppendIfNew(e); ok {
+		t.Fatal("replayed (src, src_seq) must be deduped")
+	}
+	// ...and a later one from the same source is admitted, gap-free.
+	e2 := j.Append(Event{Kind: "alert", Node: "n2"})
+	if _, ok := merged.AppendIfNew(e2); !ok {
+		t.Fatal("fresh src_seq rejected")
+	}
+	// A second source with overlapping SrcSeq values is independent.
+	other := Event{Kind: "alert", Node: "n1", Src: "scorer-b", SrcSeq: 1}
+	if _, ok := merged.AppendIfNew(other); !ok {
+		t.Fatal("distinct source deduped against the wrong cursor")
+	}
+	if merged.Cursor("scorer-a") != e2.SrcSeq || merged.Cursor("scorer-b") != 1 {
+		t.Fatalf("cursors = a:%d b:%d", merged.Cursor("scorer-a"), merged.Cursor("scorer-b"))
+	}
+	// Totals count only admitted events.
+	if tot := merged.Totals(); tot["alert"] != 3 {
+		t.Fatalf("Totals = %v, want alert:3", tot)
+	}
+
+	// Un-namespaced journals keep the pre-existing wire format: no src.
+	plain := NewJournal(2)
+	if e := plain.Append(Event{Kind: "alert"}); e.Src != "" || e.SrcSeq != 0 {
+		t.Fatalf("default journal stamped namespacing: %+v", e)
+	}
+}

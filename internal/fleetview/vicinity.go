@@ -155,6 +155,7 @@ func (a *Aggregator) Evaluate() []VicinityAlert {
 		}
 		h.resScoreG.Set(gz(r.zScore))
 		h.resDistG.Set(gz(r.zDist))
+		h.pushResidual(ResidualPoint{Ts: now, Score: gz(r.zScore), Dist: gz(r.zDist), Peers: r.peers})
 
 		signal, z, val, med := "", 0.0, 0.0, 0.0
 		switch {

@@ -201,3 +201,47 @@ func TestAlertsByteIdenticalWithFleetview(t *testing.T) {
 		t.Fatalf("alert streams diverge with fleetview attached:\nbare:   %.200s\ntapped: %.200s", bare, tapped)
 	}
 }
+
+// TestResidualHistoryRing: every Evaluate pass appends one ResidualPoint
+// per evaluable node, the ring is bounded by Config.ResidualHistory, and
+// /fleet/nodes/{id} serves it — the sustained-divergence trace.
+func TestResidualHistoryRing(t *testing.T) {
+	ds, det := fixture(t)
+	const samples = 120
+	src := ds.Nodes()[0]
+	from, to, ok := cleanWindow(ds, src, samples)
+	if !ok {
+		t.Fatalf("no fault-free %d-sample window for %s", samples, src)
+	}
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	a := New(mon, Config{MinPeers: 3, ResidualHistory: 4})
+	defer a.Close()
+
+	cohort := []string{"sim-0", "sim-1", "sim-2", "sim-3"}
+	feedCohort(mon, ds, src, from, to, cohort, 7001, func(string) float64 { return 1 })
+
+	const evals = 7
+	for i := 0; i < evals; i++ {
+		a.Evaluate()
+	}
+	d, ok := a.nodeDetail("sim-0")
+	if !ok {
+		t.Fatal("sim-0 missing from node detail")
+	}
+	// 7 evaluations through a 4-deep ring: exactly 4 retained.
+	if len(d.Residuals) != 4 {
+		t.Fatalf("retained %d residual points, want 4 (ring bound)", len(d.Residuals))
+	}
+	for i, p := range d.Residuals {
+		if p.Peers != len(cohort) {
+			t.Errorf("residual[%d].Peers = %d, want %d", i, p.Peers, len(cohort))
+		}
+		if i > 0 && p.Ts < d.Residuals[i-1].Ts {
+			t.Errorf("residual history out of order at %d: %d < %d", i, p.Ts, d.Residuals[i-1].Ts)
+		}
+	}
+}

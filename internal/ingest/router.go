@@ -109,14 +109,23 @@ func NewShardRouter(sink Sink, cfg RouterConfig) *ShardRouter {
 	return r
 }
 
-// shardOf consistently hashes a node name onto a shard (FNV-1a).
-func (r *ShardRouter) shardOf(node string) int {
+// FNVShard consistently hashes a node name onto one of n shards (FNV-1a
+// mod n). These are the partition lines the whole topology shares: the
+// ShardRouter's worker queues, the coordinator's shard-assignment table
+// (internal/coord), and the chaos topology feeder all place a node with
+// this exact function, so "who owns node X" has one answer at every tier.
+func FNVShard(node string, n int) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(node); i++ {
 		h ^= uint32(node[i])
 		h *= 16777619
 	}
-	return int(h % uint32(len(r.queues)))
+	return int(h % uint32(n))
+}
+
+// shardOf consistently hashes a node name onto a shard (FNV-1a).
+func (r *ShardRouter) shardOf(node string) int {
+	return FNVShard(node, len(r.queues))
 }
 
 // RegisterNode queues a layout declaration (Sink).

@@ -66,10 +66,11 @@ const (
 // K inactive versions, and quarantine of corrupt entries with fallback
 // through the lineage.
 type Store struct {
-	mu   sync.Mutex
-	dir  string
-	keep int
-	man  manifest
+	mu     sync.Mutex
+	dir    string
+	keep   int
+	maxAge time.Duration
+	man    manifest
 }
 
 // OpenStore opens (creating if needed) a registry rooted at dir, retaining
@@ -97,6 +98,60 @@ func OpenStore(dir string, keep int) (*Store, error) {
 
 // Dir returns the registry root.
 func (s *Store) Dir() string { return s.dir }
+
+// SetMaxAge adds an age ceiling to retention: inactive versions older than
+// d are pruned on the next Activate/Reject/GC even when keep-K would have
+// retained them. Zero (the default) disables age-based pruning.
+func (s *Store) SetMaxAge(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxAge = d
+}
+
+// GC applies the retention policy (keep-K and, when configured, max-age)
+// immediately and reports how many manifest records were removed. Dropping
+// a quarantined record never resurrects its payload: the payload already
+// lives under quarantine/, outside any version directory the registry will
+// ever load.
+func (s *Store) GC() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.pruneLocked()
+	if n == 0 {
+		return 0, nil
+	}
+	return n, s.writeManifestLocked()
+}
+
+// ReadPayload returns the raw serialized payload for version id after
+// verifying it against the manifest checksum — the bytes a scorer pulls
+// over the coordinator's /registry/model/{id} API. Quarantined versions
+// are refused; a payload that no longer matches its checksum is
+// quarantined on the spot.
+func (s *Store) ReadPayload(id string) ([]byte, Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.indexLocked(id)
+	if idx < 0 {
+		return nil, Version{}, fmt.Errorf("lifecycle: payload %s: unknown version", id)
+	}
+	v := s.man.Versions[idx]
+	if v.Status == StatusQuarantined {
+		return nil, Version{}, fmt.Errorf("lifecycle: payload %s: version is quarantined", id)
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dir, v.ID, payloadName))
+	if err != nil {
+		return nil, Version{}, fmt.Errorf("lifecycle: payload %s: %w", id, err)
+	}
+	sum := sha256.Sum256(raw)
+	if hex.EncodeToString(sum[:]) != v.SHA256 {
+		if qerr := s.quarantineLocked(v.ID, "payload checksum mismatch on read"); qerr != nil {
+			return nil, Version{}, qerr
+		}
+		return nil, Version{}, fmt.Errorf("lifecycle: payload %s: checksum mismatch", id)
+	}
+	return raw, v, nil
+}
 
 // Versions returns the manifest records, oldest first.
 func (s *Store) Versions() []Version {
@@ -345,11 +400,13 @@ func (s *Store) linkLatestLocked(id string) {
 	_ = os.Rename(tmp, filepath.Join(s.dir, latestName)) // best effort; manifest is authoritative
 }
 
-// pruneLocked deletes the oldest inactive versions beyond the retention
-// limit. Active and candidate versions are never pruned; quarantined
+// pruneLocked deletes inactive versions beyond the retention limits —
+// keep-K of the newest, and (when SetMaxAge configured one) anything past
+// the age ceiling regardless of K — and reports how many records were
+// dropped. Active and candidate versions are never pruned; quarantined
 // payloads already live under quarantine/ and only their records are
-// dropped when they age out.
-func (s *Store) pruneLocked() {
+// dropped when they age out, so pruning can never bring one back.
+func (s *Store) pruneLocked() int {
 	type aged struct {
 		idx int
 		at  int64
@@ -361,14 +418,32 @@ func (s *Store) pruneLocked() {
 			inactive = append(inactive, aged{i, v.CreatedUnix})
 		}
 	}
-	if len(inactive) <= s.keep {
-		return
-	}
-	sort.Slice(inactive, func(i, j int) bool { return inactive[i].at < inactive[j].at })
 	drop := map[int]bool{}
-	for _, a := range inactive[:len(inactive)-s.keep] {
-		drop[a.idx] = true
-		_ = os.RemoveAll(filepath.Join(s.dir, s.man.Versions[a.idx].ID)) // retention cleanup; dir may be gone
+	if s.maxAge > 0 {
+		cutoff := time.Now().Add(-s.maxAge).Unix()
+		for _, a := range inactive {
+			if a.at < cutoff {
+				drop[a.idx] = true
+			}
+		}
+	}
+	if n := len(inactive) - len(drop); n > s.keep {
+		sort.Slice(inactive, func(i, j int) bool { return inactive[i].at < inactive[j].at })
+		for _, a := range inactive {
+			if n <= s.keep {
+				break
+			}
+			if !drop[a.idx] {
+				drop[a.idx] = true
+				n--
+			}
+		}
+	}
+	if len(drop) == 0 {
+		return 0
+	}
+	for idx := range drop {
+		_ = os.RemoveAll(filepath.Join(s.dir, s.man.Versions[idx].ID)) // retention cleanup; dir may be gone
 	}
 	kept := s.man.Versions[:0]
 	for i, v := range s.man.Versions {
@@ -377,6 +452,7 @@ func (s *Store) pruneLocked() {
 		}
 	}
 	s.man.Versions = kept
+	return len(drop)
 }
 
 func (s *Store) writeManifestLocked() error {
