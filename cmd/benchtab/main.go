@@ -9,7 +9,7 @@
 //
 // Experiments: table2 table3 table4 table5 fig1 fig4 fig6a fig6b fig6c
 // fig6d fig6e fig6f fig8 dtw incremental deploy gateway lifecycle chaos
-// fleetview coord all.
+// fleetview coord summary all.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, lifecycle, chaos, fleetview, coord, all)")
+	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, lifecycle, chaos, fleetview, coord, summary, all)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jsonOut := flag.Bool("json", false, "write per-experiment stage timings (wall, allocs, bytes) to BENCH_obs.json")
 	flag.Parse()
@@ -100,6 +100,10 @@ func main() {
 			_, err := experiments.Coord(w, scale, tracer)
 			return err
 		},
+		"summary": func() error {
+			_, err := experiments.Summary(w, scale, tracer)
+			return err
+		},
 		"lint": func() error { return lintBench(w, tracer) },
 	}
 	order := []string{
@@ -107,7 +111,7 @@ func main() {
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
 		"fig8", "dtw", "incremental", "deploy", "gateway", "lifecycle",
 		"gpu", "linkage", "domains", "pca", "wmse", "faultrecall",
-		"chaos", "fleetview", "coord", "lint",
+		"chaos", "fleetview", "coord", "summary", "lint",
 	}
 
 	run := func(name string) {

@@ -51,6 +51,7 @@ import (
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
+	"nodesentry/internal/summary"
 	"nodesentry/internal/telemetry"
 )
 
@@ -72,6 +73,11 @@ func main() {
 	scrapeInterval := flag.Duration("scrape-interval", 15*time.Second, "scrape sweep interval")
 	webhook := flag.String("webhook", "", "POST alerts to this URL (empty logs alerts only)")
 	webhookRetries := flag.Int("webhook-retries", 2, "extra webhook delivery attempts per alert")
+	summaryOn := flag.Bool("summary", false, "run the alert summarization tier: correlated alerts fold into incidents and the webhook receives one payload per incident open/resolve instead of one per alert")
+	summaryWindow := flag.Duration("summary-window", 5*time.Second, "summarization clustering window (flush cadence; coordinator role flushes on -sweep-interval instead)")
+	summaryResolve := flag.Duration("summary-resolve", time.Minute, "quiet time after which an open incident resolves")
+	summaryMin := flag.Int("summary-min", 3, "minimum correlated alerts per window to open an incident (smaller groups deliver raw)")
+	summaryRaw := flag.Bool("summary-raw", false, "with -summary, additionally deliver every raw alert next to folded incidents")
 	fleet := flag.Bool("fleet", true, "run the fleet observability tier: vicinity residuals, event journal, and the /fleet/ dashboard on -obs-listen")
 	vicinityThreshold := flag.Float64("vicinity-threshold", 4, "robust z vs job-peer median/MAD at which a node counts as peer-divergent")
 	exemplars := flag.Bool("exemplars", false, "render (trace-id, value, ts) exemplars on histogram buckets in /metrics")
@@ -118,6 +124,11 @@ func main() {
 			registryDir:       *registryDir,
 			lifecycleOn:       *lifecycleOn,
 			exemplars:         *exemplars,
+			webhook:           *webhook,
+			summaryOn:         *summaryOn,
+			summaryResolve:    *summaryResolve,
+			summaryMin:        *summaryMin,
+			summaryRaw:        *summaryRaw,
 		})
 		return
 	}
@@ -219,6 +230,14 @@ func main() {
 			Logger:            logger,
 		}
 	}
+	if *summaryOn {
+		cfg.Summary = &summary.Config{
+			Window:       *summaryWindow,
+			ResolveAfter: *summaryResolve,
+			MinGroup:     *summaryMin,
+		}
+		cfg.SummaryRaw = *summaryRaw
+	}
 	if *role == "scorer" {
 		if *coordinatorURL == "" {
 			fmt.Fprintln(os.Stderr, "sentryd: -role scorer requires -coordinator")
@@ -310,6 +329,11 @@ type coordinatorFlags struct {
 	registryDir       string
 	lifecycleOn       bool
 	exemplars         bool
+	webhook           string
+	summaryOn         bool
+	summaryResolve    time.Duration
+	summaryMin        int
+	summaryRaw        bool
 }
 
 // runCoordinator serves the coordinator tier on f.listen: /coord/*
@@ -328,7 +352,7 @@ func runCoordinator(logger *slog.Logger, f coordinatorFlags) {
 		}
 		logger.Info("serving model registry", "dir", f.registryDir)
 	}
-	c := coord.New(coord.Config{
+	ccfg := coord.Config{
 		TotalShards:       f.shards,
 		LeaseTTL:          f.leaseTTL,
 		SweepInterval:     f.sweepInterval,
@@ -336,7 +360,21 @@ func runCoordinator(logger *slog.Logger, f coordinatorFlags) {
 		Store:             store,
 		Metrics:           reg,
 		Logger:            logger,
-	})
+		WebhookURL:        f.webhook,
+		SummaryRaw:        f.summaryRaw,
+	}
+	if f.summaryOn {
+		// The coordinator flushes on its sweep cadence, so the sweep
+		// interval is the clustering window.
+		ccfg.Summary = &summary.Config{
+			Window:       f.sweepInterval,
+			ResolveAfter: f.summaryResolve,
+			MinGroup:     f.summaryMin,
+		}
+		logger.Info("alert summarization on", "window", f.sweepInterval,
+			"resolve_after", f.summaryResolve, "min_group", f.summaryMin)
+	}
+	c := coord.New(ccfg)
 	defer c.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,177 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodesentry/internal/coord"
+	"nodesentry/internal/obs"
+	"nodesentry/internal/summary"
+	"nodesentry/internal/testutil"
+)
+
+// TestFloodFoldDrill is the summarization tier's acceptance drill: a
+// flood burst raising 24 correlated alerts (one metric family, one job,
+// 24 nodes) across two live scorers must surface on the coordinator as
+// exactly ONE open incident on /fleet/incidents — varying dimension the
+// node list, constant dimensions (job, family) preserved — and the
+// operator webhook must see at least a 10x delivery reduction versus
+// the per-alert stream.
+func TestFloodFoldDrill(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+
+	var delivered atomic.Int64
+	var payloadMu sync.Mutex
+	var payloads [][]byte
+	webhook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		payloadMu.Lock()
+		payloads = append(payloads, body)
+		payloadMu.Unlock()
+		delivered.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer webhook.Close()
+
+	// Deterministic time: Sweep is the flush cadence and the fake clock
+	// decides when "quiet" incidents resolve.
+	now := time.Unix(1_700_000_000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+
+	c := coord.New(coord.Config{
+		TotalShards: 8,
+		Clock:       clock,
+		WebhookURL:  webhook.URL,
+		Summary: &summary.Config{
+			ResolveAfter: 10 * time.Second,
+			MinGroup:     3,
+		},
+	})
+	defer c.Close()
+	srv := httptest.NewServer(obs.Handler(nil, nil, c.Mounts()...))
+	defer srv.Close()
+
+	// Two live scorers split the shard space; the drill routes each
+	// node's envelope through its assigned owner so nothing is fenced.
+	c.Register(coord.ScorerInfo{ID: "scorer-0"})
+	c.Register(coord.ScorerInfo{ID: "scorer-1"})
+	epoch := c.Epoch()
+
+	// The flood: 24 nodes of one job tripping the same metric family in
+	// one burst — the N-simultaneous-alerts storm the tier exists for.
+	const floodNodes = 24
+	nodes := make([]string, floodNodes)
+	scorersSeen := map[string]bool{}
+	for i := range nodes {
+		nodes[i] = "flood-node-" + string(rune('a'+i/10)) + string(rune('0'+i%10))
+		owner, ok := c.Owner(nodes[i])
+		if !ok {
+			t.Fatalf("no owner for %s", nodes[i])
+		}
+		scorersSeen[owner.ID] = true
+		v := c.Accept(coord.AlertEnvelope{
+			Scorer:   owner.ID,
+			Epoch:    epoch,
+			Node:     nodes[i],
+			Time:     now.Unix(),
+			Job:      8812,
+			Score:    5 + float64(i),
+			Priority: 1,
+			Level:    "Memory",
+			Family:   "Memory",
+		})
+		if v.Status != coord.VerdictAccepted {
+			t.Fatalf("envelope for %s got verdict %q", nodes[i], v.Status)
+		}
+	}
+	if len(scorersSeen) < 2 {
+		t.Fatalf("flood crossed %d scorers, the drill requires >= 2", len(scorersSeen))
+	}
+
+	// One sweep folds the burst. The open set must be exactly one
+	// incident, served over the same HTTP surface the dashboard reads.
+	c.Sweep()
+	var snap summary.Snapshot
+	getIncidents := func() summary.Snapshot {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/fleet/incidents")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var s summary.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	snap = getIncidents()
+	if len(snap.Open) != 1 {
+		t.Fatalf("flood folded into %d open incidents, want exactly 1: %+v", len(snap.Open), snap.Open)
+	}
+	inc := snap.Open[0]
+	if inc.Count != floodNodes {
+		t.Errorf("incident folded %d alerts, want %d", inc.Count, floodNodes)
+	}
+	if inc.Dimension != "node" {
+		t.Errorf("varying dimension = %q, want node", inc.Dimension)
+	}
+	if got := len(inc.VaryingTags["node"]); got != floodNodes {
+		t.Errorf("incident carries %d nodes, want %d", got, floodNodes)
+	}
+	if inc.ConstantTags["job"] != "8812" {
+		t.Errorf("constant job tag = %q, want 8812", inc.ConstantTags["job"])
+	}
+	if inc.Metric != "Memory" || inc.ConstantTags["level"] != "Memory" {
+		t.Errorf("metric family %q / level %q, want Memory/Memory", inc.Metric, inc.ConstantTags["level"])
+	}
+
+	// Quiet past ResolveAfter: the fault cleared, the incident resolves.
+	advance(11 * time.Second)
+	c.Sweep()
+	snap = getIncidents()
+	if len(snap.Open) != 0 {
+		t.Fatalf("%d incidents still open after the fault cleared", len(snap.Open))
+	}
+	if len(snap.Resolved) != 1 {
+		t.Fatalf("resolved set holds %d incidents, want 1", len(snap.Resolved))
+	}
+
+	// Delivery reduction: the whole storm cost one open + one resolve
+	// POST; the per-alert stream would have cost 24.
+	if got := delivered.Load(); got != 2 {
+		t.Fatalf("webhook saw %d deliveries, want 2 (open + resolve)", got)
+	}
+	if reduction := float64(floodNodes) / float64(delivered.Load()); reduction < 10 {
+		t.Fatalf("delivery reduction %.1fx below the 10x floor", reduction)
+	}
+	payloadMu.Lock()
+	defer payloadMu.Unlock()
+	var first struct {
+		Kind    string   `json:"kind"`
+		Members []string `json:"members"`
+	}
+	if err := json.Unmarshal(payloads[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != "open" || len(first.Members) != floodNodes {
+		t.Errorf("first webhook payload kind=%q members=%d, want open/%d",
+			first.Kind, len(first.Members), floodNodes)
+	}
+}

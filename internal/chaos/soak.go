@@ -26,6 +26,7 @@ import (
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
+	"nodesentry/internal/summary"
 	"nodesentry/internal/telemetry"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	// Tracer, when non-nil, receives chaos_feed / chaos_retrain /
 	// chaos_swap spans.
 	Tracer *obs.Tracer
+	// Summary runs the alert summarization tier inside the daemon: the
+	// webhook receives folded incident payloads plus unfolded raw alerts,
+	// and reconcile swaps the per-alert delivery equation for the
+	// summarizer's accounting identity (Folded + Raw == Observed ==
+	// alerts raised; every incident resolved at quiescence).
+	Summary bool
 	// Logger, when non-nil, receives component logs.
 	Logger *slog.Logger
 }
@@ -93,6 +100,11 @@ type Report struct {
 	FleetProbes int
 	FleetEvents uint64
 	SSEEvents   int64
+	// Summarization accounting (Config.Summary only): every raised alert
+	// either folded into an incident or was delivered raw, and every
+	// opened incident was resolved by quiescence.
+	SummaryObserved, SummaryFolded, SummaryRaw int64
+	IncidentsOpened, IncidentsResolved         int64
 }
 
 // faultMirror forwards every ledger injection into the fleetview journal.
@@ -306,8 +318,19 @@ func (s *soak) start() (func() error, error) {
 		layouts[p] = []string{"chaos_probe"}
 	}
 
+	var sumCfg *summary.Config
+	if s.cfg.Summary {
+		sumCfg = &summary.Config{
+			// The soak settles in milliseconds; flush and resolve on the
+			// same timescale so incidents open and quiesce mid-run.
+			Window:       25 * time.Millisecond,
+			ResolveAfter: 250 * time.Millisecond,
+			MinGroup:     3,
+		}
+	}
 	active, _ := s.store.Active()
 	d, err := daemon.New(daemon.Config{
+		Summary:        sumCfg,
 		Detector:       s.cfg.Det,
 		Step:           s.ds.Step,
 		Layouts:        layouts,
@@ -812,10 +835,30 @@ func (s *soak) reconcile() error {
 	chk("forward failures", get("nodesentry_forward_failures_total"), cs[AcceptDrop]+cs[ConnDrop])
 
 	// Alert path: everything the monitor delivered reached the webhook
-	// receiver despite the flaky transport.
+	// receiver despite the flaky transport. With the summarization tier
+	// interposed the delivery unit changes — folded alerts arrive as one
+	// incident payload per open/resolve edge, unfolded ones stay
+	// per-alert — but the accounting identity is exact either way.
 	chk("alerts delivered", get("nodesentry_alerts_delivered_total"), int64(len(alerts)))
-	chk("webhook delivered", get("nodesentry_webhook_delivered_total"), int64(len(alerts)))
-	chk("webhook received", s.webhookOK.Load(), int64(len(alerts)))
+	if sum := s.d.Summarizer(); sum != nil {
+		st := sum.Stats()
+		s.rep.SummaryObserved, s.rep.SummaryFolded, s.rep.SummaryRaw = st.Observed, st.Folded, st.Raw
+		s.rep.IncidentsOpened, s.rep.IncidentsResolved = st.Opened, st.Resolved
+		chk("summary observed", st.Observed, int64(len(alerts)))
+		chk("summary folded+raw", st.Folded+st.Raw, st.Observed)
+		chk("summary metric observed", get("nodesentry_summary_alerts_observed_total"), st.Observed)
+		chk("summary metric folded", get("nodesentry_summary_alerts_folded_total"), st.Folded)
+		// Daemon close force-flushed and resolved everything: the fault
+		// cleared, so no incident stays open and none leaks.
+		chk("incidents resolved", st.Resolved, st.Opened)
+		chk("open incidents after close", int64(sum.OpenCount()), 0)
+		chk("summary metric open", get("nodesentry_summary_incidents_open"), 0)
+		chk("webhook delivered", get("nodesentry_webhook_delivered_total"), st.Emissions())
+		chk("webhook received", s.webhookOK.Load(), st.Emissions())
+	} else {
+		chk("webhook delivered", get("nodesentry_webhook_delivered_total"), int64(len(alerts)))
+		chk("webhook received", s.webhookOK.Load(), int64(len(alerts)))
+	}
 	chk("webhook failures", get("nodesentry_webhook_failures_total"), cs[Webhook5xx])
 	chk("webhook retries", get("nodesentry_webhook_retries_total"), cs[Webhook5xx])
 

@@ -65,6 +65,7 @@ func TestSoak(t *testing.T) {
 		DS:           ds,
 		Det:          det,
 		TrainOptions: fastOptions(),
+		Summary:      true,
 	})
 	if err != nil {
 		t.Fatalf("soak: %v\nreport: %+v", err, rep)
@@ -102,9 +103,22 @@ func TestSoak(t *testing.T) {
 	if rep.QuarantinedID == "" || rep.RecoveredID == "" || rep.QuarantinedID == rep.RecoveredID {
 		t.Errorf("registry drill: quarantined %q, recovered %q", rep.QuarantinedID, rep.RecoveredID)
 	}
-	t.Logf("soak: %d push lines, %d scrapes, %d alerts, recall %.2f (%d/%d), epoch %d, faults %v",
-		rep.PushLines, rep.ScrapeSweeps, rep.Alerts, rep.Recall,
-		rep.MatchedFaults, rep.TotalFaults, rep.Epoch, rep.Counts)
+	// Summarization accounting (Run already reconciled it against the
+	// webhook receiver): every raised alert is accounted exactly once,
+	// and no incident outlived the run.
+	if rep.SummaryObserved != int64(rep.Alerts) {
+		t.Errorf("summarizer observed %d alerts, %d were raised", rep.SummaryObserved, rep.Alerts)
+	}
+	if rep.SummaryFolded+rep.SummaryRaw != rep.SummaryObserved {
+		t.Errorf("folded %d + raw %d != observed %d",
+			rep.SummaryFolded, rep.SummaryRaw, rep.SummaryObserved)
+	}
+	if rep.IncidentsResolved != rep.IncidentsOpened {
+		t.Errorf("%d incidents opened but %d resolved", rep.IncidentsOpened, rep.IncidentsResolved)
+	}
+	t.Logf("soak: %d push lines, %d scrapes, %d alerts (%d folded into %d incidents, %d raw), recall %.2f (%d/%d), epoch %d, faults %v",
+		rep.PushLines, rep.ScrapeSweeps, rep.Alerts, rep.SummaryFolded, rep.IncidentsOpened,
+		rep.SummaryRaw, rep.Recall, rep.MatchedFaults, rep.TotalFaults, rep.Epoch, rep.Counts)
 }
 
 // TestSoakLong is the nightly multi-cycle soak: several full lifecycle

@@ -28,6 +28,7 @@ package coord
 
 import (
 	"nodesentry/internal/runtime"
+	"nodesentry/internal/summary"
 )
 
 // ScorerInfo is one registered scorer as the coordinator sees it.
@@ -82,6 +83,10 @@ type AlertEnvelope struct {
 	Score    float64 `json:"score"`
 	Priority int     `json:"priority"`
 	Level    string  `json:"level,omitempty"`
+	// Family is the alert's metric family (the dominant diagnosis
+	// category) — the clustering key the coordinator's summarization
+	// tier groups the merged fan-in by.
+	Family string `json:"family,omitempty"`
 	// ModelEpoch is the detector generation that scored the window
 	// (runtime.Alert.Epoch), distinct from the assignment Epoch.
 	ModelEpoch int64 `json:"model_epoch,omitempty"`
@@ -98,6 +103,7 @@ func Envelope(a runtime.Alert, scorer string, epoch int64) AlertEnvelope {
 		Score:      a.Score,
 		Priority:   int(a.Priority),
 		Level:      a.Diagnosis.Level,
+		Family:     summary.FamilyOf(a),
 		ModelEpoch: a.Epoch,
 	}
 }

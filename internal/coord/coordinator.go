@@ -16,6 +16,8 @@ import (
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
+	"nodesentry/internal/runtime"
+	"nodesentry/internal/summary"
 	"nodesentry/internal/telemetry"
 )
 
@@ -47,6 +49,20 @@ type Config struct {
 
 	// Store, when non-nil, is the model registry served over /registry/.
 	Store *lifecycle.Store
+
+	// Summary, when non-nil, runs the semantic summarization tier over
+	// the merged fan-in: every accepted envelope feeds the clusterer,
+	// Sweep is the flush cadence, incidents land on the merged journal
+	// and (with WebhookURL) the operator webhook as one folded payload
+	// per open/resolve instead of one POST per alert.
+	Summary *summary.Config
+	// WebhookURL, when set, receives coordinator-side deliveries: folded
+	// incident payloads when Summary is on, one raw envelope per accepted
+	// alert when it is off. SummaryRaw keeps the per-envelope stream
+	// flowing next to incidents (debug/migration).
+	WebhookURL    string
+	WebhookClient *http.Client
+	SummaryRaw    bool
 
 	// Client performs fan-in scrapes (default: 5s-timeout client).
 	Client *http.Client
@@ -166,6 +182,9 @@ type Coordinator struct {
 	journal *fleetview.Journal
 	bus     *fleetview.Bus
 
+	sum  *summary.Summarizer
+	sink *runtime.WebhookSink
+
 	met coordMetrics
 	log *slog.Logger
 
@@ -190,7 +209,104 @@ func New(cfg Config) *Coordinator {
 		done:    make(chan struct{}),
 	}
 	c.journal.SetSource("coordinator")
+	if cfg.WebhookURL != "" {
+		c.sink = &runtime.WebhookSink{
+			URL:     cfg.WebhookURL,
+			Client:  cfg.WebhookClient,
+			Metrics: cfg.Metrics,
+		}
+	}
+	if cfg.Summary != nil {
+		scfg := *cfg.Summary
+		if scfg.Metrics == nil {
+			scfg.Metrics = cfg.Metrics
+		}
+		if scfg.Logger == nil {
+			scfg.Logger = cfg.Logger
+		}
+		if scfg.Clock == nil {
+			scfg.Clock = cfg.Clock
+		}
+		prevRaw, prevInc := scfg.OnRaw, scfg.OnIncident
+		scfg.OnRaw = func(e summary.Event) {
+			if prevRaw != nil {
+				prevRaw(e)
+			}
+			env, ok := e.Raw.(AlertEnvelope)
+			if !ok || c.sink == nil {
+				return
+			}
+			c.postEnvelope(env)
+		}
+		scfg.OnIncident = func(inc summary.Incident, tr summary.Transition) {
+			if prevInc != nil {
+				prevInc(inc, tr)
+			}
+			e := c.journal.Append(fleetview.Event{
+				Ts:   inc.LastTs,
+				Kind: fleetview.EventIncident,
+				Detail: fmt.Sprintf("%s=%s id=%s count=%d dimension=%s severity=%.4f",
+					tr, inc.Title, inc.ID, inc.Count, inc.Dimension, inc.Severity),
+				Value: float64(inc.Count),
+			})
+			c.bus.Publish(e)
+			// Webhooks fire on the open and resolve edges only — updates
+			// amend the journaled incident, they are not re-delivered.
+			if c.sink != nil && (tr == summary.Opened || tr == summary.Resolved) {
+				if body, err := summary.WebhookJSON(inc, tr); err == nil {
+					if err := c.sink.SendRaw(body); err != nil && c.log != nil {
+						c.log.Warn("incident webhook delivery failed", "incident", inc.ID, "err", err)
+					}
+				}
+			}
+		}
+		c.sum = summary.New(scfg)
+	}
 	return c
+}
+
+// Summarizer exposes the merged-fan-in summarization tier (nil without
+// Config.Summary).
+func (c *Coordinator) Summarizer() *summary.Summarizer { return c.sum }
+
+// postEnvelope delivers one raw accepted envelope to the webhook.
+func (c *Coordinator) postEnvelope(env AlertEnvelope) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return
+	}
+	if err := c.sink.SendRaw(body); err != nil && c.log != nil {
+		c.log.Warn("envelope webhook delivery failed", "node", env.Node, "err", err)
+	}
+}
+
+// eventFromEnvelope adapts one accepted wire envelope to the clusterer's
+// input shape: the metric family keys the group, the tags carry the
+// dimensions incidents partition on — node (the usual varying dimension
+// in a correlated flood), job, scorer and diagnosis level.
+func eventFromEnvelope(env AlertEnvelope) summary.Event {
+	metric := env.Family
+	if metric == "" {
+		metric = env.Level
+	}
+	tags := map[string]string{"node": env.Node}
+	if env.Scorer != "" {
+		tags["scorer"] = env.Scorer
+	}
+	if env.Job != 0 {
+		tags["job"] = strconv.FormatInt(env.Job, 10)
+	}
+	if env.Level != "" {
+		tags["level"] = env.Level
+	}
+	return summary.Event{
+		Ts:       env.Time,
+		Metric:   metric,
+		Tags:     tags,
+		Severity: env.Score,
+		Priority: env.Priority,
+		Raw:      env,
+	}
 }
 
 // Close ends Run and every open SSE stream and releases the fan-in
@@ -198,6 +314,11 @@ func New(cfg Config) *Coordinator {
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		close(c.done)
+		// Force-flush the summarizer first: pending envelopes fold and
+		// every open incident resolves while the webhook is still usable.
+		if c.sum != nil {
+			c.sum.Close()
+		}
 		c.cfg.Client.CloseIdleConnections()
 	})
 }
@@ -438,18 +559,20 @@ const EventReassign = "reassign"
 func (c *Coordinator) Accept(env AlertEnvelope) AlertVerdict {
 	shard := ingest.FNVShard(env.Node, c.cfg.TotalShards)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.ledger.Received++
+	epoch := c.epoch
 	if c.owner[shard] != env.Scorer || env.Epoch < c.since[shard] {
 		c.ledger.Fenced++
+		c.mu.Unlock()
 		c.met.fenced.Inc()
-		return AlertVerdict{Status: VerdictFenced, Epoch: c.epoch}
+		return AlertVerdict{Status: VerdictFenced, Epoch: epoch}
 	}
 	key := env.Node + "@" + strconv.FormatInt(env.Time, 10)
 	if _, dup := c.dedup[key]; dup {
 		c.ledger.Deduped++
+		c.mu.Unlock()
 		c.met.deduped.Inc()
-		return AlertVerdict{Status: VerdictDuplicate, Epoch: c.epoch}
+		return AlertVerdict{Status: VerdictDuplicate, Epoch: epoch}
 	}
 	c.dedup[key] = struct{}{}
 	c.dedupFot = append(c.dedupFot, key)
@@ -458,10 +581,13 @@ func (c *Coordinator) Accept(env AlertEnvelope) AlertVerdict {
 		c.dedupFot = c.dedupFot[1:]
 	}
 	c.ledger.Accepted++
-	c.met.accepted.Inc()
 	if len(c.accepted) < c.cfg.LedgerSize {
 		c.accepted = append(c.accepted, env)
 	}
+	// Journal, bus and summarizer all have their own locks, and webhook
+	// delivery blocks on HTTP — none of it belongs under c.mu.
+	c.mu.Unlock()
+	c.met.accepted.Inc()
 	e := c.journal.Append(fleetview.Event{
 		Ts:     env.Time,
 		Kind:   fleetview.EventAlert,
@@ -470,7 +596,15 @@ func (c *Coordinator) Accept(env AlertEnvelope) AlertVerdict {
 		Value:  env.Score,
 	})
 	c.bus.Publish(e)
-	return AlertVerdict{Status: VerdictAccepted, Epoch: c.epoch}
+	if c.sum != nil {
+		if c.sink != nil && c.cfg.SummaryRaw {
+			c.postEnvelope(env)
+		}
+		c.sum.Observe(eventFromEnvelope(env))
+	} else if c.sink != nil {
+		c.postEnvelope(env)
+	}
+	return AlertVerdict{Status: VerdictAccepted, Epoch: epoch}
 }
 
 // ---- lease + fan-in sweep ----
@@ -543,6 +677,13 @@ func (c *Coordinator) Sweep() {
 			}
 		}
 		c.mu.Unlock()
+	}
+	// Sweep is the coordinator's flush cadence: envelopes accepted since
+	// the last pass cluster into incidents, and incidents quiet past
+	// ResolveAfter resolve. Tests drive this deterministically by calling
+	// Sweep with a fake Clock.
+	if c.sum != nil {
+		c.sum.Flush(c.cfg.Clock())
 	}
 	c.met.sweeps.Inc()
 }

@@ -8,6 +8,7 @@ import (
 	"nodesentry/internal/fleetview"
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
+	"nodesentry/internal/summary"
 )
 
 // Handler returns the coordinator's full HTTP surface:
@@ -58,6 +59,13 @@ func (c *Coordinator) Handler() http.Handler {
 		Buffer:    c.cfg.SSEBuffer,
 		KeepAlive: c.cfg.KeepAlive,
 		Done:      c.done,
+	})
+	mux.HandleFunc("GET /fleet/incidents", func(w http.ResponseWriter, r *http.Request) {
+		if c.sum != nil {
+			writeJSON(w, c.sum.Incidents())
+			return
+		}
+		writeJSON(w, summary.Snapshot{Open: []summary.Incident{}, Resolved: []summary.Incident{}})
 	})
 	mux.HandleFunc("GET /fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

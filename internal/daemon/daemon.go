@@ -22,6 +22,7 @@ import (
 	"nodesentry/internal/lifecycle"
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
+	"nodesentry/internal/summary"
 )
 
 // Config assembles one daemon. Detector and Step are required; every
@@ -72,6 +73,23 @@ type Config struct {
 	// goroutine (after logging and webhook delivery).
 	OnAlert func(runtime.Alert)
 
+	// Summary, when non-nil, interposes the semantic summarization tier
+	// on the webhook path: alerts fold into incidents, the sink receives
+	// one folded payload per incident open/resolve instead of N per-alert
+	// deliveries, and alerts that do not fold are delivered raw. Nil
+	// keeps the webhook stream byte-identical to the direct-sink wiring
+	// (pinned by test). Scorer→coordinator forwarding always stays
+	// per-alert — the coordinator runs its own summarizer over the
+	// merged fan-in.
+	Summary *summary.Config
+	// SummaryRaw additionally delivers every alert per-alert even while
+	// folding — the migration/debug switch that keeps raw webhooks
+	// available next to incidents.
+	SummaryRaw bool
+	// OnIncident, when non-nil, observes every incident transition on
+	// the flushing goroutine (after webhook delivery and journaling).
+	OnIncident func(summary.Incident, summary.Transition)
+
 	// Lifecycle, when non-nil, runs the drift→retrain→shadow→swap loop.
 	// Store and ActiveID identify the registry lineage the loop records
 	// promotions into.
@@ -106,6 +124,7 @@ type Daemon struct {
 	mon    *runtime.Monitor
 	mgr    *lifecycle.Manager
 	fv     *fleetview.Aggregator
+	sum    *summary.Summarizer
 	router *ingest.ShardRouter
 	dec    *ingest.Decoder
 	filter *coord.ShardFilter
@@ -121,6 +140,7 @@ type Daemon struct {
 	lcDone     chan struct{}
 	lcCancel   context.CancelFunc
 	fvDone     chan struct{}
+	sumDone    chan struct{}
 	agDone     chan struct{}
 	agCancel   context.CancelFunc
 
@@ -150,6 +170,7 @@ func New(cfg Config) (*Daemon, error) {
 		scrapeDone: make(chan struct{}),
 		lcDone:     make(chan struct{}),
 		fvDone:     make(chan struct{}),
+		sumDone:    make(chan struct{}),
 		agDone:     make(chan struct{}),
 	}
 
@@ -165,6 +186,70 @@ func New(cfg Config) (*Daemon, error) {
 			Metrics:    cfg.Metrics,
 		}
 	}
+	// The fleetview aggregator is built after the lifecycle manager below
+	// (the manager owns SetHooks; the aggregator Taps on top), but both
+	// lifecycle transitions and incident emissions must reach its journal
+	// — an atomic pointer bridges the construction-order gap race-free.
+	var fvPtr atomic.Pointer[fleetview.Aggregator]
+
+	// Summarization tier: when configured it interposes between the
+	// consumer and the webhook sink. Alerts that fold become one incident
+	// payload per open/resolve transition (via SendRaw); alerts that do
+	// not fold are delivered per-alert through the unchanged Send path.
+	var sum *summary.Summarizer
+	if cfg.Summary != nil {
+		scfg := *cfg.Summary
+		if scfg.Metrics == nil {
+			scfg.Metrics = cfg.Metrics
+		}
+		if scfg.Logger == nil {
+			scfg.Logger = cfg.Logger
+		}
+		prevRaw, prevInc := scfg.OnRaw, scfg.OnIncident
+		scfg.OnRaw = func(e summary.Event) {
+			if prevRaw != nil {
+				prevRaw(e)
+			}
+			a, ok := e.Raw.(runtime.Alert)
+			if !ok || sink == nil {
+				return
+			}
+			if err := sink.Send(a); err != nil && cfg.Logger != nil {
+				cfg.Logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
+			}
+		}
+		scfg.OnIncident = func(inc summary.Incident, tr summary.Transition) {
+			if prevInc != nil {
+				prevInc(inc, tr)
+			}
+			if fv := fvPtr.Load(); fv != nil {
+				fv.RecordIncident(inc, tr)
+			}
+			// Updates amend the journaled incident only; webhooks fire on
+			// the open and resolve edges — the N→1 delivery reduction.
+			if sink != nil && (tr == summary.Opened || tr == summary.Resolved) {
+				if body, err := summary.WebhookJSON(inc, tr); err == nil {
+					if err := sink.SendRaw(body); err != nil && cfg.Logger != nil {
+						cfg.Logger.Warn("incident webhook delivery failed", "incident", inc.ID, "err", err)
+					}
+				}
+			}
+			if cfg.OnIncident != nil {
+				cfg.OnIncident(inc, tr)
+			}
+		}
+		sum = summary.New(scfg)
+		d.sum = sum
+		go func() {
+			defer close(d.sumDone)
+			// Background never cancels; the flush loop exits via
+			// Summarizer.Close in Daemon.Close.
+			sum.Run(context.Background())
+		}()
+	} else {
+		close(d.sumDone)
+	}
+
 	// In scorer mode every alert is additionally forwarded to the
 	// coordinator; the agent is built after the router below, so the
 	// consumer reaches it through an atomic pointer (same bridge as the
@@ -178,7 +263,14 @@ func New(cfg Config) (*Daemon, error) {
 				cfg.Logger.Info("alert", "node", a.Node, "time", a.Time, "job", a.Job,
 					"score", a.Score, "level", a.Diagnosis.Level)
 			}
-			if sink != nil {
+			if sum != nil {
+				if sink != nil && cfg.SummaryRaw {
+					if err := sink.Send(a); err != nil && cfg.Logger != nil {
+						cfg.Logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
+					}
+				}
+				sum.Observe(summary.FromAlert(a))
+			} else if sink != nil {
 				if err := sink.Send(a); err != nil && cfg.Logger != nil {
 					cfg.Logger.Warn("webhook delivery failed", "node", a.Node, "err", err)
 				}
@@ -201,11 +293,6 @@ func New(cfg Config) (*Daemon, error) {
 	routerSink := ingest.Sink(mon)
 	lcCtx, lcCancel := context.WithCancel(context.Background())
 	d.lcCancel = lcCancel
-	// The fleetview aggregator is built after the lifecycle manager (the
-	// manager owns SetHooks; the aggregator Taps on top), but lifecycle
-	// transitions must reach its journal — an atomic pointer bridges the
-	// construction-order gap race-free.
-	var fvPtr atomic.Pointer[fleetview.Aggregator]
 	if cfg.Lifecycle != nil {
 		lcCfg := *cfg.Lifecycle
 		if cfg.FleetView != nil {
@@ -224,6 +311,10 @@ func New(cfg Config) (*Daemon, error) {
 			lcCancel()
 			mon.Close()
 			d.consumer.Wait()
+			if sum != nil {
+				sum.Close()
+				<-d.sumDone
+			}
 			return nil, err
 		}
 		d.mgr = mgr
@@ -252,6 +343,9 @@ func New(cfg Config) (*Daemon, error) {
 			fvCfg.Source = cfg.Coord.ID
 		}
 		d.fv = fleetview.New(mon, fvCfg)
+		if d.sum != nil {
+			d.fv.AttachSummary(d.sum)
+		}
 		fvPtr.Store(d.fv)
 		fv := d.fv
 		go func() {
@@ -292,6 +386,10 @@ func New(cfg Config) (*Daemon, error) {
 			<-d.fvDone
 			mon.Close()
 			d.consumer.Wait()
+			if sum != nil {
+				sum.Close()
+				<-d.sumDone
+			}
 			return nil, err
 		}
 		d.agent = ag
@@ -354,6 +452,10 @@ func (d *Daemon) Manager() *lifecycle.Manager { return d.mgr }
 // mount its endpoints with FleetView().Mounts().
 func (d *Daemon) FleetView() *fleetview.Aggregator { return d.fv }
 
+// Summarizer returns the alert summarization tier (nil without
+// Config.Summary).
+func (d *Daemon) Summarizer() *summary.Summarizer { return d.sum }
+
 // Router returns the shard router.
 func (d *Daemon) Router() *ingest.ShardRouter { return d.router }
 
@@ -402,6 +504,13 @@ func (d *Daemon) Close(ctx context.Context) error {
 		<-d.fvDone
 		d.mon.Close()
 		d.consumer.Wait()
+		// The summarizer outlives the consumer so the last observed alerts
+		// still fold; Close force-flushes pending events and resolves every
+		// open incident before the sink goes quiet.
+		if d.sum != nil {
+			d.sum.Close()
+		}
+		<-d.sumDone
 		// The agent outlives the consumer so the last drained alerts still
 		// forward; its shutdown path deregisters gracefully.
 		d.agCancel()

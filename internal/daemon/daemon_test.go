@@ -15,10 +15,12 @@ import (
 	"nodesentry/internal/coord"
 	"nodesentry/internal/core"
 	"nodesentry/internal/dataset"
+	"nodesentry/internal/fleetview"
 	"nodesentry/internal/ingest"
 	"nodesentry/internal/mts"
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
+	"nodesentry/internal/summary"
 	"nodesentry/internal/telemetry"
 	"nodesentry/internal/testutil"
 )
@@ -271,5 +273,159 @@ func TestScorerModeForwardsToCoordinator(t *testing.T) {
 	// Close deregistered the scorer gracefully.
 	if n := len(c.Scorers()); n != 0 {
 		t.Fatalf("scorer still registered after Close: %d", n)
+	}
+}
+
+// captureHook is an httptest webhook receiver that records every POSTed
+// body.
+type captureHook struct {
+	srv    *httptest.Server
+	mu     sync.Mutex
+	bodies []string
+}
+
+func newCaptureHook() *captureHook {
+	h := &captureHook{}
+	h.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r.Body)
+		h.mu.Lock()
+		h.bodies = append(h.bodies, buf.String())
+		h.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	return h
+}
+
+func (h *captureHook) sorted() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := append([]string(nil), h.bodies...)
+	sort.Strings(out)
+	return out
+}
+
+// TestSummaryOffByteIdentity pins the tier's opt-in contract: a daemon
+// WITHOUT Config.Summary delivers exactly the per-alert webhook stream
+// the pre-summarization wiring produced — the same eval replay through a
+// bare WebhookSink yields byte-identical POST bodies.
+func TestSummaryOffByteIdentity(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	ds, det := fixture(t)
+	lines := evalLines(ds)
+
+	// Reference: the bare monitor's alerts through a bare sink — the
+	// per-alert payload stream as it has always been.
+	ref := newCaptureHook()
+	defer ref.srv.Close()
+	mon, err := runtime.NewMonitor(det, runtime.Config{Step: ds.Step, ScoringWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSink := &runtime.WebhookSink{URL: ref.srv.URL}
+	refDone := make(chan struct{})
+	go func() {
+		defer close(refDone)
+		for a := range mon.Alerts() {
+			if err := refSink.Send(a); err != nil {
+				t.Errorf("reference send: %v", err)
+			}
+		}
+	}()
+	applyLines(mon, lines)
+	mon.Close()
+	<-refDone
+
+	// The daemon with the summary tier left off.
+	hook := newCaptureHook()
+	defer hook.srv.Close()
+	d, err := New(Config{
+		Detector: det, Step: ds.Step, ScoringWorkers: 2, Shards: 4,
+		WebhookURL: hook.srv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Summarizer() != nil {
+		t.Fatal("daemon grew a summarizer without Config.Summary")
+	}
+	pushLines(t, d, lines)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := ref.sorted(), hook.sorted()
+	if len(want) == 0 {
+		t.Fatal("reference replay delivered no webhooks; identity check is vacuous")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("webhook counts differ: reference %d, daemon %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("webhook body %d differs:\n  reference: %.200s\n  daemon:    %.200s", i, want[i], got[i])
+		}
+	}
+}
+
+// TestSummaryFoldsWebhookStream runs the daemon with the summarization
+// tier on: the webhook receives folded incident payloads plus unfolded
+// raw alerts, total deliveries equal the summarizer's emission count,
+// the accounting identity holds, and the fleetview journal gained the
+// incident lane.
+func TestSummaryFoldsWebhookStream(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	ds, det := fixture(t)
+
+	hook := newCaptureHook()
+	defer hook.srv.Close()
+	d, err := New(Config{
+		Detector: det, Step: ds.Step, ScoringWorkers: 2, Shards: 4,
+		WebhookURL: hook.srv.URL,
+		Summary: &summary.Config{
+			// One giant window: everything pends until Close's final
+			// flush, so the whole replay folds in one deterministic batch.
+			Window:     time.Hour,
+			MinGroup:   3,
+			PendingCap: 1 << 16,
+		},
+		FleetView: &fleetview.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Summarizer() == nil {
+		t.Fatal("Config.Summary set but no summarizer")
+	}
+	pushLines(t, d, evalLines(ds))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := d.Summarizer().Stats()
+	if st.Observed == 0 {
+		t.Fatal("replay raised no alerts; folding check is vacuous")
+	}
+	if st.Folded+st.Raw != st.Observed {
+		t.Fatalf("folded %d + raw %d != observed %d", st.Folded, st.Raw, st.Observed)
+	}
+	if st.Folded == 0 {
+		t.Fatalf("nothing folded out of %d alerts (raw %d)", st.Observed, st.Raw)
+	}
+	if st.Resolved != st.Opened {
+		t.Fatalf("%d incidents opened, %d resolved after Close", st.Opened, st.Resolved)
+	}
+	if n := int64(len(hook.sorted())); n != st.Emissions() {
+		t.Fatalf("webhook saw %d deliveries, summarizer emitted %d", n, st.Emissions())
+	}
+	if st.Emissions() >= st.Observed {
+		t.Fatalf("no delivery reduction: %d emissions for %d alerts", st.Emissions(), st.Observed)
+	}
+	if got := d.FleetView().Journal().Totals()[fleetview.EventIncident]; got == 0 {
+		t.Fatal("fleetview journal recorded no incident events")
 	}
 }

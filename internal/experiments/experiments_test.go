@@ -389,3 +389,33 @@ func TestCoordShape(t *testing.T) {
 		}
 	}
 }
+
+func TestSummaryShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Summary(&buf, Quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alerts == 0 || res.Bursts == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.ObserveMean <= 0 || res.FlushMean <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	st := res.Stats
+	if st.Observed != int64(res.Alerts) || st.Folded+st.Raw != st.Observed {
+		t.Fatalf("accounting off: %+v for %d alerts", st, res.Alerts)
+	}
+	if st.Opened == 0 || st.Resolved != st.Opened {
+		t.Fatalf("incident lifecycle off: opened=%d resolved=%d", st.Opened, st.Resolved)
+	}
+	if res.Compression < 10 {
+		t.Fatalf("compression %.1fx below the drill's 10x floor", res.Compression)
+	}
+	out := buf.String()
+	for _, want := range []string{"observe:", "fold:", "compression"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

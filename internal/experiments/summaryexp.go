@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nodesentry/internal/obs"
+	"nodesentry/internal/summary"
+)
+
+// SummaryResult holds the alert summarization tier's measured costs and
+// its reason to exist, the compression ratio: how many alert deliveries
+// one folded incident stream replaces. Observe sits on the alert
+// consumer's hot path and Flush on the window cadence, so both
+// trajectories land in BENCH_obs.json next to the scorer pipeline
+// stages.
+type SummaryResult struct {
+	Alerts, Bursts int
+
+	ObserveMean time.Duration
+	FlushMean   time.Duration
+
+	Stats       summary.Stats
+	Compression float64
+}
+
+// Summary measures the summarization tier in-process: scripted flood
+// bursts — many nodes of one job tripping one metric family at once,
+// plus sub-MinGroup stragglers that must deliver raw — stream through
+// Observe, and a deterministic clock drives the Flush cadence through
+// fold, update and resolve. Spans summary_observe (per-alert intake)
+// and summary_fold (per-window clustering) land in the tracer.
+func Summary(w io.Writer, s Scale, tr *obs.Tracer) (SummaryResult, error) {
+	bursts, perBurst := 400, 96
+	if s == Quick {
+		bursts, perBurst = 100, 48
+	}
+	const stragglers = 2 // per burst, below MinGroup: the raw path
+
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	var incidents, raws int64
+	sum := summary.New(summary.Config{
+		ResolveAfter: 5 * time.Second,
+		MinGroup:     3,
+		PendingCap:   2 * (perBurst + stragglers),
+		Clock:        clock,
+		OnIncident:   func(summary.Incident, summary.Transition) { incidents++ },
+		OnRaw:        func(summary.Event) { raws++ },
+	})
+	defer sum.Close()
+
+	families := []string{"CPU", "Memory", "Network", "Filesystem"}
+	res := SummaryResult{Alerts: bursts * (perBurst + stragglers), Bursts: bursts}
+
+	// Pre-render every burst so the timed loops are pure tier cost.
+	type burst struct{ events []summary.Event }
+	script := make([]burst, bursts)
+	for b := range script {
+		evs := make([]summary.Event, 0, perBurst+stragglers)
+		fam := families[b%len(families)]
+		job := fmt.Sprintf("%d", 8000+b%7)
+		for i := 0; i < perBurst; i++ {
+			evs = append(evs, summary.Event{
+				Ts:     now.Unix() + int64(b),
+				Metric: fam,
+				Tags: map[string]string{
+					"node": fmt.Sprintf("node-%04d", i),
+					"job":  job,
+				},
+				Severity: 4 + float64(i%13),
+				Priority: i % 2,
+			})
+		}
+		for i := 0; i < stragglers; i++ {
+			evs = append(evs, summary.Event{
+				Ts:     now.Unix() + int64(b),
+				Metric: "GPU", // never reaches MinGroup in one window
+				Tags:   map[string]string{"node": fmt.Sprintf("lone-%d-%d", b, i)},
+			})
+		}
+		script[b] = burst{events: evs}
+	}
+
+	// Drive: each burst is one window — Observe the storm, then Flush it
+	// into the live incident set. The advancing clock resolves incidents
+	// whose family has gone quiet past ResolveAfter.
+	spObs := tr.Start("summary_observe")
+	spFold := tr.Start("summary_fold")
+	var observeWall, flushWall time.Duration
+	for _, b := range script {
+		t0 := time.Now()
+		for _, e := range b.events {
+			sum.Observe(e)
+		}
+		observeWall += time.Since(t0)
+		t1 := time.Now()
+		sum.Flush(now)
+		flushWall += time.Since(t1)
+		now = now.Add(time.Second)
+	}
+	sum.Close() // final flush: every open incident resolves
+	spObs.AddItems(int64(res.Alerts))
+	spObs.End()
+	spFold.AddItems(int64(bursts))
+	spFold.End()
+
+	res.ObserveMean = observeWall / time.Duration(res.Alerts)
+	res.FlushMean = flushWall / time.Duration(bursts)
+	res.Stats = sum.Stats()
+	if e := res.Stats.Emissions(); e > 0 {
+		res.Compression = float64(res.Stats.Observed) / float64(e)
+	}
+
+	// Sanity: exact accounting, callbacks saw every emission, everything
+	// resolved at quiescence.
+	if res.Stats.Observed != int64(res.Alerts) {
+		return res, fmt.Errorf("experiments: summarizer observed %d of %d alerts", res.Stats.Observed, res.Alerts)
+	}
+	if res.Stats.Folded+res.Stats.Raw != res.Stats.Observed {
+		return res, fmt.Errorf("experiments: folded %d + raw %d != observed %d",
+			res.Stats.Folded, res.Stats.Raw, res.Stats.Observed)
+	}
+	if res.Stats.Resolved != res.Stats.Opened {
+		return res, fmt.Errorf("experiments: %d incidents opened, %d resolved", res.Stats.Opened, res.Stats.Resolved)
+	}
+	if raws != res.Stats.Raw {
+		return res, fmt.Errorf("experiments: OnRaw saw %d, stats count %d", raws, res.Stats.Raw)
+	}
+	if res.Compression < 10 {
+		return res, fmt.Errorf("experiments: compression %.1fx below the 10x floor", res.Compression)
+	}
+
+	pr := &report{w: w}
+	pr.println("Alert summarization tier (flood folding + compression)")
+	pr.printf("  storm:    %d bursts x %d alerts (+%d raw stragglers each)\n", res.Bursts, perBurst, stragglers)
+	pr.printf("  observe:  %v mean per alert (consumer hot path)\n", res.ObserveMean.Round(time.Nanosecond))
+	pr.printf("  fold:     %v mean per window flush\n", res.FlushMean.Round(time.Nanosecond))
+	pr.printf("  folded:   %d alerts into %d incidents (%d updates), %d raw\n",
+		res.Stats.Folded, res.Stats.Opened, res.Stats.Updated, res.Stats.Raw)
+	pr.printf("  emitted:  %d deliveries for %d alerts — %.1fx compression\n",
+		res.Stats.Emissions(), res.Stats.Observed, res.Compression)
+	return res, pr.Err()
+}

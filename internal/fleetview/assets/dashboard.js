@@ -1,7 +1,10 @@
 // Fleet dashboard: renders /fleet/state into a score heatmap, a cluster
-// map colored by vicinity residual, and an incident timeline, then keeps
-// itself live off the /fleet/events SSE stream. Plain d3 v7, no build
-// step; degrades to the raw JSON endpoints when the CDN is unreachable.
+// map colored by vicinity residual, and an incident timeline, keeps
+// itself live off the /fleet/events SSE stream, and renders the
+// summarization tier's folded incidents from /fleet/incidents. The
+// replay control re-reads the whole journal (events?since=0) and scrubs
+// through it. Plain d3 v7, no build step; degrades to the raw JSON
+// endpoints when the CDN is unreachable.
 (function () {
   "use strict";
   if (typeof d3 === "undefined") {
@@ -16,6 +19,7 @@
     .domain([vicThreshold * 1.5, 0]); // green at 0, red past threshold
   const events = []; // newest last, bounded
   const MAX_EVENTS = 400;
+  let replaying = false;
 
   function renderHeatmap(state) {
     const nodes = state.nodes;
@@ -141,6 +145,7 @@
       alert: "#f85149",
       vicinity: "#d29922",
       chaos_fault: "#a371f7",
+      incident: "#3fb950",
     };
     svg
       .selectAll("g.axis")
@@ -176,6 +181,7 @@
   }
 
   function addEvents(list) {
+    if (replaying) return; // the scrubber owns the event panes
     for (const e of list) {
       if (events.length && e.seq <= events[events.length - 1].seq) continue;
       events.push(e);
@@ -183,6 +189,56 @@
     if (events.length > MAX_EVENTS) events.splice(0, events.length - MAX_EVENTS);
     renderEventList();
     renderTimeline();
+  }
+
+  function renderIncidents(snap) {
+    const open = snap.open || [],
+      items = open.concat((snap.resolved || []).slice(-12).reverse());
+    document.getElementById("stat-incidents").textContent = open.length;
+    d3.select("#incidents")
+      .selectAll("li")
+      .data(items, (i) => i.id)
+      .join("li")
+      .html(
+        (i) =>
+          `<span class="inc-state inc-${i.state}">${i.state}</span> ` +
+          `<b>${i.title}</b> · severity ${i.severity.toFixed(2)}` +
+          (i.truncated ? " · member list truncated" : "")
+      );
+  }
+
+  // Replay: pull the whole retained journal in one shot and hand the
+  // event panes to a scrubber; live SSE updates are held off until the
+  // operator flips back.
+  function showEventsUpTo(list, n) {
+    events.length = 0;
+    for (const e of list.slice(Math.max(0, n - MAX_EVENTS), n)) events.push(e);
+    renderEventList();
+    renderTimeline();
+  }
+
+  async function toggleReplay() {
+    const btn = document.getElementById("replay-btn"),
+      pos = document.getElementById("replay-pos");
+    if (replaying) {
+      replaying = false;
+      btn.textContent = "replay";
+      btn.classList.remove("on");
+      pos.style.display = "none";
+      events.length = 0;
+      addEvents(await (await fetch("events")).json());
+      return;
+    }
+    const all = await (await fetch("events?since=0")).json();
+    if (!all.length) return;
+    replaying = true;
+    btn.textContent = "live";
+    btn.classList.add("on");
+    pos.max = all.length;
+    pos.value = all.length;
+    pos.style.display = "inline-block";
+    pos.oninput = () => showEventsUpTo(all, +pos.value);
+    showEventsUpTo(all, all.length);
   }
 
   async function refresh() {
@@ -194,6 +250,7 @@
     document.getElementById("stat-dropped").textContent = state.dropped;
     renderHeatmap(state);
     renderClusters(state);
+    renderIncidents(await (await fetch("incidents")).json());
   }
 
   async function start() {
@@ -206,10 +263,12 @@
     es.onerror = () => (feed.textContent = "reconnecting…");
     for (const kind of [
       "alert", "vicinity", "chaos_fault", "drift", "retrain",
-      "shadow", "promoted", "rejected", "swap",
+      "shadow", "promoted", "rejected", "swap", "incident",
     ]) {
       es.addEventListener(kind, (msg) => addEvents([JSON.parse(msg.data)]));
     }
+    document.getElementById("replay-btn").onclick = () =>
+      toggleReplay().catch(() => {});
     setInterval(refresh, 5000);
   }
 

@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nodesentry/internal/obs"
 	"nodesentry/internal/runtime"
+	"nodesentry/internal/summary"
 )
 
 // Config parameterizes an Aggregator.
@@ -65,6 +67,14 @@ type Config struct {
 	// within the window (default 300 s, mirroring the monitor's alert
 	// cooldown).
 	VicinityCooldownSec int64
+	// SustainK of the last SustainN evaluations (including the current
+	// one) must put a node's residual at or above VicinityThreshold
+	// before a vicinity alert fires (defaults 2 of 4) — sustained
+	// divergence, not a one-sample blip. SustainK=1 restores the
+	// instantaneous behavior. SustainN is clamped to ResidualHistory,
+	// the ring the counts are read from.
+	SustainK int
+	SustainN int
 	// EvalInterval is Run's vicinity evaluation cadence (default 15 s).
 	EvalInterval time.Duration
 
@@ -117,6 +127,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VicinityCooldownSec <= 0 {
 		c.VicinityCooldownSec = 300
+	}
+	if c.SustainK <= 0 {
+		c.SustainK = 2
+	}
+	if c.SustainN <= 0 {
+		c.SustainN = 4
+	}
+	if c.SustainN > c.ResidualHistory {
+		c.SustainN = c.ResidualHistory
+	}
+	if c.SustainK > c.SustainN {
+		c.SustainK = c.SustainN
 	}
 	if c.EvalInterval <= 0 {
 		c.EvalInterval = 15 * time.Second
@@ -210,6 +232,27 @@ func (h *nodeHist) pushResidual(p ResidualPoint) {
 	}
 }
 
+// sustained counts how many of the node's last n residual evaluations
+// (newest first) put the chosen signal at or above thr — the k-of-n
+// evidence a vicinity alert needs.
+func (h *nodeHist) sustained(n int, thr float64, dist bool) int {
+	if n > h.resN {
+		n = h.resN
+	}
+	over := 0
+	for i := 1; i <= n; i++ {
+		p := h.resRing[((h.resHead-i)%len(h.resRing)+len(h.resRing))%len(h.resRing)]
+		v := p.Score
+		if dist {
+			v = p.Dist
+		}
+		if v >= thr {
+			over++
+		}
+	}
+	return over
+}
+
 // residuals returns the retained evaluation history, oldest first.
 func (h *nodeHist) residuals() []ResidualPoint {
 	out := make([]ResidualPoint, 0, h.resN)
@@ -280,6 +323,12 @@ type Aggregator struct {
 
 	faultMu sync.Mutex
 	faults  map[string]int64
+
+	// sum, when attached, backs /fleet/incidents and the incident event
+	// lane. An atomic pointer bridges the daemon's construction order
+	// (the summarizer is built before the aggregator, but either order
+	// works).
+	sum atomic.Pointer[summary.Summarizer]
 
 	reg *obs.Registry
 	met fvMetrics
@@ -424,6 +473,7 @@ const (
 	EventAlert    = "alert"
 	EventVicinity = "vicinity"
 	EventChaos    = "chaos_fault"
+	EventIncident = "incident"
 )
 
 // emit journals e (assigning its sequence number), counts it, and fans it
@@ -449,6 +499,31 @@ func (a *Aggregator) RecordEvent(kind, node, detail string, value float64) {
 // callback shape.
 func (a *Aggregator) LifecycleEvent(kind, detail string) {
 	a.RecordEvent(kind, "", detail, 0)
+}
+
+// AttachSummary exposes s on /fleet/incidents and enables the incident
+// event lane. The aggregator only serves the summarizer's state; feeding
+// it stays on the alert consumer's path.
+func (a *Aggregator) AttachSummary(s *summary.Summarizer) {
+	a.sum.Store(s)
+}
+
+// Summary returns the attached summarizer (nil before AttachSummary).
+func (a *Aggregator) Summary() *summary.Summarizer {
+	return a.sum.Load()
+}
+
+// RecordIncident journals one incident lifecycle transition as an
+// "incident" event on the journal and SSE bus — the semantic lane the
+// dashboard renders above the raw alert stream.
+func (a *Aggregator) RecordIncident(inc summary.Incident, trans summary.Transition) {
+	a.emit(Event{
+		Ts:   inc.LastTs,
+		Kind: EventIncident,
+		Detail: fmt.Sprintf("%s=%s id=%s count=%d dimension=%s severity=%.4f",
+			trans, inc.Title, inc.ID, inc.Count, inc.Dimension, inc.Severity),
+		Value: float64(inc.Count),
+	})
 }
 
 // RecordFault journals n injected chaos faults of the named kind and

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nodesentry/internal/obs"
+	"nodesentry/internal/summary"
 )
 
 //go:embed assets
@@ -167,6 +168,7 @@ func (a *Aggregator) Handler() http.Handler {
 	mux.HandleFunc("GET /fleet/state", a.serveState)
 	mux.HandleFunc("GET /fleet/nodes/{node}", a.serveNode)
 	mux.HandleFunc("GET /fleet/events", a.serveEvents)
+	mux.HandleFunc("GET /fleet/incidents", a.serveIncidents)
 	return mux
 }
 
@@ -211,6 +213,17 @@ func (a *Aggregator) serveNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, d)
+}
+
+// serveIncidents reports the attached summarizer's live and recently
+// resolved incident sets; without a summarizer it serves an empty
+// snapshot so the dashboard's incident lane degrades gracefully.
+func (a *Aggregator) serveIncidents(w http.ResponseWriter, r *http.Request) {
+	if s := a.sum.Load(); s != nil {
+		writeJSON(w, s.Incidents())
+		return
+	}
+	writeJSON(w, summary.Snapshot{Open: []summary.Incident{}, Resolved: []summary.Incident{}})
 }
 
 func (a *Aggregator) serveEvents(w http.ResponseWriter, r *http.Request) {

@@ -157,11 +157,21 @@ func (a *Aggregator) Evaluate() []VicinityAlert {
 		h.resDistG.Set(gz(r.zDist))
 		h.pushResidual(ResidualPoint{Ts: now, Score: gz(r.zScore), Dist: gz(r.zDist), Peers: r.peers})
 
+		// A signal fires only on sustained divergence: the current
+		// residual is over the threshold AND at least SustainK of the
+		// last SustainN evaluations (the residual ring, current pass
+		// included) were too. One elevated sample is a blip; k of n is a
+		// diverging node.
+		thr := a.cfg.VicinityThreshold
+		overNow := func(z float64) bool { return !math.IsNaN(z) && z >= thr }
+		held := func(dist bool) bool {
+			return h.sustained(a.cfg.SustainN, thr, dist) >= a.cfg.SustainK
+		}
 		signal, z, val, med := "", 0.0, 0.0, 0.0
 		switch {
-		case !math.IsNaN(r.zScore) && r.zScore >= a.cfg.VicinityThreshold:
+		case overNow(r.zScore) && held(false):
 			signal, z, val, med = "score", r.zScore, r.sample.score, r.medScore
-		case !math.IsNaN(r.zDist) && r.zDist >= a.cfg.VicinityThreshold:
+		case overNow(r.zDist) && held(true):
 			signal, z, val, med = "distance", r.zDist, r.sample.dist, r.medDist
 		default:
 			continue

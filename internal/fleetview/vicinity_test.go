@@ -58,6 +58,12 @@ func TestVicinityPeerDivergence(t *testing.T) {
 		}
 	}
 
+	// Sustained divergence: the first evaluation records the elevated
+	// residual in the ring but must not fire — one sample over the
+	// threshold is a blip, not a diverging node (SustainK defaults to 2).
+	if first := a.Evaluate(); len(first) != 0 {
+		t.Fatalf("first evaluation fired %d alerts before the divergence was sustained", len(first))
+	}
 	alerts := a.Evaluate()
 	var flagged []string
 	for _, al := range alerts {
@@ -113,6 +119,28 @@ func TestVicinityPeerDivergence(t *testing.T) {
 	_ = a2 // cooldown is 1s; same-second re-eval must be suppressed
 	if len(a2) != 0 {
 		t.Fatalf("re-evaluation inside cooldown fired %d alerts", len(a2))
+	}
+}
+
+// TestSustainedCounts pins the k-of-n window arithmetic on the residual
+// ring: only the last n evaluations count, and both signals are read
+// independently.
+func TestSustainedCounts(t *testing.T) {
+	h := &nodeHist{resRing: make([]ResidualPoint, 8)}
+	for _, z := range []float64{5, 0, 5, 5} {
+		h.pushResidual(ResidualPoint{Score: z, Dist: z / 2})
+	}
+	if got := h.sustained(4, 3.5, false); got != 3 {
+		t.Fatalf("sustained(4) = %d, want 3", got)
+	}
+	if got := h.sustained(2, 3.5, false); got != 2 {
+		t.Fatalf("sustained(2) = %d, want 2 (only the newest two)", got)
+	}
+	if got := h.sustained(16, 3.5, false); got != 3 {
+		t.Fatalf("sustained beyond fill = %d, want 3", got)
+	}
+	if got := h.sustained(4, 2.0, true); got != 3 {
+		t.Fatalf("sustained dist = %d, want 3", got)
 	}
 }
 

@@ -105,6 +105,24 @@ func (s *WebhookSink) Send(a Alert) error {
 		s.failures.Inc()
 		return s.fail(err)
 	}
+	return s.deliver(client, body)
+}
+
+// SendRaw delivers a pre-marshaled JSON body through the same retrying
+// path (and the same nodesentry_webhook_* counters) as Send — the seam
+// the summarization tier posts folded incident payloads through without
+// the sink knowing their shape.
+func (s *WebhookSink) SendRaw(body []byte) error {
+	s.instrument()
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return s.deliver(client, body)
+}
+
+// deliver runs the retry loop for one body.
+func (s *WebhookSink) deliver(client *http.Client, body []byte) error {
 	backoff := s.Backoff
 	if backoff.Base <= 0 {
 		backoff = ingest.Backoff{Base: s.RetryBackoff, Max: s.RetryBackoff, Factor: 1}

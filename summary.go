@@ -1,0 +1,48 @@
+package nodesentry
+
+import "nodesentry/internal/summary"
+
+// Alert summarization (internal/summary): the semantic tier between the
+// raw alert stream and the operator. A correlated infrastructure fault
+// trips the paper's per-node detectors simultaneously; the summarizer
+// partitions alert tags into constant vs varying dimensions, clusters by
+// time proximity and metric family, and folds N webhooks into one live
+// Incident with an open/update/resolve lifecycle. Embedders feed it with
+// Summarizer.Observe(SummaryEventFromAlert(a)) and drive the window
+// cadence with Summarizer.Run or explicit Flush calls; sentryd wires it
+// behind the -summary flag.
+type (
+	// Summarizer folds a stream of alert-derived events into incidents.
+	Summarizer = summary.Summarizer
+	// SummaryConfig parameterizes NewSummarizer; the zero value gets
+	// sensible defaults.
+	SummaryConfig = summary.Config
+	// SummaryEvent is one normalized alert: a metric family plus tags.
+	SummaryEvent = summary.Event
+	// Incident is one folded alert group with its tag partition.
+	Incident = summary.Incident
+	// IncidentTransition labels an incident lifecycle edge.
+	IncidentTransition = summary.Transition
+	// IncidentSnapshot is the open+resolved view served on
+	// /fleet/incidents.
+	IncidentSnapshot = summary.Snapshot
+	// SummaryStats is the tier's exact fold accounting
+	// (observed == folded + raw).
+	SummaryStats = summary.Stats
+	// TagPartition splits a group's tags into constant vs varying keys.
+	TagPartition = summary.TagPartition
+)
+
+// NewSummarizer returns a summarization tier for cfg. Close releases it
+// and resolves every open incident in one final flush.
+func NewSummarizer(cfg SummaryConfig) *Summarizer { return summary.New(cfg) }
+
+// SummaryEventFromAlert normalizes a monitor alert into the
+// summarizer's event shape (family, node/job/level tags, severity).
+func SummaryEventFromAlert(a Alert) SummaryEvent { return summary.FromAlert(a) }
+
+// PartitionSummaryTags computes the constant/varying tag split and the
+// spanning dimension for a group of events.
+func PartitionSummaryTags(events []SummaryEvent) TagPartition {
+	return summary.PartitionTags(events)
+}
