@@ -29,6 +29,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table2..table5, fig1, fig4, fig6a-f, fig8, dtw, incremental, deploy, gateway, lifecycle, chaos, fleetview, coord, summary, all)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jsonOut := flag.Bool("json", false, "write per-experiment stage timings (wall, allocs, bytes) to BENCH_obs.json")
+	check := flag.Bool("check", false, "compare this run's stage records against the committed BENCH_obs.json and exit 4 on drift (implies tracing; does not rewrite the baseline)")
+	checkWall := flag.Float64("check-wall-pct", 20, "with -check: allowed one-sided wall-time regression in percent")
+	checkAlloc := flag.Float64("check-alloc-pct", 10, "with -check: allowed two-sided allocation drift in percent (counts and bytes)")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -41,7 +44,7 @@ func main() {
 	// (wall time, allocations, bytes) as the perf trajectory's seed file.
 	// The lifecycle experiment additionally adds retrain/swap sub-spans.
 	var tracer *obs.Tracer
-	if *jsonOut {
+	if *jsonOut || *check {
 		tracer = obs.NewTracer(nil)
 	}
 
@@ -125,8 +128,21 @@ func main() {
 		sp.End()
 		fmt.Printf("    (%v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
+	// runCheck gates the run against the committed baseline (exit 4 on
+	// drift). A partial -exp run compares only its own stages; -exp all
+	// also demands no baseline stage went missing.
+	runCheck := func() {
+		if !*check {
+			return
+		}
+		opts := defaultCheckOpts(*checkWall, *checkAlloc)
+		if !checkAgainst("BENCH_obs.json", tracer.Records(), opts, *exp == "all", os.Stdout) {
+			os.Exit(4)
+		}
+	}
 	writeJSON := func() {
-		if !*jsonOut {
+		// -check never rewrites the baseline it is about to compare against.
+		if !*jsonOut || *check {
 			return
 		}
 		f, err := os.Create("BENCH_obs.json")
@@ -150,6 +166,7 @@ func main() {
 			run(name)
 		}
 		writeJSON()
+		runCheck()
 		return
 	}
 	if _, ok := runners[*exp]; !ok {
@@ -158,6 +175,7 @@ func main() {
 	}
 	run(*exp)
 	writeJSON()
+	runCheck()
 }
 
 // lintBench times the repo's own analyzer over the full module: a cold run

@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,10 @@ type Config struct {
 	// Cycles is how many full drift→retrain→shadow→swap cycles to run
 	// (default 1; the nightly soak runs several).
 	Cycles int
+	// BatchWindows forwards to the daemon's monitor: > 1 scores that many
+	// windows per stacked model invocation. The nightly soak forces it on
+	// so the batched path sees chaos at full depth.
+	BatchWindows int
 	// RecallFloor is the minimum fault recall over the clean-phase
 	// window (default 0.2) — chaos may cost detection latency, but the
 	// detector must keep finding real anomalies through it.
@@ -336,6 +341,7 @@ func (s *soak) start() (func() error, error) {
 		Layouts:        layouts,
 		ScoringWorkers: 3,
 		AlertBuffer:    1024,
+		BatchWindows:   s.cfg.BatchWindows,
 		Shards:         shards,
 		QueueSize:      256,
 		Policy:         ingest.Block,
@@ -1039,14 +1045,27 @@ func (e *exporter) serve(w http.ResponseWriter, r *http.Request) {
 	k := e.k.Add(1) - 1
 	t := int(k % int64(len(e.data[0])))
 	tsMs := (e.start + k*e.step) * 1000
-	var b strings.Builder
+	// Append-based formatting: a scrape body is thousands of series lines
+	// and per-line fmt boxing dominated the soak's allocation profile. The
+	// node names here are plain ASCII, so %q reduces to bare quotes.
+	b := make([]byte, 0, 64<<10)
+	series := func(name, node string, v float64) {
+		b = append(b, name...)
+		b = append(b, `{node="`...)
+		b = append(b, node...)
+		b = append(b, `"} `...)
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, tsMs, 10)
+		b = append(b, '\n')
+	}
 	for _, node := range e.nodes {
 		if k == 0 {
-			fmt.Fprintf(&b, "%s{node=%q} 7 %d\n", ingest.JobTransitionSeries, node, tsMs)
+			series(ingest.JobTransitionSeries, node, 7)
 		}
 		for m, name := range e.metrics {
-			fmt.Fprintf(&b, "%s{node=%q} %g %d\n", name, node, e.data[m][t], tsMs)
+			series(name, node, e.data[m][t])
 		}
 	}
-	_, _ = io.WriteString(w, b.String())
+	_, _ = w.Write(b)
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+	"nodesentry/internal/nn"
+	"nodesentry/internal/preprocess"
+)
+
+// scoreScratch is the detector's grow-once buffer set for the streaming
+// score path (ScoreFrame / ScoreFrameBatch / MatchPattern). The frames and
+// matrices are reused across calls, so steady-state scoring stops paying
+// the Clone + Reduction.Apply allocation tax of the cold Preprocess path.
+// Detector methods are not concurrency-safe on one instance — the runtime
+// Monitor hands out pooled clones with exclusive checkout — so plain reuse
+// is sound.
+type scoreScratch struct {
+	raw       mts.NodeFrame
+	red       mts.NodeFrame
+	x         *mat.Matrix
+	positions []int
+	segIDs    []int
+}
+
+// growMat returns a rows×cols matrix backed by m's storage when it is big
+// enough, else a fresh one. Contents are undefined.
+func growMat(m *mat.Matrix, rows, cols int) *mat.Matrix {
+	if m != nil && cap(m.Data) >= rows*cols {
+		return &mat.Matrix{Rows: rows, Cols: cols, Data: m.Data[:rows*cols]}
+	}
+	return mat.New(rows, cols)
+}
+
+// preprocessInto is Preprocess with detector-owned scratch: the raw frame
+// is copied into a reusable buffer (Clean repairs in place), reduced with
+// Reduction.ApplyInto, and standardized. The returned frame is valid until
+// the next preprocessInto call. Per-series cleaning and per-row reduction/
+// standardization are order-independent, so the result is byte-identical
+// to the allocating Preprocess.
+func (d *Detector) preprocessInto(frame *mts.NodeFrame) *mts.NodeFrame {
+	s := &d.scratch
+	T := frame.Len()
+	if cap(s.raw.Data) < len(frame.Data) {
+		s.raw.Data = make([][]float64, len(frame.Data))
+	}
+	s.raw.Data = s.raw.Data[:len(frame.Data)]
+	for m, row := range frame.Data {
+		s.raw.Data[m] = mat.GrowFloats(s.raw.Data[m], T)
+		copy(s.raw.Data[m], row)
+	}
+	s.raw.Node = frame.Node
+	s.raw.Metrics = frame.Metrics
+	s.raw.Start = frame.Start
+	s.raw.Step = frame.Step
+	for _, row := range s.raw.Data {
+		preprocess.CleanSeries(row)
+	}
+
+	nOut := d.red.NumOutput()
+	if cap(s.red.Data) < nOut {
+		s.red.Data = make([][]float64, nOut)
+	}
+	s.red.Data = s.red.Data[:nOut]
+	for i := range s.red.Data {
+		s.red.Data[i] = mat.GrowFloats(s.red.Data[i], T)
+	}
+	if s.red.Metrics == nil {
+		s.red.Metrics = d.red.OutputNames()
+	}
+	d.red.ApplyInto(&s.red, &s.raw)
+	d.std.Apply(&s.red)
+	return &s.red
+}
+
+// windowInto packs preprocessed frame rows [0, n) into scratch row i of a
+// stacked window matrix, with job-aligned positions and segment id 0.
+func (s *scoreScratch) windowInto(f *mts.NodeFrame, slot, n, offset int) {
+	base := slot * n
+	for t := 0; t < n; t++ {
+		row := s.x.Row(base + t)
+		for m := range f.Data {
+			row[m] = f.Data[m][t]
+		}
+		s.positions[base+t] = offset + t
+		s.segIDs[base+t] = 0
+	}
+}
+
+// ScoreFrameBatch scores B equal-length raw frames against one cluster's
+// model in a single stacked forward pass: the windows are concatenated
+// row-wise and attention runs block-diagonally per window, so the returned
+// scores are byte-identical to calling ScoreFrame per frame — at a fraction
+// of the dispatch and allocation cost. offsets[i] is frame i's first-sample
+// position within its job (as in ScoreFrame).
+//
+// Frames of unequal length, or longer than the model window, fall back to
+// sequential ScoreFrame calls.
+func (d *Detector) ScoreFrameBatch(frames []*mts.NodeFrame, cluster int, offsets []int) [][]float64 {
+	out := make([][]float64, len(frames))
+	if len(frames) == 0 {
+		return out
+	}
+	if cluster < 0 || cluster >= len(d.library) {
+		for i, f := range frames {
+			out[i] = make([]float64, f.Len())
+		}
+		return out
+	}
+	W := frames[0].Len()
+	stackable := W > 0 && W <= d.opts.WindowLen
+	for _, f := range frames {
+		if f.Len() != W {
+			stackable = false
+			break
+		}
+	}
+	if !stackable || len(frames) == 1 {
+		for i, f := range frames {
+			out[i] = d.ScoreFrame(f, cluster, offsets[i])
+		}
+		return out
+	}
+
+	cm := d.library[cluster]
+	inv := 1.0
+	if cm.scale > 0 {
+		inv = 1 / cm.scale
+	}
+	B := len(frames)
+	dim := d.red.NumOutput()
+	s := &d.scratch
+	s.x = growMat(s.x, B*W, dim)
+	s.positions = mat.GrowInts(s.positions, B*W)
+	s.segIDs = mat.GrowInts(s.segIDs, B*W)
+	for i, f := range frames {
+		rf := d.preprocessInto(f)
+		s.windowInto(rf, i, W, offsets[i])
+	}
+	pred := cm.model.ForwardWindows(s.x, W, s.positions, s.segIDs)
+	scores := make([]float64, B*W)
+	nn.ReconErrorsInto(scores, pred, s.x, cm.weights)
+	for i := range frames {
+		sub := scores[i*W : (i+1)*W]
+		for t := range sub {
+			sub[t] *= inv
+		}
+		out[i] = sub
+	}
+	return out
+}

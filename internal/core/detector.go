@@ -99,6 +99,7 @@ type Detector struct {
 	pca       *cluster.PCA // nil when PCADims == 0
 	centroids *mat.Matrix
 	library   []*clusterModel
+	scratch   scoreScratch
 
 	Stats TrainStats
 }
@@ -344,7 +345,10 @@ func (d *Detector) trainClusterModel(ctx context.Context, c int, F *mat.Matrix, 
 	if err != nil {
 		return nil, err
 	}
-	opt := nn.NewAdam(model.Params(), d.opts.LR)
+	// Params returns stable pointers, so hoist the (allocating) walk out of
+	// the step loop.
+	params := model.Params()
+	opt := nn.NewAdam(params, d.opts.LR)
 	for epoch := 0; epoch < d.opts.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: training canceled: %w", err)
@@ -353,7 +357,7 @@ func (d *Detector) trainClusterModel(ctx context.Context, c int, F *mat.Matrix, 
 			out := model.Forward(w.x, w.positions, w.segIDs)
 			_, grad := nn.WMSE(out, w.x, weights)
 			model.Backward(grad)
-			nn.ClipGradients(model.Params(), 5)
+			nn.ClipGradients(params, 5)
 			opt.Step()
 		}
 	}

@@ -218,7 +218,7 @@ func (d *Detector) featureVector(f *mts.NodeFrame, seg mts.Segment) []float64 {
 // after a job transition — against the cluster library, without scoring.
 // This is the streaming variant of the per-segment matching Detect does.
 func (d *Detector) MatchPattern(frame *mts.NodeFrame) SegmentAssignment {
-	f := d.Preprocess(frame)
+	f := d.preprocessInto(frame)
 	seg := mts.Segment{Node: f.Node, Job: mts.IdleJobID, Lo: 0, Hi: f.Len()}
 	return d.matchSegment(f, seg)
 }
@@ -231,9 +231,32 @@ func (d *Detector) ScoreFrame(frame *mts.NodeFrame, cluster int, offset int) []f
 	if cluster < 0 || cluster >= len(d.library) {
 		return make([]float64, frame.Len())
 	}
-	f := d.Preprocess(frame)
-	scores := make([]float64, f.Len())
-	seg := mts.Segment{Node: f.Node, Job: mts.IdleJobID, Lo: 0, Hi: f.Len(), Offset: offset}
+	f := d.preprocessInto(frame)
+	n := f.Len()
+	scores := make([]float64, n)
+	if n > 0 && n <= d.opts.WindowLen {
+		// Streaming fast path: the frame is a single model window, so the
+		// window matrix is packed straight into detector scratch instead
+		// of going through segmentWindows' per-call allocations. The
+		// arithmetic is the window-for-window same as scoreSegment's.
+		cm := d.library[cluster]
+		inv := 1.0
+		if cm.scale > 0 {
+			inv = 1 / cm.scale
+		}
+		s := &d.scratch
+		s.x = growMat(s.x, n, d.red.NumOutput())
+		s.positions = mat.GrowInts(s.positions, n)
+		s.segIDs = mat.GrowInts(s.segIDs, n)
+		s.windowInto(f, 0, n, offset)
+		pred := cm.model.ForwardWindows(s.x, n, s.positions, s.segIDs)
+		nn.ReconErrorsInto(scores, pred, s.x, cm.weights)
+		for t := range scores {
+			scores[t] *= inv
+		}
+		return scores
+	}
+	seg := mts.Segment{Node: f.Node, Job: mts.IdleJobID, Lo: 0, Hi: n, Offset: offset}
 	d.scoreSegment(f, seg, cluster, scores)
 	return scores
 }
@@ -371,13 +394,14 @@ func (d *Detector) fineTune(c int, f *mts.NodeFrame, seg mts.Segment, epochs int
 	if d.opts.MaxWindowsPerCluster > 0 && len(wins) > d.opts.MaxWindowsPerCluster {
 		wins = wins[:d.opts.MaxWindowsPerCluster]
 	}
-	opt := nn.NewAdam(cm.model.Params(), d.opts.LR*0.3) // gentler fine-tuning
+	params := cm.model.Params()
+	opt := nn.NewAdam(params, d.opts.LR*0.3) // gentler fine-tuning
 	for e := 0; e < epochs; e++ {
 		for _, w := range wins {
 			out := cm.model.Forward(w.x, w.positions, w.segIDs)
 			_, grad := nn.WMSE(out, w.x, cm.weights)
 			cm.model.Backward(grad)
-			nn.ClipGradients(cm.model.Params(), 5)
+			nn.ClipGradients(params, 5)
 			opt.Step()
 		}
 	}
@@ -415,7 +439,8 @@ func (d *Detector) trainNewClusterModel(globalID int, F *mat.Matrix, labels []in
 	if err != nil {
 		return nil, err
 	}
-	opt := nn.NewAdam(model.Params(), d.opts.LR)
+	params := model.Params()
+	opt := nn.NewAdam(params, d.opts.LR)
 	if d.opts.MaxWindowsPerCluster > 0 && len(wins) > d.opts.MaxWindowsPerCluster {
 		wins = wins[:d.opts.MaxWindowsPerCluster]
 	}
@@ -424,7 +449,7 @@ func (d *Detector) trainNewClusterModel(globalID int, F *mat.Matrix, labels []in
 			out := model.Forward(w.x, w.positions, w.segIDs)
 			_, grad := nn.WMSE(out, w.x, weights)
 			model.Backward(grad)
-			nn.ClipGradients(model.Params(), 5)
+			nn.ClipGradients(params, 5)
 			opt.Step()
 		}
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -73,13 +72,56 @@ func (d *Detector) Save(w io.Writer) error {
 
 // Clone returns an independent deep copy of the detector, safe to use from
 // a different goroutine than the original (layer caches are per instance).
-// It round-trips through the snapshot encoding, so it is exact.
+// Mutable state — centroids, the model library, per-model loss weights —
+// is copied; the preprocessing artifacts (reduction plan, standardizer,
+// PCA basis) are shared, since nothing mutates them after training. Model
+// weights go through the same rebuild path Load uses, so a clone scores
+// bit-identically to a snapshot round-trip without paying the gob
+// encode/decode (clones are minted per swap for the scoring pool, and the
+// serialization dominated swap-heavy allocation profiles).
 func (d *Detector) Clone() (*Detector, error) {
-	var buf bytes.Buffer
-	if err := d.Save(&buf); err != nil {
-		return nil, err
+	c := &Detector{
+		opts:     d.opts,
+		red:      d.red,
+		std:      d.std,
+		featMean: append([]float64(nil), d.featMean...),
+		featStd:  append([]float64(nil), d.featStd...),
+		pca:      d.pca,
+		Stats:    d.Stats,
 	}
-	return Load(&buf)
+	if d.centroids != nil {
+		c.centroids = d.centroids.Clone()
+	}
+	dim := d.red.NumOutput()
+	for i, cm := range d.library {
+		cfg := d.opts.Model
+		cfg.InputDim = dim
+		cfg.UseMoE = !d.opts.DenseFFN
+		cfg.SegmentAwarePE = !d.opts.FlatPositionalEncoding
+		cfg.Seed = d.opts.Seed + int64(i)*977
+		model, err := nn.NewReconstructor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dst, src := model.Params(), cm.model.Params()
+		if len(dst) != len(src) {
+			return nil, fmt.Errorf("core: clone model %d has %d params, architecture wants %d",
+				i, len(src), len(dst))
+		}
+		for j := range src {
+			if len(dst[j].W.Data) != len(src[j].W.Data) {
+				return nil, fmt.Errorf("core: clone model %d param %d size mismatch", i, j)
+			}
+			copy(dst[j].W.Data, src[j].W.Data)
+		}
+		c.library = append(c.library, &clusterModel{
+			model:   model,
+			weights: append([]float64(nil), cm.weights...),
+			radius:  cm.radius,
+			scale:   cm.scale,
+		})
+	}
+	return c, nil
 }
 
 // Load deserializes a detector saved with Save. Malformed input — garbage,

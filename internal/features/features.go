@@ -13,6 +13,7 @@ package features
 
 import (
 	"math"
+	"sort"
 
 	"nodesentry/internal/fft"
 	"nodesentry/internal/mat"
@@ -128,20 +129,26 @@ func Extract(x []float64) []float64 {
 
 	// --- Statistical ---
 	mean, std := stats.MeanStd(x)
-	med := finite(stats.Median(x))
+	// One sorted copy serves the median and every quantile; per-quantile
+	// Quantile calls each re-copy and re-sort the channel.
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	med := finite(stats.QuantileSorted(sorted, 0.5))
 	mn, mx := stats.Min(x), stats.Max(x)
 	if n == 0 {
 		mn, mx = 0, 0
 	}
+	q25 := finite(stats.QuantileSorted(sorted, 0.25))
+	q75 := finite(stats.QuantileSorted(sorted, 0.75))
 	out = append(out,
 		mean, med, std, std*std, mn, mx, mx-mn,
 		stats.RMS(x), stats.AbsEnergy(x),
 		stats.Skewness(x), stats.Kurtosis(x),
-		finite(stats.Quantile(x, 0.05)),
-		finite(stats.Quantile(x, 0.25)),
-		finite(stats.Quantile(x, 0.75)),
-		finite(stats.Quantile(x, 0.95)),
-		finite(stats.Quantile(x, 0.75))-finite(stats.Quantile(x, 0.25)),
+		finite(stats.QuantileSorted(sorted, 0.05)),
+		q25,
+		q75,
+		finite(stats.QuantileSorted(sorted, 0.95)),
+		q75-q25,
 		medianAbsDev(x, med),
 		meanAbsDev(x, mean),
 		stats.Entropy(x, histBins),
@@ -478,7 +485,9 @@ func medianAbsDev(x []float64, med float64) float64 {
 	for i, v := range x {
 		dev[i] = math.Abs(v - med)
 	}
-	return finite(stats.Median(dev))
+	// dev is local, so sort it in place instead of letting Median copy it.
+	sort.Float64s(dev)
+	return finite(stats.QuantileSorted(dev, 0.5))
 }
 
 func meanAbsDev(x []float64, mean float64) float64 {

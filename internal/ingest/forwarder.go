@@ -3,7 +3,6 @@ package ingest
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log/slog"
 	"math"
@@ -132,6 +131,11 @@ type Forwarder struct {
 	abort chan struct{}
 	wg    sync.WaitGroup
 	rng   *rand.Rand
+
+	// encBuf is send's grow-once encode scratch. send runs on the sender
+	// goroutine, and Close drains only after wg.Wait() has joined it, so
+	// the buffer is never touched concurrently.
+	encBuf []byte
 
 	batches *obs.Counter
 	lines   *obs.Counter
@@ -262,14 +266,11 @@ func (f *Forwarder) run(done chan struct{}) {
 // expires or MaxRetries is exhausted; a batch that still fails is the
 // caller's to account.
 func (f *Forwarder) send(ctx context.Context, batch []Line) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	f.encBuf = f.encBuf[:0]
 	for _, l := range batch {
-		if err := enc.Encode(l); err != nil {
-			return fmt.Errorf("ingest: encode batch: %w", err)
-		}
+		f.encBuf = appendLineJSON(f.encBuf, l)
 	}
-	body := buf.Bytes()
+	body := f.encBuf
 	var last error
 	for attempt := 0; attempt <= f.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {

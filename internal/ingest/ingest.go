@@ -27,6 +27,7 @@
 package ingest
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -128,6 +129,78 @@ func (f *JSONFloat) UnmarshalJSON(b []byte) error {
 	}
 	*f = JSONFloat(v)
 	return nil
+}
+
+// appendLineJSON appends l's JSONL wire encoding — byte-for-byte what
+// json.Encoder produces for Line, trailing newline included — without
+// the per-value reflection and digit-buffer allocations that dominate a
+// sustained feed. TestAppendLineJSONMatchesEncodingJSON pins the parity.
+func appendLineJSON(b []byte, l Line) []byte {
+	b = append(b, `{"node":`...)
+	b = appendJSONString(b, l.Node)
+	if l.Time != 0 {
+		b = append(b, `,"time":`...)
+		b = strconv.AppendInt(b, l.Time, 10)
+	}
+	if len(l.Values) > 0 {
+		b = append(b, `,"values":[`...)
+		for i, v := range l.Values {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONFloat(b, float64(v))
+		}
+		b = append(b, ']')
+	}
+	if len(l.Metrics) > 0 {
+		b = append(b, `,"metrics":[`...)
+		for i, m := range l.Metrics {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, m)
+		}
+		b = append(b, ']')
+	}
+	if l.Job != nil {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendInt(b, *l.Job, 10)
+	}
+	if l.Start != 0 {
+		b = append(b, `,"start":`...)
+		b = strconv.AppendInt(b, l.Start, 10)
+	}
+	return append(b, '}', '\n')
+}
+
+// appendJSONFloat appends JSONFloat's encoding of v.
+func appendJSONFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, `"NaN"`...)
+	case math.IsInf(v, 1):
+		return append(b, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString appends the encoding/json encoding of s (HTML
+// escaping on, matching json.Encoder's default). Plain ASCII takes the
+// allocation-free fast path; anything needing escapes falls back to the
+// library so the two encodings can never drift.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			esc, _ := json.Marshal(s) // marshaling a string cannot fail
+			return append(b, esc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
 }
 
 // floats converts a wire vector back to plain float64s.

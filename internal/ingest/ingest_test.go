@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -48,6 +50,33 @@ func (r *recordSink) forNode(node string) []string {
 		}
 	}
 	return out
+}
+
+// TestAppendLineJSONMatchesEncodingJSON pins the Forwarder's hand-rolled
+// line encoder to json.Encoder byte-for-byte, across every wire shape,
+// non-finite values, and strings needing escapes.
+func TestAppendLineJSONMatchesEncodingJSON(t *testing.T) {
+	job := int64(7)
+	lines := []Line{
+		{Node: "cn-1", Metrics: []string{"cpu_load", "mem_used"}},
+		{Node: "cn-1", Job: &job, Start: 1200},
+		{Node: "cn-1", Time: 1260, Values: []JSONFloat{0.4, JSONFloat(math.NaN()), 1e9}},
+		{Node: "cn-2", Time: 60, Values: []JSONFloat{JSONFloat(math.Inf(1)), JSONFloat(math.Inf(-1)), -2.25e-9}},
+		{Node: "weird \"node\"\n", Time: 1, Values: []JSONFloat{1}},
+		{Node: "html<&>", Metrics: []string{"a<b", "ünïcode", "tab\there"}},
+		{Node: "zero-start", Job: &job},
+		{Node: "empty-vals", Time: 5, Values: []JSONFloat{}},
+	}
+	for _, l := range lines {
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(l); err != nil {
+			t.Fatalf("encode %+v: %v", l, err)
+		}
+		got := appendLineJSON(nil, l)
+		if string(got) != want.String() {
+			t.Errorf("line %+v:\n got  %q\n want %q", l, got, want.String())
+		}
+	}
 }
 
 func TestJSONFloatRoundTrip(t *testing.T) {

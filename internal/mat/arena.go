@@ -1,0 +1,84 @@
+package mat
+
+// shapeKey keys an arena pool by exact matrix shape.
+type shapeKey struct{ rows, cols int }
+
+// shapePool is one shape's grow-once free list: mats[0:next] are handed
+// out, mats[next:] are available.
+type shapePool struct {
+	mats []*Matrix
+	next int
+}
+
+// Arena is a grow-once pool of matrices keyed by shape, built for hot
+// forward/backward passes that allocate the same tensor shapes on every
+// invocation. Get hands out a zeroed matrix; Reset returns every matrix to
+// the pool at once without freeing backing storage, so a steady-state
+// Get/Reset cycle allocates nothing.
+//
+// Ownership contract: a matrix returned by Get belongs to the caller only
+// until the next Reset — after that the arena may hand the same backing
+// storage to a later Get. Callers that must retain data across a Reset
+// copy it out (Matrix.Clone). An Arena is NOT safe for concurrent use;
+// give each goroutine (each model instance) its own.
+type Arena struct {
+	pools map[shapeKey]*shapePool
+	live  int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{pools: map[shapeKey]*shapePool{}} }
+
+// Get returns a zeroed rows×cols matrix owned by the arena until the next
+// Reset. Repeated Get calls — even for the same shape — return distinct
+// matrices, so two live tensors never alias.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	k := shapeKey{rows, cols}
+	p := a.pools[k]
+	if p == nil {
+		p = &shapePool{}
+		a.pools[k] = p
+	}
+	a.live++
+	if p.next < len(p.mats) {
+		m := p.mats[p.next]
+		p.next++
+		m.Zero()
+		return m
+	}
+	m := New(rows, cols)
+	p.mats = append(p.mats, m)
+	p.next++
+	return m
+}
+
+// Reset returns every handed-out matrix to the pool. Matrices obtained
+// from Get before the Reset must not be used afterwards.
+func (a *Arena) Reset() {
+	for _, p := range a.pools {
+		p.next = 0
+	}
+	a.live = 0
+}
+
+// Live reports how many matrices are currently handed out (diagnostic).
+func (a *Arena) Live() int { return a.live }
+
+// GrowFloats returns a float64 slice of length n, reusing buf's backing
+// array when it has capacity. Contents are undefined; callers must fully
+// overwrite. The allocation lives here so //perf:hot callers in other
+// packages pay it only on growth.
+func GrowFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// GrowInts is GrowFloats for int slices.
+func GrowInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

@@ -20,9 +20,10 @@ type Matrix struct {
 	Data       []float64
 }
 
-// New returns a zeroed rows×cols matrix.
+// New returns a zeroed rows×cols matrix. Hot paths obtain reusable
+// matrices from an Arena and call the *Into kernels instead; New is the
+// cold-path constructor and is never reachable from a //perf:hot kernel.
 func New(rows, cols int) *Matrix {
-	//lint:ignore hotalloc result allocation is the kernel contract today; the arena refactor (ROADMAP: allocation-free scoring) replaces these with caller-owned buffers
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
@@ -67,6 +68,28 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns row i as a view into the backing slice.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// RowsView returns rows [lo, hi) as a value Matrix sharing m's backing
+// slice — the row-major layout makes any contiguous row range a valid
+// matrix. Returned by value so hot block loops pay no allocation.
+func (m *Matrix) RowsView(lo, hi int) Matrix {
+	return Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// RowViews appends one view per row of m — truncated to the first cols
+// elements — onto dst and returns the extended slice. Callers that pool
+// [][]float64 frames re-slice dst to length 0 between calls so the append
+// amortizes to nothing; the growth allocation lives here so //perf:hot
+// callers in other packages pay it only on growth.
+func (m *Matrix) RowViews(dst [][]float64, cols int) [][]float64 {
+	if cols > m.Cols {
+		failShape("RowViews cols %d exceeds matrix cols %d", cols, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst = append(dst, m.Data[i*m.Cols:i*m.Cols+cols])
+	}
+	return dst
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.Rows, m.Cols)
@@ -97,22 +120,58 @@ func (m *Matrix) T() *Matrix {
 // worker pool; below it the goroutine overhead dominates.
 const parallelThreshold = 1 << 16
 
-// Mul returns a×b, parallelizing over row blocks of a when the product is
-// large. Panics on dimension mismatch.
+// sharesBacking reports whether two slices come from the same backing
+// array. Extending both to capacity makes them end at the same final
+// element exactly when they share an allocation, so overlap is detected
+// without unsafe — including row and block views of the same matrix.
+func sharesBacking(x, y []float64) bool {
+	if cap(x) == 0 || cap(y) == 0 {
+		return false
+	}
+	xe := x[:cap(x)]
+	ye := y[:cap(y)]
+	return &xe[len(xe)-1] == &ye[len(ye)-1]
+}
+
+// checkNoAlias rejects a destination that shares backing storage with a
+// source the kernel still reads while writing dst. Same-index elementwise
+// kernels (AddTo and friends) tolerate aliasing and skip this check; the
+// matmul kernels do not.
+func checkNoAlias(op string, dst, src *Matrix) {
+	if sharesBacking(dst.Data, src.Data) {
+		failShape("%s destination aliases a source operand", op)
+	}
+}
+
+// Mul returns a×b as a fresh matrix. Hot paths use MulInto with an
+// arena-owned destination instead.
+func Mul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a×b, parallelizing over row blocks of a when the
+// product is large. dst is fully overwritten and must not alias a or b.
+// Panics on dimension or aliasing errors.
 //
 //perf:hot
-func Mul(a, b *Matrix) *Matrix {
+func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		failShape("Mul dimension mismatch: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	out := New(a.Rows, b.Cols)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		failShape("MulInto destination shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	}
+	checkNoAlias("MulInto", dst, a)
+	checkNoAlias("MulInto", dst, b)
+	dst.Zero()
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
-		mulRange(a, b, out, 0, a.Rows)
-		return out
+		mulRange(a, b, dst, 0, a.Rows)
+		return
 	}
-	Parallel(a.Rows, func(lo, hi int) { mulRange(a, b, out, lo, hi) })
-	return out
+	Parallel(a.Rows, func(lo, hi int) { mulRange(a, b, dst, lo, hi) })
 }
 
 // mulRange computes out rows [lo, hi) of a×b with an ikj loop order that
@@ -133,55 +192,71 @@ func mulRange(a, b, out *Matrix, lo, hi int) {
 	}
 }
 
-// MulT returns a×bᵀ without materializing the transpose.
-//
-//perf:hot
+// MulT returns a×bᵀ as a fresh matrix. Hot paths use MulTInto.
 func MulT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		failShape("MulT dimension mismatch: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
 	out := New(a.Rows, b.Rows)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				orow[j] = Dot(arow, b.Row(j))
-			}
-		}
-	}
-	if a.Rows*a.Cols*b.Rows < parallelThreshold {
-		body(0, a.Rows)
-	} else {
-		Parallel(a.Rows, body)
-	}
+	MulTInto(out, a, b)
 	return out
 }
 
-// TMul returns aᵀ×b without materializing the transpose.
+// MulTInto computes dst = a×bᵀ without materializing the transpose. dst is
+// fully overwritten and must not alias a or b.
+//
+//perf:hot
+func MulTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		failShape("MulT dimension mismatch: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		failShape("MulTInto destination shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows)
+	}
+	checkNoAlias("MulTInto", dst, a)
+	checkNoAlias("MulTInto", dst, b)
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		mulTRange(a, b, dst, 0, a.Rows)
+		return
+	}
+	Parallel(a.Rows, func(lo, hi int) { mulTRange(a, b, dst, lo, hi) })
+}
+
+// mulTRange computes out rows [lo, hi) of a×bᵀ. A top-level function (not a
+// closure) so the serial path of MulTInto allocates nothing.
+func mulTRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// TMul returns aᵀ×b without materializing the transpose. Backward passes
+// use TMulInto with an arena destination.
 func TMul(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	TMulInto(out, a, b)
+	return out
+}
+
+// TMulInto computes dst = aᵀ×b. dst is fully overwritten and must not
+// alias a or b. Not //perf:hot: the parallel path allocates per-chunk
+// locals (the deterministic chunk-ordered reduction needs them), and the
+// kernel sits on backward passes only.
+func TMulInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		failShape("TMul dimension mismatch: (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	out := New(a.Cols, b.Cols)
-	tmulRange := func(dst *Matrix, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i, av := range arow {
-				if av == 0 {
-					continue
-				}
-				drow := dst.Row(i)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		failShape("TMulInto destination shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols)
 	}
+	checkNoAlias("TMulInto", dst, a)
+	checkNoAlias("TMulInto", dst, b)
+	out := dst
+	out.Zero()
 	if a.Rows*a.Cols*b.Cols < parallelThreshold {
-		tmulRange(out, 0, a.Rows)
-		return out
+		tmulRange(a, b, out, 0, a.Rows)
+		return
 	}
 	// Every output element sums over all rows of a, so workers accumulate
 	// into per-chunk locals that are merged in chunk order after the fan-out:
@@ -195,7 +270,7 @@ func TMul(a, b *Matrix) *Matrix {
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
 			locals[ci] = New(out.Rows, out.Cols)
-			tmulRange(locals[ci], lo, hi)
+			tmulRange(a, b, locals[ci], lo, hi)
 		}(ci, c[0], c[1])
 	}
 	wg.Wait()
@@ -204,27 +279,69 @@ func TMul(a, b *Matrix) *Matrix {
 			out.Data[i] += v
 		}
 	}
-	return out
+}
+
+// tmulRange accumulates rows [lo, hi) of a into dst += aᵀ×b. A top-level
+// function (not a closure) so the serial path of TMulInto allocates nothing.
+func tmulRange(a, b, dst *Matrix, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
 }
 
 // Add returns a+b elementwise.
 func Add(a, b *Matrix) *Matrix {
-	checkSameShape("Add", a, b)
-	out := a.Clone()
-	for i, v := range b.Data {
-		out.Data[i] += v
-	}
+	out := New(a.Rows, a.Cols)
+	AddTo(out, a, b)
 	return out
+}
+
+// AddTo computes dst = a+b elementwise. dst may alias a or b: every
+// element is written exactly once from same-index reads.
+//
+//perf:hot
+func AddTo(dst, a, b *Matrix) {
+	checkSameShape("Add", a, b)
+	checkSameShape("AddTo", dst, a)
+	for i, v := range b.Data {
+		dst.Data[i] = a.Data[i] + v
+	}
 }
 
 // Sub returns a-b elementwise.
 func Sub(a, b *Matrix) *Matrix {
-	checkSameShape("Sub", a, b)
-	out := a.Clone()
-	for i, v := range b.Data {
-		out.Data[i] -= v
-	}
+	out := New(a.Rows, a.Cols)
+	SubTo(out, a, b)
 	return out
+}
+
+// SubTo computes dst = a-b elementwise. dst may alias a or b.
+//
+//perf:hot
+func SubTo(dst, a, b *Matrix) {
+	checkSameShape("Sub", a, b)
+	checkSameShape("SubTo", dst, a)
+	for i, v := range b.Data {
+		dst.Data[i] = a.Data[i] - v
+	}
+}
+
+// CopyInto copies src's elements into dst (shapes must match).
+//
+//perf:hot
+func CopyInto(dst, src *Matrix) {
+	checkSameShape("CopyInto", dst, src)
+	copy(dst.Data, src.Data)
 }
 
 // AddInPlace adds b into a.
@@ -245,12 +362,20 @@ func Scale(m *Matrix, s float64) *Matrix {
 
 // Hadamard returns the elementwise product a∘b.
 func Hadamard(a, b *Matrix) *Matrix {
-	checkSameShape("Hadamard", a, b)
-	out := a.Clone()
-	for i, v := range b.Data {
-		out.Data[i] *= v
-	}
+	out := New(a.Rows, a.Cols)
+	HadamardTo(out, a, b)
 	return out
+}
+
+// HadamardTo computes dst = a∘b elementwise. dst may alias a or b.
+//
+//perf:hot
+func HadamardTo(dst, a, b *Matrix) {
+	checkSameShape("Hadamard", a, b)
+	checkSameShape("HadamardTo", dst, a)
+	for i, v := range b.Data {
+		dst.Data[i] = a.Data[i] * v
+	}
 }
 
 // AddRowVector adds vector v to every row of m in place. len(v) must equal

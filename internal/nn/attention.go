@@ -11,6 +11,12 @@ import (
 // MultiHeadAttention is standard multi-head self-attention over a token
 // sequence: softmax(QKᵀ/√dk)V per head, heads concatenated and projected.
 // The model dimension must be divisible by the head count.
+//
+// When blockLen is set to a divisor of the token count, attention is
+// block-diagonal: tokens only attend within their own blockLen-sized block.
+// That is what makes batched window scoring byte-identical to scoring the
+// windows one at a time — each window is one block, and every other kernel
+// in the model is already per-row.
 type MultiHeadAttention struct {
 	Heads int
 	Dim   int // model dimension
@@ -18,11 +24,16 @@ type MultiHeadAttention struct {
 
 	Wq, Wk, Wv, Wo *Param
 
+	// blockLen > 0 restricts attention to blockLen×blockLen diagonal
+	// blocks. 0 (or the full token count) means dense attention.
+	blockLen int
+
 	// forward caches
 	x       *mat.Matrix
 	q, k, v *mat.Matrix // [T × Dim], heads laid out contiguously
 	attn    []*mat.Matrix
 	concat  *mat.Matrix
+	arena   *mat.Arena
 }
 
 // NewMultiHeadAttention builds an attention layer with the given model
@@ -45,18 +56,18 @@ func NewMultiHeadAttention(dim, heads int, rng *rand.Rand) (*MultiHeadAttention,
 	return a, nil
 }
 
-// headView returns the [T × dk] sub-matrix of m holding head h.
-func (a *MultiHeadAttention) headView(m *mat.Matrix, h int) *mat.Matrix {
-	out := mat.New(m.Rows, a.dk)
+// headViewInto copies the [T × dk] sub-matrix of m holding head h into dst.
+func (a *MultiHeadAttention) headViewInto(dst, m *mat.Matrix, h int) {
 	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[h*a.dk:(h+1)*a.dk])
+		copy(dst.Row(i), m.Row(i)[h*a.dk:(h+1)*a.dk])
 	}
-	return out
 }
 
-func (a *MultiHeadAttention) scatterHead(dst *mat.Matrix, src *mat.Matrix, h int, add bool) {
-	for i := 0; i < dst.Rows; i++ {
-		d := dst.Row(i)[h*a.dk : (h+1)*a.dk]
+// scatterHead writes src into head h's columns of dst, starting at row
+// rowOff; add accumulates instead of copying.
+func (a *MultiHeadAttention) scatterHead(dst *mat.Matrix, src *mat.Matrix, h, rowOff int, add bool) {
+	for i := 0; i < src.Rows; i++ {
+		d := dst.Row(rowOff + i)[h*a.dk : (h+1)*a.dk]
 		s := src.Row(i)
 		if add {
 			for j := range d {
@@ -73,62 +84,128 @@ func (a *MultiHeadAttention) scatterHead(dst *mat.Matrix, src *mat.Matrix, h int
 //perf:hot
 func (a *MultiHeadAttention) Forward(x *mat.Matrix) *mat.Matrix {
 	a.x = x
-	a.q = mat.Mul(x, a.Wq.W)
-	a.k = mat.Mul(x, a.Wk.W)
-	a.v = mat.Mul(x, a.Wv.W)
-	a.concat = mat.New(x.Rows, a.Dim)
+	T := x.Rows
+	a.q = alloc(a.arena, T, a.Dim)
+	mat.MulInto(a.q, x, a.Wq.W)
+	a.k = alloc(a.arena, T, a.Dim)
+	mat.MulInto(a.k, x, a.Wk.W)
+	a.v = alloc(a.arena, T, a.Dim)
+	mat.MulInto(a.v, x, a.Wv.W)
+	a.concat = alloc(a.arena, T, a.Dim)
+	bl := a.blockLen
+	if bl <= 0 || bl > T {
+		bl = T
+	}
+	if bl == 0 {
+		bl = 1 // empty input: zero blocks below
+	}
+	if T%bl != 0 {
+		failShape("attention: %d tokens not a multiple of block length %d", T, bl)
+	}
+	nb := T / bl
 	scale := 1 / math.Sqrt(float64(a.dk))
 	for h := 0; h < a.Heads; h++ {
-		qh := a.headView(a.q, h)
-		kh := a.headView(a.k, h)
-		vh := a.headView(a.v, h)
-		scores := mat.Scale(mat.MulT(qh, kh), scale)
-		attn := SoftmaxRows(scores)
-		a.attn[h] = attn
-		out := mat.Mul(attn, vh)
-		a.scatterHead(a.concat, out, h, false)
+		qh := alloc(a.arena, T, a.dk)
+		a.headViewInto(qh, a.q, h)
+		kh := alloc(a.arena, T, a.dk)
+		a.headViewInto(kh, a.k, h)
+		vh := alloc(a.arena, T, a.dk)
+		a.headViewInto(vh, a.v, h)
+		if nb == 1 {
+			scores := alloc(a.arena, T, T)
+			mat.MulTInto(scores, qh, kh)
+			mat.Scale(scores, scale)
+			SoftmaxRowsInto(scores, scores)
+			a.attn[h] = scores
+			out := alloc(a.arena, T, a.dk)
+			mat.MulInto(out, scores, vh)
+			a.scatterHead(a.concat, out, h, 0, false)
+			continue
+		}
+		// Block-diagonal: each window attends only to itself. The attn
+		// cache is not kept — Backward after a batched forward is a
+		// programming error (batching is inference-only).
+		a.attn[h] = nil
+		for bi := 0; bi < nb; bi++ {
+			qb := qh.RowsView(bi*bl, (bi+1)*bl)
+			kb := kh.RowsView(bi*bl, (bi+1)*bl)
+			vb := vh.RowsView(bi*bl, (bi+1)*bl)
+			scores := alloc(a.arena, bl, bl)
+			mat.MulTInto(scores, &qb, &kb)
+			mat.Scale(scores, scale)
+			SoftmaxRowsInto(scores, scores)
+			ob := alloc(a.arena, bl, a.dk)
+			mat.MulInto(ob, scores, &vb)
+			a.scatterHead(a.concat, ob, h, bi*bl, false)
+		}
 	}
-	return mat.Mul(a.concat, a.Wo.W)
+	y := alloc(a.arena, T, a.Dim)
+	mat.MulInto(y, a.concat, a.Wo.W)
+	return y
 }
 
 // Backward implements Layer.
 func (a *MultiHeadAttention) Backward(grad *mat.Matrix) *mat.Matrix {
 	// Output projection.
-	mat.AddInPlace(a.Wo.G, mat.TMul(a.concat, grad))
-	dConcat := mat.MulT(grad, a.Wo.W)
+	wog := alloc(a.arena, a.Wo.G.Rows, a.Wo.G.Cols)
+	mat.TMulInto(wog, a.concat, grad)
+	mat.AddInPlace(a.Wo.G, wog)
+	dConcat := alloc(a.arena, grad.Rows, a.Dim)
+	mat.MulTInto(dConcat, grad, a.Wo.W)
 
-	dq := mat.New(a.q.Rows, a.Dim)
-	dk := mat.New(a.k.Rows, a.Dim)
-	dv := mat.New(a.v.Rows, a.Dim)
+	T := a.q.Rows
+	dq := alloc(a.arena, T, a.Dim)
+	dk := alloc(a.arena, T, a.Dim)
+	dv := alloc(a.arena, T, a.Dim)
 	scale := 1 / math.Sqrt(float64(a.dk))
 	for h := 0; h < a.Heads; h++ {
-		dOut := a.headView(dConcat, h)
-		qh := a.headView(a.q, h)
-		kh := a.headView(a.k, h)
-		vh := a.headView(a.v, h)
 		attn := a.attn[h]
+		if attn == nil {
+			failShape("attention Backward after a block-diagonal (batched) Forward")
+		}
+		dOut := alloc(a.arena, T, a.dk)
+		a.headViewInto(dOut, dConcat, h)
+		qh := alloc(a.arena, T, a.dk)
+		a.headViewInto(qh, a.q, h)
+		kh := alloc(a.arena, T, a.dk)
+		a.headViewInto(kh, a.k, h)
+		vh := alloc(a.arena, T, a.dk)
+		a.headViewInto(vh, a.v, h)
 
-		dAttn := mat.MulT(dOut, vh) // [T×T]
-		dVh := mat.TMul(attn, dOut) // [T×dk]
-		dScores := mat.New(attn.Rows, attn.Cols)
+		dAttn := alloc(a.arena, T, T)
+		mat.MulTInto(dAttn, dOut, vh) // [T×T]
+		dVh := alloc(a.arena, T, a.dk)
+		mat.TMulInto(dVh, attn, dOut) // [T×dk]
+		dScores := alloc(a.arena, attn.Rows, attn.Cols)
 		for i := 0; i < attn.Rows; i++ {
 			SoftmaxBackwardRow(dScores.Row(i), attn.Row(i), dAttn.Row(i))
 		}
 		mat.Scale(dScores, scale)
-		dQh := mat.Mul(dScores, kh)  // [T×dk]
-		dKh := mat.TMul(dScores, qh) // [T×dk]
+		dQh := alloc(a.arena, T, a.dk)
+		mat.MulInto(dQh, dScores, kh) // [T×dk]
+		dKh := alloc(a.arena, T, a.dk)
+		mat.TMulInto(dKh, dScores, qh) // [T×dk]
 
-		a.scatterHead(dq, dQh, h, true)
-		a.scatterHead(dk, dKh, h, true)
-		a.scatterHead(dv, dVh, h, true)
+		a.scatterHead(dq, dQh, h, 0, true)
+		a.scatterHead(dk, dKh, h, 0, true)
+		a.scatterHead(dv, dVh, h, 0, true)
 	}
-	mat.AddInPlace(a.Wq.G, mat.TMul(a.x, dq))
-	mat.AddInPlace(a.Wk.G, mat.TMul(a.x, dk))
-	mat.AddInPlace(a.Wv.G, mat.TMul(a.x, dv))
+	for _, wp := range [3]struct {
+		p *Param
+		d *mat.Matrix
+	}{{a.Wq, dq}, {a.Wk, dk}, {a.Wv, dv}} {
+		g := alloc(a.arena, wp.p.G.Rows, wp.p.G.Cols)
+		mat.TMulInto(g, a.x, wp.d)
+		mat.AddInPlace(wp.p.G, g)
+	}
 
-	dx := mat.MulT(dq, a.Wq.W)
-	mat.AddInPlace(dx, mat.MulT(dk, a.Wk.W))
-	mat.AddInPlace(dx, mat.MulT(dv, a.Wv.W))
+	dx := alloc(a.arena, T, a.Dim)
+	mat.MulTInto(dx, dq, a.Wq.W)
+	tmp := alloc(a.arena, T, a.Dim)
+	mat.MulTInto(tmp, dk, a.Wk.W)
+	mat.AddInPlace(dx, tmp)
+	mat.MulTInto(tmp, dv, a.Wv.W)
+	mat.AddInPlace(dx, tmp)
 	return dx
 }
 

@@ -67,6 +67,13 @@ func MACWeights(macs []float64) []float64 {
 // NodeSentry's anomaly score stream for a window.
 func ReconErrors(recon, target *mat.Matrix, weights []float64) []float64 {
 	out := make([]float64, recon.Rows)
+	ReconErrorsInto(out, recon, target, weights)
+	return out
+}
+
+// ReconErrorsInto is ReconErrors with a caller-owned destination of length
+// recon.Rows (the batched scoring path reuses one buffer per batch).
+func ReconErrorsInto(dst []float64, recon, target *mat.Matrix, weights []float64) {
 	m := float64(recon.Cols)
 	for i := 0; i < recon.Rows; i++ {
 		rr := recon.Row(i)
@@ -80,7 +87,6 @@ func ReconErrors(recon, target *mat.Matrix, weights []float64) []float64 {
 			d := rr[j] - tr[j]
 			s += w * d * d
 		}
-		out[i] = s / m
+		dst[i] = s / m
 	}
-	return out
 }

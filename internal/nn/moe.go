@@ -39,11 +39,19 @@ type MoE struct {
 	Experts []*Expert
 
 	// forward caches
-	x         *mat.Matrix
-	probs     *mat.Matrix // full softmax over experts, per token
-	selected  [][]int     // per token, chosen expert indices
-	expTokens [][]int     // per expert, token indices routed to it
-	expOut    []*mat.Matrix
+	x     *mat.Matrix
+	probs *mat.Matrix // full softmax over experts, per token
+	// Flat routing state, counting-sort style: selBuf holds each token's
+	// TopK chosen experts token-major (ascending expert index per token);
+	// tokBuf holds the token indices bucketed by expert, with expert e's
+	// bucket at tokBuf[off[e]:off[e+1]] in ascending token order. All four
+	// are grow-once buffers — no per-Forward allocation.
+	selBuf []int
+	tokBuf []int
+	cnt    []int
+	off    []int
+	expOut []*mat.Matrix
+	arena  *mat.Arena
 	// LastAuxLoss is the load-balance loss of the latest Forward (for
 	// monitoring).
 	LastAuxLoss float64
@@ -62,8 +70,9 @@ func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) (*MoE, error) {
 		Gate:       NewParam(dim, numExperts),
 		// Fixed-length routing caches live for the layer's lifetime;
 		// Forward only resets them.
-		expTokens: make([][]int, numExperts),
-		expOut:    make([]*mat.Matrix, numExperts),
+		cnt:    make([]int, numExperts),
+		off:    make([]int, numExperts+1),
+		expOut: make([]*mat.Matrix, numExperts),
 	}
 	m.Gate.XavierInit(rng)
 	for i := 0; i < numExperts; i++ {
@@ -72,47 +81,67 @@ func NewMoE(dim, hidden, numExperts, topK int, rng *rand.Rand) (*MoE, error) {
 	return m, nil
 }
 
+// tokens returns expert e's routed token indices from the latest Forward.
+func (m *MoE) tokens(e int) []int { return m.tokBuf[m.off[e]:m.off[e+1]] }
+
 // Forward implements Layer.
 //
 //perf:hot
 func (m *MoE) Forward(x *mat.Matrix) *mat.Matrix {
 	m.x = x
-	logits := mat.Mul(x, m.Gate.W)
-	m.probs = SoftmaxRows(logits)
+	logits := alloc(m.arena, x.Rows, m.NumExperts)
+	mat.MulInto(logits, x, m.Gate.W)
+	m.probs = alloc(m.arena, x.Rows, m.NumExperts)
+	SoftmaxRowsInto(m.probs, logits)
 	T := x.Rows
+	K := m.TopK
 
-	// Grow-once routing caches: selected grows to the largest window seen;
-	// the per-expert token lists keep their backing arrays by re-slicing
-	// to zero length, so appends amortize to nothing once warm.
-	if cap(m.selected) < T {
-		//lint:ignore hotalloc grow-once: hit only when the window grows, steady-state Forwards reuse the slice
-		m.selected = make([][]int, T)
-	}
-	m.selected = m.selected[:T]
-	for e := range m.expTokens {
-		m.expTokens[e] = m.expTokens[e][:0]
-		m.expOut[e] = nil
+	// Routing pass 1: pick each token's TopK experts and count bucket
+	// sizes. Pass 2 buckets token ids by expert; iterating tokens in
+	// order keeps each bucket ascending, matching a per-expert append.
+	m.selBuf = mat.GrowInts(m.selBuf, T*K)
+	m.tokBuf = mat.GrowInts(m.tokBuf, T*K)
+	for e := range m.cnt {
+		m.cnt[e] = 0
 	}
 	for t := 0; t < T; t++ {
-		m.selected[t] = topKInto(m.selected[t], m.probs.Row(t), m.TopK)
-		for _, e := range m.selected[t] {
-			//lint:ignore hotalloc amortized: the backing array is reused across Forwards via [:0] re-slicing
-			m.expTokens[e] = append(m.expTokens[e], t)
+		sel := m.selBuf[t*K : (t+1)*K]
+		topKFixed(sel, m.probs.Row(t))
+		for _, e := range sel {
+			m.cnt[e]++
+		}
+	}
+	m.off[0] = 0
+	for e := 0; e < m.NumExperts; e++ {
+		m.off[e+1] = m.off[e] + m.cnt[e]
+	}
+	for e := range m.cnt {
+		m.cnt[e] = 0
+	}
+	for t := 0; t < T; t++ {
+		for _, e := range m.selBuf[t*K : (t+1)*K] {
+			m.tokBuf[m.off[e]+m.cnt[e]] = t
+			m.cnt[e]++
 		}
 	}
 
 	// Run each expert on its routed tokens.
-	out := mat.New(T, x.Cols)
-	for e, tokens := range m.expTokens {
+	out := alloc(m.arena, T, x.Cols)
+	for e := 0; e < m.NumExperts; e++ {
+		tokens := m.tokens(e)
 		if len(tokens) == 0 {
+			m.expOut[e] = nil
 			continue
 		}
-		sub := gatherRows(x, tokens)
+		sub := alloc(m.arena, len(tokens), x.Cols)
+		for i, r := range tokens {
+			copy(sub.Row(i), x.Row(r))
+		}
 		m.expOut[e] = m.Experts[e].net.Forward(sub)
 	}
 	// Weighted scatter: y_t = Σ_{e ∈ sel(t)} p_te * E_e(x_t).
-	for e, tokens := range m.expTokens {
-		for row, t := range tokens {
+	for e := 0; e < m.NumExperts; e++ {
+		for row, t := range m.tokens(e) {
 			p := m.probs.At(t, e)
 			src := m.expOut[e].Row(row)
 			dst := out.Row(t)
@@ -126,7 +155,7 @@ func (m *MoE) Forward(x *mat.Matrix) *mat.Matrix {
 	if m.NumExperts > 1 {
 		aux := 0.0
 		for e := 0; e < m.NumExperts; e++ {
-			f := float64(len(m.expTokens[e])) / float64(T*m.TopK)
+			f := float64(m.cnt[e]) / float64(T*m.TopK)
 			P := 0.0
 			for t := 0; t < T; t++ {
 				P += m.probs.At(t, e)
@@ -148,17 +177,18 @@ func (m *MoE) Forward(x *mat.Matrix) *mat.Matrix {
 // one-to-one, which Sequential training loops guarantee.
 func (m *MoE) Backward(grad *mat.Matrix) *mat.Matrix {
 	T := grad.Rows
-	dx := mat.New(T, m.x.Cols)
-	dProbs := mat.New(T, m.NumExperts)
+	dx := alloc(m.arena, T, m.x.Cols)
+	dProbs := alloc(m.arena, T, m.NumExperts)
 
 	// Through each expert: dE_out = p * dy (gathered per expert), then
 	// expert backward gives the per-token input gradient, scattered back
 	// with weight p. dp = dy · E(x).
-	for e, tokens := range m.expTokens {
+	for e := 0; e < m.NumExperts; e++ {
+		tokens := m.tokens(e)
 		if len(tokens) == 0 {
 			continue
 		}
-		dOut := mat.New(len(tokens), grad.Cols)
+		dOut := alloc(m.arena, len(tokens), grad.Cols)
 		for row, t := range tokens {
 			p := m.probs.At(t, e)
 			g := grad.Row(t)
@@ -184,7 +214,7 @@ func (m *MoE) Backward(grad *mat.Matrix) *mat.Matrix {
 	// constant: the argmax is not differentiable).
 	if m.AuxWeight > 0 && m.NumExperts > 1 {
 		for e := 0; e < m.NumExperts; e++ {
-			f := float64(len(m.expTokens[e])) / float64(T*m.TopK)
+			f := float64(m.cnt[e]) / float64(T*m.TopK)
 			g := m.AuxWeight * float64(m.NumExperts) * f / float64(T)
 			for t := 0; t < T; t++ {
 				dProbs.Set(t, e, dProbs.At(t, e)+g)
@@ -193,12 +223,16 @@ func (m *MoE) Backward(grad *mat.Matrix) *mat.Matrix {
 	}
 
 	// Through the softmax gate.
-	dLogits := mat.New(T, m.NumExperts)
+	dLogits := alloc(m.arena, T, m.NumExperts)
 	for t := 0; t < T; t++ {
 		SoftmaxBackwardRow(dLogits.Row(t), m.probs.Row(t), dProbs.Row(t))
 	}
-	mat.AddInPlace(m.Gate.G, mat.TMul(m.x, dLogits))
-	mat.AddInPlace(dx, mat.MulT(dLogits, m.Gate.W))
+	gg := alloc(m.arena, m.Gate.G.Rows, m.Gate.G.Cols)
+	mat.TMulInto(gg, m.x, dLogits)
+	mat.AddInPlace(m.Gate.G, gg)
+	dxg := alloc(m.arena, T, m.x.Cols)
+	mat.MulTInto(dxg, dLogits, m.Gate.W)
+	mat.AddInPlace(dx, dxg)
 	return dx
 }
 
@@ -216,23 +250,20 @@ func (m *MoE) Params() []*Param {
 // specialize on sub-patterns.
 func (m *MoE) ExpertLoad() []int {
 	out := make([]int, m.NumExperts)
-	for e, tokens := range m.expTokens {
-		out[e] = len(tokens)
-	}
+	copy(out, m.cnt)
 	return out
 }
 
-// topKInto writes the indices of the k highest-probability experts into
-// dst in ascending index order, reusing dst's backing array. Selection is
-// a repeated scan with ties broken toward the lower index — expert counts
-// are tiny, and unlike sort.Slice this allocates nothing once dst is warm.
-func topKInto(dst []int, p []float64, k int) []int {
-	dst = dst[:0]
-	for len(dst) < k {
+// topKFixed writes the indices of the len(dst) highest-probability experts
+// into dst in ascending index order. Selection is a repeated scan with ties
+// broken toward the lower index — expert counts are tiny, and the fixed
+// destination means routing allocates nothing.
+func topKFixed(dst []int, p []float64) {
+	for n := range dst {
 		best := -1
 		for i, v := range p {
 			taken := false
-			for _, c := range dst {
+			for _, c := range dst[:n] {
 				if c == i {
 					taken = true
 					break
@@ -245,8 +276,7 @@ func topKInto(dst []int, p []float64, k int) []int {
 				best = i
 			}
 		}
-		//lint:ignore hotalloc amortized: dst's backing array is reused across Forwards, capped at TopK
-		dst = append(dst, best)
+		dst[n] = best
 	}
 	// Insertion sort: k is the paper's top-k (1 or 2), already near-sorted.
 	for i := 1; i < len(dst); i++ {
@@ -254,15 +284,6 @@ func topKInto(dst []int, p []float64, k int) []int {
 			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
 	}
-	return dst
-}
-
-func gatherRows(m *mat.Matrix, rows []int) *mat.Matrix {
-	out := mat.New(len(rows), m.Cols)
-	for i, r := range rows {
-		copy(out.Row(i), m.Row(r))
-	}
-	return out
 }
 
 // FFN is the dense feed-forward block (Dense→GELU→Dense) used by ablation

@@ -15,11 +15,29 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"nodesentry/internal/mat"
 )
+
+// alloc returns a rows×cols zeroed matrix from the arena when one is wired,
+// falling back to a fresh allocation so layers keep working standalone
+// (baselines, unit tests). Hot forward paths route every temporary through
+// this helper; with an arena, steady-state Forwards allocate nothing.
+func alloc(a *mat.Arena, rows, cols int) *mat.Matrix {
+	if a != nil {
+		return a.Get(rows, cols)
+	}
+	return mat.New(rows, cols)
+}
+
+// failShape panics with a formatted shape-contract violation.
+func failShape(format string, args ...any) {
+	//lint:ignore libpanic shape violations are programmer errors; panicking matches the mat kernel contract
+	panic("nn: " + fmt.Sprintf(format, args...))
+}
 
 // Param is one trainable parameter matrix with its gradient accumulator.
 type Param struct {
@@ -57,15 +75,26 @@ type Layer interface {
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row of x,
-// returning a new matrix.
-//
-//perf:hot
+// returning a new matrix. Hot paths use SoftmaxRowsInto with a caller-owned
+// destination instead.
 func SoftmaxRows(x *mat.Matrix) *mat.Matrix {
 	out := mat.New(x.Rows, x.Cols)
-	for i := 0; i < x.Rows; i++ {
-		softmaxInto(out.Row(i), x.Row(i))
-	}
+	SoftmaxRowsInto(out, x)
 	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of x into dst. dst may alias
+// x (in-place): each row's max is read before any element is written, and
+// every element is read before being overwritten.
+//
+//perf:hot
+func SoftmaxRowsInto(dst, x *mat.Matrix) {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		failShape("SoftmaxRowsInto destination shape %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, x.Cols)
+	}
+	for i := 0; i < x.Rows; i++ {
+		softmaxInto(dst.Row(i), x.Row(i))
+	}
 }
 
 func softmaxInto(dst, src []float64) {
@@ -109,6 +138,7 @@ type Dense struct {
 	Weight *Param
 	Bias   *Param
 	x      *mat.Matrix // forward cache
+	arena  *mat.Arena
 }
 
 // NewDense builds an in×out dense layer with Xavier-initialized weights.
@@ -123,14 +153,17 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 //perf:hot
 func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
 	d.x = x
-	y := mat.Mul(x, d.Weight.W)
+	y := alloc(d.arena, x.Rows, d.Weight.W.Cols)
+	mat.MulInto(y, x, d.Weight.W)
 	mat.AddRowVector(y, d.Bias.W.Row(0))
 	return y
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
-	mat.AddInPlace(d.Weight.G, mat.TMul(d.x, grad))
+	wg := alloc(d.arena, d.Weight.G.Rows, d.Weight.G.Cols)
+	mat.TMulInto(wg, d.x, grad)
+	mat.AddInPlace(d.Weight.G, wg)
 	bg := d.Bias.G.Row(0)
 	for i := 0; i < grad.Rows; i++ {
 		row := grad.Row(i)
@@ -138,7 +171,9 @@ func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
 			bg[j] += v
 		}
 	}
-	return mat.MulT(grad, d.Weight.W)
+	dx := alloc(d.arena, grad.Rows, d.Weight.W.Rows)
+	mat.MulTInto(dx, grad, d.Weight.W)
+	return dx
 }
 
 // Params implements Layer.
@@ -146,7 +181,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
 
 // GELU is the Gaussian-error linear unit activation (tanh approximation).
 type GELU struct {
-	x *mat.Matrix
+	x     *mat.Matrix
+	arena *mat.Arena
 }
 
 const geluC = 0.7978845608028654 // sqrt(2/pi)
@@ -156,7 +192,7 @@ const geluC = 0.7978845608028654 // sqrt(2/pi)
 //perf:hot
 func (g *GELU) Forward(x *mat.Matrix) *mat.Matrix {
 	g.x = x
-	y := mat.New(x.Rows, x.Cols)
+	y := alloc(g.arena, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		y.Data[i] = 0.5 * v * (1 + math.Tanh(geluC*(v+0.044715*v*v*v)))
 	}
@@ -165,7 +201,7 @@ func (g *GELU) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (g *GELU) Backward(grad *mat.Matrix) *mat.Matrix {
-	out := mat.New(grad.Rows, grad.Cols)
+	out := alloc(g.arena, grad.Rows, grad.Cols)
 	for i, v := range g.x.Data {
 		u := geluC * (v + 0.044715*v*v*v)
 		t := math.Tanh(u)
@@ -181,7 +217,8 @@ func (g *GELU) Params() []*Param { return nil }
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	x *mat.Matrix
+	x     *mat.Matrix
+	arena *mat.Arena
 }
 
 // Forward implements Layer.
@@ -189,7 +226,7 @@ type ReLU struct {
 //perf:hot
 func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
 	r.x = x
-	y := mat.New(x.Rows, x.Cols)
+	y := alloc(r.arena, x.Rows, x.Cols) // zeroed: only positives written below
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
@@ -200,7 +237,7 @@ func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *mat.Matrix) *mat.Matrix {
-	out := mat.New(grad.Rows, grad.Cols)
+	out := alloc(r.arena, grad.Rows, grad.Cols)
 	for i, v := range r.x.Data {
 		if v > 0 {
 			out.Data[i] = grad.Data[i]
@@ -253,6 +290,7 @@ type LayerNorm struct {
 	// caches
 	norm   *mat.Matrix
 	invStd []float64
+	arena  *mat.Arena
 }
 
 // NewLayerNorm builds a layer norm over dim features.
@@ -268,18 +306,12 @@ func NewLayerNorm(dim int) *LayerNorm {
 //
 //perf:hot
 func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
-	// Grow-once caches: norm and invStd are reallocated only when the
-	// window shape grows, then reused across every subsequent Forward.
-	// Layers are single-goroutine by contract, so reuse is safe.
-	if ln.norm == nil || ln.norm.Rows != x.Rows || ln.norm.Cols != x.Cols {
-		ln.norm = mat.New(x.Rows, x.Cols)
-	}
-	if cap(ln.invStd) < x.Rows {
-		//lint:ignore hotalloc grow-once: hit only when the window shape grows, steady-state Forwards reuse the buffer
-		ln.invStd = make([]float64, x.Rows)
-	}
-	ln.invStd = ln.invStd[:x.Rows]
-	out := mat.New(x.Rows, x.Cols)
+	// norm is a forward cache read by Backward; with an arena it stays
+	// valid until the model's next Forward resets the arena. invStd is a
+	// grow-once buffer fully overwritten below.
+	ln.norm = alloc(ln.arena, x.Rows, x.Cols)
+	ln.invStd = mat.GrowFloats(ln.invStd, x.Rows)
+	out := alloc(ln.arena, x.Rows, x.Cols)
 	gamma := ln.Gamma.W.Row(0)
 	beta := ln.Beta.W.Row(0)
 	n := float64(x.Cols)
@@ -310,7 +342,7 @@ func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (ln *LayerNorm) Backward(grad *mat.Matrix) *mat.Matrix {
-	out := mat.New(grad.Rows, grad.Cols)
+	out := alloc(ln.arena, grad.Rows, grad.Cols)
 	gamma := ln.Gamma.W.Row(0)
 	gg := ln.Gamma.G.Row(0)
 	bg := ln.Beta.G.Row(0)

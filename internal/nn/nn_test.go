@@ -209,9 +209,14 @@ func TestMoERoutingRespectsTopK(t *testing.T) {
 	moe := mustMoE(t, 4, 6, 4, 2, rng)
 	x := randInput(rng, 10, 4)
 	moe.Forward(x)
-	for tok, sel := range moe.selected {
-		if len(sel) != 2 {
-			t.Fatalf("token %d routed to %d experts, want 2", tok, len(sel))
+	for tok := 0; tok < x.Rows; tok++ {
+		sel := moe.selBuf[tok*moe.TopK : (tok+1)*moe.TopK]
+		seen := map[int]bool{}
+		for _, e := range sel {
+			if e < 0 || e >= moe.NumExperts || seen[e] {
+				t.Fatalf("token %d routed to invalid/duplicate expert set %v", tok, sel)
+			}
+			seen[e] = true
 		}
 	}
 	loads := moe.ExpertLoad()
@@ -235,20 +240,23 @@ func TestMoEAuxLossComputed(t *testing.T) {
 	}
 }
 
-func TestTopKInto(t *testing.T) {
-	got := topKInto(nil, []float64{0.1, 0.5, 0.2, 0.9}, 2)
-	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
-		t.Errorf("topKInto = %v, want [1 3]", got)
+func TestTopKFixed(t *testing.T) {
+	got := make([]int, 2)
+	topKFixed(got, []float64{0.1, 0.5, 0.2, 0.9})
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("topKFixed = %v, want [1 3]", got)
 	}
-	// Reuse keeps the backing array and re-ranks fresh probabilities.
-	got = topKInto(got, []float64{0.9, 0.1, 0.2, 0.5}, 3)
-	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
-		t.Errorf("topKInto reuse = %v, want [0 2 3]", got)
+	// A reused (dirty) destination is fully overwritten.
+	got3 := []int{7, 7, 7}
+	topKFixed(got3, []float64{0.9, 0.1, 0.2, 0.5})
+	if got3[0] != 0 || got3[1] != 2 || got3[2] != 3 {
+		t.Errorf("topKFixed reuse = %v, want [0 2 3]", got3)
 	}
 	// Ties break toward the lower expert index.
-	got = topKInto(got, []float64{0.5, 0.5, 0.1}, 1)
-	if len(got) != 1 || got[0] != 0 {
-		t.Errorf("topKInto tie = %v, want [0]", got)
+	got1 := []int{-1}
+	topKFixed(got1, []float64{0.5, 0.5, 0.1})
+	if got1[0] != 0 {
+		t.Errorf("topKFixed tie = %v, want [0]", got1)
 	}
 }
 

@@ -64,7 +64,8 @@ type EncoderBlock struct {
 	ff   Layer // *MoE or *FFN
 
 	// caches for the residual adds
-	x1 *mat.Matrix
+	x1    *mat.Matrix
+	arena *mat.Arena
 }
 
 // NewEncoderBlock builds a block; moe selects the sparse layer.
@@ -104,20 +105,25 @@ func (b *EncoderBlock) MoELayer() *MoE {
 func (b *EncoderBlock) Forward(x *mat.Matrix) *mat.Matrix {
 	// x1 = x + Attn(LN(x))
 	a := b.attn.Forward(b.ln1.Forward(x))
-	x1 := mat.Add(x, a)
+	x1 := alloc(b.arena, x.Rows, x.Cols)
+	mat.AddTo(x1, x, a)
 	b.x1 = x1
 	// y = x1 + FF(LN(x1))
 	f := b.ff.Forward(b.ln2.Forward(x1))
-	return mat.Add(x1, f)
+	y := alloc(b.arena, x.Rows, x.Cols)
+	mat.AddTo(y, x1, f)
+	return y
 }
 
 // Backward implements Layer.
 func (b *EncoderBlock) Backward(grad *mat.Matrix) *mat.Matrix {
 	// y = x1 + FF(LN2(x1))
-	dx1 := grad.Clone()
+	dx1 := alloc(b.arena, grad.Rows, grad.Cols)
+	mat.CopyInto(dx1, grad)
 	mat.AddInPlace(dx1, b.ln2.Backward(b.ff.Backward(grad)))
 	// x1 = x + Attn(LN1(x))
-	dx := dx1.Clone()
+	dx := alloc(b.arena, grad.Rows, grad.Cols)
+	mat.CopyInto(dx, dx1)
 	mat.AddInPlace(dx, b.ln1.Backward(b.attn.Backward(dx1)))
 	return dx
 }
@@ -190,6 +196,7 @@ type Reconstructor struct {
 	pe     *PositionalEncoding
 	blocks []*EncoderBlock
 	decode *Dense
+	arena  *mat.Arena
 }
 
 // NewReconstructor builds the model.
@@ -210,7 +217,53 @@ func NewReconstructor(cfg ReconstructorConfig) (*Reconstructor, error) {
 		}
 		r.blocks = append(r.blocks, blk)
 	}
+	r.wireArena(mat.NewArena())
 	return r, nil
+}
+
+// wireArena threads one arena through every layer of the model. The arena
+// is reset at the top of each Forward, so the whole model shares one
+// grow-once pool; Backward's temporaries append after Forward's, keeping
+// forward caches valid through the backward pass. One arena per model
+// instance preserves the package's layer concurrency contract.
+func (r *Reconstructor) wireArena(a *mat.Arena) {
+	r.arena = a
+	wireLayer(r.embed, a)
+	wireLayer(r.decode, a)
+	for _, b := range r.blocks {
+		b.arena = a
+		b.ln1.arena = a
+		b.attn.arena = a
+		b.ln2.arena = a
+		wireLayer(b.ff, a)
+	}
+}
+
+// wireLayer points a layer (recursively) at the arena.
+func wireLayer(l Layer, a *mat.Arena) {
+	switch v := l.(type) {
+	case *Dense:
+		v.arena = a
+	case *GELU:
+		v.arena = a
+	case *ReLU:
+		v.arena = a
+	case *LayerNorm:
+		v.arena = a
+	case *MultiHeadAttention:
+		v.arena = a
+	case *Sequential:
+		for _, c := range v.Layers {
+			wireLayer(c, a)
+		}
+	case *MoE:
+		v.arena = a
+		for _, e := range v.Experts {
+			wireLayer(e.net, a)
+		}
+	case *FFN:
+		wireLayer(v.net, a)
+	}
 }
 
 // Forward reconstructs the window x [T × InputDim]; positions/segIDs feed
@@ -218,8 +271,35 @@ func NewReconstructor(cfg ReconstructorConfig) (*Reconstructor, error) {
 // scaled by √ModelDim (as in the original Transformer) so the positional
 // signal does not drown the value signal.
 //
+// The returned matrix is arena-owned: it is valid until the model's next
+// Forward/ForwardWindows call. Callers that retain it longer must copy.
+//
 //perf:hot
 func (r *Reconstructor) Forward(x *mat.Matrix, positions, segIDs []int) *mat.Matrix {
+	return r.ForwardWindows(x, x.Rows, positions, segIDs)
+}
+
+// ForwardWindows reconstructs a batch of equal-length windows stacked
+// row-wise into x [(B·winLen) × InputDim]. Attention is restricted to
+// winLen×winLen diagonal blocks, so the output is byte-identical to B
+// separate Forward calls over the individual windows — every other kernel
+// in the model is per-row. positions/segIDs follow the stacked layout.
+// The returned matrix is arena-owned (valid until the next forward call).
+//
+//perf:hot
+func (r *Reconstructor) ForwardWindows(x *mat.Matrix, winLen int, positions, segIDs []int) *mat.Matrix {
+	if winLen <= 0 {
+		winLen = x.Rows
+	}
+	if winLen > 0 && x.Rows%winLen != 0 {
+		failShape("ForwardWindows: %d rows not a multiple of window length %d", x.Rows, winLen)
+	}
+	if r.arena != nil {
+		r.arena.Reset()
+	}
+	for _, b := range r.blocks {
+		b.attn.blockLen = winLen
+	}
 	h := r.embed.Forward(x)
 	mat.Scale(h, math.Sqrt(float64(r.Config.ModelDim)))
 	r.pe.Apply(h, positions, segIDs)

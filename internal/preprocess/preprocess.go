@@ -226,6 +226,25 @@ func (r *Reduction) Apply(f *mts.NodeFrame) *mts.NodeFrame {
 	return out
 }
 
+// ApplyInto is Apply with a caller-owned destination: each kept group is
+// aggregated into dst.Data[i], whose rows must already hold f.Len() samples
+// (the scratch frames of core's streaming score path are sized this way).
+// Aggregation runs sequentially per row, which is byte-identical to Apply's
+// parallel version — rows are independent. dst.Metrics is left untouched.
+func (r *Reduction) ApplyInto(dst, f *mts.NodeFrame) {
+	dst.Node = f.Node
+	dst.Start = f.Start
+	dst.Step = f.Step
+	T := f.Len()
+	for i, g := range r.Keep {
+		rows := r.Groups[g].Rows
+		row := dst.Data[i]
+		for t := 0; t < T; t++ {
+			row[t] = aggregateAt(f, rows, t)
+		}
+	}
+}
+
 // Standardizer holds per-node, per-metric z-scoring parameters fitted with
 // trimmed moments (equation (2) of the paper), plus a fleet-wide fallback
 // for nodes unseen at fit time.

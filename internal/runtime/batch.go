@@ -1,0 +1,225 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"nodesentry/internal/mat"
+	"nodesentry/internal/mts"
+)
+
+// batchFrame is one pooled window-frame copy owned by the batcher: the
+// metric-major data is backed by a grow-once matrix, so a steady stream of
+// batched windows recycles a handful of frames instead of allocating one
+// per window.
+type batchFrame struct {
+	f    mts.NodeFrame
+	mat  *mat.Matrix
+	rows [][]float64
+}
+
+// fill copies a window of row-major samples into the frame.
+func (bf *batchFrame) fill(node string, metrics []string, rows [][]float64, start, step int64) {
+	M := len(metrics)
+	T := len(rows)
+	if bf.mat == nil || bf.mat.Rows < M || bf.mat.Cols < T {
+		bf.mat = mat.New(M, T)
+	}
+	bf.rows = bf.mat.RowViews(bf.rows[:0], T)
+	data := bf.rows[:M]
+	for t, row := range rows {
+		for m := 0; m < M; m++ {
+			data[m][t] = row[m]
+		}
+	}
+	bf.f = mts.NodeFrame{Node: node, Metrics: metrics, Data: data, Start: start, Step: step}
+}
+
+// batchEntry is one window awaiting batched scoring. The frame is a
+// batcher-owned copy, so the node's pending buffer advances immediately.
+type batchEntry struct {
+	st      *nodeState
+	bf      *batchFrame
+	cluster int
+	offset  int
+}
+
+// windowBatcher queues post-transition windows across nodes so windows
+// sharing a cluster go through the model as one stacked forward pass.
+// queue/spare double-buffer so a flush hands its batch off without
+// reallocating; free pools the frame copies.
+type windowBatcher struct {
+	mu     sync.Mutex
+	queue  []batchEntry
+	spare  []batchEntry
+	free   []*batchFrame
+	oldest time.Time
+
+	// flushMu serializes flushes; the scratch below is guarded by it.
+	flushMu sync.Mutex
+	frames  []*mts.NodeFrame
+	offsets []int
+	picked  []int
+	scores  [][]float64
+}
+
+// getFrame pops a pooled frame or makes a fresh one.
+func (b *windowBatcher) getFrame() *batchFrame {
+	b.mu.Lock()
+	if n := len(b.free); n > 0 {
+		bf := b.free[n-1]
+		b.free = b.free[:n-1]
+		b.mu.Unlock()
+		return bf
+	}
+	b.mu.Unlock()
+	return &batchFrame{}
+}
+
+// putFrame returns a frame to the pool.
+func (b *windowBatcher) putFrame(bf *batchFrame) {
+	b.mu.Lock()
+	//lint:ignore hotalloc grow-once: the free list caps out at the peak batch size and is popped right back
+	b.free = append(b.free, bf)
+	b.mu.Unlock()
+}
+
+// enqueueWindows moves every complete window of st's pending buffer into
+// the batch queue. Called with st.mu held; takes b.mu only briefly per
+// window, and never the reverse order.
+func (m *Monitor) enqueueWindows(st *nodeState) {
+	win := int(m.win.Load())
+	if win <= 0 {
+		return
+	}
+	b := m.batcher
+	for len(st.pending) >= win {
+		bf := b.getFrame()
+		bf.fill(st.node, st.metrics, st.pending[:win], st.pendTs[0], m.cfg.Step)
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.oldest = time.Now()
+		}
+		//lint:ignore hotalloc grow-once: queue and spare double-buffer across flushes, so the backing arrays stop growing at the peak batch size
+		b.queue = append(b.queue, batchEntry{st: st, bf: bf, cluster: st.cluster, offset: st.consumed})
+		b.mu.Unlock()
+		st.pending = st.pending[win:]
+		st.pendTs = st.pendTs[win:]
+		st.consumed += win
+	}
+}
+
+// maybeFlush flushes when the queue has reached the batch size or its
+// oldest window has waited past BatchMaxDelay.
+func (m *Monitor) maybeFlush() {
+	b := m.batcher
+	b.mu.Lock()
+	n := len(b.queue)
+	stale := n > 0 && time.Since(b.oldest) >= m.cfg.BatchMaxDelay
+	b.mu.Unlock()
+	if n >= m.cfg.BatchWindows || stale {
+		m.flushBatch()
+	}
+}
+
+// Flush scores every queued batched window now. It is a no-op when window
+// batching is disabled (Config.BatchWindows <= 1). ObserveJob, SwapDetector
+// and Close flush implicitly; explicit calls are for tests and shutdown
+// paths that need deterministic draining.
+func (m *Monitor) Flush() {
+	if m.batcher == nil {
+		return
+	}
+	m.flushBatch()
+}
+
+// flushBatch drains the queue: entries are grouped by cluster (stable, so
+// one node's windows stay in order), each group goes through
+// ScoreFrameBatch as one stacked forward pass, and the results are absorbed
+// per node exactly as the sequential path would.
+func (m *Monitor) flushBatch() {
+	b := m.batcher
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	b.mu.Lock()
+	entries := b.queue
+	b.queue = b.spare[:0]
+	b.mu.Unlock()
+	if len(entries) == 0 {
+		b.mu.Lock()
+		b.spare = entries
+		b.mu.Unlock()
+		return
+	}
+
+	p := <-m.pool
+	if cap(b.scores) < len(entries) {
+		//lint:ignore hotalloc grow-once flush scratch: reallocated only when a flush exceeds every previous batch size
+		b.scores = make([][]float64, len(entries))
+	}
+	scores := b.scores[:len(entries)]
+	for i := range scores {
+		scores[i] = nil
+	}
+	for i := range entries {
+		if scores[i] != nil {
+			continue
+		}
+		// Gather every not-yet-scored entry sharing this cluster.
+		b.picked = b.picked[:0]
+		b.frames = b.frames[:0]
+		b.offsets = b.offsets[:0]
+		for j := i; j < len(entries); j++ {
+			if scores[j] != nil || entries[j].cluster != entries[i].cluster {
+				continue
+			}
+			//lint:ignore hotalloc grow-once flush scratch: reused across flushes under flushMu
+			b.picked = append(b.picked, j)
+			//lint:ignore hotalloc same grow-once flush scratch
+			b.frames = append(b.frames, &entries[j].bf.f)
+			//lint:ignore hotalloc same grow-once flush scratch
+			b.offsets = append(b.offsets, entries[j].offset)
+		}
+		var t0 time.Time
+		if m.obsOn {
+			t0 = time.Now()
+		}
+		group := p.det.ScoreFrameBatch(b.frames, entries[i].cluster, b.offsets)
+		if m.obsOn {
+			m.met.scoreLat.Observe(time.Since(t0).Seconds())
+			m.met.windows.Add(int64(len(group)))
+			for _, s := range group {
+				m.met.samples.Add(int64(len(s)))
+			}
+		}
+		for gi, j := range b.picked {
+			scores[j] = group[gi]
+		}
+	}
+
+	// Absorb per entry in queue order, as the sequential path would.
+	for i := range entries {
+		e := &entries[i]
+		st := e.st
+		frame := &e.bf.f
+		win := frame.Len()
+		st.mu.Lock()
+		if h := m.hooks.Load(); h != nil && h.OnScores != nil {
+			h.OnScores(st.node, e.cluster, frame.Start, scores[i])
+		}
+		if last := frame.TimeAt(win - 1); last > st.lastScored {
+			st.lastScored = last
+		}
+		emit := m.absorbScores(p.det, st, frame, scores[i])
+		st.mu.Unlock()
+		for k := range emit {
+			emit[k].Epoch = p.epoch
+			m.deliver(st, emit[k])
+		}
+		b.putFrame(e.bf)
+	}
+	m.pool <- p
+	b.mu.Lock()
+	b.spare = entries[:0]
+	b.mu.Unlock()
+}

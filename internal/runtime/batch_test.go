@@ -1,0 +1,206 @@
+package runtime
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scoreTap records every OnScores callback keyed by node and window start,
+// copying the slice per the hook contract.
+type scoreTap struct {
+	mu     sync.Mutex
+	scores map[string][]float64
+}
+
+func newScoreTap() *scoreTap { return &scoreTap{scores: map[string][]float64{}} }
+
+func (s *scoreTap) hook() Hooks {
+	return Hooks{OnScores: func(node string, cluster int, start int64, scores []float64) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		key := fmt.Sprintf("%s@%d", node, start)
+		s.scores[key] = append([]float64(nil), scores...)
+	}}
+}
+
+// TestBatchedScoringEquivalence replays the same evaluation slice through a
+// sequential monitor and a batched one (BatchWindows with an effectively
+// infinite max delay, drained by the implicit flushes on job transitions and
+// Close) and demands byte-identical per-window scores and identical alerts.
+// This is the contract the bench gate leans on: batching may only change
+// dispatch cost, never a float.
+func TestBatchedScoringEquivalence(t *testing.T) {
+	ds, det := fixture(t)
+
+	seqTap := newScoreTap()
+	seq, err := NewMonitor(det, Config{Step: ds.Step, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.SetHooks(seqTap.hook())
+	seqAlerts := Replay(ds, seq, ds.SplitTime(), ds.Horizon)
+
+	batTap := newScoreTap()
+	bat, err := NewMonitor(det, Config{
+		Step:          ds.Step,
+		AlertBuffer:   4096,
+		BatchWindows:  4,
+		BatchMaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat.SetHooks(batTap.hook())
+	batAlerts := Replay(ds, bat, ds.SplitTime(), ds.Horizon)
+
+	if len(seqTap.scores) == 0 {
+		t.Fatal("sequential replay scored no windows")
+	}
+	if len(batTap.scores) != len(seqTap.scores) {
+		t.Fatalf("window count diverged: sequential %d, batched %d", len(seqTap.scores), len(batTap.scores))
+	}
+	for key, want := range seqTap.scores {
+		got, ok := batTap.scores[key]
+		if !ok {
+			t.Fatalf("batched path missing window %s", key)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %s length diverged: %d vs %d", key, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] { // exact float comparison on purpose
+				t.Fatalf("window %s sample %d diverged: sequential %v, batched %v", key, i, want[i], got[i])
+			}
+		}
+	}
+
+	if len(seqAlerts) != len(batAlerts) {
+		t.Fatalf("alert count diverged: sequential %d, batched %d", len(seqAlerts), len(batAlerts))
+	}
+	for i := range seqAlerts {
+		if !reflect.DeepEqual(seqAlerts[i], batAlerts[i]) {
+			t.Fatalf("alert %d diverged:\nsequential %+v\nbatched    %+v", i, seqAlerts[i], batAlerts[i])
+		}
+	}
+	if len(seqAlerts) == 0 {
+		t.Error("equivalence vacuous: no alerts raised on the fault-injected slice")
+	}
+}
+
+// TestBatchedScoringWithConcurrentSwap replays through a batched monitor
+// while SwapDetector hot-swaps (to a clone of the same detector) from
+// another goroutine. The scores must still match the sequential baseline
+// exactly — a swap to an identical model may change alert epochs, never
+// floats — and nothing may race or deadlock (this test carries its weight
+// under -race).
+func TestBatchedScoringWithConcurrentSwap(t *testing.T) {
+	ds, det := fixture(t)
+
+	seqTap := newScoreTap()
+	seq, err := NewMonitor(det, Config{Step: ds.Step, AlertBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.SetHooks(seqTap.hook())
+	Replay(ds, seq, ds.SplitTime(), ds.Horizon)
+
+	batTap := newScoreTap()
+	bat, err := NewMonitor(det, Config{
+		Step:          ds.Step,
+		AlertBuffer:   4096,
+		BatchWindows:  3,
+		BatchMaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat.SetHooks(batTap.hook())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := bat.SwapDetector(det); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	batAlerts := Replay(ds, bat, ds.SplitTime(), ds.Horizon)
+	close(stop)
+	wg.Wait()
+
+	if bat.Epoch() < 2 {
+		t.Fatal("no swap happened mid-replay; the test exercised nothing")
+	}
+	if !reflect.DeepEqual(seqTap.scores, batTap.scores) {
+		t.Fatalf("scores diverged across hot swaps: sequential %d windows, batched %d windows",
+			len(seqTap.scores), len(batTap.scores))
+	}
+	for _, a := range batAlerts {
+		if a.Epoch < 1 || a.Epoch > bat.Epoch() {
+			t.Errorf("alert carries impossible epoch %d (monitor at %d)", a.Epoch, bat.Epoch())
+		}
+	}
+}
+
+// TestFlushExplicit verifies Flush scores queued windows on demand: with an
+// infinite max delay and a batch size larger than the windows fed, nothing
+// is scored until Flush runs.
+func TestFlushExplicit(t *testing.T) {
+	ds, det := fixture(t)
+	tap := newScoreTap()
+	m, err := NewMonitor(det, Config{
+		Step:          ds.Step,
+		BatchWindows:  1 << 20,
+		BatchMaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetHooks(tap.hook())
+
+	// One job for the whole feed: no mid-stream ObserveJob means no
+	// implicit flushes, so every scored window must come from Flush.
+	node := ds.Nodes()[0]
+	f := ds.Frames[node]
+	view := f.Slice(f.IndexOf(ds.SplitTime()), f.IndexOf(ds.Horizon))
+	m.RegisterNode(node, view.Metrics)
+	m.ObserveJob(node, 7, view.Start)
+	for i := 0; i < view.Len(); i++ {
+		m.Ingest(node, view.TimeAt(i), view.Window(i))
+	}
+
+	st := m.state(node)
+	st.mu.Lock()
+	matched := st.matched
+	st.mu.Unlock()
+	if !matched {
+		t.Fatal("node never matched; feed too short for this fixture")
+	}
+	if len(tap.scores) != 0 {
+		t.Fatalf("windows scored before any flush: %d", len(tap.scores))
+	}
+	m.Flush()
+	after := len(tap.scores)
+	if after == 0 {
+		t.Fatal("Flush scored nothing")
+	}
+	// A second Flush with an empty queue is a no-op.
+	m.Flush()
+	if len(tap.scores) != after {
+		t.Error("empty Flush scored windows")
+	}
+	m.Close()
+}

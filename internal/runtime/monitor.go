@@ -23,6 +23,7 @@ import (
 
 	"nodesentry/internal/core"
 	"nodesentry/internal/diagnose"
+	"nodesentry/internal/mat"
 	"nodesentry/internal/mts"
 	"nodesentry/internal/obs"
 	"nodesentry/internal/stats"
@@ -77,6 +78,16 @@ type Config struct {
 	// Logger, when non-nil, receives structured runtime events (job
 	// transitions at Debug, alert drops at Warn). Nil disables logging.
 	Logger *slog.Logger
+	// BatchWindows, when > 1, batches up to that many post-transition
+	// windows — across nodes sharing a cluster and detector epoch — into
+	// one stacked model invocation (core.ScoreFrameBatch). Scores and
+	// alerts are byte-identical to the sequential path; only dispatch cost
+	// changes. 0 or 1 disables batching.
+	BatchWindows int
+	// BatchMaxDelay bounds how long a queued window may wait for batch
+	// companions before being flushed anyway (default 250 ms). Tests that
+	// need deterministic batches set it high and call Flush explicitly.
+	BatchMaxDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CriticalFactor <= 0 {
 		c.CriticalFactor = 2
+	}
+	if c.BatchMaxDelay <= 0 {
+		c.BatchMaxDelay = 250 * time.Millisecond
 	}
 	return c
 }
@@ -134,6 +148,35 @@ type nodeState struct {
 	// Per-node observability gauges (nil when metrics are disabled).
 	thrGauge *obs.Gauge
 	bufGauge *obs.Gauge
+
+	// frame is the node's reusable scratch for probe/window frames: the
+	// detector copies frame data during preprocessing and alert diagnosis
+	// clones on demand, so nothing downstream retains it and the matrix-
+	// backed storage grows once per shape.
+	frame     mts.NodeFrame
+	frameMat  *mat.Matrix
+	frameRows [][]float64
+}
+
+// frameInto assembles a NodeFrame from row-major samples into the node's
+// scratch storage. The returned frame is valid until the next frameInto
+// call on the same node; callers needing to retain it must Clone. Called
+// with st.mu held.
+func (st *nodeState) frameInto(rows [][]float64, start, step int64) *mts.NodeFrame {
+	M := len(st.metrics)
+	T := len(rows)
+	if st.frameMat == nil || st.frameMat.Rows < M || st.frameMat.Cols < T {
+		st.frameMat = mat.New(M, T)
+	}
+	st.frameRows = st.frameMat.RowViews(st.frameRows[:0], T)
+	data := st.frameRows[:M]
+	for t, row := range rows {
+		for m := 0; m < M; m++ {
+			data[m][t] = row[m]
+		}
+	}
+	st.frame = mts.NodeFrame{Node: st.node, Metrics: st.metrics, Data: data, Start: start, Step: step}
+	return &st.frame
 }
 
 // monMetrics holds the monitor's pre-registered metric handles so the hot
@@ -278,6 +321,12 @@ type Monitor struct {
 
 	hooks atomic.Pointer[Hooks]
 
+	// batcher is non-nil iff Config.BatchWindows > 1; win caches the
+	// detector's window length so enqueueing needs no pool checkout
+	// (refreshed by SwapDetector).
+	batcher *windowBatcher
+	win     atomic.Int64
+
 	// reg is nil when observability is off; met's handles are then all
 	// nil no-ops. obsOn gates the timing reads (time.Now) the no-op
 	// handles cannot elide.
@@ -303,6 +352,10 @@ func NewMonitor(det *core.Detector, cfg Config) (*Monitor, error) {
 	}
 	m.epoch.Store(1)
 	m.met.epoch.Set(1)
+	m.win.Store(int64(det.WindowLen()))
+	if cfg.BatchWindows > 1 {
+		m.batcher = &windowBatcher{}
+	}
 	for i := 0; i < cfg.ScoringWorkers; i++ {
 		clone, err := det.Clone()
 		if err != nil {
@@ -358,6 +411,10 @@ func (m *Monitor) SwapDetector(det *core.Detector) (time.Duration, error) {
 	}
 	m.swapMu.Lock()
 	defer m.swapMu.Unlock()
+	// Score queued batched windows with the outgoing generation before the
+	// pool drains, so no window straddles the swap. Must run before taking
+	// closeMu's read side: the flush's alert deliveries acquire it too.
+	m.Flush()
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
 	start := time.Now()
@@ -367,6 +424,7 @@ func (m *Monitor) SwapDetector(det *core.Detector) (time.Duration, error) {
 		<-m.pool
 	}
 	epoch := m.epoch.Add(1)
+	m.win.Store(int64(det.WindowLen()))
 	for _, c := range clones {
 		m.pool <- pooled{det: c, epoch: epoch}
 	}
@@ -412,6 +470,9 @@ func (m *Monitor) ObserveJob(node string, job int64, start int64) {
 		m.log.Debug("job transition", "node", node, "job", job, "start", start)
 	}
 	st := m.state(node)
+	// Score any batched windows of the outgoing job before its state is
+	// reset, so their scores land in the job that produced them.
+	m.Flush()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.job = job
@@ -444,7 +505,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 	st.lastIngest = ts
 	// One pre-sized ownership copy: the sample is retained in the node's
 	// window buffer, so it must be heap-owned, and sizing it to the
-	// registered layout also conforms mis-shaped vectors (frameOf indexes
+	// registered layout also conforms mis-shaped vectors (frameInto indexes
 	// one column per registered metric) with NaN padding in the same pass.
 	//lint:ignore hotalloc ownership copy retained in the window buffer; pooled sample arenas are the arena-refactor follow-up
 	v := make([]float64, len(st.metrics))
@@ -471,7 +532,7 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 			need = 2
 		}
 		if len(st.probe) >= need {
-			frame := frameOf(st.node, st.metrics, st.probe, st.probeTs[0], m.cfg.Step)
+			frame := st.frameInto(st.probe, st.probeTs[0], m.cfg.Step)
 			var t0 time.Time
 			if m.obsOn {
 				t0 = time.Now()
@@ -508,11 +569,21 @@ func (m *Monitor) Ingest(node string, ts int64, values []float64) {
 		st.pendTs = append(st.pendTs, ts)
 	}
 
+	if m.batcher != nil {
+		// Batched path: window copies join the cross-node queue; scoring
+		// happens at the next flush (queue full, max delay, or explicit).
+		m.enqueueWindows(st)
+		st.bufGauge.Set(float64(len(st.pending)))
+		st.mu.Unlock()
+		m.maybeFlush()
+		return
+	}
+
 	p := <-m.pool
 	win := p.det.WindowLen()
 	var emit []Alert
 	for len(st.pending) >= win {
-		frame := frameOf(st.node, st.metrics, st.pending[:win], st.pendTs[0], m.cfg.Step)
+		frame := st.frameInto(st.pending[:win], st.pendTs[0], m.cfg.Step)
 		var t0 time.Time
 		if m.obsOn {
 			t0 = time.Now()
@@ -557,6 +628,11 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 		st.thrGauge.Set(st.lastThr)
 	}
 	var out []Alert
+	// Copy-on-alert: frame is pooled scratch (node scratch or a batcher
+	// frame), so diagnosis gets a private clone, made lazily on the first
+	// alert of the window. Anomaly-free windows — the common case — return
+	// their frame to the pool without copying anything.
+	var diagFrame *mts.NodeFrame
 	for i := range scores {
 		gi := base + i
 		if !preds[gi] {
@@ -571,6 +647,11 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 		if exceedFactor(st.scores, gi, int(winSec/m.cfg.Step)) >= m.cfg.CriticalFactor {
 			prio = Critical
 		}
+		if diagFrame == nil {
+			// At most one clone per alerting window, which is rare by
+			// construction; anomaly-free windows never pay it.
+			diagFrame = frame.Clone()
+		}
 		//lint:ignore hotalloc alert path: anomalies past threshold and cooldown are rare by construction
 		out = append(out, Alert{
 			Node:      st.node,
@@ -578,7 +659,7 @@ func (m *Monitor) absorbScores(det *core.Detector, st *nodeState, frame *mts.Nod
 			Job:       st.job,
 			Score:     scores[i],
 			Priority:  prio,
-			Diagnosis: diagnose.Alarm(det, frame, i, 3),
+			Diagnosis: diagnose.Alarm(det, diagFrame, i, 3),
 		})
 	}
 	// Trim history so memory stays bounded on long-running nodes.
@@ -810,6 +891,9 @@ func (m *Monitor) collect() []NodeStatus {
 // panicking on a closed-channel send. Samples ingested after Close are
 // still scored; only their alerts are discarded.
 func (m *Monitor) Close() {
+	// Drain batched windows while the alert channel is still open; their
+	// deliveries take closeMu's read side, so flush before the write lock.
+	m.Flush()
 	m.closeMu.Lock()
 	defer m.closeMu.Unlock()
 	if m.closed {
@@ -817,28 +901,6 @@ func (m *Monitor) Close() {
 	}
 	m.closed = true
 	close(m.alerts)
-}
-
-// frameOf assembles a NodeFrame from row-major samples.
-func frameOf(node string, metrics []string, rows [][]float64, start, step int64) *mts.NodeFrame {
-	f := &mts.NodeFrame{
-		Node:    node,
-		Metrics: metrics,
-		//lint:ignore hotalloc frame ownership passes to the detector and alert diagnosis, so the columns cannot be pooled yet; frame arenas are the arena-refactor follow-up
-		Data:  make([][]float64, len(metrics)),
-		Start: start,
-		Step:  step,
-	}
-	for m := range f.Data {
-		//lint:ignore hotalloc same ownership transfer as the column table above
-		f.Data[m] = make([]float64, len(rows))
-	}
-	for t, row := range rows {
-		for m := range f.Data {
-			f.Data[m][t] = row[m]
-		}
-	}
-	return f
 }
 
 // sortAlerts orders alerts by time then node, for deterministic reporting.

@@ -148,14 +148,25 @@ func TestMonitorJobTransitionResetsPattern(t *testing.T) {
 	}
 }
 
-func TestFrameOf(t *testing.T) {
+func TestFrameInto(t *testing.T) {
 	rows := [][]float64{{1, 10}, {2, 20}, {3, 30}}
-	f := frameOf("n", []string{"a", "b"}, rows, 500, 60)
+	st := &nodeState{node: "n", metrics: []string{"a", "b"}}
+	f := st.frameInto(rows, 500, 60)
 	if err := f.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if f.Data[0][2] != 3 || f.Data[1][0] != 10 || f.TimeAt(1) != 560 {
-		t.Errorf("frameOf wrong: %+v", f)
+		t.Errorf("frameInto wrong: %+v", f)
+	}
+	// A second call reuses the scratch matrix (no growth for <= shape) and
+	// overwrites the previous contents in place.
+	backing := &st.frameMat.Data[0]
+	f2 := st.frameInto([][]float64{{7, 70}, {8, 80}}, 900, 60)
+	if &st.frameMat.Data[0] != backing {
+		t.Error("frameInto reallocated scratch for a smaller frame")
+	}
+	if f2.Len() != 2 || f2.Data[0][1] != 8 || f2.Data[1][0] != 70 || f2.Start != 900 {
+		t.Errorf("frameInto reuse wrong: %+v", f2)
 	}
 }
 

@@ -13,6 +13,16 @@
 #              the cold path (CI has no cache), so analyzer performance
 #              regressions fail the gate with the wall time printed.
 #   race tests go test -race ./...
+#   bench gate go run ./cmd/benchtab -exp all -check: reruns the paper
+#              experiments and compares each stage's wall time (one-sided,
+#              default +20%) and allocation counts/bytes (two-sided,
+#              default ±10%) against the committed BENCH_obs.json. A big
+#              allocation *improvement* also fails, forcing the baseline
+#              to be regenerated (go run ./cmd/benchtab -exp all -quick
+#              -json) and committed — that is how perf wins get ratcheted
+#              in.
+#              Tune with BENCH_WALL_PCT / BENCH_ALLOC_PCT (e.g. noisy CI
+#              machines may need a looser wall bound).
 #
 # Run from the repository root: ./scripts/verify.sh
 # Pass -short to forward to go test (trims the slow experiment tests):
@@ -42,5 +52,12 @@ echo "==> go test -race $* ./..."
 # The full experiment reproductions exceed go test's default 10m package
 # timeout under the race detector; -short (what CI passes) stays well under.
 go test -race -timeout 60m "$@" ./...
+
+echo "==> benchtab -check (bench-regression gate vs BENCH_obs.json)"
+# -quick matches the scale the committed baseline is generated at (see
+# README: go run ./cmd/benchtab -exp all -quick -json).
+go run ./cmd/benchtab -exp all -quick -check \
+    -check-wall-pct "${BENCH_WALL_PCT:-20}" \
+    -check-alloc-pct "${BENCH_ALLOC_PCT:-10}"
 
 echo "verify: all gates passed"
